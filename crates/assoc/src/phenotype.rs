@@ -1,0 +1,152 @@
+//! Case/control phenotype simulation on haplotype matrices.
+//!
+//! Liability-threshold model: each sample's liability is the sum of its
+//! causal-allele effects plus Gaussian noise; the top `prevalence`
+//! fraction are cases. Effects are additive on the haploid dosage
+//! (0/1 per haplotype — convert to diploid dosages upstream if needed).
+
+use ld_bitmat::BitMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulates binary phenotypes driven by chosen causal SNPs.
+#[derive(Clone, Debug)]
+pub struct PhenotypeSimulator {
+    causal: Vec<(usize, f64)>,
+    prevalence: f64,
+    noise_sd: f64,
+    seed: u64,
+}
+
+impl PhenotypeSimulator {
+    /// A simulator with the given `(snp index, effect size)` pairs.
+    pub fn new(causal: Vec<(usize, f64)>) -> Self {
+        Self { causal, prevalence: 0.5, noise_sd: 1.0, seed: 0xbeef }
+    }
+
+    /// Fraction of samples labeled as cases (default 0.5 — balanced).
+    pub fn prevalence(mut self, p: f64) -> Self {
+        self.prevalence = p.clamp(0.01, 0.99);
+        self
+    }
+
+    /// Standard deviation of the environmental noise (default 1.0).
+    pub fn noise_sd(mut self, sd: f64) -> Self {
+        self.noise_sd = sd.max(0.0);
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The causal SNPs.
+    pub fn causal(&self) -> &[(usize, f64)] {
+        &self.causal
+    }
+
+    /// Simulates labels: `true` = case. Also returns the packed case mask
+    /// (one bit per sample, [`ld_bitmat::words_for`]`(n_samples)` words) —
+    /// the format [`crate::allelic_scan`] consumes.
+    pub fn simulate(&self, g: &BitMatrix) -> (Vec<bool>, Vec<u64>) {
+        let n = g.n_samples();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut liability = vec![0.0f64; n];
+        for &(snp, beta) in &self.causal {
+            assert!(snp < g.n_snps(), "causal SNP {snp} out of range");
+            for (s, l) in liability.iter_mut().enumerate() {
+                if g.get(s, snp) {
+                    *l += beta;
+                }
+            }
+        }
+        for l in liability.iter_mut() {
+            // sum of 12 uniforms − 6 ≈ N(0, 1)
+            let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+            *l += z * self.noise_sd;
+        }
+        // threshold at the (1 − prevalence) quantile
+        let mut sorted = liability.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let cut_idx = ((n as f64) * (1.0 - self.prevalence)) as usize;
+        let cut = sorted.get(cut_idx.min(n.saturating_sub(1))).copied().unwrap_or(f64::MAX);
+        let labels: Vec<bool> = liability.iter().map(|&l| l >= cut).collect();
+        let mut mask = vec![0u64; ld_bitmat::words_for(n)];
+        for (s, &is_case) in labels.iter().enumerate() {
+            if is_case {
+                mask[s / 64] |= 1 << (s % 64);
+            }
+        }
+        (labels, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_data::HaplotypeSimulator;
+
+    #[test]
+    fn prevalence_is_respected() {
+        let g = HaplotypeSimulator::new(1000, 50).seed(1).generate();
+        let (labels, mask) = PhenotypeSimulator::new(vec![(10, 1.0)])
+            .prevalence(0.3)
+            .seed(2)
+            .simulate(&g);
+        let cases = labels.iter().filter(|&&c| c).count();
+        assert!((250..=350).contains(&cases), "cases = {cases}");
+        // mask agrees with labels
+        let mask_count: u32 = mask.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(mask_count as usize, cases);
+    }
+
+    #[test]
+    fn causal_snp_is_enriched_in_cases() {
+        let g = HaplotypeSimulator::new(2000, 30).seed(3).generate();
+        // the neutral SFS is rare-skewed; pick a *common* causal SNP so the
+        // enrichment has room to show
+        let causal = (0..30)
+            .max_by_key(|&j| {
+                let ones = g.ones_in_snp(j);
+                ones.min(2000 - ones)
+            })
+            .unwrap();
+        let (labels, _) = PhenotypeSimulator::new(vec![(causal, 2.0)])
+            .noise_sd(0.5)
+            .seed(4)
+            .simulate(&g);
+        let mut case_alt = 0;
+        let mut case_n = 0;
+        let mut ctrl_alt = 0;
+        let mut ctrl_n = 0;
+        for s in 0..2000 {
+            if labels[s] {
+                case_n += 1;
+                case_alt += u64::from(g.get(s, causal));
+            } else {
+                ctrl_n += 1;
+                ctrl_alt += u64::from(g.get(s, causal));
+            }
+        }
+        let f_case = case_alt as f64 / case_n as f64;
+        let f_ctrl = ctrl_alt as f64 / ctrl_n as f64;
+        assert!(f_case > f_ctrl + 0.05, "case {f_case} vs ctrl {f_ctrl}");
+    }
+
+    #[test]
+    fn deterministic_and_bounds_checked() {
+        let g = HaplotypeSimulator::new(100, 10).seed(5).generate();
+        let sim = PhenotypeSimulator::new(vec![(0, 1.0)]).seed(6);
+        assert_eq!(sim.simulate(&g).0, sim.simulate(&g).0);
+        assert_eq!(sim.causal(), &[(0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_causal_index_panics() {
+        let g = HaplotypeSimulator::new(10, 5).seed(7).generate();
+        PhenotypeSimulator::new(vec![(99, 1.0)]).simulate(&g);
+    }
+}

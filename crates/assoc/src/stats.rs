@@ -1,0 +1,135 @@
+//! Statistical helpers: χ² tail probabilities, odds ratios, λ_GC.
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26; |ε| ≤ 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let e = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - e
+    } else {
+        e
+    }
+}
+
+/// Survival function of the χ² distribution with 1 degree of freedom:
+/// `P(X ≥ x) = erfc(√(x/2))`.
+pub fn chi2_sf_1df(x: f64) -> f64 {
+    if x <= 0.0 {
+        1.0
+    } else {
+        erfc((x / 2.0).sqrt())
+    }
+}
+
+/// Quantile-free genomic-control λ: the median observed χ² statistic over
+/// the median of the 1-df χ² distribution (0.4549). λ ≈ 1 for a
+/// well-calibrated scan; inflation (stratification, cryptic relatedness)
+/// pushes it above 1.
+pub fn genomic_lambda(chi2_stats: &[f64]) -> f64 {
+    if chi2_stats.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = chi2_stats.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    };
+    const CHI2_1DF_MEDIAN: f64 = 0.454936423119573;
+    median / CHI2_1DF_MEDIAN
+}
+
+/// 2×2 allelic odds ratio with Haldane–Anscombe 0.5 correction.
+pub fn odds_ratio(case_alt: u64, case_ref: u64, ctrl_alt: u64, ctrl_ref: u64) -> f64 {
+    let (a, b, c, d) = (
+        case_alt as f64 + 0.5,
+        case_ref as f64 + 0.5,
+        ctrl_alt as f64 + 0.5,
+        ctrl_ref as f64 + 0.5,
+    );
+    (a * d) / (b * c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // reference values from standard tables
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(0.5) - 0.4795001).abs() < 1e-5);
+        assert!((erfc(1.0) - 0.1572992).abs() < 1e-5);
+        assert!((erfc(2.0) - 0.0046777).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.8427008).abs() < 1e-5);
+    }
+
+    #[test]
+    fn chi2_tail_reference_values() {
+        // P(chi2_1 >= 3.841) = 0.05; >= 6.635 -> 0.01; >= 10.828 -> 0.001
+        assert!((chi2_sf_1df(3.841459) - 0.05).abs() < 2e-4);
+        assert!((chi2_sf_1df(6.634897) - 0.01).abs() < 1e-4);
+        assert!((chi2_sf_1df(10.8276) - 0.001).abs() < 5e-5);
+        assert_eq!(chi2_sf_1df(0.0), 1.0);
+        assert_eq!(chi2_sf_1df(-3.0), 1.0);
+    }
+
+    #[test]
+    fn chi2_sf_is_monotone() {
+        let mut last = 1.0;
+        for i in 1..100 {
+            let p = chi2_sf_1df(i as f64 * 0.3);
+            assert!(p <= last + 1e-12);
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn lambda_of_null_chi2_sample_is_near_one() {
+        // χ²(1) = Z²: build a crude normal sample via sum of uniforms
+        let mut s = 12345u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let stats: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let z: f64 = (0..12).map(|_| next()).sum::<f64>() - 6.0; // ~N(0,1)
+                z * z
+            })
+            .collect();
+        let lambda = genomic_lambda(&stats);
+        assert!((lambda - 1.0).abs() < 0.06, "lambda = {lambda}");
+    }
+
+    #[test]
+    fn lambda_edge_cases() {
+        assert!(genomic_lambda(&[]).is_nan());
+        assert!(genomic_lambda(&[f64::NAN]).is_nan());
+        let l = genomic_lambda(&[0.4549364231]);
+        assert!((l - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odds_ratio_directions() {
+        // enriched in cases -> OR > 1
+        assert!(odds_ratio(80, 20, 50, 50) > 1.0);
+        assert!(odds_ratio(20, 80, 50, 50) < 1.0);
+        // symmetric table -> OR == 1
+        assert!((odds_ratio(50, 50, 50, 50) - 1.0).abs() < 1e-12);
+        // zero cells survive thanks to the 0.5 correction
+        assert!(odds_ratio(10, 0, 0, 10).is_finite());
+    }
+}

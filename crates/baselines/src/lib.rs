@@ -1,0 +1,32 @@
+//! # ld-baselines — the LD implementations the paper compares against
+//!
+//! Three comparator classes, reimplemented from their published algorithmic
+//! descriptions (§VI of the paper; see DESIGN.md for the substitution
+//! argument):
+//!
+//! * [`naive`] — byte-per-allele scalar LD, the "scalar kernels that are
+//!   not optimized for performance" of §VIII (PopGenome-class code):
+//!   no bit packing, no popcount, no blocking.
+//! * [`omegaplus`] — OmegaPlus-style kernel: bit-packed alleles with the
+//!   64-bit `POPCNT` intrinsic (the paper's footnote 5 upgrade), but plain
+//!   unblocked pairwise loops — precisely the GEMM-less datapoint of
+//!   Tables I–III.
+//! * [`plink`] — PLINK-1.9-style kernel: 2-bit *genotype* encoding
+//!   (`.bed` words), per-pair 3×3 contingency tables built from masked
+//!   popcounts, `r²` from dosage correlation or maximum-likelihood EM
+//!   haplotype frequencies (PLINK's default for unphased data).
+//!
+//! All three produce results verified against `ld-core`'s engine in the
+//! integration tests (on haploid data lifted to homozygous genotypes, the
+//! genotypic `r²` equals the haplotypic `r²`, which pins the PLINK path to
+//! the same oracle).
+
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod omegaplus;
+pub mod plink;
+
+pub use naive::ByteMatrix;
+pub use omegaplus::OmegaPlusKernel;
+pub use plink::{PlinkKernel, PlinkR2Mode};

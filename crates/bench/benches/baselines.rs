@@ -1,0 +1,49 @@
+//! Criterion comparison of the four LD implementations on one shared
+//! workload — the §VI comparison at micro-benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ld_baselines::{ByteMatrix, OmegaPlusKernel, PlinkKernel};
+use ld_bench::workloads::random_matrix;
+use ld_bitmat::GenotypeMatrix;
+use ld_core::{LdEngine, NanPolicy};
+use ld_kernels::KernelKind;
+
+fn bench_implementations(c: &mut Criterion) {
+    let n_snps = 256usize;
+    let n_samples = 2048usize;
+    let haps = random_matrix(n_samples, n_snps, 0.3, 7);
+    let genos = GenotypeMatrix::from_haplotypes_as_homozygous(&haps);
+    let bytes = ByteMatrix::from_bitmatrix(&haps);
+    let pairs = (n_snps * (n_snps + 1) / 2) as u64;
+
+    let mut group = c.benchmark_group("ld-implementations");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pairs));
+
+    let gemm_scalar =
+        LdEngine::new().kernel(KernelKind::Scalar).threads(1).nan_policy(NanPolicy::Zero);
+    group.bench_function("gemm-scalar", |b| b.iter(|| gemm_scalar.r2_matrix(&haps)));
+
+    let gemm_auto =
+        LdEngine::new().kernel(KernelKind::Auto).threads(1).nan_policy(NanPolicy::Zero);
+    group.bench_function("gemm-auto", |b| b.iter(|| gemm_auto.r2_matrix(&haps)));
+
+    let omega = OmegaPlusKernel::new().nan_policy(NanPolicy::Zero);
+    group.bench_function("omegaplus-style", |b| {
+        b.iter(|| omega.r2_matrix(&haps.full_view(), 1))
+    });
+
+    let plink = PlinkKernel::new().nan_policy(NanPolicy::Zero);
+    group.bench_function("plink-style", |b| b.iter(|| plink.r2_matrix(&genos, 1)));
+
+    group.bench_function("naive-bytes", |b| b.iter(|| bytes.r2_matrix(1, NanPolicy::Zero)));
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_implementations
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the popcount strategy library (§IV: the
+//! `POPCNT` instruction vs software schemes; §V: vectorized variants).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ld_popcount::simd::{
+    and_popcount_extract_insert_avx2, and_popcount_mula_avx2, and_popcount_vpopcntdq,
+};
+use ld_popcount::PopcountStrategy;
+
+fn mk(n: usize, seed: u64) -> Vec<u64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        })
+        .collect()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let words = mk(4096, 1);
+    let mut group = c.benchmark_group("popcount-slice");
+    group.throughput(Throughput::Bytes((words.len() * 8) as u64));
+    for s in PopcountStrategy::ALL {
+        group.bench_function(BenchmarkId::from_parameter(s.name()), |b| {
+            b.iter(|| std::hint::black_box(s.count_slice(&words)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_and_popcount(c: &mut Criterion) {
+    let a = mk(4096, 2);
+    let b_words = mk(4096, 3);
+    let mut group = c.benchmark_group("and-popcount");
+    group.throughput(Throughput::Bytes((a.len() * 16) as u64));
+    group.bench_function("scalar-popcnt", |b| {
+        b.iter(|| std::hint::black_box(ld_popcount::and_popcount(&a, &b_words)))
+    });
+    group.bench_function("avx2-extract-insert", |b| {
+        b.iter(|| std::hint::black_box(and_popcount_extract_insert_avx2(&a, &b_words)))
+    });
+    group.bench_function("avx2-mula", |b| {
+        b.iter(|| std::hint::black_box(and_popcount_mula_avx2(&a, &b_words)))
+    });
+    group.bench_function("avx512-vpopcntdq", |b| {
+        b.iter(|| std::hint::black_box(and_popcount_vpopcntdq(&a, &b_words)))
+    });
+    group.bench_function("harley-seal", |b| {
+        b.iter(|| std::hint::black_box(ld_popcount::strategies::harley_seal_and(&a, &b_words)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_strategies, bench_and_popcount
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Timing loops and simple CLI-argument plumbing for the bench binaries.
+
+use std::time::Instant;
+
+/// Times `f`, repeating until at least `min_seconds` of total runtime or
+/// `max_reps` repetitions, and returns the **best** wall time in seconds
+/// (best-of-N is the standard defense against interference for
+/// throughput-style kernels).
+pub fn time_best<F: FnMut()>(mut f: F, min_seconds: f64, max_reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut reps = 0;
+    while (total < min_seconds && reps < max_reps) || reps == 0 {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+        reps += 1;
+    }
+    best
+}
+
+/// Parsed common benchmark options.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Run paper-sized problems instead of scaled-down defaults.
+    pub full: bool,
+    /// Override the thread list (`--threads 1,2,4`).
+    pub threads: Option<Vec<usize>>,
+    /// Free-form key=value extras (dataset selection etc.).
+    pub extras: Vec<(String, String)>,
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args`-style arguments. Recognizes `--full`,
+    /// `--threads a,b,c` and `--key value` pairs.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = BenchOpts { full: false, threads: None, extras: Vec::new() };
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--threads" => {
+                    if let Some(list) = it.next() {
+                        opts.threads = Some(
+                            list.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+                        );
+                    }
+                }
+                other => {
+                    if let Some(key) = other.strip_prefix("--") {
+                        let val = it.peek().filter(|v| !v.starts_with("--")).cloned();
+                        if val.is_some() {
+                            it.next();
+                        }
+                        opts.extras.push((key.to_string(), val.unwrap_or_default()));
+                    }
+                }
+            }
+        }
+        opts
+    }
+
+    /// Looks up a `--key value` extra.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.extras.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The thread counts to sweep: explicit `--threads`, else the default
+    /// list the paper's tables use.
+    pub fn thread_list(&self) -> Vec<usize> {
+        self.threads.clone().unwrap_or_else(|| vec![1, 2, 4, 8, 12])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_best_runs_at_least_once() {
+        let mut n = 0;
+        let t = time_best(|| n += 1, 0.0, 1);
+        assert_eq!(n, 1);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn time_best_repeats_until_budget() {
+        let mut n = 0;
+        time_best(|| n += 1, 0.0005, 1000);
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = BenchOpts::parse(
+            ["--full", "--threads", "1,2,8", "--dataset", "c"].map(String::from),
+        );
+        assert!(o.full);
+        assert_eq!(o.thread_list(), vec![1, 2, 8]);
+        assert_eq!(o.get("dataset"), Some("c"));
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn default_thread_list_matches_paper_tables() {
+        let o = BenchOpts::parse(Vec::<String>::new());
+        assert_eq!(o.thread_list(), vec![1, 2, 4, 8, 12]);
+        assert!(!o.full);
+    }
+
+    #[test]
+    fn flag_without_value() {
+        let o = BenchOpts::parse(["--quick", "--full"].map(String::from));
+        assert_eq!(o.get("quick"), Some(""));
+        assert!(o.full);
+    }
+}

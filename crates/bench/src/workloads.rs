@@ -1,0 +1,88 @@
+//! Synthetic workload construction shared by the benchmark binaries.
+
+use ld_bitmat::BitMatrix;
+
+/// A fast xorshift generator for bulk random bit matrices — benchmark
+/// inputs only need plausible density, not population-genetic structure
+/// (the `tables` binary uses `ld-data`'s simulator for that).
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeded generator (seed is made odd to avoid the zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A random bit matrix with roughly `density` fraction of derived alleles.
+pub fn random_matrix(n_samples: usize, n_snps: usize, density: f64, seed: u64) -> BitMatrix {
+    let mut rng = XorShift::new(seed);
+    let threshold = (density.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    let mut g = BitMatrix::zeros(n_samples, n_snps);
+    let wps = g.words_per_snp();
+    let tail = ld_bitmat::tail_mask(n_samples);
+    for j in 0..n_snps {
+        let col = g.snp_words_mut(j);
+        for (w, word) in col.iter_mut().enumerate() {
+            let mut v = 0u64;
+            for bit in 0..64 {
+                if rng.next_u64() <= threshold {
+                    v |= 1 << bit;
+                }
+            }
+            if w + 1 == wps {
+                v &= tail;
+            }
+            *word = v;
+        }
+    }
+    g
+}
+
+/// Useful word-pair count for an `m × n` output over `k_words` — the unit
+/// of the %-peak metric (§IV-B: one AND+POPCNT+ADD triple per word pair).
+pub fn word_pairs(m: usize, n: usize, k_words: usize) -> f64 {
+    m as f64 * n as f64 * k_words as f64
+}
+
+/// Number of distinct LD values in the triangular all-pairs case,
+/// `N(N+1)/2` (what the paper counts for "LDs per second").
+pub fn triangle_pairs(n: usize) -> f64 {
+    n as f64 * (n as f64 + 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_respected() {
+        let g = random_matrix(640, 32, 0.25, 42);
+        let d = g.density();
+        assert!((d - 0.25).abs() < 0.03, "density {d}");
+        g.check_padding().unwrap();
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_matrix(100, 10, 0.5, 7);
+        let b = random_matrix(100, 10, 0.5, 7);
+        let c = random_matrix(100, 10, 0.5, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pair_counters() {
+        assert_eq!(triangle_pairs(10_000), 50_005_000.0);
+        assert_eq!(word_pairs(4, 5, 6), 120.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Incremental construction of bit matrices, one SNP at a time.
+
+use crate::{words_for, AlignedWords, BitMatError, BitMatrix, WORD_BITS};
+
+/// Builds a [`BitMatrix`] by appending SNP columns.
+///
+/// This is the natural shape for parsers (`ms`, VCF) and simulators, which
+/// emit one variable site at a time for a fixed set of samples.
+///
+/// ```
+/// use ld_bitmat::BitMatrixBuilder;
+/// let mut b = BitMatrixBuilder::new(4);
+/// b.push_snp_bytes(&[1, 0, 0, 1]).unwrap();
+/// b.push_snp_bits([true, true, false, false]).unwrap();
+/// let g = b.finish();
+/// assert_eq!(g.n_snps(), 2);
+/// assert_eq!(g.ones_in_snp(0), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitMatrixBuilder {
+    words: AlignedWords,
+    n_samples: usize,
+    words_per_snp: usize,
+    n_snps: usize,
+}
+
+impl BitMatrixBuilder {
+    /// A builder for matrices with `n_samples` rows.
+    pub fn new(n_samples: usize) -> Self {
+        Self {
+            words: AlignedWords::new(),
+            n_samples,
+            words_per_snp: words_for(n_samples),
+            n_snps: 0,
+        }
+    }
+
+    /// A builder with capacity pre-reserved for `n_snps` columns.
+    pub fn with_capacity(n_samples: usize, n_snps: usize) -> Self {
+        let wps = words_for(n_samples);
+        Self {
+            words: AlignedWords::with_capacity(wps * n_snps),
+            n_samples,
+            words_per_snp: wps,
+            n_snps: 0,
+        }
+    }
+
+    /// Number of samples per SNP.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of SNPs appended so far.
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// Appends a SNP given as a slice of `0`/`1` bytes, one per sample.
+    pub fn push_snp_bytes(&mut self, alleles: &[u8]) -> Result<(), BitMatError> {
+        if alleles.len() != self.n_samples {
+            return Err(BitMatError::DimensionMismatch {
+                expected: self.n_samples,
+                got: alleles.len(),
+                what: "samples",
+            });
+        }
+        for (s, &a) in alleles.iter().enumerate() {
+            if a > 1 {
+                return Err(BitMatError::InvalidAllele { value: a, sample: s, snp: self.n_snps });
+            }
+        }
+        self.push_snp_bits(alleles.iter().map(|&a| a == 1))
+    }
+
+    /// Appends a SNP from an iterator of booleans (`true` = derived).
+    /// The iterator must yield exactly `n_samples` items.
+    pub fn push_snp_bits<I>(&mut self, bits: I) -> Result<(), BitMatError>
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let mut word = 0u64;
+        let mut in_word = 0usize;
+        let mut total = 0usize;
+        let mut pushed = 0usize;
+        for b in bits {
+            if total >= self.n_samples {
+                return Err(BitMatError::DimensionMismatch {
+                    expected: self.n_samples,
+                    got: total + 1,
+                    what: "samples",
+                });
+            }
+            if b {
+                word |= 1u64 << in_word;
+            }
+            in_word += 1;
+            total += 1;
+            if in_word == WORD_BITS {
+                self.words.push(word);
+                pushed += 1;
+                word = 0;
+                in_word = 0;
+            }
+        }
+        if total != self.n_samples {
+            // Roll back partially-pushed words so the builder stays usable.
+            self.words.resize_zeroed(self.words.len() - pushed);
+            return Err(BitMatError::DimensionMismatch {
+                expected: self.n_samples,
+                got: total,
+                what: "samples",
+            });
+        }
+        if in_word > 0 {
+            self.words.push(word);
+            pushed += 1;
+        }
+        debug_assert_eq!(pushed, self.words_per_snp);
+        self.n_snps += 1;
+        Ok(())
+    }
+
+    /// Appends a SNP given as pre-packed words (padding bits must be zero).
+    pub fn push_snp_words(&mut self, words: &[u64]) -> Result<(), BitMatError> {
+        if words.len() != self.words_per_snp {
+            return Err(BitMatError::DimensionMismatch {
+                expected: self.words_per_snp,
+                got: words.len(),
+                what: "words",
+            });
+        }
+        if self.n_samples % WORD_BITS != 0 && self.words_per_snp > 0 {
+            let mask = crate::tail_mask(self.n_samples);
+            if words[self.words_per_snp - 1] & !mask != 0 {
+                return Err(BitMatError::PaddingViolation { snp: self.n_snps });
+            }
+        }
+        for &w in words {
+            self.words.push(w);
+        }
+        self.n_snps += 1;
+        Ok(())
+    }
+
+    /// Finishes the build, yielding the packed matrix.
+    pub fn finish(self) -> BitMatrix {
+        BitMatrix::from_words(self.n_samples, self.n_snps, self.words)
+            .expect("builder maintains the padding invariant")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_multi_word_columns() {
+        let n = 130;
+        let mut b = BitMatrixBuilder::new(n);
+        b.push_snp_bits((0..n).map(|s| s % 3 == 0)).unwrap();
+        b.push_snp_bits((0..n).map(|s| s == 129)).unwrap();
+        let g = b.finish();
+        assert_eq!(g.n_snps(), 2);
+        assert_eq!(g.words_per_snp(), 3);
+        assert_eq!(g.ones_in_snp(0), (0..n as u64).filter(|s| s % 3 == 0).count() as u64);
+        assert_eq!(g.ones_in_snp(1), 1);
+        assert!(g.get(129, 1));
+        g.check_padding().unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        let mut b = BitMatrixBuilder::new(4);
+        assert!(b.push_snp_bytes(&[1, 0, 0]).is_err());
+        assert!(b.push_snp_bits([true; 5]).is_err());
+        assert!(b.push_snp_bits([true; 3]).is_err());
+        // builder remains usable and consistent
+        b.push_snp_bytes(&[1, 1, 1, 1]).unwrap();
+        let g = b.finish();
+        assert_eq!(g.n_snps(), 1);
+        assert_eq!(g.ones_in_snp(0), 4);
+    }
+
+    #[test]
+    fn short_iterator_rolls_back_words() {
+        let mut b = BitMatrixBuilder::new(70);
+        // 65 bits: pushes one full word, then must roll back.
+        assert!(b.push_snp_bits((0..65).map(|_| true)).is_err());
+        b.push_snp_bits((0..70).map(|s| s < 2)).unwrap();
+        let g = b.finish();
+        assert_eq!(g.n_snps(), 1);
+        assert_eq!(g.ones_in_snp(0), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_byte() {
+        let mut b = BitMatrixBuilder::new(2);
+        assert!(matches!(
+            b.push_snp_bytes(&[0, 3]),
+            Err(BitMatError::InvalidAllele { value: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn push_words_validates_padding() {
+        let mut b = BitMatrixBuilder::new(4);
+        assert!(b.push_snp_words(&[0b10000]).is_err()); // bit 4 is padding
+        b.push_snp_words(&[0b1010]).unwrap();
+        let g = b.finish();
+        assert_eq!(g.ones_in_snp(0), 2);
+    }
+
+    #[test]
+    fn matches_from_rows() {
+        let rows = [[1u8, 0], [0, 1], [1, 1]];
+        let by_rows = BitMatrix::from_rows(3, 2, rows).unwrap();
+        let mut b = BitMatrixBuilder::with_capacity(3, 2);
+        b.push_snp_bytes(&[1, 0, 1]).unwrap();
+        b.push_snp_bytes(&[0, 1, 1]).unwrap();
+        assert_eq!(b.n_snps(), 2);
+        assert_eq!(b.n_samples(), 3);
+        assert_eq!(b.finish(), by_rows);
+    }
+}

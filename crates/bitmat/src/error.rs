@@ -1,0 +1,81 @@
+//! Error type for bit-matrix construction and validation.
+
+use std::fmt;
+
+/// Errors produced while building or validating bit matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitMatError {
+    /// A row/column had a different length than the matrix expects.
+    DimensionMismatch {
+        /// What the matrix expected.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+        /// Human-readable name of the dimension ("samples", "snps", ...).
+        what: &'static str,
+    },
+    /// An allele value outside {0, 1} was supplied to a strictly biallelic
+    /// builder.
+    InvalidAllele {
+        /// The offending byte.
+        value: u8,
+        /// Sample (row) index.
+        sample: usize,
+        /// SNP (column) index.
+        snp: usize,
+    },
+    /// A padding bit beyond `n_samples` was found set; the popcount kernels
+    /// would produce wrong counts.
+    PaddingViolation {
+        /// SNP (column) index with the stray bit.
+        snp: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+        /// Which axis.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BitMatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitMatError::DimensionMismatch { expected, got, what } => {
+                write!(f, "dimension mismatch: expected {expected} {what}, got {got}")
+            }
+            BitMatError::InvalidAllele { value, sample, snp } => write!(
+                f,
+                "invalid allele value {value} at sample {sample}, SNP {snp} (expected 0 or 1)"
+            ),
+            BitMatError::PaddingViolation { snp } => {
+                write!(f, "padding bits of SNP {snp} are not zero")
+            }
+            BitMatError::IndexOutOfBounds { index, bound, what } => {
+                write!(f, "{what} index {index} out of bounds (< {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitMatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BitMatError::DimensionMismatch { expected: 10, got: 9, what: "samples" };
+        assert!(e.to_string().contains("expected 10 samples"));
+        let e = BitMatError::InvalidAllele { value: 7, sample: 1, snp: 2 };
+        assert!(e.to_string().contains("allele value 7"));
+        let e = BitMatError::PaddingViolation { snp: 3 };
+        assert!(e.to_string().contains("SNP 3"));
+        let e = BitMatError::IndexOutOfBounds { index: 5, bound: 5, what: "snp" };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Validity masks for alignment gaps and missing data (paper §VII).
+//!
+//! A [`ValidityMask`] stores one bit vector `c_j` per SNP in the same
+//! SNP-major packed layout as [`BitMatrix`]: bit `s` of `c_j` is set iff
+//! sample `s` has a *valid* allelic state at SNP `j` (not a gap `-`, not an
+//! ambiguous character). For a pair of SNPs `i, j` the valid pair set is
+//! `c_ij = c_i & c_j`, and the inner products of the paper's §VII become
+//! `POPCNT(c_ij & s_i & s_j)` etc., with a per-pair effective sample size
+//! `N_ij = POPCNT(c_ij)`.
+
+use crate::{tail_mask, words_for, AlignedWords, BitMatError, BitMatrix, WORD_BITS};
+
+/// Per-SNP validity bit vectors, packed like a [`BitMatrix`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidityMask {
+    words: AlignedWords,
+    n_samples: usize,
+    n_snps: usize,
+    words_per_snp: usize,
+}
+
+impl ValidityMask {
+    /// A mask with every (sample, SNP) pair valid.
+    pub fn all_valid(n_samples: usize, n_snps: usize) -> Self {
+        let wps = words_for(n_samples);
+        let mut words = AlignedWords::zeroed(wps * n_snps);
+        if wps > 0 {
+            let tm = tail_mask(n_samples);
+            for j in 0..n_snps {
+                for w in 0..wps {
+                    words[j * wps + w] = if w + 1 == wps { tm } else { u64::MAX };
+                }
+            }
+        }
+        Self { words, n_samples, n_snps, words_per_snp: wps }
+    }
+
+    /// Builds a mask from per-SNP byte columns (`1` = valid, `0` = missing).
+    pub fn from_columns<C, I>(n_samples: usize, cols: I) -> Result<Self, BitMatError>
+    where
+        C: AsRef<[u8]>,
+        I: IntoIterator<Item = C>,
+    {
+        // Reuse the BitMatrix builder logic by round-tripping through it.
+        let m = BitMatrix::from_columns(n_samples, cols)?;
+        Ok(Self::from_bitmatrix(&m))
+    }
+
+    /// Reinterprets a 0/1 [`BitMatrix`] as a validity mask.
+    pub fn from_bitmatrix(m: &BitMatrix) -> Self {
+        Self {
+            words: AlignedWords::from_slice(m.words()),
+            n_samples: m.n_samples(),
+            n_snps: m.n_snps(),
+            words_per_snp: m.words_per_snp(),
+        }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of SNPs.
+    #[inline]
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// Words per SNP column.
+    #[inline]
+    pub fn words_per_snp(&self) -> usize {
+        self.words_per_snp
+    }
+
+    /// Packed validity words of SNP `j`.
+    #[inline]
+    pub fn snp_words(&self, j: usize) -> &[u64] {
+        debug_assert!(j < self.n_snps);
+        &self.words[j * self.words_per_snp..(j + 1) * self.words_per_snp]
+    }
+
+    /// Is `sample` valid at SNP `j`?
+    #[inline]
+    pub fn is_valid(&self, sample: usize, j: usize) -> bool {
+        let w = self.words[j * self.words_per_snp + sample / WORD_BITS];
+        (w >> (sample % WORD_BITS)) & 1 == 1
+    }
+
+    /// Marks `sample` at SNP `j` as missing (invalid).
+    pub fn set_missing(&mut self, sample: usize, j: usize) {
+        debug_assert!(sample < self.n_samples && j < self.n_snps);
+        let idx = j * self.words_per_snp + sample / WORD_BITS;
+        self.words[idx] &= !(1u64 << (sample % WORD_BITS));
+    }
+
+    /// Marks `sample` at SNP `j` as valid.
+    pub fn set_valid(&mut self, sample: usize, j: usize) {
+        debug_assert!(sample < self.n_samples && j < self.n_snps);
+        let idx = j * self.words_per_snp + sample / WORD_BITS;
+        self.words[idx] |= 1u64 << (sample % WORD_BITS);
+    }
+
+    /// Number of valid samples at SNP `j`.
+    pub fn valid_count(&self, j: usize) -> u64 {
+        self.snp_words(j).iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Number of jointly-valid samples for the SNP pair `(i, j)` —
+    /// `POPCNT(c_i & c_j)`, the `v_ij` of the paper's Eq. 6 context.
+    pub fn pair_valid_count(&self, i: usize, j: usize) -> u64 {
+        self.snp_words(i)
+            .iter()
+            .zip(self.snp_words(j))
+            .map(|(&a, &b)| (a & b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Fraction of missing entries over the whole mask.
+    pub fn missing_rate(&self) -> f64 {
+        if self.n_samples == 0 || self.n_snps == 0 {
+            return 0.0;
+        }
+        let valid: u64 = (0..self.n_snps).map(|j| self.valid_count(j)).sum();
+        1.0 - valid as f64 / (self.n_samples as f64 * self.n_snps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_valid_counts() {
+        let m = ValidityMask::all_valid(70, 3);
+        assert_eq!(m.words_per_snp(), 2);
+        for j in 0..3 {
+            assert_eq!(m.valid_count(j), 70);
+        }
+        assert_eq!(m.missing_rate(), 0.0);
+        // Padding bits of the second word must be zero.
+        assert_eq!(m.snp_words(0)[1] & !tail_mask(70), 0);
+    }
+
+    #[test]
+    fn set_missing_and_pair_counts() {
+        let mut m = ValidityMask::all_valid(10, 2);
+        m.set_missing(3, 0);
+        m.set_missing(4, 1);
+        assert!(!m.is_valid(3, 0));
+        assert!(m.is_valid(3, 1));
+        assert_eq!(m.valid_count(0), 9);
+        assert_eq!(m.valid_count(1), 9);
+        assert_eq!(m.pair_valid_count(0, 1), 8);
+        m.set_valid(3, 0);
+        assert_eq!(m.pair_valid_count(0, 1), 9);
+    }
+
+    #[test]
+    fn from_columns_matches_manual() {
+        let m = ValidityMask::from_columns(4, [[1u8, 1, 0, 1], [1, 0, 0, 1]]).unwrap();
+        assert_eq!(m.valid_count(0), 3);
+        assert_eq!(m.valid_count(1), 2);
+        assert_eq!(m.pair_valid_count(0, 1), 2);
+        assert!((m.missing_rate() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_bitmatrix_preserves_bits() {
+        let g = BitMatrix::from_rows(3, 2, [[1u8, 0], [1, 1], [0, 1]]).unwrap();
+        let m = ValidityMask::from_bitmatrix(&g);
+        assert_eq!(m.valid_count(0), 2);
+        assert_eq!(m.valid_count(1), 2);
+        assert!(m.is_valid(0, 0) && !m.is_valid(2, 0));
+    }
+}

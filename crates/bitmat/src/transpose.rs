@@ -1,0 +1,230 @@
+//! Fast bit-matrix transposition.
+//!
+//! Parsers and sequencers produce *sample-major* rows (one individual's
+//! alleles across all SNPs), but every LD kernel wants the *SNP-major*
+//! packed layout. Setting bits one at a time costs a read-modify-write per
+//! allele; transposing 64×64 bit tiles with the classic recursive
+//! block-swap (Hacker's Delight §7-3) moves 4096 alleles with ~190 word
+//! ops, an order of magnitude faster — this is the bulk-ingestion path for
+//! [`crate::BitMatrix::from_sample_major_words`].
+
+use crate::{words_for, AlignedWords, BitMatrix, WORD_BITS};
+
+/// Transposes a 64×64 bit block in place: bit `(r, c)` moves to `(c, r)`.
+/// `block[r]` is row `r`, bit `c` = column `c`.
+pub fn transpose_64x64(block: &mut [u64; 64]) {
+    // swap progressively smaller sub-blocks: widths 32, 16, 8, 4, 2, 1
+    let mut width = 32usize;
+    while width > 0 {
+        // mask selecting the low `width` bits of every 2·width bit group
+        let mut mask = 0u64;
+        let mut pos = 0;
+        while pos < 64 {
+            mask |= (((1u128 << width) - 1) as u64) << pos;
+            pos += 2 * width;
+        }
+        let mut r = 0usize;
+        while r < 64 {
+            // rows come in pairs (r, r+width) within each 2*width group
+            for i in r..r + width {
+                let a = block[i];
+                let b = block[i + width];
+                // exchange the off-diagonal quadrants
+                let t = ((a >> width) ^ b) & mask;
+                block[i] = a ^ (t << width);
+                block[i + width] = b ^ t;
+            }
+            r += 2 * width;
+        }
+        width /= 2;
+    }
+}
+
+impl BitMatrix {
+    /// Builds a matrix from **sample-major packed rows**: `rows[s]` holds
+    /// sample `s`'s alleles, bit `j` of word `j / 64` = SNP `j`. Each row
+    /// needs `ceil(n_snps / 64)` words; padding bits must be zero.
+    ///
+    /// This is the fast path for parsers that naturally stream samples:
+    /// the conversion transposes 64×64 tiles instead of setting single
+    /// bits.
+    pub fn from_sample_major_words(
+        n_samples: usize,
+        n_snps: usize,
+        rows: &[u64],
+    ) -> Result<Self, crate::BitMatError> {
+        let wpr = words_for(n_snps); // words per (sample) row
+        if rows.len() != n_samples * wpr {
+            return Err(crate::BitMatError::DimensionMismatch {
+                expected: n_samples * wpr,
+                got: rows.len(),
+                what: "words",
+            });
+        }
+        let wps = words_for(n_samples); // words per SNP column (output)
+        let mut words = AlignedWords::zeroed(wps * n_snps);
+        let mut tile = [0u64; 64];
+        // walk 64×64 tiles: sample block sb, snp block jb
+        for sb in 0..wps {
+            let s0 = sb * WORD_BITS;
+            let s_count = WORD_BITS.min(n_samples - s0);
+            for jb in 0..wpr {
+                let j0 = jb * WORD_BITS;
+                let j_count = WORD_BITS.min(n_snps - j0);
+                // load: tile row r = sample s0+r's word jb
+                for (r, t) in tile.iter_mut().enumerate() {
+                    *t = if r < s_count { rows[(s0 + r) * wpr + jb] } else { 0 };
+                }
+                transpose_64x64(&mut tile);
+                // store: tile row c = SNP j0+c's word sb
+                for c in 0..j_count {
+                    words[(j0 + c) * wps + sb] = tile[c];
+                }
+            }
+        }
+        Self::from_words(n_samples, n_snps, words)
+    }
+
+    /// The inverse view: packs this matrix into sample-major rows
+    /// (`ceil(n_snps/64)` words per sample).
+    pub fn to_sample_major_words(&self) -> Vec<u64> {
+        let wpr = words_for(self.n_snps());
+        let wps = self.words_per_snp();
+        let mut rows = vec![0u64; self.n_samples() * wpr];
+        let mut tile = [0u64; 64];
+        for jb in 0..wpr {
+            let j0 = jb * WORD_BITS;
+            let j_count = WORD_BITS.min(self.n_snps() - j0);
+            for sb in 0..wps {
+                let s0 = sb * WORD_BITS;
+                let s_count = WORD_BITS.min(self.n_samples() - s0);
+                for (c, t) in tile.iter_mut().enumerate() {
+                    *t = if c < j_count { self.snp_words(j0 + c)[sb] } else { 0 };
+                }
+                transpose_64x64(&mut tile);
+                for r in 0..s_count {
+                    rows[(s0 + r) * wpr + jb] = tile[r];
+                }
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_transpose(block: &[u64; 64]) -> [u64; 64] {
+        let mut out = [0u64; 64];
+        for r in 0..64 {
+            for c in 0..64 {
+                if (block[r] >> c) & 1 == 1 {
+                    out[c] |= 1 << r;
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo_block(seed: u64) -> [u64; 64] {
+        let mut s = seed | 1;
+        let mut out = [0u64; 64];
+        for w in out.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *w = s;
+        }
+        out
+    }
+
+    #[test]
+    fn tile_transpose_matches_reference() {
+        for seed in [1u64, 42, 0xdead_beef, u64::MAX / 3] {
+            let mut block = pseudo_block(seed);
+            let expect = reference_transpose(&block);
+            transpose_64x64(&mut block);
+            assert_eq!(block, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tile_transpose_is_involutive() {
+        let original = pseudo_block(7);
+        let mut block = original;
+        transpose_64x64(&mut block);
+        transpose_64x64(&mut block);
+        assert_eq!(block, original);
+    }
+
+    #[test]
+    fn special_patterns() {
+        // identity diagonal stays put
+        let mut diag = [0u64; 64];
+        for (i, w) in diag.iter_mut().enumerate() {
+            *w = 1 << i;
+        }
+        let before = diag;
+        transpose_64x64(&mut diag);
+        assert_eq!(diag, before);
+        // single row becomes single column
+        let mut row0 = [0u64; 64];
+        row0[0] = u64::MAX;
+        transpose_64x64(&mut row0);
+        assert!(row0.iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn sample_major_round_trip_odd_shapes() {
+        for (n_samples, n_snps) in [(1usize, 1usize), (63, 65), (64, 64), (100, 130), (130, 100), (65, 1)] {
+            // build a reference matrix bit by bit
+            let mut g = BitMatrix::zeros(n_samples, n_snps);
+            let mut s = (n_samples * 31 + n_snps) as u64 | 1;
+            for j in 0..n_snps {
+                for smp in 0..n_samples {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    if s % 3 == 0 {
+                        g.set(smp, j, true);
+                    }
+                }
+            }
+            let rows = g.to_sample_major_words();
+            let back = BitMatrix::from_sample_major_words(n_samples, n_snps, &rows).unwrap();
+            assert_eq!(back, g, "shape ({n_samples},{n_snps})");
+        }
+    }
+
+    #[test]
+    fn sample_major_words_match_bitwise_reads() {
+        let mut g = BitMatrix::zeros(70, 90);
+        g.set(0, 0, true);
+        g.set(69, 89, true);
+        g.set(64, 63, true);
+        let rows = g.to_sample_major_words();
+        let wpr = words_for(90);
+        assert_eq!(rows[0] & 1, 1); // sample 0, snp 0
+        assert_eq!((rows[69 * wpr + 1] >> (89 - 64)) & 1, 1); // sample 69, snp 89
+        assert_eq!((rows[64 * wpr] >> 63) & 1, 1);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(BitMatrix::from_sample_major_words(10, 10, &[0u64; 3]).is_err());
+    }
+
+    #[test]
+    fn padding_violations_detected() {
+        // a stray bit beyond n_snps in a sample row leaks into nothing —
+        // but a stray bit beyond n_samples cannot occur by construction;
+        // verify output padding is clean for awkward shapes.
+        let rows = vec![u64::MAX; 65]; // 65 samples × 1 word (64 snps)
+        let g = BitMatrix::from_sample_major_words(65, 64, &rows).unwrap();
+        g.check_padding().unwrap();
+        for j in 0..64 {
+            assert_eq!(g.ones_in_snp(j), 65);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Borrowed windows of consecutive SNP columns.
+
+use crate::BitMatrix;
+
+/// A borrowed, zero-copy view of SNP columns `[start, end)` of a
+/// [`BitMatrix`].
+///
+/// Views are what the tiled LD drivers and the ω-statistic window scan hand
+/// to the GEMM engine: the packed words of a window are already contiguous
+/// in the SNP-major layout, so a view is just (pointer, shape).
+///
+/// ```
+/// use ld_bitmat::BitMatrix;
+/// let g = BitMatrix::from_rows(2, 4, [[0u8,1,0,1],[1,1,0,0]]).unwrap();
+/// let v = g.view(1, 3);
+/// assert_eq!(v.n_snps(), 2);
+/// assert_eq!(v.ones_in_snp(0), 2); // SNP 1 of g
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BitMatrixView<'a> {
+    mat: &'a BitMatrix,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> BitMatrixView<'a> {
+    pub(crate) fn new(mat: &'a BitMatrix, start: usize, end: usize) -> Self {
+        Self { mat, start, end }
+    }
+
+    /// Number of samples (shared with the parent matrix).
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.mat.n_samples()
+    }
+
+    /// Number of SNPs in the window.
+    #[inline]
+    pub fn n_snps(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Words per SNP column.
+    #[inline]
+    pub fn words_per_snp(&self) -> usize {
+        self.mat.words_per_snp()
+    }
+
+    /// Index of the first column in the parent matrix.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One-past-the-last column in the parent matrix.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The parent matrix.
+    #[inline]
+    pub fn parent(&self) -> &'a BitMatrix {
+        self.mat
+    }
+
+    /// The packed words of the whole window (contiguous, SNP-major).
+    #[inline]
+    pub fn words(&self) -> &'a [u64] {
+        let wps = self.mat.words_per_snp();
+        &self.mat.words()[self.start * wps..self.end * wps]
+    }
+
+    /// The packed words of local SNP `j` (i.e. parent SNP `start + j`).
+    #[inline]
+    pub fn snp_words(&self, j: usize) -> &'a [u64] {
+        self.mat.snp_words(self.start + j)
+    }
+
+    /// Allele of `sample` at local SNP `j`.
+    #[inline]
+    pub fn get(&self, sample: usize, j: usize) -> bool {
+        self.mat.get(sample, self.start + j)
+    }
+
+    /// Set-bit count of local SNP `j`.
+    #[inline]
+    pub fn ones_in_snp(&self, j: usize) -> u64 {
+        self.mat.ones_in_snp(self.start + j)
+    }
+
+    /// Derived-allele frequencies of the window.
+    pub fn allele_frequencies(&self) -> Vec<f64> {
+        let n = self.n_samples() as f64;
+        (0..self.n_snps()).map(|j| self.ones_in_snp(j) as f64 / n).collect()
+    }
+
+    /// A sub-view relative to this view.
+    pub fn subview(&self, start: usize, end: usize) -> BitMatrixView<'a> {
+        assert!(start <= end && self.start + end <= self.end, "subview out of bounds");
+        BitMatrixView { mat: self.mat, start: self.start + start, end: self.start + end }
+    }
+}
+
+impl<'a> From<&'a BitMatrix> for BitMatrixView<'a> {
+    fn from(m: &'a BitMatrix) -> Self {
+        m.full_view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BitMatrix {
+        BitMatrix::from_rows(
+            3,
+            5,
+            [[1u8, 0, 1, 0, 1], [0, 1, 1, 0, 0], [1, 1, 0, 1, 0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn window_shape() {
+        let g = toy();
+        let v = g.view(1, 4);
+        assert_eq!(v.n_snps(), 3);
+        assert_eq!(v.n_samples(), 3);
+        assert_eq!(v.start(), 1);
+        assert_eq!(v.end(), 4);
+    }
+
+    #[test]
+    fn words_are_contiguous_slice_of_parent() {
+        let g = toy();
+        let v = g.view(2, 5);
+        assert_eq!(v.words().len(), 3 * g.words_per_snp());
+        assert_eq!(v.snp_words(0), g.snp_words(2));
+    }
+
+    #[test]
+    fn get_is_offset() {
+        let g = toy();
+        let v = g.view(1, 4);
+        for s in 0..3 {
+            for j in 0..3 {
+                assert_eq!(v.get(s, j), g.get(s, j + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn subview_composes() {
+        let g = toy();
+        let v = g.view(1, 5);
+        let w = v.subview(1, 3);
+        assert_eq!(w.start(), 2);
+        assert_eq!(w.end(), 4);
+        assert_eq!(w.ones_in_snp(0), g.ones_in_snp(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_view_panics() {
+        let g = toy();
+        let _ = g.view(3, 6);
+    }
+
+    #[test]
+    fn full_view_and_from() {
+        let g = toy();
+        let v: BitMatrixView = (&g).into();
+        assert_eq!(v.n_snps(), 5);
+        assert_eq!(v.allele_frequencies().len(), 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the bit-packed matrix substrate.
+
+use ld_bitmat::{tail_mask, words_for, BitMatrix, BitMatrixBuilder, GenotypeMatrix, ValidityMask};
+use proptest::prelude::*;
+
+/// Strategy producing a (n_samples, n_snps, dense rows) triple.
+fn dense_matrix() -> impl Strategy<Value = (usize, usize, Vec<Vec<u8>>)> {
+    (1usize..200, 1usize..30).prop_flat_map(|(n, m)| {
+        (
+            Just(n),
+            Just(m),
+            proptest::collection::vec(proptest::collection::vec(0u8..=1, m), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn round_trip_rows((n, m, rows) in dense_matrix()) {
+        let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        prop_assert_eq!(g.n_samples(), n);
+        prop_assert_eq!(g.n_snps(), m);
+        g.check_padding().unwrap();
+        for (s, row) in rows.iter().enumerate() {
+            for (j, &a) in row.iter().enumerate() {
+                prop_assert_eq!(g.get(s, j), a == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn allele_counts_match_naive((n, m, rows) in dense_matrix()) {
+        let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        for j in 0..m {
+            let naive: u64 = rows.iter().map(|r| r[j] as u64).sum();
+            prop_assert_eq!(g.ones_in_snp(j), naive);
+        }
+    }
+
+    #[test]
+    fn builder_equals_from_rows((n, m, rows) in dense_matrix()) {
+        let by_rows = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        let mut b = BitMatrixBuilder::new(n);
+        for j in 0..m {
+            let col: Vec<u8> = rows.iter().map(|r| r[j]).collect();
+            b.push_snp_bytes(&col).unwrap();
+        }
+        prop_assert_eq!(b.finish(), by_rows);
+    }
+
+    #[test]
+    fn view_get_agrees_with_parent((n, m, rows) in dense_matrix(), salt in 0usize..1000) {
+        let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        let start = salt % m;
+        let end = start + (salt / m) % (m - start + 1).max(1);
+        let end = end.min(m);
+        let v = g.view(start, end);
+        for j in 0..v.n_snps() {
+            prop_assert_eq!(v.ones_in_snp(j), g.ones_in_snp(start + j));
+            for s in 0..n {
+                prop_assert_eq!(v.get(s, j), g.get(s, start + j));
+            }
+        }
+    }
+
+    #[test]
+    fn tail_mask_popcount(bits in 1usize..1000) {
+        // tail_mask has exactly `bits % 64` set bits (or 64 when divisible).
+        let expect = if bits % 64 == 0 { 64 } else { bits % 64 };
+        prop_assert_eq!(tail_mask(bits).count_ones() as usize, expect);
+        // words_for * 64 covers bits
+        prop_assert!(words_for(bits) * 64 >= bits);
+        prop_assert!(words_for(bits) * 64 < bits + 64);
+    }
+
+    #[test]
+    fn select_snps_preserves_columns((n, m, rows) in dense_matrix(), seed in 0u64..u64::MAX) {
+        let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        // pick a pseudo-random subset
+        let idx: Vec<usize> = (0..m).filter(|j| (seed >> (j % 64)) & 1 == 1).collect();
+        let sel = g.select_snps(&idx).unwrap();
+        prop_assert_eq!(sel.n_snps(), idx.len());
+        for (dst, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.snp_to_bytes(dst), g.snp_to_bytes(src));
+        }
+    }
+
+    #[test]
+    fn validity_pair_counts_symmetric((n, m, rows) in dense_matrix()) {
+        prop_assume!(m >= 2);
+        let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        let mask = ValidityMask::from_bitmatrix(&g);
+        for i in 0..m.min(5) {
+            for j in 0..m.min(5) {
+                prop_assert_eq!(mask.pair_valid_count(i, j), mask.pair_valid_count(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn genotype_set_get(n in 1usize..100, vals in proptest::collection::vec(0u8..4, 1..100)) {
+        let mut m = GenotypeMatrix::all_missing(n, 1);
+        use ld_bitmat::Genotype;
+        let gts = [Genotype::HomA1, Genotype::Het, Genotype::HomA2, Genotype::Missing];
+        for (i, &v) in vals.iter().enumerate().take(n) {
+            m.set(i, 0, gts[v as usize]);
+        }
+        for (i, &v) in vals.iter().enumerate().take(n) {
+            prop_assert_eq!(m.get(i, 0), gts[v as usize]);
+        }
+    }
+
+    #[test]
+    fn genotype_bed_round_trip(n in 1usize..150, seed in 0u64..u64::MAX) {
+        use ld_bitmat::Genotype;
+        let gts = [Genotype::HomA1, Genotype::Het, Genotype::HomA2, Genotype::Missing];
+        let col: Vec<Genotype> =
+            (0..n).map(|i| gts[((seed >> (2 * (i % 32))) & 3) as usize]).collect();
+        let m = GenotypeMatrix::from_columns(n, [col.clone()]).unwrap();
+        let bytes = m.snp_to_bed_bytes(0);
+        let back = GenotypeMatrix::snp_from_bed_bytes(n, &bytes).unwrap();
+        prop_assert_eq!(back, col);
+    }
+
+    #[test]
+    fn hstack_is_concatenation((n, m, rows) in dense_matrix()) {
+        let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
+        let h = g.hstack(&g).unwrap();
+        prop_assert_eq!(h.n_snps(), 2 * m);
+        for j in 0..m {
+            prop_assert_eq!(h.snp_to_bytes(j), g.snp_to_bytes(j));
+            prop_assert_eq!(h.snp_to_bytes(m + j), g.snp_to_bytes(j));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A dependency-free flag parser (`--key value`, `--flag`, `-i`, `-o`).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: flags with optional values plus
+/// positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument iterator. `-i`/`-o` are aliases for
+    /// `--input`/`--output`; a flag followed by another flag (or nothing)
+    /// gets an empty value (boolean flag).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            let key = match arg.as_str() {
+                "-i" => Some("input".to_string()),
+                "-o" => Some("output".to_string()),
+                s if s.starts_with("--") => Some(s[2..].to_string()),
+                _ => None,
+            };
+            match key {
+                Some(k) => {
+                    let val = match it.peek() {
+                        Some(v) if !v.starts_with('-') || v.parse::<f64>().is_ok() => {
+                            it.next().unwrap_or_default()
+                        }
+                        _ => String::new(),
+                    };
+                    out.flags.insert(k, val);
+                }
+                None => out.positional.push(arg),
+            }
+        }
+        out
+    }
+
+    /// Raw flag value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Presence test (boolean flags).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// Parsed flag value with a default; errors mention the flag name.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).filter(|s| !s.is_empty()).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Positional arguments.
+    #[allow(dead_code)] // used by tests; kept for subcommands that take paths positionally
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_and_aliases() {
+        let a = parse(&["-i", "in.ms", "--threads", "4", "--full", "-o", "out.tsv"]);
+        assert_eq!(a.get("input"), Some("in.ms"));
+        assert_eq!(a.get("output"), Some("out.tsv"));
+        assert_eq!(a.get_parsed("threads", 1usize).unwrap(), 4);
+        assert!(a.has("full"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn boolean_flag_before_flag() {
+        let a = parse(&["--full", "--scale", "3"]);
+        assert_eq!(a.get("full"), Some(""));
+        assert_eq!(a.get_parsed("scale", 1usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        let a = parse(&["--min-r2", "-0.5"]);
+        assert_eq!(a.get_parsed("min-r2", 0.0f64).unwrap(), -0.5);
+    }
+
+    #[test]
+    fn require_and_errors() {
+        let a = parse(&["--x", "1"]);
+        assert!(a.require("input").is_err());
+        assert!(a.get_parsed::<usize>("x", 0).is_ok());
+        let b = parse(&["--x", "abc"]);
+        assert!(b.get_parsed::<usize>("x", 0).is_err());
+    }
+
+    #[test]
+    fn positionals_collected() {
+        let a = parse(&["file1", "--k", "v", "file2"]);
+        assert_eq!(a.positional(), &["file1".to_string(), "file2".to_string()]);
+    }
+}

@@ -1,0 +1,518 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use ld_bitmat::BitMatrix;
+use ld_core::{LdEngine, NanPolicy};
+use ld_data::HaplotypeSimulator;
+use ld_data::SweepSimulator;
+use ld_ext::tanimoto::{tanimoto_cross, top_k_neighbors};
+use ld_kernels::KernelKind;
+use ld_omega::OmegaScan;
+use ld_popcount::CpuFeatures;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "gemm-ld — linkage disequilibrium as dense linear algebra
+
+USAGE:
+  gemm-ld <command> [options]
+
+COMMANDS:
+  info        show CPU features and available micro-kernels
+  simulate    generate haplotype data
+              --samples N --snps M [--seed S] [--founders F]
+              [--sweep CENTER [--sweep-width W]] -o out.{ms,txt,vcf}
+  r2          all-pairs LD
+              -i in.{ms,txt,vcf} [--min-r2 X] [--threads T]
+              [--kernel auto|scalar|avx2-mula|avx512-vpopcnt]
+              [--stat r2|d|dprime] [-o pairs.tsv]
+  omega       selective-sweep scan (omega statistic)
+              -i in.{ms,txt,vcf} [--window W] [--step S] [--threads T]
+  tanimoto    all-vs-all fingerprint similarity
+              -i fingerprints.txt [--top-k K] [--threads T]
+  prune       LD pruning (plink --indep-pairwise style)
+              -i in [--window W] [--step S] [--threshold X] [-o kept.txt]
+  decay       mean r-squared by SNP distance
+              -i in [--max-dist D] [--bin W]
+  blocks      haplotype blocks (solid spine of LD on D')
+              -i in [--threshold X]
+  assoc       case/control association scan + LD clumping
+              -i in [--causal i,j,...] [--beta X] [--p X] [--clump-r2 X]
+              [--clump-window W] [--seed S]
+  convert     convert between formats: -i in.{ms,txt,vcf} -o out.{ms,txt,vcf}
+  help        this message";
+
+type CmdResult = Result<(), String>;
+
+/// Parses a `--kernel` flag value.
+fn parse_kernel(args: &Args) -> Result<KernelKind, String> {
+    match args.get("kernel") {
+        None => Ok(KernelKind::Auto),
+        Some(name) => name.parse(),
+    }
+}
+
+/// Loads a haplotype matrix, dispatching on the file extension.
+pub fn load_matrix(path: &str) -> Result<BitMatrix, String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let open = || std::fs::File::open(p).map_err(|e| format!("cannot open {path}: {e}"));
+    match ext {
+        "ms" => Ok(ld_io::ms::read_ms_first(BufReader::new(open()?))
+            .map_err(|e| e.to_string())?
+            .matrix),
+        "vcf" => Ok(ld_io::vcf::read_vcf(BufReader::new(open()?))
+            .map_err(|e| e.to_string())?
+            .matrix),
+        "txt" | "mat" | "" => {
+            ld_io::text::read_matrix(BufReader::new(open()?)).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unsupported input extension '.{other}' (expected ms/vcf/txt)")),
+    }
+}
+
+/// Saves a haplotype matrix, dispatching on the file extension.
+pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let create = || std::fs::File::create(p).map_err(|e| format!("cannot create {path}: {e}"));
+    match ext {
+        "ms" => {
+            let rep = ld_io::ms::MsReplicate {
+                positions: (0..g.n_snps()).map(|j| (j as f64 + 0.5) / g.n_snps() as f64).collect(),
+                matrix: g.clone(),
+            };
+            ld_io::ms::write_ms(std::io::BufWriter::new(create()?), std::slice::from_ref(&rep))
+                .map_err(|e| e.to_string())
+        }
+        "vcf" => {
+            let sites = ld_io::vcf::synthetic_sites(g.n_snps(), 1000);
+            ld_io::vcf::write_vcf(std::io::BufWriter::new(create()?), g, &sites, 1)
+                .map_err(|e| e.to_string())
+        }
+        "txt" | "mat" | "" => {
+            ld_io::text::write_matrix(std::io::BufWriter::new(create()?), g)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unsupported output extension '.{other}'")),
+    }
+}
+
+/// `gemm-ld info`
+pub fn info(_args: &Args) -> CmdResult {
+    let f = CpuFeatures::detect();
+    println!("gemm-ld {}", env!("CARGO_PKG_VERSION"));
+    println!("cpu features : {}", f.summary());
+    println!("hw threads   : {}", ld_parallel::available_threads());
+    match ld_kernels::clock::tsc_hz() {
+        Some(hz) => println!("tsc          : {:.2} GHz", hz / 1e9),
+        None => println!("tsc          : unavailable"),
+    }
+    println!("micro-kernels:");
+    for k in ld_kernels::micro::supported_kernels() {
+        println!(
+            "  {:<22} MR={} NR={} lanes={}",
+            k.kind().to_string(),
+            k.mr(),
+            k.nr(),
+            k.lanes()
+        );
+    }
+    let auto = ld_kernels::Kernel::resolve(KernelKind::Auto).map_err(|e| e.to_string())?;
+    println!("auto selects : {}", auto.kind());
+    Ok(())
+}
+
+/// `gemm-ld simulate`
+pub fn simulate(args: &Args) -> CmdResult {
+    let samples = args.get_parsed("samples", 1000usize)?;
+    let snps = args.get_parsed("snps", 500usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let founders = args.get_parsed("founders", 16usize)?;
+    let out = args.require("output")?;
+    let base = HaplotypeSimulator::new(samples, snps).seed(seed).founders(founders);
+    let g = if args.has("sweep") {
+        let center = args.get_parsed("sweep", snps / 2)?;
+        let width = args.get_parsed("sweep-width", snps / 10)?;
+        SweepSimulator::new(base, center, width).seed(seed ^ 0xdead).generate()
+    } else {
+        base.generate()
+    };
+    save_matrix(out, &g)?;
+    println!(
+        "wrote {} samples x {} SNPs (density {:.3}) to {}",
+        g.n_samples(),
+        g.n_snps(),
+        g.density(),
+        out
+    );
+    Ok(())
+}
+
+/// `gemm-ld r2`
+pub fn r2(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_matrix(input)?;
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    let min_r2 = args.get_parsed("min-r2", 0.0f64)?;
+    let stat = match args.get("stat") {
+        None | Some("r2") => ld_core::LdStats::RSquared,
+        Some("d") => ld_core::LdStats::D,
+        Some("dprime") | Some("d'") => ld_core::LdStats::DPrime,
+        Some(other) => return Err(format!("unknown stat '{other}'")),
+    };
+    let engine = LdEngine::new()
+        .kernel(parse_kernel(args)?)
+        .threads(threads)
+        .nan_policy(NanPolicy::Zero);
+    let t0 = std::time::Instant::now();
+    let m = engine.stat_matrix(&g, stat);
+    let dt = t0.elapsed().as_secs_f64();
+    let pairs = g.n_snps() * (g.n_snps() + 1) / 2;
+    eprintln!(
+        "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
+        g.n_snps(),
+        g.n_samples(),
+        pairs,
+        dt,
+        pairs as f64 / dt / 1e6
+    );
+    match args.get("output") {
+        Some(path) if !path.is_empty() => {
+            let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            ld_io::text::write_r2_table(std::io::BufWriter::new(f), &m, min_r2)
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote pair table to {path}");
+        }
+        _ => {
+            let mut kept: Vec<(usize, usize, f64)> = m
+                .iter_pairs()
+                .filter(|&(_, _, v)| !v.is_nan() && v >= min_r2)
+                .collect();
+            kept.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            println!("top pairs (threshold {min_r2}):");
+            for (i, j, v) in kept.into_iter().take(20) {
+                println!("  snp{i:<6} snp{j:<6} {v:.4}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `gemm-ld omega`
+pub fn omega(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_matrix(input)?;
+    let window = args.get_parsed("window", 50usize)?;
+    let step = args.get_parsed("step", (window / 4).max(1))?;
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    let scan = OmegaScan::new(window, step)
+        .engine(LdEngine::new().kernel(parse_kernel(args)?).threads(threads));
+    let points = scan.scan(&g);
+    if points.is_empty() {
+        return Err(format!("input has {} SNPs, fewer than the window ({window})", g.n_snps()));
+    }
+    println!("window_start\twindow_end\tbest_split\tomega");
+    for p in &points {
+        println!("{}\t{}\t{}\t{:.4}", p.window_start, p.window_end, p.best_split, p.omega);
+    }
+    let best = points
+        .iter()
+        .max_by(|a, b| a.omega.partial_cmp(&b.omega).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("non-empty");
+    eprintln!("strongest signal: omega = {:.3} at split SNP {}", best.omega, best.best_split);
+    Ok(())
+}
+
+/// `gemm-ld tanimoto`
+pub fn tanimoto(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    // fingerprints as a text matrix: rows = bits, columns = compounds
+    let fp = load_matrix(input)?;
+    let k = args.get_parsed("top-k", 5usize)?;
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    let v = fp.full_view();
+    let sim = tanimoto_cross(&v, &v, parse_kernel(args)?, threads);
+    let nn = top_k_neighbors(&sim, k + 1); // +1: self is always rank 1
+    println!("compound\tneighbors (tanimoto)");
+    for (i, row) in nn.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .filter(|(j, _)| *j != i)
+            .take(k)
+            .map(|(j, s)| format!("{j}:{s:.3}"))
+            .collect();
+        println!("{i}\t{}", line.join(" "));
+    }
+    Ok(())
+}
+
+/// `gemm-ld prune`
+pub fn prune(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_matrix(input)?;
+    let window = args.get_parsed("window", 100usize)?;
+    let step = args.get_parsed("step", (window / 2).max(1))?;
+    let threshold = args.get_parsed("threshold", 0.5f64)?;
+    let engine = LdEngine::new().kernel(parse_kernel(args)?).nan_policy(NanPolicy::Zero);
+    let n = g.n_snps();
+    let mut keep = vec![true; n];
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + window).min(n);
+        let r2 = engine.r2_matrix(g.view(start, end));
+        for i in 0..end - start {
+            if !keep[start + i] {
+                continue;
+            }
+            for j in i + 1..end - start {
+                if keep[start + j] && r2.get(i, j) > threshold {
+                    keep[start + j] = false;
+                }
+            }
+        }
+        if end == n {
+            break;
+        }
+        start += step;
+    }
+    let kept: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+    eprintln!(
+        "kept {}/{} SNPs at r² <= {threshold} (window {window}, step {step})",
+        kept.len(),
+        n
+    );
+    match args.get("output") {
+        Some(path) if !path.is_empty() => {
+            let body: String = kept.iter().map(|i| format!("snp{i}\n")).collect();
+            std::fs::write(path, body).map_err(|e| e.to_string())?;
+            eprintln!("wrote kept-SNP list to {path}");
+        }
+        _ => {
+            for i in &kept {
+                println!("snp{i}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `gemm-ld decay`
+pub fn decay(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_matrix(input)?;
+    let max_dist = args.get_parsed("max-dist", 100usize.min(g.n_snps().saturating_sub(1).max(1)))?;
+    let bin = args.get_parsed("bin", (max_dist / 20).max(1))?;
+    let engine = LdEngine::new().kernel(parse_kernel(args)?).nan_policy(NanPolicy::Zero);
+    let profile = ld_core::DecayProfile::compute(&engine, &g, max_dist, bin);
+    println!("distance\tmean_r2\tpairs");
+    for b in profile.bins() {
+        println!("{}-{}\t{:.4}\t{}", b.min_dist, b.max_dist, b.mean_r2, b.count);
+    }
+    match profile.half_distance() {
+        Some(d) => eprintln!("r² halves by distance ~{d} SNPs (near level {:.3})", profile.near_r2()),
+        None => eprintln!("r² does not halve within {max_dist} SNPs"),
+    }
+    Ok(())
+}
+
+/// `gemm-ld blocks`
+pub fn blocks(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_matrix(input)?;
+    let threshold = args.get_parsed("threshold", 0.8f64)?;
+    let engine = LdEngine::new().kernel(parse_kernel(args)?).nan_policy(NanPolicy::Zero);
+    let found = ld_core::haplotype_blocks(&engine, &g, threshold);
+    println!("block\tfirst_snp\tlast_snp\tsize");
+    for (k, b) in found.iter().enumerate() {
+        println!("{k}\t{}\t{}\t{}", b.start, b.end - 1, b.len());
+    }
+    let covered: usize = found.iter().map(|b| b.len()).sum();
+    eprintln!(
+        "{} blocks covering {covered}/{} SNPs (D' >= {threshold})",
+        found.len(),
+        g.n_snps()
+    );
+    Ok(())
+}
+
+/// `gemm-ld assoc`
+pub fn assoc(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let g = load_matrix(input)?;
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    let seed = args.get_parsed("seed", 17u64)?;
+    let beta = args.get_parsed("beta", 1.0f64)?;
+    // causal SNPs: explicit list, or the most common SNP as a demo default
+    let causal: Vec<usize> = match args.get("causal") {
+        Some(list) if !list.is_empty() => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid causal index '{s}'"))
+            })
+            .collect::<Result<_, _>>()?,
+        _ => {
+            let best = (0..g.n_snps())
+                .max_by_key(|&j| {
+                    let ones = g.ones_in_snp(j);
+                    ones.min(g.n_samples() as u64 - ones)
+                })
+                .ok_or("matrix has no SNPs")?;
+            eprintln!("no --causal given; planting effect at the most common SNP ({best})");
+            vec![best]
+        }
+    };
+    for &c in &causal {
+        if c >= g.n_snps() {
+            return Err(format!("causal SNP {c} out of range (< {})", g.n_snps()));
+        }
+    }
+    let (_labels, mask) = ld_assoc::PhenotypeSimulator::new(
+        causal.iter().map(|&c| (c, beta)).collect(),
+    )
+    .seed(seed)
+    .simulate(&g);
+    let results = ld_assoc::allelic_scan(&g.full_view(), &mask, threads);
+    let lambda =
+        ld_assoc::genomic_lambda(&results.iter().map(|r| r.chi2).collect::<Vec<_>>());
+    let p_cut = args.get_parsed("p", 0.05 / g.n_snps().max(1) as f64)?;
+    let clump_r2 = args.get_parsed("clump-r2", 0.3f64)?;
+    let window = args.get_parsed("clump-window", 100usize)?;
+    let engine = LdEngine::new().kernel(parse_kernel(args)?).threads(threads);
+    let clumps = ld_assoc::clump(&g.full_view(), &results, &engine, p_cut, clump_r2, window);
+    eprintln!(
+        "scanned {} SNPs; lambda_GC = {lambda:.3}; {} hits at p <= {p_cut:.2e}; {} clumps",
+        g.n_snps(),
+        results.iter().filter(|r| r.p <= p_cut).count(),
+        clumps.len()
+    );
+    println!("clump\tindex_snp\tp\todds_ratio\tmembers");
+    for (k, c) in clumps.iter().enumerate() {
+        let or = results[c.index_snp].odds_ratio;
+        println!("{k}\tsnp{}\t{:.3e}\t{or:.3}\t{}", c.index_snp, c.p, c.members.len());
+    }
+    Ok(())
+}
+
+/// `gemm-ld convert`
+pub fn convert(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let g = load_matrix(input)?;
+    save_matrix(output, &g)?;
+    println!("converted {input} -> {output} ({} samples x {} SNPs)", g.n_samples(), g.n_snps());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gemm_ld_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn info_runs() {
+        info(&args(&[])).unwrap();
+    }
+
+    #[test]
+    fn simulate_r2_omega_pipeline() {
+        let d = tmpdir();
+        let ms = d.join("toy.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "120", "--snps", "80", "--sweep", "40", "-o", mss]))
+            .unwrap();
+        let table = d.join("pairs.tsv");
+        r2(&args(&["-i", mss, "--min-r2", "0.5", "-o", table.to_str().unwrap()])).unwrap();
+        let rows =
+            ld_io::text::read_r2_table(BufReader::new(std::fs::File::open(&table).unwrap()))
+                .unwrap();
+        assert!(!rows.is_empty(), "a sweep must produce r2 >= 0.5 pairs");
+        omega(&args(&["-i", mss, "--window", "20", "--step", "10"])).unwrap();
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn convert_round_trip() {
+        let d = tmpdir();
+        let ms = d.join("x.ms");
+        let vcf = d.join("x.vcf");
+        let txt = d.join("x.txt");
+        simulate(&args(&["--samples", "30", "--snps", "10", "-o", ms.to_str().unwrap()]))
+            .unwrap();
+        convert(&args(&["-i", ms.to_str().unwrap(), "-o", vcf.to_str().unwrap()])).unwrap();
+        convert(&args(&["-i", vcf.to_str().unwrap(), "-o", txt.to_str().unwrap()])).unwrap();
+        let a = load_matrix(ms.to_str().unwrap()).unwrap();
+        let b = load_matrix(txt.to_str().unwrap()).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn tanimoto_on_text_fingerprints() {
+        let d = tmpdir();
+        let path = d.join("fp.txt");
+        let fp = ld_data::fingerprints::clustered_fingerprints(12, 256, 3, 0.1, 0.02, 5);
+        save_matrix(path.to_str().unwrap(), &fp).unwrap();
+        tanimoto(&args(&["-i", path.to_str().unwrap(), "--top-k", "3"])).unwrap();
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn prune_decay_blocks_pipeline() {
+        let d = tmpdir();
+        let ms = d.join("panel.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "200", "--snps", "120", "--founders", "8", "-o", mss]))
+            .unwrap();
+        let kept = d.join("kept.txt");
+        prune(&args(&[
+            "-i", mss, "--window", "40", "--step", "20", "--threshold", "0.5",
+            "-o", kept.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&kept).unwrap();
+        let n_kept = body.lines().count();
+        assert!(n_kept > 0 && n_kept < 120, "pruning should remove something: {n_kept}");
+        decay(&args(&["-i", mss, "--max-dist", "30", "--bin", "5"])).unwrap();
+        blocks(&args(&["-i", mss, "--threshold", "0.9"])).unwrap();
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn assoc_subcommand_runs() {
+        let d = tmpdir();
+        let ms = d.join("cohort.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "600", "--snps", "80", "-o", mss])).unwrap();
+        assoc(&args(&["-i", mss, "--beta", "1.5", "--p", "0.001"])).unwrap();
+        assoc(&args(&["-i", mss, "--causal", "10,20", "--beta", "1.0"])).unwrap();
+        assert!(assoc(&args(&["-i", mss, "--causal", "999"])).is_err());
+        assert!(assoc(&args(&["-i", mss, "--causal", "x"])).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(r2(&args(&[])).is_err()); // missing input
+        assert!(load_matrix("/nonexistent/x.ms").is_err());
+        assert!(load_matrix("/nonexistent/x.weird").is_err());
+        assert!(parse_kernel(&args(&["--kernel", "bogus"])).is_err());
+        let d = tmpdir();
+        let p = d.join("small.txt");
+        std::fs::write(&p, "0101\n1010\n").unwrap();
+        assert!(omega(&args(&["-i", p.to_str().unwrap(), "--window", "50"])).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,48 @@
+//! `gemm-ld` — command-line front end for the GEMM-based LD toolkit.
+//!
+//! ```text
+//! gemm-ld info
+//! gemm-ld simulate --samples 1000 --snps 500 -o data.ms
+//! gemm-ld r2 -i data.ms --min-r2 0.2 -o pairs.tsv
+//! gemm-ld omega -i data.ms --window 50 --step 10
+//! gemm-ld tanimoto -i fingerprints.txt --top-k 5
+//! gemm-ld convert -i data.ms -o data.vcf
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let parsed = args::Args::parse(rest.iter().cloned());
+    let result = match cmd.as_str() {
+        "info" => commands::info(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "r2" => commands::r2(&parsed),
+        "omega" => commands::omega(&parsed),
+        "tanimoto" => commands::tanimoto(&parsed),
+        "prune" => commands::prune(&parsed),
+        "decay" => commands::decay(&parsed),
+        "blocks" => commands::blocks(&parsed),
+        "assoc" => commands::assoc(&parsed),
+        "convert" => commands::convert(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gemm-ld: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

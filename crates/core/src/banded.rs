@@ -1,0 +1,198 @@
+//! Banded LD matrices — chromosome-scale windowed computation.
+//!
+//! Whole-chromosome panels (10⁵–10⁷ SNPs) cannot afford `O(n²)` storage,
+//! and biology rarely needs it: LD decays with distance, so production
+//! pipelines (PLINK's `--ld-window`, OmegaPlus's max-window) compute only
+//! pairs within a *band* `|i − j| ≤ w`. [`BandedLdMatrix`] stores exactly
+//! those `n·w` values, and [`BandedLdMatrix::compute`] fills them with
+//! chunked rectangular GEMMs — the same blocked kernels, `O(chunk·w)`
+//! transient memory.
+
+use crate::engine::LdEngine;
+use crate::stats::LdStats;
+use ld_bitmat::BitMatrix;
+
+/// A symmetric matrix restricted to the band `1 ≤ j − i ≤ band`.
+///
+/// Storage is row-major: slot `(i, d)` holds the value for pair
+/// `(i, i + d + 1)`; slots that would cross the right edge are NaN.
+#[derive(Clone, Debug)]
+pub struct BandedLdMatrix {
+    n: usize,
+    band: usize,
+    values: Vec<f64>,
+}
+
+impl BandedLdMatrix {
+    /// Computes the banded statistic for `g` with the given engine.
+    pub fn compute(engine: &LdEngine, g: &BitMatrix, band: usize, stat: LdStats) -> Self {
+        let n = g.n_snps();
+        let band = band.max(1).min(n.saturating_sub(1).max(1));
+        let mut values = vec![f64::NAN; n * band];
+        // chunk rows; each chunk needs columns [start, chunk_end + band)
+        let chunk = 1024usize.max(band).min(n.max(1));
+        let mut start = 0usize;
+        while start < n {
+            let rows_end = (start + chunk).min(n);
+            let cols_end = (rows_end + band).min(n);
+            if start + 1 >= cols_end {
+                break;
+            }
+            let cross =
+                engine.cross_stat_matrix(g.view(start, rows_end), g.view(start, cols_end), stat);
+            for i in 0..rows_end - start {
+                let gi = start + i;
+                for d in 0..band {
+                    let gj = gi + d + 1;
+                    if gj >= cols_end {
+                        break;
+                    }
+                    values[gi * band + d] = cross.get(i, gj - start);
+                }
+            }
+            start = rows_end;
+        }
+        Self { n, band, values }
+    }
+
+    /// Number of SNPs.
+    pub fn n_snps(&self) -> usize {
+        self.n
+    }
+
+    /// Band width (maximum stored `j − i`).
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// The value for `(i, j)` if the pair is inside the band (either
+    /// argument order); `None` outside. The diagonal is not stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let (i, j) = if i <= j { (i, j) } else { (j, i) };
+        if i == j || j - i > self.band || j >= self.n {
+            return None;
+        }
+        Some(self.values[i * self.band + (j - i - 1)])
+    }
+
+    /// Iterates stored pairs `(i, j, value)` with `i < j`, skipping NaN
+    /// edge slots.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (0..self.band).filter_map(move |d| {
+                let j = i + d + 1;
+                if j < self.n {
+                    Some((i, j, self.values[i * self.band + d]))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of stored (in-range) pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.iter_pairs().count()
+    }
+
+    /// Bytes of storage — `n·band·8`, vs `4(n²+n)` for the full triangle.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NanPolicy;
+
+    fn pseudo(n_samples: usize, n_snps: usize, seed: u64) -> BitMatrix {
+        let mut g = BitMatrix::zeros(n_samples, n_snps);
+        let mut s = seed | 1;
+        for j in 0..n_snps {
+            for smp in 0..n_samples {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if s % 3 == 0 {
+                    g.set(smp, j, true);
+                }
+            }
+        }
+        g
+    }
+
+    fn engine() -> LdEngine {
+        LdEngine::new().nan_policy(NanPolicy::Zero)
+    }
+
+    #[test]
+    fn band_matches_full_matrix() {
+        let g = pseudo(128, 50, 1);
+        let full = engine().r2_matrix(&g);
+        let banded = BandedLdMatrix::compute(&engine(), &g, 7, LdStats::RSquared);
+        for i in 0..50 {
+            for j in 0..50 {
+                match banded.get(i, j) {
+                    Some(v) => {
+                        assert!((v - full.get(i, j)).abs() < 1e-12, "({i},{j})");
+                        assert!(i.abs_diff(j) <= 7 && i != j);
+                    }
+                    None => assert!(i == j || i.abs_diff(j) > 7),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_seamless() {
+        // n > chunk forces multiple chunks; compare against one-shot full
+        let g = pseudo(64, 2100, 2);
+        let banded = BandedLdMatrix::compute(&engine(), &g, 5, LdStats::RSquared);
+        // probe pairs straddling the 1024-row chunk boundary
+        for i in 1020..1030 {
+            for d in 1..=5 {
+                let j = i + d;
+                let direct = engine().ld_pair(&g, i, j).r2;
+                let got = banded.get(i, j).unwrap();
+                assert!(
+                    (got - direct).abs() < 1e-12 || (got.is_nan() && direct.is_nan()),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_count_and_storage() {
+        let g = pseudo(32, 20, 3);
+        let banded = BandedLdMatrix::compute(&engine(), &g, 4, LdStats::RSquared);
+        // pairs: Σ_i min(band, n-1-i) = 4*16 + 3+2+1 = 70
+        assert_eq!(banded.n_pairs(), 70);
+        assert_eq!(banded.band(), 4);
+        assert_eq!(banded.n_snps(), 20);
+        assert_eq!(banded.storage_bytes(), 20 * 4 * 8);
+    }
+
+    #[test]
+    fn band_wider_than_matrix_clamps() {
+        let g = pseudo(32, 6, 4);
+        let banded = BandedLdMatrix::compute(&engine(), &g, 100, LdStats::RSquared);
+        assert_eq!(banded.band(), 5);
+        assert_eq!(banded.n_pairs(), 15); // all C(6,2) pairs
+        let full = engine().r2_matrix(&g);
+        for (i, j, v) in banded.iter_pairs() {
+            assert!((v - full.get(i, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn other_stats_work() {
+        let g = pseudo(64, 15, 5);
+        let banded = BandedLdMatrix::compute(&engine(), &g, 3, LdStats::DPrime);
+        let full = engine().d_prime_matrix(&g);
+        for (i, j, v) in banded.iter_pairs() {
+            assert!((v - full.get(i, j)).abs() < 1e-12, "({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! The [`LdEngine`]: configuration + matrix-level drivers.
+
+use crate::matrix::{CrossLdMatrix, LdMatrix};
+use crate::stats::{ld_pair_from_counts, stat_from_counts, LdPair, LdStats, NanPolicy};
+use ld_bitmat::{BitMatrix, BitMatrixView};
+use ld_kernels::{gemm_counts_buf, syrk_counts_buf, BlockSizes, KernelKind};
+use ld_parallel::{available_threads, parallel_for};
+use ld_popcount::and_popcount;
+
+/// Configured entry point for all matrix-level LD computations.
+///
+/// ```
+/// use ld_bitmat::BitMatrix;
+/// use ld_core::LdEngine;
+///
+/// let g = BitMatrix::from_rows(4, 2, [[1u8, 1], [1, 1], [0, 0], [0, 0]]).unwrap();
+/// let r2 = LdEngine::new().r2_matrix(&g);
+/// assert!((r2.get(0, 1) - 1.0).abs() < 1e-12); // identical SNPs: perfect LD
+/// ```
+#[derive(Clone, Debug)]
+pub struct LdEngine {
+    kind: KernelKind,
+    blocks: BlockSizes,
+    threads: usize,
+    policy: NanPolicy,
+}
+
+impl Default for LdEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One tile of a streamed LD computation (see [`LdEngine::r2_tiled`]).
+///
+/// `values` is row-major `rows × cols`; entry `(r, c)` is the statistic for
+/// the SNP pair `(row_start + r, col_start + c)`.
+#[derive(Debug)]
+pub struct TileVisit<'a> {
+    /// Global index of the first row SNP in this tile.
+    pub row_start: usize,
+    /// Global index of the first column SNP in this tile.
+    pub col_start: usize,
+    /// Rows in this tile.
+    pub rows: usize,
+    /// Columns in this tile.
+    pub cols: usize,
+    /// Row-major statistic values.
+    pub values: &'a [f64],
+}
+
+impl LdEngine {
+    /// An engine with automatic kernel selection, default blocking, all
+    /// available hardware threads and NaN propagation for monomorphic SNPs.
+    pub fn new() -> Self {
+        Self {
+            kind: KernelKind::Auto,
+            blocks: BlockSizes::default(),
+            threads: available_threads(),
+            policy: NanPolicy::default(),
+        }
+    }
+
+    /// Selects the micro-kernel.
+    pub fn kernel(mut self, kind: KernelKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Overrides the cache-blocking parameters.
+    pub fn blocks(mut self, blocks: BlockSizes) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the monomorphic-SNP reporting policy.
+    pub fn nan_policy(mut self, policy: NanPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured kernel kind.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// The configured thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Raw symmetric co-occurrence counts `C = GᵀG` (row-major `n × n`).
+    /// `C[i,i]` is the derived-allele count of SNP `i`; `C[i,j]` the
+    /// derived-derived haplotype count of the pair.
+    pub fn counts_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> Vec<u32> {
+        let v: BitMatrixView<'a> = g.into();
+        let n = v.n_snps();
+        let mut c = vec![0u32; n * n];
+        syrk_counts_buf(&v, &mut c, n, self.kind, self.blocks, self.threads);
+        c
+    }
+
+    /// All-pairs statistic matrix (triangle-packed).
+    ///
+    /// The `r²` path implements the paper's §II-B formulation literally:
+    /// after the counts GEMM, the allele-frequency correction
+    /// `D = H − p pᵀ` and the `r²` normalization are *batched* vector
+    /// operations — per-SNP frequencies and reciprocal variances are
+    /// precomputed once, so the per-pair work is a handful of multiplies
+    /// with no divide and no branch (unlike the per-pair scalar math the
+    /// unblocked tools do, which the §VI comparison partly measures).
+    pub fn stat_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>, stat: LdStats) -> LdMatrix {
+        let v: BitMatrixView<'a> = g.into();
+        let n = v.n_snps();
+        let n_samples = v.n_samples();
+        assert!(n_samples > 0, "cannot compute LD with zero samples");
+        let counts = self.counts_matrix(v);
+        let inv_n = 1.0 / n_samples as f64;
+        let mut out = LdMatrix::zeros(n);
+        let policy = self.policy;
+        let packed = out.packed_mut();
+        let row_offset = |i: usize| i * n - (i * i - i) / 2;
+        let counts_ref = &counts;
+        let packed_ptr = SyncSlice(packed.as_mut_ptr(), packed.len());
+
+        match stat {
+            LdStats::RSquared => {
+                // batched rank-1 correction: p_i and 1/(p_i(1−p_i)) once
+                let p: Vec<f64> =
+                    (0..n).map(|j| counts_ref[j * n + j] as f64 * inv_n).collect();
+                let undef = match policy {
+                    NanPolicy::Propagate => f64::NAN,
+                    NanPolicy::Zero => 0.0,
+                };
+                let inv_var: Vec<f64> = p
+                    .iter()
+                    .map(|&pj| {
+                        let var = pj * (1.0 - pj);
+                        if var > 0.0 {
+                            1.0 / var
+                        } else {
+                            undef // NaN/0 propagates through the products
+                        }
+                    })
+                    .collect();
+                let p = &p;
+                let inv_var = &inv_var;
+                parallel_for(self.threads, n, |rows| {
+                    for i in rows {
+                        let off = row_offset(i);
+                        // SAFETY: rows own disjoint packed ranges.
+                        let dst = unsafe { packed_ptr.slice(off, n - i) };
+                        let (p_i, iv_i) = (p[i], inv_var[i]);
+                        let row = &counts_ref[i * n..i * n + n];
+                        for (t, j) in (i..n).enumerate() {
+                            let d = row[j] as f64 * inv_n - p_i * p[j];
+                            dst[t] = (d * d) * iv_i * inv_var[j];
+                        }
+                    }
+                });
+            }
+            _ => {
+                parallel_for(self.threads, n, |rows| {
+                    for i in rows {
+                        let off = row_offset(i);
+                        // SAFETY: rows own disjoint packed ranges.
+                        let dst = unsafe { packed_ptr.slice(off, n - i) };
+                        let c_ii = counts_ref[i * n + i];
+                        for (t, j) in (i..n).enumerate() {
+                            dst[t] = stat_from_counts(
+                                stat,
+                                c_ii,
+                                counts_ref[j * n + j],
+                                counts_ref[i * n + j],
+                                inv_n,
+                                policy,
+                            );
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+
+    /// All-pairs `r²` (Eq. 2) — the paper's headline output.
+    pub fn r2_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> LdMatrix {
+        self.stat_matrix(g, LdStats::RSquared)
+    }
+
+    /// All-pairs raw `D` (Eq. 5).
+    pub fn d_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> LdMatrix {
+        self.stat_matrix(g, LdStats::D)
+    }
+
+    /// All-pairs `D'`.
+    pub fn d_prime_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> LdMatrix {
+        self.stat_matrix(g, LdStats::DPrime)
+    }
+
+    /// Cross-matrix statistic between two SNP sets sharing the same sample
+    /// set (Fig. 4: long-range LD, distant genes).
+    pub fn cross_stat_matrix<'a, 'b>(
+        &self,
+        a: impl Into<BitMatrixView<'a>>,
+        b: impl Into<BitMatrixView<'b>>,
+        stat: LdStats,
+    ) -> CrossLdMatrix {
+        let va: BitMatrixView<'a> = a.into();
+        let vb: BitMatrixView<'b> = b.into();
+        assert_eq!(va.n_samples(), vb.n_samples(), "sample sets must match");
+        let n_samples = va.n_samples();
+        assert!(n_samples > 0, "cannot compute LD with zero samples");
+        let (m, n) = (va.n_snps(), vb.n_snps());
+        let mut counts = vec![0u32; m * n];
+        ld_kernels::gemm_counts_mt(&va, &vb, &mut counts, n, self.kind, self.blocks, self.threads);
+        let a_counts: Vec<u32> = (0..m).map(|i| va.ones_in_snp(i) as u32).collect();
+        let b_counts: Vec<u32> = (0..n).map(|j| vb.ones_in_snp(j) as u32).collect();
+        let inv_n = 1.0 / n_samples as f64;
+        let mut values = vec![0.0f64; m * n];
+        let policy = self.policy;
+        {
+            let counts_ref = &counts;
+            let values_ptr = SyncSlice(values.as_mut_ptr(), values.len());
+            if stat == LdStats::RSquared {
+                // batched rank-1 correction (see stat_matrix)
+                let undef = match policy {
+                    NanPolicy::Propagate => f64::NAN,
+                    NanPolicy::Zero => 0.0,
+                };
+                let prep = |counts: &[u32]| -> (Vec<f64>, Vec<f64>) {
+                    let p: Vec<f64> = counts.iter().map(|&c| c as f64 * inv_n).collect();
+                    let iv = p
+                        .iter()
+                        .map(|&pj| {
+                            let var = pj * (1.0 - pj);
+                            if var > 0.0 {
+                                1.0 / var
+                            } else {
+                                undef
+                            }
+                        })
+                        .collect();
+                    (p, iv)
+                };
+                let (pa, iva) = prep(&a_counts);
+                let (pb, ivb) = prep(&b_counts);
+                let (pa, iva, pb, ivb) = (&pa, &iva, &pb, &ivb);
+                parallel_for(self.threads, m, |rows| {
+                    for i in rows {
+                        // SAFETY: disjoint row slices of `values`.
+                        let dst = unsafe { values_ptr.slice(i * n, n) };
+                        let (p_i, iv_i) = (pa[i], iva[i]);
+                        let row = &counts_ref[i * n..i * n + n];
+                        for j in 0..n {
+                            let d = row[j] as f64 * inv_n - p_i * pb[j];
+                            dst[j] = (d * d) * iv_i * ivb[j];
+                        }
+                    }
+                });
+            } else {
+                let a_ref = &a_counts;
+                let b_ref = &b_counts;
+                parallel_for(self.threads, m, |rows| {
+                    for i in rows {
+                        // SAFETY: disjoint row slices of `values`.
+                        let dst = unsafe { values_ptr.slice(i * n, n) };
+                        for j in 0..n {
+                            dst[j] = stat_from_counts(
+                                stat,
+                                a_ref[i],
+                                b_ref[j],
+                                counts_ref[i * n + j],
+                                inv_n,
+                                policy,
+                            );
+                        }
+                    }
+                });
+            }
+        }
+        CrossLdMatrix::from_dense(m, n, values)
+    }
+
+    /// Cross-matrix `r²`.
+    pub fn r2_cross<'a, 'b>(
+        &self,
+        a: impl Into<BitMatrixView<'a>>,
+        b: impl Into<BitMatrixView<'b>>,
+    ) -> CrossLdMatrix {
+        self.cross_stat_matrix(a, b, LdStats::RSquared)
+    }
+
+    /// Statistics for a single SNP pair (no matrix materialized).
+    pub fn ld_pair(&self, g: &BitMatrix, i: usize, j: usize) -> LdPair {
+        let n = g.n_samples() as u64;
+        let si = g.snp_words(i);
+        let sj = g.snp_words(j);
+        let c_ij = and_popcount(si, sj);
+        ld_pair_from_counts(g.ones_in_snp(i), g.ones_in_snp(j), c_ij, n, self.policy)
+    }
+
+    /// Streams the all-pairs statistic in `tile × tile` blocks without ever
+    /// materializing the full matrix — for SNP counts where `O(n²)` memory
+    /// is prohibitive. Visits only tiles on or above the block diagonal
+    /// (`col_start ≥ row_start`); within diagonal tiles the full square is
+    /// reported (callers that want strict pairs filter `i < j`).
+    pub fn stat_tiled<'a, F>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        tile: usize,
+        mut visit: F,
+    ) where
+        F: FnMut(&TileVisit<'_>),
+    {
+        let v: BitMatrixView<'a> = g.into();
+        let n = v.n_snps();
+        let n_samples = v.n_samples();
+        assert!(tile > 0, "tile size must be positive");
+        assert!(n_samples > 0, "cannot compute LD with zero samples");
+        let inv_n = 1.0 / n_samples as f64;
+        let diag: Vec<u32> = (0..n).map(|j| v.ones_in_snp(j) as u32).collect();
+        let mut counts = vec![0u32; tile * tile];
+        let mut values = vec![0.0f64; tile * tile];
+        let mut bi = 0usize;
+        while bi < n {
+            let rows = tile.min(n - bi);
+            let va = v.subview(bi, bi + rows);
+            let mut bj = bi;
+            while bj < n {
+                let cols = tile.min(n - bj);
+                let vb = v.subview(bj, bj + cols);
+                gemm_counts_buf(
+                    &va,
+                    &vb,
+                    &mut counts[..rows * cols],
+                    cols,
+                    self.kind,
+                    self.blocks,
+                );
+                for r in 0..rows {
+                    for c in 0..cols {
+                        values[r * cols + c] = stat_from_counts(
+                            stat,
+                            diag[bi + r],
+                            diag[bj + c],
+                            counts[r * cols + c],
+                            inv_n,
+                            self.policy,
+                        );
+                    }
+                }
+                visit(&TileVisit {
+                    row_start: bi,
+                    col_start: bj,
+                    rows,
+                    cols,
+                    values: &values[..rows * cols],
+                });
+                bj += tile;
+            }
+            bi += tile;
+        }
+    }
+
+    /// Streamed `r²` tiles (see [`LdEngine::stat_tiled`]).
+    pub fn r2_tiled<'a, F>(&self, g: impl Into<BitMatrixView<'a>>, tile: usize, visit: F)
+    where
+        F: FnMut(&TileVisit<'_>),
+    {
+        self.stat_tiled(g, LdStats::RSquared, tile, visit)
+    }
+
+    /// Derived-allele frequencies of every SNP (Eq. 3).
+    pub fn allele_frequencies<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> Vec<f64> {
+        let v: BitMatrixView<'a> = g.into();
+        v.allele_frequencies()
+    }
+}
+
+/// A Send+Sync raw-pointer wrapper for handing disjoint row slices to the
+/// worker team. Soundness argument: every use partitions the buffer by
+/// row index, and each row index is visited by exactly one worker
+/// (`parallel_for` ranges are disjoint).
+struct SyncSlice(*mut f64, usize);
+unsafe impl Send for SyncSlice {}
+unsafe impl Sync for SyncSlice {}
+
+impl SyncSlice {
+    /// Reborrows the disjoint subrange `[off, off + len)`.
+    ///
+    /// # Safety
+    /// Callers must guarantee no two live slices returned from this method
+    /// overlap (the engine's row partitioning does).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
+        debug_assert!(off + len <= self.1);
+        std::slice::from_raw_parts_mut(self.0.add(off), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BitMatrix {
+        // 6 samples × 4 SNPs with known relationships:
+        // snp0 == snp1 (perfect LD), snp2 independent-ish, snp3 complement of snp0
+        BitMatrix::from_rows(
+            6,
+            4,
+            [
+                [1u8, 1, 1, 0],
+                [1, 1, 0, 0],
+                [1, 1, 1, 0],
+                [0, 0, 0, 1],
+                [0, 0, 1, 1],
+                [0, 0, 0, 1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn r2_of_identical_snps_is_one() {
+        let g = toy();
+        let r2 = LdEngine::new().r2_matrix(&g);
+        assert!((r2.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((r2.get(0, 3) - 1.0).abs() < 1e-12, "complement is also perfect r²");
+    }
+
+    #[test]
+    fn diagonal_is_one_for_polymorphic() {
+        let g = toy();
+        let r2 = LdEngine::new().r2_matrix(&g);
+        for j in 0..4 {
+            assert!((r2.get(j, j) - 1.0).abs() < 1e-12, "snp {j}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_pairwise() {
+        let g = toy();
+        let e = LdEngine::new();
+        let r2 = e.r2_matrix(&g);
+        let d = e.d_matrix(&g);
+        let dp = e.d_prime_matrix(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                let p = e.ld_pair(&g, i, j);
+                assert!((r2.get(i, j) - p.r2).abs() < 1e-12, "r2 ({i},{j})");
+                assert!((d.get(i, j) - p.d).abs() < 1e-12, "d ({i},{j})");
+                assert!((dp.get(i, j) - p.d_prime).abs() < 1e-12, "d' ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_matrix_diagonal() {
+        let g = toy();
+        let c = LdEngine::new().counts_matrix(&g);
+        assert_eq!(c[0], 3); // |snp0|
+        assert_eq!(c[5], 3); // |snp1|
+        assert_eq!(c[0 * 4 + 1], 3); // snp0 ∧ snp1
+        assert_eq!(c[0 * 4 + 3], 0); // snp0 ∧ snp3 (complement)
+    }
+
+    #[test]
+    fn monomorphic_snp_policy() {
+        let g = BitMatrix::from_rows(4, 2, [[0u8, 1], [0, 0], [0, 1], [0, 0]]).unwrap();
+        let nan = LdEngine::new().r2_matrix(&g);
+        assert!(nan.get(0, 1).is_nan());
+        let zero = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&g);
+        assert_eq!(zero.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cross_matrix_consistent_with_square() {
+        let g = toy();
+        let e = LdEngine::new();
+        let full = e.r2_matrix(&g);
+        let a = g.view(0, 2);
+        let b = g.view(2, 4);
+        let cross = e.r2_cross(a, b);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (cross.get(i, j) - full.get(i, j + 2)).abs() < 1e-12,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_full() {
+        let g = toy();
+        let e = LdEngine::new();
+        let full = e.r2_matrix(&g);
+        for tile in [1usize, 2, 3, 4, 7] {
+            let mut seen = std::collections::HashMap::new();
+            e.r2_tiled(&g, tile, |t| {
+                for r in 0..t.rows {
+                    for c in 0..t.cols {
+                        seen.insert((t.row_start + r, t.col_start + c), t.values[r * t.cols + c]);
+                    }
+                }
+            });
+            for i in 0..4 {
+                for j in i..4 {
+                    let got = seen[&(i, j)];
+                    let want = full.get(i, j);
+                    assert!(
+                        (got - want).abs() < 1e-12 || (got.is_nan() && want.is_nan()),
+                        "tile={tile} ({i},{j}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_engine_matches_single() {
+        let g = toy();
+        let one = LdEngine::new().threads(1).r2_matrix(&g);
+        let four = LdEngine::new().threads(4).r2_matrix(&g);
+        assert_eq!(one.packed().len(), four.packed().len());
+        for (a, b) in one.packed().iter().zip(four.packed()) {
+            assert!((a - b).abs() < 1e-15 || (a.is_nan() && b.is_nan()));
+        }
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let e = LdEngine::new().threads(3).kernel(KernelKind::Scalar);
+        assert_eq!(e.thread_count(), 3);
+        assert_eq!(e.kernel_kind(), KernelKind::Scalar);
+    }
+
+    #[test]
+    fn allele_frequencies_match() {
+        let g = toy();
+        let p = LdEngine::new().allele_frequencies(&g);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn zero_samples_panics() {
+        let g = BitMatrix::zeros(0, 3);
+        LdEngine::new().r2_matrix(&g);
+    }
+}

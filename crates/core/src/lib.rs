@@ -1,0 +1,41 @@
+//! # ld-core — linkage disequilibrium as dense linear algebra
+//!
+//! The public API of the GEMM-LD system. Everything the paper's §II derives
+//! lives here:
+//!
+//! * allele frequencies `p_i = (s_iᵀ s_i)/N`                     (Eq. 3)
+//! * haplotype frequencies `P_ij = (s_iᵀ s_j)/N`                 (Eq. 4)
+//! * `D_ij = P_ij − p_i p_j`                                     (Eq. 5)
+//! * `r²_ij = D² / (p_i(1−p_i) p_j(1−p_j))`                      (Eq. 2)
+//! * `D'` (Lewontin's normalized D), as the standard companion measure
+//!
+//! computed for **all pairs at once** through the blocked AND/POPCNT GEMM
+//! of `ld-kernels` (`H = (1/N) GᵀG`, then the rank-1 allele-frequency
+//! correction — §II-B).
+//!
+//! Entry point: [`LdEngine`] (kernel/threads/blocking configuration) with
+//!
+//! * [`LdEngine::r2_matrix`] — all `N(N+1)/2` values, triangle-packed
+//!   ([`LdMatrix`]);
+//! * [`LdEngine::r2_cross`] — all `m × n` values between two SNP sets
+//!   (long-range LD / distant genes, Fig. 4);
+//! * [`LdEngine::r2_tiled`] — streaming tiles for matrices too large to
+//!   materialize;
+//! * [`LdEngine::ld_pair`] / [`ld_pair_from_counts`] — single-pair
+//!   statistics ([`LdPair`]) for spot checks and downstream tools.
+
+#![warn(missing_docs)]
+
+pub mod banded;
+pub mod blocks;
+pub mod decay;
+mod engine;
+mod matrix;
+mod stats;
+
+pub use banded::BandedLdMatrix;
+pub use blocks::{haplotype_blocks, solid_spine_blocks, tag_snps};
+pub use decay::{DecayBin, DecayProfile};
+pub use engine::{LdEngine, TileVisit};
+pub use matrix::{CrossLdMatrix, LdMatrix};
+pub use stats::{ld_pair_from_counts, ld_pair_from_freqs, LdPair, LdStats, NanPolicy};

@@ -1,0 +1,145 @@
+//! The paper's Dataset A/B/C shapes (§VI) and scaled variants.
+
+use crate::HaplotypeSimulator;
+use ld_bitmat::{BitMatrix, GenotypeMatrix};
+
+/// Which of the paper's three evaluation datasets to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// 10 000 SNPs × 2 504 samples — the paper's 1000-Genomes chr1 subset.
+    A,
+    /// 10 000 SNPs × 10 000 simulated sequences.
+    B,
+    /// 10 000 SNPs × 100 000 simulated sequences.
+    C,
+}
+
+impl Dataset {
+    /// Parses `"a" | "b" | "c"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" => Some(Dataset::A),
+            "b" => Some(Dataset::B),
+            "c" => Some(Dataset::C),
+            _ => None,
+        }
+    }
+
+    /// Paper-sized shape `(n_snps, n_samples)`.
+    pub fn full_shape(self) -> (usize, usize) {
+        match self {
+            Dataset::A => (10_000, 2_504),
+            Dataset::B => (10_000, 10_000),
+            Dataset::C => (10_000, 100_000),
+        }
+    }
+
+    /// Shape scaled down by `scale` in both dimensions (floor 64 samples /
+    /// 16 SNPs so kernels still exercise multi-word paths).
+    pub fn scaled_shape(self, scale: usize) -> (usize, usize) {
+        let (snps, samples) = self.full_shape();
+        let s = scale.max(1);
+        ((snps / s).max(16), (samples / s).max(64))
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::A => "A (1000G-like, 10k SNPs x 2,504)",
+            Dataset::B => "B (simulated, 10k SNPs x 10k)",
+            Dataset::C => "C (simulated, 10k SNPs x 100k)",
+        }
+    }
+}
+
+/// Builds the haplotype matrix for `dataset` at `scale` (1 = paper size).
+///
+/// Dataset A uses the human-like parameterization (small founder panel,
+/// low switch rate — strong local LD, 1000-Genomes-like); B and C use a
+/// more diverse panel, mimicking neutral `ms` output.
+pub fn build(dataset: Dataset, scale: usize, seed: u64) -> BitMatrix {
+    let (n_snps, n_samples) = dataset.scaled_shape(scale);
+    let sim = match dataset {
+        Dataset::A => HaplotypeSimulator::new(n_samples, n_snps)
+            .founders(24)
+            .switch_rate(0.015)
+            .mutation_rate(0.004),
+        Dataset::B | Dataset::C => HaplotypeSimulator::new(n_samples, n_snps)
+            .founders(64)
+            .switch_rate(0.05)
+            .mutation_rate(0.01),
+    };
+    sim.seed(seed ^ dataset_salt(dataset)).generate()
+}
+
+/// The diploid view of a dataset for the PLINK-style baseline: each
+/// haploid sample is lifted to a homozygous individual so that all three
+/// §VI implementations process the *same number of rows* and produce the
+/// same number of LD values (see DESIGN.md §3).
+pub fn genotypes_for(haps: &BitMatrix) -> GenotypeMatrix {
+    GenotypeMatrix::from_haplotypes_as_homozygous(haps)
+}
+
+fn dataset_salt(d: Dataset) -> u64 {
+    match d {
+        Dataset::A => 0xaaaa,
+        Dataset::B => 0xbbbb,
+        Dataset::C => 0xcccc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        assert_eq!(Dataset::A.full_shape(), (10_000, 2_504));
+        assert_eq!(Dataset::B.full_shape(), (10_000, 10_000));
+        assert_eq!(Dataset::C.full_shape(), (10_000, 100_000));
+    }
+
+    #[test]
+    fn scaling_respects_floors() {
+        assert_eq!(Dataset::A.scaled_shape(10), (1_000, 250).max((16, 64)));
+        let (snps, samples) = Dataset::A.scaled_shape(100_000);
+        assert_eq!((snps, samples), (16, 64));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Dataset::parse("a"), Some(Dataset::A));
+        assert_eq!(Dataset::parse("B"), Some(Dataset::B));
+        assert_eq!(Dataset::parse("x"), None);
+        assert!(Dataset::C.name().contains("100k"));
+    }
+
+    #[test]
+    fn build_scaled_dataset() {
+        let g = build(Dataset::A, 100, 1);
+        assert_eq!(g.n_snps(), 100);
+        assert_eq!(g.n_samples(), 64);
+        // polymorphic everywhere
+        for j in 0..g.n_snps() {
+            let ones = g.ones_in_snp(j);
+            assert!(ones > 0 && ones < g.n_samples() as u64);
+        }
+    }
+
+    #[test]
+    fn genotype_lift_preserves_dimensions() {
+        let g = build(Dataset::B, 200, 2);
+        let genos = genotypes_for(&g);
+        assert_eq!(genos.n_individuals(), g.n_samples());
+        assert_eq!(genos.n_snps(), g.n_snps());
+    }
+
+    #[test]
+    fn datasets_differ_by_seed_and_kind() {
+        let a1 = build(Dataset::A, 200, 1);
+        let a2 = build(Dataset::A, 200, 2);
+        let b1 = build(Dataset::B, 200, 1);
+        assert_ne!(a1, a2);
+        assert_ne!(a1, b1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ld-data — synthetic genomic datasets
+//!
+//! The paper evaluates on a 1000-Genomes chromosome-1 subset (Dataset A)
+//! and two Hudson-`ms` simulations (Datasets B, C). Neither raw resource
+//! can ship with this reproduction, so this crate builds statistically
+//! plausible substitutes (see DESIGN.md §3 for the substitution argument):
+//!
+//! * [`HaplotypeSimulator`] — a Li–Stephens-style copying model: samples
+//!   are imperfect mosaics of a small founder panel, with per-SNP switch
+//!   (recombination) and flip (mutation) probabilities. This produces the
+//!   two properties the kernels care about: a human-like allele-frequency
+//!   spectrum (`∝ 1/f`) and LD that decays with SNP distance.
+//! * [`SweepSimulator`] — plants a selective-sweep signature (high LD on
+//!   each flank of a sweep center, low LD across it) in a neutral
+//!   background, the signal the ω statistic hunts for.
+//! * [`datasets`] — the paper's Dataset A/B/C shapes (10 000 SNPs ×
+//!   2 504 / 10 000 / 100 000 samples) plus a `scale` knob for CI-sized
+//!   runs.
+//! * [`fingerprints`] — random sparse 2-D chemical fingerprints for the
+//!   Tanimoto adaptation of §VII.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod fingerprints;
+mod coalescent;
+mod simulate;
+mod sweep;
+
+pub use coalescent::{CoalescentSimulator, CoalescentTree};
+pub use simulate::HaplotypeSimulator;
+pub use sweep::SweepSimulator;
+
+/// Splits `total` into `parts` nearly-even positive chunks (used to spread
+/// segregating sites over independent genealogies).
+pub(crate) fn even_split(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts).map(|p| base + usize::from(p < extra)).collect()
+}

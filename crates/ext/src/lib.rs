@@ -1,0 +1,31 @@
+//! # ld-ext — the paper's §VII "Discussion" extensions, implemented
+//!
+//! The paper sketches three adaptations of the GEMM-LD framework and
+//! leaves them as directions; this crate builds all three:
+//!
+//! * [`gaps`] — **alignment gaps / missing data**: one validity bit-vector
+//!   `c_j` per SNP; for every pair the valid-pair mask `c_ij = c_i & c_j`
+//!   restricts all inner products, giving per-pair effective sample sizes
+//!   (`(c_ij & s_i)ᵀ(c_ij & s_j) = POPCNT(c_ij & s_i & s_j)` — §VII's
+//!   exact formulas).
+//! * [`fsm`] — **finite-sites model**: four bit-planes per SNP (A/C/G/T),
+//!   Zaykin's coefficient-based statistic `T_ij` (the paper's Eq. 6)
+//!   summing `r²` over present state pairs, with gap handling built in.
+//! * [`tanimoto`] — **other domains**: Tanimoto 2-D fingerprint similarity
+//!   (Eq. 7) computed with the *same* blocked AND/POPCNT SYRK engine —
+//!   `Tanimoto(A,B) = x / (p + q − x)` needs exactly the co-occurrence
+//!   counts matrix plus its diagonal.
+
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod gaps;
+pub mod gaps_blocked;
+pub mod higher_order;
+pub mod tanimoto;
+
+pub use fsm::{Nucleotide, NucleotideMatrix};
+pub use gaps::{masked_ld_pair, masked_r2_matrix, MaskedCounts};
+pub use gaps_blocked::masked_r2_matrix_blocked;
+pub use higher_order::{third_order_d, triple_freqs, TripleFreqs};
+pub use tanimoto::{tanimoto_cross, tanimoto_matrix, tanimoto_pair};

@@ -1,0 +1,82 @@
+//! Unified I/O error type.
+
+use std::fmt;
+
+/// Errors from parsing or writing genomic files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input violated the format; the message says where and why.
+    Parse {
+        /// Format name ("ms", "vcf", "bed", ...).
+        format: &'static str,
+        /// 1-based line number when known (0 for binary formats).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed data was structurally inconsistent (e.g. ragged rows).
+    Structure(ld_bitmat::BitMatError),
+}
+
+impl IoError {
+    pub(crate) fn parse(format: &'static str, line: usize, message: impl Into<String>) -> Self {
+        IoError::Parse { format, line, message: message.into() }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { format, line, message } => {
+                if *line > 0 {
+                    write!(f, "{format} parse error at line {line}: {message}")
+                } else {
+                    write!(f, "{format} parse error: {message}")
+                }
+            }
+            IoError::Structure(e) => write!(f, "inconsistent data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Structure(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<ld_bitmat::BitMatError> for IoError {
+    fn from(e: ld_bitmat::BitMatError) -> Self {
+        IoError::Structure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = IoError::parse("ms", 3, "bad segsites");
+        assert!(e.to_string().contains("line 3"));
+        let e = IoError::parse("bed", 0, "bad magic");
+        assert!(!e.to_string().contains("line"));
+        let e: IoError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e: IoError = ld_bitmat::BitMatError::PaddingViolation { snp: 1 }.into();
+        assert!(e.to_string().contains("SNP 1"));
+    }
+}

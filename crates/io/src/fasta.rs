@@ -1,0 +1,245 @@
+//! FASTA multiple-sequence alignments.
+//!
+//! The paper's workflow (§I) starts from an MSA: reads mapped to a
+//! reference, SNP calling on the variable columns. This module parses
+//! aligned FASTA, extracts the variable sites, and produces either
+//!
+//! * site-major character columns — the input of the finite-sites
+//!   machinery (`ld-ext`'s `NucleotideMatrix`), gaps and all, or
+//! * a biallelic 0/1 [`BitMatrix`] (minor allele = derived) with the
+//!   monomorphic and >2-state sites dropped — the ISM pipeline's input.
+
+use crate::IoError;
+use ld_bitmat::{BitMatrix, BitMatrixBuilder};
+use std::io::{BufRead, Write};
+
+/// One FASTA record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub id: String,
+    /// Sequence characters (upper-cased).
+    pub seq: String,
+}
+
+/// Parses FASTA records (multi-line sequences supported).
+pub fn read_fasta<R: BufRead>(r: R) -> Result<Vec<FastaRecord>, IoError> {
+    let mut out: Vec<FastaRecord> = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with(';') {
+            continue;
+        }
+        if let Some(id) = t.strip_prefix('>') {
+            out.push(FastaRecord { id: id.trim().to_string(), seq: String::new() });
+        } else {
+            let Some(cur) = out.last_mut() else {
+                return Err(IoError::parse("fasta", no + 1, "sequence data before any '>' header"));
+            };
+            cur.seq.push_str(&t.to_ascii_uppercase());
+        }
+    }
+    Ok(out)
+}
+
+/// Writes FASTA records, wrapping sequences at 70 columns.
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastaRecord]) -> Result<(), IoError> {
+    for r in records {
+        writeln!(w, ">{}", r.id)?;
+        for chunk in r.seq.as_bytes().chunks(70) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// An alignment: equal-length sequences.
+#[derive(Clone, Debug)]
+pub struct Alignment {
+    records: Vec<FastaRecord>,
+    length: usize,
+}
+
+impl Alignment {
+    /// Validates that all records share one length.
+    pub fn new(records: Vec<FastaRecord>) -> Result<Self, IoError> {
+        let length = records.first().map(|r| r.seq.len()).unwrap_or(0);
+        for (i, r) in records.iter().enumerate() {
+            if r.seq.len() != length {
+                return Err(IoError::parse(
+                    "fasta",
+                    0,
+                    format!(
+                        "sequence {} ('{}') has length {} but the alignment is {} long",
+                        i + 1,
+                        r.id,
+                        r.seq.len(),
+                        length
+                    ),
+                ));
+            }
+        }
+        Ok(Self { records, length })
+    }
+
+    /// Number of sequences.
+    pub fn n_sequences(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Alignment length (columns).
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[FastaRecord] {
+        &self.records
+    }
+
+    /// Column `j` as characters, one per sequence.
+    pub fn column(&self, j: usize) -> Vec<char> {
+        self.records.iter().map(|r| r.seq.as_bytes()[j] as char).collect()
+    }
+
+    /// Indices of *variable* columns (≥ 2 distinct A/C/G/T states).
+    pub fn variable_sites(&self) -> Vec<usize> {
+        (0..self.length).filter(|&j| self.distinct_states(j) >= 2).collect()
+    }
+
+    fn distinct_states(&self, j: usize) -> usize {
+        let mut seen = [false; 4];
+        for r in &self.records {
+            match r.seq.as_bytes()[j] as char {
+                'A' => seen[0] = true,
+                'C' => seen[1] = true,
+                'G' => seen[2] = true,
+                'T' | 'U' => seen[3] = true,
+                _ => {}
+            }
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Site-major character columns of the variable sites — feed these to
+    /// `ld_ext::fsm::NucleotideMatrix::from_site_columns`.
+    pub fn variable_columns(&self) -> Vec<Vec<char>> {
+        self.variable_sites().iter().map(|&j| self.column(j)).collect()
+    }
+
+    /// Extracts the strictly biallelic sites as a 0/1 matrix (set bit =
+    /// minor allele; gaps/ambiguity make a site non-biallelic only if they
+    /// leave < 2 states, but any sequence with a non-ACGT char at a kept
+    /// site is coded 0 — use the FSM path when gaps matter).
+    /// Returns the matrix and the kept column indices.
+    pub fn to_biallelic_matrix(&self) -> (BitMatrix, Vec<usize>) {
+        let n = self.n_sequences();
+        let mut kept = Vec::new();
+        let mut b = BitMatrixBuilder::new(n);
+        for j in 0..self.length {
+            if self.distinct_states(j) != 2 {
+                continue;
+            }
+            let col = self.column(j);
+            // identify the two states and their counts
+            let mut states: Vec<(char, usize)> = Vec::new();
+            for &c in &col {
+                if matches!(c, 'A' | 'C' | 'G' | 'T' | 'U') {
+                    match states.iter_mut().find(|(s, _)| *s == c) {
+                        Some((_, k)) => *k += 1,
+                        None => states.push((c, 1)),
+                    }
+                }
+            }
+            debug_assert_eq!(states.len(), 2);
+            let minor = if states[0].1 <= states[1].1 { states[0].0 } else { states[1].0 };
+            b.push_snp_bits(col.iter().map(|&c| c == minor)).expect("fixed length");
+            kept.push(j);
+        }
+        (b.finish(), kept)
+    }
+}
+
+/// Reads an alignment from a FASTA stream.
+pub fn read_alignment<R: BufRead>(r: R) -> Result<Alignment, IoError> {
+    Alignment::new(read_fasta(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALN: &str = ">s1\nACGTAC\n>s2\nACTTAC\n>s3 description\nACTTCC\n>s4\nAC-TAC\n";
+
+    #[test]
+    fn parses_records_and_headers() {
+        let recs = read_fasta(ALN.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[2].id, "s3 description");
+        assert_eq!(recs[0].seq, "ACGTAC");
+    }
+
+    #[test]
+    fn multiline_sequences_concatenate() {
+        let recs = read_fasta(">x\nACG\nTAC\n>y\nAAA\nAAA\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq, "ACGTAC");
+        assert_eq!(recs[1].seq, "AAAAAA");
+    }
+
+    #[test]
+    fn lowercase_is_upcased_and_garbage_rejected() {
+        let recs = read_fasta(">x\nacgt\n".as_bytes()).unwrap();
+        assert_eq!(recs[0].seq, "ACGT");
+        assert!(read_fasta("ACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn alignment_checks_lengths() {
+        assert!(read_alignment(ALN.as_bytes()).is_ok());
+        assert!(read_alignment(">a\nACGT\n>b\nAC\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn variable_sites_found() {
+        let aln = read_alignment(ALN.as_bytes()).unwrap();
+        // cols: 0 A..A const; 1 C..C const; 2 G/T/T/- two states; 3 T const;
+        // 4 A/A/C/A two states; 5 C const
+        assert_eq!(aln.variable_sites(), vec![2, 4]);
+        assert_eq!(aln.variable_columns().len(), 2);
+        assert_eq!(aln.column(2), vec!['G', 'T', 'T', '-']);
+    }
+
+    #[test]
+    fn biallelic_extraction() {
+        let aln = read_alignment(ALN.as_bytes()).unwrap();
+        let (m, kept) = aln.to_biallelic_matrix();
+        assert_eq!(kept, vec![2, 4]);
+        assert_eq!(m.n_samples(), 4);
+        assert_eq!(m.n_snps(), 2);
+        // site 2: G is minor (1 G vs 2 T) -> s1 set
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 0) && !m.get(2, 0) && !m.get(3, 0));
+        // site 4: C minor -> s3 set
+        assert!(m.get(2, 1));
+        assert_eq!(m.ones_in_snp(1), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = read_fasta(ALN.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs).unwrap();
+        let back = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let aln = read_alignment("".as_bytes()).unwrap();
+        assert_eq!(aln.n_sequences(), 0);
+        assert_eq!(aln.length(), 0);
+        assert!(aln.variable_sites().is_empty());
+    }
+}

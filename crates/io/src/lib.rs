@@ -1,0 +1,31 @@
+//! # ld-io — genomic file formats
+//!
+//! Parsers and writers for the formats the compared tools consume
+//! (§VI of the paper):
+//!
+//! * [`ms`] — Hudson's `ms` coalescent-simulator output (what the paper's
+//!   Datasets B and C were generated as): `segsites:`/`positions:` blocks
+//!   of 0/1 haplotype rows, multiple replicates per stream.
+//! * [`vcf`] — a minimal VCF subset: `GT`-first FORMAT, haploid or phased/
+//!   unphased diploid genotypes, biallelic SNVs (what an LD tool needs
+//!   from 1000-Genomes-style files).
+//! * [`bed`] — PLINK binary triples `.bed`/`.bim`/`.fam` in SNP-major
+//!   2-bit encoding (the input PLINK 1.9 benchmarks on).
+//! * [`text`] — plain 0/1 matrices and the PLINK-style `--r2` pair-table
+//!   output format.
+//!
+//! All readers take `io::Read`/`io::BufRead`, writers take `io::Write`;
+//! path helpers wrap them with buffered files.
+
+#![warn(missing_docs)]
+
+pub mod bed;
+mod error;
+pub mod fasta;
+pub mod ldmatrix;
+pub mod ms;
+pub mod ped;
+pub mod text;
+pub mod vcf;
+
+pub use error::IoError;

@@ -1,0 +1,293 @@
+//! Hudson's `ms` output format.
+//!
+//! ```text
+//! ms 4 2 -s 3
+//! 27473 28364 1234
+//!
+//! //
+//! segsites: 3
+//! positions: 0.1043 0.2965 0.7638
+//! 010
+//! 110
+//! 001
+//! 000
+//!
+//! //
+//! ...
+//! ```
+//!
+//! Rows are haplotypes (samples), columns are segregating sites — exactly
+//! the transpose-free orientation of the paper's genomic matrix `G` once
+//! packed SNP-major.
+
+use crate::IoError;
+use ld_bitmat::BitMatrix;
+use std::io::{BufRead, Write};
+
+/// One `//` replicate block of an `ms` stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MsReplicate {
+    /// Relative positions in `[0, 1)`, one per segregating site.
+    pub positions: Vec<f64>,
+    /// The haplotype matrix (samples × sites).
+    pub matrix: BitMatrix,
+}
+
+/// Parses every replicate of an `ms` stream.
+pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
+    let mut replicates = Vec::new();
+    let mut lines = reader.lines().enumerate();
+    // Scan to each `//` marker, then parse one block.
+    let mut pending: Option<(usize, String)> = None;
+    loop {
+        let marker = match pending.take() {
+            Some(l) => Some(l),
+            None => {
+                let mut found = None;
+                for (no, line) in lines.by_ref() {
+                    let line = line?;
+                    if line.trim_start().starts_with("//") {
+                        found = Some((no, line));
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        if marker.is_none() {
+            break;
+        }
+
+        // segsites line
+        let (segsites, seg_line_no) = loop {
+            let Some((no, line)) = next_line(&mut lines)? else {
+                return Err(IoError::parse("ms", 0, "unexpected EOF before 'segsites:'"));
+            };
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let Some(rest) = t.strip_prefix("segsites:") else {
+                return Err(IoError::parse("ms", no + 1, format!("expected 'segsites:', got '{t}'")));
+            };
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| IoError::parse("ms", no + 1, "invalid segsites count"))?;
+            break (n, no);
+        };
+
+        if segsites == 0 {
+            replicates.push(MsReplicate {
+                positions: Vec::new(),
+                matrix: BitMatrix::zeros(0, 0),
+            });
+            continue;
+        }
+
+        // positions line
+        let positions = loop {
+            let Some((no, line)) = next_line(&mut lines)? else {
+                return Err(IoError::parse("ms", 0, "unexpected EOF before 'positions:'"));
+            };
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let Some(rest) = t.strip_prefix("positions:") else {
+                return Err(IoError::parse("ms", no + 1, "expected 'positions:'"));
+            };
+            let pos: Result<Vec<f64>, _> =
+                rest.split_whitespace().map(str::parse::<f64>).collect();
+            let pos = pos.map_err(|_| IoError::parse("ms", no + 1, "invalid position"))?;
+            if pos.len() != segsites {
+                return Err(IoError::parse(
+                    "ms",
+                    no + 1,
+                    format!("{} positions for {} segsites", pos.len(), segsites),
+                ));
+            }
+            break pos;
+        };
+        let _ = seg_line_no;
+
+        // haplotype rows until blank line, next `//`, or EOF
+        let mut rows: Vec<Vec<u8>> = Vec::new();
+        loop {
+            let Some((no, line)) = next_line(&mut lines)? else {
+                break;
+            };
+            let t = line.trim();
+            if t.is_empty() {
+                break;
+            }
+            if t.starts_with("//") {
+                pending = Some((no, line));
+                break;
+            }
+            if t.len() != segsites {
+                return Err(IoError::parse(
+                    "ms",
+                    no + 1,
+                    format!("haplotype row has {} chars, expected {}", t.len(), segsites),
+                ));
+            }
+            let row: Result<Vec<u8>, IoError> = t
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(0u8),
+                    '1' => Ok(1u8),
+                    other => {
+                        Err(IoError::parse("ms", no + 1, format!("invalid allele char '{other}'")))
+                    }
+                })
+                .collect();
+            rows.push(row?);
+        }
+        if rows.is_empty() {
+            return Err(IoError::parse("ms", 0, "replicate with no haplotype rows"));
+        }
+        let matrix = BitMatrix::from_rows(rows.len(), segsites, rows.iter())?;
+        replicates.push(MsReplicate { positions, matrix });
+    }
+    Ok(replicates)
+}
+
+fn next_line<I>(lines: &mut I) -> Result<Option<(usize, String)>, IoError>
+where
+    I: Iterator<Item = (usize, std::io::Result<String>)>,
+{
+    match lines.next() {
+        None => Ok(None),
+        Some((no, r)) => Ok(Some((no, r?))),
+    }
+}
+
+/// Parses only the first replicate (the common case for LD pipelines).
+pub fn read_ms_first<R: BufRead>(reader: R) -> Result<MsReplicate, IoError> {
+    read_ms(reader)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| IoError::parse("ms", 0, "no replicates found"))
+}
+
+/// Writes replicates in `ms` format (with a minimal synthetic header).
+pub fn write_ms<W: Write>(mut w: W, replicates: &[MsReplicate]) -> Result<(), IoError> {
+    let (n_samples, n_sites) = replicates
+        .first()
+        .map(|r| (r.matrix.n_samples(), r.matrix.n_snps()))
+        .unwrap_or((0, 0));
+    writeln!(w, "ms {} {} -s {}", n_samples, replicates.len(), n_sites)?;
+    writeln!(w, "0 0 0")?;
+    for rep in replicates {
+        writeln!(w)?;
+        writeln!(w, "//")?;
+        writeln!(w, "segsites: {}", rep.matrix.n_snps())?;
+        let pos: Vec<String> = rep.positions.iter().map(|p| format!("{p:.5}")).collect();
+        writeln!(w, "positions: {}", pos.join(" "))?;
+        for s in 0..rep.matrix.n_samples() {
+            let row: String = (0..rep.matrix.n_snps())
+                .map(|j| if rep.matrix.get(s, j) { '1' } else { '0' })
+                .collect();
+            writeln!(w, "{row}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads an `ms` file from disk (first replicate).
+pub fn read_ms_path(path: impl AsRef<std::path::Path>) -> Result<MsReplicate, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_ms_first(std::io::BufReader::new(f))
+}
+
+/// Writes replicates to an `ms` file on disk.
+pub fn write_ms_path(
+    path: impl AsRef<std::path::Path>,
+    replicates: &[MsReplicate],
+) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_ms(std::io::BufWriter::new(f), replicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "ms 4 2 -s 3\n27473 28364 1234\n\n//\nsegsites: 3\npositions: 0.10430 0.29650 0.76380\n010\n110\n001\n000\n\n//\nsegsites: 2\npositions: 0.50000 0.60000\n01\n11\n10\n00\n";
+
+    #[test]
+    fn parses_two_replicates() {
+        let reps = read_ms(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].matrix.n_samples(), 4);
+        assert_eq!(reps[0].matrix.n_snps(), 3);
+        assert_eq!(reps[0].positions.len(), 3);
+        assert!(reps[0].matrix.get(0, 1));
+        assert!(!reps[0].matrix.get(0, 0));
+        assert_eq!(reps[1].matrix.n_snps(), 2);
+        assert_eq!(reps[1].matrix.ones_in_snp(0), 2);
+    }
+
+    #[test]
+    fn first_helper() {
+        let rep = read_ms_first(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(rep.matrix.n_snps(), 3);
+    }
+
+    #[test]
+    fn round_trip() {
+        let reps = read_ms(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_ms(&mut buf, &reps).unwrap();
+        let back = read_ms(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].matrix, reps[0].matrix);
+        assert_eq!(back[1].matrix, reps[1].matrix);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let bad = "//\nsegsites: 3\npositions: 0.1 0.2 0.3\n010\n11\n";
+        let err = read_ms(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn rejects_bad_allele() {
+        let bad = "//\nsegsites: 2\npositions: 0.1 0.2\n0x\n";
+        assert!(read_ms(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_position_count_mismatch() {
+        let bad = "//\nsegsites: 3\npositions: 0.1 0.2\n010\n";
+        assert!(read_ms(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        assert!(read_ms("".as_bytes()).unwrap().is_empty());
+        assert!(read_ms_first("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn zero_segsites_replicate() {
+        let s = "//\nsegsites: 0\n";
+        let reps = read_ms(s.as_bytes()).unwrap();
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].matrix.n_snps(), 0);
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let dir = std::env::temp_dir().join("ld_io_ms_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.ms");
+        let reps = read_ms(SAMPLE.as_bytes()).unwrap();
+        write_ms_path(&path, &reps).unwrap();
+        let back = read_ms_path(&path).unwrap();
+        assert_eq!(back.matrix, reps[0].matrix);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,270 @@
+//! PLINK text formats: `.ped` (genotypes) + `.map` (variants).
+//!
+//! The original PLINK interchange format — verbose but universal. Each
+//! `.ped` row is one individual: six metadata columns (FID IID PAT MAT SEX
+//! PHENO) followed by **two allele columns per variant** (`A C G T` or `0`
+//! for missing). The `.map` file lists the variants (CHR ID CM BP).
+//! Genotypes convert to the 2-bit [`GenotypeMatrix`] by mapping each
+//! variant's first-seen allele to A1.
+
+use crate::bed::BimRecord;
+use crate::IoError;
+use ld_bitmat::{Genotype, GenotypeMatrix};
+use std::io::{BufRead, Write};
+
+/// One `.ped` row's metadata (the first six columns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PedIndividual {
+    /// Family ID.
+    pub fid: String,
+    /// Individual ID.
+    pub iid: String,
+    /// Paternal ID.
+    pub father: String,
+    /// Maternal ID.
+    pub mother: String,
+    /// Sex code.
+    pub sex: u8,
+    /// Phenotype column.
+    pub phenotype: String,
+}
+
+/// Parsed `.ped` content: metadata + genotype matrix + the allele pair
+/// (A1, A2) chosen per variant.
+#[derive(Clone, Debug)]
+pub struct PedData {
+    /// One entry per individual, `.ped` row order.
+    pub individuals: Vec<PedIndividual>,
+    /// The 2-bit genotype matrix (individuals × variants).
+    pub genotypes: GenotypeMatrix,
+    /// `(a1, a2)` per variant; `a2` may be `'?'` for monomorphic columns.
+    pub alleles: Vec<(char, char)>,
+}
+
+/// Reads a `.map` file (same column layout as `.bim` minus the alleles).
+pub fn read_map<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
+    let mut out = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = t.split_whitespace().collect();
+        if f.len() != 4 {
+            return Err(IoError::parse("map", no + 1, format!("{} columns (expected 4)", f.len())));
+        }
+        out.push(BimRecord {
+            chrom: f[0].to_string(),
+            id: f[1].to_string(),
+            cm: f[2].parse().map_err(|_| IoError::parse("map", no + 1, "invalid cM"))?,
+            pos: f[3].parse().map_err(|_| IoError::parse("map", no + 1, "invalid position"))?,
+            a1: "?".into(),
+            a2: "?".into(),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a `.map` file.
+pub fn write_map<W: Write>(mut w: W, records: &[BimRecord]) -> Result<(), IoError> {
+    for r in records {
+        writeln!(w, "{}\t{}\t{}\t{}", r.chrom, r.id, r.cm, r.pos)?;
+    }
+    Ok(())
+}
+
+/// Reads a `.ped` stream with `n_snps` variants per row.
+pub fn read_ped<R: BufRead>(r: R, n_snps: usize) -> Result<PedData, IoError> {
+    let mut individuals = Vec::new();
+    let mut geno_rows: Vec<Vec<(char, char)>> = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = t.split_whitespace().collect();
+        if f.len() != 6 + 2 * n_snps {
+            return Err(IoError::parse(
+                "ped",
+                no + 1,
+                format!("{} columns (expected {} for {} variants)", f.len(), 6 + 2 * n_snps, n_snps),
+            ));
+        }
+        individuals.push(PedIndividual {
+            fid: f[0].into(),
+            iid: f[1].into(),
+            father: f[2].into(),
+            mother: f[3].into(),
+            sex: f[4].parse().unwrap_or(0),
+            phenotype: f[5].into(),
+        });
+        let mut row = Vec::with_capacity(n_snps);
+        for v in 0..n_snps {
+            let a = parse_allele(f[6 + 2 * v], no)?;
+            let b = parse_allele(f[7 + 2 * v], no)?;
+            row.push((a, b));
+        }
+        geno_rows.push(row);
+    }
+    // allele coding per variant: first non-missing allele seen = A1
+    let n_ind = individuals.len();
+    let mut alleles: Vec<(char, char)> = vec![('?', '?'); n_snps];
+    for row in &geno_rows {
+        for (v, &(a, b)) in row.iter().enumerate() {
+            for c in [a, b] {
+                if c == '0' {
+                    continue;
+                }
+                let slot = &mut alleles[v];
+                if slot.0 == '?' {
+                    slot.0 = c;
+                } else if slot.1 == '?' && c != slot.0 {
+                    slot.1 = c;
+                } else if c != slot.0 && c != slot.1 {
+                    return Err(IoError::parse(
+                        "ped",
+                        0,
+                        format!("variant {v} has more than two alleles"),
+                    ));
+                }
+            }
+        }
+    }
+    let mut g = GenotypeMatrix::all_missing(n_ind, n_snps);
+    for (i, row) in geno_rows.iter().enumerate() {
+        for (v, &(a, b)) in row.iter().enumerate() {
+            let (a1, _) = alleles[v];
+            let gt = if a == '0' || b == '0' {
+                Genotype::Missing
+            } else {
+                Genotype::from_haplotypes(a == a1, b == a1)
+            };
+            g.set(i, v, gt);
+        }
+    }
+    Ok(PedData { individuals, genotypes: g, alleles })
+}
+
+fn parse_allele(s: &str, line: usize) -> Result<char, IoError> {
+    let mut chars = s.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) if matches!(c, 'A' | 'C' | 'G' | 'T' | 'a' | 'c' | 'g' | 't' | '0') => {
+            Ok(c.to_ascii_uppercase())
+        }
+        _ => Err(IoError::parse("ped", line + 1, format!("invalid allele '{s}'"))),
+    }
+}
+
+/// Writes a `.ped` stream from a genotype matrix and per-variant alleles.
+pub fn write_ped<W: Write>(
+    mut w: W,
+    individuals: &[PedIndividual],
+    g: &GenotypeMatrix,
+    alleles: &[(char, char)],
+) -> Result<(), IoError> {
+    assert_eq!(individuals.len(), g.n_individuals(), "metadata/matrix row mismatch");
+    assert_eq!(alleles.len(), g.n_snps(), "allele list must cover every variant");
+    for (i, ind) in individuals.iter().enumerate() {
+        write!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            ind.fid, ind.iid, ind.father, ind.mother, ind.sex, ind.phenotype
+        )?;
+        for v in 0..g.n_snps() {
+            let (a1, a2) = alleles[v];
+            let a2 = if a2 == '?' { a1 } else { a2 };
+            let (x, y) = match g.get(i, v) {
+                Genotype::HomA1 => (a1, a1),
+                Genotype::Het => (a1, a2),
+                Genotype::HomA2 => (a2, a2),
+                Genotype::Missing => ('0', '0'),
+            };
+            write!(w, "\t{x}\t{y}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Default `.ped` metadata for simulated cohorts.
+pub fn synthetic_individuals(n: usize) -> Vec<PedIndividual> {
+    (0..n)
+        .map(|i| PedIndividual {
+            fid: format!("F{i}"),
+            iid: format!("I{i}"),
+            father: "0".into(),
+            mother: "0".into(),
+            sex: 0,
+            phenotype: "-9".into(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PED: &str = "F0 I0 0 0 1 -9 A A G T\nF1 I1 0 0 2 -9 A C T T\nF2 I2 0 0 0 -9 C C 0 0\n";
+
+    #[test]
+    fn parses_genotypes_and_alleles() {
+        let d = read_ped(PED.as_bytes(), 2).unwrap();
+        assert_eq!(d.individuals.len(), 3);
+        assert_eq!(d.individuals[1].sex, 2);
+        // variant 0: alleles A (first seen), C
+        assert_eq!(d.alleles[0], ('A', 'C'));
+        assert_eq!(d.genotypes.get(0, 0), Genotype::HomA1); // A A
+        assert_eq!(d.genotypes.get(1, 0), Genotype::Het); // A C
+        assert_eq!(d.genotypes.get(2, 0), Genotype::HomA2); // C C
+        // variant 1: alleles G, T; I2 missing
+        assert_eq!(d.alleles[1], ('G', 'T'));
+        assert_eq!(d.genotypes.get(0, 1), Genotype::Het); // G T
+        assert_eq!(d.genotypes.get(1, 1), Genotype::HomA2); // T T
+        assert_eq!(d.genotypes.get(2, 1), Genotype::Missing);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(read_ped("F0 I0 0 0 1 -9 A\n".as_bytes(), 1).is_err()); // odd allele count
+        assert!(read_ped("F0 I0 0 0 1 -9 A X\n".as_bytes(), 1).is_err()); // bad allele
+        let tri = "F0 I0 0 0 1 -9 A A\nF1 I1 0 0 1 -9 C C\nF2 I2 0 0 1 -9 G G\n";
+        assert!(read_ped(tri.as_bytes(), 1).is_err()); // three alleles
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = read_ped(PED.as_bytes(), 2).unwrap();
+        let mut buf = Vec::new();
+        write_ped(&mut buf, &d.individuals, &d.genotypes, &d.alleles).unwrap();
+        let back = read_ped(buf.as_slice(), 2).unwrap();
+        assert_eq!(back.individuals, d.individuals);
+        assert_eq!(back.alleles, d.alleles);
+        for i in 0..3 {
+            for v in 0..2 {
+                assert_eq!(back.genotypes.get(i, v), d.genotypes.get(i, v), "({i},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let map = "1 snp0 0 1000\n1 snp1 0 2000\n";
+        let recs = read_map(map.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].pos, 2000);
+        let mut buf = Vec::new();
+        write_map(&mut buf, &recs).unwrap();
+        let back = read_map(buf.as_slice()).unwrap();
+        assert_eq!(back, recs);
+        assert!(read_map("1 snp0 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn synthetic_metadata_shape() {
+        let inds = synthetic_individuals(5);
+        assert_eq!(inds.len(), 5);
+        assert_eq!(inds[4].iid, "I4");
+    }
+}

@@ -1,0 +1,165 @@
+//! Plain-text matrices and PLINK-style `--r2` pair tables.
+
+use crate::IoError;
+use ld_bitmat::BitMatrix;
+use ld_core::LdMatrix;
+use std::io::{BufRead, Write};
+
+/// Writes a haplotype matrix as rows of `0`/`1` characters (one sample per
+/// line) — the simplest interchange format, readable by R or Python in one
+/// line.
+pub fn write_matrix<W: Write>(mut w: W, g: &BitMatrix) -> Result<(), IoError> {
+    for s in 0..g.n_samples() {
+        let row: String =
+            (0..g.n_snps()).map(|j| if g.get(s, j) { '1' } else { '0' }).collect();
+        writeln!(w, "{row}")?;
+    }
+    Ok(())
+}
+
+/// Reads a 0/1 text matrix (rows = samples).
+pub fn read_matrix<R: BufRead>(r: R) -> Result<BitMatrix, IoError> {
+    let mut rows: Vec<Vec<u8>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<u8>, IoError> = t
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| match c {
+                '0' => Ok(0u8),
+                '1' => Ok(1u8),
+                other => Err(IoError::parse("matrix", no + 1, format!("invalid char '{other}'"))),
+            })
+            .collect();
+        let row = row?;
+        if let Some(wdt) = width {
+            if row.len() != wdt {
+                return Err(IoError::parse(
+                    "matrix",
+                    no + 1,
+                    format!("row width {} != {}", row.len(), wdt),
+                ));
+            }
+        } else {
+            width = Some(row.len());
+        }
+        rows.push(row);
+    }
+    let n_snps = width.unwrap_or(0);
+    Ok(BitMatrix::from_rows(rows.len(), n_snps, rows.iter())?)
+}
+
+/// One row of a PLINK-style `--r2` table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct R2Row {
+    /// Index of the first SNP.
+    pub snp_a: usize,
+    /// Index of the second SNP.
+    pub snp_b: usize,
+    /// The `r²` value.
+    pub r2: f64,
+}
+
+/// Writes the pairs of an [`LdMatrix`] with `r² ≥ min_r2` in PLINK's
+/// `--r2` column layout (`SNP_A SNP_B R2`, header included).
+pub fn write_r2_table<W: Write>(mut w: W, m: &LdMatrix, min_r2: f64) -> Result<(), IoError> {
+    writeln!(w, "SNP_A\tSNP_B\tR2")?;
+    for (i, j, v) in m.iter_pairs() {
+        if !v.is_nan() && v >= min_r2 {
+            writeln!(w, "snp{i}\tsnp{j}\t{v:.6}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a table produced by [`write_r2_table`].
+pub fn read_r2_table<R: BufRead>(r: R) -> Result<Vec<R2Row>, IoError> {
+    let mut out = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("SNP_A") {
+            continue;
+        }
+        let f: Vec<&str> = t.split_whitespace().collect();
+        if f.len() != 3 {
+            return Err(IoError::parse("r2-table", no + 1, "expected 3 columns"));
+        }
+        let parse_id = |s: &str| -> Result<usize, IoError> {
+            s.strip_prefix("snp")
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| IoError::parse("r2-table", no + 1, format!("bad SNP id '{s}'")))
+        };
+        out.push(R2Row {
+            snp_a: parse_id(f[0])?,
+            snp_b: parse_id(f[1])?,
+            r2: f[2]
+                .parse()
+                .map_err(|_| IoError::parse("r2-table", no + 1, "invalid r2"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_round_trip() {
+        let g = BitMatrix::from_rows(3, 4, [[1u8, 0, 1, 0], [0, 1, 1, 0], [1, 1, 0, 1]])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &g).unwrap();
+        let back = read_matrix(buf.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn matrix_skips_comments_and_blanks() {
+        let s = "# header\n101\n\n011\n";
+        let g = read_matrix(s.as_bytes()).unwrap();
+        assert_eq!(g.n_samples(), 2);
+        assert_eq!(g.n_snps(), 3);
+    }
+
+    #[test]
+    fn matrix_rejects_ragged_and_garbage() {
+        assert!(read_matrix("101\n10\n".as_bytes()).is_err());
+        assert!(read_matrix("10x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let g = read_matrix("".as_bytes()).unwrap();
+        assert_eq!(g.n_samples(), 0);
+        assert_eq!(g.n_snps(), 0);
+    }
+
+    #[test]
+    fn r2_table_round_trip_with_threshold() {
+        let mut m = LdMatrix::zeros(3);
+        m.set(0, 1, 0.8);
+        m.set(0, 2, 0.2);
+        m.set(1, 2, f64::NAN);
+        let mut buf = Vec::new();
+        write_r2_table(&mut buf, &m, 0.5).unwrap();
+        let rows = read_r2_table(buf.as_slice()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].snp_a, 0);
+        assert_eq!(rows[0].snp_b, 1);
+        assert!((rows[0].r2 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_table_rejects_bad_rows() {
+        assert!(read_r2_table("snp0 snp1\n".as_bytes()).is_err());
+        assert!(read_r2_table("a b 0.5\n".as_bytes()).is_err());
+        assert!(read_r2_table("snp0 snp1 xyz\n".as_bytes()).is_err());
+    }
+}

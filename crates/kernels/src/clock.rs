@@ -1,0 +1,143 @@
+//! Cycle accounting for the paper's %-of-theoretical-peak metric.
+//!
+//! §IV-B: the theoretical peak of the scalar LD kernel is 3 ops/cycle
+//! (AND ∥ POPCNT ∥ ADD issued together), i.e. **one packed 64-bit word pair
+//! per cycle**. A kernel processing `v` lanes per popcount has peak `v`
+//! word-pairs per cycle. Measuring "% of peak" therefore needs *cycles*,
+//! which we obtain from the TSC (`RDTSC`), calibrated once against the
+//! monotonic clock (modern x86 TSCs are constant-rate, so the calibration
+//! converts wall time to reference cycles reliably).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Reads the time-stamp counter (0 on non-x86 targets).
+#[inline]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: RDTSC is always available on x86-64.
+        unsafe { std::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// TSC frequency in Hz, measured once over a ~20 ms window.
+/// Returns `None` when no TSC is available.
+pub fn tsc_hz() -> Option<f64> {
+    static HZ: OnceLock<Option<f64>> = OnceLock::new();
+    *HZ.get_or_init(|| {
+        let t0 = rdtsc();
+        if t0 == 0 && rdtsc() == 0 {
+            return None;
+        }
+        let w0 = Instant::now();
+        // Busy-ish wait: sleep is fine, the TSC keeps ticking.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let t1 = rdtsc();
+        let dt = w0.elapsed().as_secs_f64();
+        if t1 <= t0 || dt <= 0.0 {
+            None
+        } else {
+            Some((t1 - t0) as f64 / dt)
+        }
+    })
+}
+
+/// A running (seconds, cycles) measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleTimer {
+    start_tsc: u64,
+    start: Instant,
+}
+
+impl CycleTimer {
+    /// Starts the timer.
+    pub fn start() -> Self {
+        Self { start_tsc: rdtsc(), start: Instant::now() }
+    }
+
+    /// Elapsed wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed reference cycles: TSC delta when available, else wall time
+    /// times the provided nominal frequency.
+    pub fn cycles(&self, fallback_hz: f64) -> f64 {
+        let now = rdtsc();
+        if now > self.start_tsc {
+            (now - self.start_tsc) as f64
+        } else {
+            self.seconds() * fallback_hz
+        }
+    }
+}
+
+/// Measures `f`, returning `(result, seconds, cycles)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, f64) {
+    let t = CycleTimer::start();
+    let out = f();
+    let secs = t.seconds();
+    let cycles = t.cycles(tsc_hz().unwrap_or(1.0e9));
+    (out, secs, cycles)
+}
+
+/// The %-of-peak metric of §IV-B: `word_pairs / (cycles · lanes)`, where
+/// `word_pairs` is `m·n·k_words` of useful work and `lanes` is the kernel's
+/// popcount width (1 for the scalar kernel).
+pub fn percent_of_peak(word_pairs: f64, cycles: f64, lanes: usize) -> f64 {
+    if cycles <= 0.0 {
+        return 0.0;
+    }
+    100.0 * word_pairs / (cycles * lanes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotonic_when_present() {
+        let a = rdtsc();
+        let b = rdtsc();
+        if a != 0 {
+            assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn calibration_is_plausible() {
+        if let Some(hz) = tsc_hz() {
+            // Any real machine is between 100 MHz and 10 GHz.
+            assert!((1.0e8..1.0e10).contains(&hz), "tsc_hz={hz}");
+        }
+    }
+
+    #[test]
+    fn timer_measures_positive_durations() {
+        let t = CycleTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(t.seconds() >= 0.002);
+        assert!(t.cycles(1.0e9) > 0.0);
+    }
+
+    #[test]
+    fn measure_returns_result() {
+        let (x, secs, cycles) = measure(|| 21 * 2);
+        assert_eq!(x, 42);
+        assert!(secs >= 0.0);
+        assert!(cycles >= 0.0);
+    }
+
+    #[test]
+    fn peak_metric() {
+        assert_eq!(percent_of_peak(100.0, 100.0, 1), 100.0);
+        assert_eq!(percent_of_peak(100.0, 200.0, 1), 50.0);
+        assert_eq!(percent_of_peak(800.0, 100.0, 8), 100.0);
+        assert_eq!(percent_of_peak(1.0, 0.0, 1), 0.0);
+    }
+}

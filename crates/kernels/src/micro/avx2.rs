@@ -1,0 +1,131 @@
+//! AVX2 micro-kernels: the §V-A anti-pattern and the Mula software
+//! vector popcount.
+//!
+//! Both kernels use a 4×4 register tile: one 256-bit load covers the four
+//! `B̃` lanes of a packed word row, each `Ã` lane is broadcast, and four
+//! 64-bit-lane accumulators live in `ymm` registers.
+//!
+//! Safety: the `#[target_feature]` inner functions are only reachable
+//! through [`crate::micro::Kernel::resolve`], which verifies the CPU
+//! features first; the safe wrappers additionally `debug_assert!` the
+//! detection in test builds.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+/// 4×4 extract/insert kernel (§V-A): SIMD AND, scalar `POPCNT` on each
+/// extracted lane, results re-inserted for a SIMD accumulate.
+pub(crate) fn kernel_extract_insert_4x4(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        debug_assert!(
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt")
+        );
+        // SAFETY: resolved kernels guarantee AVX2+POPCNT (see module docs).
+        unsafe { extract_insert_impl(kc, ap, bp, acc) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        super::scalar::kernel_4x4(kc, ap, bp, acc)
+    }
+}
+
+/// Scalar `POPCNT` pinned with inline asm so LLVM cannot pattern-match the
+/// extract → popcnt → insert sequence back into `VPOPCNTQ` (it does, on
+/// AVX-512 targets, which would silently un-measure the §V-A claim).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn popcnt_pinned(x: i64) -> i64 {
+    let r: i64;
+    // SAFETY: POPCNT availability is checked at kernel resolution.
+    unsafe {
+        std::arch::asm!(
+            "popcnt {r}, {x}",
+            r = out(reg) r,
+            x = in(reg) x,
+            options(pure, nomem, nostack)
+        );
+    }
+    r
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn extract_insert_impl(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * 4 && bp.len() >= kc * 4 && acc.len() >= 16);
+    let mut c = [_mm256_setzero_si256(); 4];
+    let apx = ap.as_ptr();
+    let bpx = bp.as_ptr();
+    for p in 0..kc {
+        let b = _mm256_loadu_si256(bpx.add(p * 4) as *const __m256i);
+        for (i, ci) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_epi64x(*apx.add(p * 4 + i) as i64);
+            let v = _mm256_and_si256(ai, b);
+            // The §V-A sequence: extract each lane, scalar POPCNT, insert.
+            let l0 = popcnt_pinned(_mm256_extract_epi64::<0>(v));
+            let l1 = popcnt_pinned(_mm256_extract_epi64::<1>(v));
+            let l2 = popcnt_pinned(_mm256_extract_epi64::<2>(v));
+            let l3 = popcnt_pinned(_mm256_extract_epi64::<3>(v));
+            let counts = _mm256_set_epi64x(l3, l2, l1, l0);
+            *ci = _mm256_add_epi64(*ci, counts);
+        }
+    }
+    for i in 0..4 {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, c[i]);
+        for j in 0..4 {
+            acc[i * 4 + j] += lanes[j];
+        }
+    }
+}
+
+/// 4×4 Mula kernel: per-byte popcount via `PSHUFB` nibble lookup, reduced
+/// to per-64-bit-lane sums with `PSADBW` — a *software* vector popcount.
+pub(crate) fn kernel_mula_4x4(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: resolved kernels guarantee AVX2 (see module docs).
+        unsafe { mula_impl(kc, ap, bp, acc) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        super::scalar::kernel_4x4(kc, ap, bp, acc)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mula_impl(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * 4 && bp.len() >= kc * 4 && acc.len() >= 16);
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    let mut c = [zero; 4];
+    let apx = ap.as_ptr();
+    let bpx = bp.as_ptr();
+    for p in 0..kc {
+        let b = _mm256_loadu_si256(bpx.add(p * 4) as *const __m256i);
+        for (i, ci) in c.iter_mut().enumerate() {
+            let ai = _mm256_set1_epi64x(*apx.add(p * 4 + i) as i64);
+            let v = _mm256_and_si256(ai, b);
+            let lo = _mm256_and_si256(v, low_mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+            let bytes =
+                _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            *ci = _mm256_add_epi64(*ci, _mm256_sad_epu8(bytes, zero));
+        }
+    }
+    for i in 0..4 {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, c[i]);
+        for j in 0..4 {
+            acc[i * 4 + j] += lanes[j];
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Packing routines — the middle layer of Figure 1.
+//!
+//! Packing copies a cache-block of the (already SNP-major, bit-packed)
+//! genomic matrix into a contiguous buffer reordered into *micro-panels*:
+//! `R` SNP columns interleaved word-by-word, so the micro-kernel reads both
+//! operands with perfectly sequential, aligned streams:
+//!
+//! ```text
+//! panel q, word p, lane i  ↦  buf[q·kc·R + p·R + i]   (SNP = start + q·R + i)
+//! ```
+//!
+//! Columns past the end of the SNP range are padded with zero words; zero
+//! lanes contribute zero to every popcount, so edge micro-tiles can run the
+//! full `MR×NR` kernel and the driver simply discards the padded rows and
+//! columns when scattering into `C`. This mirrors how BLIS handles fringe
+//! cases, and is also why the zero-padding invariant of `ld-bitmat` exists.
+
+use ld_bitmat::{AlignedWords, BitMatrixView};
+use std::ops::Range;
+
+/// Packs SNP columns `snps` over packed-word rows `words` into `R`-wide
+/// interleaved micro-panels, appending zero lanes up to a multiple of `R`.
+///
+/// `out` is resized to exactly `ceil(|snps|/R) · |words| · R` words.
+pub fn pack_panels(
+    view: &BitMatrixView<'_>,
+    snps: Range<usize>,
+    words: Range<usize>,
+    r: usize,
+    out: &mut AlignedWords,
+) {
+    assert!(r > 0, "panel width must be positive");
+    assert!(snps.end <= view.n_snps(), "snp range out of bounds");
+    assert!(words.end <= view.words_per_snp(), "word range out of bounds");
+    let nsnps = snps.len();
+    let kc = words.len();
+    let n_panels = nsnps.div_ceil(r);
+    out.resize_zeroed(n_panels * kc * r);
+
+    for q in 0..n_panels {
+        let panel = &mut out[q * kc * r..(q + 1) * kc * r];
+        for i in 0..r {
+            let snp_local = q * r + i;
+            if snp_local < nsnps {
+                let col = view.snp_words(snps.start + snp_local);
+                let col = &col[words.clone()];
+                // strided scatter: word p of this SNP lands at panel[p*r + i]
+                for (p, &w) in col.iter().enumerate() {
+                    panel[p * r + i] = w;
+                }
+            } else {
+                // zero padding lane
+                for p in 0..kc {
+                    panel[p * r + i] = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Number of words [`pack_panels`] writes for the given shape.
+pub fn packed_len(nsnps: usize, kc: usize, r: usize) -> usize {
+    nsnps.div_ceil(r) * kc * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_bitmat::BitMatrix;
+
+    /// A deterministic multi-word matrix for packing tests.
+    fn mk(n_samples: usize, n_snps: usize) -> BitMatrix {
+        let mut g = BitMatrix::zeros(n_samples, n_snps);
+        for j in 0..n_snps {
+            for s in 0..n_samples {
+                if (s * 7 + j * 13) % 3 == 0 {
+                    g.set(s, j, true);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn roundtrip_exact_panels() {
+        let g = mk(128, 8); // 2 words per SNP
+        let v = g.full_view();
+        let mut buf = AlignedWords::new();
+        pack_panels(&v, 0..8, 0..2, 4, &mut buf);
+        assert_eq!(buf.len(), packed_len(8, 2, 4));
+        // verify interleave: buf[q*kc*r + p*r + i] == word p of snp q*r+i
+        for q in 0..2 {
+            for p in 0..2 {
+                for i in 0..4 {
+                    let snp = q * 4 + i;
+                    assert_eq!(
+                        buf[q * 2 * 4 + p * 4 + i],
+                        g.snp_words(snp)[p],
+                        "q={q} p={p} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_panel_zero_padded() {
+        let g = mk(64, 6);
+        let v = g.full_view();
+        let mut buf = AlignedWords::new();
+        pack_panels(&v, 0..6, 0..1, 4, &mut buf);
+        assert_eq!(buf.len(), 2 * 1 * 4);
+        // second panel lanes 2,3 are padding
+        assert_eq!(buf[4 + 0], g.snp_words(4)[0]);
+        assert_eq!(buf[4 + 1], g.snp_words(5)[0]);
+        assert_eq!(buf[4 + 2], 0);
+        assert_eq!(buf[4 + 3], 0);
+    }
+
+    #[test]
+    fn subranges_select_correct_words() {
+        let g = mk(200, 5); // 4 words per SNP
+        let v = g.full_view();
+        let mut buf = AlignedWords::new();
+        pack_panels(&v, 2..5, 1..3, 2, &mut buf);
+        // 3 snps -> 2 panels, kc=2, r=2
+        assert_eq!(buf.len(), 2 * 2 * 2);
+        assert_eq!(buf[0], g.snp_words(2)[1]);
+        assert_eq!(buf[1], g.snp_words(3)[1]);
+        assert_eq!(buf[2], g.snp_words(2)[2]);
+        assert_eq!(buf[3], g.snp_words(3)[2]);
+        assert_eq!(buf[4], g.snp_words(4)[1]);
+        assert_eq!(buf[5], 0);
+    }
+
+    #[test]
+    fn buffer_reuse_leaves_no_stale_words() {
+        let g = mk(64, 8);
+        let v = g.full_view();
+        let mut buf = AlignedWords::new();
+        pack_panels(&v, 0..8, 0..1, 4, &mut buf);
+        let big = buf.len();
+        pack_panels(&v, 0..3, 0..1, 4, &mut buf);
+        assert!(buf.len() < big);
+        // lane 3 of the only panel is padding and must be zero even though
+        // the buffer previously held data there.
+        assert_eq!(buf[3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snp range out of bounds")]
+    fn oob_snps_panics() {
+        let g = mk(64, 4);
+        let mut buf = AlignedWords::new();
+        pack_panels(&g.full_view(), 0..5, 0..1, 4, &mut buf);
+    }
+}

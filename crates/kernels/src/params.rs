@@ -1,0 +1,109 @@
+//! Cache-blocking parameters (the `kc`, `mc`, `nc` of GotoBLAS).
+
+/// Blocking parameters for the layered GEMM.
+///
+/// Subscripts follow the paper and the BLIS literature: `r` register,
+/// `c` cache. `MR`/`NR` are fixed per micro-kernel (register tile shape);
+/// the three cache block sizes live here.
+///
+/// Sizing rationale (defaults, in 8-byte words):
+///
+/// * `kc = 256` — one Ã micro-panel (`MR·kc` words) plus one B̃ micro-panel
+///   (`NR·kc` words) must fit L1 with room for the C tile: with
+///   `MR=NR=8` that is 2 × 16 KiB = 32 KiB, a full L1D; halved shapes use
+///   half. 256 words = 16 384 samples per pass, so small cohorts pack in a
+///   single `pc` iteration.
+/// * `mc = 512` — the packed Ã block (`mc·kc` words = 1 MiB) targets L2.
+/// * `nc = 4096` — the packed B̃ block (`kc·nc` words = 8 MiB) targets L3.
+///
+/// The ablation benchmark sweeps these to show the plateau the paper
+/// attributes to the GotoBLAS analysis ("No attempt was made to tune the
+/// parameters", §IV — we keep that spirit: defaults are analytical, not
+/// auto-tuned).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Words of the packed (`k`) dimension per rank-k pass.
+    pub kc: usize,
+    /// SNP rows of `C` per packed Ã block (L2 target).
+    pub mc: usize,
+    /// SNP columns of `C` per packed B̃ block (L3 target).
+    pub nc: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        Self { kc: 256, mc: 512, nc: 4096 }
+    }
+}
+
+impl BlockSizes {
+    /// Defaults (see type-level docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style override of `kc`.
+    pub fn with_kc(mut self, kc: usize) -> Self {
+        self.kc = kc;
+        self
+    }
+
+    /// Builder-style override of `mc`.
+    pub fn with_mc(mut self, mc: usize) -> Self {
+        self.mc = mc;
+        self
+    }
+
+    /// Builder-style override of `nc`.
+    pub fn with_nc(mut self, nc: usize) -> Self {
+        self.nc = nc;
+        self
+    }
+
+    /// Clamps every block size to at least 1 and at most the problem
+    /// dimensions — keeps the drivers' loop arithmetic trivially in-range.
+    pub fn clamped(&self, m: usize, n: usize, k_words: usize) -> Self {
+        Self {
+            kc: self.kc.max(1).min(k_words.max(1)),
+            mc: self.mc.max(1).min(m.max(1)),
+            nc: self.nc.max(1).min(n.max(1)),
+        }
+    }
+
+    /// Approximate bytes of the packed Ã block (`mc × kc` words).
+    pub fn a_block_bytes(&self) -> usize {
+        self.mc * self.kc * 8
+    }
+
+    /// Approximate bytes of the packed B̃ block (`kc × nc` words).
+    pub fn b_block_bytes(&self) -> usize {
+        self.kc * self.nc * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_target_cache_sizes() {
+        let b = BlockSizes::default();
+        assert_eq!(b.a_block_bytes(), 1 << 20); // 1 MiB -> L2
+        assert_eq!(b.b_block_bytes(), 8 << 20); // 8 MiB -> L3
+    }
+
+    #[test]
+    fn builders_override() {
+        let b = BlockSizes::new().with_kc(64).with_mc(128).with_nc(256);
+        assert_eq!(b, BlockSizes { kc: 64, mc: 128, nc: 256 });
+    }
+
+    #[test]
+    fn clamped_respects_problem_shape() {
+        let b = BlockSizes::default().clamped(10, 20, 3);
+        assert_eq!(b, BlockSizes { kc: 3, mc: 10, nc: 20 });
+        // degenerate dims never produce zero blocks
+        let b = BlockSizes::default().clamped(0, 0, 0);
+        assert_eq!(b, BlockSizes { kc: 1, mc: 1, nc: 1 });
+    }
+}

@@ -1,0 +1,97 @@
+//! Unblocked reference implementations (test oracles).
+//!
+//! These compute the same co-occurrence counts as the GEMM drivers with the
+//! obvious pairwise loop — the "highly inefficient" vector-operation
+//! formulation of the paper's §II-B pseudocode. They are the correctness
+//! oracle for every blocked kernel and also serve as the zero-blocking
+//! baseline in the ablation benchmark.
+
+use ld_bitmat::BitMatrixView;
+use ld_popcount::and_popcount;
+
+/// All `m × n` co-occurrence counts between the SNPs of `a` and `b`,
+/// row-major. Oracle for [`crate::gemm_counts`].
+pub fn gemm_counts_naive(a: &BitMatrixView<'_>, b: &BitMatrixView<'_>) -> Vec<u32> {
+    assert_eq!(a.n_samples(), b.n_samples(), "sample counts must match");
+    let m = a.n_snps();
+    let n = b.n_snps();
+    let mut c = vec![0u32; m * n];
+    for i in 0..m {
+        let ai = a.snp_words(i);
+        for j in 0..n {
+            c[i * n + j] = and_popcount(ai, b.snp_words(j)) as u32;
+        }
+    }
+    c
+}
+
+/// The full symmetric `n × n` co-occurrence matrix of one SNP set,
+/// row-major. Oracle for [`crate::syrk_counts`].
+pub fn syrk_counts_naive(g: &BitMatrixView<'_>) -> Vec<u32> {
+    let n = g.n_snps();
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        let gi = g.snp_words(i);
+        for j in i..n {
+            let v = and_popcount(gi, g.snp_words(j)) as u32;
+            c[i * n + j] = v;
+            c[j * n + i] = v;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_bitmat::BitMatrix;
+
+    #[test]
+    fn diagonal_is_allele_count() {
+        let g = BitMatrix::from_rows(4, 3, [[1u8, 0, 1], [1, 1, 1], [0, 0, 1], [1, 0, 0]])
+            .unwrap();
+        let c = syrk_counts_naive(&g.full_view());
+        assert_eq!(c[0 * 3 + 0], 3);
+        assert_eq!(c[1 * 3 + 1], 1);
+        assert_eq!(c[2 * 3 + 2], 3);
+    }
+
+    #[test]
+    fn syrk_is_symmetric_and_matches_gemm_with_self() {
+        let g = BitMatrix::from_rows(5, 4, [
+            [1u8, 0, 1, 1],
+            [1, 1, 1, 0],
+            [0, 0, 1, 0],
+            [1, 0, 0, 1],
+            [0, 1, 1, 1],
+        ])
+        .unwrap();
+        let v = g.full_view();
+        let s = syrk_counts_naive(&v);
+        let gm = gemm_counts_naive(&v, &v);
+        assert_eq!(s, gm);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(s[i * 4 + j], s[j * 4 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_counts_small_example() {
+        let a = BitMatrix::from_rows(3, 2, [[1u8, 0], [1, 1], [0, 1]]).unwrap();
+        let b = BitMatrix::from_rows(3, 1, [[1u8], [0], [1]]).unwrap();
+        let c = gemm_counts_naive(&a.full_view(), &b.full_view());
+        // SNP a0 = {s0,s1}, b0 = {s0,s2} -> overlap 1
+        // SNP a1 = {s1,s2}, b0 = {s0,s2} -> overlap 1
+        assert_eq!(c, vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample counts must match")]
+    fn mismatched_samples_panic() {
+        let a = BitMatrix::zeros(3, 1);
+        let b = BitMatrix::zeros(4, 1);
+        gemm_counts_naive(&a.full_view(), &b.full_view());
+    }
+}

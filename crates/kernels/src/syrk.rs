@@ -1,0 +1,270 @@
+//! The symmetric rank-k driver: `C = GᵀG` counts, upper triangle computed,
+//! lower mirrored — the paper's headline configuration (Fig. 3), where only
+//! `N(N+1)/2` LD values are distinct.
+
+use crate::gemm::gemm_blocked;
+use crate::micro::Kernel;
+use crate::{BlockSizes, KernelKind};
+use ld_bitmat::BitMatrixView;
+use ld_parallel::triangle_ranges;
+use std::ops::Range;
+
+/// Computes the row slab `rows` of the **upper triangle** of `C = GᵀG`
+/// counts into `c` (row 0 of `c` = global row `rows.start`, leading
+/// dimension `ldc ≥ n`). Entries with `j < i` in crossing tiles also end up
+/// correct; entries in fully-skipped tiles stay zero — call
+/// [`mirror_upper_to_lower`] on the assembled matrix to finish.
+pub(crate) fn syrk_rows(
+    kernel: &Kernel,
+    blocks: BlockSizes,
+    g: &BitMatrixView<'_>,
+    rows: Range<usize>,
+    c: &mut [u32],
+    ldc: usize,
+) {
+    let n = g.n_snps();
+    debug_assert!(rows.end <= n && ldc >= n);
+    // Columns strictly left of rows.start are entirely below the diagonal
+    // for this slab; start the jc loop there.
+    gemm_blocked(kernel, blocks, g, g, rows.clone(), rows.start..n, c, ldc, true);
+}
+
+/// Copies the upper triangle of the `n × n` row-major matrix `c` onto the
+/// lower triangle.
+///
+/// Processed in `64 × 64` blocks: a row-wise mirror is a transposed copy,
+/// and the naive double loop strides `ldc` words per read, thrashing the
+/// TLB/caches on large matrices (it measurably dominated the SYRK time at
+/// `n = 4096` before blocking). Each block's source and destination both
+/// fit in L1.
+pub fn mirror_upper_to_lower(c: &mut [u32], n: usize, ldc: usize) {
+    assert!(ldc >= n && c.len() >= n.saturating_sub(1) * ldc + n.min(1) * n.min(ldc));
+    const TB: usize = 64;
+    let mut bi = 0;
+    while bi < n {
+        let iend = (bi + TB).min(n);
+        // diagonal block: triangular copy in place
+        for i in bi + 1..iend {
+            for j in bi..i {
+                c[i * ldc + j] = c[j * ldc + i];
+            }
+        }
+        // off-diagonal blocks of this block-row, fully below the diagonal
+        let mut bj = 0;
+        while bj < bi {
+            let jend = bj + TB; // bj + TB <= bi <= n, full block
+            for i in bi..iend {
+                for j in bj..jend {
+                    c[i * ldc + j] = c[j * ldc + i];
+                }
+            }
+            bj += TB;
+        }
+        bi += TB;
+    }
+}
+
+/// Computes the full symmetric co-occurrence counts matrix `C = GᵀG`
+/// (row-major `n × n`, `ldc = n`), doing only the triangle's worth of
+/// kernel work and mirroring.
+pub fn syrk_counts(g: &BitMatrixView<'_>, kind: KernelKind) -> Vec<u32> {
+    let n = g.n_snps();
+    let mut c = vec![0u32; n * n];
+    syrk_counts_buf(g, &mut c, n, kind, BlockSizes::default(), 1);
+    c
+}
+
+/// In-buffer symmetric counts with explicit blocking and thread count.
+///
+/// Rows are partitioned with a *triangle-aware* splitter: row `i` of the
+/// upper triangle costs `n − i` inner products, so even row slabs would
+/// starve the late threads. We reuse [`triangle_ranges`] on the flipped
+/// axis to give every worker an equal share of pairs.
+pub fn syrk_counts_buf(
+    g: &BitMatrixView<'_>,
+    c: &mut [u32],
+    ldc: usize,
+    kind: KernelKind,
+    blocks: BlockSizes,
+    threads: usize,
+) {
+    let n = g.n_snps();
+    assert!(
+        g.n_samples() < u32::MAX as usize,
+        "co-occurrence counts are stored as u32; sample count must fit"
+    );
+    assert!(ldc >= n, "ldc must be at least n");
+    assert!(c.len() >= n.saturating_sub(1) * ldc + n, "C buffer too small");
+    if n == 0 {
+        return;
+    }
+    let kernel = Kernel::resolve(kind).expect("requested kernel not supported on this CPU");
+    for row in c.chunks_mut(ldc).take(n) {
+        row[..n].fill(0);
+    }
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        syrk_rows(&kernel, blocks, g, 0..n, c, ldc);
+    } else {
+        // Flip triangle_ranges (which balances Σ(j+1) for ascending j) to
+        // balance Σ(n−i) over ascending rows.
+        let flipped = triangle_ranges(n, threads);
+        let mut row_ranges: Vec<Range<usize>> =
+            flipped.iter().map(|r| n - r.end..n - r.start).collect();
+        row_ranges.reverse(); // ascending row order
+
+        let mut slabs: Vec<(&mut [u32], Range<usize>)> = Vec::with_capacity(threads);
+        let mut rest = &mut *c;
+        let mut offset = 0usize;
+        for r in &row_ranges {
+            debug_assert_eq!(r.start, offset);
+            let take = ((r.end - offset) * ldc).min(rest.len());
+            let (slab, tail) = rest.split_at_mut(take);
+            slabs.push((slab, r.clone()));
+            rest = tail;
+            offset = r.end;
+        }
+        std::thread::scope(|s| {
+            for (slab, rows) in slabs {
+                if rows.is_empty() {
+                    continue;
+                }
+                let kernel = &kernel;
+                s.spawn(move || {
+                    syrk_rows(kernel, blocks, g, rows, slab, ldc);
+                });
+            }
+        });
+    }
+    mirror_upper_to_lower(c, n, ldc);
+}
+
+/// Multithreaded convenience wrapper returning the full mirrored matrix.
+pub fn syrk_counts_mt(g: &BitMatrixView<'_>, kind: KernelKind, threads: usize) -> Vec<u32> {
+    let n = g.n_snps();
+    let mut c = vec![0u32; n * n];
+    syrk_counts_buf(g, &mut c, n, kind, BlockSizes::default(), threads);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro::supported_kernels;
+    use crate::reference::syrk_counts_naive;
+    use ld_bitmat::BitMatrix;
+
+    fn pseudo(n_samples: usize, n_snps: usize, seed: u64) -> BitMatrix {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut g = BitMatrix::zeros(n_samples, n_snps);
+        for j in 0..n_snps {
+            for smp in 0..n_samples {
+                if next() % 4 == 0 {
+                    g.set(smp, j, true);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn syrk_matches_naive_all_kernels() {
+        let g = pseudo(130, 21, 3);
+        let expect = syrk_counts_naive(&g.full_view());
+        for k in supported_kernels() {
+            let got = syrk_counts(&g.full_view(), k.kind());
+            assert_eq!(got, expect, "kernel {}", k.kind());
+        }
+    }
+
+    #[test]
+    fn syrk_matches_naive_odd_shapes() {
+        for (ns, n) in [(1usize, 1usize), (64, 2), (65, 9), (100, 16), (33, 40)] {
+            let g = pseudo(ns, n, ns as u64 * 7 + n as u64);
+            let expect = syrk_counts_naive(&g.full_view());
+            let got = syrk_counts(&g.full_view(), KernelKind::Auto);
+            assert_eq!(got, expect, "shape ({ns},{n})");
+        }
+    }
+
+    #[test]
+    fn syrk_with_tiny_blocks() {
+        let g = pseudo(200, 17, 8);
+        let expect = syrk_counts_naive(&g.full_view());
+        let mut c = vec![0u32; 17 * 17];
+        syrk_counts_buf(
+            &g.full_view(),
+            &mut c,
+            17,
+            KernelKind::Auto,
+            BlockSizes { kc: 1, mc: 2, nc: 3 },
+            1,
+        );
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn syrk_multithreaded_matches() {
+        let g = pseudo(96, 33, 4);
+        let expect = syrk_counts_naive(&g.full_view());
+        for threads in [1usize, 2, 3, 5, 16, 100] {
+            let got = syrk_counts_mt(&g.full_view(), KernelKind::Auto, threads);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn diagonal_holds_allele_counts() {
+        let g = pseudo(70, 12, 5);
+        let c = syrk_counts(&g.full_view(), KernelKind::Auto);
+        for j in 0..12 {
+            assert_eq!(c[j * 12 + j] as u64, g.ones_in_snp(j));
+        }
+    }
+
+    #[test]
+    fn result_is_symmetric() {
+        let g = pseudo(88, 15, 6);
+        let c = syrk_counts_mt(&g.full_view(), KernelKind::Auto, 4);
+        for i in 0..15 {
+            for j in 0..15 {
+                assert_eq!(c[i * 15 + j], c[j * 15 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_helper() {
+        let n = 3;
+        let mut c = vec![0u32; 9];
+        c[0 * 3 + 1] = 5;
+        c[0 * 3 + 2] = 7;
+        c[1 * 3 + 2] = 9;
+        mirror_upper_to_lower(&mut c, n, n);
+        assert_eq!(c[1 * 3 + 0], 5);
+        assert_eq!(c[2 * 3 + 0], 7);
+        assert_eq!(c[2 * 3 + 1], 9);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let g = BitMatrix::zeros(10, 0);
+        let c = syrk_counts(&g.full_view(), KernelKind::Auto);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn syrk_on_view_window() {
+        let g = pseudo(80, 20, 7);
+        let v = g.view(5, 15);
+        let expect = syrk_counts_naive(&v);
+        let got = syrk_counts(&v, KernelKind::Auto);
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: the blocked GotoBLAS drivers agree with the naive
+//! pairwise oracle on arbitrary shapes, block sizes and kernels.
+
+use ld_bitmat::BitMatrix;
+use ld_kernels::micro::supported_kernels;
+use ld_kernels::reference::{gemm_counts_naive, syrk_counts_naive};
+use ld_kernels::{gemm_counts_mt, syrk_counts_buf, BlockSizes, KernelKind};
+use proptest::prelude::*;
+
+fn random_matrix(n_samples: usize, n_snps: usize, bits: &[bool]) -> BitMatrix {
+    let mut g = BitMatrix::zeros(n_samples, n_snps);
+    let mut it = bits.iter().cycle();
+    for j in 0..n_snps {
+        for s in 0..n_samples {
+            if *it.next().unwrap() {
+                g.set(s, j, true);
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_matches_naive(
+        n_samples in 1usize..300,
+        m in 1usize..24,
+        n in 1usize..24,
+        bits in proptest::collection::vec(any::<bool>(), 64..512),
+        kc in 1usize..8,
+        mc in 1usize..10,
+        nc in 1usize..10,
+        threads in 1usize..5,
+    ) {
+        let a = random_matrix(n_samples, m, &bits);
+        let b = random_matrix(n_samples, n, &bits[bits.len()/2..]);
+        let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
+        let blocks = BlockSizes { kc, mc, nc };
+        let mut c = vec![0u32; m * n];
+        gemm_counts_mt(&a.full_view(), &b.full_view(), &mut c, n, KernelKind::Auto, blocks, threads);
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn syrk_matches_naive(
+        n_samples in 1usize..300,
+        n in 1usize..30,
+        bits in proptest::collection::vec(any::<bool>(), 64..512),
+        kc in 1usize..8,
+        mc in 1usize..10,
+        nc in 1usize..10,
+        threads in 1usize..5,
+    ) {
+        let g = random_matrix(n_samples, n, &bits);
+        let expect = syrk_counts_naive(&g.full_view());
+        let blocks = BlockSizes { kc, mc, nc };
+        let mut c = vec![0u32; n * n];
+        syrk_counts_buf(&g.full_view(), &mut c, n, KernelKind::Auto, blocks, threads);
+        prop_assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn every_kernel_agrees(
+        n_samples in 1usize..200,
+        m in 1usize..12,
+        n in 1usize..12,
+        bits in proptest::collection::vec(any::<bool>(), 64..256),
+    ) {
+        let a = random_matrix(n_samples, m, &bits);
+        let b = random_matrix(n_samples, n, &bits[1..]);
+        let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
+        for k in supported_kernels() {
+            let mut c = vec![0u32; m * n];
+            gemm_counts_mt(&a.full_view(), &b.full_view(), &mut c, n, k.kind(), BlockSizes::default(), 1);
+            prop_assert_eq!(&c, &expect, "kernel {}", k.kind());
+        }
+    }
+
+    #[test]
+    fn counts_respect_set_bounds(
+        n_samples in 1usize..200,
+        n in 2usize..16,
+        bits in proptest::collection::vec(any::<bool>(), 64..256),
+    ) {
+        // C[i,j] ≤ min(C[i,i], C[j,j]) — intersections are bounded by the
+        // smaller allele count, an invariant the r² denominators rely on.
+        let g = random_matrix(n_samples, n, &bits);
+        let c = ld_kernels::syrk_counts(&g.full_view(), KernelKind::Auto);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(c[i * n + j] <= c[i * n + i].min(c[j * n + j]));
+            }
+        }
+    }
+}

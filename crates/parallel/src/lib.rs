@@ -1,0 +1,31 @@
+//! # ld-parallel — threading substrate for the LD kernels
+//!
+//! The paper parallelizes its GEMM-based LD the BLIS way: the macro loops
+//! around the micro-kernel are partitioned across cores, each thread packing
+//! and computing an independent slab of the output (Tables I–III, Fig. 5).
+//! This crate provides the small, dependency-light machinery for that:
+//!
+//! * [`run_team`] — fork-join execution of a closure on `n` logical workers
+//!   using `std::thread::scope` (the calling thread doubles as worker 0, so
+//!   a team of 1 runs inline with zero overhead);
+//! * [`parallel_for`] / [`parallel_for_dynamic`] — data-parallel loops over
+//!   index ranges with static (even slabs) or dynamic (atomic chunk
+//!   grabbing) scheduling;
+//! * [`partition`] — range-splitting helpers, including the triangle-aware
+//!   splitter that balances the `N(N+1)/2` pair workload of the symmetric
+//!   `GᵀG` (SYRK) driver;
+//! * [`ThreadPool`] — a persistent channel-fed pool for coarse `'static`
+//!   jobs (used by the benchmark harness to overlap dataset generation).
+//!
+//! Everything here guarantees data-race freedom through the type system:
+//! scoped threads borrow, the pool owns.
+
+#![warn(missing_docs)]
+
+pub mod partition;
+mod pool;
+mod team;
+
+pub use partition::{even_ranges, triangle_ranges};
+pub use pool::ThreadPool;
+pub use team::{available_threads, parallel_for, parallel_for_dynamic, run_team};

@@ -1,0 +1,135 @@
+//! Range-splitting helpers for load balancing.
+
+use std::ops::Range;
+
+/// Splits `0..len` into `parts` nearly-even contiguous ranges (lengths
+/// differ by at most one; trailing ranges may be empty when
+/// `parts > len`).
+pub fn even_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let take = base + usize::from(p < extra);
+        out.push(start..start + take);
+        start += take;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Splits the columns `0..n` of a **symmetric, upper-triangular** workload
+/// into `parts` contiguous column ranges of approximately equal *pair*
+/// count.
+///
+/// When the SYRK driver computes only the `j ≥ i` triangle of `GᵀG`,
+/// column `j` costs `j + 1` tile-row visits, so an even column split would
+/// give the last thread ~2× the work of a balanced one. This splitter
+/// equalizes `Σ (j+1)` per part instead — the partitioning OmegaPlus-style
+/// and PLINK-style pairwise drivers also use for their triangular loops.
+pub fn triangle_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let total: u128 = (n as u128) * (n as u128 + 1) / 2;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut done: u128 = 0;
+    for p in 0..parts {
+        if p + 1 == parts {
+            out.push(start..n);
+            break;
+        }
+        let target = total * (p as u128 + 1) / parts as u128;
+        let mut end = start;
+        while end < n && done < target {
+            done += end as u128 + 1;
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    while out.len() < parts {
+        out.push(n..n);
+    }
+    out
+}
+
+/// Total pair count (`Σ (j+1)` for `j` in the range) of a triangular
+/// column range — used by tests and the balance heuristics.
+pub fn triangle_weight(r: &Range<usize>) -> u128 {
+    let a = r.start as u128;
+    let b = r.end as u128;
+    // Σ_{j=a}^{b-1} (j+1) = (b(b+1) - a(a+1)) / 2
+    (b * (b + 1) - a * (a + 1)) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_ranges_cover_and_balance() {
+        for (len, parts) in [(10usize, 3usize), (0, 4), (5, 5), (7, 10), (100, 7)] {
+            let rs = even_ranges(len, parts);
+            assert_eq!(rs.len(), parts);
+            assert_eq!(rs.first().unwrap().start, 0);
+            assert_eq!(rs.last().unwrap().end, len);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let (min, max) = rs
+                .iter()
+                .map(|r| r.len())
+                .fold((usize::MAX, 0), |(a, b), l| (a.min(l), b.max(l)));
+            assert!(max - min <= 1, "len={len} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn triangle_ranges_cover() {
+        for (n, parts) in [(100usize, 4usize), (10, 3), (1, 2), (0, 3), (1000, 12)] {
+            let rs = triangle_ranges(n, parts);
+            assert_eq!(rs.len(), parts);
+            assert_eq!(rs.first().unwrap().start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_ranges_balance_pairs() {
+        let n = 10_000usize;
+        let parts = 8;
+        let rs = triangle_ranges(n, parts);
+        let total: u128 = (n as u128) * (n as u128 + 1) / 2;
+        let ideal = total / parts as u128;
+        for r in &rs {
+            let w = triangle_weight(r);
+            // within 5% of ideal for a large triangle
+            assert!(
+                w * 100 >= ideal * 95 && w * 100 <= ideal * 105,
+                "range {r:?} weight {w} vs ideal {ideal}"
+            );
+        }
+        let sum: u128 = rs.iter().map(triangle_weight).sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn triangle_weight_formula() {
+        assert_eq!(triangle_weight(&(0..4)), 1 + 2 + 3 + 4);
+        assert_eq!(triangle_weight(&(2..5)), 3 + 4 + 5);
+        assert_eq!(triangle_weight(&(3..3)), 0);
+    }
+
+    #[test]
+    fn triangle_first_range_is_widest() {
+        // Early columns are cheap, so the first range should hold the most
+        // columns for any n >> parts.
+        let rs = triangle_ranges(1000, 4);
+        assert!(rs[0].len() > rs[3].len());
+    }
+}

@@ -1,0 +1,179 @@
+//! A persistent thread pool for coarse `'static` jobs.
+//!
+//! The GEMM drivers use scoped teams ([`crate::run_team`]) so they can
+//! borrow packing buffers; this pool complements them for fire-and-forget
+//! or overlap work (dataset generation in the bench harness, per-window ω
+//! jobs in the CLI) where a long-lived set of workers is preferable to
+//! spawning threads per call.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// A fixed-size pool of worker threads consuming jobs from a channel.
+///
+/// ```
+/// use ld_parallel::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(3);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..10 {
+///     let c = counter.clone();
+///     pool.execute(move || { c.fetch_add(1, Ordering::Relaxed); });
+/// }
+/// pool.wait();
+/// assert_eq!(counter.load(Ordering::Relaxed), 10);
+/// ```
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `n_threads` workers (at least one).
+    pub fn new(n_threads: usize) -> Self {
+        let n = n_threads.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let shared = Arc::new(Shared { pending: Mutex::new(0), all_done: Condvar::new() });
+        let workers = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ld-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            let mut pending = shared.pending.lock();
+                            *pending -= 1;
+                            if *pending == 0 {
+                                shared.all_done.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { tx: Some(tx), workers, shared }
+    }
+
+    /// Number of worker threads.
+    pub fn n_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job. Panics if called after the pool started shutting down
+    /// (cannot happen through the safe API, which consumes the pool on drop).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        *self.shared.pending.lock() += 1;
+        self.tx
+            .as_ref()
+            .expect("pool is shut down")
+            .send(Box::new(job))
+            .expect("pool workers disappeared");
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait(&self) {
+        let mut pending = self.shared.pending.lock();
+        while *pending > 0 {
+            self.shared.all_done.wait(&mut pending);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.wait();
+        // Closing the channel stops the workers.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = c.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(c.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn wait_with_no_jobs_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+        assert_eq!(pool.n_threads(), 2);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let c = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            for _ in 0..50 {
+                let c = c.clone();
+                pool.execute(move || {
+                    std::thread::yield_now();
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // drop without explicit wait
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.n_threads(), 1);
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = c.clone();
+        pool.execute(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait();
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reusable_across_waves() {
+        let pool = ThreadPool::new(2);
+        let c = Arc::new(AtomicUsize::new(0));
+        for _wave in 0..3 {
+            for _ in 0..10 {
+                let c = c.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 30);
+    }
+}

@@ -1,0 +1,168 @@
+//! Fork-join worker teams over `std::thread::scope`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads available, with a floor of 1.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(worker_id)` on `n_threads` logical workers and waits for all of
+/// them. Worker 0 is the calling thread, so `run_team(1, f)` is just
+/// `f(0)` — the single-thread path has no synchronization cost, which
+/// matters when benchmarking 1-thread rows of the paper's tables.
+///
+/// The closure may borrow from the caller's stack (scoped threads).
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let hits = AtomicUsize::new(0);
+/// ld_parallel::run_team(4, |tid| {
+///     hits.fetch_add(tid + 1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+/// ```
+pub fn run_team<F>(n_threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = n_threads.max(1);
+    if n == 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for tid in 1..n {
+            let f = &f;
+            s.spawn(move || f(tid));
+        }
+        f(0);
+    });
+}
+
+/// Statically-scheduled parallel loop: splits `0..len` into `n_threads`
+/// nearly-even contiguous slabs and runs `f(range)` on each worker.
+///
+/// Use when iterations have uniform cost (e.g. GEMM column blocks).
+pub fn parallel_for<F>(n_threads: usize, len: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let n = n_threads.max(1).min(len.max(1));
+    if n == 1 {
+        f(0..len);
+        return;
+    }
+    let ranges = crate::partition::even_ranges(len, n);
+    run_team(n, |tid| {
+        let r = ranges[tid].clone();
+        if !r.is_empty() {
+            f(r);
+        }
+    });
+}
+
+/// Dynamically-scheduled parallel loop: workers grab chunks of `grain`
+/// consecutive indices from an atomic counter until the range is drained.
+///
+/// Use when iteration costs are skewed (e.g. the triangular SYRK tile
+/// space, or ω-statistic windows of varying SNP counts).
+pub fn parallel_for_dynamic<F>(n_threads: usize, len: usize, grain: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let n = n_threads.max(1);
+    let grain = grain.max(1);
+    if n == 1 || len <= grain {
+        if len > 0 {
+            f(0..len);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    run_team(n, |_tid| loop {
+        let start = next.fetch_add(grain, Ordering::Relaxed);
+        if start >= len {
+            break;
+        }
+        let end = (start + grain).min(len);
+        f(start..end);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn team_runs_every_worker_once() {
+        for n in [1usize, 2, 3, 8] {
+            let seen = Mutex::new(vec![0usize; n]);
+            run_team(n, |tid| {
+                seen.lock().unwrap()[tid] += 1;
+            });
+            assert_eq!(*seen.lock().unwrap(), vec![1; n], "n={n}");
+        }
+    }
+
+    #[test]
+    fn team_zero_is_clamped_to_one() {
+        let ran = AtomicUsize::new(0);
+        run_team(0, |tid| {
+            assert_eq!(tid, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn static_for_covers_range_exactly_once() {
+        for (threads, len) in [(1usize, 10usize), (3, 10), (4, 3), (8, 100), (5, 0)] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for(threads, len, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_for_covers_range_exactly_once() {
+        for (threads, len, grain) in [(1usize, 10usize, 3usize), (4, 100, 7), (3, 5, 100), (2, 0, 1)]
+        {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for_dynamic(threads, len, grain, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads} len={len} grain={grain}"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_can_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        parallel_for(2, data.len(), |r| {
+            let local: u64 = data[r].iter().sum();
+            sum.fetch_add(local as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

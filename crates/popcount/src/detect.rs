@@ -1,0 +1,74 @@
+//! Runtime CPU feature detection.
+//!
+//! Every explicitly-vectorized kernel in the workspace is gated on the
+//! features reported here; on CPUs without them the engine silently uses
+//! the scalar POPCNT path (the paper's main implementation).
+
+/// The instruction-set features relevant to LD kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// Hardware scalar `POPCNT` (x86, 2007+ per the paper).
+    pub popcnt: bool,
+    /// 256-bit AVX2 integer SIMD (needed by the Mula software popcount and
+    /// the extract/insert anti-pattern kernel).
+    pub avx2: bool,
+    /// AVX-512 foundation (512-bit registers).
+    pub avx512f: bool,
+    /// AVX-512 `VPOPCNTDQ` — the vectorized population count instruction
+    /// whose absence §V of the paper laments.
+    pub avx512vpopcntdq: bool,
+}
+
+impl CpuFeatures {
+    /// Detects the features of the current CPU.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Self {
+                popcnt: std::arch::is_x86_feature_detected!("popcnt"),
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+                avx512vpopcntdq: std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self::default()
+        }
+    }
+
+    /// True if the AVX-512 vector-popcount kernel can run.
+    pub fn has_vector_popcount(&self) -> bool {
+        self.avx512f && self.avx512vpopcntdq
+    }
+
+    /// Human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "popcnt={} avx2={} avx512f={} vpopcntdq={}",
+            self.popcnt, self.avx2, self.avx512f, self.avx512vpopcntdq
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_does_not_panic_and_is_consistent() {
+        let f = CpuFeatures::detect();
+        // vpopcntdq implies avx512f on any real CPU; our accessor demands both.
+        if f.has_vector_popcount() {
+            assert!(f.avx512f && f.avx512vpopcntdq);
+        }
+        let s = f.summary();
+        assert!(s.contains("popcnt="));
+    }
+
+    #[test]
+    fn default_is_all_false() {
+        let f = CpuFeatures::default();
+        assert!(!f.popcnt && !f.avx2 && !f.has_vector_popcount());
+    }
+}

@@ -1,0 +1,32 @@
+//! # ld-popcount — population-count strategies and the SIMD cost model
+//!
+//! The performance bottleneck of linkage-disequilibrium computation is the
+//! *population count*: every haplotype-frequency inner product is
+//! `Σ_k POPCNT(s_i^k & s_j^k)` over packed 64-bit words (paper §IV-A).
+//! This crate collects every way of computing that primitive that the paper
+//! discusses or that its argument implies:
+//!
+//! * [`strategies`] — scalar strategies: the hardware `POPCNT` instruction
+//!   (`u64::count_ones`), the classic SWAR bit-twiddle, and 8-/16-bit lookup
+//!   tables (the "software implementations" of the paper's §IV references
+//!   \[17\], \[18\]), plus a Harley–Seal carry-save adder for bulk slices.
+//! * [`simd`] — explicitly vectorized bulk popcounts: the AVX2
+//!   Mula/`PSHUFB` nibble-table popcount (software vector popcount) and the
+//!   AVX-512 `VPOPCNTDQ` instruction (the *hardware vectorized popcount* the
+//!   paper's §V-B asks for), both runtime-feature-guarded; and the
+//!   extract/insert anti-pattern of §V-A for measurement.
+//! * [`model`] — the paper's §V analytical model: `T`, `T_SIMD`, `T_HW` as
+//!   functions of the SIMD width `v`, showing why wider SIMD without a
+//!   vector popcount yields no speedup.
+//! * [`detect`] — runtime CPU feature detection used to pick kernels.
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod model;
+pub mod simd;
+pub mod strategies;
+
+pub use detect::CpuFeatures;
+pub use model::{SimdCostModel, SimdTimes};
+pub use strategies::{and_popcount, popcount, popcount_slice, PopcountStrategy};

@@ -1,0 +1,176 @@
+//! The paper's §V analytical model of SIMD benefit for LD.
+//!
+//! The micro-kernel's steady state issues, per packed 64-bit word pair, one
+//! `AND`, one `POPCNT` and one `ADD`; the paper assumes all three can issue
+//! in the same cycle, giving a theoretical peak of 3 ops/cycle and a
+//! per-word time of `max(T_and, T_popcnt, T_add)`.
+//!
+//! * **Scalar** (`T`): `m·n·max(T_and, T_popcnt, T_add)`.
+//! * **SIMD without vector popcount** (`T_SIMD`): AND and ADD drop to
+//!   `T/v` for `v` lanes, but POPCNT stays scalar, so the max is unchanged —
+//!   *no benefit*. Worse, each lane must be **extracted** before the scalar
+//!   POPCNT and the result **inserted** back; these transfers contend for
+//!   the same hardware, adding a per-word penalty `T_xfer`, so the model
+//!   allows `T_SIMD > T` (a slowdown).
+//! * **Hardware vector popcount** (`T_HW`): all three scale, giving
+//!   `T/v` — the full SIMD speedup (§V-B; realized today by AVX-512
+//!   `VPOPCNTDQ`).
+
+use std::fmt;
+
+/// Instruction timing assumptions for the §V model, in cycles per
+/// instruction (the paper uses 1 for everything).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimdCostModel {
+    /// SIMD width in 64-bit lanes (`v` in the paper): 1 = scalar,
+    /// 2 = SSE, 4 = AVX2, 8 = AVX-512.
+    pub lanes: usize,
+    /// Cycles per AND instruction.
+    pub t_and: f64,
+    /// Cycles per POPCNT instruction (scalar, 64-bit).
+    pub t_popcnt: f64,
+    /// Cycles per ADD (accumulate) instruction.
+    pub t_add: f64,
+    /// Extra cycles per 64-bit word spent extracting lanes to feed the
+    /// scalar POPCNT and inserting results back (§V-A: "extractions and
+    /// insertions cannot be performed in parallel as they require the same
+    /// hardware resources"). Zero in the best case the paper first assumes.
+    pub t_xfer: f64,
+}
+
+impl SimdCostModel {
+    /// The paper's idealized assumptions: every instruction is 1 cycle,
+    /// no transfer penalty.
+    pub fn paper_ideal(lanes: usize) -> Self {
+        Self { lanes, t_and: 1.0, t_popcnt: 1.0, t_add: 1.0, t_xfer: 0.0 }
+    }
+
+    /// Like [`SimdCostModel::paper_ideal`] but with a transfer penalty of
+    /// one cycle per extract and one per insert per word — the "in
+    /// practice" case of §V-A.
+    pub fn paper_practical(lanes: usize) -> Self {
+        Self { lanes, t_and: 1.0, t_popcnt: 1.0, t_add: 1.0, t_xfer: 2.0 }
+    }
+
+    /// Scalar time per word pair: `max(T_and, T_popcnt, T_add)`.
+    pub fn word_time_scalar(&self) -> f64 {
+        self.t_and.max(self.t_popcnt).max(self.t_add)
+    }
+
+    /// SIMD-without-vector-popcount time per word pair:
+    /// `max(T_and/v, T_add/v, T_popcnt + T_xfer)`.
+    pub fn word_time_simd(&self) -> f64 {
+        let v = self.lanes as f64;
+        (self.t_and / v).max(self.t_add / v).max(self.t_popcnt + self.t_xfer)
+    }
+
+    /// Hardware-vector-popcount time per word pair: `max(...)/v`.
+    pub fn word_time_hw(&self) -> f64 {
+        self.word_time_scalar() / self.lanes as f64
+    }
+
+    /// Full-matrix times for an `m × n` output with `k_words` packed words
+    /// per SNP (the paper folds `k` into the per-element constant; we keep
+    /// it explicit).
+    pub fn times(&self, m: usize, n: usize, k_words: usize) -> SimdTimes {
+        let elems = (m as f64) * (n as f64) * (k_words as f64);
+        SimdTimes {
+            lanes: self.lanes,
+            scalar: elems * self.word_time_scalar(),
+            simd: elems * self.word_time_simd(),
+            hw: elems * self.word_time_hw(),
+        }
+    }
+
+    /// Predicted speedup of SIMD-without-vector-popcount over scalar
+    /// (≤ 1.0 whenever `t_xfer ≥ 0` — the paper's headline claim).
+    pub fn simd_speedup(&self) -> f64 {
+        self.word_time_scalar() / self.word_time_simd()
+    }
+
+    /// Predicted speedup of hardware vector popcount over scalar (= `v`).
+    pub fn hw_speedup(&self) -> f64 {
+        self.word_time_scalar() / self.word_time_hw()
+    }
+}
+
+/// Predicted cycle counts for the three §V scenarios.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimdTimes {
+    /// SIMD width used for the prediction.
+    pub lanes: usize,
+    /// `T`: scalar implementation.
+    pub scalar: f64,
+    /// `T_SIMD`: SIMD AND/ADD, scalar POPCNT with lane transfers.
+    pub simd: f64,
+    /// `T_HW`: vectorized POPCNT in hardware.
+    pub hw: f64,
+}
+
+impl fmt::Display for SimdTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "v={:<2} T={:>12.0}  T_SIMD={:>12.0} ({:+.0}%)  T_HW={:>12.0} ({:.1}x)",
+            self.lanes,
+            self.scalar,
+            self.simd,
+            (self.simd / self.scalar - 1.0) * 100.0,
+            self.hw,
+            self.scalar / self.hw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_shows_no_simd_benefit() {
+        // §V-A best case: T_SIMD == T for every width.
+        for v in [1, 2, 4, 8, 16] {
+            let m = SimdCostModel::paper_ideal(v);
+            assert_eq!(m.word_time_simd(), m.word_time_scalar(), "v={v}");
+            assert!((m.simd_speedup() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn practical_model_shows_slowdown() {
+        // With transfer contention, SIMD is strictly slower than scalar.
+        let m = SimdCostModel::paper_practical(4);
+        assert!(m.word_time_simd() > m.word_time_scalar());
+        assert!(m.simd_speedup() < 1.0);
+    }
+
+    #[test]
+    fn hw_popcount_gives_linear_speedup() {
+        for v in [2usize, 4, 8] {
+            let m = SimdCostModel::paper_ideal(v);
+            assert!((m.hw_speedup() - v as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn times_scale_with_problem_size() {
+        let m = SimdCostModel::paper_ideal(8);
+        let t1 = m.times(100, 100, 10);
+        let t2 = m.times(200, 100, 10);
+        assert!((t2.scalar / t1.scalar - 2.0).abs() < 1e-12);
+        assert!((t1.scalar / t1.hw - 8.0).abs() < 1e-12);
+        assert_eq!(t1.lanes, 8);
+    }
+
+    #[test]
+    fn display_mentions_width() {
+        let t = SimdCostModel::paper_ideal(4).times(10, 10, 1);
+        assert!(t.to_string().contains("v=4"));
+    }
+
+    #[test]
+    fn scalar_width_one_is_degenerate() {
+        let m = SimdCostModel::paper_ideal(1);
+        assert_eq!(m.word_time_scalar(), m.word_time_hw());
+    }
+}

@@ -1,0 +1,257 @@
+//! Explicitly vectorized bulk popcounts (x86-64).
+//!
+//! Three code paths, mirroring the paper's §V taxonomy:
+//!
+//! 1. [`and_popcount_extract_insert_avx2`] — the **anti-pattern** analysed
+//!    in §V-A: AND two 256-bit registers, then *extract* each 64-bit lane,
+//!    run the scalar `POPCNT`, and *insert* the results back into a vector
+//!    for a SIMD accumulate. The paper predicts (and our `simd` benchmark
+//!    confirms) this is no faster than staying scalar, because the lane
+//!    traffic serializes on the same ports as the popcount itself.
+//! 2. [`and_popcount_mula_avx2`] — a *software* vector popcount: the
+//!    Mula/`PSHUFB` nibble-lookup computes per-byte counts inside the SIMD
+//!    register and `VPSADBW` horizontally reduces them, i.e. it emulates the
+//!    missing instruction with ~5 cheap vector ops per 256 bits.
+//! 3. [`and_popcount_vpopcntdq`] — the *hardware* vector popcount of
+//!    §V-B: AVX-512 `VPOPCNTQ` counts eight 64-bit lanes per instruction.
+//!
+//! All functions compute `Σ_k popcnt(a[k] & b[k])` and are verified against
+//! the scalar reference in tests (when the CPU supports them).
+
+/// Returns `Σ popcnt(a & b)` using AVX2 with per-lane extract → scalar
+/// `POPCNT` → insert (the §V-A anti-pattern). Falls back to scalar if AVX2
+/// is unavailable.
+pub fn and_popcount_extract_insert_avx2(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            // SAFETY: features checked above.
+            return unsafe { extract_insert_avx2(a, b) };
+        }
+    }
+    crate::strategies::and_popcount(a, b)
+}
+
+/// Scalar `POPCNT` pinned with inline asm so LLVM cannot re-vectorize the
+/// extract/insert sequence into `VPOPCNTQ` on AVX-512 targets (it will,
+/// which would un-measure the very anti-pattern this function exists to
+/// measure).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn popcnt_pinned(x: i64) -> i64 {
+    let r: i64;
+    // SAFETY: callers are gated on POPCNT detection.
+    unsafe {
+        std::arch::asm!(
+            "popcnt {r}, {x}",
+            r = out(reg) r,
+            x = in(reg) x,
+            options(pure, nomem, nostack)
+        );
+    }
+    r
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn extract_insert_avx2(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let and = _mm256_and_si256(va, vb);
+        // Extract each 64-bit lane, scalar POPCNT, re-insert — deliberately
+        // the instruction sequence the paper's §V-A analyses.
+        let l0 = popcnt_pinned(_mm256_extract_epi64::<0>(and));
+        let l1 = popcnt_pinned(_mm256_extract_epi64::<1>(and));
+        let l2 = popcnt_pinned(_mm256_extract_epi64::<2>(and));
+        let l3 = popcnt_pinned(_mm256_extract_epi64::<3>(and));
+        let counts = _mm256_set_epi64x(l3, l2, l1, l0);
+        acc = _mm256_add_epi64(acc, counts);
+        i += 4;
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut total: u64 = lanes.iter().sum();
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as u64;
+        i += 1;
+    }
+    total
+}
+
+/// Returns `Σ popcnt(a & b)` with the AVX2 Mula nibble-LUT popcount
+/// (software vector popcount). Falls back to scalar without AVX2.
+pub fn and_popcount_mula_avx2(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature checked above.
+            return unsafe { mula_avx2(a, b) };
+        }
+    }
+    crate::strategies::and_popcount(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mula_avx2(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // low lane
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, // high lane
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let v = _mm256_and_si256(va, vb);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        // per-byte counts → per-64-bit-lane sums
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+        i += 4;
+    }
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut total: u64 = lanes.iter().sum();
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as u64;
+        i += 1;
+    }
+    total
+}
+
+/// Returns `Σ popcnt(a & b)` using AVX-512 `VPOPCNTQ` — the hardware
+/// vectorized popcount the paper calls for. Falls back to scalar when the
+/// CPU lacks `avx512f`+`avx512vpopcntdq`.
+pub fn and_popcount_vpopcntdq(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            // SAFETY: features checked above.
+            return unsafe { vpopcntdq(a, b) };
+        }
+    }
+    crate::strategies::and_popcount(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn vpopcntdq(a: &[u64], b: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let mut acc = _mm512_setzero_si512();
+    let mut i = 0;
+    while i + 8 <= n {
+        let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+        let vb = _mm512_loadu_si512(b.as_ptr().add(i) as *const _);
+        let and = _mm512_and_si512(va, vb);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(and));
+        i += 8;
+    }
+    let mut total = _mm512_reduce_add_epi64(acc) as u64;
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as u64;
+        i += 1;
+    }
+    total
+}
+
+/// Bulk popcount of a single slice via `VPOPCNTQ` (used for per-SNP allele
+/// counts on large matrices); scalar fallback otherwise.
+pub fn popcount_slice_vpopcntdq(words: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        {
+            // SAFETY: features checked above.
+            return unsafe { popcount_slice_512(words) };
+        }
+    }
+    crate::strategies::popcount_slice(words)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn popcount_slice_512(words: &[u64]) -> u64 {
+    use std::arch::x86_64::*;
+    let n = words.len();
+    let mut acc = _mm512_setzero_si512();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm512_loadu_si512(words.as_ptr().add(i) as *const _);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+        i += 8;
+    }
+    let mut total = _mm512_reduce_add_epi64(acc) as u64;
+    while i < n {
+        total += words[i].count_ones() as u64;
+        i += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::and_popcount;
+
+    fn mk(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut s = seed;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let a: Vec<u64> = (0..n).map(|_| next()).collect();
+        let b: Vec<u64> = (0..n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn vector_paths_match_scalar_reference() {
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 32, 33, 127, 1000] {
+            let (a, b) = mk(n, 0x1234_5678 + n as u64);
+            let expect = and_popcount(&a, &b);
+            assert_eq!(and_popcount_extract_insert_avx2(&a, &b), expect, "extract n={n}");
+            assert_eq!(and_popcount_mula_avx2(&a, &b), expect, "mula n={n}");
+            assert_eq!(and_popcount_vpopcntdq(&a, &b), expect, "vpopcnt n={n}");
+        }
+    }
+
+    #[test]
+    fn slice_popcount_matches() {
+        for n in [0usize, 5, 8, 100, 999] {
+            let (a, _) = mk(n, 99);
+            let expect: u64 = a.iter().map(|w| w.count_ones() as u64).sum();
+            assert_eq!(popcount_slice_vpopcntdq(&a), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn all_ones_and_zeros() {
+        let a = vec![u64::MAX; 16];
+        let z = vec![0u64; 16];
+        assert_eq!(and_popcount_mula_avx2(&a, &a), 16 * 64);
+        assert_eq!(and_popcount_mula_avx2(&a, &z), 0);
+        assert_eq!(and_popcount_vpopcntdq(&a, &a), 16 * 64);
+        assert_eq!(and_popcount_extract_insert_avx2(&a, &z), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Scalar population-count strategies.
+//!
+//! All strategies compute the same function; they differ in instruction mix
+//! and therefore throughput. The paper (§IV-A) cites measurements showing
+//! the hardware `POPCNT` instruction beating every software scheme, which
+//! the `ablation` benchmark of `ld-bench` reproduces.
+
+/// 8-bit lookup table: `LUT8[b]` = number of set bits in byte `b`.
+static LUT8: [u8; 256] = build_lut8();
+
+const fn build_lut8() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = (i as u8).count_ones() as u8;
+        i += 1;
+    }
+    t
+}
+
+/// A scalar strategy for counting set bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PopcountStrategy {
+    /// The hardware `POPCNT` instruction (`u64::count_ones`; compiles to
+    /// `popcnt` when the target supports it). The paper's choice.
+    Hardware,
+    /// The classic SWAR (SIMD-within-a-register) bit-twiddling sequence —
+    /// what `count_ones` lowers to on targets *without* `POPCNT`.
+    Swar,
+    /// Byte-wise 256-entry lookup table.
+    Lut8,
+    /// 16-bit 65536-entry lookup table (large but fewer lookups per word).
+    Lut16,
+    /// Harley–Seal carry-save-adder reduction; only meaningful for bulk
+    /// slices, where it amortizes full-adder networks over 8 words.
+    /// Falls back to [`PopcountStrategy::Swar`] for single words.
+    HarleySeal,
+}
+
+impl PopcountStrategy {
+    /// All strategies, for sweeps and tests.
+    pub const ALL: [PopcountStrategy; 5] = [
+        PopcountStrategy::Hardware,
+        PopcountStrategy::Swar,
+        PopcountStrategy::Lut8,
+        PopcountStrategy::Lut16,
+        PopcountStrategy::HarleySeal,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PopcountStrategy::Hardware => "hardware",
+            PopcountStrategy::Swar => "swar",
+            PopcountStrategy::Lut8 => "lut8",
+            PopcountStrategy::Lut16 => "lut16",
+            PopcountStrategy::HarleySeal => "harley-seal",
+        }
+    }
+
+    /// Counts set bits in one word with this strategy.
+    #[inline]
+    pub fn count_word(self, w: u64) -> u32 {
+        match self {
+            PopcountStrategy::Hardware => w.count_ones(),
+            PopcountStrategy::Swar | PopcountStrategy::HarleySeal => swar(w),
+            PopcountStrategy::Lut8 => lut8(w),
+            PopcountStrategy::Lut16 => lut16(w),
+        }
+    }
+
+    /// Counts set bits over a slice.
+    pub fn count_slice(self, words: &[u64]) -> u64 {
+        match self {
+            PopcountStrategy::HarleySeal => harley_seal(words),
+            _ => words.iter().map(|&w| self.count_word(w) as u64).sum(),
+        }
+    }
+
+    /// Fused `Σ popcnt(a & b)` — the haplotype-frequency inner product.
+    pub fn count_and_slice(self, a: &[u64], b: &[u64]) -> u64 {
+        assert_eq!(a.len(), b.len(), "operand slices must have equal length");
+        match self {
+            PopcountStrategy::HarleySeal => harley_seal_and(a, b),
+            _ => a.iter().zip(b).map(|(&x, &y)| self.count_word(x & y) as u64).sum(),
+        }
+    }
+}
+
+/// Counts set bits of one word with the default (hardware) strategy.
+#[inline]
+pub fn popcount(w: u64) -> u32 {
+    w.count_ones()
+}
+
+/// Counts set bits over a slice with the default strategy.
+#[inline]
+pub fn popcount_slice(words: &[u64]) -> u64 {
+    words.iter().map(|&w| w.count_ones() as u64).sum()
+}
+
+/// `Σ popcnt(a & b)` with the default strategy — Eq. (4)'s numerator.
+#[inline]
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones() as u64).sum()
+}
+
+/// The scalar `POPCNT` instruction pinned with inline asm.
+///
+/// `count_ones()` is auto-vectorized into `VPOPCNTQ` by LLVM when the
+/// build targets an AVX-512 CPU — great for production code, but wrong for
+/// any measurement that must reflect the *scalar* instruction (the paper's
+/// §IV/§V analysis, and the 2016-era baselines in `ld-baselines`, which
+/// historically used the 64-bit scalar intrinsic). Non-x86 targets fall
+/// back to `count_ones()`.
+#[inline(always)]
+pub fn popcount_pinned(x: u64) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let r: u64;
+        // SAFETY: POPCNT is present on every x86-64 CPU since ~2008; the
+        // workspace's kernels verify it at resolution time.
+        unsafe {
+            std::arch::asm!(
+                "popcnt {r}, {x}",
+                r = out(reg) r,
+                x = in(reg) x,
+                options(pure, nomem, nostack)
+            );
+        }
+        r
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        x.count_ones() as u64
+    }
+}
+
+/// `Σ popcnt(a & b)` with the popcount pinned to the scalar instruction,
+/// unrolled 4× for instruction-level parallelism (the shape of the
+/// OmegaPlus inner loop after the paper's footnote-5 upgrade).
+pub fn and_popcount_pinned(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "operand slices must have equal length");
+    let n = a.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0u64, 0u64, 0u64, 0u64);
+    let mut i = 0;
+    while i + 4 <= n {
+        s0 += popcount_pinned(a[i] & b[i]);
+        s1 += popcount_pinned(a[i + 1] & b[i + 1]);
+        s2 += popcount_pinned(a[i + 2] & b[i + 2]);
+        s3 += popcount_pinned(a[i + 3] & b[i + 3]);
+        i += 4;
+    }
+    let mut total = s0 + s1 + s2 + s3;
+    while i < n {
+        total += popcount_pinned(a[i] & b[i]);
+        i += 1;
+    }
+    total
+}
+
+/// SWAR popcount (Hacker's Delight fig. 5-2).
+#[inline]
+fn swar(mut x: u64) -> u32 {
+    x -= (x >> 1) & 0x5555_5555_5555_5555;
+    x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
+    x = (x + (x >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    ((x.wrapping_mul(0x0101_0101_0101_0101)) >> 56) as u32
+}
+
+#[inline]
+fn lut8(w: u64) -> u32 {
+    w.to_le_bytes().iter().map(|&b| LUT8[b as usize] as u32).sum()
+}
+
+fn lut16_table() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
+    TABLE.get_or_init(|| (0..=u16::MAX).map(|v| v.count_ones() as u8).collect())
+}
+
+#[inline]
+fn lut16(w: u64) -> u32 {
+    let t = lut16_table();
+    (0..4).map(|i| t[((w >> (16 * i)) & 0xffff) as usize] as u32).sum()
+}
+
+/// Carry-save full adder: returns (sum, carry) bit-planes.
+#[inline]
+fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let u = a ^ b;
+    (u ^ c, (a & b) | (u & c))
+}
+
+/// Harley–Seal popcount over a slice: processes 8 words through a CSA tree,
+/// counting only the "eights" plane with one scalar popcount per 8 words
+/// (plus small corrections), then handles the remainder naively.
+pub fn harley_seal(words: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let (mut ones, mut twos, mut fours) = (0u64, 0u64, 0u64);
+    let chunks = words.chunks_exact(8);
+    let rest = chunks.remainder();
+    for c in chunks {
+        let (t0, c0) = csa(ones, c[0], c[1]);
+        let (t1, c1) = csa(t0, c[2], c[3]);
+        let (t2, c2) = csa(t1, c[4], c[5]);
+        let (t3, c3) = csa(t2, c[6], c[7]);
+        ones = t3;
+        let (tw0, f0) = csa(twos, c0, c1);
+        let (tw1, f1) = csa(tw0, c2, c3);
+        twos = tw1;
+        let (fo, eight) = csa(fours, f0, f1);
+        fours = fo;
+        total += 8 * swar(eight) as u64;
+    }
+    total += 4 * swar(fours) as u64 + 2 * swar(twos) as u64 + swar(ones) as u64;
+    total + rest.iter().map(|&w| swar(w) as u64).sum::<u64>()
+}
+
+/// Harley–Seal over `a[i] & b[i]`.
+pub fn harley_seal_and(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len());
+    let mut total = 0u64;
+    let (mut ones, mut twos, mut fours) = (0u64, 0u64, 0u64);
+    let mut i = 0;
+    while i + 8 <= a.len() {
+        let w = [
+            a[i] & b[i],
+            a[i + 1] & b[i + 1],
+            a[i + 2] & b[i + 2],
+            a[i + 3] & b[i + 3],
+            a[i + 4] & b[i + 4],
+            a[i + 5] & b[i + 5],
+            a[i + 6] & b[i + 6],
+            a[i + 7] & b[i + 7],
+        ];
+        let (t0, c0) = csa(ones, w[0], w[1]);
+        let (t1, c1) = csa(t0, w[2], w[3]);
+        let (t2, c2) = csa(t1, w[4], w[5]);
+        let (t3, c3) = csa(t2, w[6], w[7]);
+        ones = t3;
+        let (tw0, f0) = csa(twos, c0, c1);
+        let (tw1, f1) = csa(tw0, c2, c3);
+        twos = tw1;
+        let (fo, eight) = csa(fours, f0, f1);
+        fours = fo;
+        total += 8 * swar(eight) as u64;
+        i += 8;
+    }
+    total += 4 * swar(fours) as u64 + 2 * swar(twos) as u64 + swar(ones) as u64;
+    total + a[i..].iter().zip(&b[i..]).map(|(&x, &y)| swar(x & y) as u64).sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROBES: [u64; 8] = [
+        0,
+        u64::MAX,
+        1,
+        1 << 63,
+        0xdead_beef_cafe_babe,
+        0x5555_5555_5555_5555,
+        0xaaaa_aaaa_aaaa_aaaa,
+        0x0123_4567_89ab_cdef,
+    ];
+
+    #[test]
+    fn all_strategies_agree_on_words() {
+        for &w in &PROBES {
+            let expect = w.count_ones();
+            for s in PopcountStrategy::ALL {
+                assert_eq!(s.count_word(w), expect, "strategy {} word {w:#x}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn slice_strategies_agree() {
+        // length 27 exercises the Harley–Seal remainder path
+        let words: Vec<u64> = (0..27).map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let expect: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+        for s in PopcountStrategy::ALL {
+            assert_eq!(s.count_slice(&words), expect, "strategy {}", s.name());
+        }
+        assert_eq!(popcount_slice(&words), expect);
+    }
+
+    #[test]
+    fn and_slice_strategies_agree() {
+        let a: Vec<u64> = (0..33).map(|i| (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)).collect();
+        let b: Vec<u64> = (0..33).map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xff).collect();
+        let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| (x & y).count_ones() as u64).sum();
+        for s in PopcountStrategy::ALL {
+            assert_eq!(s.count_and_slice(&a, &b), expect, "strategy {}", s.name());
+        }
+        assert_eq!(and_popcount(&a, &b), expect);
+    }
+
+    #[test]
+    fn harley_seal_exact_multiples() {
+        let words = vec![u64::MAX; 16];
+        assert_eq!(harley_seal(&words), 16 * 64);
+        let words = vec![u64::MAX; 8];
+        assert_eq!(harley_seal(&words), 8 * 64);
+        assert_eq!(harley_seal(&[]), 0);
+    }
+
+    #[test]
+    fn single_word_popcount() {
+        assert_eq!(popcount(0), 0);
+        assert_eq!(popcount(u64::MAX), 64);
+        assert_eq!(popcount(0b1011), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_slices_panic() {
+        PopcountStrategy::Hardware.count_and_slice(&[1, 2], &[3]);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = PopcountStrategy::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PopcountStrategy::ALL.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! LD with alignment gaps / missing data — the paper's §VII extension.
+//!
+//! Real call sets have holes: failed genotype calls, alignment gaps,
+//! low-quality masks. Dropping every sample with any missing call wastes
+//! data; the §VII scheme instead computes each pair over its own
+//! jointly-valid sample subset using validity bit-vectors and one extra
+//! AND per word.
+//!
+//! This example knocks out 10 % of calls, compares the masked estimate
+//! against the complete-data truth, and shows the bias of the naive
+//! "treat missing as ancestral" approach.
+//!
+//! ```sh
+//! cargo run --release --example missing_data
+//! ```
+
+use gemm_ld::prelude::*;
+use ld_core::NanPolicy;
+use ld_ext::gaps::masked_r2_matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let truth = HaplotypeSimulator::new(2_000, 150).seed(5).generate();
+    let engine = LdEngine::new().nan_policy(NanPolicy::Zero);
+    let r2_true = engine.r2_matrix(&truth);
+
+    // Knock out 10% of calls at random. The observed matrix keeps 0 in the
+    // missing slots (what a naive pipeline would do).
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut observed = truth.clone();
+    let mut mask = ValidityMask::all_valid(truth.n_samples(), truth.n_snps());
+    let mut knocked = 0usize;
+    for j in 0..truth.n_snps() {
+        for s in 0..truth.n_samples() {
+            if rng.gen::<f64>() < 0.10 {
+                mask.set_missing(s, j);
+                observed.set(s, j, false); // naive pipelines zero these
+                knocked += 1;
+            }
+        }
+    }
+    println!(
+        "{} of {} calls removed ({:.1}% missing)",
+        knocked,
+        truth.n_samples() * truth.n_snps(),
+        100.0 * mask.missing_rate()
+    );
+
+    // Masked (per-pair effective N) vs naive (missing = ancestral).
+    let t0 = std::time::Instant::now();
+    let r2_masked = masked_r2_matrix(&observed.full_view(), &mask, 1, NanPolicy::Zero);
+    println!("masked all-pairs r² in {:?}", t0.elapsed());
+    let r2_naive = engine.r2_matrix(&observed);
+
+    let rmse = |m: &LdMatrix| {
+        let mut se = 0.0;
+        let mut n = 0usize;
+        for (i, j, v) in m.iter_pairs() {
+            let t = r2_true.get(i, j);
+            se += (v - t) * (v - t);
+            n += 1;
+        }
+        (se / n as f64).sqrt()
+    };
+    let rmse_masked = rmse(&r2_masked);
+    let rmse_naive = rmse(&r2_naive);
+    println!("\nRMSE vs complete-data truth:");
+    println!("  masked (SectionVII validity vectors): {rmse_masked:.4}");
+    println!("  naive  (missing treated as 0-allele): {rmse_naive:.4}");
+    println!("  improvement: {:.1}x lower error", rmse_naive / rmse_masked);
+    assert!(
+        rmse_masked < rmse_naive,
+        "the validity-vector estimator must beat the naive one"
+    );
+
+    // Per-pair view of what the mask buys.
+    let (i, j) = (10, 11);
+    println!("\npair ({i},{j}):");
+    println!("  truth : r² = {:.4}", r2_true.get(i, j));
+    println!("  masked: r² = {:.4}", r2_masked.get(i, j));
+    println!("  naive : r² = {:.4}", r2_naive.get(i, j));
+}
