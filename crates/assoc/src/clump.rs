@@ -36,8 +36,7 @@ pub fn clump(
     window: usize,
 ) -> Vec<Clump> {
     let engine = engine.clone().nan_policy(NanPolicy::Zero);
-    let mut candidates: Vec<&AssocResult> =
-        results.iter().filter(|r| r.p <= p_threshold).collect();
+    let mut candidates: Vec<&AssocResult> = results.iter().filter(|r| r.p <= p_threshold).collect();
     candidates.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap_or(std::cmp::Ordering::Equal));
     let mut taken = vec![false; g.n_snps()];
     let mut out = Vec::new();
@@ -53,13 +52,17 @@ pub fn clump(
         let win_view = g.subview(lo, hi);
         let cross = engine.r2_cross(index_view, win_view);
         let mut members = Vec::new();
-        for j in lo..hi {
-            if j != r.snp && !taken[j] && cross.get(0, j - lo) >= r2_threshold {
-                taken[j] = true;
+        for (j, taken_j) in taken.iter_mut().enumerate().take(hi).skip(lo) {
+            if j != r.snp && !*taken_j && cross.get(0, j - lo) >= r2_threshold {
+                *taken_j = true;
                 members.push(j);
             }
         }
-        out.push(Clump { index_snp: r.snp, p: r.p, members });
+        out.push(Clump {
+            index_snp: r.snp,
+            p: r.p,
+            members,
+        });
     }
     out
 }
@@ -131,7 +134,14 @@ mod tests {
         let results = allelic_scan(&g.full_view(), &mask, 1);
         // r² must exceed 1.0 -> nothing absorbs, every significant SNP is
         // its own clump... except identical SNPs have r² == 1 ≥ 1.0.
-        let clumps = clump(&g.full_view(), &results, &LdEngine::new(), 0.05, 1.0 + 1e-9, 12);
+        let clumps = clump(
+            &g.full_view(),
+            &results,
+            &LdEngine::new(),
+            0.05,
+            1.0 + 1e-9,
+            12,
+        );
         let n_sig = results.iter().filter(|r| r.p <= 0.05).count();
         assert_eq!(clumps.len(), n_sig);
         assert!(clumps.iter().all(|c| c.members.is_empty()));

@@ -6,8 +6,7 @@
 //! (0/1 per haplotype — convert to diploid dosages upstream if needed).
 
 use ld_bitmat::BitMatrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 /// Simulates binary phenotypes driven by chosen causal SNPs.
 #[derive(Clone, Debug)]
@@ -21,7 +20,12 @@ pub struct PhenotypeSimulator {
 impl PhenotypeSimulator {
     /// A simulator with the given `(snp index, effect size)` pairs.
     pub fn new(causal: Vec<(usize, f64)>) -> Self {
-        Self { causal, prevalence: 0.5, noise_sd: 1.0, seed: 0xbeef }
+        Self {
+            causal,
+            prevalence: 0.5,
+            noise_sd: 1.0,
+            seed: 0xbeef,
+        }
     }
 
     /// Fraction of samples labeled as cases (default 0.5 — balanced).
@@ -71,7 +75,10 @@ impl PhenotypeSimulator {
         let mut sorted = liability.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let cut_idx = ((n as f64) * (1.0 - self.prevalence)) as usize;
-        let cut = sorted.get(cut_idx.min(n.saturating_sub(1))).copied().unwrap_or(f64::MAX);
+        let cut = sorted
+            .get(cut_idx.min(n.saturating_sub(1)))
+            .copied()
+            .unwrap_or(f64::MAX);
         let labels: Vec<bool> = liability.iter().map(|&l| l >= cut).collect();
         let mut mask = vec![0u64; ld_bitmat::words_for(n)];
         for (s, &is_case) in labels.iter().enumerate() {
@@ -121,8 +128,8 @@ mod tests {
         let mut case_n = 0;
         let mut ctrl_alt = 0;
         let mut ctrl_n = 0;
-        for s in 0..2000 {
-            if labels[s] {
+        for (s, &is_case) in labels.iter().enumerate().take(2000) {
+            if is_case {
                 case_n += 1;
                 case_alt += u64::from(g.get(s, causal));
             } else {

@@ -48,7 +48,14 @@ pub fn allelic_scan(g: &BitMatrixView<'_>, case_mask: &[u64], threads: usize) ->
     let n_ctrl = n_samples - n_case;
     let n = g.n_snps();
     let mut out = vec![
-        AssocResult { snp: 0, case_alt: 0, ctrl_alt: 0, chi2: 0.0, p: 1.0, odds_ratio: 1.0 };
+        AssocResult {
+            snp: 0,
+            case_alt: 0,
+            ctrl_alt: 0,
+            chi2: 0.0,
+            p: 1.0,
+            odds_ratio: 1.0
+        };
         n
     ];
     {
@@ -175,7 +182,7 @@ mod tests {
                 s ^= s << 13;
                 s ^= s >> 7;
                 s ^= s << 17;
-                if s % 3 == 0 {
+                if s.is_multiple_of(3) {
                     g.set(smp, j, true);
                 }
             }

@@ -34,7 +34,11 @@ pub fn genomic_lambda(chi2_stats: &[f64]) -> f64 {
     if chi2_stats.is_empty() {
         return f64::NAN;
     }
-    let mut v: Vec<f64> = chi2_stats.iter().copied().filter(|x| x.is_finite()).collect();
+    let mut v: Vec<f64> = chi2_stats
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .collect();
     if v.is_empty() {
         return f64::NAN;
     }

@@ -1,49 +1,56 @@
 //! Property tests for the association layer.
+//! Seeded `ld-rng` cases replace `proptest` (unavailable offline).
 
 use ld_assoc::{allelic_scan, chi2_sf_1df, genomic_lambda, PhenotypeSimulator};
 use ld_bitmat::BitMatrix;
 use ld_data::HaplotypeSimulator;
-use proptest::prelude::*;
+use ld_rng::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn scan_counts_are_consistent(
-        n_samples in 2usize..300,
-        n_snps in 1usize..24,
-        seed in 0u64..10_000,
-    ) {
-        let g = HaplotypeSimulator::new(n_samples, n_snps).seed(seed).generate();
+#[test]
+fn scan_counts_are_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xa550c);
+    for case in 0..24 {
+        let n_samples = rng.gen_range(2usize..300);
+        let n_snps = rng.gen_range(1usize..24);
+        let seed = rng.gen_range(0u64..10_000);
+        let g = HaplotypeSimulator::new(n_samples, n_snps)
+            .seed(seed)
+            .generate();
         let (labels, mask) = PhenotypeSimulator::new(vec![(0, 0.5)])
             .seed(seed ^ 1)
             .simulate(&g);
         let results = allelic_scan(&g.full_view(), &mask, 2);
-        prop_assert_eq!(results.len(), n_snps);
+        assert_eq!(results.len(), n_snps, "case {case}");
         for r in &results {
             // counts never exceed the group sizes or the SNP's total count
             let total = g.ones_in_snp(r.snp);
-            prop_assert_eq!(r.case_alt + r.ctrl_alt, total);
+            assert_eq!(r.case_alt + r.ctrl_alt, total, "case {case}: snp {}", r.snp);
             let n_case = labels.iter().filter(|&&c| c).count() as u64;
-            prop_assert!(r.case_alt <= n_case);
-            prop_assert!(r.ctrl_alt <= n_samples as u64 - n_case);
+            assert!(r.case_alt <= n_case, "case {case}");
+            assert!(r.ctrl_alt <= n_samples as u64 - n_case, "case {case}");
             // p in [0, 1], chi2 >= 0, OR > 0
-            prop_assert!((0.0..=1.0).contains(&r.p));
-            prop_assert!(r.chi2 >= 0.0);
-            prop_assert!(r.odds_ratio > 0.0);
+            assert!((0.0..=1.0).contains(&r.p), "case {case}");
+            assert!(r.chi2 >= 0.0, "case {case}");
+            assert!(r.odds_ratio > 0.0, "case {case}");
             // p agrees with the chi2 through the sf
-            prop_assert!((r.p - chi2_sf_1df(r.chi2)).abs() < 1e-12);
+            assert!((r.p - chi2_sf_1df(r.chi2)).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn swapping_cases_and_controls_preserves_chi2(
-        n_samples in 2usize..200,
-        n_snps in 1usize..12,
-        seed in 0u64..10_000,
-    ) {
-        let g = HaplotypeSimulator::new(n_samples, n_snps).seed(seed).generate();
-        let (_, mask) = PhenotypeSimulator::new(vec![(0, 1.0)]).seed(seed).simulate(&g);
+#[test]
+fn swapping_cases_and_controls_preserves_chi2() {
+    let mut rng = SmallRng::seed_from_u64(0x5a9);
+    for case in 0..24 {
+        let n_samples = rng.gen_range(2usize..200);
+        let n_snps = rng.gen_range(1usize..12);
+        let seed = rng.gen_range(0u64..10_000);
+        let g = HaplotypeSimulator::new(n_samples, n_snps)
+            .seed(seed)
+            .generate();
+        let (_, mask) = PhenotypeSimulator::new(vec![(0, 1.0)])
+            .seed(seed)
+            .simulate(&g);
         // complement the mask within the valid sample range
         let mut inv = mask.clone();
         for (w, word) in inv.iter_mut().enumerate() {
@@ -56,17 +63,23 @@ proptest! {
         let a = allelic_scan(&g.full_view(), &mask, 1);
         let b = allelic_scan(&g.full_view(), &inv, 1);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x.chi2 - y.chi2).abs() < 1e-9, "snp {}", x.snp);
+            assert!((x.chi2 - y.chi2).abs() < 1e-9, "case {case}: snp {}", x.snp);
             // odds ratio inverts
-            prop_assert!((x.odds_ratio * y.odds_ratio - 1.0).abs() < 0.2 * x.odds_ratio.max(1.0));
+            assert!(
+                (x.odds_ratio * y.odds_ratio - 1.0).abs() < 0.2 * x.odds_ratio.max(1.0),
+                "case {case}: snp {}",
+                x.snp
+            );
         }
     }
+}
 
-    #[test]
-    fn null_phenotype_is_calibrated(
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn null_phenotype_is_calibrated() {
+    let mut rng = SmallRng::seed_from_u64(0xca11b);
+    for case in 0..4 {
         // phenotype independent of genotype: lambda should hover near 1
+        let seed = rng.gen_range(0u64..1_000);
         let g = HaplotypeSimulator::new(800, 200).seed(seed).generate();
         let mut mask = vec![0u64; ld_bitmat::words_for(800)];
         let mut s = seed | 1;
@@ -74,30 +87,37 @@ proptest! {
             s ^= s << 13;
             s ^= s >> 7;
             s ^= s << 17;
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 mask[smp / 64] |= 1 << (smp % 64);
             }
         }
         let results = allelic_scan(&g.full_view(), &mask, 1);
         let lambda = genomic_lambda(&results.iter().map(|r| r.chi2).collect::<Vec<_>>());
-        prop_assert!((0.5..2.0).contains(&lambda), "lambda = {lambda}");
+        assert!(
+            (0.5..2.0).contains(&lambda),
+            "case {case}: lambda = {lambda}"
+        );
     }
+}
 
-    #[test]
-    fn constant_phenotype_yields_no_signal(
-        n_samples in 2usize..100,
-        n_snps in 1usize..10,
-        seed in 0u64..10_000,
-    ) {
-        let g = HaplotypeSimulator::new(n_samples, n_snps).seed(seed).generate();
+#[test]
+fn constant_phenotype_yields_no_signal() {
+    let mut rng = SmallRng::seed_from_u64(0xc0);
+    for case in 0..24 {
+        let n_samples = rng.gen_range(2usize..100);
+        let n_snps = rng.gen_range(1usize..10);
+        let seed = rng.gen_range(0u64..10_000);
+        let g = HaplotypeSimulator::new(n_samples, n_snps)
+            .seed(seed)
+            .generate();
         // everyone is a case: chi2 degenerates to 0 for every SNP
         let mut mask = vec![0u64; ld_bitmat::words_for(n_samples)];
         for smp in 0..n_samples {
             mask[smp / 64] |= 1 << (smp % 64);
         }
         for r in allelic_scan(&g.full_view(), &mask, 1) {
-            prop_assert_eq!(r.chi2, 0.0);
-            prop_assert_eq!(r.p, 1.0);
+            assert_eq!(r.chi2, 0.0, "case {case}: snp {}", r.snp);
+            assert_eq!(r.p, 1.0, "case {case}: snp {}", r.snp);
         }
     }
 }
@@ -105,12 +125,7 @@ proptest! {
 #[test]
 fn scan_mask_matches_bitmatrix_semantics() {
     // deterministic end-to-end check against per-sample brute force
-    let g = BitMatrix::from_rows(
-        6,
-        2,
-        [[1u8, 0], [1, 1], [0, 1], [1, 0], [0, 0], [1, 1]],
-    )
-    .unwrap();
+    let g = BitMatrix::from_rows(6, 2, [[1u8, 0], [1, 1], [0, 1], [1, 0], [0, 0], [1, 1]]).unwrap();
     let mask = vec![0b010101u64]; // cases: samples 0, 2, 4
     let r = allelic_scan(&g.full_view(), &mask, 1);
     // snp0 carriers {0,1,3,5}: cases carrying = {0} -> 1

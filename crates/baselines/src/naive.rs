@@ -7,6 +7,7 @@
 //! (PopGenome et al.), and the zero-optimization anchor of the ablation.
 
 use ld_bitmat::BitMatrix;
+use ld_core::fused::SyncSlice;
 use ld_core::{ld_pair_from_counts, LdMatrix, LdPair, NanPolicy};
 use ld_parallel::parallel_for_dynamic;
 
@@ -21,7 +22,10 @@ impl ByteMatrix {
     /// Expands a packed [`BitMatrix`] into bytes.
     pub fn from_bitmatrix(g: &BitMatrix) -> Self {
         let cols = (0..g.n_snps()).map(|j| g.snp_to_bytes(j)).collect();
-        Self { cols, n_samples: g.n_samples() }
+        Self {
+            cols,
+            n_samples: g.n_samples(),
+        }
     }
 
     /// Number of samples.
@@ -59,10 +63,13 @@ impl ByteMatrix {
         let n = self.n_snps();
         let mut out = LdMatrix::zeros(n);
         // Precompute per-SNP counts once (the naive tools do this too).
-        let counts: Vec<u64> =
-            self.cols.iter().map(|c| c.iter().map(|&x| x as u64).sum()).collect();
+        let counts: Vec<u64> = self
+            .cols
+            .iter()
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
         let packed = out.packed_mut();
-        let ptr = SyncPtr(packed.as_mut_ptr(), packed.len());
+        let ptr = SyncSlice::new(packed);
         parallel_for_dynamic(threads, n, 8, |rows| {
             for i in rows.clone() {
                 let off = i * n - (i * i - i) / 2;
@@ -87,18 +94,6 @@ impl ByteMatrix {
             }
         });
         out
-    }
-}
-
-/// Raw-pointer smuggler for disjoint row writes (same soundness argument
-/// as `ld-core`'s engine: row partitions never overlap).
-struct SyncPtr(*mut f64, usize);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
-impl SyncPtr {
-    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
-        debug_assert!(off + len <= self.1);
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(off), len) }
     }
 }
 

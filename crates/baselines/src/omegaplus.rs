@@ -11,6 +11,7 @@
 //! GEMM formulation beats it ~4–6.7× in Tables I–III.
 
 use ld_bitmat::{BitMatrix, BitMatrixView};
+use ld_core::fused::SyncSlice;
 use ld_core::{ld_pair_from_counts, LdMatrix, LdPair, NanPolicy};
 use ld_parallel::parallel_for_dynamic;
 use ld_popcount::strategies::and_popcount_pinned;
@@ -55,7 +56,7 @@ impl OmegaPlusKernel {
         let policy = self.policy;
         {
             let packed = out.packed_mut();
-            let ptr = SyncPtr(packed.as_mut_ptr(), packed.len());
+            let ptr = SyncSlice::new(packed);
             parallel_for_dynamic(threads, n, 4, |rows| {
                 for i in rows.clone() {
                     let off = i * n - (i * i - i) / 2;
@@ -91,16 +92,6 @@ impl OmegaPlusKernel {
             }
         }
         sum
-    }
-}
-
-struct SyncPtr(*mut f64, usize);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
-impl SyncPtr {
-    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
-        debug_assert!(off + len <= self.1);
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(off), len) }
     }
 }
 

@@ -13,6 +13,7 @@
 //! speedups rest on.
 
 use ld_bitmat::{GenotypeMatrix, WORD_BITS};
+use ld_core::fused::SyncSlice;
 use ld_core::{LdMatrix, NanPolicy};
 use ld_parallel::parallel_for_dynamic;
 
@@ -59,8 +60,8 @@ pub fn pair_table(x: &[u64], y: &[u64]) -> PairTable {
         // bed codes: 00 homA1, 01 missing, 10 het, 11 homA2 — one indicator
         // bit per lane, at the even positions.
         let xm = [
-            xl & xh,          // 11: homA2, dosage 0
-            !xl & xh & LANES, // 10: het, dosage 1
+            xl & xh,           // 11: homA2, dosage 0
+            !xl & xh & LANES,  // 10: het, dosage 1
             !xl & !xh & LANES, // 00: homA1, dosage 2
         ];
         let ym = [yl & yh, !yl & yh & LANES, !yl & !yh & LANES];
@@ -218,7 +219,7 @@ impl PlinkKernel {
         let kernel = *self;
         {
             let packed = out.packed_mut();
-            let ptr = SyncPtr(packed.as_mut_ptr(), packed.len());
+            let ptr = SyncSlice::new(packed);
             parallel_for_dynamic(threads, n, 4, |rows| {
                 for i in rows.clone() {
                     let off = i * n - (i * i - i) / 2;
@@ -243,16 +244,6 @@ impl PlinkKernel {
 /// haplotypes per u64 — genotypes need twice the words per individual).
 pub fn genotype_words(n_individuals: usize) -> usize {
     n_individuals.div_ceil(WORD_BITS / 2)
-}
-
-struct SyncPtr(*mut f64, usize);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
-impl SyncPtr {
-    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
-        debug_assert!(off + len <= self.1);
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(off), len) }
-    }
 }
 
 #[cfg(test)]
@@ -321,11 +312,18 @@ mod tests {
     fn em_equals_dosage_without_double_hets() {
         let haps = pseudo_haps(100, 8, 22);
         let genos = GenotypeMatrix::from_haplotypes_as_homozygous(&haps);
-        let d = PlinkKernel::new().mode(PlinkR2Mode::Dosage).r2_matrix(&genos, 1);
-        let e = PlinkKernel::new().mode(PlinkR2Mode::Em).r2_matrix(&genos, 1);
+        let d = PlinkKernel::new()
+            .mode(PlinkR2Mode::Dosage)
+            .r2_matrix(&genos, 1);
+        let e = PlinkKernel::new()
+            .mode(PlinkR2Mode::Em)
+            .r2_matrix(&genos, 1);
         for (i, j, v) in d.iter_upper() {
             let w = e.get(i, j);
-            assert!((v - w).abs() < 1e-6 || (v.is_nan() && w.is_nan()), "({i},{j})");
+            assert!(
+                (v - w).abs() < 1e-6 || (v.is_nan() && w.is_nan()),
+                "({i},{j})"
+            );
         }
     }
 
@@ -336,7 +334,10 @@ mod tests {
         for mode in [PlinkR2Mode::Dosage, PlinkR2Mode::Em] {
             let m = PlinkKernel::new().mode(mode).r2_matrix(&genos, 2);
             for (_, _, v) in m.iter_upper() {
-                assert!(v.is_nan() || (-1e-9..=1.0 + 1e-9).contains(&v), "{mode:?}: {v}");
+                assert!(
+                    v.is_nan() || (-1e-9..=1.0 + 1e-9).contains(&v),
+                    "{mode:?}: {v}"
+                );
             }
         }
     }

@@ -1,7 +1,10 @@
-//! Criterion benchmarks of the application layers: ω scans, Tanimoto
-//! screening, masked LD, finite-sites T.
+//! Benchmarks of the application layers: ω scans, Tanimoto screening,
+//! masked LD, finite-sites T, association scans, banded/decay/blocks.
+//!
+//! Plain `fn main()` harness (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ld_bench::report::{fmt_secs, Table};
+use ld_bench::runner::{time_best, BenchOpts};
 use ld_bench::workloads::random_matrix;
 use ld_bitmat::ValidityMask;
 use ld_core::{LdEngine, NanPolicy};
@@ -11,108 +14,172 @@ use ld_ext::tanimoto::tanimoto_matrix;
 use ld_kernels::KernelKind;
 use ld_omega::OmegaScan;
 
-fn bench_omega_scan(c: &mut Criterion) {
-    let g = random_matrix(512, 400, 0.3, 21);
-    let mut group = c.benchmark_group("omega");
-    group.sample_size(10);
-    let scan = OmegaScan::new(50, 25);
-    group.bench_function("scan-400snps-w50", |b| b.iter(|| scan.scan(&g)));
-    let r2 = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(g.view(0, 50));
-    group.bench_function("omega-max-of-window", |b| b.iter(|| ld_omega::omega_max(&r2)));
-    group.finish();
-}
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let budget = if opts.full { 1.0 } else { 0.1 };
+    let mut table = Table::new(["bench", "case", "best"]);
+    let mut push = |bench: &str, case: &str, t: f64| {
+        table.row([bench.to_string(), case.to_string(), fmt_secs(t)]);
+    };
 
-fn bench_tanimoto(c: &mut Criterion) {
-    let fp = clustered_fingerprints(256, 1024, 16, 0.08, 0.01, 3);
-    let mut group = c.benchmark_group("tanimoto");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements((256 * 257 / 2) as u64));
-    group.bench_function("all-pairs-256x1024bits", |b| {
-        b.iter(|| tanimoto_matrix(&fp.full_view(), KernelKind::Auto, 1))
-    });
-    group.finish();
-}
-
-fn bench_masked(c: &mut Criterion) {
-    let g = random_matrix(1024, 128, 0.3, 9);
-    let mut mask = ValidityMask::all_valid(1024, 128);
-    // 5% missing
-    for j in 0..128 {
-        for s in (0..1024).step_by(20) {
-            mask.set_missing((s + j) % 1024, j);
-        }
+    // -- ω scans -----------------------------------------------------------
+    {
+        let g = random_matrix(512, 400, 0.3, 21);
+        let scan = OmegaScan::new(50, 25);
+        push(
+            "omega",
+            "scan-400snps-w50",
+            time_best(|| drop(scan.scan(&g)), budget, 10),
+        );
+        let r2 = LdEngine::new()
+            .nan_policy(NanPolicy::Zero)
+            .r2_matrix(g.view(0, 50));
+        push(
+            "omega",
+            "omega-max-of-window",
+            time_best(
+                || {
+                    let _ = ld_omega::omega_max(&r2);
+                },
+                budget,
+                50,
+            ),
+        );
     }
-    let mut group = c.benchmark_group("masked-ld");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements((128 * 129 / 2) as u64));
-    group.bench_function("masked-r2-128snps", |b| {
-        b.iter(|| masked_r2_matrix(&g.full_view(), &mask, 1, NanPolicy::Zero))
-    });
-    let plain = LdEngine::new().threads(1).nan_policy(NanPolicy::Zero);
-    group.bench_function("unmasked-r2-128snps", |b| b.iter(|| plain.r2_matrix(&g)));
-    group.finish();
-}
 
-fn bench_fsm(c: &mut Criterion) {
-    // biallelic nucleotide data, 32 sites x 512 samples
-    let bits = random_matrix(512, 32, 0.4, 13);
-    let cols: Vec<String> = (0..32)
-        .map(|j| {
-            (0..512).map(|s| if bits.get(s, j) { 'A' } else { 'G' }).collect::<String>()
-        })
-        .collect();
-    let m = ld_ext::fsm::NucleotideMatrix::from_site_strings(512, cols);
-    let mut group = c.benchmark_group("finite-sites");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements((32 * 33 / 2) as u64));
-    group.bench_function("zaykin-t-32sites", |b| {
-        b.iter(|| m.t_matrix(1, NanPolicy::Zero))
-    });
-    group.finish();
-}
+    // -- Tanimoto ----------------------------------------------------------
+    {
+        let fp = clustered_fingerprints(256, 1024, 16, 0.08, 0.01, 3);
+        push(
+            "tanimoto",
+            "all-pairs-256x1024bits",
+            time_best(
+                || drop(tanimoto_matrix(&fp.full_view(), KernelKind::Auto, 1)),
+                budget,
+                10,
+            ),
+        );
+    }
 
-fn bench_assoc_scan(c: &mut Criterion) {
-    let g = random_matrix(8192, 512, 0.3, 31);
-    let mask: Vec<u64> = (0..g.words_per_snp())
-        .map(|w| if w + 1 == g.words_per_snp() { ld_bitmat::tail_mask(8192) & 0x5555_5555_5555_5555 } else { 0x5555_5555_5555_5555 })
-        .collect();
-    let mut group = c.benchmark_group("assoc");
-    group.throughput(Throughput::Elements(512));
-    group.bench_function("allelic-scan-512snps-8k-samples", |b| {
-        b.iter(|| ld_assoc::allelic_scan(&g.full_view(), &mask, 1))
-    });
-    group.finish();
-}
+    // -- masked LD ---------------------------------------------------------
+    {
+        let g = random_matrix(1024, 128, 0.3, 9);
+        let mut mask = ValidityMask::all_valid(1024, 128);
+        // 5% missing
+        for j in 0..128 {
+            for s in (0..1024).step_by(20) {
+                mask.set_missing((s + j) % 1024, j);
+            }
+        }
+        push(
+            "masked-ld",
+            "masked-r2-128snps",
+            time_best(
+                || drop(masked_r2_matrix(&g.full_view(), &mask, 1, NanPolicy::Zero)),
+                budget,
+                10,
+            ),
+        );
+        let plain = LdEngine::new().threads(1).nan_policy(NanPolicy::Zero);
+        push(
+            "masked-ld",
+            "unmasked-r2-128snps",
+            time_best(|| drop(plain.r2_matrix(&g)), budget, 10),
+        );
+    }
 
-fn bench_grid_scan(c: &mut Criterion) {
-    let g = random_matrix(256, 300, 0.3, 33);
-    let mut group = c.benchmark_group("omega-grid");
-    group.sample_size(10);
-    let scan = ld_omega::GridScan::new(5, 25, 10);
-    group.bench_function("grid-300snps-maxwin25", |b| b.iter(|| scan.scan(&g)));
-    group.finish();
-}
+    // -- finite sites ------------------------------------------------------
+    {
+        // biallelic nucleotide data, 32 sites x 512 samples
+        let bits = random_matrix(512, 32, 0.4, 13);
+        let cols: Vec<String> = (0..32)
+            .map(|j| {
+                (0..512)
+                    .map(|s| if bits.get(s, j) { 'A' } else { 'G' })
+                    .collect::<String>()
+            })
+            .collect();
+        let m = ld_ext::fsm::NucleotideMatrix::from_site_strings(512, cols);
+        push(
+            "finite-sites",
+            "zaykin-t-32sites",
+            time_best(|| drop(m.t_matrix(1, NanPolicy::Zero)), budget, 10),
+        );
+    }
 
-fn bench_banded_and_blocks(c: &mut Criterion) {
-    let g = random_matrix(512, 600, 0.3, 35);
-    let engine = LdEngine::new().threads(1).nan_policy(NanPolicy::Zero);
-    let mut group = c.benchmark_group("applications");
-    group.sample_size(10);
-    group.bench_function("banded-r2-600snps-band32", |b| {
-        b.iter(|| ld_core::BandedLdMatrix::compute(&engine, &g, 32, ld_core::LdStats::RSquared))
-    });
-    group.bench_function("decay-600snps-dist32", |b| {
-        b.iter(|| ld_core::DecayProfile::compute(&engine, &g, 32, 4))
-    });
-    group.bench_function("haplotype-blocks-600snps", |b| {
-        b.iter(|| ld_core::haplotype_blocks(&engine, &g, 0.8))
-    });
-    group.finish();
-}
+    // -- association scan --------------------------------------------------
+    {
+        let g = random_matrix(8192, 512, 0.3, 31);
+        let mask: Vec<u64> = (0..g.words_per_snp())
+            .map(|w| {
+                if w + 1 == g.words_per_snp() {
+                    ld_bitmat::tail_mask(8192) & 0x5555_5555_5555_5555
+                } else {
+                    0x5555_5555_5555_5555
+                }
+            })
+            .collect();
+        push(
+            "assoc",
+            "allelic-scan-512snps-8k-samples",
+            time_best(
+                || drop(ld_assoc::allelic_scan(&g.full_view(), &mask, 1)),
+                budget,
+                10,
+            ),
+        );
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_omega_scan, bench_tanimoto, bench_masked, bench_fsm, bench_assoc_scan, bench_grid_scan, bench_banded_and_blocks
+    // -- grid ω scan -------------------------------------------------------
+    {
+        let g = random_matrix(256, 300, 0.3, 33);
+        let scan = ld_omega::GridScan::new(5, 25, 10);
+        push(
+            "omega-grid",
+            "grid-300snps-maxwin25",
+            time_best(|| drop(scan.scan(&g)), budget, 10),
+        );
+    }
+
+    // -- banded / decay / blocks -------------------------------------------
+    {
+        let g = random_matrix(512, 600, 0.3, 35);
+        let engine = LdEngine::new().threads(1).nan_policy(NanPolicy::Zero);
+        push(
+            "applications",
+            "banded-r2-600snps-band32",
+            time_best(
+                || {
+                    drop(ld_core::BandedLdMatrix::compute(
+                        &engine,
+                        &g,
+                        32,
+                        ld_core::LdStats::RSquared,
+                    ))
+                },
+                budget,
+                10,
+            ),
+        );
+        push(
+            "applications",
+            "decay-600snps-dist32",
+            time_best(
+                || drop(ld_core::DecayProfile::compute(&engine, &g, 32, 4)),
+                budget,
+                10,
+            ),
+        );
+        push(
+            "applications",
+            "haplotype-blocks-600snps",
+            time_best(
+                || drop(ld_core::haplotype_blocks(&engine, &g, 0.8)),
+                budget,
+                10,
+            ),
+        );
+    }
+
+    println!("{}", table.render());
 }
-criterion_main!(benches);

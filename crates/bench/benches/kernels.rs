@@ -1,75 +1,92 @@
-//! Criterion micro-benchmarks of the GEMM machinery: packing, micro-kernel
-//! tiles, and full SYRK/GEMM drivers per kernel kind.
+//! Micro-benchmarks of the GEMM machinery: packing, micro-kernel tiles,
+//! and full SYRK/GEMM drivers per kernel kind.
+//!
+//! Plain `fn main()` harness (criterion is unavailable offline): best-of-N
+//! wall times via `ld_bench::runner::time_best`, rendered as a text table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ld_bench::report::{fmt_secs, Table};
+use ld_bench::runner::{time_best, BenchOpts};
 use ld_bench::workloads::random_matrix;
 use ld_bitmat::AlignedWords;
 use ld_kernels::micro::supported_kernels;
 use ld_kernels::pack::pack_panels;
 use ld_kernels::{gemm_counts_mt, syrk_counts_buf, BlockSizes, KernelKind};
 
-fn bench_micro_kernels(c: &mut Criterion) {
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let budget = if opts.full { 1.0 } else { 0.1 };
+    let mut table = Table::new(["bench", "case", "best", "rate"]);
+
+    // -- micro-kernel tiles ------------------------------------------------
     let kc = 256usize;
-    let mut group = c.benchmark_group("micro-kernel");
     for k in supported_kernels() {
-        let ap: Vec<u64> = (0..kc * k.mr()).map(|i| (i as u64).wrapping_mul(0x9e3779b9)).collect();
-        let bp: Vec<u64> = (0..kc * k.nr()).map(|i| (i as u64).wrapping_mul(0x85ebca6b)).collect();
+        let ap: Vec<u64> = (0..kc * k.mr())
+            .map(|i| (i as u64).wrapping_mul(0x9e3779b9))
+            .collect();
+        let bp: Vec<u64> = (0..kc * k.nr())
+            .map(|i| (i as u64).wrapping_mul(0x85ebca6b))
+            .collect();
         let mut acc = vec![0u64; k.mr() * k.nr()];
-        // word-pairs processed per call
-        group.throughput(Throughput::Elements((kc * k.mr() * k.nr()) as u64));
-        group.bench_function(BenchmarkId::from_parameter(k.kind()), |b| {
-            b.iter(|| {
+        let t = time_best(
+            || {
                 acc.fill(0);
                 k.run(kc, &ap, &bp, &mut acc);
                 std::hint::black_box(&acc);
-            })
-        });
+            },
+            budget,
+            200,
+        );
+        let elems = (kc * k.mr() * k.nr()) as f64;
+        table.row([
+            "micro-kernel".to_string(),
+            format!("{}", k.kind()),
+            fmt_secs(t),
+            format!("{:.2} Gelem/s", elems / t / 1e9),
+        ]);
     }
-    group.finish();
-}
 
-fn bench_packing(c: &mut Criterion) {
+    // -- packing -----------------------------------------------------------
     let g = random_matrix(8192, 512, 0.3, 5);
     let v = g.full_view();
     let mut buf = AlignedWords::new();
-    let mut group = c.benchmark_group("pack");
     for r in [4usize, 8] {
-        group.throughput(Throughput::Bytes((512 * 128 * 8) as u64));
-        group.bench_function(BenchmarkId::new("panels", r), |b| {
-            b.iter(|| pack_panels(&v, 0..512, 0..128, r, &mut buf))
-        });
+        let t = time_best(|| pack_panels(&v, 0..512, 0..128, r, &mut buf), budget, 100);
+        let bytes = (512 * 128 * 8) as f64;
+        table.row([
+            "pack".to_string(),
+            format!("panels r={r}"),
+            fmt_secs(t),
+            format!("{:.2} GB/s", bytes / t / 1e9),
+        ]);
     }
-    group.finish();
-}
 
-fn bench_syrk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("syrk");
-    group.sample_size(10);
+    // -- SYRK --------------------------------------------------------------
     for n in [256usize, 512] {
         let g = random_matrix(4096, n, 0.3, n as u64);
         let mut out = vec![0u32; n * n];
-        group.throughput(Throughput::Elements((n * (n + 1) / 2) as u64));
         for kind in [KernelKind::Scalar, KernelKind::Auto] {
-            group.bench_function(BenchmarkId::new(format!("{kind}"), n), |b| {
-                b.iter(|| {
-                    syrk_counts_buf(&g.full_view(), &mut out, n, kind, BlockSizes::default(), 1)
-                })
-            });
+            let t = time_best(
+                || syrk_counts_buf(&g.full_view(), &mut out, n, kind, BlockSizes::default(), 1),
+                budget,
+                20,
+            );
+            let pairs = (n * (n + 1) / 2) as f64;
+            table.row([
+                "syrk".to_string(),
+                format!("{kind} n={n}"),
+                fmt_secs(t),
+                format!("{:.2} Mpair/s", pairs / t / 1e6),
+            ]);
         }
     }
-    group.finish();
-}
 
-fn bench_gemm_rectangular(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    group.sample_size(10);
+    // -- rectangular GEMM --------------------------------------------------
     let (m, n, k) = (384usize, 384usize, 4096usize);
     let a = random_matrix(k, m, 0.3, 11);
     let b_mat = random_matrix(k, n, 0.3, 12);
     let mut out = vec![0u32; m * n];
-    group.throughput(Throughput::Elements((m * n) as u64));
-    group.bench_function("auto-384x384xk4096", |bch| {
-        bch.iter(|| {
+    let t = time_best(
+        || {
             gemm_counts_mt(
                 &a.full_view(),
                 &b_mat.full_view(),
@@ -79,14 +96,16 @@ fn bench_gemm_rectangular(c: &mut Criterion) {
                 BlockSizes::default(),
                 1,
             )
-        })
-    });
-    group.finish();
-}
+        },
+        budget,
+        20,
+    );
+    table.row([
+        "gemm".to_string(),
+        format!("auto {m}x{n}xk{k}"),
+        fmt_secs(t),
+        format!("{:.2} Mpair/s", (m * n) as f64 / t / 1e6),
+    ]);
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_micro_kernels, bench_packing, bench_syrk, bench_gemm_rectangular
+    println!("{}", table.render());
 }
-criterion_main!(benches);

@@ -1,7 +1,10 @@
-//! Criterion benchmarks of the popcount strategy library (§IV: the
-//! `POPCNT` instruction vs software schemes; §V: vectorized variants).
+//! Benchmarks of the popcount strategy library (§IV: the `POPCNT`
+//! instruction vs software schemes; §V: vectorized variants).
+//!
+//! Plain `fn main()` harness (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ld_bench::report::{fmt_secs, Table};
+use ld_bench::runner::{time_best, BenchOpts};
 use ld_popcount::simd::{
     and_popcount_extract_insert_avx2, and_popcount_mula_avx2, and_popcount_vpopcntdq,
 };
@@ -19,44 +22,60 @@ fn mk(n: usize, seed: u64) -> Vec<u64> {
         .collect()
 }
 
-fn bench_strategies(c: &mut Criterion) {
-    let words = mk(4096, 1);
-    let mut group = c.benchmark_group("popcount-slice");
-    group.throughput(Throughput::Bytes((words.len() * 8) as u64));
-    for s in PopcountStrategy::ALL {
-        group.bench_function(BenchmarkId::from_parameter(s.name()), |b| {
-            b.iter(|| std::hint::black_box(s.count_slice(&words)))
-        });
-    }
-    group.finish();
-}
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let budget = if opts.full { 0.5 } else { 0.05 };
+    let mut table = Table::new(["bench", "case", "best", "rate"]);
 
-fn bench_and_popcount(c: &mut Criterion) {
+    // -- slice popcount per strategy ---------------------------------------
+    let words = mk(4096, 1);
+    let bytes = (words.len() * 8) as f64;
+    for s in PopcountStrategy::ALL {
+        let t = time_best(
+            || {
+                std::hint::black_box(s.count_slice(&words));
+            },
+            budget,
+            500,
+        );
+        table.row([
+            "popcount-slice".to_string(),
+            s.name().to_string(),
+            fmt_secs(t),
+            format!("{:.2} GB/s", bytes / t / 1e9),
+        ]);
+    }
+
+    // -- AND + popcount paths ----------------------------------------------
     let a = mk(4096, 2);
     let b_words = mk(4096, 3);
-    let mut group = c.benchmark_group("and-popcount");
-    group.throughput(Throughput::Bytes((a.len() * 16) as u64));
-    group.bench_function("scalar-popcnt", |b| {
-        b.iter(|| std::hint::black_box(ld_popcount::and_popcount(&a, &b_words)))
-    });
-    group.bench_function("avx2-extract-insert", |b| {
-        b.iter(|| std::hint::black_box(and_popcount_extract_insert_avx2(&a, &b_words)))
-    });
-    group.bench_function("avx2-mula", |b| {
-        b.iter(|| std::hint::black_box(and_popcount_mula_avx2(&a, &b_words)))
-    });
-    group.bench_function("avx512-vpopcntdq", |b| {
-        b.iter(|| std::hint::black_box(and_popcount_vpopcntdq(&a, &b_words)))
-    });
-    group.bench_function("harley-seal", |b| {
-        b.iter(|| std::hint::black_box(ld_popcount::strategies::harley_seal_and(&a, &b_words)))
-    });
-    group.finish();
-}
+    let bytes = (a.len() * 16) as f64;
+    let cases: [(&str, &dyn Fn() -> u64); 5] = [
+        ("scalar-popcnt", &|| ld_popcount::and_popcount(&a, &b_words)),
+        ("avx2-extract-insert", &|| {
+            and_popcount_extract_insert_avx2(&a, &b_words)
+        }),
+        ("avx2-mula", &|| and_popcount_mula_avx2(&a, &b_words)),
+        ("avx512-vpopcntdq", &|| and_popcount_vpopcntdq(&a, &b_words)),
+        ("harley-seal", &|| {
+            ld_popcount::strategies::harley_seal_and(&a, &b_words)
+        }),
+    ];
+    for (name, f) in cases {
+        let t = time_best(
+            || {
+                std::hint::black_box(f());
+            },
+            budget,
+            500,
+        );
+        table.row([
+            "and-popcount".to_string(),
+            name.to_string(),
+            fmt_secs(t),
+            format!("{:.2} GB/s", bytes / t / 1e9),
+        ]);
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_strategies, bench_and_popcount
+    println!("{}", table.render());
 }
-criterion_main!(benches);

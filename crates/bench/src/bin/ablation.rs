@@ -21,7 +21,11 @@ use ld_popcount::PopcountStrategy;
 
 fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
-    let (n, k) = if opts.full { (4096, 8192) } else { (1024, 4096) };
+    let (n, k) = if opts.full {
+        (4096, 8192)
+    } else {
+        (1024, 4096)
+    };
     let g = random_matrix(k, n, 0.3, 99);
     let pairs = triangle_pairs(n);
     let mut c = vec![0u32; n * n];
@@ -31,20 +35,32 @@ fn main() {
     println!("## 1. what blocking buys (same popcount instruction everywhere)");
     let mut t = Table::new(["implementation", "time (s)", "MLD/s", "vs blocked"]);
     let blocked = time_best(
-        || syrk_counts_buf(&g.full_view(), &mut c, n, KernelKind::Scalar, BlockSizes::default(), 1),
+        || {
+            syrk_counts_buf(
+                &g.full_view(),
+                &mut c,
+                n,
+                KernelKind::Scalar,
+                BlockSizes::default(),
+                1,
+            )
+        },
         0.3,
         3,
     );
     let unblocked = time_best(
         || {
-            let _ = OmegaPlusKernel::new().nan_policy(NanPolicy::Zero).r2_matrix(&g.full_view(), 1);
+            let _ = OmegaPlusKernel::new()
+                .nan_policy(NanPolicy::Zero)
+                .r2_matrix(&g.full_view(), 1);
         },
         0.3,
         2,
     );
     // naive on a smaller slice (it is orders of magnitude slower)
     let n_naive = (n / 8).max(64);
-    let bytes = ByteMatrix::from_bitmatrix(&g.select_snps(&(0..n_naive).collect::<Vec<_>>()).unwrap());
+    let bytes =
+        ByteMatrix::from_bitmatrix(&g.select_snps(&(0..n_naive).collect::<Vec<_>>()).unwrap());
     let naive = time_best(
         || {
             let _ = bytes.r2_matrix(1, NanPolicy::Zero);
@@ -53,9 +69,24 @@ fn main() {
         2,
     );
     let naive_scaled = naive * (pairs / triangle_pairs(n_naive));
-    t.row(["blocked GEMM (GotoBLAS)".to_string(), format!("{blocked:.3}"), format!("{:.1}", pairs / blocked / 1e6), "1.00x".into()]);
-    t.row(["unblocked popcount pairs".to_string(), format!("{unblocked:.3}"), format!("{:.1}", pairs / unblocked / 1e6), format!("{:.2}x", unblocked / blocked)]);
-    t.row([format!("naive bytes (extrapolated from {n_naive} SNPs)"), format!("{naive_scaled:.1}"), format!("{:.1}", pairs / naive_scaled / 1e6), format!("{:.0}x", naive_scaled / blocked)]);
+    t.row([
+        "blocked GEMM (GotoBLAS)".to_string(),
+        format!("{blocked:.3}"),
+        format!("{:.1}", pairs / blocked / 1e6),
+        "1.00x".into(),
+    ]);
+    t.row([
+        "unblocked popcount pairs".to_string(),
+        format!("{unblocked:.3}"),
+        format!("{:.1}", pairs / unblocked / 1e6),
+        format!("{:.2}x", unblocked / blocked),
+    ]);
+    t.row([
+        format!("naive bytes (extrapolated from {n_naive} SNPs)"),
+        format!("{naive_scaled:.1}"),
+        format!("{:.1}", pairs / naive_scaled / 1e6),
+        format!("{:.0}x", naive_scaled / blocked),
+    ]);
     println!("{}", t.render());
 
     // 2. block-size sweeps ---------------------------------------------------
@@ -84,20 +115,32 @@ fn main() {
     // 3. register tile shapes ------------------------------------------------
     println!("## 3. scalar register-tile shape");
     let mut t = Table::new(["kernel", "time (s)", "rel to 4x4"]);
-    for kind in [KernelKind::Scalar2x4, KernelKind::Scalar, KernelKind::Scalar8x4] {
+    for kind in [
+        KernelKind::Scalar2x4,
+        KernelKind::Scalar,
+        KernelKind::Scalar8x4,
+    ] {
         let secs = time_best(
             || syrk_counts_buf(&g.full_view(), &mut c, n, kind, BlockSizes::default(), 1),
             0.2,
             2,
         );
-        t.row([format!("{kind}"), format!("{secs:.3}"), format!("{:.2}x", secs / base)]);
+        t.row([
+            format!("{kind}"),
+            format!("{secs:.3}"),
+            format!("{:.2}x", secs / base),
+        ]);
     }
     println!("{}", t.render());
 
     // 4. popcount strategies -------------------------------------------------
     println!("## 4. popcount strategy inside the blocked kernel (SectionIV: POPCNT wins)");
     let mut t = Table::new(["strategy", "time (s)", "rel to popcnt-asm"]);
-    t.row(["popcnt (asm-pinned)".to_string(), format!("{base:.3}"), "1.00x".into()]);
+    t.row([
+        "popcnt (asm-pinned)".to_string(),
+        format!("{base:.3}"),
+        "1.00x".into(),
+    ]);
     for s in PopcountStrategy::ALL {
         let kind = KernelKind::ScalarStrategy(s);
         let secs = time_best(
@@ -105,7 +148,11 @@ fn main() {
             0.2,
             2,
         );
-        t.row([s.name().to_string(), format!("{secs:.3}"), format!("{:.2}x", secs / base)]);
+        t.row([
+            s.name().to_string(),
+            format!("{secs:.3}"),
+            format!("{:.2}x", secs / base),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -26,7 +26,10 @@ use std::time::Instant;
 
 fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
-    let max_mb: usize = opts.get("max-mb").and_then(|s| s.parse().ok()).unwrap_or(384);
+    let max_mb: usize = opts
+        .get("max-mb")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(384);
     let hz = tsc_hz().unwrap_or(2.1e9);
     println!("# Working-set sweep: blocked GEMM vs unblocked pairwise (both scalar POPCNT)");
     println!("# reported caches: see lscpu; TSC {:.2} GHz", hz / 1e9);

@@ -31,7 +31,11 @@ fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
     let kind = parse_kernel(opts.get("kernel"));
     let kernel = Kernel::resolve(kind).expect("kernel unsupported on this CPU");
-    let sizes: &[usize] = if opts.full { &[4096, 8192, 16384] } else { &[1024, 2048, 4096] };
+    let sizes: &[usize] = if opts.full {
+        &[4096, 8192, 16384]
+    } else {
+        &[1024, 2048, 4096]
+    };
     let ks: &[usize] = if opts.full {
         &[512, 1024, 2048, 4096, 8192, 16384, 32768]
     } else {
@@ -39,14 +43,30 @@ fn main() {
     };
 
     println!("# Figure 3: % of theoretical peak vs k (same matrix, SYRK)");
-    println!("# kernel = {} (MR={} NR={} lanes={})", kernel.kind(), kernel.mr(), kernel.nr(), kernel.lanes());
+    println!(
+        "# kernel = {} (MR={} NR={} lanes={})",
+        kernel.kind(),
+        kernel.mr(),
+        kernel.nr(),
+        kernel.lanes()
+    );
     match tsc_hz() {
         Some(hz) => println!("# TSC calibrated at {:.2} GHz", hz / 1e9),
         None => println!("# no TSC; falling back to wall-clock at 1 GHz nominal"),
     }
-    println!("# peak = {} word-pair(s)/cycle; %peak = useful word-pairs / (cycles * lanes)", kernel.lanes());
+    println!(
+        "# peak = {} word-pair(s)/cycle; %peak = useful word-pairs / (cycles * lanes)",
+        kernel.lanes()
+    );
 
-    let mut table = Table::new(["m=n", "k (samples)", "k_words", "time (s)", "GLD/s", "% peak"]);
+    let mut table = Table::new([
+        "m=n",
+        "k (samples)",
+        "k_words",
+        "time (s)",
+        "GLD/s",
+        "% peak",
+    ]);
     for &n in sizes {
         for &k in ks {
             let g = random_matrix(k, n, 0.3, (n * 31 + k) as u64);

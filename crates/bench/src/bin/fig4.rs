@@ -28,7 +28,11 @@ fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
     let kind = parse_kernel(opts.get("kernel"));
     let kernel = Kernel::resolve(kind).expect("kernel unsupported on this CPU");
-    let sizes: &[usize] = if opts.full { &[4096, 8192, 16384] } else { &[1024, 2048, 4096] };
+    let sizes: &[usize] = if opts.full {
+        &[4096, 8192, 16384]
+    } else {
+        &[1024, 2048, 4096]
+    };
     let ks: &[usize] = if opts.full {
         &[512, 1024, 2048, 4096, 8192, 16384, 32768]
     } else {
@@ -39,19 +43,42 @@ fn main() {
     println!("# kernel = {} (lanes={})", kernel.kind(), kernel.lanes());
     println!("# all m*n values computed (no symmetric triangle)");
 
-    let mut table = Table::new(["m=n", "k (samples)", "k_words", "time (s)", "GLD/s", "% peak"]);
+    let mut table = Table::new([
+        "m=n",
+        "k (samples)",
+        "k_words",
+        "time (s)",
+        "GLD/s",
+        "% peak",
+    ]);
     for &n in sizes {
         for &k in ks {
             let a = random_matrix(k, n, 0.3, (n * 7 + k) as u64);
             let b = random_matrix(k, n, 0.3, (n * 13 + k) as u64);
             let k_words = a.words_per_snp();
             let mut c = vec![0u32; n * n];
-            gemm_counts_mt(&a.full_view(), &b.full_view(), &mut c, n, kind, BlockSizes::default(), 1);
+            gemm_counts_mt(
+                &a.full_view(),
+                &b.full_view(),
+                &mut c,
+                n,
+                kind,
+                BlockSizes::default(),
+                1,
+            );
             let mut secs = f64::INFINITY;
             let mut cycles = f64::INFINITY;
             for _ in 0..3 {
                 let t = CycleTimer::start();
-                gemm_counts_mt(&a.full_view(), &b.full_view(), &mut c, n, kind, BlockSizes::default(), 1);
+                gemm_counts_mt(
+                    &a.full_view(),
+                    &b.full_view(),
+                    &mut c,
+                    n,
+                    kind,
+                    BlockSizes::default(),
+                    1,
+                );
                 let s = t.seconds();
                 if s < secs {
                     secs = s;

@@ -33,7 +33,9 @@ fn main() {
     let hw = ld_parallel::available_threads();
     let (n_snps, n_samples) = Dataset::C.scaled_shape(scale);
     println!("# Figure 5: thread scaling on Dataset C ({n_snps} SNPs x {n_samples} samples, scale {scale})");
-    println!("# this machine exposes {hw} hardware thread(s); scaling beyond that is the Figure's point");
+    println!(
+        "# this machine exposes {hw} hardware thread(s); scaling beyond that is the Figure's point"
+    );
     let haps = build(Dataset::C, scale, 42);
     let genos = genotypes_for(&haps);
     let pairs = triangle_pairs(n_snps);
@@ -41,7 +43,9 @@ fn main() {
     let mut table = Table::new(["Threads", "PLINK MLD/s", "OmegaPlus MLD/s", "GEMM MLD/s"]);
     for &t in &threads {
         let t0 = Instant::now();
-        let _ = PlinkKernel::new().nan_policy(NanPolicy::Zero).r2_matrix(&genos, t);
+        let _ = PlinkKernel::new()
+            .nan_policy(NanPolicy::Zero)
+            .r2_matrix(&genos, t);
         let plink_s = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();

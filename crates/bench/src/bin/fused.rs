@@ -1,0 +1,176 @@
+//! Fused slab pipeline vs the classical two-pass driver.
+//!
+//! Measures the tentpole trade of `ld-core::fused`: identical (bit-exact)
+//! output, but `O(threads × slab × n)` transient memory instead of the
+//! `4n²`-byte counts matrix, and one cache-hot sweep instead of two.
+//!
+//! Emits `BENCH_fused.json` (wall time + peak RSS per size) next to the
+//! working directory and a human-readable table on stdout.
+//!
+//! ```sh
+//! cargo run --release -p ld-bench --bin fused           # n ∈ {2000, 8000}
+//! cargo run --release -p ld-bench --bin fused -- --full # paper-sized samples
+//! ```
+
+use ld_bench::report::{fmt_secs, Table};
+use ld_bench::runner::{time_best, BenchOpts};
+use ld_bench::workloads::random_matrix;
+use ld_core::{LdEngine, LdStats, NanPolicy};
+
+/// Peak resident set size of this process so far, in kB (`VmHWM` from
+/// `/proc/self/status`); 0 when unavailable. Monotonic — callers must
+/// order phases from small to large to attribute the high-water mark.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+struct SizeResult {
+    n_snps: usize,
+    fused_secs: f64,
+    twopass_secs: f64,
+    hwm_after_fused_kb: u64,
+    hwm_after_twopass_kb: u64,
+    packed_mb: f64,
+    counts_mb: f64,
+    scratch_mb: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let n_samples = if opts.full { 2504 } else { 512 };
+    let sizes = [2000usize, 8000];
+    let threads = opts.thread_list().into_iter().next().unwrap_or(1).max(1);
+    let slab = 64usize;
+    let (budget, max_reps) = if opts.full { (2.0, 5) } else { (0.5, 3) };
+
+    let engine = LdEngine::new()
+        .threads(threads)
+        .slab_rows(slab)
+        .nan_policy(NanPolicy::Zero);
+
+    println!(
+        "fused vs two-pass: {n_samples} samples, threads={threads}, slab={slab} \
+         (best of <= {max_reps} reps, {budget:.1}s budget)"
+    );
+    let mut table = Table::new([
+        "n_snps",
+        "pairs",
+        "fused",
+        "two-pass",
+        "ratio",
+        "RSS@fused",
+        "RSS@two-pass",
+        "scratch(model)",
+        "counts(model)",
+    ]);
+
+    let mut results: Vec<SizeResult> = Vec::new();
+    // ascending sizes + fused before two-pass: VmHWM is monotonic, so each
+    // reading is attributable to the largest phase completed so far
+    for &n in &sizes {
+        let g = random_matrix(n_samples, n, 0.3, 0x5eed ^ n as u64);
+
+        let mut fused = None;
+        let fused_secs = time_best(
+            || fused = Some(engine.stat_matrix(&g, LdStats::RSquared)),
+            budget,
+            max_reps,
+        );
+        let hwm_after_fused_kb = vm_hwm_kb();
+
+        let mut twopass = None;
+        let twopass_secs = time_best(
+            || twopass = Some(engine.stat_matrix_twopass(&g, LdStats::RSquared)),
+            budget,
+            max_reps,
+        );
+        let hwm_after_twopass_kb = vm_hwm_kb();
+
+        // both paths must agree to the bit — this is a benchmark of two
+        // implementations of the same function, so check it
+        let (a, b) = (fused.unwrap(), twopass.unwrap());
+        let mismatches = a
+            .packed()
+            .iter()
+            .zip(b.packed())
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(mismatches, 0, "fused and two-pass disagree at n={n}");
+
+        let packed_mb = (n * (n + 1) / 2 * 8) as f64 / 1e6;
+        let counts_mb = (n * n * 4) as f64 / 1e6;
+        let scratch_mb = (threads * slab * n * 4) as f64 / 1e6;
+        table.row([
+            n.to_string(),
+            format!("{:.1}M", (n * (n + 1) / 2) as f64 / 1e6),
+            fmt_secs(fused_secs),
+            fmt_secs(twopass_secs),
+            format!("{:.2}x", twopass_secs / fused_secs),
+            format!("{:.0} MB", hwm_after_fused_kb as f64 / 1e3),
+            format!("{:.0} MB", hwm_after_twopass_kb as f64 / 1e3),
+            format!("{scratch_mb:.1} MB"),
+            format!("{counts_mb:.0} MB"),
+        ]);
+        results.push(SizeResult {
+            n_snps: n,
+            fused_secs,
+            twopass_secs,
+            hwm_after_fused_kb,
+            hwm_after_twopass_kb,
+            packed_mb,
+            counts_mb,
+            scratch_mb,
+        });
+    }
+
+    println!("{}", table.render());
+    println!(
+        "model: fused transient = threads x slab x n x 4 B; two-pass transient = 4n^2 B.\n\
+         RSS columns are process high-water marks (monotonic): the jump from the\n\
+         fused column to the two-pass column is the counts matrix the fused path never pays."
+    );
+
+    // hand-rolled JSON (no external deps in this workspace)
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fused\",\n");
+    json.push_str(&format!("  \"n_samples\": {n_samples},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"slab_rows\": {slab},\n"));
+    json.push_str("  \"results\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n_snps\": {}, \"fused_secs\": {:.6}, \"twopass_secs\": {:.6}, \
+             \"vm_hwm_after_fused_kb\": {}, \"vm_hwm_after_twopass_kb\": {}, \
+             \"packed_mb\": {:.3}, \"counts_model_mb\": {:.3}, \"scratch_model_mb\": {:.3}}}{}\n",
+            r.n_snps,
+            r.fused_secs,
+            r.twopass_secs,
+            r.hwm_after_fused_kb,
+            r.hwm_after_twopass_kb,
+            r.packed_mb,
+            r.counts_mb,
+            r.scratch_mb,
+            if k + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_fused.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

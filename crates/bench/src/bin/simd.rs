@@ -25,7 +25,11 @@ use ld_popcount::{CpuFeatures, SimdCostModel};
 
 fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
-    let (n, k) = if opts.full { (4096, 16384) } else { (1536, 8192) };
+    let (n, k) = if opts.full {
+        (4096, 16384)
+    } else {
+        (1536, 8192)
+    };
     let g = random_matrix(k, n, 0.3, 1234);
     let k_words = g.words_per_snp();
     let pairs = triangle_pairs(n);
@@ -44,8 +48,14 @@ fn main() {
         KernelKind::Avx512Vpopcnt,
         KernelKind::ScalarAutoVec,
     ];
-    let mut table =
-        Table::new(["kernel", "lanes", "time (s)", "GLD/s", "%peak(lane)", "speedup vs scalar"]);
+    let mut table = Table::new([
+        "kernel",
+        "lanes",
+        "time (s)",
+        "GLD/s",
+        "%peak(lane)",
+        "speedup vs scalar",
+    ]);
     let mut scalar_time = None;
     let mut c = vec![0u32; n * n];
     for kind in kinds {

@@ -54,7 +54,10 @@ fn main() {
 
     for dataset in which {
         let (n_snps, n_samples) = dataset.scaled_shape(scale);
-        println!("\n## Dataset {} — scaled to {n_snps} SNPs x {n_samples} samples (scale {scale})", dataset.name());
+        println!(
+            "\n## Dataset {} — scaled to {n_snps} SNPs x {n_samples} samples (scale {scale})",
+            dataset.name()
+        );
         println!("generating haplotypes...");
         let haps = build(dataset, scale, 42);
         println!("lifting to genotypes for the PLINK-style kernel...");
@@ -75,8 +78,10 @@ fn main() {
         for &t in &threads {
             let probe = (n_snps / 3, n_snps / 2);
             let fmt_s = |s: Option<f64>| s.map(|v| format!("{v:.2}")).unwrap_or("-".into());
-            let fmt_rate =
-                |s: Option<f64>| s.map(|v| format!("{:.2}", pairs / v / 1e6)).unwrap_or("-".into());
+            let fmt_rate = |s: Option<f64>| {
+                s.map(|v| format!("{:.2}", pairs / v / 1e6))
+                    .unwrap_or("-".into())
+            };
 
             let plink_s = run("plink").then(|| {
                 let plink = PlinkKernel::new().nan_policy(NanPolicy::Zero);

@@ -10,6 +10,8 @@
 //! | `fig5`     | Fig. 5 — thread scaling beyond physical cores          |
 //! | `simd`     | §V — scalar vs SIMD-extract vs software/hardware vector popcount, with the analytical model |
 //! | `ablation` | blocking / kernel-shape / popcount-strategy sweeps     |
+//! | `cache`    | working-set sweep — the Tables II/III memory-hierarchy mechanism |
+//! | `fused`    | fused slab pipeline vs two-pass: wall time + peak RSS (`BENCH_fused.json`) |
 //!
 //! The library part holds shared plumbing: workload construction, timing
 //! loops, and plain-text table rendering, so the binaries stay declarative.

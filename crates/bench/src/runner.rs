@@ -36,7 +36,11 @@ impl BenchOpts {
     /// Parses `std::env::args`-style arguments. Recognizes `--full`,
     /// `--threads a,b,c` and `--key value` pairs.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut opts = BenchOpts { full: false, threads: None, extras: Vec::new() };
+        let mut opts = BenchOpts {
+            full: false,
+            threads: None,
+            extras: Vec::new(),
+        };
         let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -44,7 +48,9 @@ impl BenchOpts {
                 "--threads" => {
                     if let Some(list) = it.next() {
                         opts.threads = Some(
-                            list.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+                            list.split(',')
+                                .filter_map(|s| s.trim().parse().ok())
+                                .collect(),
                         );
                     }
                 }
@@ -64,7 +70,10 @@ impl BenchOpts {
 
     /// Looks up a `--key value` extra.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.extras.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.extras
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// The thread counts to sweep: explicit `--threads`, else the default
@@ -95,9 +104,8 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let o = BenchOpts::parse(
-            ["--full", "--threads", "1,2,8", "--dataset", "c"].map(String::from),
-        );
+        let o =
+            BenchOpts::parse(["--full", "--threads", "1,2,8", "--dataset", "c"].map(String::from));
         assert!(o.full);
         assert_eq!(o.thread_list(), vec![1, 2, 8]);
         assert_eq!(o.get("dataset"), Some("c"));

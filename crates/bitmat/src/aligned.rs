@@ -43,7 +43,10 @@ pub struct AlignedWords {
 impl AlignedWords {
     /// An empty buffer (no allocation).
     pub fn new() -> Self {
-        Self { lines: Vec::new(), len: 0 }
+        Self {
+            lines: Vec::new(),
+            len: 0,
+        }
     }
 
     /// A buffer of `len` words, all zero.
@@ -54,7 +57,10 @@ impl AlignedWords {
 
     /// A buffer with capacity for at least `cap` words and length zero.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { lines: Vec::with_capacity(cap.div_ceil(WORDS_PER_LINE)), len: 0 }
+        Self {
+            lines: Vec::with_capacity(cap.div_ceil(WORDS_PER_LINE)),
+            len: 0,
+        }
     }
 
     /// Copies the contents of `src` into a fresh aligned buffer.
@@ -96,8 +102,9 @@ impl AlignedWords {
         // Zero the slack beyond `len` so that a later grow sees zeros.
         let total = self.lines.len() * WORDS_PER_LINE;
         if total > len {
-            let raw =
-                unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr() as *mut u64, total) };
+            let raw = unsafe {
+                std::slice::from_raw_parts_mut(self.lines.as_mut_ptr() as *mut u64, total)
+            };
             for w in &mut raw[len..] {
                 *w = 0;
             }
@@ -161,13 +168,18 @@ impl DerefMut for AlignedWords {
 
 impl Clone for AlignedWords {
     fn clone(&self) -> Self {
-        Self { lines: self.lines.clone(), len: self.len }
+        Self {
+            lines: self.lines.clone(),
+            len: self.len,
+        }
     }
 }
 
 impl fmt::Debug for AlignedWords {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AlignedWords").field("len", &self.len).finish()
+        f.debug_struct("AlignedWords")
+            .field("len", &self.len)
+            .finish()
     }
 }
 

@@ -67,7 +67,11 @@ impl BitMatrixBuilder {
         }
         for (s, &a) in alleles.iter().enumerate() {
             if a > 1 {
-                return Err(BitMatError::InvalidAllele { value: a, sample: s, snp: self.n_snps });
+                return Err(BitMatError::InvalidAllele {
+                    value: a,
+                    sample: s,
+                    snp: self.n_snps,
+                });
             }
         }
         self.push_snp_bits(alleles.iter().map(|&a| a == 1))
@@ -130,7 +134,7 @@ impl BitMatrixBuilder {
                 what: "words",
             });
         }
-        if self.n_samples % WORD_BITS != 0 && self.words_per_snp > 0 {
+        if !self.n_samples.is_multiple_of(WORD_BITS) && self.words_per_snp > 0 {
             let mask = crate::tail_mask(self.n_samples);
             if words[self.words_per_snp - 1] & !mask != 0 {
                 return Err(BitMatError::PaddingViolation { snp: self.n_snps });
@@ -163,7 +167,10 @@ mod tests {
         let g = b.finish();
         assert_eq!(g.n_snps(), 2);
         assert_eq!(g.words_per_snp(), 3);
-        assert_eq!(g.ones_in_snp(0), (0..n as u64).filter(|s| s % 3 == 0).count() as u64);
+        assert_eq!(
+            g.ones_in_snp(0),
+            (0..n as u64).filter(|s| s % 3 == 0).count() as u64
+        );
         assert_eq!(g.ones_in_snp(1), 1);
         assert!(g.get(129, 1));
         g.check_padding().unwrap();

@@ -44,8 +44,15 @@ pub enum BitMatError {
 impl fmt::Display for BitMatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BitMatError::DimensionMismatch { expected, got, what } => {
-                write!(f, "dimension mismatch: expected {expected} {what}, got {got}")
+            BitMatError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} {what}, got {got}"
+                )
             }
             BitMatError::InvalidAllele { value, sample, snp } => write!(
                 f,
@@ -69,13 +76,25 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BitMatError::DimensionMismatch { expected: 10, got: 9, what: "samples" };
+        let e = BitMatError::DimensionMismatch {
+            expected: 10,
+            got: 9,
+            what: "samples",
+        };
         assert!(e.to_string().contains("expected 10 samples"));
-        let e = BitMatError::InvalidAllele { value: 7, sample: 1, snp: 2 };
+        let e = BitMatError::InvalidAllele {
+            value: 7,
+            sample: 1,
+            snp: 2,
+        };
         assert!(e.to_string().contains("allele value 7"));
         let e = BitMatError::PaddingViolation { snp: 3 };
         assert!(e.to_string().contains("SNP 3"));
-        let e = BitMatError::IndexOutOfBounds { index: 5, bound: 5, what: "snp" };
+        let e = BitMatError::IndexOutOfBounds {
+            index: 5,
+            bound: 5,
+            what: "snp",
+        };
         assert!(e.to_string().contains("out of bounds"));
     }
 }

@@ -135,7 +135,12 @@ impl GenotypeMatrix {
         for w in words.iter_mut() {
             *w = 0x5555_5555_5555_5555;
         }
-        Self { words, n_individuals, n_snps, words_per_snp: wps }
+        Self {
+            words,
+            n_individuals,
+            n_snps,
+            words_per_snp: wps,
+        }
     }
 
     /// Builds from SNP-major columns of [`Genotype`]s.
@@ -166,7 +171,7 @@ impl GenotypeMatrix {
     /// individuals: individual `i` gets haplotypes `2i` and `2i+1`.
     /// Requires an even sample count.
     pub fn from_haplotype_pairs(hap: &BitMatrix) -> Result<Self, BitMatError> {
-        if hap.n_samples() % 2 != 0 {
+        if !hap.n_samples().is_multiple_of(2) {
             return Err(BitMatError::DimensionMismatch {
                 expected: hap.n_samples() + 1,
                 got: hap.n_samples(),
@@ -177,7 +182,11 @@ impl GenotypeMatrix {
         let mut m = Self::all_missing(n_ind, hap.n_snps());
         for j in 0..hap.n_snps() {
             for i in 0..n_ind {
-                m.set(i, j, Genotype::from_haplotypes(hap.get(2 * i, j), hap.get(2 * i + 1, j)));
+                m.set(
+                    i,
+                    j,
+                    Genotype::from_haplotypes(hap.get(2 * i, j), hap.get(2 * i + 1, j)),
+                );
             }
         }
         Ok(m)
@@ -301,7 +310,12 @@ mod tests {
 
     #[test]
     fn bed_codes_round_trip() {
-        for g in [Genotype::HomA1, Genotype::Het, Genotype::HomA2, Genotype::Missing] {
+        for g in [
+            Genotype::HomA1,
+            Genotype::Het,
+            Genotype::HomA2,
+            Genotype::Missing,
+        ] {
             assert_eq!(Genotype::from_bed_code(g.bed_code()), g);
         }
     }
@@ -337,7 +351,15 @@ mod tests {
         ];
         let m = GenotypeMatrix::from_columns(5, [col]).unwrap();
         let c = m.counts(0);
-        assert_eq!(c, GenotypeCounts { hom_a1: 2, het: 1, hom_a2: 1, missing: 1 });
+        assert_eq!(
+            c,
+            GenotypeCounts {
+                hom_a1: 2,
+                het: 1,
+                hom_a2: 1,
+                missing: 1
+            }
+        );
         assert_eq!(c.called(), 4);
         assert!((c.a1_frequency().unwrap() - 5.0 / 8.0).abs() < 1e-12);
         assert_eq!(GenotypeCounts::default().a1_frequency(), None);

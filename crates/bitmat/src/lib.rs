@@ -42,8 +42,8 @@ pub use builder::BitMatrixBuilder;
 pub use error::BitMatError;
 pub use genotype::{Genotype, GenotypeMatrix};
 pub use mask::ValidityMask;
-pub use transpose::transpose_64x64;
 pub use matrix::{BitMatrix, WORD_BITS};
+pub use transpose::transpose_64x64;
 pub use view::BitMatrixView;
 
 /// Number of `u64` words needed to hold `bits` bits.

@@ -32,7 +32,12 @@ impl ValidityMask {
                 }
             }
         }
-        Self { words, n_samples, n_snps, words_per_snp: wps }
+        Self {
+            words,
+            n_samples,
+            n_snps,
+            words_per_snp: wps,
+        }
     }
 
     /// Builds a mask from per-SNP byte columns (`1` = valid, `0` = missing).
@@ -104,7 +109,10 @@ impl ValidityMask {
 
     /// Number of valid samples at SNP `j`.
     pub fn valid_count(&self, j: usize) -> u64 {
-        self.snp_words(j).iter().map(|w| w.count_ones() as u64).sum()
+        self.snp_words(j)
+            .iter()
+            .map(|w| w.count_ones() as u64)
+            .sum()
     }
 
     /// Number of jointly-valid samples for the SNP pair `(i, j)` —

@@ -71,7 +71,13 @@ impl BitMatrix {
                 match a {
                     0 => {}
                     1 => m.set(s, j, true),
-                    v => return Err(BitMatError::InvalidAllele { value: v, sample: s, snp: j }),
+                    v => {
+                        return Err(BitMatError::InvalidAllele {
+                            value: v,
+                            sample: s,
+                            snp: j,
+                        })
+                    }
                 }
             }
             count += 1;
@@ -107,7 +113,13 @@ impl BitMatrix {
                 match a {
                     0 => {}
                     1 => m.set(s, j, true),
-                    v => return Err(BitMatError::InvalidAllele { value: v, sample: s, snp: j }),
+                    v => {
+                        return Err(BitMatError::InvalidAllele {
+                            value: v,
+                            sample: s,
+                            snp: j,
+                        })
+                    }
                 }
             }
         }
@@ -129,7 +141,12 @@ impl BitMatrix {
                 what: "words",
             });
         }
-        let m = Self { words, n_samples, n_snps, words_per_snp: wps };
+        let m = Self {
+            words,
+            n_samples,
+            n_snps,
+            words_per_snp: wps,
+        };
         m.check_padding()?;
         Ok(m)
     }
@@ -197,7 +214,10 @@ impl BitMatrix {
     /// Number of derived alleles (set bits) in SNP `j` — the numerator of
     /// the allele frequency `p_j` (Eq. 3 of the paper).
     pub fn ones_in_snp(&self, j: usize) -> u64 {
-        self.snp_words(j).iter().map(|w| w.count_ones() as u64).sum()
+        self.snp_words(j)
+            .iter()
+            .map(|w| w.count_ones() as u64)
+            .sum()
     }
 
     /// Per-SNP derived-allele counts for the whole matrix.
@@ -208,7 +228,9 @@ impl BitMatrix {
     /// Per-SNP derived-allele *frequencies* `p_j = count_j / n_samples`.
     pub fn allele_frequencies(&self) -> Vec<f64> {
         let n = self.n_samples as f64;
-        (0..self.n_snps).map(|j| self.ones_in_snp(j) as f64 / n).collect()
+        (0..self.n_snps)
+            .map(|j| self.ones_in_snp(j) as f64 / n)
+            .collect()
     }
 
     /// Fraction of set bits over all (non-padding) positions.
@@ -222,7 +244,7 @@ impl BitMatrix {
 
     /// Verifies the zero-padding invariant on every column.
     pub fn check_padding(&self) -> Result<(), BitMatError> {
-        if self.n_samples % WORD_BITS == 0 || self.words_per_snp == 0 {
+        if self.n_samples.is_multiple_of(WORD_BITS) || self.words_per_snp == 0 {
             return Ok(());
         }
         let mask = tail_mask(self.n_samples);
@@ -237,7 +259,10 @@ impl BitMatrix {
 
     /// A borrowed view of SNP columns `range.start..range.end`.
     pub fn view(&self, start: usize, end: usize) -> BitMatrixView<'_> {
-        assert!(start <= end && end <= self.n_snps, "view range out of bounds");
+        assert!(
+            start <= end && end <= self.n_snps,
+            "view range out of bounds"
+        );
         BitMatrixView::new(self, start, end)
     }
 
@@ -249,7 +274,9 @@ impl BitMatrix {
     /// Extracts SNP `j` as a `Vec<u8>` of 0/1 alleles (mostly for tests and
     /// text export).
     pub fn snp_to_bytes(&self, j: usize) -> Vec<u8> {
-        (0..self.n_samples).map(|s| u8::from(self.get(s, j))).collect()
+        (0..self.n_samples)
+            .map(|s| u8::from(self.get(s, j)))
+            .collect()
     }
 
     /// Extracts sample `s` as a `Vec<u8>` of 0/1 alleles across all SNPs.
@@ -301,13 +328,7 @@ mod tests {
         BitMatrix::from_rows(
             5,
             3,
-            [
-                [1u8, 0, 1],
-                [1, 1, 0],
-                [0, 1, 0],
-                [0, 0, 1],
-                [1, 0, 1],
-            ],
+            [[1u8, 0, 1], [1, 1, 0], [0, 1, 0], [0, 0, 1], [1, 0, 1]],
         )
         .unwrap()
     }
@@ -357,15 +378,30 @@ mod tests {
     #[test]
     fn from_rows_rejects_short_row() {
         let err = BitMatrix::from_rows(1, 3, [[0u8, 1]]).unwrap_err();
-        assert!(matches!(err, BitMatError::DimensionMismatch { what: "snps", .. }));
+        assert!(matches!(
+            err,
+            BitMatError::DimensionMismatch { what: "snps", .. }
+        ));
     }
 
     #[test]
     fn from_rows_rejects_row_count_mismatch() {
         let err = BitMatrix::from_rows(3, 1, [[0u8], [1]]).unwrap_err();
-        assert!(matches!(err, BitMatError::DimensionMismatch { what: "samples", .. }));
+        assert!(matches!(
+            err,
+            BitMatError::DimensionMismatch {
+                what: "samples",
+                ..
+            }
+        ));
         let err = BitMatrix::from_rows(1, 1, [[0u8], [1]]).unwrap_err();
-        assert!(matches!(err, BitMatError::DimensionMismatch { what: "samples", .. }));
+        assert!(matches!(
+            err,
+            BitMatError::DimensionMismatch {
+                what: "samples",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -393,7 +429,10 @@ mod tests {
         // Deliberately violate the invariant through the raw accessor.
         let mut g = g;
         g.snp_words_mut(0)[1] |= 1 << 63;
-        assert!(matches!(g.check_padding(), Err(BitMatError::PaddingViolation { snp: 0 })));
+        assert!(matches!(
+            g.check_padding(),
+            Err(BitMatError::PaddingViolation { snp: 0 })
+        ));
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl BitMatrix {
                 let j_count = WORD_BITS.min(n_snps - j0);
                 // load: tile row r = sample s0+r's word jb
                 for (r, t) in tile.iter_mut().enumerate() {
-                    *t = if r < s_count { rows[(s0 + r) * wpr + jb] } else { 0 };
+                    *t = if r < s_count {
+                        rows[(s0 + r) * wpr + jb]
+                    } else {
+                        0
+                    };
                 }
                 transpose_64x64(&mut tile);
                 // store: tile row c = SNP j0+c's word sb
@@ -99,7 +103,11 @@ impl BitMatrix {
                 let s0 = sb * WORD_BITS;
                 let s_count = WORD_BITS.min(self.n_samples() - s0);
                 for (c, t) in tile.iter_mut().enumerate() {
-                    *t = if c < j_count { self.snp_words(j0 + c)[sb] } else { 0 };
+                    *t = if c < j_count {
+                        self.snp_words(j0 + c)[sb]
+                    } else {
+                        0
+                    };
                 }
                 transpose_64x64(&mut tile);
                 for r in 0..s_count {
@@ -117,10 +125,10 @@ mod tests {
 
     fn reference_transpose(block: &[u64; 64]) -> [u64; 64] {
         let mut out = [0u64; 64];
-        for r in 0..64 {
-            for c in 0..64 {
-                if (block[r] >> c) & 1 == 1 {
-                    out[c] |= 1 << r;
+        for (r, &row) in block.iter().enumerate() {
+            for (c, o) in out.iter_mut().enumerate() {
+                if (row >> c) & 1 == 1 {
+                    *o |= 1 << r;
                 }
             }
         }
@@ -177,7 +185,14 @@ mod tests {
 
     #[test]
     fn sample_major_round_trip_odd_shapes() {
-        for (n_samples, n_snps) in [(1usize, 1usize), (63, 65), (64, 64), (100, 130), (130, 100), (65, 1)] {
+        for (n_samples, n_snps) in [
+            (1usize, 1usize),
+            (63, 65),
+            (64, 64),
+            (100, 130),
+            (130, 100),
+            (65, 1),
+        ] {
             // build a reference matrix bit by bit
             let mut g = BitMatrix::zeros(n_samples, n_snps);
             let mut s = (n_samples * 31 + n_snps) as u64 | 1;
@@ -186,7 +201,7 @@ mod tests {
                     s ^= s << 13;
                     s ^= s >> 7;
                     s ^= s << 17;
-                    if s % 3 == 0 {
+                    if s.is_multiple_of(3) {
                         g.set(smp, j, true);
                     }
                 }

@@ -92,13 +92,22 @@ impl<'a> BitMatrixView<'a> {
     /// Derived-allele frequencies of the window.
     pub fn allele_frequencies(&self) -> Vec<f64> {
         let n = self.n_samples() as f64;
-        (0..self.n_snps()).map(|j| self.ones_in_snp(j) as f64 / n).collect()
+        (0..self.n_snps())
+            .map(|j| self.ones_in_snp(j) as f64 / n)
+            .collect()
     }
 
     /// A sub-view relative to this view.
     pub fn subview(&self, start: usize, end: usize) -> BitMatrixView<'a> {
-        assert!(start <= end && self.start + end <= self.end, "subview out of bounds");
-        BitMatrixView { mat: self.mat, start: self.start + start, end: self.start + end }
+        assert!(
+            start <= end && self.start + end <= self.end,
+            "subview out of bounds"
+        );
+        BitMatrixView {
+            mat: self.mat,
+            start: self.start + start,
+            end: self.start + end,
+        }
     }
 }
 
@@ -113,12 +122,7 @@ mod tests {
     use super::*;
 
     fn toy() -> BitMatrix {
-        BitMatrix::from_rows(
-            3,
-            5,
-            [[1u8, 0, 1, 0, 1], [0, 1, 1, 0, 0], [1, 1, 0, 1, 0]],
-        )
-        .unwrap()
+        BitMatrix::from_rows(3, 5, [[1u8, 0, 1, 0, 1], [0, 1, 1, 0, 0], [1, 1, 0, 1, 0]]).unwrap()
     }
 
     #[test]

@@ -1,135 +1,192 @@
 //! Property-based tests for the bit-packed matrix substrate.
+//! Seeded `ld-rng` cases replace `proptest` (unavailable offline).
 
 use ld_bitmat::{tail_mask, words_for, BitMatrix, BitMatrixBuilder, GenotypeMatrix, ValidityMask};
-use proptest::prelude::*;
+use ld_rng::SmallRng;
 
-/// Strategy producing a (n_samples, n_snps, dense rows) triple.
-fn dense_matrix() -> impl Strategy<Value = (usize, usize, Vec<Vec<u8>>)> {
-    (1usize..200, 1usize..30).prop_flat_map(|(n, m)| {
-        (
-            Just(n),
-            Just(m),
-            proptest::collection::vec(proptest::collection::vec(0u8..=1, m), n),
-        )
-    })
+/// Draws a (n_samples, n_snps, dense rows) triple.
+fn dense_matrix(rng: &mut SmallRng) -> (usize, usize, Vec<Vec<u8>>) {
+    let n = rng.gen_range(1usize..200);
+    let m = rng.gen_range(1usize..30);
+    let rows = (0..n)
+        .map(|_| (0..m).map(|_| u8::from(rng.gen::<bool>())).collect())
+        .collect();
+    (n, m, rows)
 }
 
-proptest! {
-    #[test]
-    fn round_trip_rows((n, m, rows) in dense_matrix()) {
+#[test]
+fn round_trip_rows() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for case in 0..32 {
+        let (n, m, rows) = dense_matrix(&mut rng);
         let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
-        prop_assert_eq!(g.n_samples(), n);
-        prop_assert_eq!(g.n_snps(), m);
+        assert_eq!(g.n_samples(), n, "case {case}");
+        assert_eq!(g.n_snps(), m, "case {case}");
         g.check_padding().unwrap();
         for (s, row) in rows.iter().enumerate() {
             for (j, &a) in row.iter().enumerate() {
-                prop_assert_eq!(g.get(s, j), a == 1);
+                assert_eq!(g.get(s, j), a == 1, "case {case}: ({s},{j})");
             }
         }
     }
+}
 
-    #[test]
-    fn allele_counts_match_naive((n, m, rows) in dense_matrix()) {
+#[test]
+fn allele_counts_match_naive() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    for case in 0..32 {
+        let (n, m, rows) = dense_matrix(&mut rng);
         let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
         for j in 0..m {
             let naive: u64 = rows.iter().map(|r| r[j] as u64).sum();
-            prop_assert_eq!(g.ones_in_snp(j), naive);
+            assert_eq!(g.ones_in_snp(j), naive, "case {case}: snp {j}");
         }
     }
+}
 
-    #[test]
-    fn builder_equals_from_rows((n, m, rows) in dense_matrix()) {
+#[test]
+fn builder_equals_from_rows() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    for case in 0..32 {
+        let (n, m, rows) = dense_matrix(&mut rng);
         let by_rows = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
         let mut b = BitMatrixBuilder::new(n);
         for j in 0..m {
             let col: Vec<u8> = rows.iter().map(|r| r[j]).collect();
             b.push_snp_bytes(&col).unwrap();
         }
-        prop_assert_eq!(b.finish(), by_rows);
+        assert_eq!(b.finish(), by_rows, "case {case}");
     }
+}
 
-    #[test]
-    fn view_get_agrees_with_parent((n, m, rows) in dense_matrix(), salt in 0usize..1000) {
+#[test]
+fn view_get_agrees_with_parent() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    for case in 0..32 {
+        let (n, m, rows) = dense_matrix(&mut rng);
         let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
-        let start = salt % m;
-        let end = start + (salt / m) % (m - start + 1).max(1);
-        let end = end.min(m);
+        let start = rng.gen_range(0..m);
+        let end = rng.gen_range(start..m + 1).min(m);
         let v = g.view(start, end);
         for j in 0..v.n_snps() {
-            prop_assert_eq!(v.ones_in_snp(j), g.ones_in_snp(start + j));
+            assert_eq!(v.ones_in_snp(j), g.ones_in_snp(start + j), "case {case}");
             for s in 0..n {
-                prop_assert_eq!(v.get(s, j), g.get(s, start + j));
+                assert_eq!(v.get(s, j), g.get(s, start + j), "case {case}: ({s},{j})");
             }
         }
     }
+}
 
-    #[test]
-    fn tail_mask_popcount(bits in 1usize..1000) {
+#[test]
+fn tail_mask_popcount() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let bits = rng.gen_range(1usize..1000);
         // tail_mask has exactly `bits % 64` set bits (or 64 when divisible).
-        let expect = if bits % 64 == 0 { 64 } else { bits % 64 };
-        prop_assert_eq!(tail_mask(bits).count_ones() as usize, expect);
+        let expect = if bits.is_multiple_of(64) {
+            64
+        } else {
+            bits % 64
+        };
+        assert_eq!(tail_mask(bits).count_ones() as usize, expect);
         // words_for * 64 covers bits
-        prop_assert!(words_for(bits) * 64 >= bits);
-        prop_assert!(words_for(bits) * 64 < bits + 64);
+        assert!(words_for(bits) * 64 >= bits);
+        assert!(words_for(bits) * 64 < bits + 64);
     }
+}
 
-    #[test]
-    fn select_snps_preserves_columns((n, m, rows) in dense_matrix(), seed in 0u64..u64::MAX) {
+#[test]
+fn select_snps_preserves_columns() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    for case in 0..32 {
+        let (n, m, rows) = dense_matrix(&mut rng);
         let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
         // pick a pseudo-random subset
-        let idx: Vec<usize> = (0..m).filter(|j| (seed >> (j % 64)) & 1 == 1).collect();
+        let idx: Vec<usize> = (0..m).filter(|_| rng.gen::<bool>()).collect();
         let sel = g.select_snps(&idx).unwrap();
-        prop_assert_eq!(sel.n_snps(), idx.len());
+        assert_eq!(sel.n_snps(), idx.len(), "case {case}");
         for (dst, &src) in idx.iter().enumerate() {
-            prop_assert_eq!(sel.snp_to_bytes(dst), g.snp_to_bytes(src));
+            assert_eq!(sel.snp_to_bytes(dst), g.snp_to_bytes(src), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn validity_pair_counts_symmetric((n, m, rows) in dense_matrix()) {
-        prop_assume!(m >= 2);
+#[test]
+fn validity_pair_counts_symmetric() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for case in 0..16 {
+        let (n, m, rows) = dense_matrix(&mut rng);
+        if m < 2 {
+            continue;
+        }
         let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
         let mask = ValidityMask::from_bitmatrix(&g);
         for i in 0..m.min(5) {
             for j in 0..m.min(5) {
-                prop_assert_eq!(mask.pair_valid_count(i, j), mask.pair_valid_count(j, i));
+                assert_eq!(
+                    mask.pair_valid_count(i, j),
+                    mask.pair_valid_count(j, i),
+                    "case {case}: ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn genotype_set_get(n in 1usize..100, vals in proptest::collection::vec(0u8..4, 1..100)) {
+#[test]
+fn genotype_set_get() {
+    use ld_bitmat::Genotype;
+    let mut rng = SmallRng::seed_from_u64(8);
+    for case in 0..32 {
+        let n = rng.gen_range(1usize..100);
+        let vals: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..4)).collect();
         let mut m = GenotypeMatrix::all_missing(n, 1);
-        use ld_bitmat::Genotype;
-        let gts = [Genotype::HomA1, Genotype::Het, Genotype::HomA2, Genotype::Missing];
-        for (i, &v) in vals.iter().enumerate().take(n) {
+        let gts = [
+            Genotype::HomA1,
+            Genotype::Het,
+            Genotype::HomA2,
+            Genotype::Missing,
+        ];
+        for (i, &v) in vals.iter().enumerate() {
             m.set(i, 0, gts[v as usize]);
         }
-        for (i, &v) in vals.iter().enumerate().take(n) {
-            prop_assert_eq!(m.get(i, 0), gts[v as usize]);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(m.get(i, 0), gts[v as usize], "case {case}: sample {i}");
         }
     }
+}
 
-    #[test]
-    fn genotype_bed_round_trip(n in 1usize..150, seed in 0u64..u64::MAX) {
-        use ld_bitmat::Genotype;
-        let gts = [Genotype::HomA1, Genotype::Het, Genotype::HomA2, Genotype::Missing];
-        let col: Vec<Genotype> =
-            (0..n).map(|i| gts[((seed >> (2 * (i % 32))) & 3) as usize]).collect();
+#[test]
+fn genotype_bed_round_trip() {
+    use ld_bitmat::Genotype;
+    let mut rng = SmallRng::seed_from_u64(9);
+    for case in 0..32 {
+        let n = rng.gen_range(1usize..150);
+        let gts = [
+            Genotype::HomA1,
+            Genotype::Het,
+            Genotype::HomA2,
+            Genotype::Missing,
+        ];
+        let col: Vec<Genotype> = (0..n).map(|_| gts[rng.gen_range(0usize..4)]).collect();
         let m = GenotypeMatrix::from_columns(n, [col.clone()]).unwrap();
         let bytes = m.snp_to_bed_bytes(0);
         let back = GenotypeMatrix::snp_from_bed_bytes(n, &bytes).unwrap();
-        prop_assert_eq!(back, col);
+        assert_eq!(back, col, "case {case}");
     }
+}
 
-    #[test]
-    fn hstack_is_concatenation((n, m, rows) in dense_matrix()) {
+#[test]
+fn hstack_is_concatenation() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    for case in 0..16 {
+        let (n, m, rows) = dense_matrix(&mut rng);
         let g = BitMatrix::from_rows(n, m, rows.iter()).unwrap();
         let h = g.hstack(&g).unwrap();
-        prop_assert_eq!(h.n_snps(), 2 * m);
+        assert_eq!(h.n_snps(), 2 * m, "case {case}");
         for j in 0..m {
-            prop_assert_eq!(h.snp_to_bytes(j), g.snp_to_bytes(j));
-            prop_assert_eq!(h.snp_to_bytes(m + j), g.snp_to_bytes(j));
+            assert_eq!(h.snp_to_bytes(j), g.snp_to_bytes(j), "case {case}");
+            assert_eq!(h.snp_to_bytes(m + j), g.snp_to_bytes(j), "case {case}");
         }
     }
 }

@@ -54,13 +54,17 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value '{v}' for --{key}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
         }
     }
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).filter(|s| !s.is_empty()).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// Positional arguments.

@@ -68,7 +68,9 @@ pub fn load_matrix(path: &str) -> Result<BitMatrix, String> {
         "txt" | "mat" | "" => {
             ld_io::text::read_matrix(BufReader::new(open()?)).map_err(|e| e.to_string())
         }
-        other => Err(format!("unsupported input extension '.{other}' (expected ms/vcf/txt)")),
+        other => Err(format!(
+            "unsupported input extension '.{other}' (expected ms/vcf/txt)"
+        )),
     }
 }
 
@@ -80,21 +82,24 @@ pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), String> {
     match ext {
         "ms" => {
             let rep = ld_io::ms::MsReplicate {
-                positions: (0..g.n_snps()).map(|j| (j as f64 + 0.5) / g.n_snps() as f64).collect(),
+                positions: (0..g.n_snps())
+                    .map(|j| (j as f64 + 0.5) / g.n_snps() as f64)
+                    .collect(),
                 matrix: g.clone(),
             };
-            ld_io::ms::write_ms(std::io::BufWriter::new(create()?), std::slice::from_ref(&rep))
-                .map_err(|e| e.to_string())
+            ld_io::ms::write_ms(
+                std::io::BufWriter::new(create()?),
+                std::slice::from_ref(&rep),
+            )
+            .map_err(|e| e.to_string())
         }
         "vcf" => {
             let sites = ld_io::vcf::synthetic_sites(g.n_snps(), 1000);
             ld_io::vcf::write_vcf(std::io::BufWriter::new(create()?), g, &sites, 1)
                 .map_err(|e| e.to_string())
         }
-        "txt" | "mat" | "" => {
-            ld_io::text::write_matrix(std::io::BufWriter::new(create()?), g)
-                .map_err(|e| e.to_string())
-        }
+        "txt" | "mat" | "" => ld_io::text::write_matrix(std::io::BufWriter::new(create()?), g)
+            .map_err(|e| e.to_string()),
         other => Err(format!("unsupported output extension '.{other}'")),
     }
 }
@@ -131,11 +136,15 @@ pub fn simulate(args: &Args) -> CmdResult {
     let seed = args.get_parsed("seed", 42u64)?;
     let founders = args.get_parsed("founders", 16usize)?;
     let out = args.require("output")?;
-    let base = HaplotypeSimulator::new(samples, snps).seed(seed).founders(founders);
+    let base = HaplotypeSimulator::new(samples, snps)
+        .seed(seed)
+        .founders(founders);
     let g = if args.has("sweep") {
         let center = args.get_parsed("sweep", snps / 2)?;
         let width = args.get_parsed("sweep-width", snps / 10)?;
-        SweepSimulator::new(base, center, width).seed(seed ^ 0xdead).generate()
+        SweepSimulator::new(base, center, width)
+            .seed(seed ^ 0xdead)
+            .generate()
     } else {
         base.generate()
     };
@@ -167,25 +176,68 @@ pub fn r2(args: &Args) -> CmdResult {
         .threads(threads)
         .nan_policy(NanPolicy::Zero);
     let t0 = std::time::Instant::now();
-    let m = engine.stat_matrix(&g, stat);
-    let dt = t0.elapsed().as_secs_f64();
     let pairs = g.n_snps() * (g.n_snps() + 1) / 2;
-    eprintln!(
-        "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
-        g.n_snps(),
-        g.n_samples(),
-        pairs,
-        dt,
-        pairs as f64 / dt / 1e6
-    );
     match args.get("output") {
         Some(path) if !path.is_empty() => {
+            // Stream row slabs straight into the table — the full packed
+            // matrix is never materialized, so memory stays at the engine's
+            // O(threads × slab × n_snps) scratch bound regardless of n.
+            use std::fmt::Write as _;
+            use std::io::Write as _;
             let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
-            ld_io::text::write_r2_table(std::io::BufWriter::new(f), &m, min_r2)
-                .map_err(|e| e.to_string())?;
+            let mut w = std::io::BufWriter::new(f);
+            writeln!(w, "SNP_A\tSNP_B\tR2").map_err(|e| e.to_string())?;
+            // slabs arrive in unspecified order under threading: hold
+            // out-of-order blocks briefly and flush the in-order prefix
+            let mut pending: std::collections::BTreeMap<usize, (usize, String)> =
+                std::collections::BTreeMap::new();
+            let mut next_row = 0usize;
+            let mut io_err: Option<std::io::Error> = None;
+            engine.stat_rows(&g, stat, |s| {
+                let mut block = String::new();
+                for (i, row) in s.rows() {
+                    for (t, &v) in row.iter().enumerate().skip(1) {
+                        if !v.is_nan() && v >= min_r2 {
+                            let _ = writeln!(block, "snp{i}\tsnp{}\t{v:.6}", i + t);
+                        }
+                    }
+                }
+                pending.insert(s.row_start(), (s.n_rows(), block));
+                while let Some((rows, block)) = pending.remove(&next_row) {
+                    next_row += rows;
+                    if io_err.is_none() {
+                        if let Err(e) = w.write_all(block.as_bytes()) {
+                            io_err = Some(e);
+                        }
+                    }
+                }
+            });
+            if let Some(e) = io_err {
+                return Err(e.to_string());
+            }
+            w.flush().map_err(|e| e.to_string())?;
+            let dt = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
+                g.n_snps(),
+                g.n_samples(),
+                pairs,
+                dt,
+                pairs as f64 / dt / 1e6
+            );
             eprintln!("wrote pair table to {path}");
         }
         _ => {
+            let m = engine.stat_matrix(&g, stat);
+            let dt = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
+                g.n_snps(),
+                g.n_samples(),
+                pairs,
+                dt,
+                pairs as f64 / dt / 1e6
+            );
             let mut kept: Vec<(usize, usize, f64)> = m
                 .iter_pairs()
                 .filter(|&(_, _, v)| !v.is_nan() && v >= min_r2)
@@ -211,17 +263,30 @@ pub fn omega(args: &Args) -> CmdResult {
         .engine(LdEngine::new().kernel(parse_kernel(args)?).threads(threads));
     let points = scan.scan(&g);
     if points.is_empty() {
-        return Err(format!("input has {} SNPs, fewer than the window ({window})", g.n_snps()));
+        return Err(format!(
+            "input has {} SNPs, fewer than the window ({window})",
+            g.n_snps()
+        ));
     }
     println!("window_start\twindow_end\tbest_split\tomega");
     for p in &points {
-        println!("{}\t{}\t{}\t{:.4}", p.window_start, p.window_end, p.best_split, p.omega);
+        println!(
+            "{}\t{}\t{}\t{:.4}",
+            p.window_start, p.window_end, p.best_split, p.omega
+        );
     }
     let best = points
         .iter()
-        .max_by(|a, b| a.omega.partial_cmp(&b.omega).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.omega
+                .partial_cmp(&b.omega)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("non-empty");
-    eprintln!("strongest signal: omega = {:.3} at split SNP {}", best.omega, best.best_split);
+    eprintln!(
+        "strongest signal: omega = {:.3} at split SNP {}",
+        best.omega, best.best_split
+    );
     Ok(())
 }
 
@@ -255,7 +320,9 @@ pub fn prune(args: &Args) -> CmdResult {
     let window = args.get_parsed("window", 100usize)?;
     let step = args.get_parsed("step", (window / 2).max(1))?;
     let threshold = args.get_parsed("threshold", 0.5f64)?;
-    let engine = LdEngine::new().kernel(parse_kernel(args)?).nan_policy(NanPolicy::Zero);
+    let engine = LdEngine::new()
+        .kernel(parse_kernel(args)?)
+        .nan_policy(NanPolicy::Zero);
     let n = g.n_snps();
     let mut keep = vec![true; n];
     let mut start = 0usize;
@@ -302,16 +369,27 @@ pub fn prune(args: &Args) -> CmdResult {
 pub fn decay(args: &Args) -> CmdResult {
     let input = args.require("input")?;
     let g = load_matrix(input)?;
-    let max_dist = args.get_parsed("max-dist", 100usize.min(g.n_snps().saturating_sub(1).max(1)))?;
+    let max_dist = args.get_parsed(
+        "max-dist",
+        100usize.min(g.n_snps().saturating_sub(1).max(1)),
+    )?;
     let bin = args.get_parsed("bin", (max_dist / 20).max(1))?;
-    let engine = LdEngine::new().kernel(parse_kernel(args)?).nan_policy(NanPolicy::Zero);
+    let engine = LdEngine::new()
+        .kernel(parse_kernel(args)?)
+        .nan_policy(NanPolicy::Zero);
     let profile = ld_core::DecayProfile::compute(&engine, &g, max_dist, bin);
     println!("distance\tmean_r2\tpairs");
     for b in profile.bins() {
-        println!("{}-{}\t{:.4}\t{}", b.min_dist, b.max_dist, b.mean_r2, b.count);
+        println!(
+            "{}-{}\t{:.4}\t{}",
+            b.min_dist, b.max_dist, b.mean_r2, b.count
+        );
     }
     match profile.half_distance() {
-        Some(d) => eprintln!("r² halves by distance ~{d} SNPs (near level {:.3})", profile.near_r2()),
+        Some(d) => eprintln!(
+            "r² halves by distance ~{d} SNPs (near level {:.3})",
+            profile.near_r2()
+        ),
         None => eprintln!("r² does not halve within {max_dist} SNPs"),
     }
     Ok(())
@@ -322,7 +400,9 @@ pub fn blocks(args: &Args) -> CmdResult {
     let input = args.require("input")?;
     let g = load_matrix(input)?;
     let threshold = args.get_parsed("threshold", 0.8f64)?;
-    let engine = LdEngine::new().kernel(parse_kernel(args)?).nan_policy(NanPolicy::Zero);
+    let engine = LdEngine::new()
+        .kernel(parse_kernel(args)?)
+        .nan_policy(NanPolicy::Zero);
     let found = ld_core::haplotype_blocks(&engine, &g, threshold);
     println!("block\tfirst_snp\tlast_snp\tsize");
     for (k, b) in found.iter().enumerate() {
@@ -370,14 +450,12 @@ pub fn assoc(args: &Args) -> CmdResult {
             return Err(format!("causal SNP {c} out of range (< {})", g.n_snps()));
         }
     }
-    let (_labels, mask) = ld_assoc::PhenotypeSimulator::new(
-        causal.iter().map(|&c| (c, beta)).collect(),
-    )
-    .seed(seed)
-    .simulate(&g);
+    let (_labels, mask) =
+        ld_assoc::PhenotypeSimulator::new(causal.iter().map(|&c| (c, beta)).collect())
+            .seed(seed)
+            .simulate(&g);
     let results = ld_assoc::allelic_scan(&g.full_view(), &mask, threads);
-    let lambda =
-        ld_assoc::genomic_lambda(&results.iter().map(|r| r.chi2).collect::<Vec<_>>());
+    let lambda = ld_assoc::genomic_lambda(&results.iter().map(|r| r.chi2).collect::<Vec<_>>());
     let p_cut = args.get_parsed("p", 0.05 / g.n_snps().max(1) as f64)?;
     let clump_r2 = args.get_parsed("clump-r2", 0.3f64)?;
     let window = args.get_parsed("clump-window", 100usize)?;
@@ -392,7 +470,12 @@ pub fn assoc(args: &Args) -> CmdResult {
     println!("clump\tindex_snp\tp\todds_ratio\tmembers");
     for (k, c) in clumps.iter().enumerate() {
         let or = results[c.index_snp].odds_ratio;
-        println!("{k}\tsnp{}\t{:.3e}\t{or:.3}\t{}", c.index_snp, c.p, c.members.len());
+        println!(
+            "{k}\tsnp{}\t{:.3e}\t{or:.3}\t{}",
+            c.index_snp,
+            c.p,
+            c.members.len()
+        );
     }
     Ok(())
 }
@@ -403,7 +486,11 @@ pub fn convert(args: &Args) -> CmdResult {
     let output = args.require("output")?;
     let g = load_matrix(input)?;
     save_matrix(output, &g)?;
-    println!("converted {input} -> {output} ({} samples x {} SNPs)", g.n_samples(), g.n_snps());
+    println!(
+        "converted {input} -> {output} ({} samples x {} SNPs)",
+        g.n_samples(),
+        g.n_snps()
+    );
     Ok(())
 }
 
@@ -431,13 +518,29 @@ mod tests {
         let d = tmpdir();
         let ms = d.join("toy.ms");
         let mss = ms.to_str().unwrap();
-        simulate(&args(&["--samples", "120", "--snps", "80", "--sweep", "40", "-o", mss]))
-            .unwrap();
+        simulate(&args(&[
+            "--samples",
+            "120",
+            "--snps",
+            "80",
+            "--sweep",
+            "40",
+            "-o",
+            mss,
+        ]))
+        .unwrap();
         let table = d.join("pairs.tsv");
-        r2(&args(&["-i", mss, "--min-r2", "0.5", "-o", table.to_str().unwrap()])).unwrap();
-        let rows =
-            ld_io::text::read_r2_table(BufReader::new(std::fs::File::open(&table).unwrap()))
-                .unwrap();
+        r2(&args(&[
+            "-i",
+            mss,
+            "--min-r2",
+            "0.5",
+            "-o",
+            table.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let rows = ld_io::text::read_r2_table(BufReader::new(std::fs::File::open(&table).unwrap()))
+            .unwrap();
         assert!(!rows.is_empty(), "a sweep must produce r2 >= 0.5 pairs");
         omega(&args(&["-i", mss, "--window", "20", "--step", "10"])).unwrap();
         std::fs::remove_dir_all(&d).ok();
@@ -449,10 +552,29 @@ mod tests {
         let ms = d.join("x.ms");
         let vcf = d.join("x.vcf");
         let txt = d.join("x.txt");
-        simulate(&args(&["--samples", "30", "--snps", "10", "-o", ms.to_str().unwrap()]))
-            .unwrap();
-        convert(&args(&["-i", ms.to_str().unwrap(), "-o", vcf.to_str().unwrap()])).unwrap();
-        convert(&args(&["-i", vcf.to_str().unwrap(), "-o", txt.to_str().unwrap()])).unwrap();
+        simulate(&args(&[
+            "--samples",
+            "30",
+            "--snps",
+            "10",
+            "-o",
+            ms.to_str().unwrap(),
+        ]))
+        .unwrap();
+        convert(&args(&[
+            "-i",
+            ms.to_str().unwrap(),
+            "-o",
+            vcf.to_str().unwrap(),
+        ]))
+        .unwrap();
+        convert(&args(&[
+            "-i",
+            vcf.to_str().unwrap(),
+            "-o",
+            txt.to_str().unwrap(),
+        ]))
+        .unwrap();
         let a = load_matrix(ms.to_str().unwrap()).unwrap();
         let b = load_matrix(txt.to_str().unwrap()).unwrap();
         assert_eq!(a, b);
@@ -474,17 +596,37 @@ mod tests {
         let d = tmpdir();
         let ms = d.join("panel.ms");
         let mss = ms.to_str().unwrap();
-        simulate(&args(&["--samples", "200", "--snps", "120", "--founders", "8", "-o", mss]))
-            .unwrap();
+        simulate(&args(&[
+            "--samples",
+            "200",
+            "--snps",
+            "120",
+            "--founders",
+            "8",
+            "-o",
+            mss,
+        ]))
+        .unwrap();
         let kept = d.join("kept.txt");
         prune(&args(&[
-            "-i", mss, "--window", "40", "--step", "20", "--threshold", "0.5",
-            "-o", kept.to_str().unwrap(),
+            "-i",
+            mss,
+            "--window",
+            "40",
+            "--step",
+            "20",
+            "--threshold",
+            "0.5",
+            "-o",
+            kept.to_str().unwrap(),
         ]))
         .unwrap();
         let body = std::fs::read_to_string(&kept).unwrap();
         let n_kept = body.lines().count();
-        assert!(n_kept > 0 && n_kept < 120, "pruning should remove something: {n_kept}");
+        assert!(
+            n_kept > 0 && n_kept < 120,
+            "pruning should remove something: {n_kept}"
+        );
         decay(&args(&["-i", mss, "--max-dist", "30", "--bin", "5"])).unwrap();
         blocks(&args(&["-i", mss, "--threshold", "0.9"])).unwrap();
         std::fs::remove_dir_all(&d).ok();

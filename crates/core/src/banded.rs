@@ -9,8 +9,10 @@
 //! transient memory.
 
 use crate::engine::LdEngine;
+use crate::fused::Transform;
 use crate::stats::LdStats;
 use ld_bitmat::BitMatrix;
+use ld_kernels::gemm_counts_mt;
 
 /// A symmetric matrix restricted to the band `1 ≤ j − i ≤ band`.
 ///
@@ -25,32 +27,57 @@ pub struct BandedLdMatrix {
 
 impl BandedLdMatrix {
     /// Computes the banded statistic for `g` with the given engine.
+    ///
+    /// Runs chunked rectangular count GEMMs into one **reused** scratch
+    /// buffer (`O(chunk · (chunk + band))` u32, allocated once), then picks
+    /// the in-band pairs out of each block through the engine's precomputed
+    /// [`Transform`] tables — the same batched rank-1 correction the fused
+    /// all-pairs pipeline applies, so banded values are bit-identical to
+    /// the full matrix. No per-chunk statistic matrix is materialized.
     pub fn compute(engine: &LdEngine, g: &BitMatrix, band: usize, stat: LdStats) -> Self {
         let n = g.n_snps();
         let band = band.max(1).min(n.saturating_sub(1).max(1));
         let mut values = vec![f64::NAN; n * band];
-        // chunk rows; each chunk needs columns [start, chunk_end + band)
-        let chunk = 1024usize.max(band).min(n.max(1));
-        let mut start = 0usize;
-        while start < n {
-            let rows_end = (start + chunk).min(n);
-            let cols_end = (rows_end + band).min(n);
-            if start + 1 >= cols_end {
-                break;
-            }
-            let cross =
-                engine.cross_stat_matrix(g.view(start, rows_end), g.view(start, cols_end), stat);
-            for i in 0..rows_end - start {
-                let gi = start + i;
-                for d in 0..band {
-                    let gj = gi + d + 1;
-                    if gj >= cols_end {
-                        break;
-                    }
-                    values[gi * band + d] = cross.get(i, gj - start);
+        if n >= 2 {
+            let v = g.full_view();
+            // global-index tables: p / 1/(p(1−p)) computed once for all chunks
+            let tr = Transform::new(&v, stat, engine.policy);
+            debug_assert_eq!(tr.n_snps(), n);
+            // chunk rows; each chunk needs columns [start, chunk_end + band)
+            let chunk = 1024usize.max(band).min(n);
+            let mut counts = vec![0u32; chunk * (chunk + band).min(n)];
+            let mut start = 0usize;
+            while start < n {
+                let rows_end = (start + chunk).min(n);
+                let cols_end = (rows_end + band).min(n);
+                if start + 1 >= cols_end {
+                    break;
                 }
+                let (rows, cols) = (rows_end - start, cols_end - start);
+                let va = v.subview(start, rows_end);
+                let vb = v.subview(start, cols_end);
+                gemm_counts_mt(
+                    &va,
+                    &vb,
+                    &mut counts[..rows * cols],
+                    cols,
+                    engine.kind,
+                    engine.blocks,
+                    engine.threads,
+                );
+                for i in 0..rows {
+                    let gi = start + i;
+                    for d in 0..band {
+                        let gj = gi + d + 1;
+                        if gj >= cols_end {
+                            break;
+                        }
+                        values[gi * band + d] =
+                            tr.apply_pair(gi, gj, counts[i * cols + (gj - start)]);
+                    }
+                }
+                start = rows_end;
             }
-            start = rows_end;
         }
         Self { n, band, values }
     }
@@ -114,7 +141,7 @@ mod tests {
                 s ^= s << 13;
                 s ^= s >> 7;
                 s ^= s << 17;
-                if s % 3 == 0 {
+                if s.is_multiple_of(3) {
                     g.set(smp, j, true);
                 }
             }

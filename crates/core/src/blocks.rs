@@ -48,12 +48,15 @@ pub fn solid_spine_blocks_bounded(
         let e_cap = (a + max_block).min(n);
         for e in a + 1..e_cap {
             // spine for [a, e]: left edge to every interior + right edge
-            // from every interior, plus the edge pair itself
-            if !(dprime.get(a, e) >= threshold) {
+            // from every interior, plus the edge pair itself. NaN edges
+            // (monomorphic SNPs under `NanPolicy::Propagate`) never extend
+            // a block, hence the explicit is_nan arm.
+            let edge = dprime.get(a, e);
+            if edge.is_nan() || edge < threshold {
                 continue;
             }
-            let ok = (a + 1..e)
-                .all(|k| dprime.get(a, k) >= threshold && dprime.get(k, e) >= threshold);
+            let ok =
+                (a + 1..e).all(|k| dprime.get(a, k) >= threshold && dprime.get(k, e) >= threshold);
             if ok {
                 best_end = e;
             }
@@ -102,7 +105,9 @@ pub fn tag_snps(r2: &LdMatrix, blocks: &[Range<usize>]) -> Vec<usize> {
                         })
                         .sum()
                 };
-                score(x).partial_cmp(&score(y)).unwrap_or(std::cmp::Ordering::Equal)
+                score(x)
+                    .partial_cmp(&score(y))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("blocks are non-empty");
         tags.push(best);
@@ -135,10 +140,7 @@ mod tests {
     #[test]
     fn single_clean_block() {
         // SNPs 1..=3 fully connected at D' = 1
-        let m = dp(
-            6,
-            &[(1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
-        );
+        let m = dp(6, &[(1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]);
         let blocks = solid_spine_blocks(&m, 0.8);
         assert_eq!(blocks, vec![1..4]);
     }
@@ -166,7 +168,14 @@ mod tests {
     fn broken_spine_splits_blocks() {
         let m = dp(
             6,
-            &[(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.2), (3, 4, 0.9), (4, 5, 0.9), (3, 5, 0.9)],
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.9),
+                (0, 2, 0.2),
+                (3, 4, 0.9),
+                (4, 5, 0.9),
+                (3, 5, 0.9),
+            ],
         );
         let blocks = solid_spine_blocks(&m, 0.8);
         // 0..2 can't extend to 2 (D'(0,2) low) -> block {0,1}; then {3,4,5}

@@ -80,7 +80,11 @@ impl DecayProfile {
             .map(|b| DecayBin {
                 min_dist: b * bin_width + 1,
                 max_dist: ((b + 1) * bin_width).min(max_dist),
-                mean_r2: if counts[b] > 0 { sums[b] / counts[b] as f64 } else { f64::NAN },
+                mean_r2: if counts[b] > 0 {
+                    sums[b] / counts[b] as f64
+                } else {
+                    f64::NAN
+                },
                 count: counts[b],
             })
             .collect();
@@ -167,7 +171,10 @@ mod tests {
             }
             assert_eq!(bin.count, count, "bin d={d}");
             if count > 0 {
-                assert!((bin.mean_r2 - sum / count as f64).abs() < 1e-10, "bin d={d}");
+                assert!(
+                    (bin.mean_r2 - sum / count as f64).abs() < 1e-10,
+                    "bin d={d}"
+                );
             }
         }
     }

@@ -1,10 +1,14 @@
 //! The [`LdEngine`]: configuration + matrix-level drivers.
 
+use crate::fused::{
+    packed_row_offset, stat_packed_fused, stat_rows_fused, FusedConfig, RowSlabVisit, SyncSlice,
+    Transform,
+};
 use crate::matrix::{CrossLdMatrix, LdMatrix};
 use crate::stats::{ld_pair_from_counts, stat_from_counts, LdPair, LdStats, NanPolicy};
 use ld_bitmat::{BitMatrix, BitMatrixView};
-use ld_kernels::{gemm_counts_buf, syrk_counts_buf, BlockSizes, KernelKind};
-use ld_parallel::{available_threads, parallel_for};
+use ld_kernels::{syrk_counts_buf, BlockSizes, KernelKind};
+use ld_parallel::{available_threads, parallel_for, run_team, triangle_row_ranges};
 use ld_popcount::and_popcount;
 
 /// Configured entry point for all matrix-level LD computations.
@@ -17,12 +21,24 @@ use ld_popcount::and_popcount;
 /// let r2 = LdEngine::new().r2_matrix(&g);
 /// assert!((r2.get(0, 1) - 1.0).abs() < 1e-12); // identical SNPs: perfect LD
 /// ```
+///
+/// # Memory model
+///
+/// The all-pairs drivers ([`LdEngine::stat_matrix`] and friends) run the
+/// *fused* counts→statistic pipeline: workers walk the upper triangle in
+/// bounded row slabs, so transient memory is
+/// `O(threads × slab × n)` u32 (see [`LdEngine::slab_rows`]) on top of the
+/// `n(n+1)/2 × f64` packed result — never the `n × n` u32 counts matrix of
+/// the classical two-pass formulation. When even the packed triangle is too
+/// large, stream with [`LdEngine::stat_rows`] or
+/// [`LdEngine::for_each_tile`] instead.
 #[derive(Clone, Debug)]
 pub struct LdEngine {
-    kind: KernelKind,
-    blocks: BlockSizes,
-    threads: usize,
-    policy: NanPolicy,
+    pub(crate) kind: KernelKind,
+    pub(crate) blocks: BlockSizes,
+    pub(crate) threads: usize,
+    pub(crate) policy: NanPolicy,
+    pub(crate) slab: usize,
 }
 
 impl Default for LdEngine {
@@ -31,7 +47,12 @@ impl Default for LdEngine {
     }
 }
 
-/// One tile of a streamed LD computation (see [`LdEngine::r2_tiled`]).
+/// Default row-slab height for the fused pipeline: tall enough to amortize
+/// the SYRK rank-k setup per slab, small enough that per-worker scratch
+/// (`slab × n × 4` bytes) stays cache-friendly for typical panel sizes.
+pub(crate) const DEFAULT_SLAB_ROWS: usize = 64;
+
+/// One tile of a streamed LD computation (see [`LdEngine::for_each_tile`]).
 ///
 /// `values` is row-major `rows × cols`; entry `(r, c)` is the statistic for
 /// the SNP pair `(row_start + r, col_start + c)`.
@@ -58,6 +79,7 @@ impl LdEngine {
             blocks: BlockSizes::default(),
             threads: available_threads(),
             policy: NanPolicy::default(),
+            slab: DEFAULT_SLAB_ROWS,
         }
     }
 
@@ -85,6 +107,17 @@ impl LdEngine {
         self
     }
 
+    /// Sets the row-slab height of the fused pipeline (clamped to ≥ 1).
+    ///
+    /// Each worker owns one scratch buffer of `slab × n_snps` u32 (plus the
+    /// same in f64 for the streaming drivers), so peak transient memory is
+    /// `threads × slab × n_snps × 4` bytes. Larger slabs amortize more SYRK
+    /// setup per grab; smaller slabs bound memory and load-balance better.
+    pub fn slab_rows(mut self, rows: usize) -> Self {
+        self.slab = rows.max(1);
+        self
+    }
+
     /// The configured kernel kind.
     pub fn kernel_kind(&self) -> KernelKind {
         self.kind
@@ -95,9 +128,29 @@ impl LdEngine {
         self.threads
     }
 
+    /// The configured row-slab height (see [`LdEngine::slab_rows`]).
+    pub fn slab_row_count(&self) -> usize {
+        self.slab
+    }
+
+    /// Bundles the fused-pipeline parameters.
+    pub(crate) fn fused_config(&self) -> FusedConfig {
+        FusedConfig {
+            kind: self.kind,
+            blocks: self.blocks,
+            threads: self.threads,
+            policy: self.policy,
+            slab: self.slab,
+        }
+    }
+
     /// Raw symmetric co-occurrence counts `C = GᵀG` (row-major `n × n`).
     /// `C[i,i]` is the derived-allele count of SNP `i`; `C[i,j]` the
     /// derived-derived haplotype count of the pair.
+    ///
+    /// This materializes the full `n × n` buffer — the all-pairs statistic
+    /// drivers do *not* go through it (they use the fused slab pipeline);
+    /// it exists for callers that want the raw integer counts.
     pub fn counts_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> Vec<u32> {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
@@ -108,84 +161,60 @@ impl LdEngine {
 
     /// All-pairs statistic matrix (triangle-packed).
     ///
-    /// The `r²` path implements the paper's §II-B formulation literally:
-    /// after the counts GEMM, the allele-frequency correction
-    /// `D = H − p pᵀ` and the `r²` normalization are *batched* vector
-    /// operations — per-SNP frequencies and reciprocal variances are
-    /// precomputed once, so the per-pair work is a handful of multiplies
-    /// with no divide and no branch (unlike the per-pair scalar math the
-    /// unblocked tools do, which the §VI comparison partly measures).
+    /// Runs the fused counts→statistic pipeline: per-SNP allele counts from
+    /// a standalone popcount pass seed the batched §II-B rank-1 correction
+    /// (`D = H − p pᵀ`, then the `r²` normalization as precomputed
+    /// reciprocal-variance products — no divide, no branch per pair);
+    /// workers then grab bounded row slabs of the upper triangle, compute
+    /// each slab's counts into per-thread scratch, and transform them into
+    /// the packed output while still cache-hot. No `n × n` counts matrix is
+    /// ever materialized and no mirror pass runs (see [`crate::fused`]).
     pub fn stat_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>, stat: LdStats) -> LdMatrix {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
-        let n_samples = v.n_samples();
-        assert!(n_samples > 0, "cannot compute LD with zero samples");
-        let counts = self.counts_matrix(v);
-        let inv_n = 1.0 / n_samples as f64;
+        assert!(v.n_samples() > 0, "cannot compute LD with zero samples");
         let mut out = LdMatrix::zeros(n);
-        let policy = self.policy;
-        let packed = out.packed_mut();
-        let row_offset = |i: usize| i * n - (i * i - i) / 2;
-        let counts_ref = &counts;
-        let packed_ptr = SyncSlice(packed.as_mut_ptr(), packed.len());
+        stat_packed_fused(&v, stat, &self.fused_config(), out.packed_mut());
+        out
+    }
 
-        match stat {
-            LdStats::RSquared => {
-                // batched rank-1 correction: p_i and 1/(p_i(1−p_i)) once
-                let p: Vec<f64> =
-                    (0..n).map(|j| counts_ref[j * n + j] as f64 * inv_n).collect();
-                let undef = match policy {
-                    NanPolicy::Propagate => f64::NAN,
-                    NanPolicy::Zero => 0.0,
-                };
-                let inv_var: Vec<f64> = p
-                    .iter()
-                    .map(|&pj| {
-                        let var = pj * (1.0 - pj);
-                        if var > 0.0 {
-                            1.0 / var
-                        } else {
-                            undef // NaN/0 propagates through the products
-                        }
-                    })
-                    .collect();
-                let p = &p;
-                let inv_var = &inv_var;
-                parallel_for(self.threads, n, |rows| {
-                    for i in rows {
-                        let off = row_offset(i);
-                        // SAFETY: rows own disjoint packed ranges.
-                        let dst = unsafe { packed_ptr.slice(off, n - i) };
-                        let (p_i, iv_i) = (p[i], inv_var[i]);
-                        let row = &counts_ref[i * n..i * n + n];
-                        for (t, j) in (i..n).enumerate() {
-                            let d = row[j] as f64 * inv_n - p_i * p[j];
-                            dst[t] = (d * d) * iv_i * inv_var[j];
-                        }
-                    }
-                });
+    /// The classical two-pass driver: full `n × n` SYRK counts, then a
+    /// separate transform sweep into the packed triangle.
+    ///
+    /// Kept as the **test oracle** for the fused pipeline (their `r²`
+    /// transforms are the same batched operations, so results are
+    /// bit-identical) and as the reference point for the memory/bandwidth
+    /// comparison in `BENCH_fused`. Peak transient memory is `4n²` bytes;
+    /// prefer [`LdEngine::stat_matrix`] everywhere else.
+    ///
+    /// The transform sweep is partitioned triangle-aware
+    /// ([`ld_parallel::triangle_row_ranges`]): row `i` holds `n − i` pairs,
+    /// so an even row split would give the first worker ~2× the work of the
+    /// last.
+    pub fn stat_matrix_twopass<'a>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+    ) -> LdMatrix {
+        let v: BitMatrixView<'a> = g.into();
+        let n = v.n_snps();
+        assert!(v.n_samples() > 0, "cannot compute LD with zero samples");
+        let counts = self.counts_matrix(v);
+        let tr = Transform::new(&v, stat, self.policy);
+        let mut out = LdMatrix::zeros(n);
+        let packed = out.packed_mut();
+        let out_ptr = SyncSlice::new(packed);
+        let counts_ref = &counts;
+        let tr_ref = &tr;
+        let ranges = triangle_row_ranges(n, self.threads);
+        run_team(self.threads, |tid| {
+            for i in ranges[tid].clone() {
+                // SAFETY: workers own disjoint row ranges, and a row's
+                // packed range is disjoint from every other row's.
+                let dst = unsafe { out_ptr.slice(packed_row_offset(n, i), n - i) };
+                tr_ref.apply_row(i, &counts_ref[i * n + i..i * n + n], dst);
             }
-            _ => {
-                parallel_for(self.threads, n, |rows| {
-                    for i in rows {
-                        let off = row_offset(i);
-                        // SAFETY: rows own disjoint packed ranges.
-                        let dst = unsafe { packed_ptr.slice(off, n - i) };
-                        let c_ii = counts_ref[i * n + i];
-                        for (t, j) in (i..n).enumerate() {
-                            dst[t] = stat_from_counts(
-                                stat,
-                                c_ii,
-                                counts_ref[j * n + j],
-                                counts_ref[i * n + j],
-                                inv_n,
-                                policy,
-                            );
-                        }
-                    }
-                });
-            }
-        }
+        });
         out
     }
 
@@ -204,6 +233,105 @@ impl LdEngine {
         self.stat_matrix(g, LdStats::DPrime)
     }
 
+    /// Streams the all-pairs statistic as **row slabs** of the upper
+    /// triangle without materializing any matrix — the lowest-overhead
+    /// streaming form (each value is produced exactly once, no mirroring,
+    /// no tile cutting).
+    ///
+    /// Slabs are produced by the same fused pipeline as
+    /// [`LdEngine::stat_matrix`]; `visit` is called once per slab,
+    /// serialized under a mutex. **Slab order is unspecified** when
+    /// `threads > 1` (dynamic scheduling); rows within a slab are
+    /// consecutive. Peak memory is `O(threads × slab × n)` scratch only.
+    pub fn stat_rows<'a, F>(&self, g: impl Into<BitMatrixView<'a>>, stat: LdStats, visit: F)
+    where
+        F: FnMut(&RowSlabVisit<'_>) + Send,
+    {
+        let v: BitMatrixView<'a> = g.into();
+        assert!(
+            v.n_snps() == 0 || v.n_samples() > 0,
+            "cannot compute LD with zero samples"
+        );
+        stat_rows_fused(&v, stat, &self.fused_config(), visit);
+    }
+
+    /// Streamed `r²` row slabs (see [`LdEngine::stat_rows`]).
+    pub fn r2_rows<'a, F>(&self, g: impl Into<BitMatrixView<'a>>, visit: F)
+    where
+        F: FnMut(&RowSlabVisit<'_>) + Send,
+    {
+        self.stat_rows(g, LdStats::RSquared, visit)
+    }
+
+    /// Streams the all-pairs statistic in `tile × tile` blocks without ever
+    /// materializing the full matrix — for SNP counts where `O(n²)` memory
+    /// is prohibitive. Visits only tiles on or above the block diagonal
+    /// (`col_start ≥ row_start`); within diagonal tiles the full square is
+    /// reported by symmetry (callers that want strict pairs filter
+    /// `i < j`).
+    ///
+    /// Tiles are cut from the fused pipeline's row slabs (slab height =
+    /// `tile`), so the computation is threaded and its transient memory
+    /// bounded; `visit` is serialized under a mutex. Within one row of
+    /// tiles, `col_start` ascends; **the order of tile rows is
+    /// unspecified** when `threads > 1`.
+    pub fn for_each_tile<'a, F>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        tile: usize,
+        mut visit: F,
+    ) where
+        F: FnMut(&TileVisit<'_>) + Send,
+    {
+        let v: BitMatrixView<'a> = g.into();
+        let n = v.n_snps();
+        assert!(tile > 0, "tile size must be positive");
+        assert!(
+            n == 0 || v.n_samples() > 0,
+            "cannot compute LD with zero samples"
+        );
+        let cfg = FusedConfig {
+            slab: tile,
+            ..self.fused_config()
+        };
+        let side = tile.min(n.max(1));
+        let mut buf = vec![0.0f64; side * side];
+        stat_rows_fused(&v, stat, &cfg, move |s| {
+            // Slabs start at multiples of `tile` (dynamic chunks are
+            // grain-aligned), so each slab is exactly one row of tiles.
+            let bi = s.row_start();
+            let rows = s.n_rows();
+            debug_assert_eq!(bi % tile, 0);
+            let mut bj = bi;
+            while bj < n {
+                let cols = tile.min(n - bj);
+                for r in 0..rows {
+                    let i = bi + r;
+                    for c in 0..cols {
+                        let j = bj + c;
+                        buf[r * cols + c] = if j >= i {
+                            // slab row r stores columns row_start.. of row i
+                            s.value(r, j)
+                        } else {
+                            // diagonal tile, below the diagonal: mirror the
+                            // transpose entry (filled earlier since c < r)
+                            buf[c * cols + r]
+                        };
+                    }
+                }
+                visit(&TileVisit {
+                    row_start: bi,
+                    col_start: bj,
+                    rows,
+                    cols,
+                    values: &buf[..rows * cols],
+                });
+                bj += tile;
+            }
+        });
+    }
+
     /// Cross-matrix statistic between two SNP sets sharing the same sample
     /// set (Fig. 4: long-range LD, distant genes).
     pub fn cross_stat_matrix<'a, 'b>(
@@ -219,7 +347,15 @@ impl LdEngine {
         assert!(n_samples > 0, "cannot compute LD with zero samples");
         let (m, n) = (va.n_snps(), vb.n_snps());
         let mut counts = vec![0u32; m * n];
-        ld_kernels::gemm_counts_mt(&va, &vb, &mut counts, n, self.kind, self.blocks, self.threads);
+        ld_kernels::gemm_counts_mt(
+            &va,
+            &vb,
+            &mut counts,
+            n,
+            self.kind,
+            self.blocks,
+            self.threads,
+        );
         let a_counts: Vec<u32> = (0..m).map(|i| va.ones_in_snp(i) as u32).collect();
         let b_counts: Vec<u32> = (0..n).map(|j| vb.ones_in_snp(j) as u32).collect();
         let inv_n = 1.0 / n_samples as f64;
@@ -227,7 +363,7 @@ impl LdEngine {
         let policy = self.policy;
         {
             let counts_ref = &counts;
-            let values_ptr = SyncSlice(values.as_mut_ptr(), values.len());
+            let values_ptr = SyncSlice::new(&mut values);
             if stat == LdStats::RSquared {
                 // batched rank-1 correction (see stat_matrix)
                 let undef = match policy {
@@ -306,103 +442,32 @@ impl LdEngine {
         ld_pair_from_counts(g.ones_in_snp(i), g.ones_in_snp(j), c_ij, n, self.policy)
     }
 
-    /// Streams the all-pairs statistic in `tile × tile` blocks without ever
-    /// materializing the full matrix — for SNP counts where `O(n²)` memory
-    /// is prohibitive. Visits only tiles on or above the block diagonal
-    /// (`col_start ≥ row_start`); within diagonal tiles the full square is
-    /// reported (callers that want strict pairs filter `i < j`).
+    /// Streams the all-pairs statistic in `tile × tile` blocks — alias of
+    /// [`LdEngine::for_each_tile`], kept for API continuity.
     pub fn stat_tiled<'a, F>(
         &self,
         g: impl Into<BitMatrixView<'a>>,
         stat: LdStats,
         tile: usize,
-        mut visit: F,
+        visit: F,
     ) where
-        F: FnMut(&TileVisit<'_>),
+        F: FnMut(&TileVisit<'_>) + Send,
     {
-        let v: BitMatrixView<'a> = g.into();
-        let n = v.n_snps();
-        let n_samples = v.n_samples();
-        assert!(tile > 0, "tile size must be positive");
-        assert!(n_samples > 0, "cannot compute LD with zero samples");
-        let inv_n = 1.0 / n_samples as f64;
-        let diag: Vec<u32> = (0..n).map(|j| v.ones_in_snp(j) as u32).collect();
-        let mut counts = vec![0u32; tile * tile];
-        let mut values = vec![0.0f64; tile * tile];
-        let mut bi = 0usize;
-        while bi < n {
-            let rows = tile.min(n - bi);
-            let va = v.subview(bi, bi + rows);
-            let mut bj = bi;
-            while bj < n {
-                let cols = tile.min(n - bj);
-                let vb = v.subview(bj, bj + cols);
-                gemm_counts_buf(
-                    &va,
-                    &vb,
-                    &mut counts[..rows * cols],
-                    cols,
-                    self.kind,
-                    self.blocks,
-                );
-                for r in 0..rows {
-                    for c in 0..cols {
-                        values[r * cols + c] = stat_from_counts(
-                            stat,
-                            diag[bi + r],
-                            diag[bj + c],
-                            counts[r * cols + c],
-                            inv_n,
-                            self.policy,
-                        );
-                    }
-                }
-                visit(&TileVisit {
-                    row_start: bi,
-                    col_start: bj,
-                    rows,
-                    cols,
-                    values: &values[..rows * cols],
-                });
-                bj += tile;
-            }
-            bi += tile;
-        }
+        self.for_each_tile(g, stat, tile, visit)
     }
 
-    /// Streamed `r²` tiles (see [`LdEngine::stat_tiled`]).
+    /// Streamed `r²` tiles (see [`LdEngine::for_each_tile`]).
     pub fn r2_tiled<'a, F>(&self, g: impl Into<BitMatrixView<'a>>, tile: usize, visit: F)
     where
-        F: FnMut(&TileVisit<'_>),
+        F: FnMut(&TileVisit<'_>) + Send,
     {
-        self.stat_tiled(g, LdStats::RSquared, tile, visit)
+        self.for_each_tile(g, LdStats::RSquared, tile, visit)
     }
 
     /// Derived-allele frequencies of every SNP (Eq. 3).
     pub fn allele_frequencies<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> Vec<f64> {
         let v: BitMatrixView<'a> = g.into();
         v.allele_frequencies()
-    }
-}
-
-/// A Send+Sync raw-pointer wrapper for handing disjoint row slices to the
-/// worker team. Soundness argument: every use partitions the buffer by
-/// row index, and each row index is visited by exactly one worker
-/// (`parallel_for` ranges are disjoint).
-struct SyncSlice(*mut f64, usize);
-unsafe impl Send for SyncSlice {}
-unsafe impl Sync for SyncSlice {}
-
-impl SyncSlice {
-    /// Reborrows the disjoint subrange `[off, off + len)`.
-    ///
-    /// # Safety
-    /// Callers must guarantee no two live slices returned from this method
-    /// overlap (the engine's row partitioning does).
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
-        debug_assert!(off + len <= self.1);
-        std::slice::from_raw_parts_mut(self.0.add(off), len)
     }
 }
 
@@ -433,7 +498,10 @@ mod tests {
         let g = toy();
         let r2 = LdEngine::new().r2_matrix(&g);
         assert!((r2.get(0, 1) - 1.0).abs() < 1e-12);
-        assert!((r2.get(0, 3) - 1.0).abs() < 1e-12, "complement is also perfect r²");
+        assert!(
+            (r2.get(0, 3) - 1.0).abs() < 1e-12,
+            "complement is also perfect r²"
+        );
     }
 
     #[test]
@@ -468,8 +536,8 @@ mod tests {
         let c = LdEngine::new().counts_matrix(&g);
         assert_eq!(c[0], 3); // |snp0|
         assert_eq!(c[5], 3); // |snp1|
-        assert_eq!(c[0 * 4 + 1], 3); // snp0 ∧ snp1
-        assert_eq!(c[0 * 4 + 3], 0); // snp0 ∧ snp3 (complement)
+        assert_eq!(c[1], 3); // row 0, col 1: snp0 ∧ snp1
+        assert_eq!(c[3], 0); // row 0, col 3: snp0 ∧ snp3 (complement)
     }
 
     #[test]
@@ -527,6 +595,23 @@ mod tests {
     }
 
     #[test]
+    fn diagonal_tiles_report_full_square() {
+        // the sub-diagonal half of a diagonal tile is mirrored by symmetry
+        let g = toy();
+        LdEngine::new().r2_tiled(&g, 3, |t| {
+            if t.row_start == t.col_start {
+                for r in 0..t.rows {
+                    for c in 0..t.cols {
+                        let a = t.values[r * t.cols + c];
+                        let b = t.values[c * t.cols + r];
+                        assert!(a.to_bits() == b.to_bits(), "({r},{c}) {a} vs {b}");
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
     fn multithreaded_engine_matches_single() {
         let g = toy();
         let one = LdEngine::new().threads(1).r2_matrix(&g);
@@ -538,10 +623,47 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_twopass_bit_exact() {
+        let g = toy();
+        for stat in [LdStats::RSquared, LdStats::D, LdStats::DPrime] {
+            let e = LdEngine::new().threads(2).slab_rows(2);
+            let fused = e.stat_matrix(&g, stat);
+            let oracle = e.stat_matrix_twopass(&g, stat);
+            for (a, b) in fused.packed().iter().zip(oracle.packed()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{stat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stat_rows_streams_every_row() {
+        let g = toy();
+        let e = LdEngine::new().slab_rows(2);
+        let full = e.r2_matrix(&g);
+        let mut seen = [false; 4];
+        e.r2_rows(&g, |s| {
+            for (i, row) in s.rows() {
+                assert!(!seen[i]);
+                seen[i] = true;
+                assert_eq!(row.len(), 4 - i);
+                for (t, &v) in row.iter().enumerate() {
+                    assert!((v - full.get(i, i + t)).abs() < 1e-15);
+                }
+            }
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
     fn builder_accessors() {
-        let e = LdEngine::new().threads(3).kernel(KernelKind::Scalar);
+        let e = LdEngine::new()
+            .threads(3)
+            .kernel(KernelKind::Scalar)
+            .slab_rows(17);
         assert_eq!(e.thread_count(), 3);
         assert_eq!(e.kernel_kind(), KernelKind::Scalar);
+        assert_eq!(e.slab_row_count(), 17);
+        assert_eq!(LdEngine::new().slab_rows(0).slab_row_count(), 1);
     }
 
     #[test]

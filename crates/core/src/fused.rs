@@ -1,0 +1,470 @@
+//! The fused, tiled counts→statistic pipeline.
+//!
+//! The classical two-pass driver materializes the full `n × n` u32 counts
+//! matrix (`SYRK` + mirror), then transforms it into the packed statistic
+//! triangle — `4n²` bytes of transient memory and a full second sweep over
+//! cold data. This module fuses the two:
+//!
+//! 1. a cheap standalone per-SNP popcount pass yields the diagonal (allele
+//!    counts), from which the rank-1 correction tables `p` and
+//!    `1/(p(1−p))` are built once;
+//! 2. workers walk the upper triangle in bounded **row slabs**, dynamically
+//!    grabbed off an atomic counter ([`ld_parallel::parallel_for_dynamic_init`]);
+//! 3. each worker computes its slab's counts into per-thread scratch of at
+//!    most `slab × n` u32 ([`ld_kernels::syrk_slab_counts`] — no global
+//!    buffer, no mirror pass), then immediately applies the batched
+//!    `D = H − p pᵀ` / `r²` transform from hot L2-resident scratch straight
+//!    into the triangle-packed output.
+//!
+//! Peak transient memory is `O(threads × slab × n)` u32 instead of
+//! `O(n²)`, and every count is consumed while still cache-hot.
+//!
+//! The same machinery powers the streaming visitors
+//! ([`crate::LdEngine::stat_rows`], [`crate::LdEngine::for_each_tile`])
+//! for chromosome-scale inputs where even the packed triangle is too big.
+
+use crate::stats::{stat_from_counts, LdStats, NanPolicy};
+use ld_bitmat::BitMatrixView;
+use ld_kernels::{syrk_slab_counts, BlockSizes, KernelKind};
+use ld_parallel::parallel_for_dynamic_init;
+
+/// Engine parameters threaded through the fused drivers.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FusedConfig {
+    pub kind: KernelKind,
+    pub blocks: BlockSizes,
+    pub threads: usize,
+    pub policy: NanPolicy,
+    /// Row-slab height: bounds each worker's scratch to `slab × n` u32.
+    pub slab: usize,
+}
+
+/// Row offset of row `i` in the packed upper triangle of an `n × n`
+/// symmetric matrix: `Σ_{t<i}(n−t) = i·n − i(i−1)/2` (underflow-free form).
+#[inline]
+pub(crate) fn packed_row_offset(n: usize, i: usize) -> usize {
+    i * n - (i * i - i) / 2
+}
+
+/// Per-SNP transform tables, precomputed once from the standalone popcount
+/// pass — the batched §II-B rank-1 correction.
+pub(crate) struct Transform {
+    stat: LdStats,
+    policy: NanPolicy,
+    inv_n: f64,
+    /// Allele counts `|s_j|` (the SYRK diagonal, obtained without SYRK).
+    diag: Vec<u32>,
+    /// `p_j = |s_j|/N` (RSquared only).
+    p: Vec<f64>,
+    /// `1/(p_j(1−p_j))`, or NaN/0 per policy when monomorphic (RSquared only).
+    inv_var: Vec<f64>,
+}
+
+impl Transform {
+    /// Builds the tables for `stat` over the SNPs of `v`.
+    ///
+    /// # Panics
+    /// If `v` has zero samples.
+    pub fn new(v: &BitMatrixView<'_>, stat: LdStats, policy: NanPolicy) -> Self {
+        let n_samples = v.n_samples();
+        assert!(n_samples > 0, "cannot compute LD with zero samples");
+        let inv_n = 1.0 / n_samples as f64;
+        let diag: Vec<u32> = (0..v.n_snps()).map(|j| v.ones_in_snp(j) as u32).collect();
+        let (p, inv_var) = if stat == LdStats::RSquared {
+            let undef = match policy {
+                NanPolicy::Propagate => f64::NAN,
+                NanPolicy::Zero => 0.0,
+            };
+            let p: Vec<f64> = diag.iter().map(|&c| c as f64 * inv_n).collect();
+            let inv_var: Vec<f64> = p
+                .iter()
+                .map(|&pj| {
+                    let var = pj * (1.0 - pj);
+                    if var > 0.0 {
+                        1.0 / var
+                    } else {
+                        undef // NaN/0 propagates through the products
+                    }
+                })
+                .collect();
+            (p, inv_var)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Self {
+            stat,
+            policy,
+            inv_n,
+            diag,
+            p,
+            inv_var,
+        }
+    }
+
+    /// Number of SNPs covered by the tables.
+    pub fn n_snps(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Transforms one row of counts: `counts[t] = s_iᵀ s_{i+t}` for
+    /// `t ∈ 0..len`, writing the statistic into `dst[t]`.
+    ///
+    /// The `r²` branch is the batched form — two multiplies and a subtract
+    /// per pair, no divide, no branch — and is bit-identical to the
+    /// two-pass driver's transform.
+    #[inline]
+    pub fn apply_row(&self, i: usize, counts: &[u32], dst: &mut [f64]) {
+        debug_assert_eq!(counts.len(), dst.len());
+        match self.stat {
+            LdStats::RSquared => {
+                let (p_i, iv_i) = (self.p[i], self.inv_var[i]);
+                for (t, (&c, d)) in counts.iter().zip(dst.iter_mut()).enumerate() {
+                    let j = i + t;
+                    let dev = c as f64 * self.inv_n - p_i * self.p[j];
+                    *d = (dev * dev) * iv_i * self.inv_var[j];
+                }
+            }
+            _ => {
+                let c_ii = self.diag[i];
+                for (t, (&c, d)) in counts.iter().zip(dst.iter_mut()).enumerate() {
+                    *d = stat_from_counts(
+                        self.stat,
+                        c_ii,
+                        self.diag[i + t],
+                        c,
+                        self.inv_n,
+                        self.policy,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Transforms a single pair `(i, j)` given its co-occurrence count —
+    /// used by the banded driver, which picks pairs out of rectangular
+    /// count blocks.
+    #[inline]
+    pub fn apply_pair(&self, i: usize, j: usize, c_ij: u32) -> f64 {
+        match self.stat {
+            LdStats::RSquared => {
+                let dev = c_ij as f64 * self.inv_n - self.p[i] * self.p[j];
+                (dev * dev) * self.inv_var[i] * self.inv_var[j]
+            }
+            _ => stat_from_counts(
+                self.stat,
+                self.diag[i],
+                self.diag[j],
+                c_ij,
+                self.inv_n,
+                self.policy,
+            ),
+        }
+    }
+}
+
+/// A Send+Sync raw-pointer wrapper for handing disjoint subslices to a
+/// worker team. Soundness argument: every use partitions the buffer by row
+/// slab, and each slab index is grabbed by exactly one worker (the atomic
+/// counter in `parallel_for_dynamic_init` hands out disjoint ranges).
+///
+/// Public so the baseline kernels in `ld-baselines`, which partition their
+/// packed outputs the same way, can share one audited implementation.
+pub struct SyncSlice(*mut f64, usize);
+unsafe impl Send for SyncSlice {}
+unsafe impl Sync for SyncSlice {}
+
+impl SyncSlice {
+    /// Captures `buf`'s pointer and length; the borrow ends here, so all
+    /// aliasing discipline shifts to [`SyncSlice::slice`]'s contract.
+    pub fn new(buf: &mut [f64]) -> Self {
+        Self(buf.as_mut_ptr(), buf.len())
+    }
+
+    /// Reborrows the disjoint subrange `[off, off + len)`.
+    ///
+    /// # Safety
+    /// Callers must guarantee no two live slices returned from this method
+    /// overlap (the engine's slab partitioning does).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
+        debug_assert!(off + len <= self.1);
+        std::slice::from_raw_parts_mut(self.0.add(off), len)
+    }
+}
+
+/// The fused all-pairs driver: fills the packed upper triangle of the
+/// statistic matrix without ever materializing `n × n` counts.
+///
+/// Row slabs are contiguous in packed storage (`packed_row_offset(r0)` to
+/// `packed_row_offset(r1)`), so each worker writes a disjoint range and the
+/// transform streams from its hot scratch directly into the output.
+pub(crate) fn stat_packed_fused(
+    v: &BitMatrixView<'_>,
+    stat: LdStats,
+    cfg: &FusedConfig,
+    packed: &mut [f64],
+) {
+    let n = v.n_snps();
+    debug_assert_eq!(packed.len(), n * (n + 1) / 2);
+    if n == 0 {
+        return;
+    }
+    let tr = Transform::new(v, stat, cfg.policy);
+    let slab = cfg.slab.max(1).min(n);
+    let out = SyncSlice::new(packed);
+    parallel_for_dynamic_init(
+        cfg.threads,
+        n,
+        slab,
+        // Bounded per-worker scratch: the widest slab (the first) spans all
+        // n columns, so `slab × n` covers every slab this worker can grab.
+        |_tid| vec![0u32; slab * n],
+        |scratch, rows| {
+            let (r0, r1) = (rows.start, rows.end);
+            let width = n - r0;
+            let h = r1 - r0;
+            syrk_slab_counts(
+                v,
+                r0..r1,
+                &mut scratch[..h * width],
+                width,
+                cfg.kind,
+                cfg.blocks,
+            );
+            for i in r0..r1 {
+                let local = (i - r0) * width + (i - r0);
+                let len = n - i;
+                // SAFETY: slabs own disjoint packed ranges (see SyncSlice).
+                let dst = unsafe { out.slice(packed_row_offset(n, i), len) };
+                tr.apply_row(i, &scratch[local..local + len], dst);
+            }
+        },
+    );
+}
+
+/// One row slab of a streamed LD computation (see
+/// [`crate::LdEngine::stat_rows`]).
+///
+/// The slab covers rows `row_start..row_start + n_rows` of the upper
+/// triangle; row `r` holds the statistics for SNP `row_start + r` against
+/// every SNP `j ≥ row_start + r`.
+#[derive(Debug)]
+pub struct RowSlabVisit<'a> {
+    pub(crate) row_start: usize,
+    pub(crate) n_rows: usize,
+    pub(crate) n_snps: usize,
+    /// Stride between consecutive slab rows in `values`.
+    pub(crate) ldv: usize,
+    /// Slab-local values: row `r`, column `j` at
+    /// `values[r · ldv + (j − row_start)]` for `j ≥ row_start + r`.
+    pub(crate) values: &'a [f64],
+}
+
+impl RowSlabVisit<'_> {
+    /// Global index of the first row SNP in this slab.
+    pub fn row_start(&self) -> usize {
+        self.row_start
+    }
+
+    /// Number of rows in this slab.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Total SNP count of the underlying matrix.
+    pub fn n_snps(&self) -> usize {
+        self.n_snps
+    }
+
+    /// The statistic for slab row `r` (global SNP `row_start + r`) against
+    /// global SNP `j`; requires `j ≥ row_start + r` (the slab stores only
+    /// the upper triangle).
+    pub fn value(&self, r: usize, j: usize) -> f64 {
+        let i = self.row_start + r;
+        assert!(r < self.n_rows, "slab row {r} out of range");
+        assert!(
+            i <= j && j < self.n_snps,
+            "column {j} outside row {i}'s upper triangle"
+        );
+        self.values[r * self.ldv + (j - self.row_start)]
+    }
+
+    /// The statistics of slab row `r` (global SNP `row_start + r`) against
+    /// SNPs `row_start + r ..= n_snps − 1`, in order; `row(r)[0]` is the
+    /// diagonal entry.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.n_rows, "slab row {r} out of range");
+        let start = r * self.ldv + r;
+        &self.values[start..r * self.ldv + (self.n_snps - self.row_start)]
+    }
+
+    /// Iterates `(global_row, stats)` pairs over the slab's rows.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, &[f64])> + '_ {
+        (0..self.n_rows).map(move |r| (self.row_start + r, self.row(r)))
+    }
+}
+
+/// The streaming row-slab driver: like [`stat_packed_fused`] but instead of
+/// writing a packed matrix, each finished slab is handed to `visit`
+/// (serialized under a mutex; slab order is unspecified under threading).
+pub(crate) fn stat_rows_fused<F>(v: &BitMatrixView<'_>, stat: LdStats, cfg: &FusedConfig, visit: F)
+where
+    F: FnMut(&RowSlabVisit<'_>) + Send,
+{
+    let n = v.n_snps();
+    if n == 0 {
+        return;
+    }
+    let tr = Transform::new(v, stat, cfg.policy);
+    let slab = cfg.slab.max(1).min(n);
+    let visit = std::sync::Mutex::new(visit);
+    parallel_for_dynamic_init(
+        cfg.threads,
+        n,
+        slab,
+        |_tid| (vec![0u32; slab * n], vec![0.0f64; slab * n]),
+        |(counts, values), rows| {
+            let (r0, r1) = (rows.start, rows.end);
+            let width = n - r0;
+            let h = r1 - r0;
+            syrk_slab_counts(
+                v,
+                r0..r1,
+                &mut counts[..h * width],
+                width,
+                cfg.kind,
+                cfg.blocks,
+            );
+            for i in r0..r1 {
+                let local = (i - r0) * width + (i - r0);
+                let len = n - i;
+                let (src, dst) = (&counts[local..local + len], &mut values[local..local + len]);
+                tr.apply_row(i, src, dst);
+            }
+            let slab_visit = RowSlabVisit {
+                row_start: r0,
+                n_rows: h,
+                n_snps: n,
+                ldv: width,
+                values: &values[..h * width],
+            };
+            (visit.lock().unwrap())(&slab_visit);
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ld_bitmat::BitMatrix;
+
+    fn pseudo(n_samples: usize, n_snps: usize, seed: u64) -> BitMatrix {
+        let mut g = BitMatrix::zeros(n_samples, n_snps);
+        let mut s = seed | 1;
+        for j in 0..n_snps {
+            for smp in 0..n_samples {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if s.is_multiple_of(3) {
+                    g.set(smp, j, true);
+                }
+            }
+        }
+        g
+    }
+
+    fn cfg(threads: usize, slab: usize) -> FusedConfig {
+        FusedConfig {
+            kind: KernelKind::Auto,
+            blocks: BlockSizes::default(),
+            threads,
+            policy: NanPolicy::Zero,
+            slab,
+        }
+    }
+
+    #[test]
+    fn packed_offsets_tile_the_triangle() {
+        let n = 9;
+        assert_eq!(packed_row_offset(n, 0), 0);
+        assert_eq!(packed_row_offset(n, n), n * (n + 1) / 2);
+        for i in 0..n {
+            assert_eq!(
+                packed_row_offset(n, i + 1) - packed_row_offset(n, i),
+                n - i,
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matches_per_pair_reference() {
+        let g = pseudo(90, 17, 3);
+        let v = g.full_view();
+        let n = 17usize;
+        for stat in [LdStats::RSquared, LdStats::D, LdStats::DPrime] {
+            for (threads, slab) in [(1usize, 4usize), (3, 5), (2, 17), (4, 1)] {
+                let mut packed = vec![0.0f64; n * (n + 1) / 2];
+                stat_packed_fused(&v, stat, &cfg(threads, slab), &mut packed);
+                for i in 0..n {
+                    for j in i..n {
+                        let c_ij = ld_popcount::and_popcount(v.snp_words(i), v.snp_words(j));
+                        let want = crate::stats::ld_pair_from_counts(
+                            v.ones_in_snp(i),
+                            v.ones_in_snp(j),
+                            c_ij,
+                            90,
+                            NanPolicy::Zero,
+                        );
+                        let want = match stat {
+                            LdStats::RSquared => want.r2,
+                            LdStats::D => want.d,
+                            LdStats::DPrime => want.d_prime,
+                        };
+                        let got = packed[packed_row_offset(n, i) + (j - i)];
+                        assert!(
+                            (got - want).abs() < 1e-10,
+                            "{stat:?} t{threads} s{slab} ({i},{j}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_slab_visitor_covers_every_pair_once() {
+        let g = pseudo(60, 13, 7);
+        let v = g.full_view();
+        let n = 13usize;
+        for (threads, slab) in [(1usize, 3usize), (2, 4), (7, 1), (2, 100)] {
+            let mut seen = vec![0u32; n * (n + 1) / 2];
+            stat_rows_fused(&v, LdStats::RSquared, &cfg(threads, slab), |s| {
+                for (i, row) in s.rows() {
+                    assert_eq!(row.len(), n - i);
+                    for t in 0..row.len() {
+                        seen[packed_row_offset(n, i) + t] += 1;
+                    }
+                }
+            });
+            assert!(seen.iter().all(|&c| c == 1), "t{threads} s{slab}");
+        }
+    }
+
+    #[test]
+    fn transform_pair_matches_row() {
+        let g = pseudo(50, 8, 11);
+        let v = g.full_view();
+        let tr = Transform::new(&v, LdStats::RSquared, NanPolicy::Propagate);
+        assert_eq!(tr.n_snps(), 8);
+        let c_03 = ld_popcount::and_popcount(v.snp_words(0), v.snp_words(3)) as u32;
+        let mut row = vec![0.0f64; 8];
+        let counts: Vec<u32> = (0..8)
+            .map(|j| ld_popcount::and_popcount(v.snp_words(0), v.snp_words(j)) as u32)
+            .collect();
+        tr.apply_row(0, &counts, &mut row);
+        let pair = tr.apply_pair(0, 3, c_03);
+        assert_eq!(pair.to_bits(), row[3].to_bits());
+    }
+}

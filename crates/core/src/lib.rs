@@ -16,11 +16,14 @@
 //! Entry point: [`LdEngine`] (kernel/threads/blocking configuration) with
 //!
 //! * [`LdEngine::r2_matrix`] — all `N(N+1)/2` values, triangle-packed
-//!   ([`LdMatrix`]);
+//!   ([`LdMatrix`]), filled by the fused slab pipeline of [`fused`]
+//!   (transient memory bounded by `threads × slab × N` u32 — never the
+//!   `N × N` counts matrix);
 //! * [`LdEngine::r2_cross`] — all `m × n` values between two SNP sets
 //!   (long-range LD / distant genes, Fig. 4);
-//! * [`LdEngine::r2_tiled`] — streaming tiles for matrices too large to
-//!   materialize;
+//! * [`LdEngine::stat_rows`] / [`LdEngine::for_each_tile`] — streaming
+//!   row slabs ([`RowSlabVisit`]) or tiles ([`TileVisit`]) for matrices
+//!   too large to materialize at all;
 //! * [`LdEngine::ld_pair`] / [`ld_pair_from_counts`] — single-pair
 //!   statistics ([`LdPair`]) for spot checks and downstream tools.
 
@@ -30,6 +33,7 @@ pub mod banded;
 pub mod blocks;
 pub mod decay;
 mod engine;
+pub mod fused;
 mod matrix;
 mod stats;
 
@@ -37,5 +41,6 @@ pub use banded::BandedLdMatrix;
 pub use blocks::{haplotype_blocks, solid_spine_blocks, tag_snps};
 pub use decay::{DecayBin, DecayProfile};
 pub use engine::{LdEngine, TileVisit};
+pub use fused::RowSlabVisit;
 pub use matrix::{CrossLdMatrix, LdMatrix};
 pub use stats::{ld_pair_from_counts, ld_pair_from_freqs, LdPair, LdStats, NanPolicy};

@@ -16,7 +16,10 @@ pub struct LdMatrix {
 impl LdMatrix {
     /// An all-zero matrix for `n` SNPs.
     pub fn zeros(n: usize) -> Self {
-        Self { n, values: vec![0.0; n * (n + 1) / 2] }
+        Self {
+            n,
+            values: vec![0.0; n * (n + 1) / 2],
+        }
     }
 
     /// Builds from a packed triangle (length must be `n(n+1)/2`).
@@ -72,9 +75,8 @@ impl LdMatrix {
 
     /// Iterates `(i, j, value)` over the upper triangle with `i ≤ j`.
     pub fn iter_upper(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            (i..self.n).map(move |j| (i, j, self.values[self.index(i, j)]))
-        })
+        (0..self.n)
+            .flat_map(move |i| (i..self.n).map(move |j| (i, j, self.values[self.index(i, j)])))
     }
 
     /// Iterates strictly-off-diagonal pairs `(i, j, value)`, `i < j`.
@@ -84,10 +86,7 @@ impl LdMatrix {
 
     /// Pairs whose value meets `threshold` (NaNs never match) — the core of
     /// LD pruning and association screens.
-    pub fn pairs_at_least(
-        &self,
-        threshold: f64,
-    ) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+    pub fn pairs_at_least(&self, threshold: f64) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         self.iter_pairs().filter(move |&(_, _, v)| v >= threshold)
     }
 
@@ -171,14 +170,16 @@ impl CrossLdMatrix {
 
     /// Iterates `(i, j, value)` over all cells.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.m)
-            .flat_map(move |i| (0..self.n).map(move |j| (i, j, self.values[i * self.n + j])))
+        (0..self.m).flat_map(move |i| (0..self.n).map(move |j| (i, j, self.values[i * self.n + j])))
     }
 }
 
 impl fmt::Debug for CrossLdMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CrossLdMatrix").field("m", &self.m).field("n", &self.n).finish()
+        f.debug_struct("CrossLdMatrix")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .finish()
     }
 }
 
@@ -248,9 +249,9 @@ mod tests {
         m.set(0, 1, 0.5);
         m.set(1, 2, 0.25);
         let d = m.to_dense();
-        assert_eq!(d[0 * 3 + 1], 0.5);
-        assert_eq!(d[1 * 3 + 0], 0.5);
-        assert_eq!(d[2 * 3 + 1], 0.25);
+        assert_eq!(d[1], 0.5); // (0, 1)
+        assert_eq!(d[3], 0.5); // (1, 0), mirrored
+        assert_eq!(d[2 * 3 + 1], 0.25); // (2, 1), mirrored
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub struct LdPair {
 /// These are exactly the three popcounts the GEMM produces (diagonal,
 /// diagonal, off-diagonal), so matrix-level code funnels through here.
 pub fn ld_pair_from_counts(c_ii: u64, c_jj: u64, c_ij: u64, n: u64, policy: NanPolicy) -> LdPair {
-    debug_assert!(c_ij <= c_ii.min(c_jj), "intersection exceeds operand counts");
+    debug_assert!(
+        c_ij <= c_ii.min(c_jj),
+        "intersection exceeds operand counts"
+    );
     debug_assert!(c_ii <= n && c_jj <= n, "counts exceed sample size");
     let nf = n as f64;
     ld_pair_from_freqs(c_ii as f64 / nf, c_jj as f64 / nf, c_ij as f64 / nf, policy)
@@ -78,7 +81,14 @@ pub fn ld_pair_from_freqs(p_i: f64, p_j: f64, p_ij: f64, policy: NanPolicy) -> L
             NanPolicy::Zero => 0.0,
         }
     };
-    LdPair { p_i, p_j, p_ij, d, d_prime, r2 }
+    LdPair {
+        p_i,
+        p_j,
+        p_ij,
+        d,
+        d_prime,
+        r2,
+    }
 }
 
 /// Scalar transform used by the matrix paths: counts → the selected
@@ -207,15 +217,38 @@ mod tests {
     #[test]
     fn stat_selector_consistency() {
         let (c_ii, c_jj, c_ij, n) = (30u32, 45u32, 25u32, 100u64);
-        let pair = ld_pair_from_counts(c_ii as u64, c_jj as u64, c_ij as u64, n, NanPolicy::Propagate);
+        let pair = ld_pair_from_counts(
+            c_ii as u64,
+            c_jj as u64,
+            c_ij as u64,
+            n,
+            NanPolicy::Propagate,
+        );
         let inv_n = 1.0 / n as f64;
-        assert_eq!(stat_from_counts(LdStats::D, c_ii, c_jj, c_ij, inv_n, NanPolicy::Propagate), pair.d);
         assert_eq!(
-            stat_from_counts(LdStats::RSquared, c_ii, c_jj, c_ij, inv_n, NanPolicy::Propagate),
+            stat_from_counts(LdStats::D, c_ii, c_jj, c_ij, inv_n, NanPolicy::Propagate),
+            pair.d
+        );
+        assert_eq!(
+            stat_from_counts(
+                LdStats::RSquared,
+                c_ii,
+                c_jj,
+                c_ij,
+                inv_n,
+                NanPolicy::Propagate
+            ),
             pair.r2
         );
         assert_eq!(
-            stat_from_counts(LdStats::DPrime, c_ii, c_jj, c_ij, inv_n, NanPolicy::Propagate),
+            stat_from_counts(
+                LdStats::DPrime,
+                c_ii,
+                c_jj,
+                c_ij,
+                inv_n,
+                NanPolicy::Propagate
+            ),
             pair.d_prime
         );
     }

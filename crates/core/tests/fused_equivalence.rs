@@ -1,0 +1,230 @@
+//! The fused slab pipeline against the classical two-pass oracle.
+//!
+//! `LdEngine::stat_matrix` (fused: bounded per-worker slabs, no global
+//! counts matrix, no mirror pass) must reproduce
+//! `LdEngine::stat_matrix_twopass` (full `n × n` SYRK + transform sweep)
+//! **bit-exactly**: both run the same batched rank-1 transform over the
+//! same integer counts, so there is no tolerance to hide behind — any
+//! discrepancy is a real bug in the slab/offset bookkeeping.
+
+use ld_bitmat::BitMatrix;
+use ld_core::{LdEngine, LdStats, NanPolicy};
+use ld_rng::SmallRng;
+
+const STATS: [LdStats; 3] = [LdStats::RSquared, LdStats::D, LdStats::DPrime];
+const POLICIES: [NanPolicy; 2] = [NanPolicy::Propagate, NanPolicy::Zero];
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn random_matrix(rng: &mut SmallRng, n_samples: usize, n_snps: usize) -> BitMatrix {
+    let mut g = BitMatrix::zeros(n_samples, n_snps);
+    let density = 0.05 + 0.9 * rng.gen::<f64>();
+    for j in 0..n_snps {
+        for s in 0..n_samples {
+            if rng.gen_bool(density) {
+                g.set(s, j, true);
+            }
+        }
+    }
+    g
+}
+
+/// Asserts the packed triangles are identical to the bit.
+fn assert_bit_equal(fused: &ld_core::LdMatrix, oracle: &ld_core::LdMatrix, ctx: &str) {
+    assert_eq!(fused.packed().len(), oracle.packed().len(), "{ctx}");
+    for (k, (a, b)) in fused.packed().iter().zip(oracle.packed()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{ctx}: packed[{k}] fused={a} oracle={b}"
+        );
+    }
+}
+
+#[test]
+fn fused_matches_twopass_across_shapes_threads_slabs() {
+    let mut rng = SmallRng::seed_from_u64(0xfade);
+    // Odd shapes: word-boundary sample counts, SNP counts around slab edges.
+    let shapes = [
+        (1usize, 1usize),
+        (3, 7),
+        (63, 12),
+        (64, 33),
+        (65, 40),
+        (127, 9),
+        (130, 65),
+        (31, 64),
+    ];
+    for &(n_samples, n_snps) in &shapes {
+        let g = random_matrix(&mut rng, n_samples, n_snps);
+        for stat in STATS {
+            for &threads in &THREADS {
+                for slab in [1usize, 3, 16, 1000] {
+                    let e = LdEngine::new().threads(threads).slab_rows(slab);
+                    let ctx =
+                        format!("{n_samples}x{n_snps} {stat:?} threads={threads} slab={slab}");
+                    assert_bit_equal(
+                        &e.stat_matrix(&g, stat),
+                        &e.stat_matrix_twopass(&g, stat),
+                        &ctx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_matches_twopass_on_monomorphic_snps_under_both_policies() {
+    let mut rng = SmallRng::seed_from_u64(0x0f0f);
+    for _ in 0..8 {
+        let n_samples = rng.gen_range(1usize..100);
+        let n_snps = rng.gen_range(2usize..30);
+        let mut g = random_matrix(&mut rng, n_samples, n_snps);
+        // Force monomorphic columns: one all-zeros, one all-ones.
+        for s in 0..n_samples {
+            g.set(s, 0, false);
+            g.set(s, n_snps - 1, true);
+        }
+        for policy in POLICIES {
+            for stat in STATS {
+                for &threads in &THREADS {
+                    let e = LdEngine::new()
+                        .threads(threads)
+                        .slab_rows(4)
+                        .nan_policy(policy);
+                    let fused = e.stat_matrix(&g, stat);
+                    let oracle = e.stat_matrix_twopass(&g, stat);
+                    let ctx = format!("{n_samples}x{n_snps} {stat:?} {policy:?} t{threads}");
+                    assert_bit_equal(&fused, &oracle, &ctx);
+                    // the policy is actually exercised: r² of the
+                    // monomorphic pair is NaN or 0 as configured
+                    if stat == LdStats::RSquared && n_snps >= 2 {
+                        let v = fused.get(0, n_snps - 1);
+                        match policy {
+                            NanPolicy::Propagate => assert!(v.is_nan(), "{ctx}: {v}"),
+                            NanPolicy::Zero => assert_eq!(v, 0.0, "{ctx}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_handles_zero_and_one_snp() {
+    // n_snps = 0: empty triangle, no work, no panic (even with 0 samples —
+    // there is nothing to divide).
+    let empty = BitMatrix::zeros(5, 0);
+    let m = LdEngine::new().r2_matrix(&empty);
+    assert_eq!(m.n_snps(), 0);
+    assert_eq!(m.packed().len(), 0);
+    LdEngine::new().r2_rows(&empty, |_| panic!("no slabs for an empty panel"));
+    LdEngine::new().r2_tiled(&empty, 4, |_| panic!("no tiles for an empty panel"));
+
+    // n_snps = 1: a single diagonal entry.
+    let mut one = BitMatrix::zeros(6, 1);
+    one.set(0, 0, true);
+    one.set(3, 0, true);
+    for &threads in &THREADS {
+        let e = LdEngine::new().threads(threads);
+        let fused = e.r2_matrix(&one);
+        let oracle = e.stat_matrix_twopass(&one, LdStats::RSquared);
+        assert_bit_equal(&fused, &oracle, "single snp");
+        assert!((fused.get(0, 0) - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fused_counts_are_bit_exact_against_full_syrk() {
+    // The integer layer: slab counts assembled over the triangle equal the
+    // full SYRK counts matrix entry for entry (u32 — necessarily exact).
+    let mut rng = SmallRng::seed_from_u64(0xc0de);
+    for _ in 0..6 {
+        let n_samples = rng.gen_range(1usize..200);
+        let n = rng.gen_range(1usize..48);
+        let g = random_matrix(&mut rng, n_samples, n);
+        let full = LdEngine::new().threads(2).counts_matrix(&g);
+        let v = g.full_view();
+        let slab = rng.gen_range(1usize..8);
+        let mut r0 = 0usize;
+        while r0 < n {
+            let r1 = (r0 + slab).min(n);
+            let width = n - r0;
+            let mut c = vec![0u32; (r1 - r0) * width];
+            ld_kernels::syrk_slab_counts(
+                &v,
+                r0..r1,
+                &mut c,
+                width,
+                ld_kernels::KernelKind::Auto,
+                ld_kernels::BlockSizes::default(),
+            );
+            for i in r0..r1 {
+                for j in i..n {
+                    assert_eq!(
+                        c[(i - r0) * width + (j - r0)],
+                        full[i * n + j],
+                        "({i},{j}) slab {r0}..{r1}"
+                    );
+                }
+            }
+            r0 = r1;
+        }
+    }
+}
+
+#[test]
+fn streaming_rows_and_tiles_match_fused_matrix() {
+    let mut rng = SmallRng::seed_from_u64(0x57a7);
+    for _ in 0..6 {
+        let n_samples = rng.gen_range(1usize..120);
+        let n = rng.gen_range(1usize..40);
+        let g = random_matrix(&mut rng, n_samples, n);
+        let threads = *THREADS.get(rng.gen_range(0usize..3)).unwrap();
+        let e = LdEngine::new()
+            .threads(threads)
+            .slab_rows(rng.gen_range(1usize..9));
+        let full = e.r2_matrix(&g);
+
+        // row slabs: every (i, j ≥ i) exactly once, bit-equal
+        let mut seen = vec![0u32; n * (n + 1) / 2];
+        e.r2_rows(&g, |s| {
+            for (i, row) in s.rows() {
+                for (t, &v) in row.iter().enumerate() {
+                    let j = i + t;
+                    let idx = i * n - (i * i - i) / 2 + t;
+                    seen[idx] += 1;
+                    assert_eq!(v.to_bits(), full.get(i, j).to_bits(), "rows ({i},{j})");
+                    assert_eq!(v.to_bits(), s.value(i - s.row_start(), j).to_bits());
+                }
+            }
+        });
+        assert!(seen.iter().all(|&c| c == 1), "row coverage");
+
+        // tiles: upper-triangle coverage, diagonal tiles mirrored
+        let tile = rng.gen_range(1usize..10);
+        let mut tiles_seen = vec![0u32; n * n];
+        e.for_each_tile(&g, LdStats::RSquared, tile, |t| {
+            assert!(t.col_start >= t.row_start);
+            for r in 0..t.rows {
+                for c in 0..t.cols {
+                    let (i, j) = (t.row_start + r, t.col_start + c);
+                    tiles_seen[i * n + j] += 1;
+                    let (a, b) = (i.min(j), i.max(j));
+                    assert_eq!(
+                        t.values[r * t.cols + c].to_bits(),
+                        full.get(a, b).to_bits(),
+                        "tile ({i},{j})"
+                    );
+                }
+            }
+        });
+        for i in 0..n {
+            for j in 0..n {
+                let expect = u32::from(j >= i || (j / tile) == (i / tile));
+                assert_eq!(tiles_seen[i * n + j], expect, "tile coverage ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Allocation accounting for the fused pipeline's memory bound.
+//!
+//! A counting global allocator tracks live and peak heap bytes; the test
+//! verifies the tentpole claim: `stat_matrix`'s transient peak is the
+//! packed output plus `O(threads × slab × n)` u32 scratch — *not* the
+//! `4n²`-byte counts matrix the two-pass oracle allocates.
+//!
+//! This file is its own integration-test binary so the allocator hooks see
+//! only this test's traffic (cargo builds each `tests/*.rs` separately).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let q = System.realloc(p, layout, new_size);
+        if !q.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        q
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns its peak heap growth in bytes over the level at
+/// entry (allocations made before and freed after `f` don't count against
+/// it; thread-stack memory is not heap and is excluded by construction).
+fn peak_heap_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let r = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (peak.saturating_sub(base), r)
+}
+
+#[test]
+fn fused_peak_memory_is_slab_bounded() {
+    use ld_bitmat::BitMatrix;
+    use ld_core::{LdEngine, LdStats, NanPolicy};
+    use ld_rng::SmallRng;
+
+    let (n_samples, n) = (256usize, 600usize);
+    let (threads, slab) = (2usize, 8usize);
+    let mut rng = SmallRng::seed_from_u64(0x3e3);
+    let mut g = BitMatrix::zeros(n_samples, n);
+    for j in 0..n {
+        for s in 0..n_samples {
+            if rng.gen_bool(0.4) {
+                g.set(s, j, true);
+            }
+        }
+    }
+    let e = LdEngine::new()
+        .threads(threads)
+        .slab_rows(slab)
+        .nan_policy(NanPolicy::Zero);
+
+    // Warm up once so lazily-initialized runtime structures don't bill
+    // either measured section.
+    let _ = e.r2_matrix(&g);
+
+    let packed_bytes = n * (n + 1) / 2 * 8;
+    let counts_bytes = n * n * 4;
+    let scratch_bytes = threads * slab * n * 4;
+    // transform tables (3 vecs of n), pack buffers, thread plumbing, slack
+    let overhead = 512 * 1024;
+
+    let (fused_peak, fused) = peak_heap_during(|| e.stat_matrix(&g, LdStats::RSquared));
+    let (twopass_peak, oracle) = peak_heap_during(|| e.stat_matrix_twopass(&g, LdStats::RSquared));
+
+    // Sanity: both computed the same thing (and the matrices stay alive
+    // until here so their storage counts inside the measured sections).
+    for (a, b) in fused.packed().iter().zip(oracle.packed()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    assert!(
+        fused_peak >= packed_bytes,
+        "fused peak {fused_peak} cannot be below its own output ({packed_bytes})"
+    );
+    assert!(
+        fused_peak <= packed_bytes + scratch_bytes + overhead,
+        "fused peak {fused_peak} exceeds packed {packed_bytes} + slab scratch \
+         {scratch_bytes} + overhead {overhead} — the O(threads × slab × n) bound is broken"
+    );
+    // The oracle really does pay for the full counts matrix…
+    assert!(
+        twopass_peak >= packed_bytes + counts_bytes,
+        "two-pass peak {twopass_peak} below packed {packed_bytes} + counts {counts_bytes}"
+    );
+    // …and the fused path avoids it with room to spare.
+    assert!(
+        fused_peak + counts_bytes / 2 < twopass_peak,
+        "fused peak {fused_peak} not clearly below two-pass peak {twopass_peak}"
+    );
+}
+
+#[test]
+fn streaming_rows_never_materialize_the_triangle() {
+    use ld_bitmat::BitMatrix;
+    use ld_core::{LdEngine, LdStats, NanPolicy};
+
+    let (n_samples, n) = (128usize, 600usize);
+    let (threads, slab) = (2usize, 8usize);
+    let mut g = BitMatrix::zeros(n_samples, n);
+    for j in 0..n {
+        for s in 0..n_samples {
+            if (s * 31 + j * 17) % 5 == 0 {
+                g.set(s, j, true);
+            }
+        }
+    }
+    let e = LdEngine::new()
+        .threads(threads)
+        .slab_rows(slab)
+        .nan_policy(NanPolicy::Zero);
+    let _ = e.r2_matrix(&g); // warm-up (see above)
+
+    let (peak, sum) = peak_heap_during(|| {
+        let mut acc = 0.0f64;
+        e.stat_rows(&g, LdStats::RSquared, |s| {
+            for (_, row) in s.rows() {
+                acc += row.iter().copied().filter(|v| !v.is_nan()).sum::<f64>();
+            }
+        });
+        acc
+    });
+    assert!(sum.is_finite() && sum > 0.0);
+
+    let packed_bytes = n * (n + 1) / 2 * 8;
+    // counts (u32) + values (f64) scratch per worker, plus slack
+    let scratch_bytes = threads * slab * n * (4 + 8);
+    let overhead = 512 * 1024;
+    assert!(
+        peak <= scratch_bytes + overhead,
+        "streaming peak {peak} exceeds scratch bound {scratch_bytes} + {overhead}"
+    );
+    assert!(
+        peak < packed_bytes / 2,
+        "streaming peak {peak} is in the same class as the packed triangle ({packed_bytes})"
+    );
+}

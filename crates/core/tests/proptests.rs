@@ -1,25 +1,28 @@
 //! Property tests: the matrix engine agrees with per-pair brute force.
+//! Seeded `ld-rng` cases replace `proptest` (unavailable offline).
 
 use ld_bitmat::BitMatrix;
 use ld_core::{ld_pair_from_counts, LdEngine, LdStats, NanPolicy};
-use proptest::prelude::*;
+use ld_rng::SmallRng;
 
-fn matrix_strategy() -> impl Strategy<Value = BitMatrix> {
-    (1usize..150, 1usize..14).prop_flat_map(|(n_samples, n_snps)| {
-        proptest::collection::vec(proptest::collection::vec(0u8..=1, n_snps), n_samples)
-            .prop_map(move |rows| BitMatrix::from_rows(n_samples, n_snps, rows).unwrap())
-    })
+fn random_matrix(rng: &mut SmallRng) -> BitMatrix {
+    let n_samples = rng.gen_range(1usize..150);
+    let n_snps = rng.gen_range(1usize..14);
+    let rows: Vec<Vec<u8>> = (0..n_samples)
+        .map(|_| (0..n_snps).map(|_| u8::from(rng.gen::<bool>())).collect())
+        .collect();
+    BitMatrix::from_rows(n_samples, n_snps, rows).unwrap()
 }
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() < 1e-10 || (a.is_nan() && b.is_nan())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn r2_matrix_matches_brute_force(g in matrix_strategy()) {
+#[test]
+fn r2_matrix_matches_brute_force() {
+    let mut rng = SmallRng::seed_from_u64(0xb1);
+    for case in 0..48 {
+        let g = random_matrix(&mut rng);
         let e = LdEngine::new();
         let r2 = e.r2_matrix(&g);
         let n_samples = g.n_samples() as u64;
@@ -36,47 +39,74 @@ proptest! {
                     c_ij += u64::from(a && b);
                 }
                 let want = ld_pair_from_counts(c_ii, c_jj, c_ij, n_samples, NanPolicy::Propagate);
-                prop_assert!(close(r2.get(i, j), want.r2), "({i},{j}): {} vs {}", r2.get(i, j), want.r2);
+                assert!(
+                    close(r2.get(i, j), want.r2),
+                    "case {case}: ({i},{j}): {} vs {}",
+                    r2.get(i, j),
+                    want.r2
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn r2_values_in_unit_interval(g in matrix_strategy()) {
+#[test]
+fn r2_values_in_unit_interval() {
+    let mut rng = SmallRng::seed_from_u64(0xb2);
+    for case in 0..48 {
+        let g = random_matrix(&mut rng);
         let r2 = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&g);
         for (_, _, v) in r2.iter_upper() {
-            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "r2 = {v}");
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "case {case}: r2 = {v}");
         }
     }
+}
 
-    #[test]
-    fn d_prime_dominates_in_magnitude(g in matrix_strategy()) {
+#[test]
+fn d_prime_dominates_in_magnitude() {
+    let mut rng = SmallRng::seed_from_u64(0xb3);
+    for case in 0..48 {
+        let g = random_matrix(&mut rng);
         // |D'| ≥ r for every pair (a classical inequality: r² ≤ D'²)
         let e = LdEngine::new().nan_policy(NanPolicy::Zero);
         let r2 = e.r2_matrix(&g);
         let dp = e.d_prime_matrix(&g);
         for (i, j, v) in r2.iter_pairs() {
             let d = dp.get(i, j);
-            prop_assert!(d * d + 1e-9 >= v, "({i},{j}): D'={d} r2={v}");
+            assert!(d * d + 1e-9 >= v, "case {case}: ({i},{j}): D'={d} r2={v}");
         }
     }
+}
 
-    #[test]
-    fn cross_equals_square_blocks(g in matrix_strategy()) {
-        prop_assume!(g.n_snps() >= 2);
+#[test]
+fn cross_equals_square_blocks() {
+    let mut rng = SmallRng::seed_from_u64(0xb4);
+    for case in 0..48 {
+        let g = random_matrix(&mut rng);
+        if g.n_snps() < 2 {
+            continue;
+        }
         let e = LdEngine::new();
         let full = e.r2_matrix(&g);
         let mid = g.n_snps() / 2;
         let cross = e.r2_cross(g.view(0, mid), g.view(mid, g.n_snps()));
         for i in 0..mid {
             for j in 0..g.n_snps() - mid {
-                prop_assert!(close(cross.get(i, j), full.get(i, mid + j)));
+                assert!(
+                    close(cross.get(i, j), full.get(i, mid + j)),
+                    "case {case}: ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn tiled_equals_full(g in matrix_strategy(), tile in 1usize..8) {
+#[test]
+fn tiled_equals_full() {
+    let mut rng = SmallRng::seed_from_u64(0xb5);
+    for case in 0..48 {
+        let g = random_matrix(&mut rng);
+        let tile = rng.gen_range(1usize..8);
         let e = LdEngine::new();
         let full = e.r2_matrix(&g);
         let mut visited = 0usize;
@@ -84,21 +114,31 @@ proptest! {
             for r in 0..t.rows {
                 for c in 0..t.cols {
                     let (i, j) = (t.row_start + r, t.col_start + c);
-                    assert!(close(t.values[r * t.cols + c], full.get(i, j)), "({i},{j})");
+                    assert!(
+                        close(t.values[r * t.cols + c], full.get(i, j)),
+                        "case {case}: ({i},{j})"
+                    );
                     visited += 1;
                 }
             }
         });
         // every ordered pair with block(col) >= block(row) visited at least once
-        prop_assert!(visited >= g.n_snps() * (g.n_snps() + 1) / 2);
+        assert!(visited >= g.n_snps() * (g.n_snps() + 1) / 2, "case {case}");
     }
+}
 
-    #[test]
-    fn stat_d_symmetry_and_range(g in matrix_strategy()) {
+#[test]
+fn stat_d_symmetry_and_range() {
+    let mut rng = SmallRng::seed_from_u64(0xb6);
+    for case in 0..48 {
+        let g = random_matrix(&mut rng);
         let d = LdEngine::new().stat_matrix(&g, LdStats::D);
         for (_, _, v) in d.iter_upper() {
             // D ∈ [-0.25, 0.25] always
-            prop_assert!((-0.25 - 1e-9..=0.25 + 1e-9).contains(&v), "D = {v}");
+            assert!(
+                (-0.25 - 1e-9..=0.25 + 1e-9).contains(&v),
+                "case {case}: D = {v}"
+            );
         }
     }
 }

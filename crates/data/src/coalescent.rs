@@ -22,8 +22,7 @@
 //! block boundaries, qualitatively matching recombining `ms` runs.
 
 use ld_bitmat::{BitMatrix, BitMatrixBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 /// One node of a coalescent tree (leaves first, internal nodes appended).
 #[derive(Clone, Debug)]
@@ -48,8 +47,13 @@ impl CoalescentTree {
     /// Simulates the standard neutral coalescent for `n ≥ 1` samples.
     pub fn simulate(n: usize, rng: &mut SmallRng) -> Self {
         assert!(n >= 1, "need at least one sample");
-        let mut nodes: Vec<Node> =
-            (0..n).map(|_| Node { children: [0, 0], leaf: true, branch: 0.0 }).collect();
+        let mut nodes: Vec<Node> = (0..n)
+            .map(|_| Node {
+                children: [0, 0],
+                leaf: true,
+                branch: 0.0,
+            })
+            .collect();
         let mut active: Vec<usize> = (0..n).collect();
         let mut time = 0.0f64;
         let mut node_time = vec![0.0f64; n];
@@ -67,7 +71,11 @@ impl CoalescentTree {
             }
             let (a, b) = (active[i], active[j]);
             let parent = nodes.len();
-            nodes.push(Node { children: [a, b], leaf: false, branch: 0.0 });
+            nodes.push(Node {
+                children: [a, b],
+                leaf: false,
+                branch: 0.0,
+            });
             node_time.push(time);
             // branch lengths of the two children
             nodes[a].branch = time - node_time[a];
@@ -79,7 +87,11 @@ impl CoalescentTree {
             active.push(parent);
         }
         let total_length = nodes.iter().map(|nd| nd.branch).sum();
-        Self { nodes, n_samples: n, total_length }
+        Self {
+            nodes,
+            n_samples: n,
+            total_length,
+        }
     }
 
     /// Number of leaf samples.
@@ -146,7 +158,12 @@ impl CoalescentSimulator {
     /// (the `ms -s` fixed-sites mode, which is what benchmark datasets
     /// with exact SNP counts need).
     pub fn new(n_samples: usize, n_snps: usize) -> Self {
-        Self { n_samples, n_snps, blocks: 1, seed: 0xc0a1 }
+        Self {
+            n_samples,
+            n_snps,
+            blocks: 1,
+            seed: 0xc0a1,
+        }
     }
 
     /// Number of independent genealogies the sites are spread over
@@ -208,9 +225,10 @@ mod tests {
         let n = 10;
         let expect: f64 = 2.0 * (1..n).map(|i| 1.0 / i as f64).sum::<f64>();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mean: f64 =
-            (0..2000).map(|_| CoalescentTree::simulate(n, &mut rng).total_length()).sum::<f64>()
-                / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|_| CoalescentTree::simulate(n, &mut rng).total_length())
+            .sum::<f64>()
+            / 2000.0;
         assert!(
             (mean - expect).abs() < 0.15 * expect,
             "mean total length {mean} vs expected {expect}"
@@ -247,8 +265,14 @@ mod tests {
 
     #[test]
     fn single_tree_has_more_ld_than_many_blocks() {
-        let one = CoalescentSimulator::new(100, 60).blocks(1).seed(4).generate();
-        let many = CoalescentSimulator::new(100, 60).blocks(30).seed(4).generate();
+        let one = CoalescentSimulator::new(100, 60)
+            .blocks(1)
+            .seed(4)
+            .generate();
+        let many = CoalescentSimulator::new(100, 60)
+            .blocks(30)
+            .seed(4)
+            .generate();
         let e = LdEngine::new().nan_policy(NanPolicy::Zero);
         let ld_one = e.r2_matrix(&one).mean_offdiagonal();
         let ld_many = e.r2_matrix(&many).mean_offdiagonal();
@@ -260,7 +284,10 @@ mod tests {
 
     #[test]
     fn blocks_decorrelate_across_boundaries() {
-        let g = CoalescentSimulator::new(200, 40).blocks(2).seed(5).generate();
+        let g = CoalescentSimulator::new(200, 40)
+            .blocks(2)
+            .seed(5)
+            .generate();
         let e = LdEngine::new().nan_policy(NanPolicy::Zero);
         let r2 = e.r2_matrix(&g);
         // within block 0 (sites 0..20) vs across blocks
@@ -290,7 +317,10 @@ mod tests {
     #[test]
     fn frequency_spectrum_is_skewed() {
         // neutral coalescent: singletons dominate (SFS ∝ 1/i)
-        let g = CoalescentSimulator::new(50, 500).blocks(100).seed(8).generate();
+        let g = CoalescentSimulator::new(50, 500)
+            .blocks(100)
+            .seed(8)
+            .generate();
         let mut rare = 0;
         let mut common = 0;
         for j in 0..500 {

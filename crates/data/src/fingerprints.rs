@@ -8,8 +8,7 @@
 //! pipeline.
 
 use ld_bitmat::{BitMatrix, BitMatrixBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 /// Generates `count` fingerprints of `n_bits` bits with expected `density`
 /// fraction of set bits. Returned as a [`BitMatrix`] whose **columns are
@@ -73,8 +72,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(random_fingerprints(8, 256, 0.1, 7), random_fingerprints(8, 256, 0.1, 7));
-        assert_ne!(random_fingerprints(8, 256, 0.1, 7), random_fingerprints(8, 256, 0.1, 8));
+        assert_eq!(
+            random_fingerprints(8, 256, 0.1, 7),
+            random_fingerprints(8, 256, 0.1, 7)
+        );
+        assert_ne!(
+            random_fingerprints(8, 256, 0.1, 7),
+            random_fingerprints(8, 256, 0.1, 8)
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@
 
 #![warn(missing_docs)]
 
+mod coalescent;
 pub mod datasets;
 pub mod fingerprints;
-mod coalescent;
 mod simulate;
 mod sweep;
 

@@ -1,8 +1,7 @@
 //! Li–Stephens copying-model haplotype simulator.
 
 use ld_bitmat::{BitMatrix, BitMatrixBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 /// Simulates haplotypes as mosaics of a founder panel.
 ///
@@ -90,12 +89,10 @@ impl HaplotypeSimulator {
             founder_cols.push(col);
         }
         // 2. samples: mosaic walks over the panel.
-        let mut current: Vec<usize> =
-            (0..self.n_samples).map(|_| rng.gen_range(0..f)).collect();
+        let mut current: Vec<usize> = (0..self.n_samples).map(|_| rng.gen_range(0..f)).collect();
         let mut b = BitMatrixBuilder::with_capacity(self.n_samples, self.n_snps);
         let mut col = vec![0u8; self.n_samples];
-        for j in 0..self.n_snps {
-            let founders = &founder_cols[j];
+        for founders in &founder_cols {
             for (s, cur) in current.iter_mut().enumerate() {
                 if rng.gen::<f64>() < self.switch_rate {
                     *cur = rng.gen_range(0..f);

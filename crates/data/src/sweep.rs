@@ -2,8 +2,7 @@
 
 use crate::HaplotypeSimulator;
 use ld_bitmat::BitMatrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 /// Plants the LD signature of a completed selective sweep into a neutral
 /// background.
@@ -28,7 +27,13 @@ impl SweepSimulator {
     /// A sweep at SNP index `center` affecting `half_width` SNPs on each
     /// side, embedded in the `base` neutral simulation.
     pub fn new(base: HaplotypeSimulator, center: usize, half_width: usize) -> Self {
-        Self { base, center, half_width, carrier_fraction: 0.8, seed: 0xca11_ab1e }
+        Self {
+            base,
+            center,
+            half_width,
+            carrier_fraction: 0.8,
+            seed: 0xca11_ab1e,
+        }
     }
 
     /// Fraction of samples carrying the swept haplotype (default 0.8).
@@ -73,7 +78,9 @@ impl SweepSimulator {
     }
 
     fn pick_carriers(&self, rng: &mut SmallRng, n_samples: usize) -> Vec<bool> {
-        (0..n_samples).map(|_| rng.gen::<f64>() < self.carrier_fraction).collect()
+        (0..n_samples)
+            .map(|_| rng.gen::<f64>() < self.carrier_fraction)
+            .collect()
     }
 
     /// Within one flank, carriers all share a single swept haplotype: each
@@ -115,7 +122,10 @@ mod tests {
     use ld_omega::OmegaScan;
 
     fn sim() -> SweepSimulator {
-        let base = HaplotypeSimulator::new(128, 120).seed(11).founders(32).switch_rate(0.3);
+        let base = HaplotypeSimulator::new(128, 120)
+            .seed(11)
+            .founders(32)
+            .switch_rate(0.3);
         SweepSimulator::new(base, 60, 15).seed(12)
     }
 

@@ -17,6 +17,7 @@
 //! paper quotes.
 
 use ld_bitmat::{BitMatrix, BitMatrixBuilder, ValidityMask};
+use ld_core::fused::SyncSlice;
 use ld_core::{ld_pair_from_counts, LdMatrix, NanPolicy};
 use ld_parallel::parallel_for_dynamic;
 
@@ -105,7 +106,12 @@ impl NucleotideMatrix {
             planes.next().unwrap(),
         ];
         let mask = ValidityMask::from_bitmatrix(&valid_builder.finish());
-        Self { planes, mask, n_samples, n_sites: cols.len() }
+        Self {
+            planes,
+            mask,
+            n_samples,
+            n_sites: cols.len(),
+        }
     }
 
     /// Builds from site-major strings (one string per site).
@@ -113,8 +119,10 @@ impl NucleotideMatrix {
         n_samples: usize,
         cols: I,
     ) -> Self {
-        let char_cols: Vec<Vec<char>> =
-            cols.into_iter().map(|s| s.as_ref().chars().collect()).collect();
+        let char_cols: Vec<Vec<char>> = cols
+            .into_iter()
+            .map(|s| s.as_ref().chars().collect())
+            .collect();
         Self::from_site_columns(n_samples, char_cols)
     }
 
@@ -175,8 +183,7 @@ impl NucleotideMatrix {
                     ones_j += b.count_ones() as u64;
                     both += (a & b).count_ones() as u64;
                 }
-                let r2 =
-                    ld_pair_from_counts(ones_i, ones_j, both, v_ij, NanPolicy::Zero).r2;
+                let r2 = ld_pair_from_counts(ones_i, ones_j, both, v_ij, NanPolicy::Zero).r2;
                 sum_r2 += r2;
             }
         }
@@ -190,7 +197,7 @@ impl NucleotideMatrix {
         let mut out = LdMatrix::zeros(n);
         {
             let packed = out.packed_mut();
-            let ptr = SyncPtr(packed.as_mut_ptr(), packed.len());
+            let ptr = SyncSlice::new(packed);
             parallel_for_dynamic(threads, n, 2, |rows| {
                 for i in rows.clone() {
                     let off = i * n - (i * i - i) / 2;
@@ -211,26 +218,24 @@ impl NucleotideMatrix {
     pub fn to_biallelic(&self) -> Option<BitMatrix> {
         let mut b = BitMatrixBuilder::new(self.n_samples);
         for j in 0..self.n_sites {
-            let present: Vec<&BitMatrix> =
-                self.planes.iter().filter(|p| p.ones_in_snp(j) > 0).collect();
+            let present: Vec<&BitMatrix> = self
+                .planes
+                .iter()
+                .filter(|p| p.ones_in_snp(j) > 0)
+                .collect();
             if present.len() != 2 {
                 return None;
             }
             let (a, c) = (present[0], present[1]);
-            let derived = if a.ones_in_snp(j) <= c.ones_in_snp(j) { a } else { c };
-            b.push_snp_bits((0..self.n_samples).map(|s| derived.get(s, j))).ok()?;
+            let derived = if a.ones_in_snp(j) <= c.ones_in_snp(j) {
+                a
+            } else {
+                c
+            };
+            b.push_snp_bits((0..self.n_samples).map(|s| derived.get(s, j)))
+                .ok()?;
         }
         Some(b.finish())
-    }
-}
-
-struct SyncPtr(*mut f64, usize);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
-impl SyncPtr {
-    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
-        debug_assert!(off + len <= self.1);
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(off), len) }
     }
 }
 
@@ -270,7 +275,10 @@ mod tests {
         let equil = NucleotideMatrix::from_site_strings(8, ["AAAACCCC", "GGTTGGTT"]);
         let t_linked = linked.t_statistic(0, 1, NanPolicy::Propagate);
         let t_equil = equil.t_statistic(0, 1, NanPolicy::Propagate);
-        assert!(t_linked > 5.0 * t_equil.max(1e-9), "linked {t_linked} equil {t_equil}");
+        assert!(
+            t_linked > 5.0 * t_equil.max(1e-9),
+            "linked {t_linked} equil {t_equil}"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! and the LD statistics use `N_ij = POPCNT(c_ij)` as the sample size.
 
 use ld_bitmat::{BitMatrix, BitMatrixView, ValidityMask};
+use ld_core::fused::SyncSlice;
 use ld_core::{ld_pair_from_counts, LdMatrix, LdPair, NanPolicy};
 use ld_parallel::parallel_for_dynamic;
 
@@ -85,7 +86,7 @@ pub fn masked_r2_matrix(
     let mut out = LdMatrix::zeros(n);
     {
         let packed = out.packed_mut();
-        let ptr = SyncPtr(packed.as_mut_ptr(), packed.len());
+        let ptr = SyncSlice::new(packed);
         parallel_for_dynamic(threads, n, 4, |rows| {
             for i in rows.clone() {
                 let off = i * n - (i * i - i) / 2;
@@ -109,18 +110,12 @@ pub fn masked_r2_matrix(
 }
 
 fn check_shapes(g: &BitMatrixView<'_>, mask: &ValidityMask) {
-    assert_eq!(g.n_samples(), mask.n_samples(), "mask sample count mismatch");
+    assert_eq!(
+        g.n_samples(),
+        mask.n_samples(),
+        "mask sample count mismatch"
+    );
     assert!(mask.n_snps() >= g.end(), "mask must cover the viewed SNPs");
-}
-
-struct SyncPtr(*mut f64, usize);
-unsafe impl Send for SyncPtr {}
-unsafe impl Sync for SyncPtr {}
-impl SyncPtr {
-    unsafe fn slice(&self, off: usize, len: usize) -> &mut [f64] {
-        debug_assert!(off + len <= self.1);
-        unsafe { std::slice::from_raw_parts_mut(self.0.add(off), len) }
-    }
 }
 
 #[cfg(test)]
@@ -133,7 +128,14 @@ mod tests {
         let g = BitMatrix::from_rows(
             6,
             3,
-            [[1u8, 0, 1], [1, 1, 0], [0, 1, 1], [0, 0, 0], [1, 1, 1], [0, 1, 0]],
+            [
+                [1u8, 0, 1],
+                [1, 1, 0],
+                [0, 1, 1],
+                [0, 0, 0],
+                [1, 1, 1],
+                [0, 1, 0],
+            ],
         )
         .unwrap();
         let mask = ValidityMask::all_valid(6, 3);
@@ -142,7 +144,10 @@ mod tests {
         for i in 0..3 {
             for j in i..3 {
                 let (a, b) = (masked.get(i, j), plain.get(i, j));
-                assert!((a - b).abs() < 1e-12 || (a.is_nan() && b.is_nan()), "({i},{j})");
+                assert!(
+                    (a - b).abs() < 1e-12 || (a.is_nan() && b.is_nan()),
+                    "({i},{j})"
+                );
             }
         }
     }

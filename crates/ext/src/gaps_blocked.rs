@@ -30,7 +30,11 @@ use ld_kernels::{gemm_counts_mt, syrk_counts_buf, BlockSizes, KernelKind};
 
 /// Builds the `D = S ∧ V` (valid-derived) matrix.
 pub fn valid_derived_matrix(g: &BitMatrixView<'_>, mask: &ValidityMask) -> BitMatrix {
-    assert_eq!(g.n_samples(), mask.n_samples(), "mask sample count mismatch");
+    assert_eq!(
+        g.n_samples(),
+        mask.n_samples(),
+        "mask sample count mismatch"
+    );
     assert!(mask.n_snps() >= g.end(), "mask must cover the viewed SNPs");
     let wps = g.words_per_snp();
     let mut words = AlignedWords::zeroed(wps * g.n_snps());
@@ -69,9 +73,23 @@ pub fn masked_r2_matrix_blocked(
 
     // three blocked products: VᵀV, DᵀD (symmetric), DᵀV (general)
     let mut vv = vec![0u32; n * n];
-    syrk_counts_buf(&v.full_view(), &mut vv, n, kind, BlockSizes::default(), threads);
+    syrk_counts_buf(
+        &v.full_view(),
+        &mut vv,
+        n,
+        kind,
+        BlockSizes::default(),
+        threads,
+    );
     let mut dd = vec![0u32; n * n];
-    syrk_counts_buf(&d.full_view(), &mut dd, n, kind, BlockSizes::default(), threads);
+    syrk_counts_buf(
+        &d.full_view(),
+        &mut dd,
+        n,
+        kind,
+        BlockSizes::default(),
+        threads,
+    );
     let mut dv = vec![0u32; n * n];
     gemm_counts_mt(
         &d.full_view(),
@@ -101,7 +119,11 @@ pub fn masked_r2_matrix_blocked(
             let both = dd[i * n + j] as u64;
             let ones_i = dv[i * n + j] as u64; // d_i · v_j
             let ones_j = dv[j * n + i] as u64; // d_j · v_i
-            out.set(i, j, ld_pair_from_counts(ones_i, ones_j, both, valid, policy).r2);
+            out.set(
+                i,
+                j,
+                ld_pair_from_counts(ones_i, ones_j, both, valid, policy).r2,
+            );
         }
     }
     out
@@ -178,7 +200,9 @@ mod tests {
         let mask = ValidityMask::all_valid(90, 10);
         let blocked =
             masked_r2_matrix_blocked(&g.full_view(), &mask, KernelKind::Auto, 1, NanPolicy::Zero);
-        let plain = ld_core::LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&g);
+        let plain = ld_core::LdEngine::new()
+            .nan_policy(NanPolicy::Zero)
+            .r2_matrix(&g);
         for (i, j, v) in plain.iter_upper() {
             assert!((blocked.get(i, j) - v).abs() < 1e-12, "({i},{j})");
         }
@@ -210,12 +234,14 @@ mod tests {
     fn works_on_views() {
         let (g, mask) = fixture(100, 20, 4);
         let view = g.view(5, 15);
-        let blocked =
-            masked_r2_matrix_blocked(&view, &mask, KernelKind::Auto, 1, NanPolicy::Zero);
+        let blocked = masked_r2_matrix_blocked(&view, &mask, KernelKind::Auto, 1, NanPolicy::Zero);
         let pairwise = masked_r2_matrix(&view, &mask, 1, NanPolicy::Zero);
         for i in 0..10 {
             for j in i..10 {
-                assert!((blocked.get(i, j) - pairwise.get(i, j)).abs() < 1e-12, "({i},{j})");
+                assert!(
+                    (blocked.get(i, j) - pairwise.get(i, j)).abs() < 1e-12,
+                    "({i},{j})"
+                );
             }
         }
     }

@@ -97,15 +97,16 @@ pub fn third_order_window(g: &BitMatrixView<'_>) -> Vec<(usize, usize, usize, f6
 
 /// The triples whose |D_ABC| meets `threshold`, strongest first — an
 /// epistasis-style screen.
-pub fn strongest_triples(
-    g: &BitMatrixView<'_>,
-    threshold: f64,
-) -> Vec<(usize, usize, usize, f64)> {
+pub fn strongest_triples(g: &BitMatrixView<'_>, threshold: f64) -> Vec<(usize, usize, usize, f64)> {
     let mut v: Vec<_> = third_order_window(g)
         .into_iter()
         .filter(|&(_, _, _, d)| d.abs() >= threshold)
         .collect();
-    v.sort_by(|a, b| b.3.abs().partial_cmp(&a.3.abs()).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(|a, b| {
+        b.3.abs()
+            .partial_cmp(&a.3.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     v
 }
 
@@ -167,7 +168,7 @@ mod tests {
                 s ^= s << 13;
                 s ^= s >> 7;
                 s ^= s << 17;
-                if s % 3 == 0 {
+                if s.is_multiple_of(3) {
                     g.set(smp, j, true);
                 }
             }
@@ -187,7 +188,7 @@ mod tests {
         let g = BitMatrix::zeros(16, 6);
         let all = third_order_window(&g.full_view());
         assert_eq!(all.len(), 20); // C(6,3)
-        // ordering invariant
+                                   // ordering invariant
         for &(i, j, k, _) in &all {
             assert!(i < j && j < k);
         }

@@ -64,10 +64,22 @@ pub fn tanimoto_cross(
     kind: KernelKind,
     threads: usize,
 ) -> CrossLdMatrix {
-    assert_eq!(queries.n_samples(), library.n_samples(), "fingerprint widths must match");
+    assert_eq!(
+        queries.n_samples(),
+        library.n_samples(),
+        "fingerprint widths must match"
+    );
     let (m, n) = (queries.n_snps(), library.n_snps());
     let mut counts = vec![0u32; m * n];
-    gemm_counts_mt(queries, library, &mut counts, n, kind, BlockSizes::default(), threads);
+    gemm_counts_mt(
+        queries,
+        library,
+        &mut counts,
+        n,
+        kind,
+        BlockSizes::default(),
+        threads,
+    );
     let p: Vec<u64> = (0..m).map(|i| queries.ones_in_snp(i)).collect();
     let q: Vec<u64> = (0..n).map(|j| library.ones_in_snp(j)).collect();
     let mut values = vec![0.0f64; m * n];

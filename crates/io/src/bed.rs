@@ -77,9 +77,8 @@ pub fn read_bed<R: Read>(
     let mut buf = vec![0u8; bytes_per_snp];
     let mut cols = Vec::with_capacity(n_snps);
     for j in 0..n_snps {
-        r.read_exact(&mut buf).map_err(|e| {
-            IoError::parse("bed", 0, format!("truncated at variant {j}: {e}"))
-        })?;
+        r.read_exact(&mut buf)
+            .map_err(|e| IoError::parse("bed", 0, format!("truncated at variant {j}: {e}")))?;
         cols.push(GenotypeMatrix::snp_from_bed_bytes(n_individuals, &buf)?);
     }
     Ok(GenotypeMatrix::from_columns(n_individuals, cols)?)
@@ -88,7 +87,11 @@ pub fn read_bed<R: Read>(
 /// Writes a `.bim` file body.
 pub fn write_bim<W: Write>(mut w: W, records: &[BimRecord]) -> Result<(), IoError> {
     for r in records {
-        writeln!(w, "{}\t{}\t{}\t{}\t{}\t{}", r.chrom, r.id, r.cm, r.pos, r.a1, r.a2)?;
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            r.chrom, r.id, r.cm, r.pos, r.a1, r.a2
+        )?;
     }
     Ok(())
 }
@@ -104,13 +107,21 @@ pub fn read_bim<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 6 {
-            return Err(IoError::parse("bim", no + 1, format!("{} columns (expected 6)", f.len())));
+            return Err(IoError::parse(
+                "bim",
+                no + 1,
+                format!("{} columns (expected 6)", f.len()),
+            ));
         }
         out.push(BimRecord {
             chrom: f[0].to_string(),
             id: f[1].to_string(),
-            cm: f[2].parse().map_err(|_| IoError::parse("bim", no + 1, "invalid cM"))?,
-            pos: f[3].parse().map_err(|_| IoError::parse("bim", no + 1, "invalid position"))?,
+            cm: f[2]
+                .parse()
+                .map_err(|_| IoError::parse("bim", no + 1, "invalid cM"))?,
+            pos: f[3]
+                .parse()
+                .map_err(|_| IoError::parse("bim", no + 1, "invalid position"))?,
             a1: f[4].to_string(),
             a2: f[5].to_string(),
         });
@@ -141,7 +152,11 @@ pub fn read_fam<R: BufRead>(r: R) -> Result<Vec<FamRecord>, IoError> {
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 6 {
-            return Err(IoError::parse("fam", no + 1, format!("{} columns (expected 6)", f.len())));
+            return Err(IoError::parse(
+                "fam",
+                no + 1,
+                format!("{} columns (expected 6)", f.len()),
+            ));
         }
         out.push(FamRecord {
             fid: f[0].to_string(),
@@ -188,9 +203,18 @@ pub fn write_plink_triple(
     fam: &[FamRecord],
 ) -> Result<(), IoError> {
     let p = prefix.as_ref();
-    write_bed(std::io::BufWriter::new(std::fs::File::create(with_ext(p, "bed"))?), g)?;
-    write_bim(std::io::BufWriter::new(std::fs::File::create(with_ext(p, "bim"))?), bim)?;
-    write_fam(std::io::BufWriter::new(std::fs::File::create(with_ext(p, "fam"))?), fam)?;
+    write_bed(
+        std::io::BufWriter::new(std::fs::File::create(with_ext(p, "bed"))?),
+        g,
+    )?;
+    write_bim(
+        std::io::BufWriter::new(std::fs::File::create(with_ext(p, "bim"))?),
+        bim,
+    )?;
+    write_fam(
+        std::io::BufWriter::new(std::fs::File::create(with_ext(p, "fam"))?),
+        fam,
+    )?;
     Ok(())
 }
 
@@ -199,8 +223,12 @@ pub fn read_plink_triple(
     prefix: impl AsRef<Path>,
 ) -> Result<(GenotypeMatrix, Vec<BimRecord>, Vec<FamRecord>), IoError> {
     let p = prefix.as_ref();
-    let bim = read_bim(std::io::BufReader::new(std::fs::File::open(with_ext(p, "bim"))?))?;
-    let fam = read_fam(std::io::BufReader::new(std::fs::File::open(with_ext(p, "fam"))?))?;
+    let bim = read_bim(std::io::BufReader::new(std::fs::File::open(with_ext(
+        p, "bim",
+    ))?))?;
+    let fam = read_fam(std::io::BufReader::new(std::fs::File::open(with_ext(
+        p, "fam",
+    ))?))?;
     let g = read_bed(
         std::io::BufReader::new(std::fs::File::open(with_ext(p, "bed"))?),
         fam.len(),
@@ -211,7 +239,12 @@ pub fn read_plink_triple(
 
 fn with_ext(p: &Path, ext: &str) -> std::path::PathBuf {
     let mut out = p.to_path_buf();
-    let name = format!("{}.{ext}", p.file_name().map(|s| s.to_string_lossy()).unwrap_or_default());
+    let name = format!(
+        "{}.{ext}",
+        p.file_name()
+            .map(|s| s.to_string_lossy())
+            .unwrap_or_default()
+    );
     out.set_file_name(name);
     out
 }

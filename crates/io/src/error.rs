@@ -22,7 +22,11 @@ pub enum IoError {
 
 impl IoError {
     pub(crate) fn parse(format: &'static str, line: usize, message: impl Into<String>) -> Self {
-        IoError::Parse { format, line, message: message.into() }
+        IoError::Parse {
+            format,
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -30,7 +34,11 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
-            IoError::Parse { format, line, message } => {
+            IoError::Parse {
+                format,
+                line,
+                message,
+            } => {
                 if *line > 0 {
                     write!(f, "{format} parse error at line {line}: {message}")
                 } else {
@@ -74,7 +82,7 @@ mod tests {
         assert!(e.to_string().contains("line 3"));
         let e = IoError::parse("bed", 0, "bad magic");
         assert!(!e.to_string().contains("line"));
-        let e: IoError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: IoError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
         let e: IoError = ld_bitmat::BitMatError::PaddingViolation { snp: 1 }.into();
         assert!(e.to_string().contains("SNP 1"));

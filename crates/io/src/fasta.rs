@@ -32,10 +32,17 @@ pub fn read_fasta<R: BufRead>(r: R) -> Result<Vec<FastaRecord>, IoError> {
             continue;
         }
         if let Some(id) = t.strip_prefix('>') {
-            out.push(FastaRecord { id: id.trim().to_string(), seq: String::new() });
+            out.push(FastaRecord {
+                id: id.trim().to_string(),
+                seq: String::new(),
+            });
         } else {
             let Some(cur) = out.last_mut() else {
-                return Err(IoError::parse("fasta", no + 1, "sequence data before any '>' header"));
+                return Err(IoError::parse(
+                    "fasta",
+                    no + 1,
+                    "sequence data before any '>' header",
+                ));
             };
             cur.seq.push_str(&t.to_ascii_uppercase());
         }
@@ -101,12 +108,17 @@ impl Alignment {
 
     /// Column `j` as characters, one per sequence.
     pub fn column(&self, j: usize) -> Vec<char> {
-        self.records.iter().map(|r| r.seq.as_bytes()[j] as char).collect()
+        self.records
+            .iter()
+            .map(|r| r.seq.as_bytes()[j] as char)
+            .collect()
     }
 
     /// Indices of *variable* columns (≥ 2 distinct A/C/G/T states).
     pub fn variable_sites(&self) -> Vec<usize> {
-        (0..self.length).filter(|&j| self.distinct_states(j) >= 2).collect()
+        (0..self.length)
+            .filter(|&j| self.distinct_states(j) >= 2)
+            .collect()
     }
 
     fn distinct_states(&self, j: usize) -> usize {
@@ -126,7 +138,10 @@ impl Alignment {
     /// Site-major character columns of the variable sites — feed these to
     /// `ld_ext::fsm::NucleotideMatrix::from_site_columns`.
     pub fn variable_columns(&self) -> Vec<Vec<char>> {
-        self.variable_sites().iter().map(|&j| self.column(j)).collect()
+        self.variable_sites()
+            .iter()
+            .map(|&j| self.column(j))
+            .collect()
     }
 
     /// Extracts the strictly biallelic sites as a 0/1 matrix (set bit =
@@ -154,8 +169,13 @@ impl Alignment {
                 }
             }
             debug_assert_eq!(states.len(), 2);
-            let minor = if states[0].1 <= states[1].1 { states[0].0 } else { states[1].0 };
-            b.push_snp_bits(col.iter().map(|&c| c == minor)).expect("fixed length");
+            let minor = if states[0].1 <= states[1].1 {
+                states[0].0
+            } else {
+                states[1].0
+            };
+            b.push_snp_bits(col.iter().map(|&c| c == minor))
+                .expect("fixed length");
             kept.push(j);
         }
         (b.finish(), kept)

@@ -34,13 +34,18 @@ pub fn read_ld_matrix<R: Read>(mut r: R) -> Result<LdMatrix, IoError> {
     let n = u64::from_le_bytes(nb) as usize;
     // Guard against absurd headers before allocating n(n+1)/2 doubles.
     if n > 1 << 24 {
-        return Err(IoError::parse("ldm", 0, format!("implausible SNP count {n}")));
+        return Err(IoError::parse(
+            "ldm",
+            0,
+            format!("implausible SNP count {n}"),
+        ));
     }
     let len = n * (n + 1) / 2;
     let mut values = vec![0.0f64; len];
     let mut buf = [0u8; 8];
     for v in values.iter_mut() {
-        r.read_exact(&mut buf).map_err(|e| IoError::parse("ldm", 0, format!("truncated: {e}")))?;
+        r.read_exact(&mut buf)
+            .map_err(|e| IoError::parse("ldm", 0, format!("truncated: {e}")))?;
         *v = f64::from_le_bytes(buf);
     }
     Ok(LdMatrix::from_packed(n, values))
@@ -96,7 +101,7 @@ mod tests {
         bad[0] = b'X';
         assert!(read_ld_matrix(bad.as_slice()).is_err());
         assert!(read_ld_matrix(&buf[..buf.len() - 3]).is_err()); // truncated
-        // implausible header
+                                                                 // implausible header
         let mut huge = LDM_MAGIC.to_vec();
         huge.extend_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_ld_matrix(huge.as_slice()).is_err());

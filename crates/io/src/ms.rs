@@ -68,7 +68,11 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
                 continue;
             }
             let Some(rest) = t.strip_prefix("segsites:") else {
-                return Err(IoError::parse("ms", no + 1, format!("expected 'segsites:', got '{t}'")));
+                return Err(IoError::parse(
+                    "ms",
+                    no + 1,
+                    format!("expected 'segsites:', got '{t}'"),
+                ));
             };
             let n: usize = rest
                 .trim()
@@ -88,7 +92,11 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
         // positions line
         let positions = loop {
             let Some((no, line)) = next_line(&mut lines)? else {
-                return Err(IoError::parse("ms", 0, "unexpected EOF before 'positions:'"));
+                return Err(IoError::parse(
+                    "ms",
+                    0,
+                    "unexpected EOF before 'positions:'",
+                ));
             };
             let t = line.trim();
             if t.is_empty() {
@@ -97,8 +105,7 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
             let Some(rest) = t.strip_prefix("positions:") else {
                 return Err(IoError::parse("ms", no + 1, "expected 'positions:'"));
             };
-            let pos: Result<Vec<f64>, _> =
-                rest.split_whitespace().map(str::parse::<f64>).collect();
+            let pos: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse::<f64>).collect();
             let pos = pos.map_err(|_| IoError::parse("ms", no + 1, "invalid position"))?;
             if pos.len() != segsites {
                 return Err(IoError::parse(
@@ -113,10 +120,7 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
 
         // haplotype rows until blank line, next `//`, or EOF
         let mut rows: Vec<Vec<u8>> = Vec::new();
-        loop {
-            let Some((no, line)) = next_line(&mut lines)? else {
-                break;
-            };
+        while let Some((no, line)) = next_line(&mut lines)? {
             let t = line.trim();
             if t.is_empty() {
                 break;
@@ -137,9 +141,11 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
                 .map(|c| match c {
                     '0' => Ok(0u8),
                     '1' => Ok(1u8),
-                    other => {
-                        Err(IoError::parse("ms", no + 1, format!("invalid allele char '{other}'")))
-                    }
+                    other => Err(IoError::parse(
+                        "ms",
+                        no + 1,
+                        format!("invalid allele char '{other}'"),
+                    )),
                 })
                 .collect();
             rows.push(row?);

@@ -52,13 +52,21 @@ pub fn read_map<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 4 {
-            return Err(IoError::parse("map", no + 1, format!("{} columns (expected 4)", f.len())));
+            return Err(IoError::parse(
+                "map",
+                no + 1,
+                format!("{} columns (expected 4)", f.len()),
+            ));
         }
         out.push(BimRecord {
             chrom: f[0].to_string(),
             id: f[1].to_string(),
-            cm: f[2].parse().map_err(|_| IoError::parse("map", no + 1, "invalid cM"))?,
-            pos: f[3].parse().map_err(|_| IoError::parse("map", no + 1, "invalid position"))?,
+            cm: f[2]
+                .parse()
+                .map_err(|_| IoError::parse("map", no + 1, "invalid cM"))?,
+            pos: f[3]
+                .parse()
+                .map_err(|_| IoError::parse("map", no + 1, "invalid position"))?,
             a1: "?".into(),
             a2: "?".into(),
         });
@@ -89,7 +97,12 @@ pub fn read_ped<R: BufRead>(r: R, n_snps: usize) -> Result<PedData, IoError> {
             return Err(IoError::parse(
                 "ped",
                 no + 1,
-                format!("{} columns (expected {} for {} variants)", f.len(), 6 + 2 * n_snps, n_snps),
+                format!(
+                    "{} columns (expected {} for {} variants)",
+                    f.len(),
+                    6 + 2 * n_snps,
+                    n_snps
+                ),
             ));
         }
         individuals.push(PedIndividual {
@@ -144,7 +157,11 @@ pub fn read_ped<R: BufRead>(r: R, n_snps: usize) -> Result<PedData, IoError> {
             g.set(i, v, gt);
         }
     }
-    Ok(PedData { individuals, genotypes: g, alleles })
+    Ok(PedData {
+        individuals,
+        genotypes: g,
+        alleles,
+    })
 }
 
 fn parse_allele(s: &str, line: usize) -> Result<char, IoError> {
@@ -153,7 +170,11 @@ fn parse_allele(s: &str, line: usize) -> Result<char, IoError> {
         (Some(c), None) if matches!(c, 'A' | 'C' | 'G' | 'T' | 'a' | 'c' | 'g' | 't' | '0') => {
             Ok(c.to_ascii_uppercase())
         }
-        _ => Err(IoError::parse("ped", line + 1, format!("invalid allele '{s}'"))),
+        _ => Err(IoError::parse(
+            "ped",
+            line + 1,
+            format!("invalid allele '{s}'"),
+        )),
     }
 }
 
@@ -164,16 +185,23 @@ pub fn write_ped<W: Write>(
     g: &GenotypeMatrix,
     alleles: &[(char, char)],
 ) -> Result<(), IoError> {
-    assert_eq!(individuals.len(), g.n_individuals(), "metadata/matrix row mismatch");
-    assert_eq!(alleles.len(), g.n_snps(), "allele list must cover every variant");
+    assert_eq!(
+        individuals.len(),
+        g.n_individuals(),
+        "metadata/matrix row mismatch"
+    );
+    assert_eq!(
+        alleles.len(),
+        g.n_snps(),
+        "allele list must cover every variant"
+    );
     for (i, ind) in individuals.iter().enumerate() {
         write!(
             w,
             "{}\t{}\t{}\t{}\t{}\t{}",
             ind.fid, ind.iid, ind.father, ind.mother, ind.sex, ind.phenotype
         )?;
-        for v in 0..g.n_snps() {
-            let (a1, a2) = alleles[v];
+        for (v, &(a1, a2)) in alleles.iter().enumerate().take(g.n_snps()) {
             let a2 = if a2 == '?' { a1 } else { a2 };
             let (x, y) = match g.get(i, v) {
                 Genotype::HomA1 => (a1, a1),
@@ -218,7 +246,7 @@ mod tests {
         assert_eq!(d.genotypes.get(0, 0), Genotype::HomA1); // A A
         assert_eq!(d.genotypes.get(1, 0), Genotype::Het); // A C
         assert_eq!(d.genotypes.get(2, 0), Genotype::HomA2); // C C
-        // variant 1: alleles G, T; I2 missing
+                                                            // variant 1: alleles G, T; I2 missing
         assert_eq!(d.alleles[1], ('G', 'T'));
         assert_eq!(d.genotypes.get(0, 1), Genotype::Het); // G T
         assert_eq!(d.genotypes.get(1, 1), Genotype::HomA2); // T T

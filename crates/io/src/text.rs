@@ -10,8 +10,9 @@ use std::io::{BufRead, Write};
 /// line.
 pub fn write_matrix<W: Write>(mut w: W, g: &BitMatrix) -> Result<(), IoError> {
     for s in 0..g.n_samples() {
-        let row: String =
-            (0..g.n_snps()).map(|j| if g.get(s, j) { '1' } else { '0' }).collect();
+        let row: String = (0..g.n_snps())
+            .map(|j| if g.get(s, j) { '1' } else { '0' })
+            .collect();
         writeln!(w, "{row}")?;
     }
     Ok(())
@@ -33,7 +34,11 @@ pub fn read_matrix<R: BufRead>(r: R) -> Result<BitMatrix, IoError> {
             .map(|c| match c {
                 '0' => Ok(0u8),
                 '1' => Ok(1u8),
-                other => Err(IoError::parse("matrix", no + 1, format!("invalid char '{other}'"))),
+                other => Err(IoError::parse(
+                    "matrix",
+                    no + 1,
+                    format!("invalid char '{other}'"),
+                )),
             })
             .collect();
         let row = row?;
@@ -112,8 +117,7 @@ mod tests {
 
     #[test]
     fn matrix_round_trip() {
-        let g = BitMatrix::from_rows(3, 4, [[1u8, 0, 1, 0], [0, 1, 1, 0], [1, 1, 0, 1]])
-            .unwrap();
+        let g = BitMatrix::from_rows(3, 4, [[1u8, 0, 1, 0], [0, 1, 1, 0], [1, 1, 0, 1]]).unwrap();
         let mut buf = Vec::new();
         write_matrix(&mut buf, &g).unwrap();
         let back = read_matrix(buf.as_slice()).unwrap();

@@ -71,13 +71,21 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfData, IoError> {
         };
         let fields: Vec<&str> = t.split('\t').collect();
         if fields.len() < 10 {
-            return Err(IoError::parse("vcf", no + 1, "record has fewer than 10 columns"));
+            return Err(IoError::parse(
+                "vcf",
+                no + 1,
+                "record has fewer than 10 columns",
+            ));
         }
         let alt = fields[4];
         if alt.contains(',') {
-            return Err(IoError::parse("vcf", no + 1, "multi-allelic sites are not supported"));
+            return Err(IoError::parse(
+                "vcf",
+                no + 1,
+                "multi-allelic sites are not supported",
+            ));
         }
-        if !fields[8].split(':').next().is_some_and(|f| f == "GT") {
+        if fields[8].split(':').next().is_none_or(|f| f != "GT") {
             return Err(IoError::parse("vcf", no + 1, "FORMAT must start with GT"));
         }
         let genos = &fields[9..];
@@ -85,7 +93,11 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfData, IoError> {
             return Err(IoError::parse(
                 "vcf",
                 no + 1,
-                format!("{} genotype columns for {} samples", genos.len(), sample_names.len()),
+                format!(
+                    "{} genotype columns for {} samples",
+                    genos.len(),
+                    sample_names.len()
+                ),
             ));
         }
         let mut col: Vec<u8> = Vec::new();
@@ -95,14 +107,22 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfData, IoError> {
             if ploidy == 0 {
                 ploidy = alleles.len();
                 if ploidy == 0 || ploidy > 2 {
-                    return Err(IoError::parse("vcf", no + 1, format!("unsupported ploidy {ploidy}")));
+                    return Err(IoError::parse(
+                        "vcf",
+                        no + 1,
+                        format!("unsupported ploidy {ploidy}"),
+                    ));
                 }
             }
             if alleles.len() != ploidy {
                 return Err(IoError::parse(
                     "vcf",
                     no + 1,
-                    format!("sample {} has ploidy {} (expected {ploidy})", s + 1, alleles.len()),
+                    format!(
+                        "sample {} has ploidy {} (expected {ploidy})",
+                        s + 1,
+                        alleles.len()
+                    ),
                 ));
             }
             for a in alleles {
@@ -156,9 +176,17 @@ pub fn write_vcf<W: Write>(
     sites: &[VcfSite],
     ploidy: usize,
 ) -> Result<(), IoError> {
-    assert_eq!(sites.len(), matrix.n_snps(), "one site record per SNP required");
+    assert_eq!(
+        sites.len(),
+        matrix.n_snps(),
+        "one site record per SNP required"
+    );
     assert!(ploidy == 1 || ploidy == 2, "ploidy must be 1 or 2");
-    assert_eq!(matrix.n_samples() % ploidy, 0, "haplotypes must divide by ploidy");
+    assert_eq!(
+        matrix.n_samples() % ploidy,
+        0,
+        "haplotypes must divide by ploidy"
+    );
     let n_ind = matrix.n_samples() / ploidy;
     writeln!(w, "##fileformat=VCFv4.2")?;
     writeln!(w, "##source=gemm-ld")?;

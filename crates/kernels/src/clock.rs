@@ -57,7 +57,10 @@ pub struct CycleTimer {
 impl CycleTimer {
     /// Starts the timer.
     pub fn start() -> Self {
-        Self { start_tsc: rdtsc(), start: Instant::now() }
+        Self {
+            start_tsc: rdtsc(),
+            start: Instant::now(),
+        }
     }
 
     /// Elapsed wall time in seconds.

@@ -19,7 +19,10 @@ fn check_gemm(a: &BitMatrixView<'_>, b: &BitMatrixView<'_>, c_len: usize, ldc: u
         a.n_samples() < u32::MAX as usize,
         "co-occurrence counts are stored as u32; sample count must fit"
     );
-    assert!(ldc >= b.n_snps(), "ldc must be at least the number of B SNPs");
+    assert!(
+        ldc >= b.n_snps(),
+        "ldc must be at least the number of B SNPs"
+    );
     assert!(
         c_len >= a.n_snps().saturating_sub(1) * ldc + b.n_snps().max(usize::from(a.n_snps() > 0)),
         "C buffer too small for {} x {} output with ldc {}",
@@ -31,12 +34,14 @@ fn check_gemm(a: &BitMatrixView<'_>, b: &BitMatrixView<'_>, c_len: usize, ldc: u
 
 /// The five-loop blocked core. Accumulates `C += AᵀB` counts for the SNP
 /// rows `a_rows` of `A` into the row-slab `c` (whose row 0 corresponds to
-/// `a_rows.start`).
+/// `a_rows.start` and whose column 0 corresponds to global B column
+/// `c_col0`; pass `c_col0 = 0` for a full-width output buffer).
 ///
 /// `skip_below_diagonal` implements the SYRK triangle: micro-tiles whose
 /// entire row range lies strictly below the diagonal (`i > j` for all
 /// covered entries) are skipped. The decision depends only on (i, j), never
 /// on `pc`, so partial sums stay consistent across rank-k passes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_blocked(
     kernel: &Kernel,
     blocks: BlockSizes,
@@ -46,8 +51,10 @@ pub(crate) fn gemm_blocked(
     b_cols: Range<usize>,
     c: &mut [u32],
     ldc: usize,
+    c_col0: usize,
     skip_below_diagonal: bool,
 ) {
+    debug_assert!(c_col0 <= b_cols.start);
     let k_words = a.words_per_snp();
     debug_assert_eq!(k_words, b.words_per_snp());
     let (mr, nr) = (kernel.mr(), kernel.nr());
@@ -94,7 +101,7 @@ pub(crate) fn gemm_blocked(
                         // Scatter the valid region into C.
                         for i in 0..mrcur {
                             let row = gi0 + i - a_rows.start;
-                            let base = row * ldc + jc + jr;
+                            let base = row * ldc + (jc + jr - c_col0);
                             for j in 0..nrcur {
                                 c[base + j] += acc[i * nr + j] as u32;
                             }
@@ -133,7 +140,18 @@ pub fn gemm_counts_buf(
     for row in c.chunks_mut(ldc).take(a.n_snps()) {
         row[..b.n_snps()].fill(0);
     }
-    gemm_blocked(&kernel, blocks, a, b, 0..a.n_snps(), 0..b.n_snps(), c, ldc, false);
+    gemm_blocked(
+        &kernel,
+        blocks,
+        a,
+        b,
+        0..a.n_snps(),
+        0..b.n_snps(),
+        c,
+        ldc,
+        0,
+        false,
+    );
 }
 
 /// Convenience wrapper: allocates and returns the `m × n` counts matrix.
@@ -163,7 +181,18 @@ pub fn gemm_counts_mt(
     }
     let threads = threads.max(1).min(a.n_snps().max(1));
     if threads == 1 {
-        gemm_blocked(&kernel, blocks, a, b, 0..a.n_snps(), 0..b.n_snps(), c, ldc, false);
+        gemm_blocked(
+            &kernel,
+            blocks,
+            a,
+            b,
+            0..a.n_snps(),
+            0..b.n_snps(),
+            c,
+            ldc,
+            0,
+            false,
+        );
         return;
     }
     let ranges = even_ranges(a.n_snps(), threads);
@@ -185,7 +214,18 @@ pub fn gemm_counts_mt(
             }
             let kernel = &kernel;
             s.spawn(move || {
-                gemm_blocked(kernel, blocks, a, b, rows, 0..b.n_snps(), slab, ldc, false);
+                gemm_blocked(
+                    kernel,
+                    blocks,
+                    a,
+                    b,
+                    rows,
+                    0..b.n_snps(),
+                    slab,
+                    ldc,
+                    0,
+                    false,
+                );
             });
         }
     });
@@ -232,7 +272,13 @@ mod tests {
     fn blocked_matches_naive_odd_shapes() {
         // Shapes chosen to hit every fringe path: single SNP, non-multiples
         // of MR/NR, sample counts straddling word boundaries.
-        for (ns, ma, nb) in [(1usize, 1usize, 1usize), (63, 5, 7), (64, 4, 8), (65, 17, 3), (200, 33, 31)] {
+        for (ns, ma, nb) in [
+            (1usize, 1usize, 1usize),
+            (63, 5, 7),
+            (64, 4, 8),
+            (65, 17, 3),
+            (200, 33, 31),
+        ] {
             let a = pseudo(ns, ma, ns as u64);
             let b = pseudo(ns, nb, ns as u64 + 17);
             let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
@@ -246,9 +292,20 @@ mod tests {
         let a = pseudo(300, 23, 5);
         let b = pseudo(300, 19, 6);
         let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
-        let blocks = BlockSizes { kc: 2, mc: 3, nc: 5 };
+        let blocks = BlockSizes {
+            kc: 2,
+            mc: 3,
+            nc: 5,
+        };
         let mut c = vec![0u32; 23 * 19];
-        gemm_counts_buf(&a.full_view(), &b.full_view(), &mut c, 19, KernelKind::Auto, blocks);
+        gemm_counts_buf(
+            &a.full_view(),
+            &b.full_view(),
+            &mut c,
+            19,
+            KernelKind::Auto,
+            blocks,
+        );
         assert_eq!(c, expect);
     }
 
@@ -258,7 +315,14 @@ mod tests {
         let b = pseudo(64, 3, 10);
         let ldc = 5;
         let mut c = vec![u32::MAX; 4 * ldc];
-        gemm_counts_buf(&a.full_view(), &b.full_view(), &mut c, ldc, KernelKind::Auto, BlockSizes::default());
+        gemm_counts_buf(
+            &a.full_view(),
+            &b.full_view(),
+            &mut c,
+            ldc,
+            KernelKind::Auto,
+            BlockSizes::default(),
+        );
         let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
         for i in 0..4 {
             for j in 0..3 {
@@ -295,7 +359,14 @@ mod tests {
         let a = pseudo(64, 3, 13);
         let b = pseudo(64, 3, 14);
         let mut c = vec![99u32; 9];
-        gemm_counts_buf(&a.full_view(), &b.full_view(), &mut c, 3, KernelKind::Auto, BlockSizes::default());
+        gemm_counts_buf(
+            &a.full_view(),
+            &b.full_view(),
+            &mut c,
+            3,
+            KernelKind::Auto,
+            BlockSizes::default(),
+        );
         assert_eq!(c, gemm_counts_naive(&a.full_view(), &b.full_view()));
     }
 
@@ -313,7 +384,14 @@ mod tests {
         let a = BitMatrix::zeros(10, 2);
         let b = BitMatrix::zeros(10, 2);
         let mut c = vec![0u32; 3];
-        gemm_counts_buf(&a.full_view(), &b.full_view(), &mut c, 2, KernelKind::Auto, BlockSizes::default());
+        gemm_counts_buf(
+            &a.full_view(),
+            &b.full_view(),
+            &mut c,
+            2,
+            KernelKind::Auto,
+            BlockSizes::default(),
+        );
     }
 
     #[test]

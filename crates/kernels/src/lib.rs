@@ -57,4 +57,6 @@ pub mod syrk;
 pub use gemm::{gemm_counts, gemm_counts_buf, gemm_counts_mt};
 pub use micro::{Kernel, KernelKind, UnsupportedKernel};
 pub use params::BlockSizes;
-pub use syrk::{mirror_upper_to_lower, syrk_counts, syrk_counts_buf, syrk_counts_mt};
+pub use syrk::{
+    mirror_upper_to_lower, syrk_counts, syrk_counts_buf, syrk_counts_mt, syrk_slab_counts,
+};

@@ -116,8 +116,7 @@ unsafe fn mula_impl(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
             let v = _mm256_and_si256(ai, b);
             let lo = _mm256_and_si256(v, low_mask);
             let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
-            let bytes =
-                _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            let bytes = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
             *ci = _mm256_add_epi64(*ci, _mm256_sad_epu8(bytes, zero));
         }
     }

@@ -109,14 +109,9 @@ unsafe fn vpopcnt_impl_4x16(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) 
         let b1 = _mm512_loadu_si512(bpx.add(p * 16 + 8) as *const _);
         for i in 0..4 {
             let ai = _mm512_set1_epi64(*apx.add(p * 4 + i) as i64);
-            c[i * 2] = _mm512_add_epi64(
-                c[i * 2],
-                _mm512_popcnt_epi64(_mm512_and_si512(ai, b0)),
-            );
-            c[i * 2 + 1] = _mm512_add_epi64(
-                c[i * 2 + 1],
-                _mm512_popcnt_epi64(_mm512_and_si512(ai, b1)),
-            );
+            c[i * 2] = _mm512_add_epi64(c[i * 2], _mm512_popcnt_epi64(_mm512_and_si512(ai, b0)));
+            c[i * 2 + 1] =
+                _mm512_add_epi64(c[i * 2 + 1], _mm512_popcnt_epi64(_mm512_and_si512(ai, b1)));
         }
     }
     for i in 0..4 {

@@ -153,20 +153,38 @@ impl Kernel {
                     Self::resolve_with(KernelKind::Scalar, f)
                 }
             }
-            KernelKind::Scalar => {
-                Ok(Kernel { kind, mr: 4, nr: 4, func: scalar::kernel_4x4, lanes: 1 })
-            }
-            KernelKind::Scalar2x4 => {
-                Ok(Kernel { kind, mr: 2, nr: 4, func: scalar::kernel_2x4, lanes: 1 })
-            }
-            KernelKind::Scalar8x4 => {
-                Ok(Kernel { kind, mr: 8, nr: 4, func: scalar::kernel_8x4, lanes: 1 })
-            }
+            KernelKind::Scalar => Ok(Kernel {
+                kind,
+                mr: 4,
+                nr: 4,
+                func: scalar::kernel_4x4,
+                lanes: 1,
+            }),
+            KernelKind::Scalar2x4 => Ok(Kernel {
+                kind,
+                mr: 2,
+                nr: 4,
+                func: scalar::kernel_2x4,
+                lanes: 1,
+            }),
+            KernelKind::Scalar8x4 => Ok(Kernel {
+                kind,
+                mr: 8,
+                nr: 4,
+                func: scalar::kernel_8x4,
+                lanes: 1,
+            }),
             KernelKind::ScalarAutoVec => {
                 // lanes=1 by the *source* shape; on AVX-512 targets the
                 // compiler widens it, so %-of-peak vs lanes=1 can exceed
                 // 100 — which is the point of this ablation.
-                Ok(Kernel { kind, mr: 4, nr: 4, func: scalar::kernel_autovec_4x4, lanes: 1 })
+                Ok(Kernel {
+                    kind,
+                    mr: 4,
+                    nr: 4,
+                    func: scalar::kernel_autovec_4x4,
+                    lanes: 1,
+                })
             }
             KernelKind::ScalarStrategy(s) => Ok(Kernel {
                 kind,
@@ -177,28 +195,52 @@ impl Kernel {
             }),
             KernelKind::Avx2ExtractInsert => {
                 if f.avx2 && f.popcnt {
-                    Ok(Kernel { kind, mr: 4, nr: 4, func: avx2::kernel_extract_insert_4x4, lanes: 4 })
+                    Ok(Kernel {
+                        kind,
+                        mr: 4,
+                        nr: 4,
+                        func: avx2::kernel_extract_insert_4x4,
+                        lanes: 4,
+                    })
                 } else {
                     Err(UnsupportedKernel { kind })
                 }
             }
             KernelKind::Avx2Mula => {
                 if f.avx2 {
-                    Ok(Kernel { kind, mr: 4, nr: 4, func: avx2::kernel_mula_4x4, lanes: 4 })
+                    Ok(Kernel {
+                        kind,
+                        mr: 4,
+                        nr: 4,
+                        func: avx2::kernel_mula_4x4,
+                        lanes: 4,
+                    })
                 } else {
                     Err(UnsupportedKernel { kind })
                 }
             }
             KernelKind::Avx512Vpopcnt => {
                 if f.has_vector_popcount() {
-                    Ok(Kernel { kind, mr: 4, nr: 16, func: avx512::kernel_vpopcnt_4x16, lanes: 8 })
+                    Ok(Kernel {
+                        kind,
+                        mr: 4,
+                        nr: 16,
+                        func: avx512::kernel_vpopcnt_4x16,
+                        lanes: 8,
+                    })
                 } else {
                     Err(UnsupportedKernel { kind })
                 }
             }
             KernelKind::Avx512Vpopcnt4x8 => {
                 if f.has_vector_popcount() {
-                    Ok(Kernel { kind, mr: 4, nr: 8, func: avx512::kernel_vpopcnt_4x8, lanes: 8 })
+                    Ok(Kernel {
+                        kind,
+                        mr: 4,
+                        nr: 8,
+                        func: avx512::kernel_vpopcnt_4x8,
+                        lanes: 8,
+                    })
                 } else {
                     Err(UnsupportedKernel { kind })
                 }
@@ -285,8 +327,11 @@ mod tests {
         let mut out = vec![0u64; a.len() * b.len()];
         for (i, ca) in a.iter().enumerate() {
             for (j, cb) in b.iter().enumerate() {
-                out[i * b.len() + j] =
-                    ca.iter().zip(cb).map(|(&x, &y)| (x & y).count_ones() as u64).sum();
+                out[i * b.len() + j] = ca
+                    .iter()
+                    .zip(cb)
+                    .map(|(&x, &y)| (x & y).count_ones() as u64)
+                    .sum();
             }
         }
         out
@@ -386,7 +431,10 @@ mod tests {
             assert_eq!(parsed, kind, "{}", kind.name());
         }
         assert!("bogus".parse::<KernelKind>().is_err());
-        assert_eq!("avx512".parse::<KernelKind>().unwrap(), KernelKind::Avx512Vpopcnt);
+        assert_eq!(
+            "avx512".parse::<KernelKind>().unwrap(),
+            KernelKind::Avx512Vpopcnt
+        );
     }
 
     #[test]

@@ -184,8 +184,12 @@ mod tests {
         // 2x4 must equal the first two rows of 4x4 given the same packing
         // truncated appropriately.
         let kc = 5;
-        let a4: Vec<u64> = (0..kc * 4).map(|i| (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)).collect();
-        let b: Vec<u64> = (0..kc * 4).map(|i| (i as u64 + 7).wrapping_mul(0x2545f4914f6cdd1d)).collect();
+        let a4: Vec<u64> = (0..kc * 4)
+            .map(|i| (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        let b: Vec<u64> = (0..kc * 4)
+            .map(|i| (i as u64 + 7).wrapping_mul(0x2545f4914f6cdd1d))
+            .collect();
         let mut acc4 = vec![0u64; 16];
         kernel_4x4(kc, &a4, &b, &mut acc4);
 

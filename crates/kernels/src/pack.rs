@@ -31,7 +31,10 @@ pub fn pack_panels(
 ) {
     assert!(r > 0, "panel width must be positive");
     assert!(snps.end <= view.n_snps(), "snp range out of bounds");
-    assert!(words.end <= view.words_per_snp(), "word range out of bounds");
+    assert!(
+        words.end <= view.words_per_snp(),
+        "word range out of bounds"
+    );
     let nsnps = snps.len();
     let kc = words.len();
     let n_panels = nsnps.div_ceil(r);
@@ -65,6 +68,9 @@ pub fn packed_len(nsnps: usize, kc: usize, r: usize) -> usize {
 
 #[cfg(test)]
 mod tests {
+    // explicit `row * stride + col` index arithmetic reads better than
+    // pre-folded literals in these layout tests
+    #![allow(clippy::identity_op, clippy::erasing_op)]
     use super::*;
     use ld_bitmat::BitMatrix;
 

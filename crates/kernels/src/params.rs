@@ -32,7 +32,11 @@ pub struct BlockSizes {
 
 impl Default for BlockSizes {
     fn default() -> Self {
-        Self { kc: 256, mc: 512, nc: 4096 }
+        Self {
+            kc: 256,
+            mc: 512,
+            nc: 4096,
+        }
     }
 }
 
@@ -95,15 +99,36 @@ mod tests {
     #[test]
     fn builders_override() {
         let b = BlockSizes::new().with_kc(64).with_mc(128).with_nc(256);
-        assert_eq!(b, BlockSizes { kc: 64, mc: 128, nc: 256 });
+        assert_eq!(
+            b,
+            BlockSizes {
+                kc: 64,
+                mc: 128,
+                nc: 256
+            }
+        );
     }
 
     #[test]
     fn clamped_respects_problem_shape() {
         let b = BlockSizes::default().clamped(10, 20, 3);
-        assert_eq!(b, BlockSizes { kc: 3, mc: 10, nc: 20 });
+        assert_eq!(
+            b,
+            BlockSizes {
+                kc: 3,
+                mc: 10,
+                nc: 20
+            }
+        );
         // degenerate dims never produce zero blocks
         let b = BlockSizes::default().clamped(0, 0, 0);
-        assert_eq!(b, BlockSizes { kc: 1, mc: 1, nc: 1 });
+        assert_eq!(
+            b,
+            BlockSizes {
+                kc: 1,
+                mc: 1,
+                nc: 1
+            }
+        );
     }
 }

@@ -43,13 +43,15 @@ pub fn syrk_counts_naive(g: &BitMatrixView<'_>) -> Vec<u32> {
 
 #[cfg(test)]
 mod tests {
+    // explicit `row * stride + col` index arithmetic reads better than
+    // pre-folded literals in these layout tests
+    #![allow(clippy::identity_op, clippy::erasing_op)]
     use super::*;
     use ld_bitmat::BitMatrix;
 
     #[test]
     fn diagonal_is_allele_count() {
-        let g = BitMatrix::from_rows(4, 3, [[1u8, 0, 1], [1, 1, 1], [0, 0, 1], [1, 0, 0]])
-            .unwrap();
+        let g = BitMatrix::from_rows(4, 3, [[1u8, 0, 1], [1, 1, 1], [0, 0, 1], [1, 0, 0]]).unwrap();
         let c = syrk_counts_naive(&g.full_view());
         assert_eq!(c[0 * 3 + 0], 3);
         assert_eq!(c[1 * 3 + 1], 1);
@@ -58,13 +60,17 @@ mod tests {
 
     #[test]
     fn syrk_is_symmetric_and_matches_gemm_with_self() {
-        let g = BitMatrix::from_rows(5, 4, [
-            [1u8, 0, 1, 1],
-            [1, 1, 1, 0],
-            [0, 0, 1, 0],
-            [1, 0, 0, 1],
-            [0, 1, 1, 1],
-        ])
+        let g = BitMatrix::from_rows(
+            5,
+            4,
+            [
+                [1u8, 0, 1, 1],
+                [1, 1, 1, 0],
+                [0, 0, 1, 0],
+                [1, 0, 0, 1],
+                [0, 1, 1, 1],
+            ],
+        )
         .unwrap();
         let v = g.full_view();
         let s = syrk_counts_naive(&v);

@@ -6,7 +6,7 @@ use crate::gemm::gemm_blocked;
 use crate::micro::Kernel;
 use crate::{BlockSizes, KernelKind};
 use ld_bitmat::BitMatrixView;
-use ld_parallel::triangle_ranges;
+use ld_parallel::triangle_row_ranges;
 use std::ops::Range;
 
 /// Computes the row slab `rows` of the **upper triangle** of `C = GᵀG`
@@ -26,7 +26,80 @@ pub(crate) fn syrk_rows(
     debug_assert!(rows.end <= n && ldc >= n);
     // Columns strictly left of rows.start are entirely below the diagonal
     // for this slab; start the jc loop there.
-    gemm_blocked(kernel, blocks, g, g, rows.clone(), rows.start..n, c, ldc, true);
+    gemm_blocked(
+        kernel,
+        blocks,
+        g,
+        g,
+        rows.clone(),
+        rows.start..n,
+        c,
+        ldc,
+        0,
+        true,
+    );
+}
+
+/// Computes the upper-triangle co-occurrence counts of the row slab `rows`
+/// of `C = GᵀG` into the **slab-local** buffer `c`:
+///
+/// ```text
+/// c[(i − rows.start) · ldc + (j − rows.start)] = s_iᵀ s_j
+/// ```
+///
+/// for `i ∈ rows`, `j ∈ i..n`, with `ldc ≥ n − rows.start`. The buffer only
+/// spans the columns `rows.start..n`, so a slab of `h` rows costs
+/// `h × (n − rows.start)` u32 — the bounded per-worker scratch of the fused
+/// counts→statistic pipeline, independent of how many slabs the full
+/// triangle is cut into.
+///
+/// Entries below the diagonal (`j < i` within the slab's column window) are
+/// zero-filled and may receive partial sums from diagonal-crossing
+/// micro-tiles; only read `j ≥ i`.
+///
+/// # Panics
+/// If `rows` exceeds the SNP count, `ldc` is too small, or `c` cannot hold
+/// the slab.
+pub fn syrk_slab_counts(
+    g: &BitMatrixView<'_>,
+    rows: Range<usize>,
+    c: &mut [u32],
+    ldc: usize,
+    kind: KernelKind,
+    blocks: BlockSizes,
+) {
+    let n = g.n_snps();
+    assert!(rows.end <= n, "row slab {rows:?} exceeds SNP count {n}");
+    assert!(
+        g.n_samples() < u32::MAX as usize,
+        "co-occurrence counts are stored as u32; sample count must fit"
+    );
+    let width = n - rows.start;
+    let h = rows.len();
+    assert!(ldc >= width, "ldc {ldc} must cover the slab width {width}");
+    assert!(
+        h == 0 || c.len() >= (h - 1) * ldc + width,
+        "slab buffer too small for {h} x {width} output with ldc {ldc}"
+    );
+    if h == 0 {
+        return;
+    }
+    let kernel = Kernel::resolve(kind).expect("requested kernel not supported on this CPU");
+    for row in c.chunks_mut(ldc).take(h) {
+        row[..width].fill(0);
+    }
+    gemm_blocked(
+        &kernel,
+        blocks,
+        g,
+        g,
+        rows.clone(),
+        rows.start..n,
+        c,
+        ldc,
+        rows.start,
+        true,
+    );
 }
 
 /// Copies the upper triangle of the `n × n` row-major matrix `c` onto the
@@ -94,7 +167,10 @@ pub fn syrk_counts_buf(
         "co-occurrence counts are stored as u32; sample count must fit"
     );
     assert!(ldc >= n, "ldc must be at least n");
-    assert!(c.len() >= n.saturating_sub(1) * ldc + n, "C buffer too small");
+    assert!(
+        c.len() >= n.saturating_sub(1) * ldc + n,
+        "C buffer too small"
+    );
     if n == 0 {
         return;
     }
@@ -106,12 +182,9 @@ pub fn syrk_counts_buf(
     if threads == 1 {
         syrk_rows(&kernel, blocks, g, 0..n, c, ldc);
     } else {
-        // Flip triangle_ranges (which balances Σ(j+1) for ascending j) to
-        // balance Σ(n−i) over ascending rows.
-        let flipped = triangle_ranges(n, threads);
-        let mut row_ranges: Vec<Range<usize>> =
-            flipped.iter().map(|r| n - r.end..n - r.start).collect();
-        row_ranges.reverse(); // ascending row order
+        // Row i of the upper triangle costs n − i inner products; the
+        // triangle-aware row splitter gives each worker an equal pair share.
+        let row_ranges = triangle_row_ranges(n, threads);
 
         let mut slabs: Vec<(&mut [u32], Range<usize>)> = Vec::with_capacity(threads);
         let mut rest = &mut *c;
@@ -149,6 +222,9 @@ pub fn syrk_counts_mt(g: &BitMatrixView<'_>, kind: KernelKind, threads: usize) -
 
 #[cfg(test)]
 mod tests {
+    // explicit `row * stride + col` index arithmetic reads better than
+    // pre-folded literals in these layout tests
+    #![allow(clippy::identity_op, clippy::erasing_op)]
     use super::*;
     use crate::micro::supported_kernels;
     use crate::reference::syrk_counts_naive;
@@ -203,7 +279,11 @@ mod tests {
             &mut c,
             17,
             KernelKind::Auto,
-            BlockSizes { kc: 1, mc: 2, nc: 3 },
+            BlockSizes {
+                kc: 1,
+                mc: 2,
+                nc: 3,
+            },
             1,
         );
         assert_eq!(c, expect);
@@ -250,6 +330,91 @@ mod tests {
         assert_eq!(c[1 * 3 + 0], 5);
         assert_eq!(c[2 * 3 + 0], 7);
         assert_eq!(c[2 * 3 + 1], 9);
+    }
+
+    #[test]
+    fn slab_counts_match_naive_triangle() {
+        let g = pseudo(110, 23, 9);
+        let v = g.full_view();
+        let expect = syrk_counts_naive(&v);
+        let n = 23usize;
+        // arbitrary slab cuts, including 1-row and full-matrix slabs
+        for (r0, r1) in [
+            (0usize, 23usize),
+            (0, 1),
+            (5, 6),
+            (3, 11),
+            (17, 23),
+            (22, 23),
+        ] {
+            let width = n - r0;
+            let h = r1 - r0;
+            let mut c = vec![u32::MAX; h * width];
+            syrk_slab_counts(
+                &v,
+                r0..r1,
+                &mut c,
+                width,
+                KernelKind::Auto,
+                BlockSizes::default(),
+            );
+            for i in r0..r1 {
+                for j in i..n {
+                    assert_eq!(
+                        c[(i - r0) * width + (j - r0)],
+                        expect[i * n + j],
+                        "slab {r0}..{r1}: ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slab_counts_with_padded_ldc_and_tiny_blocks() {
+        let g = pseudo(77, 15, 10);
+        let v = g.full_view();
+        let expect = syrk_counts_naive(&v);
+        let (r0, r1, n) = (4usize, 9usize, 15usize);
+        let width = n - r0;
+        let ldc = width + 3;
+        let mut c = vec![7u32; (r1 - r0) * ldc];
+        syrk_slab_counts(
+            &v,
+            r0..r1,
+            &mut c,
+            ldc,
+            KernelKind::Auto,
+            BlockSizes {
+                kc: 1,
+                mc: 2,
+                nc: 3,
+            },
+        );
+        for i in r0..r1 {
+            for j in i..n {
+                assert_eq!(c[(i - r0) * ldc + (j - r0)], expect[i * n + j], "({i},{j})");
+            }
+            // padding columns untouched
+            for pad in width..ldc {
+                assert_eq!(c[(i - r0) * ldc + pad], 7);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_counts_empty_slab_is_noop() {
+        let g = pseudo(40, 6, 11);
+        let mut c = vec![3u32; 4];
+        syrk_slab_counts(
+            &g.full_view(),
+            2..2,
+            &mut c,
+            4,
+            KernelKind::Auto,
+            BlockSizes::default(),
+        );
+        assert_eq!(c, vec![3u32; 4]);
     }
 
     #[test]

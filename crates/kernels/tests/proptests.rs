@@ -1,18 +1,21 @@
 //! Property tests: the blocked GotoBLAS drivers agree with the naive
 //! pairwise oracle on arbitrary shapes, block sizes and kernels.
+//!
+//! Driven by seeded `ld-rng` randomness (the offline environment has no
+//! `proptest`): every case is deterministic and replayable from the case
+//! index printed in the failure message.
 
 use ld_bitmat::BitMatrix;
 use ld_kernels::micro::supported_kernels;
 use ld_kernels::reference::{gemm_counts_naive, syrk_counts_naive};
 use ld_kernels::{gemm_counts_mt, syrk_counts_buf, BlockSizes, KernelKind};
-use proptest::prelude::*;
+use ld_rng::SmallRng;
 
-fn random_matrix(n_samples: usize, n_snps: usize, bits: &[bool]) -> BitMatrix {
+fn random_matrix(rng: &mut SmallRng, n_samples: usize, n_snps: usize) -> BitMatrix {
     let mut g = BitMatrix::zeros(n_samples, n_snps);
-    let mut it = bits.iter().cycle();
     for j in 0..n_snps {
         for s in 0..n_samples {
-            if *it.next().unwrap() {
+            if rng.gen::<bool>() {
                 g.set(s, j, true);
             }
         }
@@ -20,77 +23,104 @@ fn random_matrix(n_samples: usize, n_snps: usize, bits: &[bool]) -> BitMatrix {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn gemm_matches_naive(
-        n_samples in 1usize..300,
-        m in 1usize..24,
-        n in 1usize..24,
-        bits in proptest::collection::vec(any::<bool>(), 64..512),
-        kc in 1usize..8,
-        mc in 1usize..10,
-        nc in 1usize..10,
-        threads in 1usize..5,
-    ) {
-        let a = random_matrix(n_samples, m, &bits);
-        let b = random_matrix(n_samples, n, &bits[bits.len()/2..]);
+#[test]
+fn gemm_matches_naive() {
+    let mut rng = SmallRng::seed_from_u64(0x9e11);
+    for case in 0..32 {
+        let n_samples = rng.gen_range(1usize..300);
+        let m = rng.gen_range(1usize..24);
+        let n = rng.gen_range(1usize..24);
+        let a = random_matrix(&mut rng, n_samples, m);
+        let b = random_matrix(&mut rng, n_samples, n);
         let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
-        let blocks = BlockSizes { kc, mc, nc };
+        let blocks = BlockSizes {
+            kc: rng.gen_range(1usize..8),
+            mc: rng.gen_range(1usize..10),
+            nc: rng.gen_range(1usize..10),
+        };
+        let threads = rng.gen_range(1usize..5);
         let mut c = vec![0u32; m * n];
-        gemm_counts_mt(&a.full_view(), &b.full_view(), &mut c, n, KernelKind::Auto, blocks, threads);
-        prop_assert_eq!(c, expect);
+        gemm_counts_mt(
+            &a.full_view(),
+            &b.full_view(),
+            &mut c,
+            n,
+            KernelKind::Auto,
+            blocks,
+            threads,
+        );
+        assert_eq!(
+            c, expect,
+            "case {case}: shape ({n_samples},{m},{n}) {blocks:?} threads {threads}"
+        );
     }
+}
 
-    #[test]
-    fn syrk_matches_naive(
-        n_samples in 1usize..300,
-        n in 1usize..30,
-        bits in proptest::collection::vec(any::<bool>(), 64..512),
-        kc in 1usize..8,
-        mc in 1usize..10,
-        nc in 1usize..10,
-        threads in 1usize..5,
-    ) {
-        let g = random_matrix(n_samples, n, &bits);
+#[test]
+fn syrk_matches_naive() {
+    let mut rng = SmallRng::seed_from_u64(0x5e11);
+    for case in 0..32 {
+        let n_samples = rng.gen_range(1usize..300);
+        let n = rng.gen_range(1usize..30);
+        let g = random_matrix(&mut rng, n_samples, n);
         let expect = syrk_counts_naive(&g.full_view());
-        let blocks = BlockSizes { kc, mc, nc };
+        let blocks = BlockSizes {
+            kc: rng.gen_range(1usize..8),
+            mc: rng.gen_range(1usize..10),
+            nc: rng.gen_range(1usize..10),
+        };
+        let threads = rng.gen_range(1usize..5);
         let mut c = vec![0u32; n * n];
         syrk_counts_buf(&g.full_view(), &mut c, n, KernelKind::Auto, blocks, threads);
-        prop_assert_eq!(c, expect);
+        assert_eq!(
+            c, expect,
+            "case {case}: shape ({n_samples},{n}) {blocks:?} threads {threads}"
+        );
     }
+}
 
-    #[test]
-    fn every_kernel_agrees(
-        n_samples in 1usize..200,
-        m in 1usize..12,
-        n in 1usize..12,
-        bits in proptest::collection::vec(any::<bool>(), 64..256),
-    ) {
-        let a = random_matrix(n_samples, m, &bits);
-        let b = random_matrix(n_samples, n, &bits[1..]);
+#[test]
+fn every_kernel_agrees() {
+    let mut rng = SmallRng::seed_from_u64(0xa11);
+    for case in 0..16 {
+        let n_samples = rng.gen_range(1usize..200);
+        let m = rng.gen_range(1usize..12);
+        let n = rng.gen_range(1usize..12);
+        let a = random_matrix(&mut rng, n_samples, m);
+        let b = random_matrix(&mut rng, n_samples, n);
         let expect = gemm_counts_naive(&a.full_view(), &b.full_view());
         for k in supported_kernels() {
             let mut c = vec![0u32; m * n];
-            gemm_counts_mt(&a.full_view(), &b.full_view(), &mut c, n, k.kind(), BlockSizes::default(), 1);
-            prop_assert_eq!(&c, &expect, "kernel {}", k.kind());
+            gemm_counts_mt(
+                &a.full_view(),
+                &b.full_view(),
+                &mut c,
+                n,
+                k.kind(),
+                BlockSizes::default(),
+                1,
+            );
+            assert_eq!(&c, &expect, "case {case}: kernel {}", k.kind());
         }
     }
+}
 
-    #[test]
-    fn counts_respect_set_bounds(
-        n_samples in 1usize..200,
-        n in 2usize..16,
-        bits in proptest::collection::vec(any::<bool>(), 64..256),
-    ) {
-        // C[i,j] ≤ min(C[i,i], C[j,j]) — intersections are bounded by the
-        // smaller allele count, an invariant the r² denominators rely on.
-        let g = random_matrix(n_samples, n, &bits);
+#[test]
+fn counts_respect_set_bounds() {
+    // C[i,j] ≤ min(C[i,i], C[j,j]) — intersections are bounded by the
+    // smaller allele count, an invariant the r² denominators rely on.
+    let mut rng = SmallRng::seed_from_u64(0xb0b);
+    for case in 0..16 {
+        let n_samples = rng.gen_range(1usize..200);
+        let n = rng.gen_range(2usize..16);
+        let g = random_matrix(&mut rng, n_samples, n);
         let c = ld_kernels::syrk_counts(&g.full_view(), KernelKind::Auto);
         for i in 0..n {
             for j in 0..n {
-                prop_assert!(c[i * n + j] <= c[i * n + i].min(c[j * n + j]));
+                assert!(
+                    c[i * n + j] <= c[i * n + i].min(c[j * n + j]),
+                    "case {case}: ({i},{j})"
+                );
             }
         }
     }

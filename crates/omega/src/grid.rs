@@ -92,7 +92,7 @@ impl GridScan {
         // cross_for_a[b] accumulates over rows as a grows
         let mut cross = vec![0.0f64; b_cap + 1];
         let mut row = vec![0.0f64; b_cap + 1];
-        for a in 1..=a_cap {
+        for (a, &ll_a) in ll.iter().enumerate().take(a_cap + 1).skip(1) {
             let i = c_local - a;
             row[0] = 0.0;
             for b in 1..=b_cap {
@@ -111,7 +111,7 @@ impl GridScan {
                 if within_pairs == 0.0 {
                     continue;
                 }
-                let numerator = (ll[a] + rr[b]) / within_pairs;
+                let numerator = (ll_a + rr[b]) / within_pairs;
                 let cross_pairs = (a * b) as f64;
                 let denominator = cross[b] / cross_pairs;
                 let w = if denominator > 0.0 {
@@ -149,9 +149,11 @@ impl GridScan {
 
     /// The strongest grid position of a scan.
     pub fn scan_max(&self, g: &BitMatrix) -> Option<OmegaPoint> {
-        self.scan(g)
-            .into_iter()
-            .max_by(|x, y| x.omega.partial_cmp(&y.omega).unwrap_or(std::cmp::Ordering::Equal))
+        self.scan(g).into_iter().max_by(|x, y| {
+            x.omega
+                .partial_cmp(&y.omega)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 
@@ -248,7 +250,10 @@ mod tests {
                 }
             }
         }
-        assert!((omega - best).abs() < 1e-9 * best.max(1.0), "{omega} vs {best}");
+        assert!(
+            (omega - best).abs() < 1e-9 * best.max(1.0),
+            "{omega} vs {best}"
+        );
         // Ties on flat ω surfaces break by FP accumulation order, so only
         // require the found extents to be within the tied set.
         let _ = best_ab;

@@ -25,8 +25,8 @@
 use ld_bitmat::{BitMatrix, BitMatrixView};
 use ld_core::{LdEngine, LdMatrix, NanPolicy};
 
-mod prefix;
 pub mod grid;
+mod prefix;
 
 pub use grid::GridScan;
 pub use prefix::WindowSums;
@@ -87,8 +87,14 @@ fn ld_baseline_pairwise_r2(g: &BitMatrixView<'_>) -> LdMatrix {
         let a = g.snp_words(i);
         for j in i..n {
             let c_ij = ld_popcount_and(a, g.snp_words(j));
-            let v = ld_core::ld_pair_from_counts(counts[i], counts[j], c_ij, n_samples, NanPolicy::Zero)
-                .r2;
+            let v = ld_core::ld_pair_from_counts(
+                counts[i],
+                counts[j],
+                c_ij,
+                n_samples,
+                NanPolicy::Zero,
+            )
+            .r2;
             out.set(i, j, v);
         }
     }
@@ -178,9 +184,11 @@ impl OmegaScan {
 
     /// The scan's single strongest signal, if any window was evaluated.
     pub fn scan_max(&self, g: &BitMatrix) -> Option<OmegaPoint> {
-        self.scan(g)
-            .into_iter()
-            .max_by(|a, b| a.omega.partial_cmp(&b.omega).unwrap_or(std::cmp::Ordering::Equal))
+        self.scan(g).into_iter().max_by(|a, b| {
+            a.omega
+                .partial_cmp(&b.omega)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Like [`OmegaScan::scan`], but windows are distributed across
@@ -190,7 +198,12 @@ impl OmegaScan {
     pub fn par_scan(&self, g: &BitMatrix, threads: usize) -> Vec<OmegaPoint> {
         let starts = self.window_starts(g.n_snps());
         let mut out = vec![
-            OmegaPoint { window_start: 0, window_end: 0, best_split: 0, omega: 0.0 };
+            OmegaPoint {
+                window_start: 0,
+                window_end: 0,
+                best_split: 0,
+                omega: 0.0
+            };
             starts.len()
         ];
         let single = self.clone_with_single_threaded_engine();
@@ -306,7 +319,10 @@ mod tests {
         }
         let r2 = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&g);
         let (omega, _) = omega_max(&r2);
-        assert!((omega - 1.0).abs() < 1e-9, "uniform LD must give ω = 1, got {omega}");
+        assert!(
+            (omega - 1.0).abs() < 1e-9,
+            "uniform LD must give ω = 1, got {omega}"
+        );
     }
 
     #[test]
@@ -435,7 +451,11 @@ mod tests {
         let g = sweep_like(10); // 20 snps
         let scan = OmegaScan::new(8, 5);
         let points = scan.scan(&g);
-        assert_eq!(points.last().unwrap().window_end, 20, "final window must touch the end");
+        assert_eq!(
+            points.last().unwrap().window_end,
+            20,
+            "final window must touch the end"
+        );
         // windows advance by step until clamped
         assert!(points.len() >= 3);
     }

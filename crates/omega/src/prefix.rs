@@ -51,7 +51,12 @@ impl WindowSums {
             right[l] = right[l + 1] + add;
         }
         let total = left[s];
-        Self { s, left, right, total }
+        Self {
+            s,
+            left,
+            right,
+            total,
+        }
     }
 
     /// Window size `S`.

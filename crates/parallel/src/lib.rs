@@ -26,6 +26,10 @@ pub mod partition;
 mod pool;
 mod team;
 
-pub use partition::{even_ranges, triangle_ranges};
+pub use partition::{
+    even_ranges, triangle_ranges, triangle_row_ranges, triangle_row_weight, triangle_weight,
+};
 pub use pool::ThreadPool;
-pub use team::{available_threads, parallel_for, parallel_for_dynamic, run_team};
+pub use team::{
+    available_threads, parallel_for, parallel_for_dynamic, parallel_for_dynamic_init, run_team,
+};

@@ -55,6 +55,39 @@ pub fn triangle_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Splits the **rows** `0..n` of a symmetric upper-triangular workload into
+/// `parts` contiguous row ranges of approximately equal pair count.
+///
+/// Row `i` of the upper triangle covers columns `i..n` and therefore costs
+/// `n − i` inner products: early rows are the expensive ones, the mirror
+/// image of [`triangle_ranges`]' columns. Implemented by flipping the
+/// column splitter (`i ↦ n − 1 − j`), so both partitions share one
+/// balancing routine. Ranges are returned in ascending row order and tile
+/// the full `0..n`.
+///
+/// This is the partition the SYRK driver and the engine's fused
+/// counts→statistic pipeline use for their row slabs.
+pub fn triangle_row_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let flipped = triangle_ranges(n, parts);
+    let mut out: Vec<Range<usize>> = flipped.iter().map(|r| n - r.end..n - r.start).collect();
+    out.reverse();
+    out
+}
+
+/// Total pair count (`Σ (n − i)` for rows `i` in the range) of a
+/// triangular row range over an `n × n` upper triangle.
+pub fn triangle_row_weight(n: usize, r: &Range<usize>) -> u128 {
+    let a = r.start as u128;
+    let b = r.end.min(n) as u128;
+    let n = n as u128;
+    if b <= a {
+        return 0;
+    }
+    // Σ_{i=a}^{b-1} (n−i) = (b−a)·n − (b(b−1)/2 − a(a−1)/2)
+    let tri = |x: u128| x * x.saturating_sub(1) / 2;
+    (b - a) * n - (tri(b) - tri(a))
+}
+
 /// Total pair count (`Σ (j+1)` for `j` in the range) of a triangular
 /// column range — used by tests and the balance heuristics.
 pub fn triangle_weight(r: &Range<usize>) -> u128 {
@@ -123,6 +156,47 @@ mod tests {
         assert_eq!(triangle_weight(&(0..4)), 1 + 2 + 3 + 4);
         assert_eq!(triangle_weight(&(2..5)), 3 + 4 + 5);
         assert_eq!(triangle_weight(&(3..3)), 0);
+    }
+
+    #[test]
+    fn triangle_row_ranges_cover_and_balance() {
+        for (n, parts) in [(100usize, 4usize), (10, 3), (1, 2), (0, 3), (1000, 12)] {
+            let rs = triangle_row_ranges(n, parts);
+            assert_eq!(rs.len(), parts);
+            assert_eq!(rs.first().unwrap().start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let total: u128 = rs.iter().map(|r| triangle_row_weight(n, r)).sum();
+            assert_eq!(total, (n as u128) * (n as u128 + 1) / 2);
+        }
+        // balance: within 5% of ideal for a large triangle
+        let (n, parts) = (10_000usize, 8usize);
+        let ideal = (n as u128) * (n as u128 + 1) / 2 / parts as u128;
+        for r in triangle_row_ranges(n, parts) {
+            let w = triangle_row_weight(n, &r);
+            assert!(
+                w * 100 >= ideal * 95 && w * 100 <= ideal * 105,
+                "range {r:?} weight {w} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_row_weight_formula() {
+        // n = 5: row 0 costs 5, row 1 costs 4, ...
+        assert_eq!(triangle_row_weight(5, &(0..2)), 5 + 4);
+        assert_eq!(triangle_row_weight(5, &(2..5)), 3 + 2 + 1);
+        assert_eq!(triangle_row_weight(5, &(3..3)), 0);
+        assert_eq!(triangle_row_weight(0, &(0..0)), 0);
+    }
+
+    #[test]
+    fn triangle_row_last_range_is_widest() {
+        // Late rows are cheap, so the last range holds the most rows.
+        let rs = triangle_row_ranges(1000, 4);
+        assert!(rs[3].len() > rs[0].len());
     }
 
     #[test]

@@ -5,20 +5,33 @@
 //! or overlap work (dataset generation in the bench harness, per-window ω
 //! jobs in the CLI) where a long-lived set of workers is preferable to
 //! spawning threads per call.
+//!
+//! Built on `std` only (a `Mutex<VecDeque>` + two `Condvar`s): the offline
+//! build environment has no `crossbeam`, and an MPMC job queue at this
+//! coarse granularity gains nothing from lock-free machinery.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
-    pending: Mutex<usize>,
+    state: Mutex<State>,
+    /// Signalled when a job is pushed or the pool shuts down.
+    job_ready: Condvar,
+    /// Signalled when the number of in-flight jobs reaches zero.
     all_done: Condvar,
 }
 
-/// A fixed-size pool of worker threads consuming jobs from a channel.
+struct State {
+    queue: VecDeque<Job>,
+    /// Queued + currently-executing jobs.
+    pending: usize,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of worker threads consuming jobs from a shared queue.
 ///
 /// ```
 /// use ld_parallel::ThreadPool;
@@ -35,7 +48,6 @@ struct Shared {
 /// assert_eq!(counter.load(Ordering::Relaxed), 10);
 /// ```
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
@@ -44,28 +56,25 @@ impl ThreadPool {
     /// Spawns a pool with `n_threads` workers (at least one).
     pub fn new(n_threads: usize) -> Self {
         let n = n_threads.max(1);
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
-        let shared = Arc::new(Shared { pending: Mutex::new(0), all_done: Condvar::new() });
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            all_done: Condvar::new(),
+        });
         let workers = (0..n)
             .map(|i| {
-                let rx = rx.clone();
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("ld-pool-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                            let mut pending = shared.pending.lock();
-                            *pending -= 1;
-                            if *pending == 0 {
-                                shared.all_done.notify_all();
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared))
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { tx: Some(tx), workers, shared }
+        Self { workers, shared }
     }
 
     /// Number of worker threads.
@@ -76,19 +85,42 @@ impl ThreadPool {
     /// Submits a job. Panics if called after the pool started shutting down
     /// (cannot happen through the safe API, which consumes the pool on drop).
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        *self.shared.pending.lock() += 1;
-        self.tx
-            .as_ref()
-            .expect("pool is shut down")
-            .send(Box::new(job))
-            .expect("pool workers disappeared");
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.shutdown, "pool is shut down");
+        st.pending += 1;
+        st.queue.push_back(Box::new(job));
+        drop(st);
+        self.shared.job_ready.notify_one();
     }
 
     /// Blocks until every submitted job has finished.
     pub fn wait(&self) {
-        let mut pending = self.shared.pending.lock();
-        while *pending > 0 {
-            self.shared.all_done.wait(&mut pending);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.pending > 0 {
+            st = self.shared.all_done.wait(st).unwrap();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.job_ready.wait(st).unwrap();
+            }
+        };
+        job();
+        let mut st = shared.state.lock().unwrap();
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.all_done.notify_all();
         }
     }
 }
@@ -96,8 +128,11 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.wait();
-        // Closing the channel stops the workers.
-        drop(self.tx.take());
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -175,5 +210,23 @@ mod tests {
             pool.wait();
         }
         assert_eq!(c.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn jobs_submitted_from_jobs_would_deadlock_nothing() {
+        // jobs only touch the queue through the Arc, not the pool handle,
+        // so wait() sees a consistent pending count even under contention.
+        let pool = ThreadPool::new(4);
+        let c = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = c.clone();
+            pool.execute(move || {
+                for _ in 0..1000 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        pool.wait();
+        assert_eq!(c.load(Ordering::Relaxed), 8000);
     }
 }

@@ -4,7 +4,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of hardware threads available, with a floor of 1.
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f(worker_id)` on `n_threads` logical workers and waits for all of
@@ -90,6 +92,52 @@ where
     });
 }
 
+/// Dynamically-scheduled parallel loop with **per-worker state**: each
+/// worker builds its state once with `init(worker_id)`, then repeatedly
+/// grabs chunks of at most `grain` consecutive indices and runs
+/// `f(&mut state, range)` on them.
+///
+/// This is the scheduler behind the engine's fused counts→statistic
+/// pipeline: `init` allocates a worker's bounded scratch slab exactly once,
+/// and dynamic chunk-grabbing absorbs the skew of triangular workloads
+/// without per-chunk allocation. Unlike [`parallel_for_dynamic`], the
+/// single-thread path still chunks by `grain` — callers rely on every
+/// `f` invocation seeing at most `grain` indices (that bound is what caps
+/// the scratch size).
+pub fn parallel_for_dynamic_init<S, I, F>(n_threads: usize, len: usize, grain: usize, init: I, f: F)
+where
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let n = n_threads.max(1).min(len.div_ceil(grain).max(1));
+    if len == 0 {
+        return;
+    }
+    if n == 1 {
+        let mut state = init(0);
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + grain).min(len);
+            f(&mut state, start..end);
+            start = end;
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    run_team(n, |tid| {
+        let mut state: Option<S> = None;
+        loop {
+            let start = next.fetch_add(grain, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + grain).min(len);
+            f(state.get_or_insert_with(|| init(tid)), start..end);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,8 +183,12 @@ mod tests {
 
     #[test]
     fn dynamic_for_covers_range_exactly_once() {
-        for (threads, len, grain) in [(1usize, 10usize, 3usize), (4, 100, 7), (3, 5, 100), (2, 0, 1)]
-        {
+        for (threads, len, grain) in [
+            (1usize, 10usize, 3usize),
+            (4, 100, 7),
+            (3, 5, 100),
+            (2, 0, 1),
+        ] {
             let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
             parallel_for_dynamic(threads, len, grain, |r| {
                 for i in r {
@@ -151,8 +203,47 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_init_covers_range_and_respects_grain() {
+        for (threads, len, grain) in [
+            (1usize, 10usize, 3usize),
+            (4, 100, 7),
+            (3, 5, 100),
+            (2, 0, 1),
+            (7, 64, 8),
+        ] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            let inits = AtomicUsize::new(0);
+            parallel_for_dynamic_init(
+                threads,
+                len,
+                grain,
+                |_tid| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |state, r| {
+                    // every chunk obeys the grain bound — the scratch-size
+                    // guarantee the fused pipeline depends on
+                    assert!(r.len() <= grain);
+                    state.push(r.len());
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads} len={len} grain={grain}"
+            );
+            // at most one init per worker, and none when there is no work
+            let bound = if len == 0 { 0 } else { threads.max(1) };
+            assert!(inits.load(Ordering::Relaxed) <= bound);
+        }
+    }
+
+    #[test]
     fn workers_can_borrow_stack_data() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = AtomicUsize::new(0);
         parallel_for(2, data.len(), |r| {
             let local: u64 = data[r].iter().sum();

@@ -42,14 +42,26 @@ impl SimdCostModel {
     /// The paper's idealized assumptions: every instruction is 1 cycle,
     /// no transfer penalty.
     pub fn paper_ideal(lanes: usize) -> Self {
-        Self { lanes, t_and: 1.0, t_popcnt: 1.0, t_add: 1.0, t_xfer: 0.0 }
+        Self {
+            lanes,
+            t_and: 1.0,
+            t_popcnt: 1.0,
+            t_add: 1.0,
+            t_xfer: 0.0,
+        }
     }
 
     /// Like [`SimdCostModel::paper_ideal`] but with a transfer penalty of
     /// one cycle per extract and one per insert per word — the "in
     /// practice" case of §V-A.
     pub fn paper_practical(lanes: usize) -> Self {
-        Self { lanes, t_and: 1.0, t_popcnt: 1.0, t_add: 1.0, t_xfer: 2.0 }
+        Self {
+            lanes,
+            t_and: 1.0,
+            t_popcnt: 1.0,
+            t_add: 1.0,
+            t_xfer: 2.0,
+        }
     }
 
     /// Scalar time per word pair: `max(T_and, T_popcnt, T_add)`.
@@ -61,7 +73,9 @@ impl SimdCostModel {
     /// `max(T_and/v, T_add/v, T_popcnt + T_xfer)`.
     pub fn word_time_simd(&self) -> f64 {
         let v = self.lanes as f64;
-        (self.t_and / v).max(self.t_add / v).max(self.t_popcnt + self.t_xfer)
+        (self.t_and / v)
+            .max(self.t_add / v)
+            .max(self.t_popcnt + self.t_xfer)
     }
 
     /// Hardware-vector-popcount time per word pair: `max(...)/v`.

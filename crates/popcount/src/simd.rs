@@ -230,7 +230,11 @@ mod tests {
         for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 32, 33, 127, 1000] {
             let (a, b) = mk(n, 0x1234_5678 + n as u64);
             let expect = and_popcount(&a, &b);
-            assert_eq!(and_popcount_extract_insert_avx2(&a, &b), expect, "extract n={n}");
+            assert_eq!(
+                and_popcount_extract_insert_avx2(&a, &b),
+                expect,
+                "extract n={n}"
+            );
             assert_eq!(and_popcount_mula_avx2(&a, &b), expect, "mula n={n}");
             assert_eq!(and_popcount_vpopcntdq(&a, &b), expect, "vpopcnt n={n}");
         }

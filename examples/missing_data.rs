@@ -17,8 +17,7 @@
 use gemm_ld::prelude::*;
 use ld_core::NanPolicy;
 use ld_ext::gaps::masked_r2_matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ld_rng::SmallRng;
 
 fn main() {
     let truth = HaplotypeSimulator::new(2_000, 150).seed(5).generate();
@@ -68,7 +67,10 @@ fn main() {
     println!("\nRMSE vs complete-data truth:");
     println!("  masked (SectionVII validity vectors): {rmse_masked:.4}");
     println!("  naive  (missing treated as 0-allele): {rmse_naive:.4}");
-    println!("  improvement: {:.1}x lower error", rmse_naive / rmse_masked);
+    println!(
+        "  improvement: {:.1}x lower error",
+        rmse_naive / rmse_masked
+    );
     assert!(
         rmse_masked < rmse_naive,
         "the validity-vector estimator must beat the naive one"

@@ -20,7 +20,9 @@ fn main() {
 
     // 2. Configure the engine. KernelKind::Auto picks the fastest
     //    micro-kernel the CPU supports (AVX-512 VPOPCNTQ > AVX2 > scalar).
-    let engine = LdEngine::new().kernel(KernelKind::Auto).nan_policy(NanPolicy::Zero);
+    let engine = LdEngine::new()
+        .kernel(KernelKind::Auto)
+        .nan_policy(NanPolicy::Zero);
 
     // 3. All N(N+1)/2 r² values in one blocked GEMM.
     let t0 = std::time::Instant::now();
@@ -29,8 +31,14 @@ fn main() {
     println!("computed {} LD values in {dt:?}", r2.n_values());
 
     // 4. Query the triangle-packed result.
-    println!("r²(snp 0, snp 1)   = {:.4}  (adjacent: high LD expected)", r2.get(0, 1));
-    println!("r²(snp 0, snp 399) = {:.4}  (distant: low LD expected)", r2.get(0, 399));
+    println!(
+        "r²(snp 0, snp 1)   = {:.4}  (adjacent: high LD expected)",
+        r2.get(0, 1)
+    );
+    println!(
+        "r²(snp 0, snp 399) = {:.4}  (distant: low LD expected)",
+        r2.get(0, 399)
+    );
     println!("mean off-diagonal  = {:.4}", r2.mean_offdiagonal());
 
     // 5. Strongest associations above a threshold.

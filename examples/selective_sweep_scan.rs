@@ -16,9 +16,19 @@ fn main() {
     const SWEEP_AT: usize = 420;
 
     // Neutral background + sweep overlay at SNP 420.
-    let base = HaplotypeSimulator::new(500, N_SNPS).seed(2024).founders(24).switch_rate(0.08);
-    let g = SweepSimulator::new(base, SWEEP_AT, 40).carrier_fraction(0.85).seed(9).generate();
-    println!("chromosome: {} SNPs x {} haplotypes, sweep planted at SNP {SWEEP_AT}", g.n_snps(), g.n_samples());
+    let base = HaplotypeSimulator::new(500, N_SNPS)
+        .seed(2024)
+        .founders(24)
+        .switch_rate(0.08);
+    let g = SweepSimulator::new(base, SWEEP_AT, 40)
+        .carrier_fraction(0.85)
+        .seed(9)
+        .generate();
+    println!(
+        "chromosome: {} SNPs x {} haplotypes, sweep planted at SNP {SWEEP_AT}",
+        g.n_snps(),
+        g.n_samples()
+    );
 
     // Scan: 80-SNP windows, advancing 10 SNPs; each window is one blocked
     // r² GEMM plus an O(S) split maximization. min_region keeps at least
@@ -56,5 +66,8 @@ fn main() {
     println!("localization error: {err} SNPs");
     // The sweep's flanks span ±40 SNPs; the strongest split must land
     // inside the affected region.
-    assert!(err <= 45, "scan should land within the sweep region (err = {err})");
+    assert!(
+        err <= 45,
+        "scan should land within the sweep region (err = {err})"
+    );
 }

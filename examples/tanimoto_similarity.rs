@@ -60,7 +60,10 @@ fn main() {
     // Show one compound's neighbourhood.
     println!("\ncompound 0 (cluster 0) — top neighbours:");
     for &(j, s) in nn[0].iter().filter(|(j, _)| *j != 0).take(3) {
-        println!("  compound {j:<4} (cluster {:>2})  tanimoto = {s:.3}", j % CLUSTERS);
+        println!(
+            "  compound {j:<4} (cluster {:>2})  tanimoto = {s:.3}",
+            j % CLUSTERS
+        );
     }
 
     // Within- vs between-cluster similarity summary.

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate for the gemm-ld workspace.
+#
+# Runs the full tier-1 pipeline with no network access:
+#   1. rustfmt      — formatting is canonical
+#   2. clippy       — all targets, warnings are errors
+#   3. release build
+#   4. workspace tests (quiet)
+#
+# Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+export CARGO_NET_OFFLINE=true
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+
+echo "==> CI green"

@@ -13,7 +13,11 @@ fn engine() -> LdEngine {
 #[test]
 fn banded_decay_and_blocks_are_mutually_consistent() {
     // strong local LD panel
-    let g = HaplotypeSimulator::new(600, 300).seed(41).founders(10).switch_rate(0.01).generate();
+    let g = HaplotypeSimulator::new(600, 300)
+        .seed(41)
+        .founders(10)
+        .switch_rate(0.01)
+        .generate();
     let e = engine();
 
     // banded matrix agrees with decay profile aggregates
@@ -34,7 +38,10 @@ fn banded_decay_and_blocks_are_mutually_consistent() {
         }
         assert_eq!(count, bin.count, "distance {d}");
         if count > 0 {
-            assert!((sum / count as f64 - bin.mean_r2).abs() < 1e-10, "distance {d}");
+            assert!(
+                (sum / count as f64 - bin.mean_r2).abs() < 1e-10,
+                "distance {d}"
+            );
         }
     }
 
@@ -49,7 +56,10 @@ fn banded_decay_and_blocks_are_mutually_consistent() {
 fn grid_scan_beats_fixed_scan_on_asymmetric_sweep() {
     // a sweep whose flanks differ in width: adaptive borders should still
     // center correctly
-    let base = HaplotypeSimulator::new(256, 200).seed(42).founders(32).switch_rate(0.25);
+    let base = HaplotypeSimulator::new(256, 200)
+        .seed(42)
+        .founders(32)
+        .switch_rate(0.25);
     let g = SweepSimulator::new(base, 120, 30).seed(43).generate();
     let grid = GridScan::new(8, 40, 4).scan_max(&g).unwrap();
     assert!(
@@ -62,7 +72,10 @@ fn grid_scan_beats_fixed_scan_on_asymmetric_sweep() {
 
 #[test]
 fn coalescent_data_flows_through_everything() {
-    let g = CoalescentSimulator::new(128, 96).blocks(8).seed(44).generate();
+    let g = CoalescentSimulator::new(128, 96)
+        .blocks(8)
+        .seed(44)
+        .generate();
     let e = engine();
     let r2 = e.r2_matrix(&g);
     assert_eq!(r2.n_snps(), 96);
@@ -76,7 +89,11 @@ fn coalescent_data_flows_through_everything() {
 #[test]
 fn association_scan_finds_ld_proxies_of_causal_snp() {
     // the classic GWAS phenomenon: SNPs in LD with the causal one light up
-    let g = HaplotypeSimulator::new(3000, 120).seed(45).founders(8).switch_rate(0.005).generate();
+    let g = HaplotypeSimulator::new(3000, 120)
+        .seed(45)
+        .founders(8)
+        .switch_rate(0.005)
+        .generate();
     let causal = (0..120)
         .max_by_key(|&j| {
             let ones = g.ones_in_snp(j);
@@ -113,7 +130,9 @@ fn fasta_to_finite_sites_to_biallelic_consistency() {
     let records: Vec<ld_io::fasta::FastaRecord> = (0..40)
         .map(|s| ld_io::fasta::FastaRecord {
             id: format!("seq{s}"),
-            seq: (0..25).map(|j| if g.get(s, j) { 'T' } else { 'A' }).collect(),
+            seq: (0..25)
+                .map(|j| if g.get(s, j) { 'T' } else { 'A' })
+                .collect(),
         })
         .collect();
     let mut buf = Vec::new();
@@ -130,7 +149,10 @@ fn fasta_to_finite_sites_to_biallelic_consistency() {
     for i in 0..25 {
         for j in i..25 {
             // r² is polarity-invariant
-            assert!((r2_src.get(i, j) - r2_bi.get(i, j)).abs() < 1e-10, "({i},{j})");
+            assert!(
+                (r2_src.get(i, j) - r2_bi.get(i, j)).abs() < 1e-10,
+                "({i},{j})"
+            );
         }
     }
 
@@ -160,7 +182,10 @@ fn banded_storage_is_linear_in_n() {
     let g = HaplotypeSimulator::new(64, 4000).seed(49).generate();
     let banded = BandedLdMatrix::compute(&engine(), &g, 10, LdStats::RSquared);
     assert_eq!(banded.storage_bytes(), 4000 * 10 * 8); // 320 KB
-    // full matrix would be 4000*4001/2 * 8 = 64 MB
+                                                       // full matrix would be 4000*4001/2 * 8 = 64 MB
     assert!(banded.storage_bytes() < 1 << 20);
-    assert_eq!(banded.n_pairs(), 10 * 3990 + (9 + 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1));
+    assert_eq!(
+        banded.n_pairs(),
+        10 * 3990 + (9 + 8 + 7 + 6 + 5 + 4 + 3 + 2 + 1)
+    );
 }

@@ -14,7 +14,9 @@ fn close(a: f64, b: f64, tol: f64) -> bool {
 }
 
 fn sim(n_samples: usize, n_snps: usize, seed: u64) -> ld_bitmat::BitMatrix {
-    HaplotypeSimulator::new(n_samples, n_snps).seed(seed).generate()
+    HaplotypeSimulator::new(n_samples, n_snps)
+        .seed(seed)
+        .generate()
 }
 
 #[test]
@@ -52,9 +54,15 @@ fn every_kernel_gives_identical_counts() {
 #[test]
 fn threads_never_change_results() {
     let g = sim(150, 60, 3);
-    let one = LdEngine::new().threads(1).nan_policy(NanPolicy::Zero).r2_matrix(&g);
+    let one = LdEngine::new()
+        .threads(1)
+        .nan_policy(NanPolicy::Zero)
+        .r2_matrix(&g);
     for t in [2usize, 3, 7, 16] {
-        let many = LdEngine::new().threads(t).nan_policy(NanPolicy::Zero).r2_matrix(&g);
+        let many = LdEngine::new()
+            .threads(t)
+            .nan_policy(NanPolicy::Zero)
+            .r2_matrix(&g);
         assert_eq!(one.packed(), many.packed(), "threads = {t}");
     }
 }
@@ -87,7 +95,10 @@ fn cross_and_square_engines_consistent() {
     let cross = engine.r2_cross(g.view(0, 20), g.view(20, 50));
     for i in 0..20 {
         for j in 0..30 {
-            assert!(close(cross.get(i, j), square.get(i, 20 + j), 1e-12), "({i},{j})");
+            assert!(
+                close(cross.get(i, j), square.get(i, 20 + j), 1e-12),
+                "({i},{j})"
+            );
         }
     }
 }
@@ -111,9 +122,16 @@ fn tanimoto_agrees_with_ld_counts_identity() {
     let n = 30;
     for i in 0..n {
         for j in i..n {
-            let (p, q, x) =
-                (counts[i * n + i] as f64, counts[j * n + j] as f64, counts[i * n + j] as f64);
-            let want = if p + q - x == 0.0 { 1.0 } else { x / (p + q - x) };
+            let (p, q, x) = (
+                counts[i * n + i] as f64,
+                counts[j * n + j] as f64,
+                counts[i * n + j] as f64,
+            );
+            let want = if p + q - x == 0.0 {
+                1.0
+            } else {
+                x / (p + q - x)
+            };
             assert!(close(sim.get(i, j), want, 1e-12), "({i},{j})");
         }
     }

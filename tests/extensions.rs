@@ -1,26 +1,27 @@
 //! Integration + property tests for the §VII/§VIII extension layers.
+//! Seeded `ld-rng` cases replace `proptest` (unavailable offline).
 
 use gemm_ld::prelude::*;
 use ld_core::NanPolicy;
 use ld_ext::gaps::masked_r2_matrix;
 use ld_ext::gaps_blocked::masked_r2_matrix_blocked;
-use proptest::prelude::*;
+use ld_rng::SmallRng;
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() < 1e-10 || (a.is_nan() && b.is_nan())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn blocked_and_pairwise_masked_ld_agree(
-        n_samples in 2usize..200,
-        n_snps in 2usize..20,
-        seed in 0u64..10_000,
-        missing_pct in 0u64..40,
-    ) {
-        let g = HaplotypeSimulator::new(n_samples, n_snps).seed(seed).generate();
+#[test]
+fn blocked_and_pairwise_masked_ld_agree() {
+    let mut rng = SmallRng::seed_from_u64(0xe1);
+    for case in 0..20 {
+        let n_samples = rng.gen_range(2usize..200);
+        let n_snps = rng.gen_range(2usize..20);
+        let seed = rng.gen_range(0u64..10_000);
+        let missing_pct = rng.gen_range(0u64..40);
+        let g = HaplotypeSimulator::new(n_samples, n_snps)
+            .seed(seed)
+            .generate();
         let mut mask = ValidityMask::all_valid(n_samples, n_snps);
         let mut s = seed | 1;
         for j in 0..n_snps {
@@ -35,22 +36,30 @@ proptest! {
         }
         let pairwise = masked_r2_matrix(&g.full_view(), &mask, 1, NanPolicy::Propagate);
         let blocked = masked_r2_matrix_blocked(
-            &g.full_view(), &mask, KernelKind::Auto, 2, NanPolicy::Propagate,
+            &g.full_view(),
+            &mask,
+            KernelKind::Auto,
+            2,
+            NanPolicy::Propagate,
         );
         for i in 0..n_snps {
             for j in i..n_snps {
-                prop_assert!(
+                assert!(
                     close(pairwise.get(i, j), blocked.get(i, j)),
-                    "({i},{j}): {} vs {}", pairwise.get(i, j), blocked.get(i, j)
+                    "case {case}: ({i},{j}): {} vs {}",
+                    pairwise.get(i, j),
+                    blocked.get(i, j)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn tanimoto_and_r2_rank_similar_pairs_together(
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn tanimoto_and_r2_rank_similar_pairs_together() {
+    let mut rng = SmallRng::seed_from_u64(0xe2);
+    for case in 0..20 {
+        let seed = rng.gen_range(0u64..10_000);
         // both similarity notions must agree that a column is most similar
         // to its own duplicate
         let fp = ld_data::fingerprints::random_fingerprints(10, 256, 0.2, seed);
@@ -59,18 +68,20 @@ proptest! {
         let sim = ld_ext::tanimoto::tanimoto_matrix(&h.full_view(), KernelKind::Auto, 1);
         let r2 = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&h);
         // column 10 duplicates column 0
-        prop_assert!((sim.get(0, 10) - 1.0).abs() < 1e-12);
-        prop_assert!((r2.get(0, 10) - 1.0).abs() < 1e-10);
+        assert!((sim.get(0, 10) - 1.0).abs() < 1e-12, "case {case}");
+        assert!((r2.get(0, 10) - 1.0).abs() < 1e-10, "case {case}");
         for j in 1..10 {
-            prop_assert!(sim.get(0, j) <= 1.0 + 1e-12);
+            assert!(sim.get(0, j) <= 1.0 + 1e-12, "case {case}: j={j}");
         }
     }
+}
 
-    #[test]
-    fn third_order_d_is_bounded(
-        n_samples in 4usize..150,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn third_order_d_is_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0xe3);
+    for case in 0..20 {
+        let n_samples = rng.gen_range(4usize..150);
+        let seed = rng.gen_range(0u64..10_000);
         // |D_ABC| ≤ 1 always (it is a difference of probabilities and
         // probability products); usually far smaller
         let g = HaplotypeSimulator::new(n_samples, 6).seed(seed).generate();
@@ -79,7 +90,7 @@ proptest! {
             for j in i + 1..6 {
                 for k in j + 1..6 {
                     let d3 = ld_ext::third_order_d(&v, i, j, k);
-                    prop_assert!(d3.abs() <= 1.0 + 1e-12, "({i},{j},{k}) = {d3}");
+                    assert!(d3.abs() <= 1.0 + 1e-12, "case {case}: ({i},{j},{k}) = {d3}");
                 }
             }
         }
@@ -103,7 +114,13 @@ fn masked_blocked_handles_heavy_missingness() {
         }
     }
     let a = masked_r2_matrix(&g.full_view(), &mask, 2, NanPolicy::Zero);
-    let b = masked_r2_matrix_blocked(&g.full_view(), &mask, KernelKind::Scalar, 1, NanPolicy::Zero);
+    let b = masked_r2_matrix_blocked(
+        &g.full_view(),
+        &mask,
+        KernelKind::Scalar,
+        1,
+        NanPolicy::Zero,
+    );
     for (i, j, v) in a.iter_upper() {
         assert!(close(v, b.get(i, j)), "({i},{j})");
     }
@@ -142,6 +159,8 @@ fn ped_map_pipeline_matches_bed_pipeline() {
     let a = ld_baselines::PlinkKernel::new()
         .nan_policy(NanPolicy::Zero)
         .r2_matrix(&ped.genotypes, 1);
-    let b = ld_baselines::PlinkKernel::new().nan_policy(NanPolicy::Zero).r2_matrix(&bed, 1);
+    let b = ld_baselines::PlinkKernel::new()
+        .nan_policy(NanPolicy::Zero)
+        .r2_matrix(&bed, 1);
     assert_eq!(a.packed(), b.packed());
 }

@@ -8,7 +8,9 @@ use ld_io::{bed, ms, text, vcf};
 use std::io::BufReader;
 
 fn sim(n_samples: usize, n_snps: usize, seed: u64) -> ld_bitmat::BitMatrix {
-    HaplotypeSimulator::new(n_samples, n_snps).seed(seed).generate()
+    HaplotypeSimulator::new(n_samples, n_snps)
+        .seed(seed)
+        .generate()
 }
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
@@ -29,7 +31,9 @@ fn ms_round_trip_preserves_ld() {
     let back = ms::read_ms_first(buf.as_slice()).unwrap();
     assert_eq!(back.matrix, g);
     let a = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&g);
-    let b = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&back.matrix);
+    let b = LdEngine::new()
+        .nan_policy(NanPolicy::Zero)
+        .r2_matrix(&back.matrix);
     assert_eq!(a.packed(), b.packed());
 }
 
@@ -66,7 +70,10 @@ fn plink_triple_to_r2() {
     let engine = LdEngine::new().nan_policy(NanPolicy::Zero).r2_matrix(&haps);
     for i in 0..15 {
         for j in i..15 {
-            assert!((plink.get(i, j) - engine.get(i, j)).abs() < 1e-6, "({i},{j})");
+            assert!(
+                (plink.get(i, j) - engine.get(i, j)).abs() < 1e-6,
+                "({i},{j})"
+            );
         }
     }
     std::fs::remove_dir_all(&d).ok();
@@ -92,8 +99,13 @@ fn r2_table_export_and_reload() {
 #[test]
 fn sweep_pipeline_ms_to_omega() {
     // simulate sweep -> write ms -> read back -> omega scan finds it
-    let base = HaplotypeSimulator::new(200, 160).seed(5).founders(32).switch_rate(0.2);
-    let g = ld_data::SweepSimulator::new(base, 80, 20).seed(6).generate();
+    let base = HaplotypeSimulator::new(200, 160)
+        .seed(5)
+        .founders(32)
+        .switch_rate(0.2);
+    let g = ld_data::SweepSimulator::new(base, 80, 20)
+        .seed(6)
+        .generate();
     let rep = ms::MsReplicate {
         positions: (0..160).map(|j| j as f64 / 160.0).collect(),
         matrix: g,
