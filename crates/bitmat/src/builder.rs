@@ -149,8 +149,12 @@ impl BitMatrixBuilder {
 
     /// Finishes the build, yielding the packed matrix.
     pub fn finish(self) -> BitMatrix {
-        BitMatrix::from_words(self.n_samples, self.n_snps, self.words)
-            .expect("builder maintains the padding invariant")
+        match BitMatrix::from_words(self.n_samples, self.n_snps, self.words) {
+            Ok(m) => m,
+            // Both push paths zero the padding bits and fix the word
+            // count, so `from_words` cannot reject the builder's output.
+            Err(e) => unreachable!("builder maintains the padding invariant: {e}"),
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::error::CliError;
 use ld_bitmat::BitMatrix;
 use ld_core::{LdEngine, NanPolicy};
 use ld_data::HaplotypeSimulator;
@@ -43,42 +44,41 @@ COMMANDS:
   convert     convert between formats: -i in.{ms,txt,vcf} -o out.{ms,txt,vcf}
   help        this message";
 
-type CmdResult = Result<(), String>;
+type CmdResult = Result<(), CliError>;
 
 /// Parses a `--kernel` flag value.
-fn parse_kernel(args: &Args) -> Result<KernelKind, String> {
+fn parse_kernel(args: &Args) -> Result<KernelKind, CliError> {
     match args.get("kernel") {
         None => Ok(KernelKind::Auto),
-        Some(name) => name.parse(),
+        Some(name) => name.parse().map_err(CliError::Usage),
     }
 }
 
 /// Loads a haplotype matrix, dispatching on the file extension.
-pub fn load_matrix(path: &str) -> Result<BitMatrix, String> {
+pub fn load_matrix(path: &str) -> Result<BitMatrix, CliError> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
-    let open = || std::fs::File::open(p).map_err(|e| format!("cannot open {path}: {e}"));
+    let open = || {
+        std::fs::File::open(p).map_err(|e| CliError::Resource(format!("cannot open {path}: {e}")))
+    };
     match ext {
-        "ms" => Ok(ld_io::ms::read_ms_first(BufReader::new(open()?))
-            .map_err(|e| e.to_string())?
-            .matrix),
-        "vcf" => Ok(ld_io::vcf::read_vcf(BufReader::new(open()?))
-            .map_err(|e| e.to_string())?
-            .matrix),
-        "txt" | "mat" | "" => {
-            ld_io::text::read_matrix(BufReader::new(open()?)).map_err(|e| e.to_string())
-        }
-        other => Err(format!(
+        "ms" => Ok(ld_io::ms::read_ms_first(BufReader::new(open()?))?.matrix),
+        "vcf" => Ok(ld_io::vcf::read_vcf(BufReader::new(open()?))?.matrix),
+        "txt" | "mat" | "" => Ok(ld_io::text::read_matrix(BufReader::new(open()?))?),
+        other => Err(CliError::Usage(format!(
             "unsupported input extension '.{other}' (expected ms/vcf/txt)"
-        )),
+        ))),
     }
 }
 
 /// Saves a haplotype matrix, dispatching on the file extension.
-pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), String> {
+pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), CliError> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
-    let create = || std::fs::File::create(p).map_err(|e| format!("cannot create {path}: {e}"));
+    let create = || {
+        std::fs::File::create(p)
+            .map_err(|e| CliError::Resource(format!("cannot create {path}: {e}")))
+    };
     match ext {
         "ms" => {
             let rep = ld_io::ms::MsReplicate {
@@ -87,20 +87,27 @@ pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), String> {
                     .collect(),
                 matrix: g.clone(),
             };
-            ld_io::ms::write_ms(
+            Ok(ld_io::ms::write_ms(
                 std::io::BufWriter::new(create()?),
                 std::slice::from_ref(&rep),
-            )
-            .map_err(|e| e.to_string())
+            )?)
         }
         "vcf" => {
             let sites = ld_io::vcf::synthetic_sites(g.n_snps(), 1000);
-            ld_io::vcf::write_vcf(std::io::BufWriter::new(create()?), g, &sites, 1)
-                .map_err(|e| e.to_string())
+            Ok(ld_io::vcf::write_vcf(
+                std::io::BufWriter::new(create()?),
+                g,
+                &sites,
+                1,
+            )?)
         }
-        "txt" | "mat" | "" => ld_io::text::write_matrix(std::io::BufWriter::new(create()?), g)
-            .map_err(|e| e.to_string()),
-        other => Err(format!("unsupported output extension '.{other}'")),
+        "txt" | "mat" | "" => Ok(ld_io::text::write_matrix(
+            std::io::BufWriter::new(create()?),
+            g,
+        )?),
+        other => Err(CliError::Usage(format!(
+            "unsupported output extension '.{other}'"
+        ))),
     }
 }
 
@@ -169,7 +176,7 @@ pub fn r2(args: &Args) -> CmdResult {
         None | Some("r2") => ld_core::LdStats::RSquared,
         Some("d") => ld_core::LdStats::D,
         Some("dprime") | Some("d'") => ld_core::LdStats::DPrime,
-        Some(other) => return Err(format!("unknown stat '{other}'")),
+        Some(other) => return Err(CliError::Usage(format!("unknown stat '{other}'"))),
     };
     let engine = LdEngine::new()
         .kernel(parse_kernel(args)?)
@@ -184,16 +191,16 @@ pub fn r2(args: &Args) -> CmdResult {
             // O(threads × slab × n_snps) scratch bound regardless of n.
             use std::fmt::Write as _;
             use std::io::Write as _;
-            let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            let f = std::fs::File::create(path)?;
             let mut w = std::io::BufWriter::new(f);
-            writeln!(w, "SNP_A\tSNP_B\tR2").map_err(|e| e.to_string())?;
+            writeln!(w, "SNP_A\tSNP_B\tR2")?;
             // slabs arrive in unspecified order under threading: hold
             // out-of-order blocks briefly and flush the in-order prefix
             let mut pending: std::collections::BTreeMap<usize, (usize, String)> =
                 std::collections::BTreeMap::new();
             let mut next_row = 0usize;
             let mut io_err: Option<std::io::Error> = None;
-            engine.stat_rows(&g, stat, |s| {
+            engine.try_stat_rows(&g, stat, |s| {
                 let mut block = String::new();
                 for (i, row) in s.rows() {
                     for (t, &v) in row.iter().enumerate().skip(1) {
@@ -211,11 +218,11 @@ pub fn r2(args: &Args) -> CmdResult {
                         }
                     }
                 }
-            });
+            })?;
             if let Some(e) = io_err {
-                return Err(e.to_string());
+                return Err(e.into());
             }
-            w.flush().map_err(|e| e.to_string())?;
+            w.flush()?;
             let dt = t0.elapsed().as_secs_f64();
             eprintln!(
                 "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
@@ -228,7 +235,7 @@ pub fn r2(args: &Args) -> CmdResult {
             eprintln!("wrote pair table to {path}");
         }
         _ => {
-            let m = engine.stat_matrix(&g, stat);
+            let m = engine.try_stat_matrix(&g, stat)?;
             let dt = t0.elapsed().as_secs_f64();
             eprintln!(
                 "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
@@ -263,10 +270,10 @@ pub fn omega(args: &Args) -> CmdResult {
         .engine(LdEngine::new().kernel(parse_kernel(args)?).threads(threads));
     let points = scan.scan(&g);
     if points.is_empty() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "input has {} SNPs, fewer than the window ({window})",
             g.n_snps()
-        ));
+        )));
     }
     println!("window_start\twindow_end\tbest_split\tomega");
     for p in &points {
@@ -275,18 +282,17 @@ pub fn omega(args: &Args) -> CmdResult {
             p.window_start, p.window_end, p.best_split, p.omega
         );
     }
-    let best = points
-        .iter()
-        .max_by(|a, b| {
-            a.omega
-                .partial_cmp(&b.omega)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("non-empty");
-    eprintln!(
-        "strongest signal: omega = {:.3} at split SNP {}",
-        best.omega, best.best_split
-    );
+    let best = points.iter().max_by(|a, b| {
+        a.omega
+            .partial_cmp(&b.omega)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if let Some(best) = best {
+        eprintln!(
+            "strongest signal: omega = {:.3} at split SNP {}",
+            best.omega, best.best_split
+        );
+    }
     Ok(())
 }
 
@@ -328,7 +334,7 @@ pub fn prune(args: &Args) -> CmdResult {
     let mut start = 0usize;
     while start < n {
         let end = (start + window).min(n);
-        let r2 = engine.r2_matrix(g.view(start, end));
+        let r2 = engine.try_r2_matrix(g.view(start, end))?;
         for i in 0..end - start {
             if !keep[start + i] {
                 continue;
@@ -353,7 +359,7 @@ pub fn prune(args: &Args) -> CmdResult {
     match args.get("output") {
         Some(path) if !path.is_empty() => {
             let body: String = kept.iter().map(|i| format!("snp{i}\n")).collect();
-            std::fs::write(path, body).map_err(|e| e.to_string())?;
+            std::fs::write(path, body)?;
             eprintln!("wrote kept-SNP list to {path}");
         }
         _ => {
@@ -431,7 +437,7 @@ pub fn assoc(args: &Args) -> CmdResult {
             .map(|s| {
                 s.trim()
                     .parse::<usize>()
-                    .map_err(|_| format!("invalid causal index '{s}'"))
+                    .map_err(|_| CliError::Usage(format!("invalid causal index '{s}'")))
             })
             .collect::<Result<_, _>>()?,
         _ => {
@@ -447,7 +453,10 @@ pub fn assoc(args: &Args) -> CmdResult {
     };
     for &c in &causal {
         if c >= g.n_snps() {
-            return Err(format!("causal SNP {c} out of range (< {})", g.n_snps()));
+            return Err(CliError::Usage(format!(
+                "causal SNP {c} out of range (< {})",
+                g.n_snps()
+            )));
         }
     }
     let (_labels, mask) =

@@ -9,10 +9,19 @@
 //! gemm-ld convert -i data.ms -o data.vcf
 //! ```
 
+//! ## Exit codes
+//!
+//! `0` success · `1` other failure · `2` usage error · `3` input parse
+//! error · `4` resource error (I/O, memory, limits). Every failure is a
+//! single `error:` line on stderr — never a panic backtrace.
+
 use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod error;
+
+use error::CliError;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -36,13 +45,16 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("gemm-ld: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -89,28 +89,28 @@ pub fn tag_snps(r2: &LdMatrix, blocks: &[Range<usize>]) -> Vec<usize> {
         for i in b.clone() {
             in_block[i] = true;
         }
-        let best = b
-            .clone()
-            .max_by(|&x, &y| {
-                let score = |i: usize| -> f64 {
-                    b.clone()
-                        .filter(|&j| j != i)
-                        .map(|j| {
-                            let v = r2.get(i, j);
-                            if v.is_nan() {
-                                0.0
-                            } else {
-                                v
-                            }
-                        })
-                        .sum()
-                };
-                score(x)
-                    .partial_cmp(&score(y))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("blocks are non-empty");
-        tags.push(best);
+        let best = b.clone().max_by(|&x, &y| {
+            let score = |i: usize| -> f64 {
+                b.clone()
+                    .filter(|&j| j != i)
+                    .map(|j| {
+                        let v = r2.get(i, j);
+                        if v.is_nan() {
+                            0.0
+                        } else {
+                            v
+                        }
+                    })
+                    .sum()
+            };
+            score(x)
+                .partial_cmp(&score(y))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // an empty block contributes no tag (max_by of an empty range)
+        if let Some(best) = best {
+            tags.push(best);
+        }
     }
     for (i, covered) in in_block.iter().enumerate() {
         if !covered {

@@ -1,14 +1,17 @@
 //! The [`LdEngine`]: configuration + matrix-level drivers.
 
+use crate::error::{
+    checked_add, checked_mul, checked_triangle_len, try_zeroed_vec, LdError, MemoryBudget,
+};
 use crate::fused::{
-    packed_row_offset, stat_packed_fused, stat_rows_fused, FusedConfig, RowSlabVisit, SyncSlice,
-    Transform,
+    packed_row_offset, try_stat_packed_fused, try_stat_rows_fused, FusedConfig, RowSlabVisit,
+    SyncSlice, Transform,
 };
 use crate::matrix::{CrossLdMatrix, LdMatrix};
 use crate::stats::{ld_pair_from_counts, stat_from_counts, LdPair, LdStats, NanPolicy};
 use ld_bitmat::{BitMatrix, BitMatrixView};
 use ld_kernels::{syrk_counts_buf, BlockSizes, KernelKind};
-use ld_parallel::{available_threads, parallel_for, run_team, triangle_row_ranges};
+use ld_parallel::{available_threads, run_team, triangle_row_ranges, try_parallel_for};
 use ld_popcount::and_popcount;
 
 /// Configured entry point for all matrix-level LD computations.
@@ -39,6 +42,7 @@ pub struct LdEngine {
     pub(crate) threads: usize,
     pub(crate) policy: NanPolicy,
     pub(crate) slab: usize,
+    pub(crate) budget: MemoryBudget,
 }
 
 impl Default for LdEngine {
@@ -80,6 +84,7 @@ impl LdEngine {
             threads: available_threads(),
             policy: NanPolicy::default(),
             slab: DEFAULT_SLAB_ROWS,
+            budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -105,6 +110,21 @@ impl LdEngine {
     pub fn nan_policy(mut self, policy: NanPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Caps the transient memory of the fused pipeline (see
+    /// [`MemoryBudget`]). The `try_` drivers shrink the slab height to fit
+    /// the cap before failing with [`LdError::BudgetExceeded`]; results
+    /// are bit-exact regardless of slab height. The infallible drivers
+    /// honor the budget too (they panic where the `try_` form errors).
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured memory budget.
+    pub fn budget(&self) -> MemoryBudget {
+        self.budget
     }
 
     /// Sets the row-slab height of the fused pipeline (clamped to ≥ 1).
@@ -152,11 +172,63 @@ impl LdEngine {
     /// drivers do *not* go through it (they use the fused slab pipeline);
     /// it exists for callers that want the raw integer counts.
     pub fn counts_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> Vec<u32> {
+        match self.try_counts_matrix(g) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`LdEngine::counts_matrix`]: the `n × n` buffer size is
+    /// computed with checked arithmetic and allocated via `try_reserve`.
+    pub fn try_counts_matrix<'a>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+    ) -> Result<Vec<u32>, LdError> {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
-        let mut c = vec![0u32; n * n];
+        let len = checked_mul(n, n, "n × n counts matrix")?;
+        let mut c = try_zeroed_vec::<u32>(len, "n × n counts matrix")?;
         syrk_counts_buf(&v, &mut c, n, self.kind, self.blocks, self.threads);
-        c
+        Ok(c)
+    }
+
+    /// Shrinks the configured slab height to fit the memory budget, given
+    /// the fixed footprint `fixed` (output + tables, bytes) and the
+    /// per-slab-row scratch cost `threads × n × per_elem` bytes. Errors
+    /// with [`LdError::BudgetExceeded`] only when even one row over-runs.
+    fn budgeted_slab(&self, n: usize, fixed: usize, per_elem: usize) -> Result<usize, LdError> {
+        let want = self.slab.max(1).min(n.max(1));
+        let Some(limit) = self.budget.limit() else {
+            return Ok(want);
+        };
+        let per_row = checked_mul(
+            checked_mul(self.threads.max(1), n.max(1), "slab scratch bytes")?,
+            per_elem,
+            "slab scratch bytes",
+        )?;
+        let min_required = checked_add(fixed, per_row, "minimum footprint")?;
+        if min_required > limit {
+            return Err(LdError::BudgetExceeded {
+                required: min_required,
+                budget: limit,
+            });
+        }
+        let fit = (limit - fixed) / per_row.max(1);
+        Ok(want.min(fit.max(1)))
+    }
+
+    /// Fixed (slab-independent) footprint of a fused run over `n` SNPs:
+    /// optional packed output (`8·n(n+1)/2`) plus the transform tables
+    /// (≤ `20n`: u32 diag + two f64 tables).
+    fn fixed_footprint(n: usize, with_packed_output: bool) -> Result<usize, LdError> {
+        let tables = checked_mul(n, 20, "transform tables bytes")?;
+        if with_packed_output {
+            let tri = checked_triangle_len(n)?;
+            let out = checked_mul(tri, 8, "packed output bytes")?;
+            checked_add(out, tables, "fixed footprint bytes")
+        } else {
+            Ok(tables)
+        }
     }
 
     /// All-pairs statistic matrix (triangle-packed).
@@ -170,12 +242,50 @@ impl LdEngine {
     /// the packed output while still cache-hot. No `n × n` counts matrix is
     /// ever materialized and no mirror pass runs (see [`crate::fused`]).
     pub fn stat_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>, stat: LdStats) -> LdMatrix {
+        match self.try_stat_matrix(g, stat) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`LdEngine::stat_matrix`] — the panic-free boundary for
+    /// long-running services:
+    ///
+    /// * shape validation up front ([`LdError::EmptyInput`] for zero
+    ///   samples, [`LdError::SizeOverflow`] when `n(n+1)/2` or any byte
+    ///   count overflows `usize`);
+    /// * the packed output and all scratch are allocated via `try_reserve`
+    ///   ([`LdError::AllocationFailed`] instead of an abort);
+    /// * the estimated transient footprint is held under the configured
+    ///   [`MemoryBudget`] by shrinking the slab height (bit-exact — slab
+    ///   height never affects values), failing with
+    ///   [`LdError::BudgetExceeded`] only when one row is already too much;
+    /// * a panicking worker drains the team and comes back as
+    ///   [`LdError::Worker`] with the payload message preserved.
+    pub fn try_stat_matrix<'a>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+    ) -> Result<LdMatrix, LdError> {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
-        assert!(v.n_samples() > 0, "cannot compute LD with zero samples");
-        let mut out = LdMatrix::zeros(n);
-        stat_packed_fused(&v, stat, &self.fused_config(), out.packed_mut());
-        out
+        // overflow before emptiness: a size that cannot be represented is
+        // reported even when the sample set is also degenerate
+        let fixed = Self::fixed_footprint(n, true)?;
+        if v.n_samples() == 0 {
+            return Err(LdError::EmptyInput);
+        }
+        if n == 0 {
+            return LdMatrix::try_zeros(0);
+        }
+        let slab = self.budgeted_slab(n, fixed, 4)?;
+        let mut out = LdMatrix::try_zeros(n)?;
+        let cfg = FusedConfig {
+            slab,
+            ..self.fused_config()
+        };
+        try_stat_packed_fused(&v, stat, &cfg, out.packed_mut())?;
+        Ok(out)
     }
 
     /// The classical two-pass driver: full `n × n` SYRK counts, then a
@@ -223,6 +333,11 @@ impl LdEngine {
         self.stat_matrix(g, LdStats::RSquared)
     }
 
+    /// Fallible all-pairs `r²` (see [`LdEngine::try_stat_matrix`]).
+    pub fn try_r2_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> Result<LdMatrix, LdError> {
+        self.try_stat_matrix(g, LdStats::RSquared)
+    }
+
     /// All-pairs raw `D` (Eq. 5).
     pub fn d_matrix<'a>(&self, g: impl Into<BitMatrixView<'a>>) -> LdMatrix {
         self.stat_matrix(g, LdStats::D)
@@ -247,12 +362,40 @@ impl LdEngine {
     where
         F: FnMut(&RowSlabVisit<'_>) + Send,
     {
+        if let Err(e) = self.try_stat_rows(g, stat, visit) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`LdEngine::stat_rows`] (validation, budgeting and panic
+    /// containment as in [`LdEngine::try_stat_matrix`]; the streaming form
+    /// has no packed output, so its budget covers only tables + scratch —
+    /// per-slab-row cost is `threads × n × 12` bytes: u32 counts plus f64
+    /// values).
+    pub fn try_stat_rows<'a, F>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        visit: F,
+    ) -> Result<(), LdError>
+    where
+        F: FnMut(&RowSlabVisit<'_>) + Send,
+    {
         let v: BitMatrixView<'a> = g.into();
-        assert!(
-            v.n_snps() == 0 || v.n_samples() > 0,
-            "cannot compute LD with zero samples"
-        );
-        stat_rows_fused(&v, stat, &self.fused_config(), visit);
+        let n = v.n_snps();
+        let fixed = Self::fixed_footprint(n, false)?;
+        if n == 0 {
+            return Ok(());
+        }
+        if v.n_samples() == 0 {
+            return Err(LdError::EmptyInput);
+        }
+        let slab = self.budgeted_slab(n, fixed, 12)?;
+        let cfg = FusedConfig {
+            slab,
+            ..self.fused_config()
+        };
+        try_stat_rows_fused(&v, stat, &cfg, visit)
     }
 
     /// Streamed `r²` row slabs (see [`LdEngine::stat_rows`]).
@@ -280,24 +423,75 @@ impl LdEngine {
         g: impl Into<BitMatrixView<'a>>,
         stat: LdStats,
         tile: usize,
-        mut visit: F,
+        visit: F,
     ) where
+        F: FnMut(&TileVisit<'_>) + Send,
+    {
+        if let Err(e) = self.try_for_each_tile(g, stat, tile, visit) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`LdEngine::for_each_tile`]. A zero `tile` is
+    /// [`LdError::InvalidConfig`]; the tiling invariant pins the slab
+    /// height to `tile`, so the memory budget cannot auto-shrink here — a
+    /// `tile` whose scratch over-runs the budget is
+    /// [`LdError::BudgetExceeded`] (pick a smaller tile).
+    pub fn try_for_each_tile<'a, F>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        tile: usize,
+        mut visit: F,
+    ) -> Result<(), LdError>
+    where
         F: FnMut(&TileVisit<'_>) + Send,
     {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
-        assert!(tile > 0, "tile size must be positive");
-        assert!(
-            n == 0 || v.n_samples() > 0,
-            "cannot compute LD with zero samples"
-        );
+        if tile == 0 {
+            return Err(LdError::InvalidConfig {
+                message: "tile size must be positive",
+            });
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        if v.n_samples() == 0 {
+            return Err(LdError::EmptyInput);
+        }
+        let side = tile.min(n);
+        // slab is pinned to `tile`: verify rather than shrink
+        let tile_buf = checked_mul(checked_mul(side, side, "tile buffer")?, 8, "tile buffer")?;
+        let fixed = checked_add(
+            Self::fixed_footprint(n, false)?,
+            tile_buf,
+            "fixed footprint",
+        )?;
+        if let Some(limit) = self.budget.limit() {
+            let per_row = checked_mul(
+                checked_mul(self.threads.max(1), n, "slab scratch bytes")?,
+                12,
+                "slab scratch bytes",
+            )?;
+            let required = checked_add(
+                fixed,
+                checked_mul(per_row, side, "slab scratch bytes")?,
+                "minimum footprint",
+            )?;
+            if required > limit {
+                return Err(LdError::BudgetExceeded {
+                    required,
+                    budget: limit,
+                });
+            }
+        }
         let cfg = FusedConfig {
             slab: tile,
             ..self.fused_config()
         };
-        let side = tile.min(n.max(1));
-        let mut buf = vec![0.0f64; side * side];
-        stat_rows_fused(&v, stat, &cfg, move |s| {
+        let mut buf = try_zeroed_vec::<f64>(side * side, "tile mirror buffer")?;
+        try_stat_rows_fused(&v, stat, &cfg, move |s| {
             // Slabs start at multiples of `tile` (dynamic chunks are
             // grain-aligned), so each slab is exactly one row of tiles.
             let bi = s.row_start();
@@ -329,7 +523,7 @@ impl LdEngine {
                 });
                 bj += tile;
             }
-        });
+        })
     }
 
     /// Cross-matrix statistic between two SNP sets sharing the same sample
@@ -340,13 +534,40 @@ impl LdEngine {
         b: impl Into<BitMatrixView<'b>>,
         stat: LdStats,
     ) -> CrossLdMatrix {
+        match self.try_cross_stat_matrix(a, b, stat) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`LdEngine::cross_stat_matrix`]: mismatched sample sets are
+    /// [`LdError::DimensionMismatch`], `m × n` sizes are checked, the count
+    /// and value buffers go through `try_reserve`, per-SNP allele counts
+    /// are converted with `u32::try_from` (no silent truncation past
+    /// `u32::MAX` haplotypes), and a panicking worker surfaces as
+    /// [`LdError::Worker`].
+    pub fn try_cross_stat_matrix<'a, 'b>(
+        &self,
+        a: impl Into<BitMatrixView<'a>>,
+        b: impl Into<BitMatrixView<'b>>,
+        stat: LdStats,
+    ) -> Result<CrossLdMatrix, LdError> {
         let va: BitMatrixView<'a> = a.into();
         let vb: BitMatrixView<'b> = b.into();
-        assert_eq!(va.n_samples(), vb.n_samples(), "sample sets must match");
+        if va.n_samples() != vb.n_samples() {
+            return Err(LdError::DimensionMismatch {
+                context: "sample sets must match",
+                left: va.n_samples(),
+                right: vb.n_samples(),
+            });
+        }
         let n_samples = va.n_samples();
-        assert!(n_samples > 0, "cannot compute LD with zero samples");
+        if n_samples == 0 {
+            return Err(LdError::EmptyInput);
+        }
         let (m, n) = (va.n_snps(), vb.n_snps());
-        let mut counts = vec![0u32; m * n];
+        let len = checked_mul(m, n, "m × n cross matrix")?;
+        let mut counts = try_zeroed_vec::<u32>(len, "m × n cross counts")?;
         ld_kernels::gemm_counts_mt(
             &va,
             &vb,
@@ -356,10 +577,19 @@ impl LdEngine {
             self.blocks,
             self.threads,
         );
-        let a_counts: Vec<u32> = (0..m).map(|i| va.ones_in_snp(i) as u32).collect();
-        let b_counts: Vec<u32> = (0..n).map(|j| vb.ones_in_snp(j) as u32).collect();
+        let snp_counts = |v: &BitMatrixView<'_>, k: usize| -> Result<Vec<u32>, LdError> {
+            let mut out = try_zeroed_vec::<u32>(k, "per-SNP allele-count table")?;
+            for (j, d) in out.iter_mut().enumerate() {
+                *d = u32::try_from(v.ones_in_snp(j)).map_err(|_| LdError::SizeOverflow {
+                    what: "per-SNP allele count (> u32::MAX haplotypes)",
+                })?;
+            }
+            Ok(out)
+        };
+        let a_counts = snp_counts(&va, m)?;
+        let b_counts = snp_counts(&vb, n)?;
         let inv_n = 1.0 / n_samples as f64;
-        let mut values = vec![0.0f64; m * n];
+        let mut values = try_zeroed_vec::<f64>(len, "m × n cross values")?;
         let policy = self.policy;
         {
             let counts_ref = &counts;
@@ -388,7 +618,7 @@ impl LdEngine {
                 let (pa, iva) = prep(&a_counts);
                 let (pb, ivb) = prep(&b_counts);
                 let (pa, iva, pb, ivb) = (&pa, &iva, &pb, &ivb);
-                parallel_for(self.threads, m, |rows| {
+                try_parallel_for(self.threads, m, |rows| {
                     for i in rows {
                         // SAFETY: disjoint row slices of `values`.
                         let dst = unsafe { values_ptr.slice(i * n, n) };
@@ -399,11 +629,11 @@ impl LdEngine {
                             dst[j] = (d * d) * iv_i * ivb[j];
                         }
                     }
-                });
+                })?;
             } else {
                 let a_ref = &a_counts;
                 let b_ref = &b_counts;
-                parallel_for(self.threads, m, |rows| {
+                try_parallel_for(self.threads, m, |rows| {
                     for i in rows {
                         // SAFETY: disjoint row slices of `values`.
                         let dst = unsafe { values_ptr.slice(i * n, n) };
@@ -418,10 +648,10 @@ impl LdEngine {
                             );
                         }
                     }
-                });
+                })?;
             }
         }
-        CrossLdMatrix::from_dense(m, n, values)
+        Ok(CrossLdMatrix::from_dense(m, n, values))
     }
 
     /// Cross-matrix `r²`.

@@ -23,10 +23,12 @@
 //! ([`crate::LdEngine::stat_rows`], [`crate::LdEngine::for_each_tile`])
 //! for chromosome-scale inputs where even the packed triangle is too big.
 
+use crate::error::{fault, try_zeroed_vec, LdError};
 use crate::stats::{stat_from_counts, LdStats, NanPolicy};
 use ld_bitmat::BitMatrixView;
 use ld_kernels::{syrk_slab_counts, BlockSizes, KernelKind};
-use ld_parallel::parallel_for_dynamic_init;
+use ld_parallel::try_parallel_for_dynamic_init;
+use std::sync::Mutex;
 
 /// Engine parameters threaded through the fused drivers.
 #[derive(Clone, Copy, Debug)]
@@ -64,41 +66,67 @@ impl Transform {
     /// Builds the tables for `stat` over the SNPs of `v`.
     ///
     /// # Panics
-    /// If `v` has zero samples.
+    /// If `v` has zero samples, or a per-SNP allele count exceeds
+    /// `u32::MAX` (see [`Transform::try_new`]).
     pub fn new(v: &BitMatrixView<'_>, stat: LdStats, policy: NanPolicy) -> Self {
+        match Self::try_new(v, stat, policy) {
+            Ok(tr) => tr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Transform::new`]: zero samples is [`LdError::EmptyInput`];
+    /// a per-SNP allele count above `u32::MAX` (a haplotype set too large
+    /// for the u32 counts pipeline) is [`LdError::SizeOverflow`] instead of
+    /// a silent `as u32` truncation; table allocation goes through
+    /// `try_reserve`.
+    pub fn try_new(
+        v: &BitMatrixView<'_>,
+        stat: LdStats,
+        policy: NanPolicy,
+    ) -> Result<Self, LdError> {
         let n_samples = v.n_samples();
-        assert!(n_samples > 0, "cannot compute LD with zero samples");
+        if n_samples == 0 {
+            return Err(LdError::EmptyInput);
+        }
         let inv_n = 1.0 / n_samples as f64;
-        let diag: Vec<u32> = (0..v.n_snps()).map(|j| v.ones_in_snp(j) as u32).collect();
+        let n = v.n_snps();
+        let mut diag: Vec<u32> = try_zeroed_vec(n, "per-SNP allele-count table")?;
+        for (j, d) in diag.iter_mut().enumerate() {
+            *d = u32::try_from(v.ones_in_snp(j)).map_err(|_| LdError::SizeOverflow {
+                what: "per-SNP allele count (> u32::MAX haplotypes)",
+            })?;
+        }
         let (p, inv_var) = if stat == LdStats::RSquared {
             let undef = match policy {
                 NanPolicy::Propagate => f64::NAN,
                 NanPolicy::Zero => 0.0,
             };
-            let p: Vec<f64> = diag.iter().map(|&c| c as f64 * inv_n).collect();
-            let inv_var: Vec<f64> = p
-                .iter()
-                .map(|&pj| {
-                    let var = pj * (1.0 - pj);
-                    if var > 0.0 {
-                        1.0 / var
-                    } else {
-                        undef // NaN/0 propagates through the products
-                    }
-                })
-                .collect();
+            let mut p: Vec<f64> = try_zeroed_vec(n, "allele-frequency table")?;
+            let mut inv_var: Vec<f64> = try_zeroed_vec(n, "reciprocal-variance table")?;
+            for (pj, &c) in p.iter_mut().zip(&diag) {
+                *pj = c as f64 * inv_n;
+            }
+            for (iv, &pj) in inv_var.iter_mut().zip(&p) {
+                let var = pj * (1.0 - pj);
+                *iv = if var > 0.0 {
+                    1.0 / var
+                } else {
+                    undef // NaN/0 propagates through the products
+                };
+            }
             (p, inv_var)
         } else {
             (Vec::new(), Vec::new())
         };
-        Self {
+        Ok(Self {
             stat,
             policy,
             inv_n,
             diag,
             p,
             inv_var,
-        }
+        })
     }
 
     /// Number of SNPs covered by the tables.
@@ -198,28 +226,50 @@ impl SyncSlice {
 /// Row slabs are contiguous in packed storage (`packed_row_offset(r0)` to
 /// `packed_row_offset(r1)`), so each worker writes a disjoint range and the
 /// transform streams from its hot scratch directly into the output.
+#[cfg(test)]
 pub(crate) fn stat_packed_fused(
     v: &BitMatrixView<'_>,
     stat: LdStats,
     cfg: &FusedConfig,
     packed: &mut [f64],
 ) {
+    if let Err(e) = try_stat_packed_fused(v, stat, cfg, packed) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`stat_packed_fused`]: scratch buffers are preallocated on the
+/// calling thread through `try_reserve` (one per worker, handed out via a
+/// pool), and a panicking worker surfaces as [`LdError::Worker`] after the
+/// team drains — no unwinding past this boundary, no hung join.
+pub(crate) fn try_stat_packed_fused(
+    v: &BitMatrixView<'_>,
+    stat: LdStats,
+    cfg: &FusedConfig,
+    packed: &mut [f64],
+) -> Result<(), LdError> {
     let n = v.n_snps();
     debug_assert_eq!(packed.len(), n * (n + 1) / 2);
     if n == 0 {
-        return;
+        return Ok(());
     }
-    let tr = Transform::new(v, stat, cfg.policy);
+    let tr = Transform::try_new(v, stat, cfg.policy)?;
     let slab = cfg.slab.max(1).min(n);
+    // Bounded per-worker scratch: the widest slab (the first) spans all
+    // n columns, so `slab × n` covers every slab a worker can grab. The
+    // buffers are allocated fallibly *here*, on the calling thread, so an
+    // allocation failure is a clean Err before any thread is spawned.
+    let scratch_pool = ScratchPool::new(cfg.threads, || {
+        try_zeroed_vec::<u32>(slab * n, "slab counts scratch")
+    })?;
     let out = SyncSlice::new(packed);
-    parallel_for_dynamic_init(
+    try_parallel_for_dynamic_init(
         cfg.threads,
         n,
         slab,
-        // Bounded per-worker scratch: the widest slab (the first) spans all
-        // n columns, so `slab × n` covers every slab this worker can grab.
-        |_tid| vec![0u32; slab * n],
+        |_tid| scratch_pool.take(),
         |scratch, rows| {
+            fault::check_kernel_panic();
             let (r0, r1) = (rows.start, rows.end);
             let width = n - r0;
             let h = r1 - r0;
@@ -239,7 +289,43 @@ pub(crate) fn stat_packed_fused(
                 tr.apply_row(i, &scratch[local..local + len], dst);
             }
         },
-    );
+    )?;
+    Ok(())
+}
+
+/// A pool of per-worker scratch buffers, preallocated fallibly on the
+/// calling thread and popped by workers in their init closure.
+///
+/// `parallel_for_dynamic_init` runs each worker's init exactly once and
+/// spawns at most `threads` workers, so [`ScratchPool::take`] can never
+/// run dry; the `unwrap_or_default` fallback exists only to keep the pop
+/// panic-free by construction.
+struct ScratchPool<S>(Mutex<Vec<S>>);
+
+impl<S: Default> ScratchPool<S> {
+    fn new(threads: usize, mut make: impl FnMut() -> Result<S, LdError>) -> Result<Self, LdError> {
+        let workers = threads.max(1);
+        let mut pool = Vec::new();
+        // the pool spine itself is tiny (`workers` pointers) but stays on
+        // the fallible path for uniformity
+        pool.try_reserve_exact(workers)
+            .map_err(|_| LdError::AllocationFailed {
+                what: "scratch pool spine",
+                bytes: workers * std::mem::size_of::<S>(),
+            })?;
+        for _ in 0..workers {
+            pool.push(make()?);
+        }
+        Ok(Self(Mutex::new(pool)))
+    }
+
+    fn take(&self) -> S {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
 }
 
 /// One row slab of a streamed LD computation (see
@@ -307,23 +393,47 @@ impl RowSlabVisit<'_> {
 /// The streaming row-slab driver: like [`stat_packed_fused`] but instead of
 /// writing a packed matrix, each finished slab is handed to `visit`
 /// (serialized under a mutex; slab order is unspecified under threading).
+#[cfg(test)]
 pub(crate) fn stat_rows_fused<F>(v: &BitMatrixView<'_>, stat: LdStats, cfg: &FusedConfig, visit: F)
+where
+    F: FnMut(&RowSlabVisit<'_>) + Send,
+{
+    if let Err(e) = try_stat_rows_fused(v, stat, cfg, visit) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible [`stat_rows_fused`] (see [`try_stat_packed_fused`] for the
+/// allocation and panic-containment discipline).
+pub(crate) fn try_stat_rows_fused<F>(
+    v: &BitMatrixView<'_>,
+    stat: LdStats,
+    cfg: &FusedConfig,
+    visit: F,
+) -> Result<(), LdError>
 where
     F: FnMut(&RowSlabVisit<'_>) + Send,
 {
     let n = v.n_snps();
     if n == 0 {
-        return;
+        return Ok(());
     }
-    let tr = Transform::new(v, stat, cfg.policy);
+    let tr = Transform::try_new(v, stat, cfg.policy)?;
     let slab = cfg.slab.max(1).min(n);
-    let visit = std::sync::Mutex::new(visit);
-    parallel_for_dynamic_init(
+    let scratch_pool = ScratchPool::new(cfg.threads, || {
+        Ok((
+            try_zeroed_vec::<u32>(slab * n, "slab counts scratch")?,
+            try_zeroed_vec::<f64>(slab * n, "slab statistic scratch")?,
+        ))
+    })?;
+    let visit = Mutex::new(visit);
+    try_parallel_for_dynamic_init(
         cfg.threads,
         n,
         slab,
-        |_tid| (vec![0u32; slab * n], vec![0.0f64; slab * n]),
+        |_tid| scratch_pool.take(),
         |(counts, values), rows| {
+            fault::check_kernel_panic();
             let (r0, r1) = (rows.start, rows.end);
             let width = n - r0;
             let h = r1 - r0;
@@ -348,9 +458,12 @@ where
                 ldv: width,
                 values: &values[..h * width],
             };
-            (visit.lock().unwrap())(&slab_visit);
+            (visit
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner))(&slab_visit);
         },
-    );
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ pub mod banded;
 pub mod blocks;
 pub mod decay;
 mod engine;
+pub mod error;
 pub mod fused;
 mod matrix;
 mod stats;
@@ -41,6 +42,7 @@ pub use banded::BandedLdMatrix;
 pub use blocks::{haplotype_blocks, solid_spine_blocks, tag_snps};
 pub use decay::{DecayBin, DecayProfile};
 pub use engine::{LdEngine, TileVisit};
+pub use error::{LdError, MemoryBudget, WorkerPanic};
 pub use fused::RowSlabVisit;
 pub use matrix::{CrossLdMatrix, LdMatrix};
 pub use stats::{ld_pair_from_counts, ld_pair_from_freqs, LdPair, LdStats, NanPolicy};

@@ -1,5 +1,6 @@
 //! Result containers: triangle-packed and rectangular LD matrices.
 
+use crate::error::{checked_triangle_len, try_zeroed_vec, LdError};
 use std::fmt;
 
 /// A symmetric `n × n` LD matrix stored as the packed upper triangle
@@ -16,10 +17,22 @@ pub struct LdMatrix {
 impl LdMatrix {
     /// An all-zero matrix for `n` SNPs.
     pub fn zeros(n: usize) -> Self {
-        Self {
-            n,
-            values: vec![0.0; n * (n + 1) / 2],
+        match Self::try_zeros(n) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible [`LdMatrix::zeros`]: the packed length `n(n+1)/2` is
+    /// computed with checked arithmetic ([`LdError::SizeOverflow`]) and
+    /// the buffer is allocated via `try_reserve`
+    /// ([`LdError::AllocationFailed`]).
+    pub fn try_zeros(n: usize) -> Result<Self, LdError> {
+        let len = checked_triangle_len(n)?;
+        Ok(Self {
+            n,
+            values: try_zeroed_vec(len, "packed LD triangle")?,
+        })
     }
 
     /// Builds from a packed triangle (length must be `n(n+1)/2`).

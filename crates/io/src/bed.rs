@@ -7,8 +7,10 @@
 //! PLINK 1.9 reads, so datasets generated here can feed an actual PLINK
 //! install and vice versa.
 
-use crate::IoError;
+use crate::limits::LineReader;
+use crate::{IoError, Limits};
 use ld_bitmat::GenotypeMatrix;
+use std::collections::HashSet;
 use std::io::{BufRead, Read, Write};
 use std::path::Path;
 
@@ -58,14 +60,36 @@ pub fn write_bed<W: Write>(mut w: W, g: &GenotypeMatrix) -> Result<(), IoError> 
     Ok(())
 }
 
-/// Reads a `.bed` stream given the dimensions from `.fam`/`.bim`.
+/// Reads a `.bed` stream given the dimensions from `.fam`/`.bim`, under
+/// default [`Limits`].
 pub fn read_bed<R: Read>(
     mut r: R,
     n_individuals: usize,
     n_snps: usize,
 ) -> Result<GenotypeMatrix, IoError> {
+    read_bed_with(&mut r, n_individuals, n_snps, &Limits::default())
+}
+
+/// Reads a `.bed` stream under caller-supplied hard [`Limits`]. Since the
+/// dimensions come from the companion `.fam`/`.bim` files they are
+/// validated here before the first genotype byte is buffered, and every
+/// short read surfaces as a typed [`IoError::Truncated`] rather than a
+/// bare I/O error.
+pub fn read_bed_with<R: Read>(
+    mut r: R,
+    n_individuals: usize,
+    n_snps: usize,
+    limits: &Limits,
+) -> Result<GenotypeMatrix, IoError> {
+    if n_individuals > limits.max_samples {
+        return Err(IoError::limit("bed", 0, "sample count", limits.max_samples));
+    }
+    if n_snps > limits.max_sites {
+        return Err(IoError::limit("bed", 0, "site count", limits.max_sites));
+    }
     let mut magic = [0u8; 3];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic)
+        .map_err(|_| IoError::truncated("bed", "3-byte magic header"))?;
     if magic != BED_MAGIC {
         return Err(IoError::parse(
             "bed",
@@ -77,8 +101,12 @@ pub fn read_bed<R: Read>(
     let mut buf = vec![0u8; bytes_per_snp];
     let mut cols = Vec::with_capacity(n_snps);
     for j in 0..n_snps {
-        r.read_exact(&mut buf)
-            .map_err(|e| IoError::parse("bed", 0, format!("truncated at variant {j}: {e}")))?;
+        r.read_exact(&mut buf).map_err(|_| {
+            IoError::truncated(
+                "bed",
+                format!("short read at variant {j} of {n_snps} ({bytes_per_snp} bytes/variant)"),
+            )
+        })?;
         cols.push(GenotypeMatrix::snp_from_bed_bytes(n_individuals, &buf)?);
     }
     Ok(GenotypeMatrix::from_columns(n_individuals, cols)?)
@@ -96,20 +124,29 @@ pub fn write_bim<W: Write>(mut w: W, records: &[BimRecord]) -> Result<(), IoErro
     Ok(())
 }
 
-/// Reads a `.bim` file body.
+/// Reads a `.bim` file body with default [`Limits`].
 pub fn read_bim<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
+    read_bim_with(r, &Limits::default())
+}
+
+/// Reads a `.bim` file body under caller-supplied hard [`Limits`]
+/// (variant count capped by `max_sites`).
+pub fn read_bim_with<R: BufRead>(r: R, limits: &Limits) -> Result<Vec<BimRecord>, IoError> {
     let mut out = Vec::new();
-    for (no, line) in r.lines().enumerate() {
-        let line = line?;
+    let mut lines = LineReader::new(r, "bim", limits);
+    while let Some((no, line)) = lines.next_line()? {
         let t = line.trim();
         if t.is_empty() {
             continue;
+        }
+        if out.len() >= limits.max_sites {
+            return Err(IoError::limit("bim", no, "site count", limits.max_sites));
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 6 {
             return Err(IoError::parse(
                 "bim",
-                no + 1,
+                no,
                 format!("{} columns (expected 6)", f.len()),
             ));
         }
@@ -118,10 +155,10 @@ pub fn read_bim<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
             id: f[1].to_string(),
             cm: f[2]
                 .parse()
-                .map_err(|_| IoError::parse("bim", no + 1, "invalid cM"))?,
+                .map_err(|_| IoError::parse("bim", no, "invalid cM"))?,
             pos: f[3]
                 .parse()
-                .map_err(|_| IoError::parse("bim", no + 1, "invalid position"))?,
+                .map_err(|_| IoError::parse("bim", no, "invalid position"))?,
             a1: f[4].to_string(),
             a2: f[5].to_string(),
         });
@@ -141,22 +178,45 @@ pub fn write_fam<W: Write>(mut w: W, records: &[FamRecord]) -> Result<(), IoErro
     Ok(())
 }
 
-/// Reads a `.fam` file body.
+/// Reads a `.fam` file body with default [`Limits`].
 pub fn read_fam<R: BufRead>(r: R) -> Result<Vec<FamRecord>, IoError> {
+    read_fam_with(r, &Limits::default())
+}
+
+/// Reads a `.fam` file body under caller-supplied hard [`Limits`]: the
+/// individual count is capped by `max_samples` and a repeated
+/// `(FID, IID)` pair is a located [`IoError::DuplicateSample`].
+pub fn read_fam_with<R: BufRead>(r: R, limits: &Limits) -> Result<Vec<FamRecord>, IoError> {
     let mut out = Vec::new();
-    for (no, line) in r.lines().enumerate() {
-        let line = line?;
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let mut lines = LineReader::new(r, "fam", limits);
+    while let Some((no, line)) = lines.next_line()? {
         let t = line.trim();
         if t.is_empty() {
             continue;
+        }
+        if out.len() >= limits.max_samples {
+            return Err(IoError::limit(
+                "fam",
+                no,
+                "sample count",
+                limits.max_samples,
+            ));
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 6 {
             return Err(IoError::parse(
                 "fam",
-                no + 1,
+                no,
                 format!("{} columns (expected 6)", f.len()),
             ));
+        }
+        if !seen.insert((f[0].to_string(), f[1].to_string())) {
+            return Err(IoError::DuplicateSample {
+                format: "fam",
+                line: no,
+                name: format!("{} {}", f[0], f[1]),
+            });
         }
         out.push(FamRecord {
             fid: f[0].to_string(),
@@ -288,7 +348,30 @@ mod tests {
         let mut bad = buf.clone();
         bad[2] = 0x00; // individual-major flag: unsupported
         assert!(read_bed(bad.as_slice(), 5, 2).is_err());
-        assert!(read_bed(&buf[..5], 5, 2).is_err());
+        let err = read_bed(&buf[..5], 5, 2).unwrap_err();
+        assert!(matches!(err, IoError::Truncated { .. }), "{err}");
+        let err = read_bed(&buf[..2], 5, 2).unwrap_err();
+        assert!(matches!(err, IoError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn bed_enforces_declared_dimension_limits() {
+        let limits = Limits::default().max_samples(4);
+        let err = read_bed_with(&[][..], 5, 2, &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+        let limits = Limits::default().max_sites(1);
+        let err = read_bed_with(&[][..], 5, 2, &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn fam_rejects_duplicate_individuals() {
+        let dup = "F0 I0 0 0 1 -9\nF0 I0 0 0 2 -9\n";
+        let err = read_fam(dup.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, IoError::DuplicateSample { line: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]

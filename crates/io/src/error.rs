@@ -16,6 +16,34 @@ pub enum IoError {
         /// What went wrong.
         message: String,
     },
+    /// The input ended before the format said it would (short read).
+    Truncated {
+        /// Format name.
+        format: &'static str,
+        /// What was being read when the stream ran dry.
+        what: String,
+    },
+    /// A hard input limit (see [`crate::Limits`]) was exceeded — the
+    /// parser refuses to allocate further rather than risk OOM.
+    LimitExceeded {
+        /// Format name.
+        format: &'static str,
+        /// 1-based line number when known (0 for binary formats).
+        line: usize,
+        /// The limit that tripped (e.g. "line length", "sample count").
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// The same sample identifier appeared twice in one input.
+    DuplicateSample {
+        /// Format name.
+        format: &'static str,
+        /// 1-based line number when known.
+        line: usize,
+        /// The offending sample name.
+        name: String,
+    },
     /// The parsed data was structurally inconsistent (e.g. ragged rows).
     Structure(ld_bitmat::BitMatError),
 }
@@ -26,6 +54,27 @@ impl IoError {
             format,
             line,
             message: message.into(),
+        }
+    }
+
+    pub(crate) fn truncated(format: &'static str, what: impl Into<String>) -> Self {
+        IoError::Truncated {
+            format,
+            what: what.into(),
+        }
+    }
+
+    pub(crate) fn limit(
+        format: &'static str,
+        line: usize,
+        what: &'static str,
+        limit: usize,
+    ) -> Self {
+        IoError::LimitExceeded {
+            format,
+            line,
+            what,
+            limit,
         }
     }
 }
@@ -45,6 +94,31 @@ impl fmt::Display for IoError {
                     write!(f, "{format} parse error: {message}")
                 }
             }
+            IoError::Truncated { format, what } => {
+                write!(f, "{format} input truncated: {what}")
+            }
+            IoError::LimitExceeded {
+                format,
+                line,
+                what,
+                limit,
+            } => {
+                if *line > 0 {
+                    write!(
+                        f,
+                        "{format} input exceeds {what} limit ({limit}) at line {line}"
+                    )
+                } else {
+                    write!(f, "{format} input exceeds {what} limit ({limit})")
+                }
+            }
+            IoError::DuplicateSample { format, line, name } => {
+                if *line > 0 {
+                    write!(f, "{format} duplicate sample '{name}' at line {line}")
+                } else {
+                    write!(f, "{format} duplicate sample '{name}'")
+                }
+            }
             IoError::Structure(e) => write!(f, "inconsistent data: {e}"),
         }
     }
@@ -55,7 +129,10 @@ impl std::error::Error for IoError {
         match self {
             IoError::Io(e) => Some(e),
             IoError::Structure(e) => Some(e),
-            IoError::Parse { .. } => None,
+            IoError::Parse { .. }
+            | IoError::Truncated { .. }
+            | IoError::LimitExceeded { .. }
+            | IoError::DuplicateSample { .. } => None,
         }
     }
 }

@@ -9,7 +9,8 @@
 //! * a biallelic 0/1 [`BitMatrix`] (minor allele = derived) with the
 //!   monomorphic and >2-state sites dropped — the ISM pipeline's input.
 
-use crate::IoError;
+use crate::limits::LineReader;
+use crate::{IoError, Limits};
 use ld_bitmat::{BitMatrix, BitMatrixBuilder};
 use std::io::{BufRead, Write};
 
@@ -22,16 +23,33 @@ pub struct FastaRecord {
     pub seq: String,
 }
 
-/// Parses FASTA records (multi-line sequences supported).
+/// Parses FASTA records (multi-line sequences supported) with default
+/// [`Limits`].
 pub fn read_fasta<R: BufRead>(r: R) -> Result<Vec<FastaRecord>, IoError> {
+    read_fasta_with(r, &Limits::default())
+}
+
+/// Parses FASTA records under caller-supplied hard [`Limits`]: the record
+/// count is capped by `max_samples` and each sequence's length by
+/// `max_sites` (alignment columns), so a hostile stream cannot grow a
+/// single `String` without bound.
+pub fn read_fasta_with<R: BufRead>(r: R, limits: &Limits) -> Result<Vec<FastaRecord>, IoError> {
     let mut out: Vec<FastaRecord> = Vec::new();
-    for (no, line) in r.lines().enumerate() {
-        let line = line?;
+    let mut lines = LineReader::new(r, "fasta", limits);
+    while let Some((no, line)) = lines.next_line()? {
         let t = line.trim();
         if t.is_empty() || t.starts_with(';') {
             continue;
         }
         if let Some(id) = t.strip_prefix('>') {
+            if out.len() >= limits.max_samples {
+                return Err(IoError::limit(
+                    "fasta",
+                    no,
+                    "sample count",
+                    limits.max_samples,
+                ));
+            }
             out.push(FastaRecord {
                 id: id.trim().to_string(),
                 seq: String::new(),
@@ -40,10 +58,13 @@ pub fn read_fasta<R: BufRead>(r: R) -> Result<Vec<FastaRecord>, IoError> {
             let Some(cur) = out.last_mut() else {
                 return Err(IoError::parse(
                     "fasta",
-                    no + 1,
+                    no,
                     "sequence data before any '>' header",
                 ));
             };
+            if cur.seq.len() + t.len() > limits.max_sites {
+                return Err(IoError::limit("fasta", no, "site count", limits.max_sites));
+            }
             cur.seq.push_str(&t.to_ascii_uppercase());
         }
     }
@@ -174,9 +195,13 @@ impl Alignment {
             } else {
                 states[1].0
             };
-            b.push_snp_bits(col.iter().map(|&c| c == minor))
-                .expect("fixed length");
-            kept.push(j);
+            match b.push_snp_bits(col.iter().map(|&c| c == minor)) {
+                // `col` always has exactly `n` entries, so the builder
+                // cannot reject it; keep the arm explicit rather than
+                // unwrapping so the invariant is visible.
+                Ok(()) => kept.push(j),
+                Err(e) => unreachable!("column length equals sample count: {e}"),
+            }
         }
         (b.finish(), kept)
     }

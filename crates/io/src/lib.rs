@@ -16,6 +16,15 @@
 //!
 //! All readers take `io::Read`/`io::BufRead`, writers take `io::Write`;
 //! path helpers wrap them with buffered files.
+//!
+//! ## Hardened against bad input
+//!
+//! Every text parser enforces hard input limits ([`Limits`]: line length,
+//! site count, sample count) through a byte-capped line reader, detects
+//! duplicate sample identifiers, and reports binary short-reads as typed
+//! truncation errors — malformed or hostile inputs fail with a located
+//! [`IoError`], never an OOM or panic. The `read_*_with` variants accept
+//! caller-tuned limits; the plain `read_*` forms use permissive defaults.
 
 #![warn(missing_docs)]
 
@@ -23,9 +32,11 @@ pub mod bed;
 mod error;
 pub mod fasta;
 pub mod ldmatrix;
+mod limits;
 pub mod ms;
 pub mod ped;
 pub mod text;
 pub mod vcf;
 
 pub use error::IoError;
+pub use limits::Limits;

@@ -1,0 +1,182 @@
+//! Hard input limits and the byte-capped line reader.
+//!
+//! Production batch scans feed these parsers untrusted files. Without
+//! caps, a crafted (or merely corrupt) input can make `lines()` buffer a
+//! gigabyte-long "line", or declare enough sites/samples to OOM the
+//! process before a single genotype is validated. Every text parser in
+//! this crate therefore runs behind a [`Limits`] policy (a permissive
+//! default via `read_*`, caller-tuned via the `read_*_with` variants) and
+//! reads lines through [`LineReader`], which refuses to buffer past the
+//! configured byte cap — failures surface as located
+//! [`IoError::LimitExceeded`] values, never as unbounded allocation.
+
+use crate::IoError;
+use std::io::BufRead;
+
+/// Hard ceilings applied while parsing untrusted inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest accepted text line, in bytes (newline excluded).
+    pub max_line_bytes: usize,
+    /// Maximum number of SNPs/sites a single input may declare or contain.
+    pub max_sites: usize,
+    /// Maximum number of samples/haplotypes/individuals.
+    pub max_samples: usize,
+}
+
+impl Default for Limits {
+    /// Permissive production defaults: 64 MiB lines (a 10M-sample VCF row
+    /// fits), 100M sites, 16M samples — far above any real dataset, low
+    /// enough to stop a runaway allocation long before the OOM killer.
+    fn default() -> Self {
+        Self {
+            max_line_bytes: 64 << 20,
+            max_sites: 100_000_000,
+            max_samples: 16_000_000,
+        }
+    }
+}
+
+impl Limits {
+    /// Replaces the line-length cap.
+    pub fn max_line_bytes(mut self, n: usize) -> Self {
+        self.max_line_bytes = n;
+        self
+    }
+
+    /// Replaces the site-count cap.
+    pub fn max_sites(mut self, n: usize) -> Self {
+        self.max_sites = n;
+        self
+    }
+
+    /// Replaces the sample-count cap.
+    pub fn max_samples(mut self, n: usize) -> Self {
+        self.max_samples = n;
+        self
+    }
+}
+
+/// A line reader that never buffers more than the configured cap.
+///
+/// `BufRead::lines()` happily grows its `String` until the allocator
+/// gives out; this reader pulls at most `max_line_bytes + 1` bytes per
+/// line and converts an over-long line into a located
+/// [`IoError::LimitExceeded`] instead.
+pub(crate) struct LineReader<R> {
+    inner: R,
+    format: &'static str,
+    max_line_bytes: usize,
+    /// 1-based number of the last line returned.
+    line_no: usize,
+    buf: Vec<u8>,
+}
+
+impl<R: BufRead> LineReader<R> {
+    pub(crate) fn new(inner: R, format: &'static str, limits: &Limits) -> Self {
+        Self {
+            inner,
+            format,
+            max_line_bytes: limits.max_line_bytes,
+            line_no: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Returns the next line as `(1-based line number, contents)` with the
+    /// trailing `\n`/`\r\n` stripped, `None` at EOF.
+    pub(crate) fn next_line(&mut self) -> Result<Option<(usize, &str)>, IoError> {
+        self.buf.clear();
+        // Read through a Take so a missing newline cannot buffer the whole
+        // stream: one extra byte past the cap is enough to detect overrun.
+        let cap = self.max_line_bytes as u64 + 1;
+        let n = <&mut R as std::io::Read>::take(&mut self.inner, cap)
+            .read_until(b'\n', &mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        self.line_no += 1;
+        let mut end = self.buf.len();
+        if self.buf.ends_with(b"\n") {
+            end -= 1;
+            if self.buf[..end].ends_with(b"\r") {
+                end -= 1;
+            }
+        }
+        if end > self.max_line_bytes {
+            return Err(IoError::limit(
+                self.format,
+                self.line_no,
+                "line length",
+                self.max_line_bytes,
+            ));
+        }
+        let s = std::str::from_utf8(&self.buf[..end])
+            .map_err(|_| IoError::parse(self.format, self.line_no, "line is not valid UTF-8"))?;
+        Ok(Some((self.line_no, s)))
+    }
+
+    /// Like [`LineReader::next_line`] but returns an owned `String`
+    /// (needed when the caller must hold the line across further reads).
+    pub(crate) fn next_line_owned(&mut self) -> Result<Option<(usize, String)>, IoError> {
+        Ok(self.next_line()?.map(|(no, s)| (no, s.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(s: &str, cap: usize) -> LineReader<&[u8]> {
+        let limits = Limits::default().max_line_bytes(cap);
+        LineReader::new(s.as_bytes(), "test", &limits)
+    }
+
+    #[test]
+    fn splits_lines_with_numbers() {
+        let mut r = reader("a\nbb\r\nccc", 100);
+        assert_eq!(r.next_line().unwrap(), Some((1, "a")));
+        assert_eq!(r.next_line().unwrap(), Some((2, "bb")));
+        assert_eq!(r.next_line().unwrap(), Some((3, "ccc")));
+        assert_eq!(r.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn exact_cap_passes_over_cap_fails() {
+        let mut r = reader("abcde\n", 5);
+        assert_eq!(r.next_line().unwrap(), Some((1, "abcde")));
+        let mut r = reader("abcdef\n", 5);
+        let err = r.next_line().unwrap_err();
+        assert!(
+            matches!(err, IoError::LimitExceeded { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unterminated_long_line_does_not_buffer_everything() {
+        // 1 MiB of 'x' with a tiny cap: must fail fast, not buffer 1 MiB
+        let big = "x".repeat(1 << 20);
+        let mut r = reader(&big, 64);
+        assert!(r.next_line().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        let limits = Limits::default();
+        let bytes: &[u8] = &[0x66, 0xff, 0xfe, 0x0a];
+        let mut r = LineReader::new(bytes, "test", &limits);
+        assert!(matches!(r.next_line(), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let l = Limits::default()
+            .max_line_bytes(10)
+            .max_sites(20)
+            .max_samples(30);
+        assert_eq!(l.max_line_bytes, 10);
+        assert_eq!(l.max_sites, 20);
+        assert_eq!(l.max_samples, 30);
+    }
+}

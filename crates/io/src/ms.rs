@@ -20,7 +20,8 @@
 //! the transpose-free orientation of the paper's genomic matrix `G` once
 //! packed SNP-major.
 
-use crate::IoError;
+use crate::limits::LineReader;
+use crate::{IoError, Limits};
 use ld_bitmat::BitMatrix;
 use std::io::{BufRead, Write};
 
@@ -33,10 +34,18 @@ pub struct MsReplicate {
     pub matrix: BitMatrix,
 }
 
-/// Parses every replicate of an `ms` stream.
+/// Parses every replicate of an `ms` stream with default [`Limits`].
 pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
+    read_ms_with(reader, &Limits::default())
+}
+
+/// Parses every replicate under caller-supplied hard [`Limits`]: the
+/// declared `segsites` count, the haplotype-row count and the line length
+/// are capped, so a corrupt header cannot trigger an unbounded
+/// allocation.
+pub fn read_ms_with<R: BufRead>(reader: R, limits: &Limits) -> Result<Vec<MsReplicate>, IoError> {
     let mut replicates = Vec::new();
-    let mut lines = reader.lines().enumerate();
+    let mut lines = LineReader::new(reader, "ms", limits);
     // Scan to each `//` marker, then parse one block.
     let mut pending: Option<(usize, String)> = None;
     loop {
@@ -44,8 +53,7 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
             Some(l) => Some(l),
             None => {
                 let mut found = None;
-                for (no, line) in lines.by_ref() {
-                    let line = line?;
+                while let Some((no, line)) = lines.next_line_owned()? {
                     if line.trim_start().starts_with("//") {
                         found = Some((no, line));
                         break;
@@ -59,9 +67,9 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
         }
 
         // segsites line
-        let (segsites, seg_line_no) = loop {
-            let Some((no, line)) = next_line(&mut lines)? else {
-                return Err(IoError::parse("ms", 0, "unexpected EOF before 'segsites:'"));
+        let segsites = loop {
+            let Some((no, line)) = lines.next_line_owned()? else {
+                return Err(IoError::truncated("ms", "EOF before 'segsites:'"));
             };
             let t = line.trim();
             if t.is_empty() {
@@ -70,15 +78,18 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
             let Some(rest) = t.strip_prefix("segsites:") else {
                 return Err(IoError::parse(
                     "ms",
-                    no + 1,
+                    no,
                     format!("expected 'segsites:', got '{t}'"),
                 ));
             };
             let n: usize = rest
                 .trim()
                 .parse()
-                .map_err(|_| IoError::parse("ms", no + 1, "invalid segsites count"))?;
-            break (n, no);
+                .map_err(|_| IoError::parse("ms", no, "invalid segsites count"))?;
+            if n > limits.max_sites {
+                return Err(IoError::limit("ms", no, "site count", limits.max_sites));
+            }
+            break n;
         };
 
         if segsites == 0 {
@@ -91,36 +102,31 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
 
         // positions line
         let positions = loop {
-            let Some((no, line)) = next_line(&mut lines)? else {
-                return Err(IoError::parse(
-                    "ms",
-                    0,
-                    "unexpected EOF before 'positions:'",
-                ));
+            let Some((no, line)) = lines.next_line_owned()? else {
+                return Err(IoError::truncated("ms", "EOF before 'positions:'"));
             };
             let t = line.trim();
             if t.is_empty() {
                 continue;
             }
             let Some(rest) = t.strip_prefix("positions:") else {
-                return Err(IoError::parse("ms", no + 1, "expected 'positions:'"));
+                return Err(IoError::parse("ms", no, "expected 'positions:'"));
             };
             let pos: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse::<f64>).collect();
-            let pos = pos.map_err(|_| IoError::parse("ms", no + 1, "invalid position"))?;
+            let pos = pos.map_err(|_| IoError::parse("ms", no, "invalid position"))?;
             if pos.len() != segsites {
                 return Err(IoError::parse(
                     "ms",
-                    no + 1,
+                    no,
                     format!("{} positions for {} segsites", pos.len(), segsites),
                 ));
             }
             break pos;
         };
-        let _ = seg_line_no;
 
         // haplotype rows until blank line, next `//`, or EOF
         let mut rows: Vec<Vec<u8>> = Vec::new();
-        while let Some((no, line)) = next_line(&mut lines)? {
+        while let Some((no, line)) = lines.next_line_owned()? {
             let t = line.trim();
             if t.is_empty() {
                 break;
@@ -129,10 +135,13 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
                 pending = Some((no, line));
                 break;
             }
+            if rows.len() >= limits.max_samples {
+                return Err(IoError::limit("ms", no, "sample count", limits.max_samples));
+            }
             if t.len() != segsites {
                 return Err(IoError::parse(
                     "ms",
-                    no + 1,
+                    no,
                     format!("haplotype row has {} chars, expected {}", t.len(), segsites),
                 ));
             }
@@ -143,7 +152,7 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
                     '1' => Ok(1u8),
                     other => Err(IoError::parse(
                         "ms",
-                        no + 1,
+                        no,
                         format!("invalid allele char '{other}'"),
                     )),
                 })
@@ -151,22 +160,12 @@ pub fn read_ms<R: BufRead>(reader: R) -> Result<Vec<MsReplicate>, IoError> {
             rows.push(row?);
         }
         if rows.is_empty() {
-            return Err(IoError::parse("ms", 0, "replicate with no haplotype rows"));
+            return Err(IoError::truncated("ms", "replicate with no haplotype rows"));
         }
         let matrix = BitMatrix::from_rows(rows.len(), segsites, rows.iter())?;
         replicates.push(MsReplicate { positions, matrix });
     }
     Ok(replicates)
-}
-
-fn next_line<I>(lines: &mut I) -> Result<Option<(usize, String)>, IoError>
-where
-    I: Iterator<Item = (usize, std::io::Result<String>)>,
-{
-    match lines.next() {
-        None => Ok(None),
-        Some((no, r)) => Ok(Some((no, r?))),
-    }
 }
 
 /// Parses only the first replicate (the common case for LD pipelines).

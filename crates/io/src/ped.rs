@@ -8,8 +8,10 @@
 //! variant's first-seen allele to A1.
 
 use crate::bed::BimRecord;
-use crate::IoError;
+use crate::limits::LineReader;
+use crate::{IoError, Limits};
 use ld_bitmat::{Genotype, GenotypeMatrix};
+use std::collections::HashSet;
 use std::io::{BufRead, Write};
 
 /// One `.ped` row's metadata (the first six columns).
@@ -41,20 +43,30 @@ pub struct PedData {
     pub alleles: Vec<(char, char)>,
 }
 
-/// Reads a `.map` file (same column layout as `.bim` minus the alleles).
+/// Reads a `.map` file (same column layout as `.bim` minus the alleles)
+/// with default [`Limits`].
 pub fn read_map<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
+    read_map_with(r, &Limits::default())
+}
+
+/// Reads a `.map` file under caller-supplied hard [`Limits`] (variant
+/// count capped by `max_sites`).
+pub fn read_map_with<R: BufRead>(r: R, limits: &Limits) -> Result<Vec<BimRecord>, IoError> {
     let mut out = Vec::new();
-    for (no, line) in r.lines().enumerate() {
-        let line = line?;
+    let mut lines = LineReader::new(r, "map", limits);
+    while let Some((no, line)) = lines.next_line()? {
         let t = line.trim();
         if t.is_empty() {
             continue;
+        }
+        if out.len() >= limits.max_sites {
+            return Err(IoError::limit("map", no, "site count", limits.max_sites));
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 4 {
             return Err(IoError::parse(
                 "map",
-                no + 1,
+                no,
                 format!("{} columns (expected 4)", f.len()),
             ));
         }
@@ -63,10 +75,10 @@ pub fn read_map<R: BufRead>(r: R) -> Result<Vec<BimRecord>, IoError> {
             id: f[1].to_string(),
             cm: f[2]
                 .parse()
-                .map_err(|_| IoError::parse("map", no + 1, "invalid cM"))?,
+                .map_err(|_| IoError::parse("map", no, "invalid cM"))?,
             pos: f[3]
                 .parse()
-                .map_err(|_| IoError::parse("map", no + 1, "invalid position"))?,
+                .map_err(|_| IoError::parse("map", no, "invalid position"))?,
             a1: "?".into(),
             a2: "?".into(),
         });
@@ -82,21 +94,42 @@ pub fn write_map<W: Write>(mut w: W, records: &[BimRecord]) -> Result<(), IoErro
     Ok(())
 }
 
-/// Reads a `.ped` stream with `n_snps` variants per row.
+/// Reads a `.ped` stream with `n_snps` variants per row, under default
+/// [`Limits`].
 pub fn read_ped<R: BufRead>(r: R, n_snps: usize) -> Result<PedData, IoError> {
-    let mut individuals = Vec::new();
+    read_ped_with(r, n_snps, &Limits::default())
+}
+
+/// Reads a `.ped` stream under caller-supplied hard [`Limits`]: the
+/// declared variant count and the individual-row count are capped, and a
+/// repeated `(FID, IID)` pair is reported as a located
+/// [`IoError::DuplicateSample`].
+pub fn read_ped_with<R: BufRead>(r: R, n_snps: usize, limits: &Limits) -> Result<PedData, IoError> {
+    if n_snps > limits.max_sites {
+        return Err(IoError::limit("ped", 0, "site count", limits.max_sites));
+    }
+    let mut individuals: Vec<PedIndividual> = Vec::new();
     let mut geno_rows: Vec<Vec<(char, char)>> = Vec::new();
-    for (no, line) in r.lines().enumerate() {
-        let line = line?;
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let mut lines = LineReader::new(r, "ped", limits);
+    while let Some((no, line)) = lines.next_line()? {
         let t = line.trim();
         if t.is_empty() {
             continue;
+        }
+        if individuals.len() >= limits.max_samples {
+            return Err(IoError::limit(
+                "ped",
+                no,
+                "sample count",
+                limits.max_samples,
+            ));
         }
         let f: Vec<&str> = t.split_whitespace().collect();
         if f.len() != 6 + 2 * n_snps {
             return Err(IoError::parse(
                 "ped",
-                no + 1,
+                no,
                 format!(
                     "{} columns (expected {} for {} variants)",
                     f.len(),
@@ -104,6 +137,13 @@ pub fn read_ped<R: BufRead>(r: R, n_snps: usize) -> Result<PedData, IoError> {
                     n_snps
                 ),
             ));
+        }
+        if !seen.insert((f[0].to_string(), f[1].to_string())) {
+            return Err(IoError::DuplicateSample {
+                format: "ped",
+                line: no,
+                name: format!("{} {}", f[0], f[1]),
+            });
         }
         individuals.push(PedIndividual {
             fid: f[0].into(),
@@ -170,11 +210,7 @@ fn parse_allele(s: &str, line: usize) -> Result<char, IoError> {
         (Some(c), None) if matches!(c, 'A' | 'C' | 'G' | 'T' | 'a' | 'c' | 'g' | 't' | '0') => {
             Ok(c.to_ascii_uppercase())
         }
-        _ => Err(IoError::parse(
-            "ped",
-            line + 1,
-            format!("invalid allele '{s}'"),
-        )),
+        _ => Err(IoError::parse("ped", line, format!("invalid allele '{s}'"))),
     }
 }
 
@@ -259,6 +295,30 @@ mod tests {
         assert!(read_ped("F0 I0 0 0 1 -9 A X\n".as_bytes(), 1).is_err()); // bad allele
         let tri = "F0 I0 0 0 1 -9 A A\nF1 I1 0 0 1 -9 C C\nF2 I2 0 0 1 -9 G G\n";
         assert!(read_ped(tri.as_bytes(), 1).is_err()); // three alleles
+    }
+
+    #[test]
+    fn rejects_duplicate_individuals() {
+        let dup = "F0 I0 0 0 1 -9 A A\nF0 I0 0 0 1 -9 A C\n";
+        let err = read_ped(dup.as_bytes(), 1).unwrap_err();
+        assert!(
+            matches!(err, IoError::DuplicateSample { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let limits = Limits::default().max_samples(2);
+        let err = read_ped_with(PED.as_bytes(), 2, &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+        let limits = Limits::default().max_sites(1);
+        let err = read_ped_with(PED.as_bytes(), 2, &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+        let limits = Limits::default().max_sites(3);
+        let err =
+            read_map_with("1 a 0 1\n1 b 0 2\n1 c 0 3\n1 d 0 4\n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Plain-text matrices and PLINK-style `--r2` pair tables.
 
-use crate::IoError;
+use crate::limits::LineReader;
+use crate::{IoError, Limits};
 use ld_bitmat::BitMatrix;
 use ld_core::LdMatrix;
 use std::io::{BufRead, Write};
@@ -18,15 +19,30 @@ pub fn write_matrix<W: Write>(mut w: W, g: &BitMatrix) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Reads a 0/1 text matrix (rows = samples).
+/// Reads a 0/1 text matrix (rows = samples) with default [`Limits`].
 pub fn read_matrix<R: BufRead>(r: R) -> Result<BitMatrix, IoError> {
+    read_matrix_with(r, &Limits::default())
+}
+
+/// Reads a 0/1 text matrix under caller-supplied hard [`Limits`]: row
+/// width (site count), row count (sample count) and line length are all
+/// capped, so a hostile stream cannot force an unbounded allocation.
+pub fn read_matrix_with<R: BufRead>(r: R, limits: &Limits) -> Result<BitMatrix, IoError> {
     let mut rows: Vec<Vec<u8>> = Vec::new();
     let mut width: Option<usize> = None;
-    for (no, line) in r.lines().enumerate() {
-        let line = line?;
+    let mut lines = LineReader::new(r, "matrix", limits);
+    while let Some((no, line)) = lines.next_line()? {
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') {
             continue;
+        }
+        if rows.len() >= limits.max_samples {
+            return Err(IoError::limit(
+                "matrix",
+                no,
+                "sample count",
+                limits.max_samples,
+            ));
         }
         let row: Result<Vec<u8>, IoError> = t
             .chars()
@@ -36,17 +52,20 @@ pub fn read_matrix<R: BufRead>(r: R) -> Result<BitMatrix, IoError> {
                 '1' => Ok(1u8),
                 other => Err(IoError::parse(
                     "matrix",
-                    no + 1,
+                    no,
                     format!("invalid char '{other}'"),
                 )),
             })
             .collect();
         let row = row?;
+        if row.len() > limits.max_sites {
+            return Err(IoError::limit("matrix", no, "site count", limits.max_sites));
+        }
         if let Some(wdt) = width {
             if row.len() != wdt {
                 return Err(IoError::parse(
                     "matrix",
-                    no + 1,
+                    no,
                     format!("row width {} != {}", row.len(), wdt),
                 ));
             }
@@ -158,6 +177,22 @@ mod tests {
         assert_eq!(rows[0].snp_a, 0);
         assert_eq!(rows[0].snp_b, 1);
         assert!((rows[0].r2 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_enforces_limits() {
+        let limits = Limits::default().max_samples(2);
+        let s = "10\n01\n11\n";
+        let err = read_matrix_with(s.as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+
+        let limits = Limits::default().max_sites(2);
+        let err = read_matrix_with("101\n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+
+        let limits = Limits::default().max_line_bytes(4);
+        let err = read_matrix_with("10101\n".as_bytes(), &limits).unwrap_err();
+        assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
     }
 
     #[test]

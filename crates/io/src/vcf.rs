@@ -8,8 +8,10 @@
 //! (`.`) are reported in a parallel validity mask for the §VII gap-aware
 //! extension.
 
-use crate::IoError;
+use crate::limits::LineReader;
+use crate::{IoError, Limits};
 use ld_bitmat::{BitMatrix, BitMatrixBuilder, ValidityMask};
+use std::collections::HashSet;
 use std::io::{BufRead, Write};
 
 /// Metadata for one VCF record (the columns LD output cares about).
@@ -42,14 +44,24 @@ pub struct VcfData {
     pub sites: Vec<VcfSite>,
 }
 
-/// Parses a VCF stream.
+/// Parses a VCF stream with default [`Limits`].
 pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfData, IoError> {
+    read_vcf_with(reader, &Limits::default())
+}
+
+/// Parses a VCF stream under caller-supplied hard [`Limits`]: line length,
+/// sample count and site count are capped (typed
+/// [`IoError::LimitExceeded`]) and duplicate sample names are rejected
+/// ([`IoError::DuplicateSample`]) — a hostile or corrupt stream fails
+/// with a located error instead of exhausting memory.
+pub fn read_vcf_with<R: BufRead>(reader: R, limits: &Limits) -> Result<VcfData, IoError> {
     let mut samples: Option<Vec<String>> = None;
     let mut ploidy = 0usize;
     let mut sites = Vec::new();
     let mut columns: Vec<Vec<u8>> = Vec::new(); // allele per haplotype, 2 = missing
-    for (no, line) in reader.lines().enumerate() {
-        let line = line?;
+    let mut lines = LineReader::new(reader, "vcf", limits);
+    while let Some((no, line)) = lines.next_line_owned()? {
+        let no = no - 1; // historical 0-based convention below
         let t = line.trim_end();
         if t.is_empty() || t.starts_with("##") {
             continue;
@@ -60,7 +72,26 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfData, IoError> {
                 return Err(IoError::parse("vcf", no + 1, "header too short"));
             }
             // fields: POS ID REF ALT QUAL FILTER INFO [FORMAT sample...]
-            samples = Some(fields.iter().skip(8).map(|s| s.to_string()).collect());
+            let names: Vec<String> = fields.iter().skip(8).map(|s| s.to_string()).collect();
+            if names.len() > limits.max_samples {
+                return Err(IoError::limit(
+                    "vcf",
+                    no + 1,
+                    "sample count",
+                    limits.max_samples,
+                ));
+            }
+            let mut seen = HashSet::with_capacity(names.len());
+            for name in &names {
+                if !seen.insert(name.as_str()) {
+                    return Err(IoError::DuplicateSample {
+                        format: "vcf",
+                        line: no + 1,
+                        name: name.clone(),
+                    });
+                }
+            }
+            samples = Some(names);
             continue;
         }
         if t.starts_with('#') {
@@ -69,6 +100,14 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfData, IoError> {
         let Some(sample_names) = &samples else {
             return Err(IoError::parse("vcf", no + 1, "record before #CHROM header"));
         };
+        if sites.len() >= limits.max_sites {
+            return Err(IoError::limit(
+                "vcf",
+                no + 1,
+                "site count",
+                limits.max_sites,
+            ));
+        }
         let fields: Vec<&str> = t.split('\t').collect();
         if fields.len() < 10 {
             return Err(IoError::parse(

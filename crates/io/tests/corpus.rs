@@ -1,0 +1,184 @@
+//! Malformed-input corpus: every fixture under `tests/corpus/` must fail
+//! with a typed, non-empty [`IoError`] — never a panic, abort, or OOM.
+//!
+//! The corpus covers truncation, ragged shapes, bad characters, limit
+//! violations, duplicate samples and binary short-reads across every
+//! format this crate parses. Two adapters additionally exercise the
+//! parsers against streams that fail mid-read and streams that deliver
+//! one byte at a time (a `BufReader` over a hostile transport).
+
+use ld_io::{bed, ms, ped, text, vcf, IoError, Limits};
+use std::io::{BufReader, Read};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Parses one fixture by extension; returns the parse outcome.
+fn parse_fixture(path: &std::path::Path) -> Result<(), IoError> {
+    let bytes = std::fs::read(path).expect("fixture readable");
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .expect("fixture has extension");
+    match ext {
+        "ms" => ms::read_ms(bytes.as_slice()).map(|_| ()),
+        "vcf" => vcf::read_vcf(bytes.as_slice()).map(|_| ()),
+        "txt" => text::read_matrix(bytes.as_slice()).map(|_| ()),
+        "bed" => bed::read_bed(bytes.as_slice(), 5, 2).map(|_| ()),
+        "fam" => bed::read_fam(bytes.as_slice()).map(|_| ()),
+        "map" => ped::read_map(bytes.as_slice()).map(|_| ()),
+        other => panic!("unhandled fixture extension '{other}'"),
+    }
+}
+
+#[test]
+fn every_corpus_fixture_fails_with_a_located_error() {
+    let dir = corpus_dir();
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let err = match parse_fixture(&path) {
+            Err(e) => e,
+            Ok(()) => panic!("{} parsed cleanly but is malformed", path.display()),
+        };
+        let msg = err.to_string();
+        assert!(!msg.is_empty(), "{}: empty error message", path.display());
+        checked += 1;
+    }
+    assert!(checked >= 15, "corpus shrank: only {checked} fixtures");
+}
+
+#[test]
+fn corpus_errors_carry_the_expected_variants() {
+    let dir = corpus_dir();
+    let case = |name: &str| parse_fixture(&dir.join(name)).unwrap_err();
+
+    assert!(matches!(
+        case("huge_segsites.ms"),
+        IoError::LimitExceeded { .. }
+    ));
+    assert!(matches!(
+        case("missing_positions.ms"),
+        IoError::Truncated { .. }
+    ));
+    assert!(matches!(case("no_rows.ms"), IoError::Truncated { .. }));
+    assert!(matches!(case("bad_segsites.ms"), IoError::Parse { .. }));
+    assert!(matches!(
+        case("dup_sample.vcf"),
+        IoError::DuplicateSample { .. }
+    ));
+    assert!(matches!(
+        case("dup_individual.fam"),
+        IoError::DuplicateSample { .. }
+    ));
+    assert!(matches!(case("truncated.bed"), IoError::Truncated { .. }));
+    assert!(matches!(case("bad_magic.bed"), IoError::Parse { .. }));
+    assert!(matches!(case("ragged.txt"), IoError::Parse { .. }));
+}
+
+// ---------------------------------------------------------------------
+// Hostile stream adapters
+// ---------------------------------------------------------------------
+
+/// Delivers `ok` bytes, then fails every read with an I/O error.
+struct FailingReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    ok: usize,
+}
+
+impl Read for FailingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.ok {
+            return Err(std::io::Error::other("injected transport failure"));
+        }
+        let n = buf
+            .len()
+            .min(self.ok - self.pos)
+            .min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Delivers at most one byte per `read` call (extreme short reads).
+struct OneByteReader<'a>(&'a [u8]);
+
+impl Read for OneByteReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.0.is_empty() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.0[0];
+        self.0 = &self.0[1..];
+        Ok(1)
+    }
+}
+
+const GOOD_MS: &str = "//\nsegsites: 3\npositions: 0.1 0.2 0.3\n010\n110\n001\n000\n";
+
+#[test]
+fn mid_stream_transport_failure_surfaces_as_io_error() {
+    for ok in [0, 1, 5, 20] {
+        let r = BufReader::new(FailingReader {
+            data: GOOD_MS.as_bytes(),
+            pos: 0,
+            ok,
+        });
+        let err = ms::read_ms(r).expect_err("stream fails mid-parse");
+        assert!(
+            matches!(err, IoError::Io(_)),
+            "ok={ok}: expected Io, got {err}"
+        );
+    }
+}
+
+#[test]
+fn one_byte_reads_still_parse_correctly() {
+    let r = BufReader::new(OneByteReader(GOOD_MS.as_bytes()));
+    let reps = ms::read_ms(r).expect("short reads are not errors");
+    assert_eq!(reps.len(), 1);
+    assert_eq!(reps[0].matrix.n_samples(), 4);
+    assert_eq!(reps[0].matrix.n_snps(), 3);
+}
+
+#[test]
+fn truncated_prefixes_of_a_valid_bed_never_panic() {
+    // 3-byte magic + 2 variants × 2 bytes = 7 bytes total
+    let full: &[u8] = &[
+        0x6c,
+        0x1b,
+        0x01,
+        0b1101_1000,
+        0b0000_0010,
+        0b0111_0011,
+        0b0000_0001,
+    ];
+    assert!(bed::read_bed(full, 5, 2).is_ok());
+    for cut in 0..full.len() {
+        let err = bed::read_bed(&full[..cut], 5, 2).expect_err("prefix is short");
+        assert!(matches!(err, IoError::Truncated { .. }), "cut={cut}: {err}");
+    }
+}
+
+#[test]
+fn tightened_limits_reject_otherwise_valid_input() {
+    let limits = Limits::default().max_sites(2);
+    let err = ms::read_ms_with(GOOD_MS.as_bytes(), &limits).unwrap_err();
+    assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+
+    let limits = Limits::default().max_samples(3);
+    let err = ms::read_ms_with(GOOD_MS.as_bytes(), &limits).unwrap_err();
+    assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+
+    let limits = Limits::default().max_line_bytes(8);
+    let err = ms::read_ms_with(GOOD_MS.as_bytes(), &limits).unwrap_err();
+    assert!(matches!(err, IoError::LimitExceeded { .. }), "{err}");
+}

@@ -19,17 +19,32 @@
 //!
 //! Everything here guarantees data-race freedom through the type system:
 //! scoped threads borrow, the pool owns.
+//!
+//! ## Panic containment
+//!
+//! Every primitive has a `try_` variant ([`try_run_team`],
+//! [`try_parallel_for`], [`try_parallel_for_dynamic`],
+//! [`try_parallel_for_dynamic_init`], [`ThreadPool::try_wait`]) that wraps
+//! worker closures in `catch_unwind` and surfaces the first worker panic as
+//! a typed [`WorkerPanic`] instead of unwinding the caller. Remaining
+//! workers drain via a shared cancellation flag, so the fork-join always
+//! completes — a single bad row in a long batch scan aborts the region, not
+//! the process. The infallible entry points keep their historical behavior
+//! (the panic is re-raised on the calling thread).
 
 #![warn(missing_docs)]
 
+mod panic;
 pub mod partition;
 mod pool;
 mod team;
 
+pub use panic::WorkerPanic;
 pub use partition::{
     even_ranges, triangle_ranges, triangle_row_ranges, triangle_row_weight, triangle_weight,
 };
 pub use pool::ThreadPool;
 pub use team::{
     available_threads, parallel_for, parallel_for_dynamic, parallel_for_dynamic_init, run_team,
+    try_parallel_for, try_parallel_for_dynamic, try_parallel_for_dynamic_init, try_run_team,
 };

@@ -9,10 +9,21 @@
 //! Built on `std` only (a `Mutex<VecDeque>` + two `Condvar`s): the offline
 //! build environment has no `crossbeam`, and an MPMC job queue at this
 //! coarse granularity gains nothing from lock-free machinery.
+//!
+//! ## Panic containment
+//!
+//! A panicking job is caught with [`std::panic::catch_unwind`] inside the
+//! worker loop, so it can never wedge the queue: `pending` is decremented
+//! whether the job returns or unwinds, `wait` always makes progress, and
+//! the worker thread survives to run the next job. Captured panics are
+//! recorded (payload message preserved) and retrievable via
+//! [`ThreadPool::take_panics`].
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use crate::panic::{lock_ignore_poison, payload_message, WorkerPanic};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -29,6 +40,8 @@ struct State {
     /// Queued + currently-executing jobs.
     pending: usize,
     shutdown: bool,
+    /// Panics captured from jobs since the last [`ThreadPool::take_panics`].
+    panics: Vec<WorkerPanic>,
 }
 
 /// A fixed-size pool of worker threads consuming jobs from a shared queue.
@@ -47,6 +60,20 @@ struct State {
 /// pool.wait();
 /// assert_eq!(counter.load(Ordering::Relaxed), 10);
 /// ```
+///
+/// A panicking job cannot hang the pool; its panic is captured instead:
+///
+/// ```
+/// use ld_parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// pool.execute(|| panic!("job blew up"));
+/// pool.execute(|| { /* still runs */ });
+/// pool.wait(); // returns — no wedge
+/// let panics = pool.take_panics();
+/// assert_eq!(panics.len(), 1);
+/// assert_eq!(panics[0].message, "job blew up");
+/// ```
 pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
@@ -54,6 +81,9 @@ pub struct ThreadPool {
 
 impl ThreadPool {
     /// Spawns a pool with `n_threads` workers (at least one).
+    ///
+    /// # Panics
+    /// Panics only if the OS refuses to spawn any worker thread at all.
     pub fn new(n_threads: usize) -> Self {
         let n = n_threads.max(1);
         let shared = Arc::new(Shared {
@@ -61,19 +91,24 @@ impl ThreadPool {
                 queue: VecDeque::new(),
                 pending: 0,
                 shutdown: false,
+                panics: Vec::new(),
             }),
             job_ready: Condvar::new(),
             all_done: Condvar::new(),
         });
-        let workers = (0..n)
-            .map(|i| {
+        let workers: Vec<JoinHandle<()>> = (0..n)
+            .filter_map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("ld-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("failed to spawn pool worker")
+                    .spawn(move || worker_loop(i, &shared))
+                    .ok()
             })
             .collect();
+        assert!(
+            !workers.is_empty(),
+            "failed to spawn any pool worker thread"
+        );
         Self { workers, shared }
     }
 
@@ -85,7 +120,7 @@ impl ThreadPool {
     /// Submits a job. Panics if called after the pool started shutting down
     /// (cannot happen through the safe API, which consumes the pool on drop).
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_ignore_poison(&self.shared.state);
         assert!(!st.shutdown, "pool is shut down");
         st.pending += 1;
         st.queue.push_back(Box::new(job));
@@ -93,19 +128,45 @@ impl ThreadPool {
         self.shared.job_ready.notify_one();
     }
 
-    /// Blocks until every submitted job has finished.
+    /// Blocks until every submitted job has finished (returned *or*
+    /// panicked — a panicking job still counts as finished, so this never
+    /// hangs on a poisoned queue).
     pub fn wait(&self) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_ignore_poison(&self.shared.state);
         while st.pending > 0 {
-            st = self.shared.all_done.wait(st).unwrap();
+            st = self
+                .shared
+                .all_done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Drains and returns the panics captured from jobs so far.
+    ///
+    /// Call after [`ThreadPool::wait`] to learn whether any job failed.
+    /// Each entry preserves the panic payload message and the worker id
+    /// that ran the job.
+    pub fn take_panics(&self) -> Vec<WorkerPanic> {
+        let mut st = lock_ignore_poison(&self.shared.state);
+        std::mem::take(&mut st.panics)
+    }
+
+    /// Blocks until every submitted job has finished, then reports the
+    /// first captured job panic (if any) as an error, draining the rest.
+    pub fn try_wait(&self) -> Result<(), WorkerPanic> {
+        self.wait();
+        match self.take_panics().into_iter().next() {
+            Some(p) => Err(p),
+            None => Ok(()),
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(worker: usize, shared: &Shared) {
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_ignore_poison(&shared.state);
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     break job;
@@ -113,11 +174,22 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.job_ready.wait(st).unwrap();
+                st = shared
+                    .job_ready
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        job();
-        let mut st = shared.state.lock().unwrap();
+        // Contain the job: whether it returns or unwinds, `pending` must
+        // be decremented or `wait` would hang forever on a panicking job.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut st = lock_ignore_poison(&shared.state);
+        if let Err(payload) = outcome {
+            st.panics.push(WorkerPanic {
+                message: payload_message(&payload),
+                worker,
+            });
+        }
         st.pending -= 1;
         if st.pending == 0 {
             shared.all_done.notify_all();
@@ -129,7 +201,7 @@ impl Drop for ThreadPool {
     fn drop(&mut self) {
         self.wait();
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_ignore_poison(&self.shared.state);
             st.shutdown = true;
         }
         self.shared.job_ready.notify_all();
@@ -228,5 +300,46 @@ mod tests {
         }
         pool.wait();
         assert_eq!(c.load(Ordering::Relaxed), 8000);
+    }
+
+    #[test]
+    fn panicking_job_does_not_wedge_wait() {
+        let pool = ThreadPool::new(2);
+        let c = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let c = c.clone();
+            pool.execute(move || {
+                if i == 3 {
+                    panic!("job {i} failed");
+                }
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait(); // must return despite the panic
+        assert_eq!(c.load(Ordering::Relaxed), 9);
+        let panics = pool.take_panics();
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].message, "job 3 failed");
+        // pool is still usable after a panic
+        let c2 = c.clone();
+        pool.execute(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait();
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+        assert!(pool.take_panics().is_empty());
+    }
+
+    #[test]
+    fn try_wait_surfaces_first_panic() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("first"));
+        pool.execute(|| panic!("second"));
+        let err = pool.try_wait().unwrap_err();
+        assert_eq!(err.message, "first");
+        // the second panic was drained with the first
+        assert!(pool.take_panics().is_empty());
+        pool.execute(|| {});
+        assert!(pool.try_wait().is_ok());
     }
 }

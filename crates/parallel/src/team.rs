@@ -1,5 +1,13 @@
 //! Fork-join worker teams over `std::thread::scope`.
+//!
+//! Every primitive comes in two flavors: the classic infallible form
+//! (`run_team`, `parallel_for`, …), which propagates a worker panic to the
+//! caller exactly like `std::thread::scope` does, and a fallible `try_`
+//! form that **contains** worker panics — the first panic is converted
+//! into a typed [`WorkerPanic`] (payload message preserved), the remaining
+//! workers drain via a cancellation flag, and the join always completes.
 
+use crate::panic::{PanicTrap, WorkerPanic};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of hardware threads available, with a floor of 1.
@@ -9,12 +17,39 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Core fork-join with panic trapping. Every worker (including worker 0 on
+/// the calling thread) runs inside `catch_unwind`; the first payload is
+/// captured, everyone else finishes, and the payload is surfaced as a
+/// `Result` instead of unwinding through the scope join.
+fn run_team_trapped<F>(n: usize, f: F) -> Result<(), (usize, crate::panic::Payload)>
+where
+    F: Fn(usize) + Sync,
+{
+    let trap = PanicTrap::new();
+    if n == 1 {
+        trap.run(0, || f(0));
+        return trap.into_result();
+    }
+    std::thread::scope(|s| {
+        for tid in 1..n {
+            let f = &f;
+            let trap = &trap;
+            s.spawn(move || trap.run(tid, || f(tid)));
+        }
+        trap.run(0, || f(0));
+    });
+    trap.into_result()
+}
+
 /// Runs `f(worker_id)` on `n_threads` logical workers and waits for all of
 /// them. Worker 0 is the calling thread, so `run_team(1, f)` is just
 /// `f(0)` — the single-thread path has no synchronization cost, which
 /// matters when benchmarking 1-thread rows of the paper's tables.
 ///
 /// The closure may borrow from the caller's stack (scoped threads).
+/// A panicking worker propagates its original payload to the caller after
+/// every other worker has finished (use [`try_run_team`] to get a typed
+/// error instead).
 ///
 /// ```
 /// use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,67 +64,146 @@ where
     F: Fn(usize) + Sync,
 {
     let n = n_threads.max(1);
-    if n == 1 {
-        f(0);
-        return;
+    if let Err((_, payload)) = run_team_trapped(n, f) {
+        std::panic::resume_unwind(payload);
     }
-    std::thread::scope(|s| {
-        for tid in 1..n {
-            let f = &f;
-            s.spawn(move || f(tid));
-        }
-        f(0);
-    });
+}
+
+/// Panic-containing [`run_team`]: a panicking worker becomes a typed
+/// [`WorkerPanic`] (first panic wins; all workers are still joined).
+///
+/// ```
+/// let r = ld_parallel::try_run_team(3, |tid| {
+///     if tid == 1 { panic!("boom from {tid}"); }
+/// });
+/// assert_eq!(r.unwrap_err().message, "boom from 1");
+/// ```
+pub fn try_run_team<F>(n_threads: usize, f: F) -> Result<(), WorkerPanic>
+where
+    F: Fn(usize) + Sync,
+{
+    let n = n_threads.max(1);
+    run_team_trapped(n, f).map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
 }
 
 /// Statically-scheduled parallel loop: splits `0..len` into `n_threads`
 /// nearly-even contiguous slabs and runs `f(range)` on each worker.
 ///
 /// Use when iterations have uniform cost (e.g. GEMM column blocks).
+/// A worker panic propagates (see [`try_parallel_for`] for containment).
 pub fn parallel_for<F>(n_threads: usize, len: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if let Err(p) = try_parallel_for_impl(n_threads, len, &f) {
+        std::panic::resume_unwind(p.1);
+    }
+}
+
+/// Panic-containing [`parallel_for`].
+pub fn try_parallel_for<F>(n_threads: usize, len: usize, f: F) -> Result<(), WorkerPanic>
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    try_parallel_for_impl(n_threads, len, &f)
+        .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
+}
+
+fn try_parallel_for_impl<F>(
+    n_threads: usize,
+    len: usize,
+    f: &F,
+) -> Result<(), (usize, crate::panic::Payload)>
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
     let n = n_threads.max(1).min(len.max(1));
     if n == 1 {
-        f(0..len);
-        return;
+        return run_team_trapped(1, |_| f(0..len));
     }
     let ranges = crate::partition::even_ranges(len, n);
-    run_team(n, |tid| {
+    run_team_trapped(n, |tid| {
         let r = ranges[tid].clone();
         if !r.is_empty() {
             f(r);
         }
-    });
+    })
 }
 
 /// Dynamically-scheduled parallel loop: workers grab chunks of `grain`
 /// consecutive indices from an atomic counter until the range is drained.
 ///
 /// Use when iteration costs are skewed (e.g. the triangular SYRK tile
-/// space, or ω-statistic windows of varying SNP counts).
+/// space, or ω-statistic windows of varying SNP counts). A worker panic
+/// propagates (see [`try_parallel_for_dynamic`] for containment).
 pub fn parallel_for_dynamic<F>(n_threads: usize, len: usize, grain: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if let Err(p) = try_parallel_for_dynamic_impl(n_threads, len, grain, &f) {
+        std::panic::resume_unwind(p.1);
+    }
+}
+
+/// Panic-containing [`parallel_for_dynamic`]: the first panicking chunk is
+/// reported as [`WorkerPanic`]; surviving workers stop grabbing new chunks
+/// (cancellation flag), so the loop drains promptly and the join cannot
+/// hang.
+pub fn try_parallel_for_dynamic<F>(
+    n_threads: usize,
+    len: usize,
+    grain: usize,
+    f: F,
+) -> Result<(), WorkerPanic>
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    try_parallel_for_dynamic_impl(n_threads, len, grain, &f)
+        .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
+}
+
+fn try_parallel_for_dynamic_impl<F>(
+    n_threads: usize,
+    len: usize,
+    grain: usize,
+    f: &F,
+) -> Result<(), (usize, crate::panic::Payload)>
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
     let n = n_threads.max(1);
     let grain = grain.max(1);
     if n == 1 || len <= grain {
-        if len > 0 {
-            f(0..len);
+        if len == 0 {
+            return Ok(());
         }
-        return;
+        return run_team_trapped(1, |_| f(0..len));
     }
     let next = AtomicUsize::new(0);
-    run_team(n, |_tid| loop {
-        let start = next.fetch_add(grain, Ordering::Relaxed);
-        if start >= len {
-            break;
+    let trap = PanicTrap::new();
+    std::thread::scope(|s| {
+        let worker = |tid: usize| {
+            let trap = &trap;
+            let next = &next;
+            move || {
+                while !trap.cancelled() {
+                    let start = next.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    if !trap.run(tid, || f(start..end)) {
+                        break;
+                    }
+                }
+            }
+        };
+        for tid in 1..n {
+            s.spawn(worker(tid));
         }
-        let end = (start + grain).min(len);
-        f(start..end);
+        worker(0)();
     });
+    trap.into_result()
 }
 
 /// Dynamically-scheduled parallel loop with **per-worker state**: each
@@ -103,8 +217,43 @@ where
 /// without per-chunk allocation. Unlike [`parallel_for_dynamic`], the
 /// single-thread path still chunks by `grain` — callers rely on every
 /// `f` invocation seeing at most `grain` indices (that bound is what caps
-/// the scratch size).
+/// the scratch size). A worker panic propagates (see
+/// [`try_parallel_for_dynamic_init`] for containment).
 pub fn parallel_for_dynamic_init<S, I, F>(n_threads: usize, len: usize, grain: usize, init: I, f: F)
+where
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
+    if let Err(p) = try_parallel_for_dynamic_init_impl(n_threads, len, grain, &init, &f) {
+        std::panic::resume_unwind(p.1);
+    }
+}
+
+/// Panic-containing [`parallel_for_dynamic_init`]: panics in `init` or `f`
+/// (first one wins) become a typed [`WorkerPanic`]; the cancellation flag
+/// stops the surviving workers from grabbing further chunks.
+pub fn try_parallel_for_dynamic_init<S, I, F>(
+    n_threads: usize,
+    len: usize,
+    grain: usize,
+    init: I,
+    f: F,
+) -> Result<(), WorkerPanic>
+where
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
+    try_parallel_for_dynamic_init_impl(n_threads, len, grain, &init, &f)
+        .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
+}
+
+fn try_parallel_for_dynamic_init_impl<S, I, F>(
+    n_threads: usize,
+    len: usize,
+    grain: usize,
+    init: &I,
+    f: &F,
+) -> Result<(), (usize, crate::panic::Payload)>
 where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, std::ops::Range<usize>) + Sync,
@@ -112,30 +261,53 @@ where
     let grain = grain.max(1);
     let n = n_threads.max(1).min(len.div_ceil(grain).max(1));
     if len == 0 {
-        return;
+        return Ok(());
     }
     if n == 1 {
-        let mut state = init(0);
-        let mut start = 0usize;
-        while start < len {
-            let end = (start + grain).min(len);
-            f(&mut state, start..end);
-            start = end;
-        }
-        return;
+        return run_team_trapped(1, |_| {
+            let mut state = init(0);
+            let mut start = 0usize;
+            while start < len {
+                let end = (start + grain).min(len);
+                f(&mut state, start..end);
+                start = end;
+            }
+        });
     }
     let next = AtomicUsize::new(0);
-    run_team(n, |tid| {
-        let mut state: Option<S> = None;
-        loop {
-            let start = next.fetch_add(grain, Ordering::Relaxed);
-            if start >= len {
-                break;
+    let trap = PanicTrap::new();
+    std::thread::scope(|s| {
+        let worker = |tid: usize| {
+            let trap = &trap;
+            let next = &next;
+            move || {
+                let mut state: Option<S> = None;
+                while !trap.cancelled() {
+                    let start = next.fetch_add(grain, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + grain).min(len);
+                    let ok = trap.run(tid, || {
+                        // `state` is only touched by this worker; the
+                        // AssertUnwindSafe in `trap.run` is sound because a
+                        // panicking chunk cancels the whole loop (no state
+                        // is observed after a panic).
+                        let state = &mut state;
+                        f(state.get_or_insert_with(|| init(tid)), start..end);
+                    });
+                    if !ok {
+                        break;
+                    }
+                }
             }
-            let end = (start + grain).min(len);
-            f(state.get_or_insert_with(|| init(tid)), start..end);
+        };
+        for tid in 1..n {
+            s.spawn(worker(tid));
         }
+        worker(0)();
     });
+    trap.into_result()
 }
 
 #[cfg(test)]

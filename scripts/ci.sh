@@ -2,10 +2,13 @@
 # Offline CI gate for the gemm-ld workspace.
 #
 # Runs the full tier-1 pipeline with no network access:
-#   1. rustfmt      — formatting is canonical
-#   2. clippy       — all targets, warnings are errors
-#   3. release build
-#   4. workspace tests (quiet)
+#   1. rustfmt        — formatting is canonical
+#   2. clippy         — all targets, warnings are errors
+#   3. clippy (strict) — unwrap/expect denied in the panic-free crates
+#   4. release build
+#   5. workspace tests (quiet)
+#   6. malformed-input corpus through the CLI — every fixture must fail
+#      with a nonzero exit and a single error line, never a panic
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
 
@@ -21,7 +24,48 @@ export CARGO_NET_OFFLINE=true
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
+# The library code of the compute/I/O stack must be panic-free on the
+# error path: no unwrap/expect outside tests (lib targets only — test
+# modules and doc examples may unwrap freely).
+run cargo clippy --no-deps -p ld-core -p ld-parallel -p ld-io -p ld-bitmat --offline -- \
+    -D warnings -D clippy::unwrap-used -D clippy::expect-used
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
+
+# Corpus step: feed every text-format fixture from the malformed-input
+# corpus to the release CLI. Each must exit nonzero with an `error:`
+# line on stderr and no panic backtrace.
+echo "==> corpus: malformed inputs through the CLI"
+BIN=target/release/gemm-ld
+checked=0
+for fixture in crates/io/tests/corpus/*.ms crates/io/tests/corpus/*.vcf crates/io/tests/corpus/*.txt; do
+    set +e
+    stderr=$("$BIN" r2 -i "$fixture" 2>&1 >/dev/null)
+    status=$?
+    set -e
+    if [ "$status" -eq 0 ]; then
+        echo "corpus FAIL: $fixture exited 0 (must be rejected)" >&2
+        exit 1
+    fi
+    case "$stderr" in
+        *"panicked at"*)
+            echo "corpus FAIL: $fixture produced a panic backtrace:" >&2
+            echo "$stderr" >&2
+            exit 1
+            ;;
+        "error: "*) ;;
+        *)
+            echo "corpus FAIL: $fixture stderr lacks an 'error:' line:" >&2
+            echo "$stderr" >&2
+            exit 1
+            ;;
+    esac
+    checked=$((checked + 1))
+done
+if [ "$checked" -lt 15 ]; then
+    echo "corpus FAIL: only $checked fixtures checked (expected >= 15)" >&2
+    exit 1
+fi
+echo "    $checked fixtures rejected cleanly"
 
 echo "==> CI green"
