@@ -46,6 +46,48 @@ struct SizeResult {
     packed_mb: f64,
     counts_mb: f64,
     scratch_mb: f64,
+    /// Per-layer breakdown of one instrumented fused run (None when the
+    /// harness is built without the `metrics` feature).
+    layers: Option<LayerBreakdown>,
+}
+
+/// One instrumented fused run's per-layer nanoseconds (see DESIGN.md §8).
+struct LayerBreakdown {
+    wall_ns: u64,
+    pack_a_ns: u64,
+    pack_b_ns: u64,
+    kernel_ns: u64,
+    transform_ns: u64,
+    coverage: Option<f64>,
+}
+
+/// Runs the fused driver once with fresh counters and captures the
+/// per-layer split. Separate from the `time_best` loop so the breakdown
+/// is attributable to exactly one run.
+fn profile_fused(
+    engine: &ld_core::LdEngine,
+    g: &ld_bitmat::BitMatrix,
+    threads: usize,
+) -> Option<LayerBreakdown> {
+    if !ld_trace::enabled() {
+        return None;
+    }
+    ld_trace::reset();
+    let t = std::time::Instant::now();
+    let _ = engine.stat_matrix(g, LdStats::RSquared);
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    let r = ld_trace::MetricsReport::capture()
+        .with_wall_ns(wall_ns)
+        .with_threads(threads);
+    use ld_trace::Counter as C;
+    Some(LayerBreakdown {
+        wall_ns,
+        pack_a_ns: r.get(C::PackANs),
+        pack_b_ns: r.get(C::PackBNs),
+        kernel_ns: r.get(C::KernelNs),
+        transform_ns: r.get(C::TransformNs),
+        coverage: r.layer_coverage(),
+    })
 }
 
 fn main() {
@@ -110,6 +152,8 @@ fn main() {
             .count();
         assert_eq!(mismatches, 0, "fused and two-pass disagree at n={n}");
 
+        let layers = profile_fused(&engine, &g, threads);
+
         let packed_mb = (n * (n + 1) / 2 * 8) as f64 / 1e6;
         let counts_mb = (n * n * 4) as f64 / 1e6;
         let scratch_mb = (threads * slab * n * 4) as f64 / 1e6;
@@ -133,6 +177,7 @@ fn main() {
             packed_mb,
             counts_mb,
             scratch_mb,
+            layers,
         });
     }
 
@@ -143,6 +188,40 @@ fn main() {
          fused column to the two-pass column is the counts matrix the fused path never pays."
     );
 
+    // Per-layer breakdown of one instrumented fused run per size: where the
+    // wall time goes across the paper's pipeline stages (pack A/B, the
+    // AND+POPCNT micro-kernel sweep, the counts -> statistic transform).
+    if results.iter().any(|r| r.layers.is_some()) {
+        let mut lt = Table::new([
+            "n_snps",
+            "wall",
+            "pack_a",
+            "pack_b",
+            "kernel",
+            "transform",
+            "coverage",
+        ]);
+        for r in &results {
+            let Some(l) = &r.layers else { continue };
+            let pct = |ns: u64| format!("{:.1}%", 100.0 * ns as f64 / l.wall_ns.max(1) as f64);
+            lt.row([
+                r.n_snps.to_string(),
+                fmt_secs(l.wall_ns as f64 / 1e9),
+                pct(l.pack_a_ns),
+                pct(l.pack_b_ns),
+                pct(l.kernel_ns),
+                pct(l.transform_ns),
+                l.coverage
+                    .map(|c| format!("{:.1}%", 100.0 * c))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        println!("\nper-layer breakdown (one instrumented fused run, % of its wall):");
+        println!("{}", lt.render());
+    } else {
+        println!("\n(per-layer breakdown unavailable: built without the `metrics` feature)");
+    }
+
     // hand-rolled JSON (no external deps in this workspace)
     let mut json = String::new();
     json.push_str("{\n");
@@ -152,10 +231,18 @@ fn main() {
     json.push_str(&format!("  \"slab_rows\": {slab},\n"));
     json.push_str("  \"results\": [\n");
     for (k, r) in results.iter().enumerate() {
+        let layers_json = match &r.layers {
+            Some(l) => format!(
+                ", \"layers\": {{\"wall_ns\": {}, \"pack_a_ns\": {}, \"pack_b_ns\": {}, \
+                 \"kernel_ns\": {}, \"transform_ns\": {}}}",
+                l.wall_ns, l.pack_a_ns, l.pack_b_ns, l.kernel_ns, l.transform_ns
+            ),
+            None => String::new(),
+        };
         json.push_str(&format!(
             "    {{\"n_snps\": {}, \"fused_secs\": {:.6}, \"twopass_secs\": {:.6}, \
              \"vm_hwm_after_fused_kb\": {}, \"vm_hwm_after_twopass_kb\": {}, \
-             \"packed_mb\": {:.3}, \"counts_model_mb\": {:.3}, \"scratch_model_mb\": {:.3}}}{}\n",
+             \"packed_mb\": {:.3}, \"counts_model_mb\": {:.3}, \"scratch_model_mb\": {:.3}{}}}{}\n",
             r.n_snps,
             r.fused_secs,
             r.twopass_secs,
@@ -164,6 +251,7 @@ fn main() {
             r.packed_mb,
             r.counts_mb,
             r.scratch_mb,
+            layers_json,
             if k + 1 == results.len() { "" } else { "," },
         ));
     }

@@ -13,11 +13,19 @@ pub struct Args {
 impl Args {
     /// Parses an argument iterator. `-i`/`-o` are aliases for
     /// `--input`/`--output`; a flag followed by another flag (or nothing)
-    /// gets an empty value (boolean flag).
+    /// gets an empty value (boolean flag). `--key=value` binds inline
+    /// (needed for optional-value flags like `--profile=json`, where
+    /// `--profile json` would be ambiguous against a positional).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = Args::default();
         let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
+            if let Some(body) = arg.strip_prefix("--") {
+                if let Some((k, v)) = body.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                    continue;
+                }
+            }
             let key = match arg.as_str() {
                 "-i" => Some("input".to_string()),
                 "-o" => Some("output".to_string()),
@@ -97,6 +105,15 @@ mod tests {
         let a = parse(&["--full", "--scale", "3"]);
         assert_eq!(a.get("full"), Some(""));
         assert_eq!(a.get_parsed("scale", 1usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn equals_binds_inline_values() {
+        let a = parse(&["--profile=json", "--threads=4", "--empty=", "-i", "x.ms"]);
+        assert_eq!(a.get("profile"), Some("json"));
+        assert_eq!(a.get_parsed("threads", 1usize).unwrap(), 4);
+        assert_eq!(a.get("empty"), Some(""));
+        assert_eq!(a.get("input"), Some("x.ms"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ COMMANDS:
               -i in.{ms,txt,vcf} [--min-r2 X] [--threads T]
               [--kernel auto|scalar|avx2-mula|avx512-vpopcnt]
               [--stat r2|d|dprime] [-o pairs.tsv]
+              [--profile[=text|json]] [--profile-out metrics.json]
   omega       selective-sweep scan (omega statistic)
               -i in.{ms,txt,vcf} [--window W] [--step S] [--threads T]
   tanimoto    all-vs-all fingerprint similarity
@@ -52,6 +53,49 @@ fn parse_kernel(args: &Args) -> Result<KernelKind, CliError> {
         None => Ok(KernelKind::Auto),
         Some(name) => name.parse().map_err(CliError::Usage),
     }
+}
+
+/// Parses `--profile[=json|text]`: absent → `None`, bare / `=text` → text
+/// rendering on stderr, `=json` → the stable-schema JSON document.
+fn parse_profile(args: &Args) -> Result<Option<&'static str>, CliError> {
+    match args.get("profile") {
+        None => Ok(None),
+        Some("") | Some("text") => Ok(Some("text")),
+        Some("json") => Ok(Some("json")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown profile mode '{other}' (expected --profile, --profile=text or --profile=json)"
+        ))),
+    }
+}
+
+/// Captures the per-layer metrics accumulated since the last
+/// [`ld_trace::reset`] and emits them: text to stderr, JSON to stdout or
+/// to `--profile-out FILE`. When the binary was built without the
+/// `metrics` feature the report still has the stable schema, with
+/// `"enabled": false` and all counters zero.
+fn emit_profile(
+    mode: &str,
+    out: Option<&str>,
+    wall_ns: u64,
+    threads: usize,
+) -> Result<(), CliError> {
+    let report = ld_trace::MetricsReport::capture()
+        .with_wall_ns(wall_ns)
+        .with_threads(threads)
+        .with_tsc_hz(ld_kernels::clock::tsc_hz());
+    if mode == "json" {
+        let body = report.to_json();
+        match out {
+            Some(path) if !path.is_empty() => {
+                std::fs::write(path, body + "\n")?;
+                eprintln!("wrote profile to {path}");
+            }
+            _ => println!("{body}"),
+        }
+    } else {
+        eprintln!("{}", report.render_text());
+    }
+    Ok(())
 }
 
 /// Loads a haplotype matrix, dispatching on the file extension.
@@ -168,6 +212,12 @@ pub fn simulate(args: &Args) -> CmdResult {
 
 /// `gemm-ld r2`
 pub fn r2(args: &Args) -> CmdResult {
+    let profile = parse_profile(args)?;
+    if profile.is_some() {
+        // Fresh counters for this run (parse errors above leave the
+        // accumulated state alone).
+        ld_trace::reset();
+    }
     let input = args.require("input")?;
     let g = load_matrix(input)?;
     let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
@@ -183,6 +233,11 @@ pub fn r2(args: &Args) -> CmdResult {
         .threads(threads)
         .nan_policy(NanPolicy::Zero);
     let t0 = std::time::Instant::now();
+    // Compute-region wall time (excludes the result post-processing below),
+    // captured where each branch finishes its LD computation — this is the
+    // denominator of the profile's layer-coverage figure. Deliberately
+    // uninitialized: both match arms assign it exactly once.
+    let compute_wall_ns;
     let pairs = g.n_snps() * (g.n_snps() + 1) / 2;
     match args.get("output") {
         Some(path) if !path.is_empty() => {
@@ -223,7 +278,9 @@ pub fn r2(args: &Args) -> CmdResult {
                 return Err(e.into());
             }
             w.flush()?;
-            let dt = t0.elapsed().as_secs_f64();
+            let wall = t0.elapsed();
+            compute_wall_ns = wall.as_nanos() as u64;
+            let dt = wall.as_secs_f64();
             eprintln!(
                 "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
                 g.n_snps(),
@@ -236,7 +293,9 @@ pub fn r2(args: &Args) -> CmdResult {
         }
         _ => {
             let m = engine.try_stat_matrix(&g, stat)?;
-            let dt = t0.elapsed().as_secs_f64();
+            let wall = t0.elapsed();
+            compute_wall_ns = wall.as_nanos() as u64;
+            let dt = wall.as_secs_f64();
             eprintln!(
                 "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
                 g.n_snps(),
@@ -255,6 +314,9 @@ pub fn r2(args: &Args) -> CmdResult {
                 println!("  snp{i:<6} snp{j:<6} {v:.4}");
             }
         }
+    }
+    if let Some(mode) = profile {
+        emit_profile(mode, args.get("profile-out"), compute_wall_ns, threads)?;
     }
     Ok(())
 }

@@ -65,6 +65,7 @@ impl BandedLdMatrix {
                     engine.blocks,
                     engine.threads,
                 );
+                let sw = ld_trace::Stopwatch::start();
                 for i in 0..rows {
                     let gi = start + i;
                     for d in 0..band {
@@ -76,6 +77,7 @@ impl BandedLdMatrix {
                             tr.apply_pair(gi, gj, counts[i * cols + (gj - start)]);
                     }
                 }
+                ld_trace::add(ld_trace::Counter::TransformNs, sw.elapsed_ns());
                 start = rows_end;
             }
         }

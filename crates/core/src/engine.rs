@@ -214,7 +214,15 @@ impl LdEngine {
             });
         }
         let fit = (limit - fixed) / per_row.max(1);
-        Ok(want.min(fit.max(1)))
+        let got = want.min(fit.max(1));
+        if got < want {
+            // Budget forced the slab below the configured height — a
+            // deterministic event worth counting: results stay bit-exact
+            // but throughput changes, and a regression here means the
+            // budget/shape mix drifted.
+            ld_trace::add(ld_trace::Counter::BudgetShrinks, 1);
+        }
+        Ok(got)
     }
 
     /// Fixed (slab-independent) footprint of a fused run over `n` SNPs:
@@ -279,7 +287,13 @@ impl LdEngine {
             return LdMatrix::try_zeros(0);
         }
         let slab = self.budgeted_slab(n, fixed, 4)?;
+        // Materializing the packed output (a zeroed n(n+1)/2 f64 triangle)
+        // is part of producing the statistic layer; charging it to
+        // `transform_ns` keeps the profile's layer sum honest about where
+        // the compute region's time actually goes.
+        let sw = ld_trace::Stopwatch::start();
         let mut out = LdMatrix::try_zeros(n)?;
+        ld_trace::add(ld_trace::Counter::TransformNs, sw.elapsed_ns());
         let cfg = FusedConfig {
             slab,
             ..self.fused_config()
@@ -318,12 +332,14 @@ impl LdEngine {
         let tr_ref = &tr;
         let ranges = triangle_row_ranges(n, self.threads);
         run_team(self.threads, |tid| {
+            let sw = ld_trace::Stopwatch::start();
             for i in ranges[tid].clone() {
                 // SAFETY: workers own disjoint row ranges, and a row's
                 // packed range is disjoint from every other row's.
                 let dst = unsafe { out_ptr.slice(packed_row_offset(n, i), n - i) };
                 tr_ref.apply_row(i, &counts_ref[i * n + i..i * n + n], dst);
             }
+            ld_trace::add(ld_trace::Counter::TransformNs, sw.elapsed_ns());
         });
         out
     }

@@ -28,6 +28,7 @@ use crate::stats::{stat_from_counts, LdStats, NanPolicy};
 use ld_bitmat::BitMatrixView;
 use ld_kernels::{syrk_slab_counts, BlockSizes, KernelKind};
 use ld_parallel::try_parallel_for_dynamic_init;
+use ld_trace::{Counter, Stopwatch};
 use std::sync::Mutex;
 
 /// Engine parameters threaded through the fused drivers.
@@ -253,15 +254,31 @@ pub(crate) fn try_stat_packed_fused(
     if n == 0 {
         return Ok(());
     }
+    // Table construction (per-SNP allele counts via one popcount sweep)
+    // is part of producing the statistic layer: charge it to
+    // `transform_ns` so the profile's layer sum covers the setup cost.
+    let sw = Stopwatch::start();
     let tr = Transform::try_new(v, stat, cfg.policy)?;
+    ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
     let slab = cfg.slab.max(1).min(n);
     // Bounded per-worker scratch: the widest slab (the first) spans all
     // n columns, so `slab × n` covers every slab a worker can grab. The
     // buffers are allocated fallibly *here*, on the calling thread, so an
     // allocation failure is a clean Err before any thread is spawned.
+    // Zeroing the counts scratch belongs to the counts (kernel) layer.
+    let sw = Stopwatch::start();
     let scratch_pool = ScratchPool::new(cfg.threads, || {
         try_zeroed_vec::<u32>(slab * n, "slab counts scratch")
     })?;
+    ld_trace::add(Counter::KernelNs, sw.elapsed_ns());
+    // Modeled transient footprint of this run: per-worker u32 scratch plus
+    // the packed output and the transform tables (≤ 20 bytes/SNP). Recorded
+    // as a high-water gauge so profiles can confirm the O(threads·slab·n)
+    // memory claim without a global allocator hook.
+    ld_trace::record_peak(
+        Counter::AllocPeakBytes,
+        (cfg.threads.max(1) * slab * n * 4 + packed.len() * 8 + 20 * n) as u64,
+    );
     let out = SyncSlice::new(packed);
     try_parallel_for_dynamic_init(
         cfg.threads,
@@ -281,6 +298,7 @@ pub(crate) fn try_stat_packed_fused(
                 cfg.kind,
                 cfg.blocks,
             );
+            let sw = Stopwatch::start();
             for i in r0..r1 {
                 let local = (i - r0) * width + (i - r0);
                 let len = n - i;
@@ -288,6 +306,8 @@ pub(crate) fn try_stat_packed_fused(
                 let dst = unsafe { out.slice(packed_row_offset(n, i), len) };
                 tr.apply_row(i, &scratch[local..local + len], dst);
             }
+            ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+            ld_trace::add(Counter::SlabsEmitted, 1);
         },
     )?;
     Ok(())
@@ -418,14 +438,25 @@ where
     if n == 0 {
         return Ok(());
     }
+    let sw = Stopwatch::start();
     let tr = Transform::try_new(v, stat, cfg.policy)?;
+    ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
     let slab = cfg.slab.max(1).min(n);
+    let sw = Stopwatch::start();
     let scratch_pool = ScratchPool::new(cfg.threads, || {
         Ok((
             try_zeroed_vec::<u32>(slab * n, "slab counts scratch")?,
             try_zeroed_vec::<f64>(slab * n, "slab statistic scratch")?,
         ))
     })?;
+    ld_trace::add(Counter::KernelNs, sw.elapsed_ns());
+    // Modeled transient footprint: u32 counts + f64 values scratch per
+    // worker, plus the transform tables (no packed output in the
+    // streaming form).
+    ld_trace::record_peak(
+        Counter::AllocPeakBytes,
+        (cfg.threads.max(1) * slab * n * 12 + 20 * n) as u64,
+    );
     let visit = Mutex::new(visit);
     try_parallel_for_dynamic_init(
         cfg.threads,
@@ -445,12 +476,15 @@ where
                 cfg.kind,
                 cfg.blocks,
             );
+            let sw = Stopwatch::start();
             for i in r0..r1 {
                 let local = (i - r0) * width + (i - r0);
                 let len = n - i;
                 let (src, dst) = (&counts[local..local + len], &mut values[local..local + len]);
                 tr.apply_row(i, src, dst);
             }
+            ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+            ld_trace::add(Counter::SlabsEmitted, 1);
             let slab_visit = RowSlabVisit {
                 row_start: r0,
                 n_rows: h,

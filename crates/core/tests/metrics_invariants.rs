@@ -1,0 +1,260 @@
+//! Counter-invariant tests: the `metrics` counters are *correct*, not
+//! just present.
+//!
+//! The deterministic counters (`kernel_tiles`, `kernel_words`,
+//! `bytes_packed`, `slabs_emitted`, `tiles_claimed`) are predicted by an
+//! independent re-implementation of the documented driver geometry
+//! (DESIGN.md §8) and must match exactly:
+//!
+//! * `kernel_tiles` = the micro-tile grid covering the padded upper
+//!   triangle (tile counted iff its row start is ≤ its column end, the
+//!   `pc`-independent SYRK skip);
+//! * `kernel_words == words_per_snp × kernel_tiles × MR × NR` — the skip
+//!   decision never depends on the rank-k pass, so every distinct tile is
+//!   swept over the full packed depth;
+//! * `bytes_packed` = the Σ of `pack_panels` buffer sizes
+//!   (`ceil(snps/R)·R·kc` words) over every (jc, pc[, ic]) block;
+//! * all of the above are **identical across 1/2/7 threads** (the dynamic
+//!   scheduler's chunks are grain-aligned, so the slab decomposition is
+//!   thread-invariant) and — for slab heights that preserve micro-tile
+//!   grid alignment — across slab sizes.
+//!
+//! Only with `--features metrics`; the file compiles to nothing otherwise.
+#![cfg(feature = "metrics")]
+
+use ld_bitmat::BitMatrix;
+use ld_core::{LdEngine, LdStats, NanPolicy};
+use ld_kernels::micro::Kernel;
+use ld_kernels::pack::packed_len;
+use ld_kernels::{BlockSizes, KernelKind};
+use ld_rng::SmallRng;
+use ld_trace::Counter;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The ld-trace counters are process-global; tests that reset and read
+/// them must not interleave. (Separate integration-test *files* are
+/// separate processes — only this file needs the lock.)
+fn counter_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn random_matrix(n_samples: usize, n_snps: usize, seed: u64) -> BitMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BitMatrix::zeros(n_samples, n_snps);
+    for j in 0..n_snps {
+        for s in 0..n_samples {
+            if rng.gen_bool(0.3) {
+                g.set(s, j, true);
+            }
+        }
+    }
+    g
+}
+
+/// What the deterministic counters must read after one fused
+/// `stat_matrix` run.
+#[derive(Debug, PartialEq, Eq)]
+struct Expected {
+    tiles: u64,
+    words: u64,
+    bytes_packed: u64,
+    slabs: u64,
+}
+
+/// Independent model of the fused SYRK geometry: replays the documented
+/// five-loop structure (jc/pc/ic/jr/ir with the two `i > j` skips) per
+/// grain-aligned row slab and accumulates what the instrumentation is
+/// specified to count. Deliberately *not* a call into ld-kernels — it
+/// re-derives the numbers from DESIGN.md §8 so a driver bug cannot
+/// self-certify.
+fn expected_counters(n: usize, k_words: usize, slab: usize, kind: KernelKind) -> Expected {
+    let kernel = Kernel::resolve(kind).expect("kernel must resolve");
+    let (mr, nr) = (kernel.mr(), kernel.nr());
+    let bs0 = BlockSizes::default();
+    let (mut tiles, mut words, mut bytes) = (0u64, 0u64, 0u64);
+    let slab = slab.max(1).min(n);
+    let n_slabs = n.div_ceil(slab);
+    for s in 0..n_slabs {
+        let (r0, r1) = (s * slab, ((s + 1) * slab).min(n));
+        let bs = bs0.clamped(r1 - r0, n - r0, k_words);
+        let mut jc = r0;
+        while jc < n {
+            let ncur = bs.nc.min(n - jc);
+            let mut pc = 0usize;
+            while pc < k_words {
+                let kcur = bs.kc.min(k_words - pc);
+                bytes += (packed_len(ncur, kcur, nr) * 8) as u64;
+                let mut ic = r0;
+                while ic < r1 {
+                    let mcur = bs.mc.min(r1 - ic);
+                    if ic > jc + ncur - 1 {
+                        ic += mcur;
+                        continue;
+                    }
+                    bytes += (packed_len(mcur, kcur, mr) * 8) as u64;
+                    let mut jr = 0usize;
+                    while jr < ncur {
+                        let nrcur = nr.min(ncur - jr);
+                        let gj1 = jc + jr + nrcur - 1;
+                        let mut ir = 0usize;
+                        while ir < mcur {
+                            let gi0 = ic + ir;
+                            if gi0 <= gj1 {
+                                if pc == 0 {
+                                    tiles += 1;
+                                }
+                                words += (kcur * mr * nr) as u64;
+                            }
+                            ir += mr;
+                        }
+                        jr += nr;
+                    }
+                    ic += mcur;
+                }
+                pc += kcur;
+            }
+            jc += ncur;
+        }
+    }
+    Expected {
+        tiles,
+        words,
+        bytes_packed: bytes,
+        slabs: n_slabs as u64,
+    }
+}
+
+/// One instrumented fused run; returns the deterministic counters.
+fn run_and_read(g: &BitMatrix, threads: usize, slab: usize) -> Expected {
+    let engine = LdEngine::new()
+        .threads(threads)
+        .slab_rows(slab)
+        .nan_policy(NanPolicy::Zero);
+    ld_trace::reset();
+    let _ = engine.stat_matrix(g, LdStats::RSquared);
+    Expected {
+        tiles: ld_trace::get(Counter::KernelTiles),
+        words: ld_trace::get(Counter::KernelWords),
+        bytes_packed: ld_trace::get(Counter::BytesPacked),
+        slabs: ld_trace::get(Counter::SlabsEmitted),
+    }
+}
+
+#[test]
+fn counters_match_the_geometry_model() {
+    let _l = counter_lock();
+    // (n_snps, n_samples) chosen to hit fringe tiles, multi-word columns,
+    // and a sub-word column; slabs include non-divisors of n.
+    for &(n, k) in &[(97usize, 130usize), (256, 64), (33, 1000), (64, 63)] {
+        let g = random_matrix(k, n, (n as u64) << 32 | k as u64);
+        let k_words = g.full_view().words_per_snp();
+        for &slab in &[16usize, 64, 1000] {
+            let got = run_and_read(&g, 1, slab);
+            let want = expected_counters(n, k_words, slab, KernelKind::Auto);
+            assert_eq!(got, want, "n={n} k={k} slab={slab}");
+        }
+    }
+}
+
+#[test]
+fn tiles_cover_the_padded_triangle_and_words_are_tiles_times_depth() {
+    let _l = counter_lock();
+    let (n, k) = (129usize, 150usize);
+    let g = random_matrix(k, n, 0xDEC0DE);
+    let k_words = g.full_view().words_per_snp();
+    let kernel = Kernel::resolve(KernelKind::Auto).unwrap();
+    let (mr, nr) = (kernel.mr(), kernel.nr());
+    let got = run_and_read(&g, 1, n); // one slab: the pure triangle case
+                                      // Exact padded-triangle tile count: column tiles at multiples of NR;
+                                      // each keeps every row tile whose start is ≤ its (clipped) last column.
+    let mut grid_tiles = 0u64;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let j1 = (j0 + nr).min(n) - 1;
+        grid_tiles += (j1 / mr + 1).min(n.div_ceil(mr)) as u64;
+        j0 += nr;
+    }
+    assert_eq!(got.tiles, grid_tiles, "tiles != padded-triangle tile grid");
+    // Coverage: the padded tile area must dominate the true triangle and
+    // never exceed it by more than one fringe ring.
+    let area = got.tiles * (mr * nr) as u64;
+    let triangle = (n * (n + 1) / 2) as u64;
+    assert!(area >= triangle, "tile area {area} < triangle {triangle}");
+    let padded_bound = ((n + mr) * (n + nr)) as u64;
+    assert!(
+        area <= padded_bound,
+        "tile area {area} > bound {padded_bound}"
+    );
+    // The SYRK skip is pc-independent, so every distinct tile is swept
+    // over the full packed depth: words == words_per_snp × pair-ops.
+    assert_eq!(got.words, got.tiles * (mr * nr * k_words) as u64);
+}
+
+#[test]
+fn counters_are_thread_invariant() {
+    let _l = counter_lock();
+    let (n, k) = (201usize, 333usize);
+    let g = random_matrix(k, n, 0x7EAD);
+    let slab = 32usize;
+    let base = run_and_read(&g, 1, slab);
+    // Claimed chunks must equal emitted slabs (every chunk is claimed
+    // exactly once), regardless of which worker got which.
+    ld_trace::reset();
+    for &threads in &[1usize, 2, 7] {
+        let engine = LdEngine::new()
+            .threads(threads)
+            .slab_rows(slab)
+            .nan_policy(NanPolicy::Zero);
+        ld_trace::reset();
+        let _ = engine.stat_matrix(&g, LdStats::RSquared);
+        let got = Expected {
+            tiles: ld_trace::get(Counter::KernelTiles),
+            words: ld_trace::get(Counter::KernelWords),
+            bytes_packed: ld_trace::get(Counter::BytesPacked),
+            slabs: ld_trace::get(Counter::SlabsEmitted),
+        };
+        assert_eq!(got, base, "threads={threads}");
+        assert_eq!(
+            ld_trace::get(Counter::TilesClaimed),
+            base.slabs,
+            "claims != slabs at threads={threads}"
+        );
+        assert_eq!(ld_trace::get(Counter::BudgetShrinks), 0);
+    }
+}
+
+#[test]
+fn tile_counters_are_slab_invariant_on_aligned_grids() {
+    let _l = counter_lock();
+    // Slab heights that are multiples of 64 keep the micro-tile grid
+    // globally aligned for every MR/NR in the kernel family (all divide
+    // 64), so the distinct-tile set — and hence tiles and words — cannot
+    // depend on the slab decomposition. (`bytes_packed` legitimately
+    // varies: pack-panel widths follow the per-slab column window.)
+    let (n, k) = (256usize, 100usize);
+    let g = random_matrix(k, n, 0x51AB);
+    let base = run_and_read(&g, 1, 64);
+    for &slab in &[128usize, 256] {
+        let got = run_and_read(&g, 1, slab);
+        assert_eq!(got.tiles, base.tiles, "slab={slab}");
+        assert_eq!(got.words, base.words, "slab={slab}");
+    }
+}
+
+#[test]
+fn two_pass_driver_hits_the_same_tile_geometry() {
+    let _l = counter_lock();
+    // The two-pass oracle computes the same triangle in one full-height
+    // slab; its tile/word counters must equal the fused run at slab = n.
+    let (n, k) = (100usize, 80usize);
+    let g = random_matrix(k, n, 0x2FA55);
+    let fused = run_and_read(&g, 1, n);
+    let engine = LdEngine::new().threads(1).nan_policy(NanPolicy::Zero);
+    ld_trace::reset();
+    let _ = engine.stat_matrix_twopass(&g, LdStats::RSquared);
+    assert_eq!(ld_trace::get(Counter::KernelTiles), fused.tiles);
+    assert_eq!(ld_trace::get(Counter::KernelWords), fused.words);
+}

@@ -90,6 +90,7 @@ pub fn read_bed_with<R: Read>(
     let mut magic = [0u8; 3];
     r.read_exact(&mut magic)
         .map_err(|_| IoError::truncated("bed", "3-byte magic header"))?;
+    ld_trace::io_record("bed", 0, 3);
     if magic != BED_MAGIC {
         return Err(IoError::parse(
             "bed",
@@ -107,6 +108,9 @@ pub fn read_bed_with<R: Read>(
                 format!("short read at variant {j} of {n_snps} ({bytes_per_snp} bytes/variant)"),
             )
         })?;
+        // One "line" per variant record for the binary format; bytes are
+        // the SNP-major payload actually consumed.
+        ld_trace::io_record("bed", 1, bytes_per_snp as u64);
         cols.push(GenotypeMatrix::snp_from_bed_bytes(n_individuals, &buf)?);
     }
     Ok(GenotypeMatrix::from_columns(n_individuals, cols)?)

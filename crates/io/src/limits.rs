@@ -95,6 +95,10 @@ impl<R: BufRead> LineReader<R> {
         if n == 0 {
             return Ok(None);
         }
+        // Per-parser observability: one line, n raw bytes (newline
+        // included) attributed to this reader's format tag. No-op unless
+        // the `metrics` feature is on.
+        ld_trace::io_record(self.format, 1, n as u64);
         self.line_no += 1;
         let mut end = self.buf.len();
         if self.buf.ends_with(b"\n") {

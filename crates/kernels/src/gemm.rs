@@ -6,6 +6,7 @@ use crate::pack::pack_panels;
 use crate::{BlockSizes, KernelKind};
 use ld_bitmat::{AlignedWords, BitMatrixView};
 use ld_parallel::even_ranges;
+use ld_trace::{Counter, Stopwatch};
 use std::ops::Range;
 
 /// Validates shapes shared by the GEMM entry points.
@@ -65,13 +66,28 @@ pub(crate) fn gemm_blocked(
     let mut acc = [0u64; 64];
     debug_assert!(mr * nr <= acc.len());
 
+    // Per-layer observability: accumulate into plain locals and flush to
+    // the ld-trace counters exactly once per call, so the hot loops never
+    // touch an atomic. With the `metrics` feature off, `Stopwatch` is a
+    // ZST whose `elapsed_ns()` is a const 0 and `ld_trace::add` is an
+    // inlined no-op, so all of this folds away.
+    let mut t_pack_a = 0u64;
+    let mut t_pack_b = 0u64;
+    let mut t_kernel = 0u64;
+    let mut n_tiles = 0u64;
+    let mut n_words = 0u64;
+    let mut n_bytes_packed = 0u64;
+
     let mut jc = b_cols.start;
     while jc < b_cols.end {
         let ncur = bs.nc.min(b_cols.end - jc);
         let mut pc = 0usize;
         while pc < k_words {
             let kcur = bs.kc.min(k_words - pc);
+            let sw = Stopwatch::start();
             pack_panels(b, jc..jc + ncur, pc..pc + kcur, nr, &mut bbuf);
+            t_pack_b += sw.elapsed_ns();
+            n_bytes_packed += (bbuf.len() * 8) as u64;
             let mut ic = a_rows.start;
             while ic < a_rows.end {
                 let mcur = bs.mc.min(a_rows.end - ic);
@@ -81,7 +97,11 @@ pub(crate) fn gemm_blocked(
                     ic += mcur;
                     continue;
                 }
+                let sw = Stopwatch::start();
                 pack_panels(a, ic..ic + mcur, pc..pc + kcur, mr, &mut abuf);
+                t_pack_a += sw.elapsed_ns();
+                n_bytes_packed += (abuf.len() * 8) as u64;
+                let sw = Stopwatch::start();
                 let mut jr = 0usize;
                 while jr < ncur {
                     let nrcur = nr.min(ncur - jr);
@@ -95,6 +115,14 @@ pub(crate) fn gemm_blocked(
                             ir += mr;
                             continue;
                         }
+                        // A micro-tile is counted once, on its first rank-k
+                        // pass: the (i, j) skip decision never depends on
+                        // `pc`, so the pc == 0 pass visits exactly the set
+                        // of distinct tiles.
+                        if pc == 0 {
+                            n_tiles += 1;
+                        }
+                        n_words += (kcur * mr * nr) as u64;
                         let ap = &abuf[(ir / mr) * kcur * mr..(ir / mr + 1) * kcur * mr];
                         acc[..mr * nr].fill(0);
                         kernel.run(kcur, ap, bp, &mut acc[..mr * nr]);
@@ -110,12 +138,20 @@ pub(crate) fn gemm_blocked(
                     }
                     jr += nr;
                 }
+                t_kernel += sw.elapsed_ns();
                 ic += mcur;
             }
             pc += kcur;
         }
         jc += ncur;
     }
+
+    ld_trace::add(Counter::PackANs, t_pack_a);
+    ld_trace::add(Counter::PackBNs, t_pack_b);
+    ld_trace::add(Counter::KernelNs, t_kernel);
+    ld_trace::add(Counter::KernelTiles, n_tiles);
+    ld_trace::add(Counter::KernelWords, n_words);
+    ld_trace::add(Counter::BytesPacked, n_bytes_packed);
 }
 
 /// Computes all `m × n` co-occurrence counts `C[i,j] = s_iᵀ s_j` between

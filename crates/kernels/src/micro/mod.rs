@@ -134,11 +134,29 @@ impl fmt::Display for UnsupportedKernel {
 }
 impl std::error::Error for UnsupportedKernel {}
 
+/// `Auto` resolution pinned for the process lifetime: detection is
+/// immutable at runtime, so every `Auto` request must land on the same
+/// concrete kernel (tests pin this; drifting mid-run would mix tile
+/// shapes between slabs).
+static AUTO_RESOLVED: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
+
 impl Kernel {
     /// Resolves a [`KernelKind`] against the current CPU.
+    ///
+    /// `Auto` is resolved once per process (cached in a `OnceLock`); the
+    /// resolved concrete name is recorded with [`ld_trace::set_kernel_name`]
+    /// so profiling reports can state which kernel actually ran.
     pub fn resolve(kind: KernelKind) -> Result<Kernel, UnsupportedKernel> {
-        let f = CpuFeatures::detect();
-        Self::resolve_with(kind, f)
+        let k = if kind == KernelKind::Auto {
+            *AUTO_RESOLVED.get_or_init(|| {
+                Self::resolve_with(KernelKind::Auto, CpuFeatures::detect())
+                    .expect("Auto resolution always succeeds (scalar fallback)")
+            })
+        } else {
+            Self::resolve_with(kind, CpuFeatures::detect())?
+        };
+        ld_trace::set_kernel_name(k.kind.name());
+        Ok(k)
     }
 
     /// Resolution against explicit features (testable).
@@ -400,6 +418,23 @@ mod tests {
         let k = Kernel::resolve(KernelKind::Auto).unwrap();
         assert_ne!(k.kind(), KernelKind::Auto);
         assert!(k.mr() > 0 && k.nr() > 0 && k.lanes() > 0);
+    }
+
+    #[test]
+    fn auto_resolution_is_pinned_for_process_lifetime() {
+        // The OnceLock pin: every Auto resolve in this process must land
+        // on the identical concrete kernel, matching a fresh resolution
+        // against the (cached) feature set.
+        let first = Kernel::resolve(KernelKind::Auto).unwrap();
+        for _ in 0..10 {
+            let again = Kernel::resolve(KernelKind::Auto).unwrap();
+            assert_eq!(again.kind(), first.kind());
+            assert_eq!(again.mr(), first.mr());
+            assert_eq!(again.nr(), first.nr());
+            assert_eq!(again.lanes(), first.lanes());
+        }
+        let fresh = Kernel::resolve_with(KernelKind::Auto, CpuFeatures::detect()).unwrap();
+        assert_eq!(fresh.kind(), first.kind());
     }
 
     #[test]

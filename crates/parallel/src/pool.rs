@@ -180,6 +180,9 @@ fn worker_loop(worker: usize, shared: &Shared) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        // A pool job is a claimed work unit; the shared queue has no
+        // static ownership, so pool claims never count as steals.
+        ld_trace::worker_claim(worker, false);
         // Contain the job: whether it returns or unwinds, `pending` must
         // be decremented or `wait` would hang forever on a panicking job.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));

@@ -10,6 +10,18 @@
 use crate::panic::{PanicTrap, WorkerPanic};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Whether chunk `chunk_idx` lies outside worker `tid`'s share of a static
+/// even split of `chunks` chunks over `n` workers — i.e. the dynamic
+/// scheduler handed this worker a chunk that static partitioning would
+/// have given to someone else. Recorded as `steal_count`: a load-imbalance
+/// signal that is timing-dependent by design (only the *total* number of
+/// claims is deterministic).
+fn is_steal(chunk_idx: usize, tid: usize, chunks: usize, n: usize) -> bool {
+    let lo = tid * chunks / n;
+    let hi = (tid + 1) * chunks / n;
+    chunk_idx < lo || chunk_idx >= hi
+}
+
 /// Number of hardware threads available, with a floor of 1.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
@@ -177,10 +189,12 @@ where
         if len == 0 {
             return Ok(());
         }
+        ld_trace::worker_claim(0, false);
         return run_team_trapped(1, |_| f(0..len));
     }
     let next = AtomicUsize::new(0);
     let trap = PanicTrap::new();
+    let chunks = len.div_ceil(grain);
     std::thread::scope(|s| {
         let worker = |tid: usize| {
             let trap = &trap;
@@ -191,6 +205,7 @@ where
                     if start >= len {
                         break;
                     }
+                    ld_trace::worker_claim(tid, is_steal(start / grain, tid, chunks, n));
                     let end = (start + grain).min(len);
                     if !trap.run(tid, || f(start..end)) {
                         break;
@@ -269,6 +284,7 @@ where
             let mut start = 0usize;
             while start < len {
                 let end = (start + grain).min(len);
+                ld_trace::worker_claim(0, false);
                 f(&mut state, start..end);
                 start = end;
             }
@@ -276,6 +292,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let trap = PanicTrap::new();
+    let chunks = len.div_ceil(grain);
     std::thread::scope(|s| {
         let worker = |tid: usize| {
             let trap = &trap;
@@ -287,6 +304,7 @@ where
                     if start >= len {
                         break;
                     }
+                    ld_trace::worker_claim(tid, is_steal(start / grain, tid, chunks, n));
                     let end = (start + grain).min(len);
                     let ok = trap.run(tid, || {
                         // `state` is only touched by this worker; the

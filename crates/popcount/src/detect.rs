@@ -19,9 +19,20 @@ pub struct CpuFeatures {
     pub avx512vpopcntdq: bool,
 }
 
+/// Process-wide cache: the CPU's feature set cannot change at runtime, so
+/// `cpuid` is interrogated exactly once (the drivers resolve a kernel per
+/// call, which used to re-run the detection macros every time).
+static DETECTED: std::sync::OnceLock<CpuFeatures> = std::sync::OnceLock::new();
+
 impl CpuFeatures {
-    /// Detects the features of the current CPU.
+    /// Detects the features of the current CPU (cached after first call).
     pub fn detect() -> Self {
+        *DETECTED.get_or_init(Self::detect_uncached)
+    }
+
+    /// Uncached detection: re-runs the `cpuid` interrogation. Only useful
+    /// for tests that want to confirm the cache is coherent.
+    pub fn detect_uncached() -> Self {
         #[cfg(target_arch = "x86_64")]
         {
             Self {
@@ -64,6 +75,15 @@ mod tests {
         }
         let s = f.summary();
         assert!(s.contains("popcnt="));
+    }
+
+    #[test]
+    fn cached_detection_matches_uncached() {
+        // The OnceLock cache must be coherent with a fresh cpuid pass, and
+        // repeated calls must return the identical feature set.
+        let cached = CpuFeatures::detect();
+        assert_eq!(cached, CpuFeatures::detect_uncached());
+        assert_eq!(cached, CpuFeatures::detect());
     }
 
     #[test]

@@ -1,0 +1,857 @@
+//! # ld-trace — the observability layer of the GEMM-LD stack
+//!
+//! The paper's argument is quantitative: Figs. 3–5 and Tables I–III all
+//! hinge on knowing where cycles go in each GotoBLAS layer (pack-Ã /
+//! pack-B̃, micro-kernel, statistic transform). This crate gives every
+//! compute crate a shared, dependency-free set of **monotonic counters**
+//! and **scoped timers**, plus [`MetricsReport`] — a stable-schema
+//! snapshot with JSON export that `ld-cli --profile` and `ld-bench` emit
+//! and CI validates against `schemas/metrics.schema.json`.
+//!
+//! ## Zero-cost when disabled
+//!
+//! Everything is gated on the cargo feature `metrics`. With the feature
+//! **off** (the default), every entry point is an inlined empty function,
+//! [`Stopwatch`] is a zero-sized type that never reads a clock, and no
+//! atomics exist — the instrumented hot paths compile to exactly the
+//! uninstrumented code. With the feature **on**, counters are relaxed
+//! atomic adds on static storage (no allocation, ever, on the hot path —
+//! the fault-injection harness in `ld-core` runs with metrics enabled).
+//!
+//! ## Counter semantics (the layer map)
+//!
+//! | counter | layer | meaning |
+//! |---|---|---|
+//! | `pack_a_ns` | pack | time packing Ã micro-panels (MR-interleaved) |
+//! | `pack_b_ns` | pack | time packing B̃ micro-panels (NR-interleaved) |
+//! | `kernel_ns` | micro-kernel | time in the register-tile loops (AND+POPCNT+accumulate and the C scatter) |
+//! | `kernel_tiles` | micro-kernel | distinct `MR×NR` micro-tiles computed (counted once per tile, not per rank-k pass) |
+//! | `kernel_words` | micro-kernel | AND+POPCNT word-pair operations: `Σ kc·MR·NR` over every kernel invocation |
+//! | `transform_ns` | transform | time in the batched `D = H − p pᵀ` statistic transform |
+//! | `bytes_packed` | pack | bytes written into pack buffers (`8 ×` packed words) |
+//! | `slabs_emitted` | driver | row slabs completed by the fused pipeline |
+//! | `budget_shrinks` | driver | times the memory budget shrank the slab height |
+//! | `alloc_peak_bytes` | driver | high-water mark of the *modeled* transient footprint (scratch + output) |
+//! | `tiles_claimed` | parallel | dynamic-scheduler chunks claimed (also per worker) |
+//! | `steal_count` | parallel | chunks a worker claimed out of its static even-split share (load-balance events; timing-dependent) |
+//! | `io_lines_read` | io | text lines parsed (also per format) |
+//! | `io_bytes_read` | io | input bytes consumed (also per format) |
+//!
+//! Counts (`kernel_tiles`, `kernel_words`, `bytes_packed`,
+//! `slabs_emitted`, `io_*`) are **deterministic** — independent of thread
+//! count and wall time; the `*_ns` timers and `steal_count` are not.
+//! `kernel_words` against elapsed cycles gives the §IV ops/cycle metric:
+//! the scalar peak is 3 ops/cycle = 1 word-pair/cycle (AND ∥ POPCNT ∥
+//! ADD), so `words/cycle × 3` is directly comparable to that peak.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Schema version of the JSON produced by [`MetricsReport::to_json`].
+/// Bump only when a field is removed or its meaning changes; adding
+/// fields is backward-compatible.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Maximum workers tracked individually; higher worker ids fold into the
+/// last slot.
+pub const MAX_WORKERS: usize = 64;
+
+/// The global counters. Each is a monotonic `u64`; see the crate docs for
+/// the layer map and determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Nanoseconds packing Ã (MR-wide micro-panels).
+    PackANs,
+    /// Nanoseconds packing B̃ (NR-wide micro-panels).
+    PackBNs,
+    /// Nanoseconds in the micro-kernel register-tile loops (incl. the C scatter).
+    KernelNs,
+    /// Nanoseconds in the batched statistic transform.
+    TransformNs,
+    /// Distinct `MR×NR` micro-tiles computed (once per tile across rank-k passes).
+    KernelTiles,
+    /// AND+POPCNT word-pair operations (`Σ kc·MR·NR` over kernel calls).
+    KernelWords,
+    /// Bytes written into pack buffers.
+    BytesPacked,
+    /// Row slabs completed by the fused pipeline.
+    SlabsEmitted,
+    /// Times a memory budget shrank the configured slab height.
+    BudgetShrinks,
+    /// High-water mark of the modeled transient footprint, bytes (gauge: use [`record_peak`]).
+    AllocPeakBytes,
+    /// Dynamic-scheduler chunks claimed (all workers).
+    TilesClaimed,
+    /// Chunks claimed outside a worker's static even-split share.
+    StealCount,
+    /// Text lines parsed by `ld-io`.
+    IoLinesRead,
+    /// Input bytes consumed by `ld-io`.
+    IoBytesRead,
+}
+
+impl Counter {
+    /// Number of counters (array sizing).
+    pub const COUNT: usize = 14;
+
+    /// All counters, in stable report order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::PackANs,
+        Counter::PackBNs,
+        Counter::KernelNs,
+        Counter::TransformNs,
+        Counter::KernelTiles,
+        Counter::KernelWords,
+        Counter::BytesPacked,
+        Counter::SlabsEmitted,
+        Counter::BudgetShrinks,
+        Counter::AllocPeakBytes,
+        Counter::TilesClaimed,
+        Counter::StealCount,
+        Counter::IoLinesRead,
+        Counter::IoBytesRead,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PackANs => "pack_a_ns",
+            Counter::PackBNs => "pack_b_ns",
+            Counter::KernelNs => "kernel_ns",
+            Counter::TransformNs => "transform_ns",
+            Counter::KernelTiles => "kernel_tiles",
+            Counter::KernelWords => "kernel_words",
+            Counter::BytesPacked => "bytes_packed",
+            Counter::SlabsEmitted => "slabs_emitted",
+            Counter::BudgetShrinks => "budget_shrinks",
+            Counter::AllocPeakBytes => "alloc_peak_bytes",
+            Counter::TilesClaimed => "tiles_claimed",
+            Counter::StealCount => "steal_count",
+            Counter::IoLinesRead => "io_lines_read",
+            Counter::IoBytesRead => "io_bytes_read",
+        }
+    }
+
+    /// True when the counter's value is a pure function of the input and
+    /// engine configuration — independent of thread count, scheduling and
+    /// wall time. The counter-invariant tests pin exactly these.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(
+            self,
+            Counter::PackANs
+                | Counter::PackBNs
+                | Counter::KernelNs
+                | Counter::TransformNs
+                | Counter::StealCount
+                | Counter::AllocPeakBytes
+        )
+    }
+}
+
+/// The fixed set of per-format I/O slots ([`io_record`] folds unknown
+/// format names into `"other"`).
+pub const IO_FORMATS: [&str; 10] = [
+    "ms", "vcf", "matrix", "bed", "bim", "fam", "ped", "map", "fasta", "other",
+];
+
+#[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+fn io_slot(format: &str) -> usize {
+    IO_FORMATS
+        .iter()
+        .position(|&f| f == format)
+        .unwrap_or(IO_FORMATS.len() - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Enabled implementation: static atomics, relaxed ordering.
+// ---------------------------------------------------------------------------
+#[cfg(feature = "metrics")]
+mod imp {
+    use super::{io_slot, Counter, MAX_WORKERS};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    #[allow(clippy::declare_interior_mutable_const)] // array-init pattern
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) static COUNTERS: [AtomicU64; Counter::COUNT] = [ZERO; Counter::COUNT];
+    pub(super) static WORKER_TILES: [AtomicU64; MAX_WORKERS] = [ZERO; MAX_WORKERS];
+    pub(super) static WORKER_STEALS: [AtomicU64; MAX_WORKERS] = [ZERO; MAX_WORKERS];
+    pub(super) static IO_LINES: [AtomicU64; super::IO_FORMATS.len()] =
+        [ZERO; super::IO_FORMATS.len()];
+    pub(super) static IO_BYTES: [AtomicU64; super::IO_FORMATS.len()] =
+        [ZERO; super::IO_FORMATS.len()];
+    pub(super) static KERNEL_NAME: Mutex<Option<&'static str>> = Mutex::new(None);
+
+    #[inline]
+    pub(super) fn add(c: Counter, v: u64) {
+        if v != 0 {
+            COUNTERS[c as usize].fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(super) fn record_peak(c: Counter, v: u64) {
+        COUNTERS[c as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(super) fn get(c: Counter) -> u64 {
+        COUNTERS[c as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(super) fn worker_claim(worker: usize, stolen: bool) {
+        let w = worker.min(MAX_WORKERS - 1);
+        WORKER_TILES[w].fetch_add(1, Ordering::Relaxed);
+        add(Counter::TilesClaimed, 1);
+        if stolen {
+            WORKER_STEALS[w].fetch_add(1, Ordering::Relaxed);
+            add(Counter::StealCount, 1);
+        }
+    }
+
+    #[inline]
+    pub(super) fn io_record(format: &str, lines: u64, bytes: u64) {
+        let s = io_slot(format);
+        if lines != 0 {
+            IO_LINES[s].fetch_add(lines, Ordering::Relaxed);
+            add(Counter::IoLinesRead, lines);
+        }
+        if bytes != 0 {
+            IO_BYTES[s].fetch_add(bytes, Ordering::Relaxed);
+            add(Counter::IoBytesRead, bytes);
+        }
+    }
+
+    pub(super) fn set_kernel_name(name: &'static str) {
+        *KERNEL_NAME
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(name);
+    }
+
+    pub(super) fn kernel_name() -> Option<&'static str> {
+        *KERNEL_NAME
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(super) fn reset() {
+        for c in &COUNTERS {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in WORKER_TILES.iter().chain(&WORKER_STEALS) {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in IO_LINES.iter().chain(&IO_BYTES) {
+            c.store(0, Ordering::Relaxed);
+        }
+        // the resolved kernel name is process-lifetime state; keep it
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API. With `metrics` off every function is an inlined no-op and
+// `Stopwatch` is zero-sized.
+// ---------------------------------------------------------------------------
+
+/// True when the `metrics` feature is compiled in.
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "metrics")
+}
+
+/// Adds `v` to counter `c` (relaxed atomic add; no-op when disabled).
+#[inline(always)]
+pub fn add(c: Counter, v: u64) {
+    #[cfg(feature = "metrics")]
+    imp::add(c, v);
+    #[cfg(not(feature = "metrics"))]
+    let _ = (c, v);
+}
+
+/// Raises gauge `c` to at least `v` (atomic max; no-op when disabled).
+#[inline(always)]
+pub fn record_peak(c: Counter, v: u64) {
+    #[cfg(feature = "metrics")]
+    imp::record_peak(c, v);
+    #[cfg(not(feature = "metrics"))]
+    let _ = (c, v);
+}
+
+/// Current value of counter `c` (always 0 when disabled).
+#[inline(always)]
+pub fn get(c: Counter) -> u64 {
+    #[cfg(feature = "metrics")]
+    return imp::get(c);
+    #[cfg(not(feature = "metrics"))]
+    {
+        let _ = c;
+        0
+    }
+}
+
+/// Records one dynamic-scheduler chunk claimed by `worker`; `stolen`
+/// marks a chunk outside the worker's static even-split share.
+#[inline(always)]
+pub fn worker_claim(worker: usize, stolen: bool) {
+    #[cfg(feature = "metrics")]
+    imp::worker_claim(worker, stolen);
+    #[cfg(not(feature = "metrics"))]
+    let _ = (worker, stolen);
+}
+
+/// Records `lines`/`bytes` parsed by the reader for `format` (folded into
+/// the fixed [`IO_FORMATS`] slots).
+#[inline(always)]
+pub fn io_record(format: &str, lines: u64, bytes: u64) {
+    #[cfg(feature = "metrics")]
+    imp::io_record(format, lines, bytes);
+    #[cfg(not(feature = "metrics"))]
+    let _ = (format, lines, bytes);
+}
+
+/// Records the concrete micro-kernel the dispatcher resolved (stable
+/// name, e.g. `"avx512-vpopcnt"`). Survives [`reset`].
+#[inline(always)]
+pub fn set_kernel_name(name: &'static str) {
+    #[cfg(feature = "metrics")]
+    imp::set_kernel_name(name);
+    #[cfg(not(feature = "metrics"))]
+    let _ = name;
+}
+
+/// The last resolved micro-kernel name, if any was recorded.
+#[inline(always)]
+pub fn kernel_name() -> Option<&'static str> {
+    #[cfg(feature = "metrics")]
+    return imp::kernel_name();
+    #[cfg(not(feature = "metrics"))]
+    None
+}
+
+/// Zeroes every counter and per-worker/per-format slot (the resolved
+/// kernel name is kept — it is process-lifetime state).
+#[inline(always)]
+pub fn reset() {
+    #[cfg(feature = "metrics")]
+    imp::reset();
+}
+
+/// A scoped wall-clock timer. Zero-sized and clock-free when `metrics` is
+/// disabled, so it can wrap hot loops unconditionally:
+///
+/// ```
+/// let t = ld_trace::Stopwatch::start();
+/// // ... work ...
+/// t.stop_into(ld_trace::Counter::KernelNs);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "metrics")]
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts the timer (reads the clock only when metrics are enabled).
+    #[inline(always)]
+    pub fn start() -> Self {
+        Self {
+            #[cfg(feature = "metrics")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (0 when disabled).
+    #[inline(always)]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            let d = self.start.elapsed();
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(not(feature = "metrics"))]
+        0
+    }
+
+    /// Adds the elapsed time to counter `c` and consumes the timer.
+    #[inline(always)]
+    pub fn stop_into(self, c: Counter) {
+        add(c, self.elapsed_ns());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsReport
+// ---------------------------------------------------------------------------
+
+/// Per-worker dynamic-scheduler activity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Worker id (`tid`), 0-based; ids ≥ [`MAX_WORKERS`] fold into the last slot.
+    pub worker: usize,
+    /// Chunks this worker claimed.
+    pub tiles_claimed: u64,
+    /// Chunks claimed outside its static even-split share.
+    pub steal_count: u64,
+}
+
+/// Per-format parser activity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoMetrics {
+    /// Format slot name (one of [`IO_FORMATS`]).
+    pub format: &'static str,
+    /// Lines parsed.
+    pub lines_read: u64,
+    /// Bytes consumed.
+    pub bytes_read: u64,
+}
+
+/// A point-in-time snapshot of every counter, with optional run context
+/// (wall time, thread count, TSC frequency, resolved kernel) supplied by
+/// the caller. Serializes to the stable JSON validated by
+/// `schemas/metrics.schema.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Whether the `metrics` feature was compiled in (all counters are 0 otherwise).
+    pub enabled: bool,
+    /// Resolved micro-kernel name, when the dispatcher ran.
+    pub kernel: Option<String>,
+    /// Worker-thread count of the profiled run (caller-supplied).
+    pub threads: Option<u64>,
+    /// Wall time of the profiled region, nanoseconds (caller-supplied).
+    pub wall_ns: Option<u64>,
+    /// Calibrated TSC frequency in Hz (caller-supplied; enables ops/cycle).
+    pub tsc_hz: Option<f64>,
+    /// Counter values in [`Counter::ALL`] order.
+    pub counters: [u64; Counter::COUNT],
+    /// Per-worker scheduler activity (only workers that claimed ≥ 1 chunk).
+    pub workers: Vec<WorkerMetrics>,
+    /// Per-format parser activity (only formats that read ≥ 1 line/byte).
+    pub io: Vec<IoMetrics>,
+}
+
+impl MetricsReport {
+    /// Snapshots the current counter state.
+    pub fn capture() -> Self {
+        let mut counters = [0u64; Counter::COUNT];
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            counters[i] = get(*c);
+        }
+        #[cfg_attr(not(feature = "metrics"), allow(unused_mut))]
+        let mut workers = Vec::new();
+        #[cfg_attr(not(feature = "metrics"), allow(unused_mut))]
+        let mut io = Vec::new();
+        #[cfg(feature = "metrics")]
+        {
+            use std::sync::atomic::Ordering;
+            for w in 0..MAX_WORKERS {
+                let tiles = imp::WORKER_TILES[w].load(Ordering::Relaxed);
+                let steals = imp::WORKER_STEALS[w].load(Ordering::Relaxed);
+                if tiles != 0 || steals != 0 {
+                    workers.push(WorkerMetrics {
+                        worker: w,
+                        tiles_claimed: tiles,
+                        steal_count: steals,
+                    });
+                }
+            }
+            for (s, name) in IO_FORMATS.iter().enumerate() {
+                let lines = imp::IO_LINES[s].load(Ordering::Relaxed);
+                let bytes = imp::IO_BYTES[s].load(Ordering::Relaxed);
+                if lines != 0 || bytes != 0 {
+                    io.push(IoMetrics {
+                        format: name,
+                        lines_read: lines,
+                        bytes_read: bytes,
+                    });
+                }
+            }
+        }
+        Self {
+            schema_version: SCHEMA_VERSION,
+            enabled: enabled(),
+            kernel: kernel_name().map(str::to_owned),
+            threads: None,
+            wall_ns: None,
+            tsc_hz: None,
+            counters,
+            workers,
+            io,
+        }
+    }
+
+    /// Attaches the wall time of the profiled region.
+    pub fn with_wall_ns(mut self, ns: u64) -> Self {
+        self.wall_ns = Some(ns);
+        self
+    }
+
+    /// Attaches the worker-thread count of the profiled run.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads as u64);
+        self
+    }
+
+    /// Attaches the calibrated TSC frequency (enables ops/cycle output).
+    pub fn with_tsc_hz(mut self, hz: Option<f64>) -> Self {
+        self.tsc_hz = hz;
+        self
+    }
+
+    /// Value of a counter in this snapshot.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Sum of the per-layer timers: `pack_a + pack_b + kernel + transform`.
+    pub fn layer_ns_total(&self) -> u64 {
+        self.get(Counter::PackANs)
+            .saturating_add(self.get(Counter::PackBNs))
+            .saturating_add(self.get(Counter::KernelNs))
+            .saturating_add(self.get(Counter::TransformNs))
+    }
+
+    /// Fraction of `threads × wall` the per-layer timers account for
+    /// (`None` without wall/thread context). Timers sum CPU time across
+    /// workers, so this is busy-time coverage, not a wall-time ratio.
+    pub fn layer_coverage(&self) -> Option<f64> {
+        let wall = self.wall_ns? as f64;
+        let threads = self.threads?.max(1) as f64;
+        if wall <= 0.0 {
+            return None;
+        }
+        Some(self.layer_ns_total() as f64 / (wall * threads))
+    }
+
+    /// Word-pair operations per cycle in the micro-kernel (`None` without
+    /// a TSC frequency or kernel time). The scalar §IV peak is 1.
+    pub fn words_per_cycle(&self) -> Option<f64> {
+        let hz = self.tsc_hz?;
+        let kns = self.get(Counter::KernelNs);
+        if kns == 0 || hz <= 0.0 {
+            return None;
+        }
+        let cycles = kns as f64 * hz / 1e9;
+        Some(self.get(Counter::KernelWords) as f64 / cycles)
+    }
+
+    /// Serializes to the stable-schema JSON (hand-rolled; this workspace
+    /// builds offline with no external deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(s, "  \"enabled\": {},", self.enabled);
+        match &self.kernel {
+            Some(k) => {
+                let _ = writeln!(s, "  \"kernel\": \"{}\",", escape_json(k));
+            }
+            None => s.push_str("  \"kernel\": null,\n"),
+        }
+        match self.threads {
+            Some(t) => {
+                let _ = writeln!(s, "  \"threads\": {t},");
+            }
+            None => s.push_str("  \"threads\": null,\n"),
+        }
+        match self.wall_ns {
+            Some(w) => {
+                let _ = writeln!(s, "  \"wall_ns\": {w},");
+            }
+            None => s.push_str("  \"wall_ns\": null,\n"),
+        }
+        match self.tsc_hz {
+            Some(hz) => {
+                let _ = writeln!(s, "  \"tsc_hz\": {hz:.1},");
+            }
+            None => s.push_str("  \"tsc_hz\": null,\n"),
+        }
+        s.push_str("  \"counters\": {\n");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            let _ = write!(s, "    \"{}\": {}", c.name(), self.counters[i]);
+            s.push_str(if i + 1 == Counter::COUNT { "\n" } else { ",\n" });
+        }
+        s.push_str("  },\n  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"worker\": {}, \"tiles_claimed\": {}, \"steal_count\": {}}}",
+                w.worker, w.tiles_claimed, w.steal_count
+            );
+            s.push_str(if i + 1 == self.workers.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ],\n  \"io\": [\n");
+        for (i, m) in self.io.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"format\": \"{}\", \"lines_read\": {}, \"bytes_read\": {}}}",
+                escape_json(m.format),
+                m.lines_read,
+                m.bytes_read
+            );
+            s.push_str(if i + 1 == self.io.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders a human-readable per-layer breakdown (the `--profile=text`
+    /// output).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        if !self.enabled {
+            s.push_str(
+                "metrics disabled (build with `--features metrics`; \
+                 the default ld-cli build enables them)\n",
+            );
+            return s;
+        }
+        if let Some(k) = &self.kernel {
+            let _ = writeln!(s, "kernel          : {k}");
+        }
+        if let Some(t) = self.threads {
+            let _ = writeln!(s, "threads         : {t}");
+        }
+        if let Some(w) = self.wall_ns {
+            let _ = writeln!(s, "wall            : {}", fmt_ns(w));
+        }
+        let layers = [
+            ("pack_a", Counter::PackANs),
+            ("pack_b", Counter::PackBNs),
+            ("kernel", Counter::KernelNs),
+            ("transform", Counter::TransformNs),
+        ];
+        let total = self.layer_ns_total().max(1);
+        for (name, c) in layers {
+            let v = self.get(c);
+            let _ = writeln!(
+                s,
+                "{name:<16}: {:>10}  ({:5.1}% of layer time)",
+                fmt_ns(v),
+                100.0 * v as f64 / total as f64
+            );
+        }
+        if let Some(cov) = self.layer_coverage() {
+            let _ = writeln!(
+                s,
+                "layer coverage  : {:5.1}% of threads x wall",
+                100.0 * cov
+            );
+        }
+        let _ = writeln!(
+            s,
+            "kernel tiles    : {} ({} word-pair ops)",
+            self.get(Counter::KernelTiles),
+            self.get(Counter::KernelWords)
+        );
+        if let Some(wpc) = self.words_per_cycle() {
+            let _ = writeln!(
+                s,
+                "ops/cycle       : {:.2} word-pairs/cycle = {:.2} ops/cycle \
+                 (scalar peak: 1 word-pair = 3 ops)",
+                wpc,
+                3.0 * wpc
+            );
+        }
+        let _ = writeln!(
+            s,
+            "bytes packed    : {} · slabs: {} · budget shrinks: {} · alloc peak: {} B",
+            self.get(Counter::BytesPacked),
+            self.get(Counter::SlabsEmitted),
+            self.get(Counter::BudgetShrinks),
+            self.get(Counter::AllocPeakBytes),
+        );
+        if !self.workers.is_empty() {
+            let _ = writeln!(
+                s,
+                "scheduler       : {} chunks claimed, {} steals across {} workers",
+                self.get(Counter::TilesClaimed),
+                self.get(Counter::StealCount),
+                self.workers.len()
+            );
+            for w in &self.workers {
+                let _ = writeln!(
+                    s,
+                    "  worker {:<3}    : {} claimed, {} stolen",
+                    w.worker, w.tiles_claimed, w.steal_count
+                );
+            }
+        }
+        if !self.io.is_empty() {
+            for m in &self.io {
+                let _ = writeln!(
+                    s,
+                    "io [{:<6}]     : {} lines, {} bytes",
+                    m.format, m.lines_read, m.bytes_read
+                );
+            }
+        }
+        s
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_stable_and_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let n = names.len();
+        assert_eq!(n, Counter::COUNT);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate counter name");
+    }
+
+    #[test]
+    fn io_slot_folds_unknown_formats() {
+        assert_eq!(io_slot("ms"), 0);
+        assert_eq!(io_slot("definitely-not-a-format"), IO_FORMATS.len() - 1);
+        assert_eq!(IO_FORMATS[io_slot("nope")], "other");
+    }
+
+    #[test]
+    fn report_json_is_schema_shaped() {
+        let r = MetricsReport::capture()
+            .with_wall_ns(123)
+            .with_threads(4)
+            .with_tsc_hz(Some(3.0e9));
+        let j = r.to_json();
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"counters\""));
+        assert!(j.contains("\"pack_a_ns\""));
+        assert!(j.contains("\"workers\""));
+        assert!(j.contains("\"io\""));
+        assert!(j.contains("\"wall_ns\": 123"));
+        // every counter name appears exactly once
+        for c in Counter::ALL {
+            assert_eq!(
+                j.matches(&format!("\"{}\"", c.name())).count(),
+                1,
+                "{}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_partition_is_fixed() {
+        // pin the determinism contract: changing it silently would
+        // invalidate the counter-invariant tests
+        let det: Vec<&str> = Counter::ALL
+            .iter()
+            .filter(|c| c.is_deterministic())
+            .map(|c| c.name())
+            .collect();
+        assert_eq!(
+            det,
+            [
+                "kernel_tiles",
+                "kernel_words",
+                "bytes_packed",
+                "slabs_emitted",
+                "budget_shrinks",
+                "tiles_claimed",
+                "io_lines_read",
+                "io_bytes_read",
+            ]
+        );
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        add(Counter::KernelTiles, 3);
+        add(Counter::KernelTiles, 4);
+        record_peak(Counter::AllocPeakBytes, 100);
+        record_peak(Counter::AllocPeakBytes, 50);
+        assert_eq!(get(Counter::KernelTiles), 7);
+        assert_eq!(get(Counter::AllocPeakBytes), 100);
+        worker_claim(2, true);
+        worker_claim(2, false);
+        io_record("vcf", 5, 80);
+        let r = MetricsReport::capture();
+        assert!(r.enabled);
+        assert_eq!(r.get(Counter::TilesClaimed), 2);
+        assert_eq!(r.get(Counter::StealCount), 1);
+        assert_eq!(
+            r.workers,
+            vec![WorkerMetrics {
+                worker: 2,
+                tiles_claimed: 2,
+                steal_count: 1
+            }]
+        );
+        assert_eq!(
+            r.io,
+            vec![IoMetrics {
+                format: "vcf",
+                lines_read: 5,
+                bytes_read: 80
+            }]
+        );
+        reset();
+        assert_eq!(get(Counter::KernelTiles), 0);
+        assert!(MetricsReport::capture().workers.is_empty());
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn stopwatch_measures_time() {
+        let t = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(t.elapsed_ns() >= 2_000_000);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+
+    #[test]
+    fn fmt_ns_ranges() {
+        assert!(fmt_ns(500).ends_with("us"));
+        assert!(fmt_ns(5_000_000).ends_with("ms"));
+        assert!(fmt_ns(5_000_000_000).ends_with('s'));
+    }
+}

@@ -7,7 +7,14 @@
 #   3. clippy (strict) — unwrap/expect denied in the panic-free crates
 #   4. release build
 #   5. workspace tests (quiet)
-#   6. malformed-input corpus through the CLI — every fixture must fail
+#   6. feature matrix — the compute stack passes with the `metrics`
+#      instrumentation compiled out AND compiled in
+#   7. zero-overhead guard — metrics-on and metrics-off CLI builds produce
+#      byte-identical r² tables (threads 1/2/7), and `--profile=json`
+#      validates against schemas/metrics.schema.json
+#   8. perf smoke — the metrics-off build must not trail the metrics-on
+#      build by > 2% (warning by default; CI_STRICT_PERF=1 makes it fatal)
+#   9. malformed-input corpus through the CLI — every fixture must fail
 #      with a nonzero exit and a single error line, never a panic
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
@@ -31,6 +38,77 @@ run cargo clippy --no-deps -p ld-core -p ld-parallel -p ld-io -p ld-bitmat --off
     -D warnings -D clippy::unwrap-used -D clippy::expect-used
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
+
+# Feature matrix: the workspace leg above unifies `metrics` ON (ld-cli and
+# ld-bench default it); this leg pins the compiled-OUT build of the compute
+# stack, then the explicit compiled-IN build of the same package set (which
+# includes the metrics_invariants counter tests).
+echo "==> feature matrix: compute stack with metrics compiled out"
+run cargo test -q --offline -p ld-trace -p ld-kernels -p ld-parallel -p ld-io -p ld-core
+echo "==> feature matrix: compute stack with metrics compiled in"
+run cargo test -q --offline -p ld-trace -p ld-kernels -p ld-parallel -p ld-io -p ld-core \
+    --features "ld-trace/metrics ld-kernels/metrics ld-parallel/metrics ld-io/metrics ld-core/metrics"
+
+# Zero-overhead guard: the instrumentation must never change results.
+# Build the CLI both ways, run the same simulated dataset through each at
+# 1/2/7 threads, and require byte-identical pair tables; the metrics run
+# also emits --profile=json for schema validation below.
+echo "==> zero-overhead guard: metrics-on vs metrics-off bit-exactness"
+run cargo build --release --offline -p ld-cli
+cp target/release/gemm-ld target/release/gemm-ld.metrics
+run cargo build --release --offline -p ld-cli --no-default-features
+cp target/release/gemm-ld target/release/gemm-ld.nometrics
+GUARD_SIM=target/ci-guard.ms
+run target/release/gemm-ld.metrics simulate --samples 400 --snps 300 --seed 42 -o "$GUARD_SIM"
+for T in 1 2 7; do
+    target/release/gemm-ld.metrics r2 -i "$GUARD_SIM" --threads "$T" \
+        --profile=json --profile-out "target/ci-profile-t$T.json" \
+        -o "target/ci-on-t$T.tsv" 2>/dev/null
+    target/release/gemm-ld.nometrics r2 -i "$GUARD_SIM" --threads "$T" \
+        -o "target/ci-off-t$T.tsv" 2>/dev/null
+    if ! cmp -s "target/ci-on-t$T.tsv" "target/ci-off-t$T.tsv"; then
+        echo "guard FAIL: metrics-on and metrics-off outputs differ (threads=$T)" >&2
+        exit 1
+    fi
+done
+echo "    metrics-on and metrics-off outputs byte-identical (threads 1/2/7)"
+
+echo "==> schema validation: --profile=json vs schemas/metrics.schema.json"
+if command -v python3 >/dev/null 2>&1; then
+    for T in 1 2 7; do
+        run python3 scripts/validate_metrics.py schemas/metrics.schema.json "target/ci-profile-t$T.json"
+    done
+else
+    echo "    python3 unavailable; schema validation skipped"
+fi
+
+# Perf smoke: with the feature compiled out the binary must be at least as
+# fast as the instrumented one (the counters are supposed to be the only
+# cost, and they are compiled to no-ops). Timing in CI is noisy, so a
+# violation warns unless CI_STRICT_PERF=1.
+echo "==> perf smoke: metrics-off vs metrics-on wall time"
+PERF_SIM=target/ci-perf.ms
+run target/release/gemm-ld.metrics simulate --samples 500 --snps 1500 --seed 7 -o "$PERF_SIM"
+best_wall() {
+    local bin=$1 best="" t
+    for _ in 1 2 3 4 5; do
+        t=$("$bin" r2 -i "$PERF_SIM" --threads 2 2>&1 >/dev/null \
+            | sed -n 's/.* in \([0-9.]*\)s .*/\1/p')
+        if [ -z "$best" ] || awk -v a="$t" -v b="$best" 'BEGIN{exit !(a<b)}'; then
+            best=$t
+        fi
+    done
+    echo "$best"
+}
+ON_SECS=$(best_wall target/release/gemm-ld.metrics)
+OFF_SECS=$(best_wall target/release/gemm-ld.nometrics)
+echo "    best-of-5 wall: metrics-on ${ON_SECS}s, metrics-off ${OFF_SECS}s"
+if awk -v on="$ON_SECS" -v off="$OFF_SECS" 'BEGIN{exit !(off > on * 1.02)}'; then
+    echo "    WARNING: metrics-off slower than metrics-on by > 2% (noise or regression)"
+    if [ "${CI_STRICT_PERF:-0}" = "1" ]; then
+        exit 1
+    fi
+fi
 
 # Corpus step: feed every text-format fixture from the malformed-input
 # corpus to the release CLI. Each must exit nonzero with an `error:`
