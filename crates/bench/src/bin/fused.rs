@@ -257,7 +257,9 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
     let path = "BENCH_fused.json";
-    match std::fs::write(path, &json) {
+    // temp + fsync + rename: a crashed bench run never leaves a truncated
+    // metrics file for the CI validator to trip over
+    match ld_io::atomic::write_atomic(path, json.as_bytes()) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -3,15 +3,19 @@
 use crate::args::Args;
 use crate::error::CliError;
 use ld_bitmat::BitMatrix;
-use ld_core::{LdEngine, NanPolicy};
+use ld_core::{
+    CancelToken, CheckpointPlan, CheckpointState, Deadline, LdEngine, NanPolicy, RunControl,
+};
 use ld_data::HaplotypeSimulator;
 use ld_data::SweepSimulator;
 use ld_ext::tanimoto::{tanimoto_cross, top_k_neighbors};
+use ld_io::atomic::{write_atomic, write_atomic_with};
 use ld_kernels::KernelKind;
 use ld_omega::OmegaScan;
 use ld_popcount::CpuFeatures;
 use std::io::BufReader;
 use std::path::Path;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "gemm-ld — linkage disequilibrium as dense linear algebra
@@ -29,6 +33,10 @@ COMMANDS:
               [--kernel auto|scalar|avx2-mula|avx512-vpopcnt]
               [--stat r2|d|dprime] [-o pairs.tsv]
               [--profile[=text|json]] [--profile-out metrics.json]
+              [--timeout SECS] [--checkpoint FILE [--resume]]
+              (SIGINT or an expired --timeout stops at the next slab
+              boundary with exit code 5; --checkpoint makes the run
+              resumable, --resume picks it back up bit-identically)
   omega       selective-sweep scan (omega statistic)
               -i in.{ms,txt,vcf} [--window W] [--step S] [--threads T]
   tanimoto    all-vs-all fingerprint similarity
@@ -68,6 +76,90 @@ fn parse_profile(args: &Args) -> Result<Option<&'static str>, CliError> {
     }
 }
 
+/// Parsed interruption/recovery flags of a long-running command.
+struct Interruption {
+    /// Tripped by SIGINT (via the watcher) or cancelled to reap it.
+    token: CancelToken,
+    /// `--timeout SECS` as a monotonic deadline.
+    deadline: Option<Deadline>,
+    /// `--checkpoint FILE` destination.
+    checkpoint_path: Option<String>,
+    /// Parsed `--resume` state (validated against the input by the engine).
+    resume_state: Option<CheckpointState>,
+}
+
+impl Interruption {
+    /// Parses `--timeout` / `--checkpoint` / `--resume` and, when any
+    /// interruption feature is requested, installs the SIGINT handler
+    /// (plain runs keep the default SIGINT disposition).
+    fn parse(args: &Args) -> Result<Self, CliError> {
+        let timeout = match args.get("timeout") {
+            None | Some("") => None,
+            Some(v) => {
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid value '{v}' for --timeout")))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(CliError::Usage(format!(
+                        "--timeout must be a non-negative number of seconds, got '{v}'"
+                    )));
+                }
+                Some(secs)
+            }
+        };
+        let checkpoint_path = args
+            .get("checkpoint")
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned);
+        let resume_state = if args.has("resume") {
+            let Some(path) = checkpoint_path.as_deref() else {
+                return Err(CliError::Usage(
+                    "--resume requires --checkpoint FILE".into(),
+                ));
+            };
+            if Path::new(path).exists() {
+                Some(ld_io::checkpoint::read_checkpoint_path(path)?)
+            } else {
+                eprintln!("no checkpoint at {path}; starting fresh");
+                None
+            }
+        } else {
+            None
+        };
+        let token = CancelToken::new();
+        if timeout.is_some() || checkpoint_path.is_some() {
+            crate::interrupt::install_sigint_watcher(&token);
+        }
+        Ok(Self {
+            token,
+            deadline: timeout.map(|s| Deadline::after(Duration::from_secs_f64(s))),
+            checkpoint_path,
+            resume_state,
+        })
+    }
+
+    /// True when any interruption feature was requested.
+    fn active(&self) -> bool {
+        self.deadline.is_some() || self.checkpoint_path.is_some()
+    }
+
+    /// Reaps the SIGINT watcher thread after a finished run (tripping the
+    /// token after completion changes nothing — the loop already drained).
+    fn finish(&self) {
+        if self.active() && !self.token.is_cancelled() {
+            self.token.cancel_with_reason("run complete");
+        }
+    }
+}
+
+impl Drop for Interruption {
+    /// Runs on every exit path (success *and* error returns), so the
+    /// watcher thread never outlives the command.
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
 /// Captures the per-layer metrics accumulated since the last
 /// [`ld_trace::reset`] and emits them: text to stderr, JSON to stdout or
 /// to `--profile-out FILE`. When the binary was built without the
@@ -87,7 +179,7 @@ fn emit_profile(
         let body = report.to_json();
         match out {
             Some(path) if !path.is_empty() => {
-                std::fs::write(path, body + "\n")?;
+                write_atomic(path, (body + "\n").as_bytes())?;
                 eprintln!("wrote profile to {path}");
             }
             _ => println!("{body}"),
@@ -115,15 +207,16 @@ pub fn load_matrix(path: &str) -> Result<BitMatrix, CliError> {
     }
 }
 
-/// Saves a haplotype matrix, dispatching on the file extension.
+/// Saves a haplotype matrix, dispatching on the file extension. The write
+/// is atomic (temp + fsync + rename): an interrupted run never leaves a
+/// truncated file under the final name.
 pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), CliError> {
     let p = Path::new(path);
     let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
-    let create = || {
-        std::fs::File::create(p)
-            .map_err(|e| CliError::Resource(format!("cannot create {path}: {e}")))
-    };
-    match ext {
+    // ld-io format errors inside the atomic closure ride on io::Error;
+    // they all classify as resource failures here anyway.
+    let io_other = |e: ld_io::IoError| std::io::Error::other(e.to_string());
+    let result = match ext {
         "ms" => {
             let rep = ld_io::ms::MsReplicate {
                 positions: (0..g.n_snps())
@@ -131,28 +224,26 @@ pub fn save_matrix(path: &str, g: &BitMatrix) -> Result<(), CliError> {
                     .collect(),
                 matrix: g.clone(),
             };
-            Ok(ld_io::ms::write_ms(
-                std::io::BufWriter::new(create()?),
-                std::slice::from_ref(&rep),
-            )?)
+            write_atomic_with(p, |w| {
+                ld_io::ms::write_ms(w, std::slice::from_ref(&rep)).map_err(io_other)
+            })
         }
         "vcf" => {
             let sites = ld_io::vcf::synthetic_sites(g.n_snps(), 1000);
-            Ok(ld_io::vcf::write_vcf(
-                std::io::BufWriter::new(create()?),
-                g,
-                &sites,
-                1,
-            )?)
+            write_atomic_with(p, |w| {
+                ld_io::vcf::write_vcf(w, g, &sites, 1).map_err(io_other)
+            })
         }
-        "txt" | "mat" | "" => Ok(ld_io::text::write_matrix(
-            std::io::BufWriter::new(create()?),
-            g,
-        )?),
-        other => Err(CliError::Usage(format!(
-            "unsupported output extension '.{other}'"
-        ))),
-    }
+        "txt" | "mat" | "" => {
+            write_atomic_with(p, |w| ld_io::text::write_matrix(w, g).map_err(io_other))
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unsupported output extension '.{other}'"
+            )))
+        }
+    };
+    result.map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))
 }
 
 /// `gemm-ld info`
@@ -218,6 +309,7 @@ pub fn r2(args: &Args) -> CmdResult {
         // accumulated state alone).
         ld_trace::reset();
     }
+    let mut intr = Interruption::parse(args)?;
     let input = args.require("input")?;
     let g = load_matrix(input)?;
     let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
@@ -232,6 +324,23 @@ pub fn r2(args: &Args) -> CmdResult {
         .kernel(parse_kernel(args)?)
         .threads(threads)
         .nan_policy(NanPolicy::Zero);
+    // Run control: SIGINT token + --timeout deadline + --checkpoint plan.
+    // The sink must outlive the plan borrowing it.
+    let sink = intr
+        .checkpoint_path
+        .clone()
+        .map(ld_io::checkpoint::AtomicFileSink::new);
+    let mut ctl = RunControl::new().with_token(&intr.token);
+    if let Some(d) = intr.deadline {
+        ctl = ctl.with_deadline(d);
+    }
+    if let Some(s) = &sink {
+        let mut plan = CheckpointPlan::new(s).every_secs(5.0);
+        if let Some(state) = intr.resume_state.take() {
+            plan = plan.resume_from(state);
+        }
+        ctl = ctl.with_checkpoint(plan);
+    }
     let t0 = std::time::Instant::now();
     // Compute-region wall time (excludes the result post-processing below),
     // captured where each branch finishes its LD computation — this is the
@@ -239,79 +348,142 @@ pub fn r2(args: &Args) -> CmdResult {
     // uninitialized: both match arms assign it exactly once.
     let compute_wall_ns;
     let pairs = g.n_snps() * (g.n_snps() + 1) / 2;
+    let print_summary = |wall: std::time::Duration| {
+        let dt = wall.as_secs_f64();
+        eprintln!(
+            "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
+            g.n_snps(),
+            g.n_samples(),
+            pairs,
+            dt,
+            pairs as f64 / dt / 1e6
+        );
+    };
     match args.get("output") {
-        Some(path) if !path.is_empty() => {
+        // Streaming path — only without --checkpoint: the streaming driver
+        // hands each slab to the writer and retains nothing, so there is no
+        // engine-side state to persist (the packed path below has).
+        Some(path) if !path.is_empty() && sink.is_none() => {
             // Stream row slabs straight into the table — the full packed
             // matrix is never materialized, so memory stays at the engine's
             // O(threads × slab × n_snps) scratch bound regardless of n.
+            // The table itself is written atomically: it appears under
+            // `path` only complete — a cancelled run leaves no torn file.
             use std::fmt::Write as _;
             use std::io::Write as _;
-            let f = std::fs::File::create(path)?;
-            let mut w = std::io::BufWriter::new(f);
-            writeln!(w, "SNP_A\tSNP_B\tR2")?;
-            // slabs arrive in unspecified order under threading: hold
-            // out-of-order blocks briefly and flush the in-order prefix
-            let mut pending: std::collections::BTreeMap<usize, (usize, String)> =
-                std::collections::BTreeMap::new();
-            let mut next_row = 0usize;
-            let mut io_err: Option<std::io::Error> = None;
-            engine.try_stat_rows(&g, stat, |s| {
-                let mut block = String::new();
-                for (i, row) in s.rows() {
-                    for (t, &v) in row.iter().enumerate().skip(1) {
-                        if !v.is_nan() && v >= min_r2 {
-                            let _ = writeln!(block, "snp{i}\tsnp{}\t{v:.6}", i + t);
+            let mut ld_err: Option<ld_core::LdError> = None;
+            let res = write_atomic_with(path, |w| {
+                writeln!(w, "SNP_A\tSNP_B\tR2")?;
+                // slabs arrive in unspecified order under threading: hold
+                // out-of-order blocks briefly and flush the in-order prefix
+                let mut pending: std::collections::BTreeMap<usize, (usize, String)> =
+                    std::collections::BTreeMap::new();
+                let mut next_row = 0usize;
+                let mut io_err: Option<std::io::Error> = None;
+                let mut fmt_err = false;
+                let run = engine.try_stat_rows_with(
+                    &g,
+                    stat,
+                    |s| {
+                        let mut block = String::new();
+                        for (i, row) in s.rows() {
+                            for (t, &v) in row.iter().enumerate().skip(1) {
+                                if !v.is_nan() && v >= min_r2 {
+                                    // String formatting cannot fail short of
+                                    // OOM, but swallowing the Result would
+                                    // silently drop rows — record it.
+                                    if writeln!(block, "snp{i}\tsnp{}\t{v:.6}", i + t).is_err() {
+                                        fmt_err = true;
+                                    }
+                                }
+                            }
                         }
-                    }
-                }
-                pending.insert(s.row_start(), (s.n_rows(), block));
-                while let Some((rows, block)) = pending.remove(&next_row) {
-                    next_row += rows;
-                    if io_err.is_none() {
-                        if let Err(e) = w.write_all(block.as_bytes()) {
-                            io_err = Some(e);
+                        pending.insert(s.row_start(), (s.n_rows(), block));
+                        while let Some((rows, block)) = pending.remove(&next_row) {
+                            next_row += rows;
+                            if io_err.is_none() {
+                                if let Err(e) = w.write_all(block.as_bytes()) {
+                                    io_err = Some(e);
+                                }
+                            }
                         }
-                    }
+                    },
+                    &ctl,
+                );
+                if let Err(e) = run {
+                    ld_err = Some(e);
+                    return Err(std::io::Error::other("LD computation failed"));
                 }
-            })?;
-            if let Some(e) = io_err {
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
+                if fmt_err {
+                    return Err(std::io::Error::other(
+                        "formatting a pair-table block failed",
+                    ));
+                }
+                Ok(())
+            });
+            if let Some(e) = ld_err {
                 return Err(e.into());
             }
-            w.flush()?;
+            res.map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
             let wall = t0.elapsed();
             compute_wall_ns = wall.as_nanos() as u64;
-            let dt = wall.as_secs_f64();
-            eprintln!(
-                "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
-                g.n_snps(),
-                g.n_samples(),
-                pairs,
-                dt,
-                pairs as f64 / dt / 1e6
-            );
+            print_summary(wall);
             eprintln!("wrote pair table to {path}");
         }
-        _ => {
-            let m = engine.try_stat_matrix(&g, stat)?;
+        output => {
+            // Packed-matrix path: the default, and mandatory under
+            // --checkpoint (completed slabs live in the packed triangle the
+            // engine snapshots).
+            let m = match engine.try_stat_matrix_with(&g, stat, &ctl) {
+                Ok(m) => m,
+                Err(e @ ld_core::LdError::Cancelled { .. }) => {
+                    if let Some(p) = &intr.checkpoint_path {
+                        return Err(CliError::Interrupted(format!(
+                            "{e}; resumable checkpoint saved to {p} (rerun with --resume)"
+                        )));
+                    }
+                    return Err(e.into());
+                }
+                Err(e) => return Err(e.into()),
+            };
             let wall = t0.elapsed();
             compute_wall_ns = wall.as_nanos() as u64;
-            let dt = wall.as_secs_f64();
-            eprintln!(
-                "{} SNPs x {} samples: {} LD values in {:.3}s ({:.1} MLD/s)",
-                g.n_snps(),
-                g.n_samples(),
-                pairs,
-                dt,
-                pairs as f64 / dt / 1e6
-            );
-            let mut kept: Vec<(usize, usize, f64)> = m
-                .iter_pairs()
-                .filter(|&(_, _, v)| !v.is_nan() && v >= min_r2)
-                .collect();
-            kept.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-            println!("top pairs (threshold {min_r2}):");
-            for (i, j, v) in kept.into_iter().take(20) {
-                println!("  snp{i:<6} snp{j:<6} {v:.4}");
+            print_summary(wall);
+            if let Some(p) = &intr.checkpoint_path {
+                // the run completed: its snapshot is now redundant
+                if std::fs::remove_file(p).is_ok() {
+                    eprintln!("run complete; removed checkpoint {p}");
+                }
+            }
+            match output {
+                Some(path) if !path.is_empty() => {
+                    use std::io::Write as _;
+                    write_atomic_with(path, |w| {
+                        writeln!(w, "SNP_A\tSNP_B\tR2")?;
+                        for (i, j, v) in m.iter_pairs() {
+                            if !v.is_nan() && v >= min_r2 {
+                                writeln!(w, "snp{i}\tsnp{j}\t{v:.6}")?;
+                            }
+                        }
+                        Ok(())
+                    })
+                    .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
+                    eprintln!("wrote pair table to {path}");
+                }
+                _ => {
+                    let mut kept: Vec<(usize, usize, f64)> = m
+                        .iter_pairs()
+                        .filter(|&(_, _, v)| !v.is_nan() && v >= min_r2)
+                        .collect();
+                    kept.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+                    println!("top pairs (threshold {min_r2}):");
+                    for (i, j, v) in kept.into_iter().take(20) {
+                        println!("  snp{i:<6} snp{j:<6} {v:.4}");
+                    }
+                }
             }
         }
     }
@@ -421,7 +593,7 @@ pub fn prune(args: &Args) -> CmdResult {
     match args.get("output") {
         Some(path) if !path.is_empty() => {
             let body: String = kept.iter().map(|i| format!("snp{i}\n")).collect();
-            std::fs::write(path, body)?;
+            write_atomic(path, body.as_bytes())?;
             eprintln!("wrote kept-SNP list to {path}");
         }
         _ => {
@@ -713,6 +885,74 @@ mod tests {
         assoc(&args(&["-i", mss, "--causal", "10,20", "--beta", "1.0"])).unwrap();
         assert!(assoc(&args(&["-i", mss, "--causal", "999"])).is_err());
         assert!(assoc(&args(&["-i", mss, "--causal", "x"])).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn r2_timeout_checkpoint_resume_cycle() {
+        let d = tmpdir();
+        let ms = d.join("intr.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "80", "--snps", "60", "-o", mss])).unwrap();
+        let ckpt = d.join("intr.ckpt");
+        let ckpts = ckpt.to_str().unwrap();
+        // An already-expired deadline: zero slabs run, but a checkpoint is
+        // flushed so the run is resumable; classified as exit 5.
+        let err = r2(&args(&["-i", mss, "--timeout", "0", "--checkpoint", ckpts])).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        assert!(err.to_string().contains("--resume"), "{err}");
+        assert!(ckpt.exists(), "checkpoint must be flushed on cancellation");
+        // Resume finishes the run and removes the now-redundant snapshot.
+        r2(&args(&["-i", mss, "--checkpoint", ckpts, "--resume"])).unwrap();
+        assert!(!ckpt.exists(), "checkpoint removed after a completed run");
+        // --resume without a file starts fresh instead of failing.
+        r2(&args(&["-i", mss, "--checkpoint", ckpts, "--resume"])).unwrap();
+        // usage errors
+        assert_eq!(
+            r2(&args(&["-i", mss, "--resume"])).unwrap_err().exit_code(),
+            2
+        );
+        assert_eq!(
+            r2(&args(&["-i", mss, "--timeout", "-3"]))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn r2_checkpointed_pair_table_matches_streamed() {
+        let d = tmpdir();
+        let ms = d.join("cmp.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "100", "--snps", "50", "-o", mss])).unwrap();
+        let plain = d.join("plain.tsv");
+        let ckpt_tab = d.join("ckpt.tsv");
+        let ckpt = d.join("cmp.ckpt");
+        r2(&args(&[
+            "-i",
+            mss,
+            "--min-r2",
+            "0.1",
+            "-o",
+            plain.to_str().unwrap(),
+        ]))
+        .unwrap();
+        r2(&args(&[
+            "-i",
+            mss,
+            "--min-r2",
+            "0.1",
+            "-o",
+            ckpt_tab.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a = std::fs::read_to_string(&plain).unwrap();
+        let b = std::fs::read_to_string(&ckpt_tab).unwrap();
+        assert_eq!(a, b, "packed-path table must match the streamed table");
         std::fs::remove_dir_all(&d).ok();
     }
 

@@ -6,6 +6,7 @@
 //! | 2    | usage    | unknown command/flag, missing `--input`, bad value |
 //! | 3    | parse    | malformed/truncated input file, duplicate samples  |
 //! | 4    | resource | I/O failure, allocation failure, limit/budget hit  |
+//! | 5    | interrupted | run cancelled (SIGINT / `--timeout`); with `--checkpoint` a resumable snapshot was flushed first |
 //!
 //! Every failure prints exactly one `error:` line on stderr — no panic
 //! backtraces (the corpus step in `scripts/ci.sh` asserts this).
@@ -21,6 +22,10 @@ pub enum CliError {
     Parse(String),
     /// Exit 4: the system refused a resource (I/O, memory, limits).
     Resource(String),
+    /// Exit 5: the run was cancelled cooperatively (SIGINT, `--timeout`);
+    /// when `--checkpoint` was given, a resumable snapshot was flushed
+    /// before this was reported.
+    Interrupted(String),
     /// Exit 1: anything else.
     Other(String),
 }
@@ -33,6 +38,7 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Parse(_) => 3,
             CliError::Resource(_) => 4,
+            CliError::Interrupted(_) => 5,
         }
     }
 }
@@ -43,6 +49,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m)
             | CliError::Parse(m)
             | CliError::Resource(m)
+            | CliError::Interrupted(m)
             | CliError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -88,6 +95,8 @@ impl From<ld_core::LdError> for CliError {
             }
             DimensionMismatch { .. } | EmptyInput => CliError::Parse(e.to_string()),
             InvalidConfig { .. } => CliError::Usage(e.to_string()),
+            Cancelled { .. } => CliError::Interrupted(e.to_string()),
+            Checkpoint { .. } => CliError::Resource(e.to_string()),
             _ => CliError::Other(e.to_string()),
         }
     }
@@ -132,5 +141,17 @@ mod tests {
         }
         .into();
         assert_eq!(e.exit_code(), 2);
+        let e: CliError = ld_core::LdError::Cancelled {
+            reason: "SIGINT".into(),
+            completed_slabs: 3,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 5);
+        assert!(e.to_string().contains("SIGINT"));
+        let e: CliError = ld_core::LdError::Checkpoint {
+            message: "bad magic".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 4);
     }
 }

@@ -1,0 +1,71 @@
+//! SIGINT → `CancelToken` bridge.
+//!
+//! The signal handler itself does the only async-signal-safe thing it can:
+//! one atomic store. A detached watcher thread converts that flag into a
+//! [`CancelToken`] trip (reason `"SIGINT"`) — the token's reason mutex must
+//! never be taken inside a signal handler. The engine then drains at the
+//! next slab boundary, flushes a final checkpoint when one is configured,
+//! and the run surfaces as exit code 5 with a resumable snapshot on disk.
+
+use ld_core::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the handler; drained by the watcher thread.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// POSIX SIGINT number (avoids a libc dependency for one constant).
+const SIGINT: i32 = 2;
+
+extern "C" {
+    /// POSIX `signal(2)`; handlers are passed as `sighandler_t` (a plain
+    /// address on every platform this workspace targets).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_sigint(_sig: i32) {
+    // Async-signal-safe: a single atomic store, no locks, no allocation.
+    SIGINT_SEEN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler and spawns the watcher that trips `token`
+/// with reason `"SIGINT"` when the signal arrives. The watcher exits as
+/// soon as the token is cancelled *for any reason* — trip it after a
+/// successful run (e.g. reason `"run complete"`) to reap the thread.
+pub fn install_sigint_watcher(token: &CancelToken) {
+    // SAFETY: `on_sigint` is async-signal-safe (one atomic store) and has
+    // the exact `extern "C" fn(c_int)` ABI `signal(2)` expects.
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    let t = token.clone();
+    std::thread::spawn(move || loop {
+        if SIGINT_SEEN.load(Ordering::SeqCst) {
+            t.cancel_with_reason("SIGINT");
+            return;
+        }
+        if t.is_cancelled() {
+            return; // run finished (or was cancelled elsewhere): reap
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watcher_trips_token_on_flag() {
+        let token = CancelToken::new();
+        install_sigint_watcher(&token);
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason().as_deref(), Some("SIGINT"));
+        SIGINT_SEEN.store(false, Ordering::SeqCst);
+    }
+}

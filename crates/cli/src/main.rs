@@ -12,14 +12,17 @@
 //! ## Exit codes
 //!
 //! `0` success · `1` other failure · `2` usage error · `3` input parse
-//! error · `4` resource error (I/O, memory, limits). Every failure is a
-//! single `error:` line on stderr — never a panic backtrace.
+//! error · `4` resource error (I/O, memory, limits) · `5` interrupted
+//! (SIGINT / `--timeout`; with `--checkpoint` a resumable snapshot was
+//! flushed first). Every failure is a single `error:` line on stderr —
+//! never a panic backtrace.
 
 use std::process::ExitCode;
 
 mod args;
 mod commands;
 mod error;
+mod interrupt;
 
 use error::CliError;
 

@@ -1,5 +1,6 @@
 //! The [`LdEngine`]: configuration + matrix-level drivers.
 
+use crate::control::RunControl;
 use crate::error::{
     checked_add, checked_mul, checked_triangle_len, try_zeroed_vec, LdError, MemoryBudget,
 };
@@ -275,6 +276,30 @@ impl LdEngine {
         g: impl Into<BitMatrixView<'a>>,
         stat: LdStats,
     ) -> Result<LdMatrix, LdError> {
+        self.try_stat_matrix_with(g, stat, &RunControl::new())
+    }
+
+    /// [`LdEngine::try_stat_matrix`] under a [`RunControl`]: the run honors
+    /// a shared [`crate::CancelToken`], a monotonic [`crate::Deadline`] and
+    /// an optional [`crate::CheckpointPlan`], all at **slab granularity** —
+    /// the micro-kernel loops are never polled, so an inert control is
+    /// exactly as fast as the plain form.
+    ///
+    /// * A token trip or deadline expiry drains the worker team at the next
+    ///   slab boundary and returns [`LdError::Cancelled`] with the
+    ///   completed-slab count; when a checkpoint sink is attached, a final
+    ///   snapshot is flushed first, so the run is always resumable.
+    /// * A checkpoint plan persists completed slabs every `K` slabs /
+    ///   `T` seconds; [`crate::CheckpointPlan::resume_from`] validates the
+    ///   stored header against this input + configuration, replays the
+    ///   completed slabs, and recomputes only the rest — the resumed
+    ///   triangle is **bit-identical** to an uninterrupted run.
+    pub fn try_stat_matrix_with<'a>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        ctl: &RunControl<'_>,
+    ) -> Result<LdMatrix, LdError> {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
         // overflow before emptiness: a size that cannot be represented is
@@ -298,7 +323,7 @@ impl LdEngine {
             slab,
             ..self.fused_config()
         };
-        try_stat_packed_fused(&v, stat, &cfg, out.packed_mut())?;
+        try_stat_packed_fused(&v, stat, &cfg, out.packed_mut(), ctl)?;
         Ok(out)
     }
 
@@ -397,6 +422,26 @@ impl LdEngine {
     where
         F: FnMut(&RowSlabVisit<'_>) + Send,
     {
+        self.try_stat_rows_with(g, stat, visit, &RunControl::new())
+    }
+
+    /// [`LdEngine::try_stat_rows`] under a [`RunControl`]: token and
+    /// deadline are honored at slab granularity (see
+    /// [`LdEngine::try_stat_matrix_with`]); a trip stops the stream at the
+    /// next slab boundary and returns [`LdError::Cancelled`] with the count
+    /// of slabs already delivered to `visit`. Checkpoint plans are rejected
+    /// with [`LdError::InvalidConfig`] — the streaming driver retains no
+    /// state to persist (each slab is the caller's once visited).
+    pub fn try_stat_rows_with<'a, F>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        visit: F,
+        ctl: &RunControl<'_>,
+    ) -> Result<(), LdError>
+    where
+        F: FnMut(&RowSlabVisit<'_>) + Send,
+    {
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
         let fixed = Self::fixed_footprint(n, false)?;
@@ -411,7 +456,7 @@ impl LdEngine {
             slab,
             ..self.fused_config()
         };
-        try_stat_rows_fused(&v, stat, &cfg, visit)
+        try_stat_rows_fused(&v, stat, &cfg, visit, ctl)
     }
 
     /// Streamed `r²` row slabs (see [`LdEngine::stat_rows`]).
@@ -458,7 +503,25 @@ impl LdEngine {
         g: impl Into<BitMatrixView<'a>>,
         stat: LdStats,
         tile: usize,
+        visit: F,
+    ) -> Result<(), LdError>
+    where
+        F: FnMut(&TileVisit<'_>) + Send,
+    {
+        self.try_for_each_tile_with(g, stat, tile, visit, &RunControl::new())
+    }
+
+    /// [`LdEngine::try_for_each_tile`] under a [`RunControl`]: token and
+    /// deadline stop the stream at the next slab (= tile-row) boundary with
+    /// [`LdError::Cancelled`]; checkpoint plans are rejected with
+    /// [`LdError::InvalidConfig`] as in [`LdEngine::try_stat_rows_with`].
+    pub fn try_for_each_tile_with<'a, F>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        tile: usize,
         mut visit: F,
+        ctl: &RunControl<'_>,
     ) -> Result<(), LdError>
     where
         F: FnMut(&TileVisit<'_>) + Send,
@@ -507,39 +570,45 @@ impl LdEngine {
             ..self.fused_config()
         };
         let mut buf = try_zeroed_vec::<f64>(side * side, "tile mirror buffer")?;
-        try_stat_rows_fused(&v, stat, &cfg, move |s| {
-            // Slabs start at multiples of `tile` (dynamic chunks are
-            // grain-aligned), so each slab is exactly one row of tiles.
-            let bi = s.row_start();
-            let rows = s.n_rows();
-            debug_assert_eq!(bi % tile, 0);
-            let mut bj = bi;
-            while bj < n {
-                let cols = tile.min(n - bj);
-                for r in 0..rows {
-                    let i = bi + r;
-                    for c in 0..cols {
-                        let j = bj + c;
-                        buf[r * cols + c] = if j >= i {
-                            // slab row r stores columns row_start.. of row i
-                            s.value(r, j)
-                        } else {
-                            // diagonal tile, below the diagonal: mirror the
-                            // transpose entry (filled earlier since c < r)
-                            buf[c * cols + r]
-                        };
+        try_stat_rows_fused(
+            &v,
+            stat,
+            &cfg,
+            move |s| {
+                // Slabs start at multiples of `tile` (dynamic chunks are
+                // grain-aligned), so each slab is exactly one row of tiles.
+                let bi = s.row_start();
+                let rows = s.n_rows();
+                debug_assert_eq!(bi % tile, 0);
+                let mut bj = bi;
+                while bj < n {
+                    let cols = tile.min(n - bj);
+                    for r in 0..rows {
+                        let i = bi + r;
+                        for c in 0..cols {
+                            let j = bj + c;
+                            buf[r * cols + c] = if j >= i {
+                                // slab row r stores columns row_start.. of row i
+                                s.value(r, j)
+                            } else {
+                                // diagonal tile, below the diagonal: mirror the
+                                // transpose entry (filled earlier since c < r)
+                                buf[c * cols + r]
+                            };
+                        }
                     }
+                    visit(&TileVisit {
+                        row_start: bi,
+                        col_start: bj,
+                        rows,
+                        cols,
+                        values: &buf[..rows * cols],
+                    });
+                    bj += tile;
                 }
-                visit(&TileVisit {
-                    row_start: bi,
-                    col_start: bj,
-                    rows,
-                    cols,
-                    values: &buf[..rows * cols],
-                });
-                bj += tile;
-            }
-        })
+            },
+            ctl,
+        )
     }
 
     /// Cross-matrix statistic between two SNP sets sharing the same sample

@@ -71,6 +71,25 @@ pub enum LdError {
     /// The genotype matrix has zero samples (or zero SNPs where at least
     /// one is required) — no frequency is defined.
     EmptyInput,
+    /// The run was cancelled cooperatively (token trip, deadline expiry,
+    /// SIGINT) before covering the whole iteration space. Completed slabs
+    /// stay consistent — cancellation lands on slab boundaries, never
+    /// mid-kernel — and when a checkpoint sink was configured, a final
+    /// snapshot of the completed slabs was flushed before this error was
+    /// returned.
+    Cancelled {
+        /// The recorded cancellation reason (e.g. `"deadline exceeded"`).
+        reason: String,
+        /// Row slabs fully computed (and checkpointable) before the stop.
+        completed_slabs: usize,
+    },
+    /// A checkpoint could not be written, read, or validated. The message
+    /// locates the failure (byte offset for parse errors, the mismatching
+    /// field for resume-validation errors).
+    Checkpoint {
+        /// Located, human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for LdError {
@@ -98,6 +117,16 @@ impl fmt::Display for LdError {
             Self::Worker(p) => write!(f, "{p}"),
             Self::InvalidConfig { message } => write!(f, "invalid config: {message}"),
             Self::EmptyInput => write!(f, "cannot compute LD with zero samples"),
+            Self::Cancelled {
+                reason,
+                completed_slabs,
+            } => {
+                write!(
+                    f,
+                    "run cancelled ({reason}) after {completed_slabs} completed slab(s)"
+                )
+            }
+            Self::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
         }
     }
 }

@@ -23,13 +23,35 @@
 //! ([`crate::LdEngine::stat_rows`], [`crate::LdEngine::for_each_tile`])
 //! for chromosome-scale inputs where even the packed triangle is too big.
 
+use crate::checkpoint::{matrix_fingerprint, CheckpointState, SlabRecord};
+use crate::control::RunControl;
 use crate::error::{fault, try_zeroed_vec, LdError};
 use crate::stats::{stat_from_counts, LdStats, NanPolicy};
 use ld_bitmat::BitMatrixView;
+use ld_kernels::micro::Kernel;
 use ld_kernels::{syrk_slab_counts, BlockSizes, KernelKind};
-use ld_parallel::try_parallel_for_dynamic_init;
+use ld_parallel::{try_parallel_for_dynamic_init_ctl, CancelToken, Deadline};
 use ld_trace::{Counter, Stopwatch};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Poisoned-lock-tolerant lock (the panic trap already drains the region;
+/// lock state after a contained panic is still consistent for our uses).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The concrete micro-kernel name the dispatcher would run — recorded in
+/// checkpoint headers so a resume on a different kernel is rejected
+/// explicitly instead of silently assumed equivalent.
+fn resolved_kernel_name(kind: KernelKind) -> Result<&'static str, LdError> {
+    Kernel::resolve(kind)
+        .map(|k| k.kind().name())
+        .map_err(|e| LdError::Checkpoint {
+            message: format!("cannot resolve the micro-kernel for the checkpoint header: {e}"),
+        })
+}
 
 /// Engine parameters threaded through the fused drivers.
 #[derive(Clone, Copy, Debug)]
@@ -219,6 +241,20 @@ impl SyncSlice {
         debug_assert!(off + len <= self.1);
         std::slice::from_raw_parts_mut(self.0.add(off), len)
     }
+
+    /// Read-only reborrow of `[off, off + len)` — used by the checkpoint
+    /// writer to snapshot *completed* slab ranges while other workers are
+    /// still writing *their own* (disjoint) ranges.
+    ///
+    /// # Safety
+    /// The range must not overlap any live `&mut` from
+    /// [`SyncSlice::slice`]; completed-slab ranges satisfy this because a
+    /// slab's mutable slice is dropped before its done flag is released,
+    /// and readers acquire that flag first.
+    pub unsafe fn slice_ref(&self, off: usize, len: usize) -> &[f64] {
+        debug_assert!(off + len <= self.1);
+        std::slice::from_raw_parts(self.0.add(off), len)
+    }
 }
 
 /// The fused all-pairs driver: fills the packed upper triangle of the
@@ -234,8 +270,120 @@ pub(crate) fn stat_packed_fused(
     cfg: &FusedConfig,
     packed: &mut [f64],
 ) {
-    if let Err(e) = try_stat_packed_fused(v, stat, cfg, packed) {
+    if let Err(e) = try_stat_packed_fused(v, stat, cfg, packed, &RunControl::new()) {
         panic!("{e}");
+    }
+}
+
+/// Shared interruption state of one fused run: which slabs are done (for
+/// checkpoint snapshots and resume skips) and how many this run computed.
+struct SlabProgress {
+    /// Per-slab completion flags. A worker stores `true` with `Release`
+    /// *after* its packed writes; any reader `Acquire`-loads before
+    /// touching the slab's bytes, establishing the happens-before that
+    /// makes checkpoint snapshots of concurrent runs sound.
+    done: Vec<AtomicBool>,
+    /// Slabs computed by *this* run (excludes resumed slabs).
+    computed: AtomicUsize,
+}
+
+impl SlabProgress {
+    fn new(n_slabs: usize) -> Self {
+        Self {
+            done: (0..n_slabs).map(|_| AtomicBool::new(false)).collect(),
+            computed: AtomicUsize::new(0),
+        }
+    }
+
+    fn done_count(&self) -> usize {
+        self.done
+            .iter()
+            .filter(|d| d.load(Ordering::Acquire))
+            .count()
+    }
+
+    fn all_done(&self) -> bool {
+        self.done.iter().all(|d| d.load(Ordering::Acquire))
+    }
+}
+
+/// Mutable checkpoint bookkeeping, serialized under one mutex (the write
+/// itself is cold: at most once per `every_slabs` slabs or `every_secs`
+/// seconds).
+struct CkptCursor {
+    /// Slabs completed since the last successful write.
+    since_last: usize,
+    last_write: Instant,
+    /// First sink failure (sticky; also trips the run token).
+    failed: Option<String>,
+}
+
+/// Immutable descriptor of the checkpoint target for one packed run.
+struct CkptWriter<'a> {
+    sink: &'a dyn crate::checkpoint::CheckpointSink,
+    every_slabs: usize,
+    every_secs: Option<f64>,
+    header: CheckpointState,
+}
+
+impl CkptWriter<'_> {
+    /// Snapshots every done slab into a checkpoint image and hands it to
+    /// the sink. Called under the cursor mutex.
+    ///
+    /// # Safety-relevant invariant
+    /// Reads only packed ranges whose done flag was `Acquire`-observed,
+    /// which happens-after the owning worker's writes (see
+    /// [`SlabProgress::done`]); those ranges have no live `&mut`.
+    fn write_snapshot(
+        &self,
+        progress: &SlabProgress,
+        out: &SyncSlice,
+        n: usize,
+        slab: usize,
+    ) -> Result<(), String> {
+        let mut state = self.header.clone();
+        state.records.clear();
+        for (k, flag) in progress.done.iter().enumerate() {
+            if !flag.load(Ordering::Acquire) {
+                continue;
+            }
+            let (r0, r1) = (k * slab, ((k + 1) * slab).min(n));
+            let off = packed_row_offset(n, r0);
+            let len = packed_row_offset(n, r1) - off;
+            // SAFETY: done slab ⇒ writes finished (Release/Acquire pair)
+            // and no live &mut covers this range.
+            let values = unsafe { out.slice_ref(off, len) }.to_vec();
+            state.records.push(SlabRecord {
+                index: k as u64,
+                start_row: r0 as u64,
+                end_row: r1 as u64,
+                values,
+            });
+        }
+        self.sink.write_checkpoint(&state.to_bytes())?;
+        ld_trace::add(Counter::CheckpointsWritten, 1);
+        Ok(())
+    }
+}
+
+/// Converts a cancelled loop into the typed partial-progress error.
+fn cancelled_error(token: Option<&CancelToken>, completed_slabs: usize) -> LdError {
+    LdError::Cancelled {
+        reason: token
+            .and_then(CancelToken::reason)
+            .unwrap_or_else(|| "cancelled".to_owned()),
+        completed_slabs,
+    }
+}
+
+/// Trips `token` when `deadline` has passed — the slab-granularity
+/// deadline poll (one `Instant::now()` per slab, nothing per tile).
+#[inline]
+fn poll_deadline(deadline: Option<Deadline>, token: Option<&CancelToken>) {
+    if let (Some(d), Some(t)) = (deadline, token) {
+        if d.expired() && !t.is_cancelled() {
+            t.cancel_with_reason("deadline exceeded");
+        }
     }
 }
 
@@ -243,24 +391,83 @@ pub(crate) fn stat_packed_fused(
 /// calling thread through `try_reserve` (one per worker, handed out via a
 /// pool), and a panicking worker surfaces as [`LdError::Worker`] after the
 /// team drains — no unwinding past this boundary, no hung join.
+///
+/// Interruption contract (`ctl`): the run token is polled once per slab
+/// (plus by the scheduler before every chunk grab — zero cost inside the
+/// micro-kernel loops); a trip drains the team at the next slab boundary
+/// and returns [`LdError::Cancelled`] with the completed-slab count, after
+/// flushing a final checkpoint when a sink is configured. A resume state
+/// is validated field-by-field, its slabs are replayed into `packed`, and
+/// only the incomplete slabs are recomputed — bit-identical to an
+/// uninterrupted run because slab height never affects values.
 pub(crate) fn try_stat_packed_fused(
     v: &BitMatrixView<'_>,
     stat: LdStats,
     cfg: &FusedConfig,
     packed: &mut [f64],
+    ctl: &RunControl<'_>,
 ) -> Result<(), LdError> {
     let n = v.n_snps();
     debug_assert_eq!(packed.len(), n * (n + 1) / 2);
     if n == 0 {
         return Ok(());
     }
+    let slab = cfg.slab.max(1).min(n);
+    let n_slabs = n.div_ceil(slab);
+    let run_token = ctl.run_token();
+    let deadline = ctl.deadline;
+    // An already-expired deadline stops the run before any chunk is
+    // handed out (workers still honor claimed chunks, so without this
+    // pre-trip up to `threads` slabs could run post-deadline).
+    poll_deadline(deadline, run_token.as_ref());
+    let progress = SlabProgress::new(n_slabs);
+    // Resume: validate, replay completed slabs, mark them done.
+    let mut resumed = 0usize;
+    let ckpt = match &ctl.checkpoint {
+        Some(plan) => {
+            let kernel = resolved_kernel_name(cfg.kind)?;
+            if let Some(state) = &plan.resume {
+                state.validate_against(v, stat, cfg.policy, slab, kernel)?;
+                for rec in &state.records {
+                    let (r0, r1) = (rec.start_row as usize, rec.end_row as usize);
+                    let off = packed_row_offset(n, r0);
+                    let len = packed_row_offset(n, r1) - off;
+                    packed[off..off + len].copy_from_slice(&rec.values);
+                    progress.done[rec.index as usize].store(true, Ordering::Release);
+                    resumed += 1;
+                }
+                ld_trace::add(Counter::ResumeSlabsSkipped, resumed as u64);
+            }
+            Some(CkptWriter {
+                sink: plan.sink,
+                every_slabs: plan.every_slabs,
+                every_secs: plan.every_secs,
+                header: CheckpointState {
+                    stat,
+                    policy: cfg.policy,
+                    n_snps: n as u64,
+                    n_samples: v.n_samples() as u64,
+                    matrix_hash: matrix_fingerprint(v),
+                    slab: slab as u64,
+                    n_slabs: n_slabs as u64,
+                    kernel: kernel.to_owned(),
+                    records: Vec::new(),
+                },
+            })
+        }
+        None => None,
+    };
+    let cursor = Mutex::new(CkptCursor {
+        since_last: 0,
+        last_write: Instant::now(),
+        failed: None,
+    });
     // Table construction (per-SNP allele counts via one popcount sweep)
     // is part of producing the statistic layer: charge it to
     // `transform_ns` so the profile's layer sum covers the setup cost.
     let sw = Stopwatch::start();
     let tr = Transform::try_new(v, stat, cfg.policy)?;
     ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
-    let slab = cfg.slab.max(1).min(n);
     // Bounded per-worker scratch: the widest slab (the first) spans all
     // n columns, so `slab × n` covers every slab a worker can grab. The
     // buffers are allocated fallibly *here*, on the calling thread, so an
@@ -280,12 +487,28 @@ pub(crate) fn try_stat_packed_fused(
         (cfg.threads.max(1) * slab * n * 4 + packed.len() * 8 + 20 * n) as u64,
     );
     let out = SyncSlice::new(packed);
-    try_parallel_for_dynamic_init(
+    let progress_ref = &progress;
+    let token_ref = run_token.as_ref();
+    let ckpt_ref = ckpt.as_ref();
+    let cursor_ref = &cursor;
+    try_parallel_for_dynamic_init_ctl(
         cfg.threads,
         n,
         slab,
+        token_ref,
         |_tid| scratch_pool.take(),
         |scratch, rows| {
+            let slab_idx = rows.start / slab;
+            if progress_ref.done[slab_idx].load(Ordering::Acquire) {
+                // replayed from the checkpoint — skip without polling
+                return;
+            }
+            // Slab-granular interruption points: the deadline→token
+            // conversion and the poll accounting. The scheduler already
+            // refused to hand out this chunk if the token was tripped;
+            // nothing below ever checks mid-kernel.
+            poll_deadline(deadline, token_ref);
+            ld_trace::add(Counter::CancelPolls, 1);
             fault::check_kernel_panic();
             let (r0, r1) = (rows.start, rows.end);
             let width = n - r0;
@@ -308,9 +531,56 @@ pub(crate) fn try_stat_packed_fused(
             }
             ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
             ld_trace::add(Counter::SlabsEmitted, 1);
+            // Release *after* the packed writes above: the flag is the
+            // publication point for checkpoint readers.
+            progress_ref.done[slab_idx].store(true, Ordering::Release);
+            progress_ref.computed.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = ckpt_ref {
+                let mut cur = lock_ignore_poison(cursor_ref);
+                cur.since_last += 1;
+                let due = cur.since_last >= w.every_slabs
+                    || w.every_secs
+                        .is_some_and(|s| cur.last_write.elapsed().as_secs_f64() >= s);
+                if due && cur.failed.is_none() {
+                    match w.write_snapshot(progress_ref, &out, n, slab) {
+                        Ok(()) => {
+                            cur.since_last = 0;
+                            cur.last_write = Instant::now();
+                        }
+                        Err(msg) => {
+                            // sticky failure: stop the run (no point
+                            // computing unpersistable work) and surface
+                            // the sink error after the drain
+                            cur.failed = Some(msg);
+                            if let Some(t) = token_ref {
+                                t.cancel_with_reason("checkpoint write failed");
+                            }
+                        }
+                    }
+                }
+            }
         },
     )?;
-    Ok(())
+    // Post-join: judge by completeness, not token state — a token that
+    // trips after the last slab finished changes nothing.
+    if let Some(msg) = lock_ignore_poison(&cursor).failed.take() {
+        return Err(LdError::Checkpoint {
+            message: format!("checkpoint write failed mid-run: {msg}"),
+        });
+    }
+    if progress.all_done() {
+        return Ok(());
+    }
+    let completed = progress.done_count();
+    // Final flush: make the partial run resumable before reporting it.
+    if let Some(w) = &ckpt {
+        if let Err(msg) = w.write_snapshot(&progress, &out, n, slab) {
+            return Err(LdError::Checkpoint {
+                message: format!("final checkpoint flush failed: {msg}"),
+            });
+        }
+    }
+    Err(cancelled_error(token_ref, completed))
 }
 
 /// A pool of per-worker scratch buffers, preallocated fallibly on the
@@ -418,26 +688,45 @@ pub(crate) fn stat_rows_fused<F>(v: &BitMatrixView<'_>, stat: LdStats, cfg: &Fus
 where
     F: FnMut(&RowSlabVisit<'_>) + Send,
 {
-    if let Err(e) = try_stat_rows_fused(v, stat, cfg, visit) {
+    if let Err(e) = try_stat_rows_fused(v, stat, cfg, visit, &RunControl::new()) {
         panic!("{e}");
     }
 }
 
 /// Fallible [`stat_rows_fused`] (see [`try_stat_packed_fused`] for the
 /// allocation and panic-containment discipline).
+///
+/// Interruption contract: token and deadline are honored exactly as in
+/// [`try_stat_packed_fused`] — polled once per slab, drained at slab
+/// boundaries, surfaced as [`LdError::Cancelled`] with the count of slabs
+/// already handed to `visit`. Checkpoint plans are **rejected**
+/// ([`LdError::InvalidConfig`]): the streaming driver gives each slab to
+/// the caller and keeps nothing, so there is no engine-owned state to
+/// persist — callers streaming to durable storage already have their own
+/// resume point.
 pub(crate) fn try_stat_rows_fused<F>(
     v: &BitMatrixView<'_>,
     stat: LdStats,
     cfg: &FusedConfig,
     visit: F,
+    ctl: &RunControl<'_>,
 ) -> Result<(), LdError>
 where
     F: FnMut(&RowSlabVisit<'_>) + Send,
 {
+    if ctl.checkpoint.is_some() {
+        return Err(LdError::InvalidConfig {
+            message:
+                "checkpointing requires the packed-matrix driver (streaming slabs are not retained)",
+        });
+    }
     let n = v.n_snps();
     if n == 0 {
         return Ok(());
     }
+    let run_token = ctl.run_token();
+    let deadline = ctl.deadline;
+    poll_deadline(deadline, run_token.as_ref());
     let sw = Stopwatch::start();
     let tr = Transform::try_new(v, stat, cfg.policy)?;
     ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
@@ -458,12 +747,17 @@ where
         (cfg.threads.max(1) * slab * n * 12 + 20 * n) as u64,
     );
     let visit = Mutex::new(visit);
-    try_parallel_for_dynamic_init(
+    let completed = AtomicUsize::new(0);
+    let token_ref = run_token.as_ref();
+    let outcome = try_parallel_for_dynamic_init_ctl(
         cfg.threads,
         n,
         slab,
+        token_ref,
         |_tid| scratch_pool.take(),
         |(counts, values), rows| {
+            poll_deadline(deadline, token_ref);
+            ld_trace::add(Counter::CancelPolls, 1);
             fault::check_kernel_panic();
             let (r0, r1) = (rows.start, rows.end);
             let width = n - r0;
@@ -495,9 +789,17 @@ where
             (visit
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner))(&slab_visit);
+            completed.fetch_add(1, Ordering::Relaxed);
         },
     )?;
-    Ok(())
+    if outcome.is_complete() {
+        Ok(())
+    } else {
+        Err(cancelled_error(
+            token_ref,
+            completed.load(Ordering::Relaxed),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -26,11 +26,22 @@
 //!   too large to materialize at all;
 //! * [`LdEngine::ld_pair`] / [`ld_pair_from_counts`] — single-pair
 //!   statistics ([`LdPair`]) for spot checks and downstream tools.
+//!
+//! Long batch scans are **interruptible and resumable**: the `_with`
+//! drivers ([`LdEngine::try_stat_matrix_with`] and friends) take a
+//! [`RunControl`] bundling a shared [`CancelToken`], a monotonic
+//! [`Deadline`] and a [`CheckpointPlan`] (periodic persistence via any
+//! [`CheckpointSink`], plus validated resume). Cancellation lands on slab
+//! boundaries — never mid-kernel — and surfaces as [`LdError::Cancelled`]
+//! with the completed-slab count; a resumed run is bit-identical to an
+//! uninterrupted one (see [`checkpoint`]).
 
 #![warn(missing_docs)]
 
 pub mod banded;
 pub mod blocks;
+pub mod checkpoint;
+pub mod control;
 pub mod decay;
 mod engine;
 pub mod error;
@@ -40,6 +51,10 @@ mod stats;
 
 pub use banded::BandedLdMatrix;
 pub use blocks::{haplotype_blocks, solid_spine_blocks, tag_snps};
+pub use checkpoint::{
+    crc32, matrix_fingerprint, CheckpointSink, CheckpointState, MemorySink, SlabRecord,
+};
+pub use control::{CancelToken, CheckpointPlan, Deadline, RunControl};
 pub use decay::{DecayBin, DecayProfile};
 pub use engine::{LdEngine, TileVisit};
 pub use error::{LdError, MemoryBudget, WorkerPanic};

@@ -258,3 +258,82 @@ fn two_pass_driver_hits_the_same_tile_geometry() {
     assert_eq!(ld_trace::get(Counter::KernelTiles), fused.tiles);
     assert_eq!(ld_trace::get(Counter::KernelWords), fused.words);
 }
+
+#[test]
+fn cancel_polls_are_exactly_slab_granular() {
+    let _l = counter_lock();
+    // The token/deadline poll sits once per computed row slab — never in
+    // the tile loops — so `cancel_polls` must equal `slabs_emitted` on
+    // every run, token-carrying or not, at any thread count.
+    let (n, k) = (157usize, 210usize);
+    let g = random_matrix(k, n, 0xCA9CE1);
+    for &slab in &[16usize, 64] {
+        let n_slabs = n.div_ceil(slab) as u64;
+        for &threads in &[1usize, 2, 7] {
+            let engine = LdEngine::new()
+                .threads(threads)
+                .slab_rows(slab)
+                .nan_policy(NanPolicy::Zero);
+            ld_trace::reset();
+            let _ = engine.stat_matrix(&g, LdStats::RSquared);
+            let polls = ld_trace::get(Counter::CancelPolls);
+            let slabs = ld_trace::get(Counter::SlabsEmitted);
+            assert_eq!(polls, slabs, "slab={slab} threads={threads}");
+            assert_eq!(polls, n_slabs, "slab={slab} threads={threads}");
+            assert_eq!(ld_trace::get(Counter::ResumeSlabsSkipped), 0);
+        }
+    }
+}
+
+#[test]
+fn resumed_slabs_skip_the_poll_and_the_counters_balance() {
+    use ld_core::{CheckpointPlan, MemorySink, RunControl};
+    let _l = counter_lock();
+    // A resumed run replays recorded slabs without polling, so
+    // `resume_slabs_skipped + cancel_polls == total slabs` and the two
+    // runs together account for every slab exactly once.
+    let (n, k, slab) = (96usize, 120usize, 16usize);
+    let n_slabs = (n.div_ceil(slab)) as u64;
+    let g = random_matrix(k, n, 0x0E5C0E5);
+    let engine = LdEngine::new()
+        .threads(2)
+        .slab_rows(slab)
+        .nan_policy(NanPolicy::Zero);
+
+    // Full checkpointed run: every slab computed (and polled) once, at
+    // least one snapshot flushed.
+    let sink = MemorySink::new();
+    ld_trace::reset();
+    {
+        let plan = CheckpointPlan::new(&sink).every_slabs(1);
+        let ctl = RunControl::new().with_checkpoint(plan);
+        engine
+            .try_stat_matrix_with(&g, LdStats::RSquared, &ctl)
+            .expect("checkpointed run must succeed");
+    }
+    assert_eq!(ld_trace::get(Counter::CancelPolls), n_slabs);
+    assert_eq!(ld_trace::get(Counter::SlabsEmitted), n_slabs);
+    assert!(ld_trace::get(Counter::CheckpointsWritten) >= 1);
+    let state = sink.latest().expect("snapshot must exist");
+    let state = ld_core::CheckpointState::from_bytes(&state).expect("snapshot must parse");
+    assert_eq!(state.records.len() as u64, n_slabs);
+
+    // Resume from the complete snapshot: zero computed slabs, zero polls,
+    // every slab accounted for by the skip counter.
+    ld_trace::reset();
+    {
+        let sink2 = MemorySink::new();
+        let plan = CheckpointPlan::new(&sink2)
+            .every_slabs(usize::MAX)
+            .resume_from(state);
+        let ctl = RunControl::new().with_checkpoint(plan);
+        engine
+            .try_stat_matrix_with(&g, LdStats::RSquared, &ctl)
+            .expect("resumed run must succeed");
+    }
+    let polls = ld_trace::get(Counter::CancelPolls);
+    let skipped = ld_trace::get(Counter::ResumeSlabsSkipped);
+    assert_eq!(skipped, n_slabs);
+    assert_eq!(polls + skipped, n_slabs);
+    assert_eq!(ld_trace::get(Counter::SlabsEmitted), 0);
+}

@@ -1,0 +1,124 @@
+//! Atomic file writes: temp file + fsync + rename.
+//!
+//! A crash (or a tripped deadline, or a SIGINT) halfway through a plain
+//! `File::create` write leaves a truncated file under the *final* name —
+//! indistinguishable from a complete one until something parses it. Every
+//! durable artifact this workspace produces (LD matrices, pair tables,
+//! bench metrics, checkpoints) therefore goes through one audited helper:
+//!
+//! 1. write the full contents to a hidden sibling
+//!    (`.<name>.tmp.<pid>` in the same directory, so the rename cannot
+//!    cross filesystems),
+//! 2. `fsync` the temp file (contents are durable before the name flips),
+//! 3. `rename` it over the destination — atomic on POSIX: readers see
+//!    either the old file or the complete new one, never a prefix.
+//!
+//! On any failure the temp file is removed (best-effort) and the
+//! destination is untouched.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The hidden temp-file sibling used for the staged write.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_owned());
+    let tmp = format!(".{name}.tmp.{}", std::process::id());
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.join(tmp),
+        _ => PathBuf::from(tmp),
+    }
+}
+
+/// Writes `path` atomically through `fill`, which receives a buffered
+/// writer to the staged temp file. The destination appears (complete and
+/// fsynced) only after `fill` and the flush both succeed.
+pub fn write_atomic_with<F>(path: impl AsRef<Path>, fill: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    let path = path.as_ref();
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        fill(&mut w)?;
+        w.flush()?;
+        // Contents must be durable before the rename publishes the name:
+        // rename-before-fsync can surface an empty file after a crash.
+        w.get_ref().sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original destination is untouched.
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Writes `bytes` to `path` atomically (see [`write_atomic_with`]).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ld_atomic_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let d = tmpdir("basic");
+        let p = d.join("out.bin");
+        write_atomic(&p, b"first").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"first");
+        write_atomic(&p, b"second, longer").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"second, longer");
+        // no temp litter
+        let litter: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(litter.is_empty(), "{litter:?}");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn failed_fill_leaves_destination_untouched() {
+        let d = tmpdir("fail");
+        let p = d.join("out.bin");
+        write_atomic(&p, b"good").unwrap();
+        let err = write_atomic_with(&p, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("injected"))
+        });
+        assert!(err.is_err());
+        assert_eq!(fs::read(&p).unwrap(), b"good", "destination must survive");
+        let litter: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(litter.is_empty(), "temp must be cleaned up: {litter:?}");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn temp_sibling_stays_in_parent_dir() {
+        let t = temp_sibling(Path::new("/a/b/out.bin"));
+        assert_eq!(t.parent(), Some(Path::new("/a/b")));
+        let name = t.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with(".out.bin.tmp."), "{name}");
+        // bare file name: sibling is also bare (same implicit directory)
+        let bare = temp_sibling(Path::new("out.bin"));
+        assert!(bare.parent().is_none() || bare.parent() == Some(Path::new("")));
+    }
+}

@@ -17,6 +17,13 @@
 //! All readers take `io::Read`/`io::BufRead`, writers take `io::Write`;
 //! path helpers wrap them with buffered files.
 //!
+//! Durable artifacts are written **atomically**: [`atomic::write_atomic`]
+//! stages to a temp sibling, fsyncs, then renames — a crashed or cancelled
+//! writer never leaves a truncated file under the final name. The same
+//! helper backs [`checkpoint::AtomicFileSink`], the filesystem
+//! implementation of `ld-core`'s checkpoint persistence for interruptible
+//! runs.
+//!
 //! ## Hardened against bad input
 //!
 //! Every text parser enforces hard input limits ([`Limits`]: line length,
@@ -28,7 +35,9 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod bed;
+pub mod checkpoint;
 mod error;
 pub mod fasta;
 pub mod ldmatrix;

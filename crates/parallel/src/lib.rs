@@ -31,14 +31,28 @@
 //! completes — a single bad row in a long batch scan aborts the region, not
 //! the process. The infallible entry points keep their historical behavior
 //! (the panic is re-raised on the calling thread).
+//!
+//! ## Cooperative cancellation
+//!
+//! The same flag that drains panicking regions is exposed as a public,
+//! shareable [`CancelToken`] (with hierarchical [`CancelToken::child`]
+//! tokens and a monotonic [`Deadline`] companion). The `_ctl` loop
+//! variants ([`try_parallel_for_dynamic_ctl`],
+//! [`try_parallel_for_dynamic_init_ctl`]) poll a token **before every
+//! chunk grab**: a tripped token stops the scheduler from handing out
+//! further chunks, so the region drains at the next chunk boundary —
+//! never mid-chunk — and the join still completes. The loop reports
+//! whether it was cut short via [`LoopOutcome`].
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod panic;
 pub mod partition;
 mod pool;
 mod team;
 
+pub use cancel::{CancelToken, Deadline};
 pub use panic::WorkerPanic;
 pub use partition::{
     even_ranges, triangle_ranges, triangle_row_ranges, triangle_row_weight, triangle_weight,
@@ -46,5 +60,6 @@ pub use partition::{
 pub use pool::ThreadPool;
 pub use team::{
     available_threads, parallel_for, parallel_for_dynamic, parallel_for_dynamic_init, run_team,
-    try_parallel_for, try_parallel_for_dynamic, try_parallel_for_dynamic_init, try_run_team,
+    try_parallel_for, try_parallel_for_dynamic, try_parallel_for_dynamic_ctl,
+    try_parallel_for_dynamic_init, try_parallel_for_dynamic_init_ctl, try_run_team, LoopOutcome,
 };

@@ -7,8 +7,43 @@
 //! into a typed [`WorkerPanic`] (payload message preserved), the remaining
 //! workers drain via a cancellation flag, and the join always completes.
 
+use crate::cancel::CancelToken;
 use crate::panic::{PanicTrap, WorkerPanic};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a cancellable dynamic loop finished.
+///
+/// Returned by the `_ctl` loop variants so callers can distinguish a fully
+/// drained iteration space from one cut short by a tripped
+/// [`CancelToken`]. Cancellation is **not** an error at this layer — the
+/// caller decides whether partial progress is a typed failure (the LD
+/// driver maps it to `LdError::Cancelled`) or a normal early exit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopOutcome {
+    /// Every index in `0..len` was handed out and processed.
+    Completed,
+    /// The token tripped while unclaimed work remained; workers stopped at
+    /// the next chunk boundary and the join completed cleanly.
+    Cancelled,
+}
+
+impl LoopOutcome {
+    /// True when the loop drained its whole range.
+    pub fn is_complete(self) -> bool {
+        matches!(self, LoopOutcome::Completed)
+    }
+}
+
+/// Post-join outcome: the range drained iff every chunk was claimed. The
+/// claim counter only stops advancing when workers break early (token
+/// trip), so `next < len` after the join means unclaimed work remains.
+fn outcome_from(next: &AtomicUsize, len: usize, token: Option<&CancelToken>) -> LoopOutcome {
+    if next.load(Ordering::Relaxed) >= len || token.is_none_or(|t| !t.is_cancelled()) {
+        LoopOutcome::Completed
+    } else {
+        LoopOutcome::Cancelled
+    }
+}
 
 /// Whether chunk `chunk_idx` lies outside worker `tid`'s share of a static
 /// even split of `chunks` chunks over `n` workers — i.e. the dynamic
@@ -152,7 +187,7 @@ pub fn parallel_for_dynamic<F>(n_threads: usize, len: usize, grain: usize, f: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
-    if let Err(p) = try_parallel_for_dynamic_impl(n_threads, len, grain, &f) {
+    if let Err(p) = try_parallel_for_dynamic_impl(n_threads, len, grain, None, &f) {
         std::panic::resume_unwind(p.1);
     }
 }
@@ -170,7 +205,41 @@ pub fn try_parallel_for_dynamic<F>(
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
-    try_parallel_for_dynamic_impl(n_threads, len, grain, &f)
+    try_parallel_for_dynamic_impl(n_threads, len, grain, None, &f)
+        .map(|_| ())
+        .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
+}
+
+/// Cancellable [`try_parallel_for_dynamic`]: polls `token` before every
+/// chunk grab (including on the single-thread path, which chunks by
+/// `grain` when a token is present so cancellation stays responsive).
+///
+/// A tripped token stops workers at the next chunk boundary — never
+/// mid-chunk — and the function returns `Ok(LoopOutcome::Cancelled)`.
+/// Worker panics still win over cancellation and surface as
+/// [`WorkerPanic`].
+///
+/// ```
+/// use ld_parallel::{try_parallel_for_dynamic_ctl, CancelToken, LoopOutcome};
+/// let token = CancelToken::new();
+/// token.cancel_with_reason("deadline");
+/// let out = try_parallel_for_dynamic_ctl(2, 100, 8, Some(&token), |_r| {
+///     unreachable!("no chunk is handed out after the trip");
+/// })
+/// .unwrap();
+/// assert_eq!(out, LoopOutcome::Cancelled);
+/// ```
+pub fn try_parallel_for_dynamic_ctl<F>(
+    n_threads: usize,
+    len: usize,
+    grain: usize,
+    token: Option<&CancelToken>,
+    f: F,
+) -> Result<LoopOutcome, WorkerPanic>
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    try_parallel_for_dynamic_impl(n_threads, len, grain, token, &f)
         .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
 }
 
@@ -178,29 +247,39 @@ fn try_parallel_for_dynamic_impl<F>(
     n_threads: usize,
     len: usize,
     grain: usize,
+    token: Option<&CancelToken>,
     f: &F,
-) -> Result<(), (usize, crate::panic::Payload)>
+) -> Result<LoopOutcome, (usize, crate::panic::Payload)>
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
     let n = n_threads.max(1);
     let grain = grain.max(1);
-    if n == 1 || len <= grain {
+    if token.is_none() && (n == 1 || len <= grain) {
+        // Historic fast path: a single un-chunked call. Only taken when no
+        // token is in play (a token needs chunk boundaries to be polled).
         if len == 0 {
-            return Ok(());
+            return Ok(LoopOutcome::Completed);
         }
         ld_trace::worker_claim(0, false);
-        return run_team_trapped(1, |_| f(0..len));
+        return run_team_trapped(1, |_| f(0..len)).map(|()| LoopOutcome::Completed);
+    }
+    if len == 0 {
+        return Ok(LoopOutcome::Completed);
     }
     let next = AtomicUsize::new(0);
     let trap = PanicTrap::new();
     let chunks = len.div_ceil(grain);
+    let n = n.min(chunks);
     std::thread::scope(|s| {
         let worker = |tid: usize| {
             let trap = &trap;
             let next = &next;
             move || {
                 while !trap.cancelled() {
+                    if token.is_some_and(|t| t.is_cancelled()) {
+                        break;
+                    }
                     let start = next.fetch_add(grain, Ordering::Relaxed);
                     if start >= len {
                         break;
@@ -218,7 +297,8 @@ where
         }
         worker(0)();
     });
-    trap.into_result()
+    trap.into_result()?;
+    Ok(outcome_from(&next, len, token))
 }
 
 /// Dynamically-scheduled parallel loop with **per-worker state**: each
@@ -239,7 +319,7 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, std::ops::Range<usize>) + Sync,
 {
-    if let Err(p) = try_parallel_for_dynamic_init_impl(n_threads, len, grain, &init, &f) {
+    if let Err(p) = try_parallel_for_dynamic_init_impl(n_threads, len, grain, None, &init, &f) {
         std::panic::resume_unwind(p.1);
     }
 }
@@ -258,7 +338,33 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, std::ops::Range<usize>) + Sync,
 {
-    try_parallel_for_dynamic_init_impl(n_threads, len, grain, &init, &f)
+    try_parallel_for_dynamic_init_impl(n_threads, len, grain, None, &init, &f)
+        .map(|_| ())
+        .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
+}
+
+/// Cancellable [`try_parallel_for_dynamic_init`]: the scheduler behind the
+/// fused LD driver, extended with a [`CancelToken`] polled **before every
+/// chunk grab** on every path (the single-thread path already chunks by
+/// `grain`, so cancellation granularity is identical at any thread count).
+///
+/// A tripped token never interrupts `f` mid-chunk — chunks that started
+/// before the trip run to completion, so slab-granular outputs stay
+/// consistent — and the loop reports `Ok(LoopOutcome::Cancelled)` once the
+/// join finishes. Worker panics still surface as [`WorkerPanic`].
+pub fn try_parallel_for_dynamic_init_ctl<S, I, F>(
+    n_threads: usize,
+    len: usize,
+    grain: usize,
+    token: Option<&CancelToken>,
+    init: I,
+    f: F,
+) -> Result<LoopOutcome, WorkerPanic>
+where
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) + Sync,
+{
+    try_parallel_for_dynamic_init_impl(n_threads, len, grain, token, &init, &f)
         .map_err(|(tid, payload)| WorkerPanic::from_payload(tid, &payload))
 }
 
@@ -266,9 +372,10 @@ fn try_parallel_for_dynamic_init_impl<S, I, F>(
     n_threads: usize,
     len: usize,
     grain: usize,
+    token: Option<&CancelToken>,
     init: &I,
     f: &F,
-) -> Result<(), (usize, crate::panic::Payload)>
+) -> Result<LoopOutcome, (usize, crate::panic::Payload)>
 where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, std::ops::Range<usize>) + Sync,
@@ -276,19 +383,25 @@ where
     let grain = grain.max(1);
     let n = n_threads.max(1).min(len.div_ceil(grain).max(1));
     if len == 0 {
-        return Ok(());
+        return Ok(LoopOutcome::Completed);
     }
     if n == 1 {
-        return run_team_trapped(1, |_| {
+        let next = AtomicUsize::new(0);
+        run_team_trapped(1, |_| {
             let mut state = init(0);
             let mut start = 0usize;
             while start < len {
+                if token.is_some_and(|t| t.is_cancelled()) {
+                    break;
+                }
                 let end = (start + grain).min(len);
                 ld_trace::worker_claim(0, false);
+                next.store(end, Ordering::Relaxed);
                 f(&mut state, start..end);
                 start = end;
             }
-        });
+        })?;
+        return Ok(outcome_from(&next, len, token));
     }
     let next = AtomicUsize::new(0);
     let trap = PanicTrap::new();
@@ -300,6 +413,9 @@ where
             move || {
                 let mut state: Option<S> = None;
                 while !trap.cancelled() {
+                    if token.is_some_and(|t| t.is_cancelled()) {
+                        break;
+                    }
                     let start = next.fetch_add(grain, Ordering::Relaxed);
                     if start >= len {
                         break;
@@ -325,7 +441,8 @@ where
         }
         worker(0)();
     });
-    trap.into_result()
+    trap.into_result()?;
+    Ok(outcome_from(&next, len, token))
 }
 
 #[cfg(test)]
@@ -445,5 +562,113 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn ctl_loops_complete_without_a_token() {
+        for (threads, len, grain) in [(1usize, 10usize, 3usize), (4, 100, 7), (2, 0, 1)] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            let out = try_parallel_for_dynamic_ctl(threads, len, grain, None, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, LoopOutcome::Completed);
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            let out = try_parallel_for_dynamic_init_ctl(
+                threads,
+                len,
+                grain,
+                None,
+                |_tid| (),
+                |_s, r| assert!(r.len() <= grain),
+            )
+            .unwrap();
+            assert_eq!(out, LoopOutcome::Completed);
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_hands_out_no_chunks() {
+        let token = crate::CancelToken::new();
+        token.cancel_with_reason("pre-tripped");
+        for threads in [1usize, 2, 7] {
+            let ran = AtomicUsize::new(0);
+            let out = try_parallel_for_dynamic_init_ctl(
+                threads,
+                64,
+                8,
+                Some(&token),
+                |_tid| (),
+                |_s, _r| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap();
+            assert_eq!(out, LoopOutcome::Cancelled, "threads={threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_loop_trip_stops_at_a_chunk_boundary() {
+        // trip the token from inside chunk 2; with 1 thread the schedule is
+        // deterministic: chunks 0,1,2 run, nothing after.
+        let token = crate::CancelToken::new();
+        let chunks_run = AtomicUsize::new(0);
+        let out = try_parallel_for_dynamic_ctl(1, 100, 10, Some(&token), |r| {
+            chunks_run.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(r.len(), 10, "cancellation must not truncate a chunk");
+            if r.start == 20 {
+                token.cancel();
+            }
+        })
+        .unwrap();
+        assert_eq!(out, LoopOutcome::Cancelled);
+        assert_eq!(chunks_run.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn init_ctl_single_thread_trip_is_chunk_granular() {
+        let token = crate::CancelToken::new();
+        let seen = Mutex::new(Vec::new());
+        let out = try_parallel_for_dynamic_init_ctl(
+            1,
+            50,
+            10,
+            Some(&token),
+            |_tid| (),
+            |_s, r| {
+                seen.lock().unwrap().push(r.start);
+                if r.start == 10 {
+                    token.cancel_with_reason("enough");
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out, LoopOutcome::Cancelled);
+        assert_eq!(*seen.lock().unwrap(), vec![0, 10]);
+    }
+
+    #[test]
+    fn panic_wins_over_cancellation() {
+        let token = crate::CancelToken::new();
+        let err = try_parallel_for_dynamic_ctl(2, 40, 4, Some(&token), |r| {
+            if r.start == 0 {
+                panic!("chunk zero exploded");
+            }
+        })
+        .unwrap_err();
+        assert!(err.message.contains("chunk zero exploded"));
+    }
+
+    #[test]
+    fn trip_after_completion_reports_completed() {
+        let token = crate::CancelToken::new();
+        let out = try_parallel_for_dynamic_ctl(2, 16, 4, Some(&token), |_r| {}).unwrap();
+        token.cancel();
+        assert_eq!(out, LoopOutcome::Completed);
+        assert!(out.is_complete());
     }
 }

@@ -36,10 +36,15 @@
 //! | `steal_count` | parallel | chunks a worker claimed out of its static even-split share (load-balance events; timing-dependent) |
 //! | `io_lines_read` | io | text lines parsed (also per format) |
 //! | `io_bytes_read` | io | input bytes consumed (also per format) |
+//! | `cancel_polls` | driver | cancellation-token polls (one per *computed* slab; slab-granular, never per-tile) |
+//! | `checkpoints_written` | driver | checkpoint snapshots flushed (periodic + final; wall-clock dependent) |
+//! | `resume_slabs_skipped` | driver | slabs restored from a checkpoint instead of recomputed |
 //!
 //! Counts (`kernel_tiles`, `kernel_words`, `bytes_packed`,
-//! `slabs_emitted`, `io_*`) are **deterministic** — independent of thread
-//! count and wall time; the `*_ns` timers and `steal_count` are not.
+//! `slabs_emitted`, `io_*`, `cancel_polls`, `resume_slabs_skipped`) are
+//! **deterministic** — independent of thread count and wall time; the
+//! `*_ns` timers, `steal_count` and `checkpoints_written` (its periodic
+//! trigger is wall-clock based) are not.
 //! `kernel_words` against elapsed cycles gives the §IV ops/cycle metric:
 //! the scalar peak is 3 ops/cycle = 1 word-pair/cycle (AND ∥ POPCNT ∥
 //! ADD), so `words/cycle × 3` is directly comparable to that peak.
@@ -90,11 +95,18 @@ pub enum Counter {
     IoLinesRead,
     /// Input bytes consumed by `ld-io`.
     IoBytesRead,
+    /// Cancellation-token polls issued by the fused driver (one per
+    /// *computed* slab — polling is slab-granular, never per-tile).
+    CancelPolls,
+    /// Checkpoint snapshots flushed to the sink (periodic + final).
+    CheckpointsWritten,
+    /// Slabs restored from a checkpoint and skipped by the resumed driver.
+    ResumeSlabsSkipped,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 17;
 
     /// All counters, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -112,6 +124,9 @@ impl Counter {
         Counter::StealCount,
         Counter::IoLinesRead,
         Counter::IoBytesRead,
+        Counter::CancelPolls,
+        Counter::CheckpointsWritten,
+        Counter::ResumeSlabsSkipped,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -131,6 +146,9 @@ impl Counter {
             Counter::StealCount => "steal_count",
             Counter::IoLinesRead => "io_lines_read",
             Counter::IoBytesRead => "io_bytes_read",
+            Counter::CancelPolls => "cancel_polls",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::ResumeSlabsSkipped => "resume_slabs_skipped",
         }
     }
 
@@ -146,6 +164,8 @@ impl Counter {
                 | Counter::TransformNs
                 | Counter::StealCount
                 | Counter::AllocPeakBytes
+                // periodic checkpoints also fire on a wall-clock cadence
+                | Counter::CheckpointsWritten
         )
     }
 }
@@ -670,6 +690,17 @@ impl MetricsReport {
             self.get(Counter::BudgetShrinks),
             self.get(Counter::AllocPeakBytes),
         );
+        let (polls, ckpts, skipped) = (
+            self.get(Counter::CancelPolls),
+            self.get(Counter::CheckpointsWritten),
+            self.get(Counter::ResumeSlabsSkipped),
+        );
+        if polls != 0 || ckpts != 0 || skipped != 0 {
+            let _ = writeln!(
+                s,
+                "interruption    : {polls} cancel polls · {ckpts} checkpoints written · {skipped} slabs resumed",
+            );
+        }
         if !self.workers.is_empty() {
             let _ = writeln!(
                 s,
@@ -793,6 +824,8 @@ mod tests {
                 "tiles_claimed",
                 "io_lines_read",
                 "io_bytes_read",
+                "cancel_polls",
+                "resume_slabs_skipped",
             ]
         );
     }

@@ -14,7 +14,14 @@
 #      validates against schemas/metrics.schema.json
 #   8. perf smoke — the metrics-off build must not trail the metrics-on
 #      build by > 2% (warning by default; CI_STRICT_PERF=1 makes it fatal)
-#   9. malformed-input corpus through the CLI — every fixture must fail
+#   9. interruption smoke — a deadline-carrying run must not trail a
+#      plain run by > 2% (token/deadline polling is slab-granular, so
+#      it must be free at kernel scale; same strictness switch)
+#  10. kill/resume — `r2 --timeout 0 --checkpoint` must exit 5 with a
+#      resume hint and a checkpoint on disk; the `--resume` rerun must
+#      exit 0, produce a pair table byte-identical to a clean run, and
+#      remove the checkpoint
+#  11. malformed-input corpus through the CLI — every fixture must fail
 #      with a nonzero exit and a single error line, never a panic
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
@@ -91,8 +98,9 @@ PERF_SIM=target/ci-perf.ms
 run target/release/gemm-ld.metrics simulate --samples 500 --snps 1500 --seed 7 -o "$PERF_SIM"
 best_wall() {
     local bin=$1 best="" t
+    shift
     for _ in 1 2 3 4 5; do
-        t=$("$bin" r2 -i "$PERF_SIM" --threads 2 2>&1 >/dev/null \
+        t=$("$bin" r2 -i "$PERF_SIM" --threads 2 "$@" 2>&1 >/dev/null \
             | sed -n 's/.* in \([0-9.]*\)s .*/\1/p')
         if [ -z "$best" ] || awk -v a="$t" -v b="$best" 'BEGIN{exit !(a<b)}'; then
             best=$t
@@ -109,6 +117,61 @@ if awk -v on="$ON_SECS" -v off="$OFF_SECS" 'BEGIN{exit !(off > on * 1.02)}'; the
         exit 1
     fi
 fi
+
+# Interruption smoke: cancellation/deadline polling happens once per row
+# slab, never inside the tile loops, so a run carrying a (never-firing)
+# deadline must be indistinguishable from a plain run at kernel scale.
+echo "==> interruption smoke: deadline-carrying vs plain wall time"
+PLAIN_SECS=$(best_wall target/release/gemm-ld.metrics)
+TOKEN_SECS=$(best_wall target/release/gemm-ld.metrics --timeout 3600)
+echo "    best-of-5 wall: plain ${PLAIN_SECS}s, with --timeout 3600 ${TOKEN_SECS}s"
+if awk -v tok="$TOKEN_SECS" -v plain="$PLAIN_SECS" 'BEGIN{exit !(tok > plain * 1.02)}'; then
+    echo "    WARNING: deadline-carrying run slower than plain by > 2% (noise or regression)"
+    if [ "${CI_STRICT_PERF:-0}" = "1" ]; then
+        exit 1
+    fi
+fi
+
+# Kill/resume: an interrupted checkpointed run must exit 5 with a resume
+# hint and leave a snapshot; the resumed run must complete, match a clean
+# (streamed) run byte-for-byte, and clean up its checkpoint.
+echo "==> kill/resume: --timeout 0 checkpoint, then --resume to completion"
+KR_BIN=target/release/gemm-ld.metrics
+KR_SIM=target/ci-kr.ms
+KR_CKPT=target/ci-kr.ckpt
+run "$KR_BIN" simulate --samples 300 --snps 400 --seed 11 -o "$KR_SIM"
+"$KR_BIN" r2 -i "$KR_SIM" --threads 2 -o target/ci-kr-clean.tsv 2>/dev/null
+rm -f "$KR_CKPT"
+set +e
+"$KR_BIN" r2 -i "$KR_SIM" --threads 2 --timeout 0 --checkpoint "$KR_CKPT" \
+    -o target/ci-kr-int.tsv 2>target/ci-kr-int.err
+kr_status=$?
+set -e
+if [ "$kr_status" -ne 5 ]; then
+    echo "kill/resume FAIL: interrupted run exited $kr_status (expected 5)" >&2
+    cat target/ci-kr-int.err >&2
+    exit 1
+fi
+if ! grep -q -- "--resume" target/ci-kr-int.err; then
+    echo "kill/resume FAIL: stderr lacks the resume hint:" >&2
+    cat target/ci-kr-int.err >&2
+    exit 1
+fi
+if [ ! -f "$KR_CKPT" ]; then
+    echo "kill/resume FAIL: no checkpoint at $KR_CKPT after interruption" >&2
+    exit 1
+fi
+run "$KR_BIN" r2 -i "$KR_SIM" --threads 2 --checkpoint "$KR_CKPT" --resume \
+    -o target/ci-kr-resumed.tsv
+if ! cmp -s target/ci-kr-clean.tsv target/ci-kr-resumed.tsv; then
+    echo "kill/resume FAIL: resumed pair table differs from the clean run" >&2
+    exit 1
+fi
+if [ -f "$KR_CKPT" ]; then
+    echo "kill/resume FAIL: checkpoint not removed after successful resume" >&2
+    exit 1
+fi
+echo "    exit 5 + snapshot + bit-identical resume + checkpoint cleanup: OK"
 
 # Corpus step: feed every text-format fixture from the malformed-input
 # corpus to the release CLI. Each must exit nonzero with an `error:`

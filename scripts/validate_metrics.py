@@ -7,6 +7,12 @@ depending on `jsonschema` we implement the handful of keywords the metrics
 schema needs: type (incl. union types), required, properties,
 additionalProperties (boolean false), items, enum, minimum.
 
+Beyond the structural schema, one semantic invariant is enforced on
+instrumented documents: ``cancel_polls == slabs_emitted``. The fused
+drivers poll the cancellation token exactly once per computed slab
+(never inside the tile loops), so the two counters move in lock-step;
+a divergence means a poll was added at the wrong granularity.
+
 Usage: validate_metrics.py <schema.json> <document.json>
 Exit 0 on success; nonzero with a path-annotated message otherwise.
 """
@@ -64,6 +70,24 @@ def validate(value, schema, path="$"):
     return errors
 
 
+def semantic_checks(doc):
+    """Cross-counter invariants the schema cannot express."""
+    errors = []
+    if not isinstance(doc, dict) or not doc.get("enabled"):
+        return errors  # uninstrumented build: counters are all zero anyway
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        return errors  # structural validation already reports this
+    polls = counters.get("cancel_polls")
+    slabs = counters.get("slabs_emitted")
+    if isinstance(polls, int) and isinstance(slabs, int) and polls != slabs:
+        errors.append(
+            f"$.counters: cancel_polls ({polls}) != slabs_emitted ({slabs}) "
+            "— token polling must be exactly slab-granular"
+        )
+    return errors
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(f"usage: {sys.argv[0]} <schema.json> <document.json>")
@@ -72,6 +96,7 @@ def main():
     with open(sys.argv[2], encoding="utf-8") as f:
         doc = json.load(f)
     errors = validate(doc, schema)
+    errors.extend(semantic_checks(doc))
     if errors:
         for e in errors:
             print(f"schema violation: {e}", file=sys.stderr)
