@@ -63,22 +63,42 @@ struct LayerBreakdown {
 
 /// Runs the fused driver once with fresh counters and captures the
 /// per-layer split. Separate from the `time_best` loop so the breakdown
-/// is attributable to exactly one run.
+/// is attributable to exactly one run. When `trace_out` is set the run
+/// also records a flight-recorder span timeline and writes it as Chrome
+/// trace-event JSON (one file per size: `path` gains a `.nN` suffix
+/// before the extension so repeated sizes don't clobber each other).
 fn profile_fused(
     engine: &ld_core::LdEngine,
     g: &ld_bitmat::BitMatrix,
     threads: usize,
+    trace_out: Option<&str>,
 ) -> Option<LayerBreakdown> {
     if !ld_trace::enabled() {
         return None;
     }
     ld_trace::reset();
+    if trace_out.is_some() {
+        ld_trace::recorder::start(ld_trace::recorder::RecorderConfig::for_threads(threads));
+    }
     let t = std::time::Instant::now();
     let _ = engine.stat_matrix(g, LdStats::RSquared);
     let wall_ns = t.elapsed().as_nanos() as u64;
     let r = ld_trace::MetricsReport::capture()
         .with_wall_ns(wall_ns)
         .with_threads(threads);
+    if let Some(path) = trace_out {
+        let snap = ld_trace::recorder::stop().unwrap_or_default();
+        let path = trace_path_for_size(path, g.n_snps());
+        let body = ld_trace::export::chrome_trace_json(&snap);
+        match ld_io::atomic::write_atomic(&path, (body + "\n").as_bytes()) {
+            Ok(()) => eprintln!(
+                "wrote trace timeline to {path} ({} events, {} dropped)",
+                snap.events.len(),
+                snap.dropped
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
     use ld_trace::Counter as C;
     Some(LayerBreakdown {
         wall_ns,
@@ -90,13 +110,27 @@ fn profile_fused(
     })
 }
 
+/// `trace.json` + n=2000 → `trace.n2000.json` (suffix before the final
+/// extension; appended when there is none).
+fn trace_path_for_size(path: &str, n: usize) -> String {
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.n{n}.{ext}"),
+        _ => format!("{path}.n{n}"),
+    }
+}
+
 fn main() {
     let opts = BenchOpts::parse(std::env::args().skip(1));
     let n_samples = if opts.full { 2504 } else { 512 };
     let sizes = [2000usize, 8000];
     let threads = opts.thread_list().into_iter().next().unwrap_or(1).max(1);
     let slab = 64usize;
-    let (budget, max_reps) = if opts.full { (2.0, 5) } else { (0.5, 3) };
+    // The budget must buy the large sizes at least two reps: a best-of-1
+    // measurement is a *cold* measurement (first-touch page faults on the
+    // multi-hundred-MB allocations dominate and vary with memory
+    // pressure), and the bench-regression gate needs warm, repeatable
+    // numbers to band tightly.
+    let (budget, max_reps) = if opts.full { (30.0, 5) } else { (6.0, 3) };
 
     let engine = LdEngine::new()
         .threads(threads)
@@ -125,9 +159,17 @@ fn main() {
     for &n in &sizes {
         let g = random_matrix(n_samples, n, 0.3, 0x5eed ^ n as u64);
 
+        // Drop the previous rep's result *before* computing the next one:
+        // otherwise two output triangles are resident at once and VmHWM
+        // becomes a function of how many reps the budget allowed — the
+        // bench-regression gate needs the peak to depend on the problem,
+        // not the rep count.
         let mut fused = None;
         let fused_secs = time_best(
-            || fused = Some(engine.stat_matrix(&g, LdStats::RSquared)),
+            || {
+                fused = None;
+                fused = Some(engine.stat_matrix(&g, LdStats::RSquared));
+            },
             budget,
             max_reps,
         );
@@ -135,7 +177,10 @@ fn main() {
 
         let mut twopass = None;
         let twopass_secs = time_best(
-            || twopass = Some(engine.stat_matrix_twopass(&g, LdStats::RSquared)),
+            || {
+                twopass = None;
+                twopass = Some(engine.stat_matrix_twopass(&g, LdStats::RSquared));
+            },
             budget,
             max_reps,
         );
@@ -143,7 +188,7 @@ fn main() {
 
         // both paths must agree to the bit — this is a benchmark of two
         // implementations of the same function, so check it
-        let (a, b) = (fused.unwrap(), twopass.unwrap());
+        let (a, b) = (fused.take().unwrap(), twopass.take().unwrap());
         let mismatches = a
             .packed()
             .iter()
@@ -151,8 +196,11 @@ fn main() {
             .filter(|(x, y)| x.to_bits() != y.to_bits())
             .count();
         assert_eq!(mismatches, 0, "fused and two-pass disagree at n={n}");
+        // free both results before the instrumented run so its allocations
+        // cannot raise the high-water mark the next size reads
+        drop((a, b));
 
-        let layers = profile_fused(&engine, &g, threads);
+        let layers = profile_fused(&engine, &g, threads, opts.get("trace-out"));
 
         let packed_mb = (n * (n + 1) / 2 * 8) as f64 / 1e6;
         let counts_mb = (n * n * 4) as f64 / 1e6;

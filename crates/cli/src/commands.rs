@@ -33,6 +33,12 @@ COMMANDS:
               [--kernel auto|scalar|avx2-mula|avx512-vpopcnt]
               [--stat r2|d|dprime] [-o pairs.tsv]
               [--profile[=text|json]] [--profile-out metrics.json]
+              [--trace-out trace.json] [--trace-report report.json]
+              (--trace-out records a span timeline and writes Chrome
+              trace-event JSON loadable in Perfetto / chrome://tracing;
+              --trace-report writes the timeline analysis — busy/idle,
+              imbalance, steal latency, layer shares, roofline — as
+              stable-schema JSON and prints it to stderr)
               [--timeout SECS] [--checkpoint FILE [--resume]]
               (SIGINT or an expired --timeout stops at the next slab
               boundary with exit code 5; --checkpoint makes the run
@@ -304,7 +310,10 @@ pub fn simulate(args: &Args) -> CmdResult {
 /// `gemm-ld r2`
 pub fn r2(args: &Args) -> CmdResult {
     let profile = parse_profile(args)?;
-    if profile.is_some() {
+    let trace_out = args.get("trace-out").filter(|s| !s.is_empty());
+    let trace_report = args.get("trace-report").filter(|s| !s.is_empty());
+    let tracing = trace_out.is_some() || trace_report.is_some();
+    if profile.is_some() || tracing {
         // Fresh counters for this run (parse errors above leave the
         // accumulated state alone).
         ld_trace::reset();
@@ -313,6 +322,16 @@ pub fn r2(args: &Args) -> CmdResult {
     let input = args.require("input")?;
     let g = load_matrix(input)?;
     let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    if tracing {
+        if cfg!(feature = "metrics") {
+            ld_trace::recorder::start(ld_trace::recorder::RecorderConfig::for_threads(threads));
+        } else {
+            eprintln!(
+                "warning: built without the `metrics` feature; \
+                 --trace-out/--trace-report will record no events"
+            );
+        }
+    }
     let min_r2 = args.get_parsed("min-r2", 0.0f64)?;
     let stat = match args.get("stat") {
         None | Some("r2") => ld_core::LdStats::RSquared,
@@ -487,8 +506,50 @@ pub fn r2(args: &Args) -> CmdResult {
             }
         }
     }
+    if tracing {
+        emit_trace(trace_out, trace_report, compute_wall_ns, threads, args)?;
+    }
     if let Some(mode) = profile {
         emit_profile(mode, args.get("profile-out"), compute_wall_ns, threads)?;
+    }
+    Ok(())
+}
+
+/// Stops the flight recorder and emits its artifacts: Chrome trace-event
+/// JSON (Perfetto-loadable) to `--trace-out`, and the span-timeline
+/// analysis to stderr plus, under `--trace-report FILE`, as stable-schema
+/// JSON. Both files are written atomically; unwritable paths surface as
+/// resource errors (exit code 4), never a panic or a torn file.
+fn emit_trace(
+    trace_out: Option<&str>,
+    trace_report: Option<&str>,
+    wall_ns: u64,
+    threads: usize,
+    args: &Args,
+) -> Result<(), CliError> {
+    let snap = ld_trace::recorder::stop().unwrap_or_default();
+    if let Some(path) = trace_out {
+        let body = ld_trace::export::chrome_trace_json(&snap);
+        write_atomic(path, (body + "\n").as_bytes())
+            .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote trace timeline to {path} (open in ui.perfetto.dev)");
+    }
+    let report = ld_trace::MetricsReport::capture()
+        .with_wall_ns(wall_ns)
+        .with_threads(threads)
+        .with_tsc_hz(ld_kernels::clock::tsc_hz());
+    // Analytical peak of the kernel this run resolved to (§IV/§V model:
+    // `lanes` 64-bit word-pairs per cycle at 3 fused ops/cycle).
+    let peak = parse_kernel(args)
+        .ok()
+        .and_then(|k| ld_kernels::Kernel::resolve(k).ok())
+        .map(|k| k.lanes() as f64);
+    let analysis = ld_trace::analyze::analyze(&snap, &report, peak);
+    eprintln!("{}", analysis.render_text());
+    if let Some(path) = trace_report {
+        write_atomic(path, (analysis.to_json() + "\n").as_bytes())
+            .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote trace report to {path}");
     }
     Ok(())
 }
@@ -953,6 +1014,93 @@ mod tests {
         let a = std::fs::read_to_string(&plain).unwrap();
         let b = std::fs::read_to_string(&ckpt_tab).unwrap();
         assert_eq!(a, b, "packed-path table must match the streamed table");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    /// Serializes tests that touch the process-global flight recorder
+    /// (start/stop pairs from concurrent tests would steal each other's
+    /// snapshots).
+    fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn r2_trace_out_and_report_are_emitted() {
+        let _g = recorder_lock();
+        let d = tmpdir();
+        let input = d.join("trace_in.txt");
+        simulate(&args(&[
+            "--samples",
+            "64",
+            "--snps",
+            "48",
+            "-o",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace = d.join("trace.json");
+        let report = d.join("trace_report.json");
+        r2(&args(&[
+            "-i",
+            input.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--trace-report",
+            report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace_body = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            trace_body.starts_with("{\"traceEvents\":["),
+            "trace must be a Chrome trace-event document"
+        );
+        let report_body = std::fs::read_to_string(&report).unwrap();
+        for key in [
+            "\"schema_version\"",
+            "\"per_worker\"",
+            "\"layers\"",
+            "\"share_sum\"",
+        ] {
+            assert!(report_body.contains(key), "report missing {key}");
+        }
+        if cfg!(feature = "metrics") {
+            assert!(
+                trace_body.contains("\"ph\":\"X\""),
+                "metrics build must record complete spans"
+            );
+            assert!(report_body.contains("\"dropped\": 0"));
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn r2_trace_out_unwritable_is_resource_error() {
+        let _g = recorder_lock();
+        let d = tmpdir();
+        let input = d.join("trace_err_in.txt");
+        simulate(&args(&[
+            "--samples",
+            "32",
+            "--snps",
+            "16",
+            "-o",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = r2(&args(&[
+            "-i",
+            input.to_str().unwrap(),
+            "--trace-out",
+            "/nonexistent-dir/trace.json",
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Resource(_)),
+            "unwritable --trace-out must classify as a resource error (exit 4), got {err:?}"
+        );
         std::fs::remove_dir_all(&d).ok();
     }
 

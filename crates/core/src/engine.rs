@@ -316,9 +316,11 @@ impl LdEngine {
         // is part of producing the statistic layer; charging it to
         // `transform_ns` keeps the profile's layer sum honest about where
         // the compute region's time actually goes.
+        let span = ld_trace::recorder::Span::begin(ld_trace::recorder::SpanKind::Alloc);
         let sw = ld_trace::Stopwatch::start();
         let mut out = LdMatrix::try_zeros(n)?;
         ld_trace::add(ld_trace::Counter::TransformNs, sw.elapsed_ns());
+        span.end((n * (n + 1) / 2 * 8) as u64);
         let cfg = FusedConfig {
             slab,
             ..self.fused_config()

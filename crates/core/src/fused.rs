@@ -31,6 +31,7 @@ use ld_bitmat::BitMatrixView;
 use ld_kernels::micro::Kernel;
 use ld_kernels::{syrk_slab_counts, BlockSizes, KernelKind};
 use ld_parallel::{try_parallel_for_dynamic_init_ctl, CancelToken, Deadline};
+use ld_trace::recorder::{Span, SpanKind};
 use ld_trace::{Counter, Stopwatch};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -360,7 +361,11 @@ impl CkptWriter<'_> {
                 values,
             });
         }
-        self.sink.write_checkpoint(&state.to_bytes())?;
+        let span = Span::begin(SpanKind::CheckpointFlush);
+        let n_records = state.records.len() as u64;
+        let r = self.sink.write_checkpoint(&state.to_bytes());
+        span.end(n_records);
+        r?;
         ld_trace::add(Counter::CheckpointsWritten, 1);
         Ok(())
     }
@@ -465,19 +470,23 @@ pub(crate) fn try_stat_packed_fused(
     // Table construction (per-SNP allele counts via one popcount sweep)
     // is part of producing the statistic layer: charge it to
     // `transform_ns` so the profile's layer sum covers the setup cost.
+    let span = Span::begin(SpanKind::Transform);
     let sw = Stopwatch::start();
     let tr = Transform::try_new(v, stat, cfg.policy)?;
     ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+    span.end(n as u64);
     // Bounded per-worker scratch: the widest slab (the first) spans all
     // n columns, so `slab × n` covers every slab a worker can grab. The
     // buffers are allocated fallibly *here*, on the calling thread, so an
     // allocation failure is a clean Err before any thread is spawned.
     // Zeroing the counts scratch belongs to the counts (kernel) layer.
+    let span = Span::begin(SpanKind::Alloc);
     let sw = Stopwatch::start();
     let scratch_pool = ScratchPool::new(cfg.threads, || {
         try_zeroed_vec::<u32>(slab * n, "slab counts scratch")
     })?;
     ld_trace::add(Counter::KernelNs, sw.elapsed_ns());
+    span.end((cfg.threads.max(1) * slab * n * 4) as u64);
     // Modeled transient footprint of this run: per-worker u32 scratch plus
     // the packed output and the transform tables (≤ 20 bytes/SNP). Recorded
     // as a high-water gauge so profiles can confirm the O(threads·slab·n)
@@ -521,6 +530,7 @@ pub(crate) fn try_stat_packed_fused(
                 cfg.kind,
                 cfg.blocks,
             );
+            let span = Span::begin(SpanKind::Transform);
             let sw = Stopwatch::start();
             for i in r0..r1 {
                 let local = (i - r0) * width + (i - r0);
@@ -530,7 +540,9 @@ pub(crate) fn try_stat_packed_fused(
                 tr.apply_row(i, &scratch[local..local + len], dst);
             }
             ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+            span.end(slab_idx as u64);
             ld_trace::add(Counter::SlabsEmitted, 1);
+            ld_trace::recorder::instant(SpanKind::SlabEmit, slab_idx as u64);
             // Release *after* the packed writes above: the flag is the
             // publication point for checkpoint readers.
             progress_ref.done[slab_idx].store(true, Ordering::Release);
@@ -727,10 +739,13 @@ where
     let run_token = ctl.run_token();
     let deadline = ctl.deadline;
     poll_deadline(deadline, run_token.as_ref());
+    let span = Span::begin(SpanKind::Transform);
     let sw = Stopwatch::start();
     let tr = Transform::try_new(v, stat, cfg.policy)?;
     ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+    span.end(n as u64);
     let slab = cfg.slab.max(1).min(n);
+    let span = Span::begin(SpanKind::Alloc);
     let sw = Stopwatch::start();
     let scratch_pool = ScratchPool::new(cfg.threads, || {
         Ok((
@@ -739,6 +754,7 @@ where
         ))
     })?;
     ld_trace::add(Counter::KernelNs, sw.elapsed_ns());
+    span.end((cfg.threads.max(1) * slab * n * 12) as u64);
     // Modeled transient footprint: u32 counts + f64 values scratch per
     // worker, plus the transform tables (no packed output in the
     // streaming form).
@@ -770,6 +786,7 @@ where
                 cfg.kind,
                 cfg.blocks,
             );
+            let span = Span::begin(SpanKind::Transform);
             let sw = Stopwatch::start();
             for i in r0..r1 {
                 let local = (i - r0) * width + (i - r0);
@@ -778,7 +795,9 @@ where
                 tr.apply_row(i, src, dst);
             }
             ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+            span.end((r0 / slab) as u64);
             ld_trace::add(Counter::SlabsEmitted, 1);
+            ld_trace::recorder::instant(SpanKind::SlabEmit, (r0 / slab) as u64);
             let slab_visit = RowSlabVisit {
                 row_start: r0,
                 n_rows: h,

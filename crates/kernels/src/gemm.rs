@@ -6,6 +6,7 @@ use crate::pack::pack_panels;
 use crate::{BlockSizes, KernelKind};
 use ld_bitmat::{AlignedWords, BitMatrixView};
 use ld_parallel::even_ranges;
+use ld_trace::recorder::{Span, SpanKind};
 use ld_trace::{Counter, Stopwatch};
 use std::ops::Range;
 
@@ -84,10 +85,18 @@ pub(crate) fn gemm_blocked(
         let mut pc = 0usize;
         while pc < k_words {
             let kcur = bs.kc.min(k_words - pc);
+            // Flight-recorder spans mirror the Stopwatch regions 1:1 so
+            // the timeline and the counters describe the same code. A
+            // span is two clock reads + four relaxed stores when a
+            // recorder is active, one relaxed load when not, and nothing
+            // at all with `metrics` off.
+            let span = Span::begin(SpanKind::PackB);
             let sw = Stopwatch::start();
             pack_panels(b, jc..jc + ncur, pc..pc + kcur, nr, &mut bbuf);
             t_pack_b += sw.elapsed_ns();
-            n_bytes_packed += (bbuf.len() * 8) as u64;
+            let b_bytes = (bbuf.len() * 8) as u64;
+            span.end(b_bytes);
+            n_bytes_packed += b_bytes;
             let mut ic = a_rows.start;
             while ic < a_rows.end {
                 let mcur = bs.mc.min(a_rows.end - ic);
@@ -97,10 +106,18 @@ pub(crate) fn gemm_blocked(
                     ic += mcur;
                     continue;
                 }
+                let span = Span::begin(SpanKind::PackA);
                 let sw = Stopwatch::start();
                 pack_panels(a, ic..ic + mcur, pc..pc + kcur, mr, &mut abuf);
                 t_pack_a += sw.elapsed_ns();
-                n_bytes_packed += (abuf.len() * 8) as u64;
+                let a_bytes = (abuf.len() * 8) as u64;
+                span.end(a_bytes);
+                n_bytes_packed += a_bytes;
+                // One kernel-batch span covers the whole jr/ir register-
+                // tile sweep of this (jc, pc, ic) block — coarse enough
+                // that tracing never perturbs the tile loops themselves.
+                let span = Span::begin(SpanKind::KernelBatch);
+                let words_before = n_words;
                 let sw = Stopwatch::start();
                 let mut jr = 0usize;
                 while jr < ncur {
@@ -139,6 +156,7 @@ pub(crate) fn gemm_blocked(
                     jr += nr;
                 }
                 t_kernel += sw.elapsed_ns();
+                span.end(n_words - words_before);
                 ic += mcur;
             }
             pc += kcur;

@@ -9,7 +9,15 @@
 
 use crate::cancel::CancelToken;
 use crate::panic::{PanicTrap, WorkerPanic};
+use ld_trace::recorder::{Span, SpanKind};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Encodes a chunk claim for the flight recorder:
+/// `(chunk_index << 1) | stolen`.
+#[inline]
+fn chunk_arg(chunk_idx: usize, stolen: bool) -> u64 {
+    ((chunk_idx as u64) << 1) | u64::from(stolen)
+}
 
 /// How a cancellable dynamic loop finished.
 ///
@@ -74,6 +82,7 @@ where
 {
     let trap = PanicTrap::new();
     if n == 1 {
+        ld_trace::recorder::set_worker(0);
         trap.run(0, || f(0));
         return trap.into_result();
     }
@@ -81,8 +90,14 @@ where
         for tid in 1..n {
             let f = &f;
             let trap = &trap;
-            s.spawn(move || trap.run(tid, || f(tid)));
+            s.spawn(move || {
+                // Bind this OS thread's flight-recorder timeline to its
+                // logical worker id (no-op without `metrics`).
+                ld_trace::recorder::set_worker(tid);
+                trap.run(tid, || f(tid))
+            });
         }
+        ld_trace::recorder::set_worker(0);
         trap.run(0, || f(0));
     });
     trap.into_result()
@@ -262,7 +277,12 @@ where
             return Ok(LoopOutcome::Completed);
         }
         ld_trace::worker_claim(0, false);
-        return run_team_trapped(1, |_| f(0..len)).map(|()| LoopOutcome::Completed);
+        return run_team_trapped(1, |_| {
+            let span = Span::begin(SpanKind::Chunk);
+            f(0..len);
+            span.end(chunk_arg(0, false));
+        })
+        .map(|()| LoopOutcome::Completed);
     }
     if len == 0 {
         return Ok(LoopOutcome::Completed);
@@ -276,6 +296,7 @@ where
             let trap = &trap;
             let next = &next;
             move || {
+                ld_trace::recorder::set_worker(tid);
                 while !trap.cancelled() {
                     if token.is_some_and(|t| t.is_cancelled()) {
                         break;
@@ -284,9 +305,13 @@ where
                     if start >= len {
                         break;
                     }
-                    ld_trace::worker_claim(tid, is_steal(start / grain, tid, chunks, n));
+                    let stolen = is_steal(start / grain, tid, chunks, n);
+                    ld_trace::worker_claim(tid, stolen);
                     let end = (start + grain).min(len);
-                    if !trap.run(tid, || f(start..end)) {
+                    let span = Span::begin(SpanKind::Chunk);
+                    let ok = trap.run(tid, || f(start..end));
+                    span.end(chunk_arg(start / grain, stolen));
+                    if !ok {
                         break;
                     }
                 }
@@ -397,7 +422,9 @@ where
                 let end = (start + grain).min(len);
                 ld_trace::worker_claim(0, false);
                 next.store(end, Ordering::Relaxed);
+                let span = Span::begin(SpanKind::Chunk);
                 f(&mut state, start..end);
+                span.end(chunk_arg(start / grain, false));
                 start = end;
             }
         })?;
@@ -411,6 +438,7 @@ where
             let trap = &trap;
             let next = &next;
             move || {
+                ld_trace::recorder::set_worker(tid);
                 let mut state: Option<S> = None;
                 while !trap.cancelled() {
                     if token.is_some_and(|t| t.is_cancelled()) {
@@ -420,8 +448,10 @@ where
                     if start >= len {
                         break;
                     }
-                    ld_trace::worker_claim(tid, is_steal(start / grain, tid, chunks, n));
+                    let stolen = is_steal(start / grain, tid, chunks, n);
+                    ld_trace::worker_claim(tid, stolen);
                     let end = (start + grain).min(len);
+                    let span = Span::begin(SpanKind::Chunk);
                     let ok = trap.run(tid, || {
                         // `state` is only touched by this worker; the
                         // AssertUnwindSafe in `trap.run` is sound because a
@@ -430,6 +460,7 @@ where
                         let state = &mut state;
                         f(state.get_or_insert_with(|| init(tid)), start..end);
                     });
+                    span.end(chunk_arg(start / grain, stolen));
                     if !ok {
                         break;
                     }

@@ -1,0 +1,153 @@
+//! Chrome trace-event / Perfetto JSON export of a [`TraceSnapshot`].
+//!
+//! The emitted document is the JSON *object format* of the Trace Event
+//! spec (`{"traceEvents": [...]}`), which both `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly:
+//!
+//! * one `"ph": "M"` (metadata) event per worker naming its track,
+//! * `"ph": "X"` (complete) events for spans, `ts`/`dur` in microseconds
+//!   relative to the recorder epoch,
+//! * `"ph": "i"` (instant) events with thread scope for markers such as
+//!   slab emission.
+//!
+//! Everything is hand-rolled: the workspace builds offline with no
+//! external dependencies, and the event structure is flat enough that a
+//! serializer would be more code than the writer below.
+
+use crate::recorder::{SpanEvent, TraceSnapshot};
+use std::fmt::Write as _;
+
+/// Process id used for every event (one process: the LD run).
+const PID: u32 = 1;
+
+fn push_common(out: &mut String, ph: char, name: &str, tid: u32) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{tid},\"name\":\"{name}\""
+    );
+}
+
+fn ts_us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn push_event(out: &mut String, e: &SpanEvent) {
+    if e.kind.is_instant() {
+        push_common(out, 'i', e.kind.name(), e.worker);
+        let _ = write!(
+            out,
+            ",\"ts\":{:.3},\"s\":\"t\",\"args\":{{\"arg\":{}}}}}",
+            ts_us(e.start_ns),
+            e.arg
+        );
+    } else {
+        push_common(out, 'X', e.kind.name(), e.worker);
+        let _ = write!(
+            out,
+            ",\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"arg\":{}}}}}",
+            ts_us(e.start_ns),
+            ts_us(e.dur_ns),
+            e.arg
+        );
+    }
+}
+
+/// Serializes a snapshot to Chrome trace-event JSON (Perfetto-loadable).
+///
+/// Workers appear as threads `worker-0..n` of a single process; span
+/// `arg` payloads are preserved under `args.arg`. The snapshot's drop
+/// count is carried in the top-level `metadata` object so a truncated
+/// timeline is detectable from the file alone.
+pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(128 + snap.events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+    };
+    // Track-naming metadata: one per worker ring that recorded anything.
+    let mut workers: Vec<u32> = snap.events.iter().map(|e| e.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in &workers {
+        sep(&mut out);
+        push_common(&mut out, 'M', "thread_name", *w);
+        let _ = write!(out, ",\"args\":{{\"name\":\"worker-{w}\"}}}}");
+    }
+    for e in &snap.events {
+        sep(&mut out);
+        push_event(&mut out, e);
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"metadata\":{{\
+         \"trace_events_dropped\":{},\"capacity_per_worker\":{},\"workers\":{}}}}}\n",
+        snap.dropped, snap.capacity_per_worker, snap.workers
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::SpanKind;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        TraceSnapshot {
+            events: vec![
+                SpanEvent {
+                    kind: SpanKind::Chunk,
+                    worker: 0,
+                    start_ns: 1_000,
+                    dur_ns: 9_000,
+                    arg: 0,
+                },
+                SpanEvent {
+                    kind: SpanKind::PackA,
+                    worker: 0,
+                    start_ns: 2_000,
+                    dur_ns: 3_000,
+                    arg: 512,
+                },
+                SpanEvent {
+                    kind: SpanKind::SlabEmit,
+                    worker: 1,
+                    start_ns: 11_500,
+                    dur_ns: 0,
+                    arg: 7,
+                },
+            ],
+            dropped: 0,
+            open_spans: 0,
+            capacity_per_worker: 16,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn emits_complete_and_instant_events() {
+        let j = chrome_trace_json(&sample_snapshot());
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\"ph\":\"M\""));
+        assert!(j.contains("\"name\":\"worker-0\""));
+        assert!(j.contains("\"name\":\"worker-1\""));
+        assert!(j.contains("\"ph\":\"X\",\"pid\":1,\"tid\":0,\"name\":\"pack_a\""));
+        assert!(j.contains("\"ts\":2.000,\"dur\":3.000"));
+        assert!(j.contains("\"ph\":\"i\""));
+        assert!(j.contains("\"s\":\"t\""));
+        assert!(j.contains("\"args\":{\"arg\":7}"));
+        assert!(j.contains("\"trace_events_dropped\":0"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let j = chrome_trace_json(&TraceSnapshot::default());
+        assert!(j.contains("\"traceEvents\":["));
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

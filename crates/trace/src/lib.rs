@@ -39,6 +39,7 @@
 //! | `cancel_polls` | driver | cancellation-token polls (one per *computed* slab; slab-granular, never per-tile) |
 //! | `checkpoints_written` | driver | checkpoint snapshots flushed (periodic + final; wall-clock dependent) |
 //! | `resume_slabs_skipped` | driver | slabs restored from a checkpoint instead of recomputed |
+//! | `trace_events_dropped` | trace | flight-recorder span events dropped because a per-worker ring filled |
 //!
 //! Counts (`kernel_tiles`, `kernel_words`, `bytes_packed`,
 //! `slabs_emitted`, `io_*`, `cancel_polls`, `resume_slabs_skipped`) are
@@ -50,6 +51,10 @@
 //! ADD), so `words/cycle × 3` is directly comparable to that peak.
 
 #![warn(missing_docs)]
+
+pub mod analyze;
+pub mod export;
+pub mod recorder;
 
 use std::fmt::Write as _;
 
@@ -102,11 +107,15 @@ pub enum Counter {
     CheckpointsWritten,
     /// Slabs restored from a checkpoint and skipped by the resumed driver.
     ResumeSlabsSkipped,
+    /// Flight-recorder span events dropped because a per-worker ring
+    /// buffer filled (see [`recorder`]). Nonzero means the timeline in a
+    /// `--trace-out` export is incomplete; raise the ring capacity.
+    TraceEventsDropped,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// All counters, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -127,6 +136,7 @@ impl Counter {
         Counter::CancelPolls,
         Counter::CheckpointsWritten,
         Counter::ResumeSlabsSkipped,
+        Counter::TraceEventsDropped,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -149,6 +159,7 @@ impl Counter {
             Counter::CancelPolls => "cancel_polls",
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::ResumeSlabsSkipped => "resume_slabs_skipped",
+            Counter::TraceEventsDropped => "trace_events_dropped",
         }
     }
 
@@ -166,6 +177,8 @@ impl Counter {
                 | Counter::AllocPeakBytes
                 // periodic checkpoints also fire on a wall-clock cadence
                 | Counter::CheckpointsWritten
+                // drops depend on event volume, which is timing/sampling dependent
+                | Counter::TraceEventsDropped
         )
     }
 }
@@ -730,7 +743,7 @@ impl MetricsReport {
     }
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     let s = ns as f64 / 1e9;
     if s >= 1.0 {
         format!("{s:.3}s")

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a fresh BENCH_fused.json against a baseline.
+
+Usage: scripts/bench_compare.py <baseline.json> <current.json> [--time-tol F]
+
+Compares per-size metrics with per-metric tolerance bands and exits
+nonzero naming every regressed metric. Policy:
+
+  - config keys (n_samples, threads, slab_rows, the set of n_snps sizes)
+    must match exactly — a mismatch means the runs are incomparable and
+    the baseline must be regenerated (LD_BENCH_UPDATE_BASELINE=1 in ci.sh);
+  - model metrics (packed_mb, counts_model_mb, scratch_model_mb) are
+    analytic functions of the config and must match to 1e-9: any drift is
+    a real change in the memory model, not noise;
+  - RSS high-water marks may grow by at most 25% plus a 32 MB absolute
+    slack (allocator jitter dominates small sizes in absolute terms; a
+    counts-matrix-sized jump at paper scale still trips the band);
+  - wall times (fused_secs, twopass_secs) may regress by at most
+    --time-tol (default 0.5 = +50%) plus a 50 ms absolute slack (a 6 ms
+    size can double on scheduler noise alone; a half-second size
+    cannot). The producing bench is already best-of-N, so the band only
+    has to absorb machine noise, not rep noise. Improvements always
+    pass.
+
+Per-layer nanoseconds are reported but never gated: single-run layer
+splits are too noisy to band tightly and the wall-time gate subsumes them.
+
+No third-party imports — stdlib only, same constraint as the workspace.
+"""
+
+import json
+import sys
+
+# (metric key, kind) — kind selects the tolerance policy above.
+GATED = [
+    ("fused_secs", "time"),
+    ("twopass_secs", "time"),
+    ("vm_hwm_after_fused_kb", "rss"),
+    ("vm_hwm_after_twopass_kb", "rss"),
+    ("packed_mb", "model"),
+    ("counts_model_mb", "model"),
+    ("scratch_model_mb", "model"),
+]
+
+RSS_TOL = 0.25
+RSS_SLACK_KB = 32768.0  # allocator jitter floor: 32 MB
+TIME_SLACK_SECS = 0.05  # scheduler noise floor: 50 ms
+MODEL_EPS = 1e-9
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {e}")
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    time_tol = 0.5
+    if "--time-tol" in argv:
+        i = argv.index("--time-tol")
+        try:
+            time_tol = float(argv[i + 1])
+            args.remove(argv[i + 1])
+        except (IndexError, ValueError):
+            sys.exit("bench_compare: --time-tol needs a number")
+    if len(args) != 2:
+        sys.exit(
+            "usage: bench_compare.py <baseline.json> <current.json> [--time-tol F]"
+        )
+    base, cur = load(args[0]), load(args[1])
+
+    failures = []
+    for key in ("bench", "n_samples", "threads", "slab_rows"):
+        if base.get(key) != cur.get(key):
+            failures.append(
+                f"config mismatch: {key} baseline={base.get(key)!r} "
+                f"current={cur.get(key)!r} (regenerate the baseline)"
+            )
+    base_sizes = {r["n_snps"]: r for r in base.get("results", [])}
+    cur_sizes = {r["n_snps"]: r for r in cur.get("results", [])}
+    if set(base_sizes) != set(cur_sizes):
+        failures.append(
+            f"config mismatch: sizes baseline={sorted(base_sizes)} "
+            f"current={sorted(cur_sizes)} (regenerate the baseline)"
+        )
+
+    rows = []
+    for n in sorted(set(base_sizes) & set(cur_sizes)):
+        b, c = base_sizes[n], cur_sizes[n]
+        for key, kind in GATED:
+            if key not in b or key not in c:
+                failures.append(f"{key}[n={n}]: missing from one document")
+                continue
+            bv, cv = float(b[key]), float(c[key])
+            if kind == "model":
+                ok = abs(cv - bv) <= MODEL_EPS
+                band = "exact"
+            else:
+                tol = time_tol if kind == "time" else RSS_TOL
+                slack = TIME_SLACK_SECS if kind == "time" else RSS_SLACK_KB
+                ok = cv <= bv * (1.0 + tol) + slack or cv - bv <= MODEL_EPS
+                band = f"+{tol * 100:.0f}%"
+            ratio = cv / bv if bv else float("inf") if cv else 1.0
+            rows.append((f"{key}[n={n}]", bv, cv, ratio, band, ok))
+            if not ok:
+                failures.append(
+                    f"{key}[n={n}]: regressed {bv:.6g} -> {cv:.6g} "
+                    f"({ratio:.2f}x, band {band})"
+                )
+
+    w = max((len(r[0]) for r in rows), default=10)
+    print(f"{'metric':<{w}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  {'band':>6}  verdict")
+    for name, bv, cv, ratio, band, ok in rows:
+        print(f"{name:<{w}}  {bv:>12.6g}  {cv:>12.6g}  "
+              f"{ratio:>6.2f}x  {band:>6}  {'ok' if ok else 'FAIL'}")
+
+    if failures:
+        print(f"\nbench_compare: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print(
+            "  (intentional? rerun ci.sh with LD_BENCH_UPDATE_BASELINE=1 "
+            "and commit the new baseline)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nbench_compare: all gated metrics within bands vs {args[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

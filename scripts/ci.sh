@@ -23,6 +23,16 @@
 #      remove the checkpoint
 #  11. malformed-input corpus through the CLI — every fixture must fail
 #      with a nonzero exit and a single error line, never a panic
+#  12. trace leg — `r2 --trace-out/--trace-report` must emit well-formed
+#      Chrome trace-event JSON and a report that validates against
+#      schemas/trace_report.schema.json with zero dropped events at the
+#      default ring capacity; the flight recorder must cost <= 2% over
+#      `--profile` alone (same CI_STRICT_PERF switch as step 8)
+#  13. bench-regression gate — a fresh `fused` bench run is diffed
+#      against results/baselines/BENCH_fused.json with per-metric
+#      tolerance bands (scripts/bench_compare.py); rerun with
+#      LD_BENCH_UPDATE_BASELINE=1 to refresh the baseline after an
+#      intentional perf change (then commit it)
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
 
@@ -71,14 +81,17 @@ for T in 1 2 7; do
     target/release/gemm-ld.metrics r2 -i "$GUARD_SIM" --threads "$T" \
         --profile=json --profile-out "target/ci-profile-t$T.json" \
         -o "target/ci-on-t$T.tsv" 2>/dev/null
+    # --trace-out on the metrics-off build exercises the compiled-out
+    # recorder stubs: the flag must warn, not change a byte of output.
     target/release/gemm-ld.nometrics r2 -i "$GUARD_SIM" --threads "$T" \
+        --trace-out "target/ci-off-trace-t$T.json" \
         -o "target/ci-off-t$T.tsv" 2>/dev/null
     if ! cmp -s "target/ci-on-t$T.tsv" "target/ci-off-t$T.tsv"; then
         echo "guard FAIL: metrics-on and metrics-off outputs differ (threads=$T)" >&2
         exit 1
     fi
 done
-echo "    metrics-on and metrics-off outputs byte-identical (threads 1/2/7)"
+echo "    metrics-on and metrics-off outputs byte-identical (threads 1/2/7, recorder stubs exercised)"
 
 echo "==> schema validation: --profile=json vs schemas/metrics.schema.json"
 if command -v python3 >/dev/null 2>&1; then
@@ -87,6 +100,43 @@ if command -v python3 >/dev/null 2>&1; then
     done
 else
     echo "    python3 unavailable; schema validation skipped"
+fi
+
+# Trace leg: the flight recorder must produce a well-formed Perfetto
+# timeline and an analysis report that (a) validates against the stable
+# schema and (b) dropped zero events at the default ring capacity.
+echo "==> trace leg: --trace-out/--trace-report schema + zero-drop"
+target/release/gemm-ld.metrics r2 -i "$GUARD_SIM" --threads 7 \
+    --trace-out target/ci-trace.json \
+    --trace-report target/ci-trace-report.json \
+    -o target/ci-trace.tsv 2>/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/validate_metrics.py schemas/trace_report.schema.json target/ci-trace-report.json
+    python3 - <<'PYEOF'
+import json, sys
+
+rep = json.load(open("target/ci-trace-report.json"))
+if rep["dropped"] != 0:
+    sys.exit(f"trace leg FAIL: {rep['dropped']} events dropped at default ring capacity")
+if rep["open_spans"] != 0:
+    sys.exit(f"trace leg FAIL: {rep['open_spans']} spans never closed")
+if abs(rep["share_sum"] - 1.0) > 0.01:
+    sys.exit(f"trace leg FAIL: layer shares sum to {rep['share_sum']:.4f} (must be 1 within 1%)")
+doc = json.load(open("target/ci-trace.json"))
+evs = doc["traceEvents"]
+need = {"ph", "pid", "tid"}
+bad = [e for e in evs if not need <= e.keys()]
+if bad:
+    sys.exit(f"trace leg FAIL: {len(bad)} malformed trace events (missing {need})")
+complete = [e for e in evs if e["ph"] == "X"]
+if not complete:
+    sys.exit("trace leg FAIL: no complete ('X') span events recorded")
+if any("ts" not in e or "dur" not in e for e in complete):
+    sys.exit("trace leg FAIL: complete events must carry ts + dur")
+print(f"    {len(evs)} trace events ({len(complete)} spans), 0 dropped, report schema valid")
+PYEOF
+else
+    echo "    python3 unavailable; trace validation skipped"
 fi
 
 # Perf smoke: with the feature compiled out the binary must be at least as
@@ -113,6 +163,29 @@ OFF_SECS=$(best_wall target/release/gemm-ld.nometrics)
 echo "    best-of-5 wall: metrics-on ${ON_SECS}s, metrics-off ${OFF_SECS}s"
 if awk -v on="$ON_SECS" -v off="$OFF_SECS" 'BEGIN{exit !(off > on * 1.02)}'; then
     echo "    WARNING: metrics-off slower than metrics-on by > 2% (noise or regression)"
+    if [ "${CI_STRICT_PERF:-0}" = "1" ]; then
+        exit 1
+    fi
+fi
+
+# Recorder-overhead smoke: span recording is a handful of relaxed atomic
+# stores per slab, so a traced run must cost <= 2% over `--profile` alone.
+# Uses a larger problem than the perf smoke: the summary wall is printed
+# at 1 ms resolution, so the run must be long enough that 2% is visible.
+echo "==> recorder-overhead smoke: --trace-out vs --profile alone"
+REC_SIM=target/ci-recorder.ms
+run target/release/gemm-ld.metrics simulate --samples 500 --snps 6000 --seed 9 -o "$REC_SIM"
+PERF_SIM_SAVED=$PERF_SIM
+PERF_SIM=$REC_SIM
+PROF_SECS=$(best_wall target/release/gemm-ld.metrics \
+    --profile=json --profile-out target/ci-perf-prof.json)
+TRACE_SECS=$(best_wall target/release/gemm-ld.metrics \
+    --profile=json --profile-out target/ci-perf-prof.json \
+    --trace-out target/ci-perf-trace.json)
+PERF_SIM=$PERF_SIM_SAVED
+echo "    best-of-5 wall: profile ${PROF_SECS}s, profile+trace ${TRACE_SECS}s"
+if awk -v tr="$TRACE_SECS" -v pr="$PROF_SECS" 'BEGIN{exit !(tr > pr * 1.02)}'; then
+    echo "    WARNING: recorder costs > 2% over --profile alone (noise or regression)"
     if [ "${CI_STRICT_PERF:-0}" = "1" ]; then
         exit 1
     fi
@@ -208,5 +281,22 @@ if [ "$checked" -lt 15 ]; then
     exit 1
 fi
 echo "    $checked fixtures rejected cleanly"
+
+# Bench-regression gate: run the fused bench (internally best-of-N per
+# size) and diff it against the committed baseline with per-metric
+# tolerance bands. LD_BENCH_UPDATE_BASELINE=1 refreshes the baseline
+# instead (after an intentional perf change — commit the result).
+echo "==> bench-regression gate: fused vs committed baseline"
+BASELINE=results/baselines/BENCH_fused.json
+rm -f BENCH_fused.json
+run target/release/fused --threads 2
+if [ "${LD_BENCH_UPDATE_BASELINE:-0}" = "1" ]; then
+    cp BENCH_fused.json "$BASELINE"
+    echo "    baseline refreshed: $BASELINE (commit it)"
+elif command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/bench_compare.py "$BASELINE" BENCH_fused.json
+else
+    echo "    python3 unavailable; bench-regression gate skipped"
+fi
 
 echo "==> CI green"
