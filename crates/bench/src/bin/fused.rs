@@ -124,7 +124,31 @@ fn main() {
     let n_samples = if opts.full { 2504 } else { 512 };
     let sizes = [2000usize, 8000];
     let threads = opts.thread_list().into_iter().next().unwrap_or(1).max(1);
-    let slab = 64usize;
+    // Tuned parameters: a cached CPU profile (gemm-ld tune) overrides the
+    // built-in geometry so the bench measures what production runs use;
+    // LD_NO_CPU_PROFILE=1 pins the defaults (the CI gate does, so the
+    // committed baseline stays comparable across tuned machines).
+    let mut slab = 64usize;
+    let mut chunk = 1usize;
+    let mut blocks = ld_kernels::BlockSizes::default();
+    let mut kind = ld_kernels::KernelKind::Auto;
+    if let Some(p) = ld_kernels::profile::load_active() {
+        let t = &p.tuned;
+        slab = t.slab_rows;
+        chunk = t.chunk_slabs;
+        blocks = t.blocks;
+        kind = t.kernel;
+        eprintln!(
+            "using tuned CPU profile: kernel={} kc={} mc={} nc={} slab={slab} chunk={chunk}",
+            t.kernel.name(),
+            blocks.kc,
+            blocks.mc,
+            blocks.nc
+        );
+    }
+    let kernel_name = ld_kernels::Kernel::resolve(kind)
+        .map(|k| k.kind().name())
+        .unwrap_or("unresolved");
     // The budget must buy the large sizes at least two reps: a best-of-1
     // measurement is a *cold* measurement (first-touch page faults on the
     // multi-hundred-MB allocations dominate and vary with memory
@@ -133,13 +157,16 @@ fn main() {
     let (budget, max_reps) = if opts.full { (30.0, 5) } else { (6.0, 3) };
 
     let engine = LdEngine::new()
+        .kernel(kind)
+        .blocks(blocks)
         .threads(threads)
         .slab_rows(slab)
+        .chunk_slabs(chunk)
         .nan_policy(NanPolicy::Zero);
 
     println!(
-        "fused vs two-pass: {n_samples} samples, threads={threads}, slab={slab} \
-         (best of <= {max_reps} reps, {budget:.1}s budget)"
+        "fused vs two-pass: {n_samples} samples, threads={threads}, slab={slab}, \
+         kernel={kernel_name} (best of <= {max_reps} reps, {budget:.1}s budget)"
     );
     let mut table = Table::new([
         "n_snps",
@@ -277,6 +304,14 @@ fn main() {
     json.push_str(&format!("  \"n_samples\": {n_samples},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"slab_rows\": {slab},\n"));
+    // Tuning parameters of this run: compared warn-only by the regression
+    // gate (a tuned machine is allowed to differ from the baseline's
+    // geometry, but the gate should say so next to any timing delta).
+    json.push_str(&format!("  \"kernel\": \"{kernel_name}\",\n"));
+    json.push_str(&format!("  \"block_kc\": {},\n", blocks.kc));
+    json.push_str(&format!("  \"block_mc\": {},\n", blocks.mc));
+    json.push_str(&format!("  \"block_nc\": {},\n", blocks.nc));
+    json.push_str(&format!("  \"chunk_slabs\": {chunk},\n"));
     json.push_str("  \"results\": [\n");
     for (k, r) in results.iter().enumerate() {
         let layers_json = match &r.layers {

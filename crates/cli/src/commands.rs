@@ -10,9 +10,9 @@ use ld_data::HaplotypeSimulator;
 use ld_data::SweepSimulator;
 use ld_ext::tanimoto::{tanimoto_cross, top_k_neighbors};
 use ld_io::atomic::{write_atomic, write_atomic_with};
-use ld_kernels::KernelKind;
+use ld_kernels::{BlockSizes, CpuProfile, KernelKind, TunedParams};
 use ld_omega::OmegaScan;
-use ld_popcount::CpuFeatures;
+use ld_popcount::{CpuFeatures, CpuFingerprint};
 use std::io::BufReader;
 use std::path::Path;
 use std::time::Duration;
@@ -57,7 +57,24 @@ COMMANDS:
               -i in [--causal i,j,...] [--beta X] [--p X] [--clump-r2 X]
               [--clump-window W] [--seed S]
   convert     convert between formats: -i in.{ms,txt,vcf} -o out.{ms,txt,vcf}
-  help        this message";
+  tune        autotune kernel + blocking for this CPU and cache the result
+              [--quick|--full] [--threads T] [--out profile.json]
+              (staged coordinate descent over kernel, kc/mc/nc blocks,
+              slab height and scheduler chunk, scored best-of-N by
+              words/cycle from the metrics counters; the winning profile
+              is written atomically, keyed to this CPU's fingerprint,
+              and picked up automatically by later r2/bench runs)
+  help        this message
+
+ENVIRONMENT:
+  LD_KERNEL          kernel name forced wherever 'auto' would resolve
+                     (invalid values warn once and fall back)
+  LD_CPU_PROFILE     tuned-profile path (default
+                     $XDG_CACHE_HOME/gemm-ld/cpu-profile.json)
+  LD_NO_CPU_PROFILE  set to 1 to ignore any cached profile
+
+Tuned-parameter precedence: explicit flags > LD_KERNEL > cached CPU
+profile > built-in defaults.";
 
 type CmdResult = Result<(), CliError>;
 
@@ -67,6 +84,43 @@ fn parse_kernel(args: &Args) -> Result<KernelKind, CliError> {
         None => Ok(KernelKind::Auto),
         Some(name) => name.parse().map_err(CliError::Usage),
     }
+}
+
+/// Builds an [`LdEngine`] honoring the tuning precedence: explicit CLI
+/// flags > `LD_KERNEL` env > cached per-CPU profile (`gemm-ld tune`) >
+/// built-in defaults.
+///
+/// The profile supplies kernel, `kc/mc/nc` blocking, slab height and
+/// scheduler chunk; `--kernel`, `--slab-rows` and `--chunk-slabs` each
+/// override their own parameter without discarding the rest. A present
+/// `LD_KERNEL` suppresses only the profile's kernel choice (the env
+/// override itself is applied inside `auto` resolution).
+fn tuned_engine(args: &Args, threads: usize) -> Result<LdEngine, CliError> {
+    let mut engine = LdEngine::new().threads(threads);
+    let cli_kernel = args.get("kernel").is_some();
+    let env_kernel = std::env::var("LD_KERNEL")
+        .map(|v| !v.trim().is_empty())
+        .unwrap_or(false);
+    if let Some(p) = ld_kernels::profile::load_active() {
+        let t = &p.tuned;
+        engine = engine
+            .blocks(t.blocks)
+            .slab_rows(t.slab_rows)
+            .chunk_slabs(t.chunk_slabs);
+        if !cli_kernel && !env_kernel {
+            engine = engine.kernel(t.kernel);
+        }
+    }
+    if cli_kernel {
+        engine = engine.kernel(parse_kernel(args)?);
+    }
+    if args.get("slab-rows").is_some() {
+        engine = engine.slab_rows(args.get_parsed("slab-rows", 64usize)?);
+    }
+    if args.get("chunk-slabs").is_some() {
+        engine = engine.chunk_slabs(args.get_parsed("chunk-slabs", 1usize)?);
+    }
+    Ok(engine)
 }
 
 /// Parses `--profile[=json|text]`: absent → `None`, bare / `=text` → text
@@ -339,10 +393,7 @@ pub fn r2(args: &Args) -> CmdResult {
         Some("dprime") | Some("d'") => ld_core::LdStats::DPrime,
         Some(other) => return Err(CliError::Usage(format!("unknown stat '{other}'"))),
     };
-    let engine = LdEngine::new()
-        .kernel(parse_kernel(args)?)
-        .threads(threads)
-        .nan_policy(NanPolicy::Zero);
+    let engine = tuned_engine(args, threads)?.nan_policy(NanPolicy::Zero);
     // Run control: SIGINT token + --timeout deadline + --checkpoint plan.
     // The sink must outlive the plan borrowing it.
     let sink = intr
@@ -507,7 +558,13 @@ pub fn r2(args: &Args) -> CmdResult {
         }
     }
     if tracing {
-        emit_trace(trace_out, trace_report, compute_wall_ns, threads, args)?;
+        emit_trace(
+            trace_out,
+            trace_report,
+            compute_wall_ns,
+            threads,
+            engine.kernel_kind(),
+        )?;
     }
     if let Some(mode) = profile {
         emit_profile(mode, args.get("profile-out"), compute_wall_ns, threads)?;
@@ -525,7 +582,7 @@ fn emit_trace(
     trace_report: Option<&str>,
     wall_ns: u64,
     threads: usize,
-    args: &Args,
+    kind: KernelKind,
 ) -> Result<(), CliError> {
     let snap = ld_trace::recorder::stop().unwrap_or_default();
     if let Some(path) = trace_out {
@@ -540,9 +597,8 @@ fn emit_trace(
         .with_tsc_hz(ld_kernels::clock::tsc_hz());
     // Analytical peak of the kernel this run resolved to (§IV/§V model:
     // `lanes` 64-bit word-pairs per cycle at 3 fused ops/cycle).
-    let peak = parse_kernel(args)
+    let peak = ld_kernels::Kernel::resolve(kind)
         .ok()
-        .and_then(|k| ld_kernels::Kernel::resolve(k).ok())
         .map(|k| k.lanes() as f64);
     let analysis = ld_trace::analyze::analyze(&snap, &report, peak);
     eprintln!("{}", analysis.render_text());
@@ -781,6 +837,240 @@ pub fn assoc(args: &Args) -> CmdResult {
             c.members.len()
         );
     }
+    Ok(())
+}
+
+/// One point of the autotuner's search space plus its measured score.
+#[derive(Clone)]
+struct TuneCandidate {
+    kernel: KernelKind,
+    blocks: BlockSizes,
+    slab: usize,
+    chunk: usize,
+    score: f64,
+}
+
+/// `gemm-ld tune` — staged coordinate descent over the kernel and the
+/// scheduling/blocking parameters, scored on a synthetic workload.
+///
+/// Search order: (1) micro-kernel race at default geometry, then
+/// one-dimensional sweeps of (2) `kc`, (3) `mc`, (4) `nc`, (5) slab
+/// height, (6) scheduler chunk — each stage keeps the incumbent for the
+/// dimensions it does not touch, so the budget is `O(sum of stage
+/// sizes)` instead of the full grid. Every candidate is scored best-of-N
+/// (N = 2 quick, 3 full): for throughput, *max* over reps is the right
+/// statistic — noise only ever slows a run down.
+///
+/// The score is words/cycle from the metrics counters (the roofline
+/// numerator: packed word-pairs through the micro-kernel per TSC cycle),
+/// which isolates kernel+blocking quality from constant setup costs;
+/// builds without the `metrics` feature (or without an invariant TSC)
+/// fall back to whole-run throughput.
+pub fn tune(args: &Args) -> CmdResult {
+    let full = args.has("full");
+    if full && args.has("quick") {
+        return Err(CliError::Usage("--quick and --full are exclusive".into()));
+    }
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    // Quick: a few hundred ms total, enough to separate kernels by 2x+.
+    // Full: paper-scale samples (2504 haplotypes -> 40 packed words) so
+    // the kc sweep actually has depth to block over.
+    let (n_samples, n_snps, reps) = if full { (2504, 4000, 3) } else { (512, 768, 2) };
+    let wpc = ld_trace::enabled() && ld_kernels::clock::tsc_hz().is_some();
+    let metric = if wpc {
+        "words-per-cycle"
+    } else {
+        "runs-per-sec"
+    };
+    eprintln!(
+        "tuning on {n_samples} samples x {n_snps} SNPs, threads={threads}, \
+         best-of-{reps}, metric={metric}"
+    );
+    let g = HaplotypeSimulator::new(n_samples, n_snps)
+        .seed(0x7u64)
+        .generate();
+
+    let score_of = |c: &TuneCandidate| -> Result<f64, CliError> {
+        let engine = LdEngine::new()
+            .kernel(c.kernel)
+            .blocks(c.blocks)
+            .threads(threads)
+            .slab_rows(c.slab)
+            .chunk_slabs(c.chunk)
+            .nan_policy(NanPolicy::Zero);
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            ld_trace::reset();
+            let t0 = std::time::Instant::now();
+            let m = engine.try_stat_matrix(&g, ld_core::LdStats::RSquared)?;
+            let wall = t0.elapsed().as_nanos().max(1) as u64;
+            drop(m);
+            let s = if wpc {
+                ld_trace::MetricsReport::capture()
+                    .with_wall_ns(wall)
+                    .with_threads(threads)
+                    .with_tsc_hz(ld_kernels::clock::tsc_hz())
+                    .words_per_cycle()
+                    .unwrap_or(0.0)
+            } else {
+                1e9 / wall as f64
+            };
+            best = best.max(s);
+        }
+        Ok(best)
+    };
+
+    // Incumbent: whatever `auto` resolves to, at the built-in geometry.
+    let auto = ld_kernels::Kernel::resolve(KernelKind::Auto).map_err(|e| e.to_string())?;
+    let mut best = TuneCandidate {
+        kernel: auto.kind(),
+        blocks: BlockSizes::default(),
+        slab: 64,
+        chunk: 1,
+        score: 0.0,
+    };
+    best.score = score_of(&best)?;
+
+    // Each stage mutates one dimension of the incumbent; a candidate is
+    // skipped (not failed) when its blocks don't fit the kernel's tile.
+    let race = |label: &str, cands: Vec<TuneCandidate>, best: &mut TuneCandidate| -> CmdResult {
+        eprintln!("stage {label}:");
+        for c in cands {
+            let (desc, same) = describe(&c, best);
+            if same {
+                eprintln!("    {desc:<44} {:>9.4} (incumbent)", best.score);
+                continue;
+            }
+            let k = match ld_kernels::Kernel::resolve(c.kernel) {
+                Ok(k) => k,
+                Err(_) => continue,
+            };
+            if c.blocks.validate_for(k.mr(), k.nr()).is_err() {
+                continue;
+            }
+            let score = score_of(&c)?;
+            let mark = if score > best.score {
+                " <- new best"
+            } else {
+                ""
+            };
+            eprintln!("    {desc:<44} {score:>9.4}{mark}");
+            if score > best.score {
+                *best = TuneCandidate { score, ..c };
+            }
+        }
+        Ok(())
+    };
+    fn describe(c: &TuneCandidate, best: &TuneCandidate) -> (String, bool) {
+        let desc = format!(
+            "{} kc={} mc={} nc={} slab={} chunk={}",
+            c.kernel.name(),
+            c.blocks.kc,
+            c.blocks.mc,
+            c.blocks.nc,
+            c.slab,
+            c.chunk
+        );
+        let same = c.kernel == best.kernel
+            && c.blocks == best.blocks
+            && c.slab == best.slab
+            && c.chunk == best.chunk;
+        (desc, same)
+    }
+
+    let kernels: Vec<TuneCandidate> = ld_kernels::micro::supported_kernels()
+        .into_iter()
+        .map(|k| TuneCandidate {
+            kernel: k.kind(),
+            ..best.clone()
+        })
+        .collect();
+    race("kernel", kernels, &mut best)?;
+    let kc_values: &[usize] = if full {
+        &[64, 128, 256, 512, 1024]
+    } else {
+        &[128, 256, 512]
+    };
+    let sweep =
+        |values: &[usize], f: fn(&TuneCandidate, usize) -> TuneCandidate, best: &TuneCandidate| {
+            values.iter().map(|&v| f(best, v)).collect::<Vec<_>>()
+        };
+    let cands = sweep(
+        kc_values,
+        |b, v| TuneCandidate {
+            blocks: BlockSizes { kc: v, ..b.blocks },
+            ..b.clone()
+        },
+        &best,
+    );
+    race("kc", cands, &mut best)?;
+    let cands = sweep(
+        &[256, 512, 1024],
+        |b, v| TuneCandidate {
+            blocks: BlockSizes { mc: v, ..b.blocks },
+            ..b.clone()
+        },
+        &best,
+    );
+    race("mc", cands, &mut best)?;
+    let cands = sweep(
+        &[2048, 4096, 8192],
+        |b, v| TuneCandidate {
+            blocks: BlockSizes { nc: v, ..b.blocks },
+            ..b.clone()
+        },
+        &best,
+    );
+    race("nc", cands, &mut best)?;
+    let cands = sweep(
+        &[16, 32, 64, 128],
+        |b, v| TuneCandidate {
+            slab: v,
+            ..b.clone()
+        },
+        &best,
+    );
+    race("slab", cands, &mut best)?;
+    let cands = sweep(
+        &[1, 2, 4],
+        |b, v| TuneCandidate {
+            chunk: v,
+            ..b.clone()
+        },
+        &best,
+    );
+    race("chunk", cands, &mut best)?;
+
+    let profile = CpuProfile {
+        fingerprint: CpuFingerprint::detect().clone(),
+        tuned: TunedParams {
+            kernel: best.kernel,
+            blocks: best.blocks,
+            slab_rows: best.slab,
+            chunk_slabs: best.chunk,
+            threads,
+            score: best.score,
+            metric: metric.to_string(),
+        },
+    };
+    let path = match args.get("out").filter(|s| !s.is_empty()) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => ld_kernels::profile::profile_path().ok_or_else(|| {
+            CliError::Resource(
+                "no profile location: set LD_CPU_PROFILE, XDG_CACHE_HOME or HOME".into(),
+            )
+        })?,
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| CliError::Resource(format!("cannot create {}: {e}", parent.display())))?;
+    }
+    write_atomic(&path, profile.to_json().as_bytes())
+        .map_err(|e| CliError::Resource(format!("cannot write {}: {e}", path.display())))?;
+    let (desc, _) = describe(&best, &best);
+    println!("best: {desc}  ({:.4} {metric})", best.score);
+    println!("wrote tuned profile to {}", path.display());
+    println!("(picked up automatically by r2/bench on this CPU; LD_NO_CPU_PROFILE=1 disables)");
     Ok(())
 }
 

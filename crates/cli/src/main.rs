@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "blocks" => commands::blocks(&parsed),
         "assoc" => commands::assoc(&parsed),
         "convert" => commands::convert(&parsed),
+        "tune" => commands::tune(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -43,6 +43,7 @@ pub struct LdEngine {
     pub(crate) threads: usize,
     pub(crate) policy: NanPolicy,
     pub(crate) slab: usize,
+    pub(crate) chunk: usize,
     pub(crate) budget: MemoryBudget,
 }
 
@@ -85,6 +86,7 @@ impl LdEngine {
             threads: available_threads(),
             policy: NanPolicy::default(),
             slab: DEFAULT_SLAB_ROWS,
+            chunk: 1,
             budget: MemoryBudget::unlimited(),
         }
     }
@@ -139,6 +141,20 @@ impl LdEngine {
         self
     }
 
+    /// Sets the scheduler chunk size in **slabs** (clamped to ≥ 1).
+    ///
+    /// The fused pipeline's dynamic scheduler hands each worker
+    /// `chunk_slabs` consecutive slabs per claim. The default of 1
+    /// reproduces the one-claim-per-slab schedule; larger chunks
+    /// amortize scheduling overhead at some cost in load balance (the
+    /// autotuner sweeps this). Per-worker scratch stays `slab × n` —
+    /// workers walk a claimed chunk slab-by-slab — so results and
+    /// memory are identical for every chunk size.
+    pub fn chunk_slabs(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
     /// The configured kernel kind.
     pub fn kernel_kind(&self) -> KernelKind {
         self.kind
@@ -154,6 +170,17 @@ impl LdEngine {
         self.slab
     }
 
+    /// The configured scheduler chunk size in slabs
+    /// (see [`LdEngine::chunk_slabs`]).
+    pub fn chunk_slab_count(&self) -> usize {
+        self.chunk
+    }
+
+    /// The configured cache-blocking parameters.
+    pub fn block_sizes(&self) -> BlockSizes {
+        self.blocks
+    }
+
     /// Bundles the fused-pipeline parameters.
     pub(crate) fn fused_config(&self) -> FusedConfig {
         FusedConfig {
@@ -162,7 +189,23 @@ impl LdEngine {
             threads: self.threads,
             policy: self.policy,
             slab: self.slab,
+            chunk: self.chunk,
         }
+    }
+
+    /// Validates the configured [`BlockSizes`] against the kernel's
+    /// register tile at the fallible entry points: zero or
+    /// `MR`/`NR`-incompatible blocks surface as
+    /// [`LdError::InvalidConfig`] instead of a debug-assert deep in the
+    /// drivers. An unresolvable kernel is left for the drivers to
+    /// report (their error text names the kernel).
+    fn validate_blocks(&self) -> Result<(), LdError> {
+        if let Ok(k) = ld_kernels::Kernel::resolve(self.kind) {
+            self.blocks
+                .validate_for(k.mr(), k.nr())
+                .map_err(|e| LdError::InvalidConfig { message: e.message })?;
+        }
+        Ok(())
     }
 
     /// Raw symmetric co-occurrence counts `C = GᵀG` (row-major `n × n`).
@@ -185,6 +228,7 @@ impl LdEngine {
         &self,
         g: impl Into<BitMatrixView<'a>>,
     ) -> Result<Vec<u32>, LdError> {
+        self.validate_blocks()?;
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
         let len = checked_mul(n, n, "n × n counts matrix")?;
@@ -300,6 +344,7 @@ impl LdEngine {
         stat: LdStats,
         ctl: &RunControl<'_>,
     ) -> Result<LdMatrix, LdError> {
+        self.validate_blocks()?;
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
         // overflow before emptiness: a size that cannot be represented is
@@ -444,6 +489,7 @@ impl LdEngine {
     where
         F: FnMut(&RowSlabVisit<'_>) + Send,
     {
+        self.validate_blocks()?;
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
         let fixed = Self::fixed_footprint(n, false)?;
@@ -528,6 +574,7 @@ impl LdEngine {
     where
         F: FnMut(&TileVisit<'_>) + Send,
     {
+        self.validate_blocks()?;
         let v: BitMatrixView<'a> = g.into();
         let n = v.n_snps();
         if tile == 0 {
@@ -639,6 +686,7 @@ impl LdEngine {
         b: impl Into<BitMatrixView<'b>>,
         stat: LdStats,
     ) -> Result<CrossLdMatrix, LdError> {
+        self.validate_blocks()?;
         let va: BitMatrixView<'a> = a.into();
         let vb: BitMatrixView<'b> = b.into();
         if va.n_samples() != vb.n_samples() {
@@ -976,11 +1024,66 @@ mod tests {
         let e = LdEngine::new()
             .threads(3)
             .kernel(KernelKind::Scalar)
-            .slab_rows(17);
+            .slab_rows(17)
+            .chunk_slabs(4);
         assert_eq!(e.thread_count(), 3);
         assert_eq!(e.kernel_kind(), KernelKind::Scalar);
         assert_eq!(e.slab_row_count(), 17);
+        assert_eq!(e.chunk_slab_count(), 4);
         assert_eq!(LdEngine::new().slab_rows(0).slab_row_count(), 1);
+        assert_eq!(LdEngine::new().chunk_slabs(0).chunk_slab_count(), 1);
+    }
+
+    #[test]
+    fn chunked_schedule_is_bit_identical() {
+        let g = toy();
+        let base = LdEngine::new().threads(2).slab_rows(1).r2_matrix(&g);
+        for chunk in [2usize, 3, 100] {
+            let chunked = LdEngine::new()
+                .threads(2)
+                .slab_rows(1)
+                .chunk_slabs(chunk)
+                .r2_matrix(&g);
+            for (a, b) in base.packed().iter().zip(chunked.packed()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_blocks_are_typed_errors_not_panics() {
+        let g = toy();
+        // kc = 0 can never drive the rank-k loop.
+        let e = LdEngine::new().blocks(BlockSizes::default().with_kc(0));
+        match e.try_r2_matrix(&g) {
+            Err(LdError::InvalidConfig { message }) => {
+                assert!(message.contains("kc"), "{message}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // mc incompatible with the 4-row register tile.
+        let e = LdEngine::new()
+            .kernel(KernelKind::Scalar)
+            .blocks(BlockSizes::default().with_mc(6));
+        assert!(matches!(
+            e.try_counts_matrix(&g),
+            Err(LdError::InvalidConfig { .. })
+        ));
+        // The streaming forms validate too.
+        assert!(matches!(
+            e.try_stat_rows(&g, LdStats::RSquared, |_| {}),
+            Err(LdError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            e.try_cross_stat_matrix(&g, &g, LdStats::RSquared),
+            Err(LdError::InvalidConfig { .. })
+        ));
+        // Valid overrides still pass.
+        let ok = LdEngine::new()
+            .kernel(KernelKind::Scalar)
+            .blocks(BlockSizes::default().with_mc(8))
+            .try_r2_matrix(&g);
+        assert!(ok.is_ok());
     }
 
     #[test]

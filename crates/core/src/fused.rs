@@ -30,7 +30,7 @@ use crate::stats::{stat_from_counts, LdStats, NanPolicy};
 use ld_bitmat::BitMatrixView;
 use ld_kernels::micro::Kernel;
 use ld_kernels::{syrk_slab_counts, BlockSizes, KernelKind};
-use ld_parallel::{try_parallel_for_dynamic_init_ctl, CancelToken, Deadline};
+use ld_parallel::{scheduler_grain, try_parallel_for_dynamic_init_ctl, CancelToken, Deadline};
 use ld_trace::recorder::{Span, SpanKind};
 use ld_trace::{Counter, Stopwatch};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -63,6 +63,11 @@ pub(crate) struct FusedConfig {
     pub policy: NanPolicy,
     /// Row-slab height: bounds each worker's scratch to `slab × n` u32.
     pub slab: usize,
+    /// Scheduler chunk size in *slabs*: each dynamic grab hands a worker
+    /// `chunk` consecutive slabs, amortizing the atomic fetch without
+    /// growing scratch (the worker still processes one slab at a time).
+    /// `1` reproduces the historic slab-per-grab schedule exactly.
+    pub chunk: usize,
 }
 
 /// Row offset of row `i` in the packed upper triangle of an `n × n`
@@ -503,73 +508,88 @@ pub(crate) fn try_stat_packed_fused(
     try_parallel_for_dynamic_init_ctl(
         cfg.threads,
         n,
-        slab,
+        // Chunks start at multiples of the grain, and the grain is a
+        // multiple of `slab`, so every slab inside a claimed chunk starts
+        // at a multiple of `slab` — slab geometry (and thus checkpoint
+        // record boundaries) is independent of the chunk size.
+        scheduler_grain(slab, cfg.chunk),
         token_ref,
         |_tid| scratch_pool.take(),
         |scratch, rows| {
-            let slab_idx = rows.start / slab;
-            if progress_ref.done[slab_idx].load(Ordering::Acquire) {
-                // replayed from the checkpoint — skip without polling
-                return;
-            }
-            // Slab-granular interruption points: the deadline→token
-            // conversion and the poll accounting. The scheduler already
-            // refused to hand out this chunk if the token was tripped;
-            // nothing below ever checks mid-kernel.
-            poll_deadline(deadline, token_ref);
-            ld_trace::add(Counter::CancelPolls, 1);
-            fault::check_kernel_panic();
-            let (r0, r1) = (rows.start, rows.end);
-            let width = n - r0;
-            let h = r1 - r0;
-            syrk_slab_counts(
-                v,
-                r0..r1,
-                &mut scratch[..h * width],
-                width,
-                cfg.kind,
-                cfg.blocks,
-            );
-            let span = Span::begin(SpanKind::Transform);
-            let sw = Stopwatch::start();
-            for i in r0..r1 {
-                let local = (i - r0) * width + (i - r0);
-                let len = n - i;
-                // SAFETY: slabs own disjoint packed ranges (see SyncSlice).
-                let dst = unsafe { out.slice(packed_row_offset(n, i), len) };
-                tr.apply_row(i, &scratch[local..local + len], dst);
-            }
-            ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
-            span.end(slab_idx as u64);
-            ld_trace::add(Counter::SlabsEmitted, 1);
-            ld_trace::recorder::instant(SpanKind::SlabEmit, slab_idx as u64);
-            // Release *after* the packed writes above: the flag is the
-            // publication point for checkpoint readers.
-            progress_ref.done[slab_idx].store(true, Ordering::Release);
-            progress_ref.computed.fetch_add(1, Ordering::Relaxed);
-            if let Some(w) = ckpt_ref {
-                let mut cur = lock_ignore_poison(cursor_ref);
-                cur.since_last += 1;
-                let due = cur.since_last >= w.every_slabs
-                    || w.every_secs
-                        .is_some_and(|s| cur.last_write.elapsed().as_secs_f64() >= s);
-                if due && cur.failed.is_none() {
-                    match w.write_snapshot(progress_ref, &out, n, slab) {
-                        Ok(()) => {
-                            cur.since_last = 0;
-                            cur.last_write = Instant::now();
-                        }
-                        Err(msg) => {
-                            // sticky failure: stop the run (no point
-                            // computing unpersistable work) and surface
-                            // the sink error after the drain
-                            cur.failed = Some(msg);
-                            if let Some(t) = token_ref {
-                                t.cancel_with_reason("checkpoint write failed");
+            // Walk the claimed chunk one slab at a time: scratch stays
+            // `slab × n`, and every interruption/checkpoint decision keeps
+            // its per-slab granularity.
+            let mut s0 = rows.start;
+            while s0 < rows.end {
+                let s1 = (s0 + slab).min(rows.end);
+                let slab_idx = s0 / slab;
+                if progress_ref.done[slab_idx].load(Ordering::Acquire) {
+                    // replayed from the checkpoint — skip without polling
+                    s0 = s1;
+                    continue;
+                }
+                // Slab-granular interruption points: the deadline→token
+                // conversion and the poll accounting. The scheduler already
+                // refused to hand out this chunk if the token was tripped;
+                // nothing below ever checks mid-kernel. A token tripped
+                // mid-chunk stops the *next* chunk grab, not this one —
+                // claimed slabs always complete.
+                poll_deadline(deadline, token_ref);
+                ld_trace::add(Counter::CancelPolls, 1);
+                fault::check_kernel_panic();
+                let (r0, r1) = (s0, s1);
+                let width = n - r0;
+                let h = r1 - r0;
+                syrk_slab_counts(
+                    v,
+                    r0..r1,
+                    &mut scratch[..h * width],
+                    width,
+                    cfg.kind,
+                    cfg.blocks,
+                );
+                let span = Span::begin(SpanKind::Transform);
+                let sw = Stopwatch::start();
+                for i in r0..r1 {
+                    let local = (i - r0) * width + (i - r0);
+                    let len = n - i;
+                    // SAFETY: slabs own disjoint packed ranges (see SyncSlice).
+                    let dst = unsafe { out.slice(packed_row_offset(n, i), len) };
+                    tr.apply_row(i, &scratch[local..local + len], dst);
+                }
+                ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+                span.end(slab_idx as u64);
+                ld_trace::add(Counter::SlabsEmitted, 1);
+                ld_trace::recorder::instant(SpanKind::SlabEmit, slab_idx as u64);
+                // Release *after* the packed writes above: the flag is the
+                // publication point for checkpoint readers.
+                progress_ref.done[slab_idx].store(true, Ordering::Release);
+                progress_ref.computed.fetch_add(1, Ordering::Relaxed);
+                if let Some(w) = ckpt_ref {
+                    let mut cur = lock_ignore_poison(cursor_ref);
+                    cur.since_last += 1;
+                    let due = cur.since_last >= w.every_slabs
+                        || w.every_secs
+                            .is_some_and(|s| cur.last_write.elapsed().as_secs_f64() >= s);
+                    if due && cur.failed.is_none() {
+                        match w.write_snapshot(progress_ref, &out, n, slab) {
+                            Ok(()) => {
+                                cur.since_last = 0;
+                                cur.last_write = Instant::now();
+                            }
+                            Err(msg) => {
+                                // sticky failure: stop the run (no point
+                                // computing unpersistable work) and surface
+                                // the sink error after the drain
+                                cur.failed = Some(msg);
+                                if let Some(t) = token_ref {
+                                    t.cancel_with_reason("checkpoint write failed");
+                                }
                             }
                         }
                     }
                 }
+                s0 = s1;
             }
         },
     )?;
@@ -768,47 +788,57 @@ where
     let outcome = try_parallel_for_dynamic_init_ctl(
         cfg.threads,
         n,
-        slab,
+        // Grain is a multiple of `slab` (see the packed driver): slab
+        // boundaries — and therefore the slabs `visit` observes — do not
+        // depend on the chunk size.
+        scheduler_grain(slab, cfg.chunk),
         token_ref,
         |_tid| scratch_pool.take(),
         |(counts, values), rows| {
-            poll_deadline(deadline, token_ref);
-            ld_trace::add(Counter::CancelPolls, 1);
-            fault::check_kernel_panic();
-            let (r0, r1) = (rows.start, rows.end);
-            let width = n - r0;
-            let h = r1 - r0;
-            syrk_slab_counts(
-                v,
-                r0..r1,
-                &mut counts[..h * width],
-                width,
-                cfg.kind,
-                cfg.blocks,
-            );
-            let span = Span::begin(SpanKind::Transform);
-            let sw = Stopwatch::start();
-            for i in r0..r1 {
-                let local = (i - r0) * width + (i - r0);
-                let len = n - i;
-                let (src, dst) = (&counts[local..local + len], &mut values[local..local + len]);
-                tr.apply_row(i, src, dst);
+            let mut s0 = rows.start;
+            while s0 < rows.end {
+                let s1 = (s0 + slab).min(rows.end);
+                poll_deadline(deadline, token_ref);
+                ld_trace::add(Counter::CancelPolls, 1);
+                fault::check_kernel_panic();
+                let (r0, r1) = (s0, s1);
+                let width = n - r0;
+                let h = r1 - r0;
+                syrk_slab_counts(
+                    v,
+                    r0..r1,
+                    &mut counts[..h * width],
+                    width,
+                    cfg.kind,
+                    cfg.blocks,
+                );
+                let span = Span::begin(SpanKind::Transform);
+                let sw = Stopwatch::start();
+                for i in r0..r1 {
+                    let local = (i - r0) * width + (i - r0);
+                    let len = n - i;
+                    let (src, dst) = (&counts[local..local + len], &mut values[local..local + len]);
+                    tr.apply_row(i, src, dst);
+                }
+                ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+                span.end((r0 / slab) as u64);
+                ld_trace::add(Counter::SlabsEmitted, 1);
+                ld_trace::recorder::instant(SpanKind::SlabEmit, (r0 / slab) as u64);
+                let slab_visit = RowSlabVisit {
+                    row_start: r0,
+                    n_rows: h,
+                    n_snps: n,
+                    ldv: width,
+                    values: &values[..h * width],
+                };
+                (visit
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner))(
+                    &slab_visit
+                );
+                completed.fetch_add(1, Ordering::Relaxed);
+                s0 = s1;
             }
-            ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
-            span.end((r0 / slab) as u64);
-            ld_trace::add(Counter::SlabsEmitted, 1);
-            ld_trace::recorder::instant(SpanKind::SlabEmit, (r0 / slab) as u64);
-            let slab_visit = RowSlabVisit {
-                row_start: r0,
-                n_rows: h,
-                n_snps: n,
-                ldv: width,
-                values: &values[..h * width],
-            };
-            (visit
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner))(&slab_visit);
-            completed.fetch_add(1, Ordering::Relaxed);
         },
     )?;
     if outcome.is_complete() {
@@ -849,6 +879,7 @@ mod tests {
             threads,
             policy: NanPolicy::Zero,
             slab,
+            chunk: 1,
         }
     }
 

@@ -51,12 +51,14 @@ pub mod gemm;
 pub mod micro;
 pub mod pack;
 pub mod params;
+pub mod profile;
 pub mod reference;
 pub mod syrk;
 
 pub use gemm::{gemm_counts, gemm_counts_buf, gemm_counts_mt};
 pub use micro::{Kernel, KernelKind, UnsupportedKernel};
-pub use params::BlockSizes;
+pub use params::{BlockSizes, InvalidBlockSizes};
+pub use profile::{CpuProfile, ProfileError, TunedParams, PROFILE_SCHEMA_VERSION};
 pub use syrk::{
     mirror_upper_to_lower, syrk_counts, syrk_counts_buf, syrk_counts_mt, syrk_slab_counts,
 };

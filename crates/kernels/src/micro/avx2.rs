@@ -1,7 +1,7 @@
-//! AVX2 micro-kernels: the §V-A anti-pattern and the Mula software
-//! vector popcount.
+//! AVX2 micro-kernels: the §V-A anti-pattern, the Mula software vector
+//! popcount, and the Harley–Seal carry-save-adder variant.
 //!
-//! Both kernels use a 4×4 register tile: one 256-bit load covers the four
+//! All kernels use a 4×4 register tile: one 256-bit load covers the four
 //! `B̃` lanes of a packed word row, each `Ã` lane is broadcast, and four
 //! 64-bit-lane accumulators live in `ymm` registers.
 //!
@@ -92,6 +92,127 @@ pub(crate) fn kernel_mula_4x4(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]
     #[cfg(not(target_arch = "x86_64"))]
     {
         super::scalar::kernel_4x4(kc, ap, bp, acc)
+    }
+}
+
+/// 4×4 Harley–Seal kernel: a carry-save adder tree compresses eight
+/// AND-ed 256-bit vectors into `ones/twos/fours` planes plus one
+/// `eights` plane per block, and only the `eights` plane (1/8th of the
+/// data) goes through the Mula LUT leaf each iteration. The persistent
+/// planes are popcounted once in the epilogue with weights 1/2/4.
+pub(crate) fn kernel_harley_seal_4x4(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: resolved kernels guarantee AVX2 (see module docs).
+        unsafe { harley_seal_impl(kc, ap, bp, acc) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        super::scalar::kernel_4x4(kc, ap, bp, acc)
+    }
+}
+
+/// Carry-save adder over 256-bit lanes: `(sum, carry)` per bit position.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn csa256(
+    a: std::arch::x86_64::__m256i,
+    b: std::arch::x86_64::__m256i,
+    c: std::arch::x86_64::__m256i,
+) -> (std::arch::x86_64::__m256i, std::arch::x86_64::__m256i) {
+    use std::arch::x86_64::*;
+    let u = _mm256_xor_si256(a, b);
+    (
+        _mm256_xor_si256(u, c),
+        _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c)),
+    )
+}
+
+/// Mula LUT leaf: per-64-bit-lane popcount of `v` via nibble `PSHUFB`
+/// plus `PSADBW` byte reduction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn mula_popcnt256(
+    v: std::arch::x86_64::__m256i,
+    lut: std::arch::x86_64::__m256i,
+    low_mask: std::arch::x86_64::__m256i,
+    zero: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi32::<4>(v), low_mask);
+    let bytes = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    _mm256_sad_epu8(bytes, zero)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn harley_seal_impl(kc: usize, ap: &[u64], bp: &[u64], acc: &mut [u64]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * 4 && bp.len() >= kc * 4 && acc.len() >= 16);
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let zero = _mm256_setzero_si256();
+    let apx = ap.as_ptr();
+    let bpx = bp.as_ptr();
+    // Rows are processed sequentially so only one row's CSA state
+    // (ones/twos/fours) plus two accumulators is live at a time — the
+    // whole working set fits the 16 ymm registers without spills.
+    for i in 0..4 {
+        let mut ones = zero;
+        let mut twos = zero;
+        let mut fours = zero;
+        let mut acc8 = zero; // popcounts of the eights plane (weight 8)
+        let mut acc1 = zero; // remainder words, directly popcounted (weight 1)
+        let mut p = 0;
+        while p + 8 <= kc {
+            let mut v = [zero; 8];
+            for (t, vt) in v.iter_mut().enumerate() {
+                let b = _mm256_loadu_si256(bpx.add((p + t) * 4) as *const __m256i);
+                let ai = _mm256_set1_epi64x(*apx.add((p + t) * 4 + i) as i64);
+                *vt = _mm256_and_si256(ai, b);
+            }
+            let (s0, c0) = csa256(ones, v[0], v[1]);
+            let (s1, c1) = csa256(s0, v[2], v[3]);
+            let (s2, c2) = csa256(s1, v[4], v[5]);
+            let (s3, c3) = csa256(s2, v[6], v[7]);
+            ones = s3;
+            let (t0, f0) = csa256(twos, c0, c1);
+            let (t1, f1) = csa256(t0, c2, c3);
+            twos = t1;
+            let (f2, eights) = csa256(fours, f0, f1);
+            fours = f2;
+            acc8 = _mm256_add_epi64(acc8, mula_popcnt256(eights, lut, low_mask, zero));
+            p += 8;
+        }
+        while p < kc {
+            let b = _mm256_loadu_si256(bpx.add(p * 4) as *const __m256i);
+            let ai = _mm256_set1_epi64x(*apx.add(p * 4 + i) as i64);
+            let v = _mm256_and_si256(ai, b);
+            acc1 = _mm256_add_epi64(acc1, mula_popcnt256(v, lut, low_mask, zero));
+            p += 1;
+        }
+        let weighted = _mm256_add_epi64(
+            _mm256_slli_epi64::<3>(acc8),
+            _mm256_add_epi64(
+                _mm256_slli_epi64::<2>(mula_popcnt256(fours, lut, low_mask, zero)),
+                _mm256_add_epi64(
+                    _mm256_slli_epi64::<1>(mula_popcnt256(twos, lut, low_mask, zero)),
+                    _mm256_add_epi64(mula_popcnt256(ones, lut, low_mask, zero), acc1),
+                ),
+            ),
+        );
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, weighted);
+        for j in 0..4 {
+            acc[i * 4 + j] += lanes[j];
+        }
     }
 }
 

@@ -17,7 +17,7 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelKind {
     /// Pick the fastest kernel this CPU supports:
-    /// `Avx512Vpopcnt` → `Avx2Mula` → `Scalar`.
+    /// `Avx512Vpopcnt` → `Avx2HarleySeal` → `Scalar`.
     Auto,
     /// Scalar 4×4 AND+`POPCNT`+ADD — the paper's §IV micro-kernel.
     Scalar,
@@ -37,6 +37,10 @@ pub enum KernelKind {
     Avx2ExtractInsert,
     /// AVX2 Mula `PSHUFB`+`PSADBW` software vector popcount.
     Avx2Mula,
+    /// AVX2 Harley–Seal: a carry-save adder tree compresses eight 256-bit
+    /// AND results per block so only 1/8th of the data reaches the Mula
+    /// LUT leaf — the wide-SIMD candidate for non-AVX-512 parts.
+    Avx2HarleySeal,
     /// AVX-512 `VPOPCNTQ` hardware vector popcount (§V-B), 4×16 tile.
     Avx512Vpopcnt,
     /// AVX-512 `VPOPCNTQ` with the narrower 4×8 tile (ablation: more
@@ -56,6 +60,7 @@ impl KernelKind {
             KernelKind::ScalarStrategy(_) => "scalar-strategy",
             KernelKind::Avx2ExtractInsert => "avx2-extract-insert",
             KernelKind::Avx2Mula => "avx2-mula",
+            KernelKind::Avx2HarleySeal => "avx2-harley-seal",
             KernelKind::Avx512Vpopcnt => "avx512-vpopcnt",
             KernelKind::Avx512Vpopcnt4x8 => "avx512-vpopcnt-4x8",
         }
@@ -85,13 +90,14 @@ impl std::str::FromStr for KernelKind {
             "scalar-autovec" | "autovec" => KernelKind::ScalarAutoVec,
             "avx2-extract-insert" | "extract-insert" => KernelKind::Avx2ExtractInsert,
             "avx2-mula" | "avx2" | "mula" => KernelKind::Avx2Mula,
+            "avx2-harley-seal" | "harley-seal" | "csa" => KernelKind::Avx2HarleySeal,
             "avx512-vpopcnt" | "avx512" | "vpopcnt" => KernelKind::Avx512Vpopcnt,
             "avx512-vpopcnt-4x8" => KernelKind::Avx512Vpopcnt4x8,
             other => {
                 return Err(format!(
                     "unknown kernel '{other}' (expected auto, scalar, scalar-2x4, scalar-8x4, \
-                     scalar-autovec, avx2-mula, avx2-extract-insert, avx512-vpopcnt, \
-                     avx512-vpopcnt-4x8)"
+                     scalar-autovec, avx2-mula, avx2-harley-seal, avx2-extract-insert, \
+                     avx512-vpopcnt, avx512-vpopcnt-4x8)"
                 ))
             }
         })
@@ -140,16 +146,44 @@ impl std::error::Error for UnsupportedKernel {}
 /// shapes between slabs).
 static AUTO_RESOLVED: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
 
+/// `LD_KERNEL` pin for `Auto` resolution. Invalid names and kernels the
+/// CPU cannot run are reported once to stderr and ignored — a bad pin
+/// must degrade to normal auto-detection, never crash a pipeline.
+fn env_kernel_override(f: CpuFeatures) -> Option<Kernel> {
+    let raw = std::env::var("LD_KERNEL").ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    let resolved = raw
+        .parse::<KernelKind>()
+        .and_then(|kind| Kernel::resolve_with(kind, f).map_err(|e| e.to_string()));
+    match resolved {
+        Ok(k) => Some(k),
+        Err(e) => {
+            eprintln!("warning: ignoring LD_KERNEL='{raw}': {e}");
+            None
+        }
+    }
+}
+
 impl Kernel {
     /// Resolves a [`KernelKind`] against the current CPU.
     ///
     /// `Auto` is resolved once per process (cached in a `OnceLock`); the
     /// resolved concrete name is recorded with [`ld_trace::set_kernel_name`]
-    /// so profiling reports can state which kernel actually ran.
+    /// so profiling reports can state which kernel actually ran. The
+    /// `LD_KERNEL` environment variable pins what `Auto` resolves to
+    /// (deterministic CI on heterogeneous runners); explicitly requested
+    /// kinds are never overridden, so kernel sweeps stay honest.
     pub fn resolve(kind: KernelKind) -> Result<Kernel, UnsupportedKernel> {
         let k = if kind == KernelKind::Auto {
             *AUTO_RESOLVED.get_or_init(|| {
-                Self::resolve_with(KernelKind::Auto, CpuFeatures::detect())
+                let f = CpuFeatures::detect();
+                if let Some(pinned) = env_kernel_override(f) {
+                    return pinned;
+                }
+                Self::resolve_with(KernelKind::Auto, f)
                     .expect("Auto resolution always succeeds (scalar fallback)")
             })
         } else {
@@ -166,7 +200,10 @@ impl Kernel {
                 if f.has_vector_popcount() {
                     Self::resolve_with(KernelKind::Avx512Vpopcnt, f)
                 } else if f.avx2 {
-                    Self::resolve_with(KernelKind::Avx2Mula, f)
+                    // Harley–Seal over Mula: the CSA tree sends only the
+                    // eights plane through the LUT leaf, so fewer shuffle
+                    // µops per word on parts without VPOPCNTDQ.
+                    Self::resolve_with(KernelKind::Avx2HarleySeal, f)
                 } else {
                     Self::resolve_with(KernelKind::Scalar, f)
                 }
@@ -231,6 +268,19 @@ impl Kernel {
                         mr: 4,
                         nr: 4,
                         func: avx2::kernel_mula_4x4,
+                        lanes: 4,
+                    })
+                } else {
+                    Err(UnsupportedKernel { kind })
+                }
+            }
+            KernelKind::Avx2HarleySeal => {
+                if f.avx2 {
+                    Ok(Kernel {
+                        kind,
+                        mr: 4,
+                        nr: 4,
+                        func: avx2::kernel_harley_seal_4x4,
                         lanes: 4,
                     })
                 } else {
@@ -317,6 +367,7 @@ pub fn supported_kernels() -> Vec<Kernel> {
         KernelKind::ScalarAutoVec,
         KernelKind::Avx2ExtractInsert,
         KernelKind::Avx2Mula,
+        KernelKind::Avx2HarleySeal,
         KernelKind::Avx512Vpopcnt,
         KernelKind::Avx512Vpopcnt4x8,
     ]
@@ -459,6 +510,7 @@ mod tests {
             KernelKind::ScalarAutoVec,
             KernelKind::Avx2ExtractInsert,
             KernelKind::Avx2Mula,
+            KernelKind::Avx2HarleySeal,
             KernelKind::Avx512Vpopcnt,
             KernelKind::Avx512Vpopcnt4x8,
         ] {

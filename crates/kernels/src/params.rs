@@ -1,5 +1,22 @@
 //! Cache-blocking parameters (the `kc`, `mc`, `nc` of GotoBLAS).
 
+use std::fmt;
+
+/// Error returned by [`BlockSizes::validate_for`]: the block sizes cannot
+/// drive the layered loops for the given register tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidBlockSizes {
+    /// What is wrong, in user-facing terms.
+    pub message: &'static str,
+}
+
+impl fmt::Display for InvalidBlockSizes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid block sizes: {}", self.message)
+    }
+}
+impl std::error::Error for InvalidBlockSizes {}
+
 /// Blocking parameters for the layered GEMM.
 ///
 /// Subscripts follow the paper and the BLIS literature: `r` register,
@@ -74,6 +91,43 @@ impl BlockSizes {
         }
     }
 
+    /// Validates the block sizes against a resolved kernel's register
+    /// tile. Zero blocks can never drive the loops; `mc`/`nc` that are
+    /// not multiples of `MR`/`NR` put a zero-padded fringe micro-tile
+    /// *inside every cache block* rather than only at the matrix edge —
+    /// numerically harmless but it defeats the blocking analysis the
+    /// sizes exist for, so configurable entry points reject it as a
+    /// typed configuration error instead of silently wasting the pad.
+    /// Blocks at or below the tile (ablation configs) stay legal.
+    pub fn validate_for(&self, mr: usize, nr: usize) -> Result<(), InvalidBlockSizes> {
+        if self.kc == 0 {
+            return Err(InvalidBlockSizes {
+                message: "kc must be at least 1 word",
+            });
+        }
+        if self.mc == 0 {
+            return Err(InvalidBlockSizes {
+                message: "mc must be at least 1 row",
+            });
+        }
+        if self.nc == 0 {
+            return Err(InvalidBlockSizes {
+                message: "nc must be at least 1 column",
+            });
+        }
+        if mr > 0 && !self.mc.is_multiple_of(mr) && self.mc > mr {
+            return Err(InvalidBlockSizes {
+                message: "mc must be a multiple of the kernel's MR (or at most MR)",
+            });
+        }
+        if nr > 0 && !self.nc.is_multiple_of(nr) && self.nc > nr {
+            return Err(InvalidBlockSizes {
+                message: "nc must be a multiple of the kernel's NR (or at most NR)",
+            });
+        }
+        Ok(())
+    }
+
     /// Approximate bytes of the packed Ã block (`mc × kc` words).
     pub fn a_block_bytes(&self) -> usize {
         self.mc * self.kc * 8
@@ -107,6 +161,46 @@ mod tests {
                 nc: 256
             }
         );
+    }
+
+    #[test]
+    fn validate_rejects_zero_blocks() {
+        for b in [
+            BlockSizes::default().with_kc(0),
+            BlockSizes::default().with_mc(0),
+            BlockSizes::default().with_nc(0),
+        ] {
+            let e = b.validate_for(4, 4).unwrap_err();
+            assert!(e.to_string().contains("at least 1"), "{e}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_tile_incompatible_blocks() {
+        // mc=6 with MR=4: a 2-row fringe inside every cache block.
+        assert!(BlockSizes::default().with_mc(6).validate_for(4, 4).is_err());
+        // nc=20 with NR=16: same on the column side.
+        assert!(BlockSizes::default()
+            .with_nc(20)
+            .validate_for(4, 16)
+            .is_err());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_small_blocks() {
+        // Defaults divide evenly for every register tile in the workspace.
+        for (mr, nr) in [(4, 4), (2, 4), (8, 4), (4, 8), (4, 16)] {
+            BlockSizes::default().validate_for(mr, nr).unwrap();
+        }
+        // Blocks at or below the tile are legal: the driver clamps the
+        // micro-tile to the block (single-fringe case).
+        BlockSizes {
+            kc: 1,
+            mc: 2,
+            nc: 3,
+        }
+        .validate_for(4, 4)
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,735 @@
+//! Tuned per-CPU profiles: the autotuner's persistent output.
+//!
+//! `ld-cli tune` measures the best kernel/blocking/slab/chunk parameters
+//! on the running machine and stores them in a small JSON file keyed by
+//! the [`CpuFingerprint`]. Subsequent runs load the profile and use the
+//! tuned parameters as defaults; explicit CLI flags and environment
+//! overrides always win.
+//!
+//! File format (`schema_version` 1):
+//!
+//! ```json
+//! {"schema_version":1,"crc32":3735928559,"payload":{
+//!    "fingerprint":{...},"tuned":{...}}}
+//! ```
+//!
+//! The CRC-32 (IEEE) is computed over the exact byte span of the
+//! `payload` value as it appears in the file, so any bit damage to the
+//! tuned parameters — truncation, flipped bits, a partial write — is
+//! detected and the loader falls back to the built-in defaults with a
+//! single warning. The profile is additionally rejected when its
+//! fingerprint does not match the running CPU (the tuning is only valid
+//! on the machine class that produced it).
+//!
+//! Loading is opt-out: `LD_NO_CPU_PROFILE=1` ignores any cached profile
+//! and `LD_CPU_PROFILE=<path>` overrides the default location
+//! (`$XDG_CACHE_HOME/gemm-ld/cpu-profile.json`, falling back to
+//! `~/.cache`). Writing is the CLI's job (atomic rename via `ld-io`);
+//! this module only defines the format, the serializer, and the loader.
+
+use crate::micro::KernelKind;
+use crate::params::BlockSizes;
+use ld_popcount::{CpuFeatures, CpuFingerprint};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Version of the on-disk profile format this build reads and writes.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// The parameters the tuner searches, with their measured score.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedParams {
+    /// Winning micro-kernel.
+    pub kernel: KernelKind,
+    /// Winning cache-blocking parameters.
+    pub blocks: BlockSizes,
+    /// Winning fused-driver slab height (rows).
+    pub slab_rows: usize,
+    /// Winning scheduler chunk size (slabs per work unit).
+    pub chunk_slabs: usize,
+    /// Thread count the measurements were taken at.
+    pub threads: usize,
+    /// Best observed score (higher is better).
+    pub score: f64,
+    /// What `score` measures: `"words-per-cycle"` when the trace
+    /// recorder + TSC were available, `"runs-per-sec"` otherwise.
+    pub metric: String,
+}
+
+/// A tuned profile: fingerprint key + tuned parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuProfile {
+    /// The CPU the parameters were measured on.
+    pub fingerprint: CpuFingerprint,
+    /// The measured-best parameters.
+    pub tuned: TunedParams,
+}
+
+/// Why a profile failed to load. Every variant is a *soft* failure: the
+/// caller warns once and falls back to the built-in defaults.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// The file could not be read (missing files are reported separately
+    /// by [`CpuProfile::load`] returning `Ok(None)`).
+    Io(std::io::Error),
+    /// The file is damaged or structurally wrong (bad JSON, failed CRC,
+    /// unknown schema version, missing or ill-typed fields).
+    Malformed(String),
+    /// The file is intact but was measured on a different CPU.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the profile.
+        profile: String,
+        /// Fingerprint of the running CPU.
+        host: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Io(e) => write!(f, "cannot read profile: {e}"),
+            ProfileError::Malformed(m) => write!(f, "malformed profile: {m}"),
+            ProfileError::FingerprintMismatch { profile, host } => write!(
+                f,
+                "profile was tuned for a different CPU (profile: {profile}; host: {host})"
+            ),
+        }
+    }
+}
+impl std::error::Error for ProfileError {}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the same checksum
+// gzip/zip use; table built at compile time, no dependencies.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser. The workspace builds with no external
+// crates, so the profile loader carries its own recursive-descent
+// parser; it tracks the byte span of every value so the CRC can be
+// verified over the payload exactly as it sits in the file.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json, (usize, usize))>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _, _)| k == key).map(|(_, v, _)| v),
+            _ => None,
+        }
+    }
+
+    /// Byte span of the value bound to `key` (for CRC over raw bytes).
+    fn span(&self, key: &str) -> Option<(usize, usize)> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _, _)| k == key).map(|&(_, _, s)| s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Parser { bytes, pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(Json, (usize, usize)), String> {
+        self.skip_ws();
+        let start = self.pos;
+        let v = match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object()?,
+            b'[' => self.array()?,
+            b'"' => Json::Str(self.string()?),
+            b't' => self.literal(b"true", Json::Bool(true))?,
+            b'f' => self.literal(b"false", Json::Bool(false))?,
+            b'n' => self.literal(b"null", Json::Null)?,
+            _ => self.number()?,
+        };
+        Ok((v, (start, self.pos)))
+    }
+
+    fn literal(&mut self, lit: &[u8], v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a value"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar's worth of bytes.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let (val, span) = self.value()?;
+            fields.push((key, val, span));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            let (val, _) = self.value()?;
+            items.push(val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization.
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fingerprint_json(fp: &CpuFingerprint) -> String {
+    format!(
+        concat!(
+            "{{\"arch\":\"{}\",\"vendor\":\"{}\",\"family\":{},\"model\":{},",
+            "\"features\":{{\"popcnt\":{},\"avx2\":{},\"avx512f\":{},\"avx512vpopcntdq\":{}}},",
+            "\"l1d_kb\":{},\"l2_kb\":{},\"l3_kb\":{}}}"
+        ),
+        escape(&fp.arch),
+        escape(&fp.vendor),
+        fp.family,
+        fp.model,
+        fp.features.popcnt,
+        fp.features.avx2,
+        fp.features.avx512f,
+        fp.features.avx512vpopcntdq,
+        fp.l1d_kb,
+        fp.l2_kb,
+        fp.l3_kb,
+    )
+}
+
+impl CpuProfile {
+    /// Serializes the profile, computing the payload CRC.
+    pub fn to_json(&self) -> String {
+        let t = &self.tuned;
+        let payload = format!(
+            concat!(
+                "{{\"fingerprint\":{},\"tuned\":{{\"kernel\":\"{}\",",
+                "\"kc\":{},\"mc\":{},\"nc\":{},\"slab_rows\":{},\"chunk_slabs\":{},",
+                "\"threads\":{},\"score\":{:.6},\"metric\":\"{}\"}}}}"
+            ),
+            fingerprint_json(&self.fingerprint),
+            t.kernel.name(),
+            t.blocks.kc,
+            t.blocks.mc,
+            t.blocks.nc,
+            t.slab_rows,
+            t.chunk_slabs,
+            t.threads,
+            t.score,
+            escape(&t.metric),
+        );
+        format!(
+            "{{\"schema_version\":{},\"crc32\":{},\"payload\":{}}}\n",
+            PROFILE_SCHEMA_VERSION,
+            crc32(payload.as_bytes()),
+            payload
+        )
+    }
+
+    /// Parses and verifies profile bytes (version, CRC, structure).
+    pub fn parse(bytes: &[u8]) -> Result<CpuProfile, ProfileError> {
+        let mut p = Parser::new(bytes);
+        let (doc, _) = p.value().map_err(ProfileError::Malformed)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(ProfileError::Malformed(
+                "trailing bytes after document".into(),
+            ));
+        }
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProfileError::Malformed("missing schema_version".into()))?;
+        if version != PROFILE_SCHEMA_VERSION {
+            return Err(ProfileError::Malformed(format!(
+                "schema_version {version} (this build reads {PROFILE_SCHEMA_VERSION})"
+            )));
+        }
+        let stored_crc = doc
+            .get("crc32")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProfileError::Malformed("missing crc32".into()))?;
+        let (s, e) = doc
+            .span("payload")
+            .ok_or_else(|| ProfileError::Malformed("missing payload".into()))?;
+        let actual = crc32(&bytes[s..e]) as u64;
+        if actual != stored_crc {
+            return Err(ProfileError::Malformed(format!(
+                "CRC mismatch (stored {stored_crc}, computed {actual}) — file is damaged"
+            )));
+        }
+        let payload = doc
+            .get("payload")
+            .ok_or_else(|| ProfileError::Malformed("missing payload".into()))?;
+
+        let fpj = payload
+            .get("fingerprint")
+            .ok_or_else(|| ProfileError::Malformed("missing fingerprint".into()))?;
+        let featj = fpj
+            .get("features")
+            .ok_or_else(|| ProfileError::Malformed("missing features".into()))?;
+        let feat_bool = |k: &str| {
+            featj
+                .get(k)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| ProfileError::Malformed(format!("missing feature {k}")))
+        };
+        let fp_str = |k: &str| {
+            fpj.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ProfileError::Malformed(format!("missing fingerprint.{k}")))
+        };
+        let fp_u32 = |k: &str| {
+            fpj.get(k)
+                .and_then(Json::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| ProfileError::Malformed(format!("missing fingerprint.{k}")))
+        };
+        let fingerprint = CpuFingerprint {
+            arch: fp_str("arch")?,
+            vendor: fp_str("vendor")?,
+            family: fp_u32("family")?,
+            model: fp_u32("model")?,
+            features: CpuFeatures {
+                popcnt: feat_bool("popcnt")?,
+                avx2: feat_bool("avx2")?,
+                avx512f: feat_bool("avx512f")?,
+                avx512vpopcntdq: feat_bool("avx512vpopcntdq")?,
+            },
+            l1d_kb: fp_u32("l1d_kb")?,
+            l2_kb: fp_u32("l2_kb")?,
+            l3_kb: fp_u32("l3_kb")?,
+        };
+
+        let tj = payload
+            .get("tuned")
+            .ok_or_else(|| ProfileError::Malformed("missing tuned".into()))?;
+        let t_usize = |k: &str| {
+            tj.get(k)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| ProfileError::Malformed(format!("missing tuned.{k}")))
+        };
+        let kernel_name = tj
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProfileError::Malformed("missing tuned.kernel".into()))?;
+        let kernel = kernel_name
+            .parse::<KernelKind>()
+            .map_err(ProfileError::Malformed)?;
+        let tuned = TunedParams {
+            kernel,
+            blocks: BlockSizes {
+                kc: t_usize("kc")?,
+                mc: t_usize("mc")?,
+                nc: t_usize("nc")?,
+            },
+            slab_rows: t_usize("slab_rows")?,
+            chunk_slabs: t_usize("chunk_slabs")?,
+            threads: t_usize("threads")?,
+            score: tj
+                .get("score")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProfileError::Malformed("missing tuned.score".into()))?,
+            metric: tj
+                .get("metric")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ProfileError::Malformed("missing tuned.metric".into()))?,
+        };
+        if tuned.slab_rows == 0 || tuned.chunk_slabs == 0 {
+            return Err(ProfileError::Malformed(
+                "tuned slab_rows/chunk_slabs must be at least 1".into(),
+            ));
+        }
+        Ok(CpuProfile { fingerprint, tuned })
+    }
+
+    /// Loads and verifies a profile from `path`.
+    ///
+    /// Returns `Ok(None)` when the file simply does not exist (the
+    /// untuned case — not an error), `Err` for every damaged or
+    /// mismatched profile, and checks the fingerprint against the
+    /// running CPU.
+    pub fn load(path: &std::path::Path) -> Result<Option<CpuProfile>, ProfileError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ProfileError::Io(e)),
+        };
+        let profile = Self::parse(&bytes)?;
+        let host = CpuFingerprint::detect();
+        if profile.fingerprint != *host {
+            return Err(ProfileError::FingerprintMismatch {
+                profile: profile.fingerprint.summary(),
+                host: host.summary(),
+            });
+        }
+        Ok(Some(profile))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-wide active profile.
+
+/// Default profile location: `$LD_CPU_PROFILE`, else
+/// `$XDG_CACHE_HOME/gemm-ld/cpu-profile.json`, else
+/// `$HOME/.cache/gemm-ld/cpu-profile.json`.
+pub fn profile_path() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("LD_CPU_PROFILE") {
+        if !p.trim().is_empty() {
+            return Some(PathBuf::from(p));
+        }
+    }
+    let cache_root = std::env::var("XDG_CACHE_HOME")
+        .ok()
+        .filter(|p| !p.trim().is_empty())
+        .map(PathBuf::from)
+        .or_else(|| {
+            std::env::var("HOME")
+                .ok()
+                .filter(|p| !p.trim().is_empty())
+                .map(|h| PathBuf::from(h).join(".cache"))
+        })?;
+    Some(cache_root.join("gemm-ld").join("cpu-profile.json"))
+}
+
+/// True when `LD_NO_CPU_PROFILE` is set to anything but `""`/`"0"`.
+pub fn profile_disabled() -> bool {
+    match std::env::var("LD_NO_CPU_PROFILE") {
+        Ok(v) => !v.trim().is_empty() && v.trim() != "0",
+        Err(_) => false,
+    }
+}
+
+static ACTIVE: std::sync::OnceLock<Option<CpuProfile>> = std::sync::OnceLock::new();
+
+/// The process-wide tuned profile, if one is cached, valid for this CPU,
+/// and not disabled via `LD_NO_CPU_PROFILE`. Damaged or mismatched
+/// profiles produce exactly one stderr warning per process and are then
+/// treated as absent — tuning must never be able to crash a pipeline.
+pub fn load_active() -> Option<&'static CpuProfile> {
+    ACTIVE
+        .get_or_init(|| {
+            if profile_disabled() {
+                return None;
+            }
+            let path = profile_path()?;
+            match CpuProfile::load(&path) {
+                Ok(found) => found,
+                Err(e) => {
+                    eprintln!(
+                        "warning: ignoring CPU profile {}: {e}; using built-in defaults \
+                         (re-run `tune` to regenerate)",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> CpuProfile {
+        CpuProfile {
+            fingerprint: CpuFingerprint::detect().clone(),
+            tuned: TunedParams {
+                kernel: KernelKind::Avx2HarleySeal,
+                blocks: BlockSizes {
+                    kc: 128,
+                    mc: 256,
+                    nc: 2048,
+                },
+                slab_rows: 96,
+                chunk_slabs: 2,
+                threads: 2,
+                score: 1.234567,
+                metric: "words-per-cycle".to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = sample_profile();
+        let json = p.to_json();
+        let q = CpuProfile::parse(json.as_bytes()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn crc_is_the_gzip_crc() {
+        // Known-answer test: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn whitespace_inside_payload_changes_crc_but_reformat_outside_does_not() {
+        let p = sample_profile();
+        let json = p.to_json();
+        // Adding whitespace outside the payload span keeps the CRC valid.
+        let spaced = json.replacen("{\"schema_version\"", "{  \"schema_version\"", 1);
+        assert_eq!(CpuProfile::parse(spaced.as_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let p = sample_profile();
+        let json = p
+            .to_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+        let e = CpuProfile::parse(json.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("schema_version"), "{e}");
+    }
+
+    #[test]
+    fn load_missing_file_is_ok_none() {
+        let r = CpuProfile::load(std::path::Path::new("/nonexistent/profile.json")).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn load_rejects_wrong_fingerprint() {
+        let mut p = sample_profile();
+        p.fingerprint.model = p.fingerprint.model.wrapping_add(7);
+        let dir = std::env::temp_dir().join(format!("ld-profile-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong-cpu.json");
+        std::fs::write(&path, p.to_json()).unwrap();
+        let e = CpuProfile::load(&path).unwrap_err();
+        assert!(matches!(e, ProfileError::FingerprintMismatch { .. }), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_path_respects_env_contract() {
+        // Cannot mutate process env safely in parallel tests; just check
+        // the fallback shape is sane for whatever env we run under.
+        if let Some(p) = profile_path() {
+            assert!(p.to_string_lossy().ends_with("cpu-profile.json"));
+        }
+    }
+}

@@ -33,6 +33,7 @@ fn all_kernel_kinds() -> Vec<KernelKind> {
         KernelKind::ScalarAutoVec,
         KernelKind::Avx2ExtractInsert,
         KernelKind::Avx2Mula,
+        KernelKind::Avx2HarleySeal,
         KernelKind::Avx512Vpopcnt,
         KernelKind::Avx512Vpopcnt4x8,
     ];

@@ -60,6 +60,6 @@ pub use partition::{
 pub use pool::ThreadPool;
 pub use team::{
     available_threads, parallel_for, parallel_for_dynamic, parallel_for_dynamic_init, run_team,
-    try_parallel_for, try_parallel_for_dynamic, try_parallel_for_dynamic_ctl,
+    scheduler_grain, try_parallel_for, try_parallel_for_dynamic, try_parallel_for_dynamic_ctl,
     try_parallel_for_dynamic_init, try_parallel_for_dynamic_init_ctl, try_run_team, LoopOutcome,
 };

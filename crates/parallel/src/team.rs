@@ -65,6 +65,20 @@ fn is_steal(chunk_idx: usize, tid: usize, chunks: usize, n: usize) -> bool {
     chunk_idx < lo || chunk_idx >= hi
 }
 
+/// Scheduler grain for slab-structured loops: `slab × chunk_slabs` rows
+/// per dynamic chunk claim, both factors clamped to at least 1.
+///
+/// `chunk_slabs = 1` (the default) reproduces the historic one-claim-
+/// per-slab schedule; larger values amortize the atomic `fetch_add` and
+/// chunk-span bookkeeping over several slabs — the knob the autotuner
+/// sweeps. Because every chunk starts at a multiple of the grain, slab
+/// boundaries inside a chunk stay aligned: callers can walk a claimed
+/// range slab-by-slab and each sub-range is a whole slab (except the
+/// final fringe of the matrix).
+pub fn scheduler_grain(slab: usize, chunk_slabs: usize) -> usize {
+    slab.max(1).saturating_mul(chunk_slabs.max(1))
+}
+
 /// Number of hardware threads available, with a floor of 1.
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
@@ -593,6 +607,15 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn scheduler_grain_clamps_and_multiplies() {
+        assert_eq!(scheduler_grain(64, 1), 64);
+        assert_eq!(scheduler_grain(64, 4), 256);
+        assert_eq!(scheduler_grain(0, 0), 1);
+        assert_eq!(scheduler_grain(0, 3), 3);
+        assert_eq!(scheduler_grain(usize::MAX, 2), usize::MAX);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! CPU fingerprint: identity + cache geometry for tuned-profile keying.
+//!
+//! A tuned kernel/blocking profile is only valid on the machine class it
+//! was measured on, so profiles are keyed by the tuple this module
+//! detects: vendor string, family/model numbers, the instruction-set
+//! features from [`crate::CpuFeatures`], and the per-level cache sizes
+//! that drive `BlockSizes` defaults. Any component differing between the
+//! profile and the running CPU invalidates the profile.
+
+use crate::CpuFeatures;
+
+/// Identity of the CPU a tuning profile was measured on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuFingerprint {
+    /// Target architecture (`"x86_64"`, or `"unknown"` elsewhere).
+    pub arch: String,
+    /// CPUID vendor string (`"GenuineIntel"`, `"AuthenticAMD"`, …).
+    pub vendor: String,
+    /// Display family (base + extended).
+    pub family: u32,
+    /// Display model (base + extended<<4).
+    pub model: u32,
+    /// Instruction-set features relevant to kernel selection.
+    pub features: CpuFeatures,
+    /// L1 data cache size in KiB (0 if undetectable).
+    pub l1d_kb: u32,
+    /// L2 cache size in KiB (0 if undetectable).
+    pub l2_kb: u32,
+    /// L3 cache size in KiB (0 if undetectable).
+    pub l3_kb: u32,
+}
+
+/// Process-wide cache: the fingerprint cannot change at runtime.
+static DETECTED: std::sync::OnceLock<CpuFingerprint> = std::sync::OnceLock::new();
+
+impl CpuFingerprint {
+    /// Detects the fingerprint of the current CPU (cached after first call).
+    pub fn detect() -> &'static Self {
+        DETECTED.get_or_init(Self::detect_uncached)
+    }
+
+    /// Uncached detection: re-runs the `cpuid` interrogation.
+    pub fn detect_uncached() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            detect_x86_64()
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            CpuFingerprint {
+                arch: "unknown".to_string(),
+                vendor: "unknown".to_string(),
+                family: 0,
+                model: 0,
+                features: CpuFeatures::detect(),
+                l1d_kb: 0,
+                l2_kb: 0,
+                l3_kb: 0,
+            }
+        }
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {} family={} model={} l1d={}K l2={}K l3={}K [{}]",
+            self.arch,
+            self.vendor,
+            self.family,
+            self.model,
+            self.l1d_kb,
+            self.l2_kb,
+            self.l3_kb,
+            self.features.summary()
+        )
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_x86_64() -> CpuFingerprint {
+    use std::arch::x86_64::{__cpuid, __cpuid_count};
+
+    let leaf0 = __cpuid(0);
+    let max_leaf = leaf0.eax;
+    let mut vendor_bytes = [0u8; 12];
+    vendor_bytes[0..4].copy_from_slice(&leaf0.ebx.to_le_bytes());
+    vendor_bytes[4..8].copy_from_slice(&leaf0.edx.to_le_bytes());
+    vendor_bytes[8..12].copy_from_slice(&leaf0.ecx.to_le_bytes());
+    let vendor = String::from_utf8_lossy(&vendor_bytes)
+        .trim_end_matches('\0')
+        .to_string();
+
+    let (family, model) = if max_leaf >= 1 {
+        let leaf1 = __cpuid(1);
+        let base_family = (leaf1.eax >> 8) & 0xF;
+        let ext_family = (leaf1.eax >> 20) & 0xFF;
+        let base_model = (leaf1.eax >> 4) & 0xF;
+        let ext_model = (leaf1.eax >> 16) & 0xF;
+        let family = if base_family == 0xF {
+            base_family + ext_family
+        } else {
+            base_family
+        };
+        let model = if base_family == 0x6 || base_family == 0xF {
+            (ext_model << 4) | base_model
+        } else {
+            base_model
+        };
+        (family, model)
+    } else {
+        (0, 0)
+    };
+
+    // Deterministic-cache-parameter enumeration: Intel leaf 4, AMD leaf
+    // 0x8000001D (same encoding). Falls back to the AMD legacy leaves.
+    let (mut l1d_kb, mut l2_kb, mut l3_kb) = (0u32, 0u32, 0u32);
+    let max_ext = __cpuid(0x8000_0000).eax;
+    let cache_leaf = if max_leaf >= 4 {
+        Some(4u32)
+    } else if max_ext >= 0x8000_001D {
+        Some(0x8000_001Du32)
+    } else {
+        None
+    };
+    if let Some(leaf) = cache_leaf {
+        for sub in 0..16u32 {
+            // Invalid subleaves report cache type 0 and end the loop.
+            let c = __cpuid_count(leaf, sub);
+            let ctype = c.eax & 0x1F;
+            if ctype == 0 {
+                break;
+            }
+            let level = (c.eax >> 5) & 0x7;
+            let ways = (c.ebx >> 22) + 1;
+            let partitions = ((c.ebx >> 12) & 0x3FF) + 1;
+            let line = (c.ebx & 0xFFF) + 1;
+            let sets = c.ecx + 1;
+            let kb = ways
+                .saturating_mul(partitions)
+                .saturating_mul(line)
+                .saturating_mul(sets)
+                / 1024;
+            match (level, ctype) {
+                (1, 1) => l1d_kb = kb,         // L1 data
+                (2, 3) | (2, 1) => l2_kb = kb, // L2 unified (or data)
+                (3, 3) => l3_kb = kb,          // L3 unified
+                _ => {}
+            }
+        }
+    }
+    if l1d_kb == 0 && max_ext >= 0x8000_0006 {
+        // AMD legacy cache leaves.
+        let l1 = __cpuid(0x8000_0005);
+        let l23 = __cpuid(0x8000_0006);
+        l1d_kb = l1.ecx >> 24;
+        l2_kb = l23.ecx >> 16;
+        l3_kb = ((l23.edx >> 18) & 0x3FFF) * 512;
+    }
+
+    CpuFingerprint {
+        arch: "x86_64".to_string(),
+        vendor,
+        family,
+        model,
+        features: CpuFeatures::detect(),
+        l1d_kb,
+        l2_kb,
+        l3_kb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_does_not_panic_and_is_cached() {
+        let a = CpuFingerprint::detect();
+        let b = CpuFingerprint::detect();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(*a, CpuFingerprint::detect_uncached());
+    }
+
+    #[test]
+    fn x86_fingerprint_has_vendor_and_caches() {
+        let fp = CpuFingerprint::detect();
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_eq!(fp.arch, "x86_64");
+            assert!(!fp.vendor.is_empty());
+            // Every x86_64 part this workspace targets has real caches.
+            assert!(fp.l1d_kb > 0, "L1d undetected: {}", fp.summary());
+            assert!(fp.l2_kb > 0, "L2 undetected: {}", fp.summary());
+        }
+        let s = fp.summary();
+        assert!(s.contains("family="));
+    }
+
+    #[test]
+    fn mismatched_fingerprints_compare_unequal() {
+        let a = CpuFingerprint::detect_uncached();
+        let mut b = a.clone();
+        b.model = a.model.wrapping_add(1);
+        assert_ne!(a, b);
+        let mut c = a.clone();
+        c.l3_kb = a.l3_kb.wrapping_add(1024);
+        assert_ne!(a, c);
+    }
+}

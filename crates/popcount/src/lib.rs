@@ -19,14 +19,18 @@
 //!   functions of the SIMD width `v`, showing why wider SIMD without a
 //!   vector popcount yields no speedup.
 //! * [`detect`] — runtime CPU feature detection used to pick kernels.
+//! * [`fingerprint`] — CPU identity + cache geometry, the key under which
+//!   tuned kernel/blocking profiles are cached and invalidated.
 
 #![warn(missing_docs)]
 
 pub mod detect;
+pub mod fingerprint;
 pub mod model;
 pub mod simd;
 pub mod strategies;
 
 pub use detect::CpuFeatures;
+pub use fingerprint::CpuFingerprint;
 pub use model::{SimdCostModel, SimdTimes};
 pub use strategies::{and_popcount, popcount, popcount_slice, PopcountStrategy};

@@ -6,9 +6,14 @@ Usage: scripts/bench_compare.py <baseline.json> <current.json> [--time-tol F]
 Compares per-size metrics with per-metric tolerance bands and exits
 nonzero naming every regressed metric. Policy:
 
-  - config keys (n_samples, threads, slab_rows, the set of n_snps sizes)
-    must match exactly — a mismatch means the runs are incomparable and
-    the baseline must be regenerated (LD_BENCH_UPDATE_BASELINE=1 in ci.sh);
+  - config keys (n_samples, threads, the set of n_snps sizes) must match
+    exactly — a mismatch means the runs are incomparable and the baseline
+    must be regenerated (LD_BENCH_UPDATE_BASELINE=1 in ci.sh);
+  - tuning parameters (kernel, block_kc/mc/nc, slab_rows, chunk_slabs)
+    are compared but only WARN on mismatch: a machine with a cached
+    `gemm-ld tune` profile legitimately runs different geometry than the
+    committed baseline, and the warning contextualizes any timing delta
+    instead of failing an otherwise-valid comparison;
   - model metrics (packed_mb, counts_model_mb, scratch_model_mb) are
     analytic functions of the config and must match to 1e-9: any drift is
     a real change in the memory model, not noise;
@@ -47,6 +52,12 @@ RSS_SLACK_KB = 32768.0  # allocator jitter floor: 32 MB
 TIME_SLACK_SECS = 0.05  # scheduler noise floor: 50 ms
 MODEL_EPS = 1e-9
 
+# Tuning parameters: mismatches warn (a tuned profile changes them) but
+# never fail the gate. Absent keys (a baseline predating the autotuner)
+# also only warn.
+TUNING_KEYS = ("kernel", "block_kc", "block_mc", "block_nc",
+               "slab_rows", "chunk_slabs")
+
 
 def load(path):
     try:
@@ -75,11 +86,20 @@ def main(argv):
     base, cur = load(args[0]), load(args[1])
 
     failures = []
-    for key in ("bench", "n_samples", "threads", "slab_rows"):
+    warnings = []
+    for key in ("bench", "n_samples", "threads"):
         if base.get(key) != cur.get(key):
             failures.append(
                 f"config mismatch: {key} baseline={base.get(key)!r} "
                 f"current={cur.get(key)!r} (regenerate the baseline)"
+            )
+    for key in TUNING_KEYS:
+        bv, cv = base.get(key), cur.get(key)
+        if bv != cv:
+            warnings.append(
+                f"tuning mismatch: {key} baseline={bv!r} current={cv!r} "
+                "(a cached CPU profile changes the geometry; timings below "
+                "compare different configurations)"
             )
     base_sizes = {r["n_snps"]: r for r in base.get("results", [])}
     cur_sizes = {r["n_snps"]: r for r in cur.get("results", [])}
@@ -119,6 +139,9 @@ def main(argv):
     for name, bv, cv, ratio, band, ok in rows:
         print(f"{name:<{w}}  {bv:>12.6g}  {cv:>12.6g}  "
               f"{ratio:>6.2f}x  {band:>6}  {'ok' if ok else 'FAIL'}")
+
+    for w_msg in warnings:
+        print(f"\nbench_compare WARNING: {w_msg}", file=sys.stderr)
 
     if failures:
         print(f"\nbench_compare: {len(failures)} regression(s):", file=sys.stderr)

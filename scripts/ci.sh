@@ -28,7 +28,11 @@
 #      schemas/trace_report.schema.json with zero dropped events at the
 #      default ring capacity; the flight recorder must cost <= 2% over
 #      `--profile` alone (same CI_STRICT_PERF switch as step 8)
-#  13. bench-regression gate — a fresh `fused` bench run is diffed
+#  13. autotune leg — `tune --quick` writes a profile that validates
+#      against schemas/cpu_profile.schema.json, a second run loads it
+#      (verified by its slab geometry showing up in the metrics
+#      counters), and tuned vs default r² tables are byte-identical
+#  14. bench-regression gate — a fresh `fused` bench run is diffed
 #      against results/baselines/BENCH_fused.json with per-metric
 #      tolerance bands (scripts/bench_compare.py); rerun with
 #      LD_BENCH_UPDATE_BASELINE=1 to refresh the baseline after an
@@ -45,6 +49,11 @@ run() {
 }
 
 export CARGO_NET_OFFLINE=true
+# The machine running CI may carry a cached `gemm-ld tune` profile or an
+# LD_KERNEL override; every leg below must measure the committed defaults
+# (the autotune leg re-enables the profile explicitly, in a private path).
+export LD_NO_CPU_PROFILE=1
+unset LD_KERNEL
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
@@ -245,6 +254,62 @@ if [ -f "$KR_CKPT" ]; then
     exit 1
 fi
 echo "    exit 5 + snapshot + bit-identical resume + checkpoint cleanup: OK"
+
+# Autotune leg: `tune --quick` must produce a schema-valid, CRC-intact
+# profile; a following r2 run must actually load it (its slab geometry
+# shows up in the metrics counters); and because tuning only moves
+# scheduling/blocking parameters, the tuned table must be byte-identical
+# to the default one.
+echo "==> autotune leg: tune --quick round-trip + bit-exactness"
+TUNE_BIN=target/release/gemm-ld.metrics
+TUNE_PROFILE=target/ci-tune-profile.json
+TUNE_SIM=target/ci-tune.ms
+rm -f "$TUNE_PROFILE"
+run env LD_NO_CPU_PROFILE=0 LD_CPU_PROFILE="$TUNE_PROFILE" \
+    "$TUNE_BIN" tune --quick --threads 2
+if [ ! -f "$TUNE_PROFILE" ]; then
+    echo "autotune FAIL: tune wrote no profile at $TUNE_PROFILE" >&2
+    exit 1
+fi
+run "$TUNE_BIN" simulate --samples 300 --snps 250 --seed 13 -o "$TUNE_SIM"
+env LD_NO_CPU_PROFILE=0 LD_CPU_PROFILE="$TUNE_PROFILE" \
+    "$TUNE_BIN" r2 -i "$TUNE_SIM" --threads 2 \
+    --profile=json --profile-out target/ci-tune-metrics.json \
+    -o target/ci-tune-on.tsv 2>target/ci-tune-on.err
+if grep -q "warning: ignoring CPU profile" target/ci-tune-on.err; then
+    echo "autotune FAIL: the freshly tuned profile was rejected on load:" >&2
+    cat target/ci-tune-on.err >&2
+    exit 1
+fi
+"$TUNE_BIN" r2 -i "$TUNE_SIM" --threads 2 -o target/ci-tune-off.tsv 2>/dev/null
+if ! cmp -s target/ci-tune-on.tsv target/ci-tune-off.tsv; then
+    echo "autotune FAIL: tuned and default r2 tables differ" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/validate_metrics.py schemas/cpu_profile.schema.json "$TUNE_PROFILE"
+    python3 - <<'PYEOF'
+import json, math, sys
+
+prof = json.load(open("target/ci-tune-profile.json"))
+slab = prof["payload"]["tuned"]["slab_rows"]
+met = json.load(open("target/ci-tune-metrics.json"))
+if met.get("enabled"):
+    got = met["counters"]["slabs_emitted"]
+    want = math.ceil(250 / slab)
+    if got != want:
+        sys.exit(
+            f"autotune FAIL: r2 emitted {got} slabs but the tuned profile's "
+            f"slab_rows={slab} implies {want} — the profile was not applied"
+        )
+    print(f"    profile applied: slab_rows={slab} -> {got} slabs over 250 SNPs")
+else:
+    print("    (metrics disabled; slab-geometry check skipped)")
+PYEOF
+else
+    echo "    python3 unavailable; profile schema validation skipped"
+fi
+echo "    tuned profile round-trips; tuned vs default tables byte-identical"
 
 # Corpus step: feed every text-format fixture from the malformed-input
 # corpus to the release CLI. Each must exit nonzero with an `error:`
