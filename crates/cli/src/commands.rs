@@ -13,6 +13,7 @@ use ld_io::atomic::{write_atomic, write_atomic_with};
 use ld_kernels::{BlockSizes, CpuProfile, KernelKind, TunedParams};
 use ld_omega::OmegaScan;
 use ld_popcount::{CpuFeatures, CpuFingerprint};
+use ld_trace::Counter;
 use std::io::BufReader;
 use std::path::Path;
 use std::time::Duration;
@@ -43,6 +44,30 @@ COMMANDS:
               (SIGINT or an expired --timeout stops at the next slab
               boundary with exit code 5; --checkpoint makes the run
               resumable, --resume picks it back up bit-identically)
+              [--shard i/N] (compute only shard i of an N-way row-slab
+              plan and write its slabs to -o FILE in the checkpoint
+              interchange format; run every i in 1..=N — in parallel,
+              on separate machines, or under run-sharded — then stitch
+              with merge)
+  merge       stitch shard outputs into one pair table
+              gemm-ld merge shard1.bin shard2.bin ... -o pairs.tsv
+              [--min-r2 X] [-i in (verify the shard fingerprints against
+              this input)] [--shards N (name the shards to re-run in the
+              gap report)]
+              (every input is CRC- and fingerprint-validated; overlapping
+              or missing slab spans abort with a gap report instead of a
+              truncated panel)
+  run-sharded one command = N shard processes + supervised merge
+              -i in -o pairs.tsv --shards N [--retries R] [--backoff-ms B]
+              [--work-dir DIR] [--threads T] [--min-r2 X] [--timeout SECS]
+              [--stat ...] [--kernel ...] [--fault-kill i]
+              (spawns one r2 --shard process per shard, classifies every
+              exit — success / resumable / crash / corrupt output — and
+              re-dispatches failures with capped exponential backoff,
+              resuming from each shard's own checkpoint; SIGINT/--timeout
+              interrupt the whole tree resumably; the run manifest is
+              written to DIR/manifest.json; --fault-kill SIGKILLs one
+              shard's first attempt to exercise the recovery path)
   omega       selective-sweep scan (omega statistic)
               -i in.{ms,txt,vcf} [--window W] [--step S] [--threads T]
   tanimoto    all-vs-all fingerprint similarity
@@ -136,6 +161,72 @@ fn parse_profile(args: &Args) -> Result<Option<&'static str>, CliError> {
     }
 }
 
+/// Fails fast when the directory that will receive `path` is missing or
+/// unwritable: probed at argument-parse time with a create-then-remove
+/// marker file, so a doomed `-o`/`--checkpoint`/`--trace-out` destination
+/// costs an exit-4 error up front instead of hours of compute followed by
+/// a failed write.
+fn probe_writable(path: &str, flag: &str) -> Result<(), CliError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static PROBE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let parent = match Path::new(path).parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let probe = parent.join(format!(
+        ".gemm-ld-probe-{}-{}",
+        std::process::id(),
+        PROBE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    match std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&probe)
+    {
+        Ok(f) => {
+            drop(f);
+            let _ = std::fs::remove_file(&probe);
+            Ok(())
+        }
+        Err(e) => Err(CliError::Resource(format!(
+            "{flag} {path}: directory {} is not writable: {e}",
+            parent.display()
+        ))),
+    }
+}
+
+/// Probes every writable destination a command was given, before any
+/// input is read or compute starts.
+fn probe_output_flags(args: &Args, keys: &[(&str, &str)]) -> Result<(), CliError> {
+    for (flag, key) in keys {
+        if let Some(p) = args.get(key).filter(|s| !s.is_empty()) {
+            probe_writable(p, flag)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses `--shard i/N`: a 1-based shard index over an N-way plan.
+fn parse_shard(args: &Args) -> Result<Option<(usize, usize)>, CliError> {
+    let Some(v) = args.get("shard").filter(|s| !s.is_empty()) else {
+        return Ok(None);
+    };
+    let bad = || {
+        CliError::Usage(format!(
+            "invalid value '{v}' for --shard (expected i/N, e.g. --shard 2/4)"
+        ))
+    };
+    let (i, n) = v.split_once('/').ok_or_else(bad)?;
+    let i: usize = i.trim().parse().map_err(|_| bad())?;
+    let n: usize = n.trim().parse().map_err(|_| bad())?;
+    if n == 0 || i == 0 || i > n {
+        return Err(CliError::Usage(format!(
+            "--shard index out of range: got '{v}', need 1 <= i <= N"
+        )));
+    }
+    Ok(Some((i, n)))
+}
+
 /// Parsed interruption/recovery flags of a long-running command.
 struct Interruption {
     /// Tripped by SIGINT (via the watcher) or cancelled to reap it.
@@ -177,11 +268,18 @@ impl Interruption {
                     "--resume requires --checkpoint FILE".into(),
                 ));
             };
-            if Path::new(path).exists() {
-                Some(ld_io::checkpoint::read_checkpoint_path(path)?)
-            } else {
-                eprintln!("no checkpoint at {path}; starting fresh");
-                None
+            match ld_io::checkpoint::read_checkpoint_path(path) {
+                Ok(state) => Some(state),
+                // A missing file is the normal first run of a resumable
+                // job — only absence may fall through to a fresh start.
+                Err(ld_io::IoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    eprintln!("no checkpoint at {path}; starting fresh");
+                    None
+                }
+                // Anything else (unreadable, truncated, CRC/parse
+                // failure) is a damaged snapshot: surface it (exit 3/4 by
+                // class) instead of silently recomputing from scratch.
+                Err(e) => return Err(e.into()),
             }
         } else {
             None
@@ -372,6 +470,18 @@ pub fn r2(args: &Args) -> CmdResult {
         // accumulated state alone).
         ld_trace::reset();
     }
+    // Every destination this run will eventually write is probed now —
+    // a doomed path is an exit-4 error before any compute.
+    probe_output_flags(
+        args,
+        &[
+            ("-o", "output"),
+            ("--checkpoint", "checkpoint"),
+            ("--trace-out", "trace-out"),
+            ("--trace-report", "trace-report"),
+            ("--profile-out", "profile-out"),
+        ],
+    )?;
     let mut intr = Interruption::parse(args)?;
     let input = args.require("input")?;
     let g = load_matrix(input)?;
@@ -410,6 +520,59 @@ pub fn r2(args: &Args) -> CmdResult {
             plan = plan.resume_from(state);
         }
         ctl = ctl.with_checkpoint(plan);
+    }
+    // `--shard i/N`: compute one shard of the N-way slab plan and write
+    // it in the checkpoint interchange format — the pair table comes
+    // later, from `merge` over all N shard outputs.
+    if let Some((idx, n_shards)) = parse_shard(args)? {
+        let Some(out) = args.get("output").filter(|s| !s.is_empty()) else {
+            return Err(CliError::Usage(
+                "--shard requires -o FILE (the shard output path)".into(),
+            ));
+        };
+        let t0 = std::time::Instant::now();
+        let plan = engine.shard_plan(g.n_snps(), n_shards)?;
+        let range = plan[idx - 1];
+        ctl = ctl.with_shard(range);
+        let state = match engine.try_stat_shard_with(&g, stat, &ctl) {
+            Ok(s) => s,
+            Err(e @ ld_core::LdError::Cancelled { .. }) => {
+                if let Some(p) = &intr.checkpoint_path {
+                    return Err(CliError::Interrupted(format!(
+                        "{e}; resumable checkpoint saved to {p} (rerun with --resume)"
+                    )));
+                }
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        write_atomic(out, &state.to_bytes())
+            .map_err(|e| CliError::Resource(format!("cannot write {out}: {e}")))?;
+        if let Some(p) = &intr.checkpoint_path {
+            // the shard completed: its snapshot is now redundant
+            if std::fs::remove_file(p).is_ok() {
+                eprintln!("shard complete; removed checkpoint {p}");
+            }
+        }
+        let (r0, r1) = range.rows(state.slab as usize, g.n_snps());
+        eprintln!(
+            "shard {idx}/{n_shards}: slabs {range} (rows {r0}..{r1}) of {} SNPs -> {out}",
+            g.n_snps()
+        );
+        if tracing {
+            emit_trace(
+                trace_out,
+                trace_report,
+                wall_ns,
+                threads,
+                engine.kernel_kind(),
+            )?;
+        }
+        if let Some(mode) = profile {
+            emit_profile(mode, args.get("profile-out"), wall_ns, threads)?;
+        }
+        return Ok(());
     }
     let t0 = std::time::Instant::now();
     // Compute-region wall time (excludes the result post-processing below),
@@ -530,17 +693,7 @@ pub fn r2(args: &Args) -> CmdResult {
             }
             match output {
                 Some(path) if !path.is_empty() => {
-                    use std::io::Write as _;
-                    write_atomic_with(path, |w| {
-                        writeln!(w, "SNP_A\tSNP_B\tR2")?;
-                        for (i, j, v) in m.iter_pairs() {
-                            if !v.is_nan() && v >= min_r2 {
-                                writeln!(w, "snp{i}\tsnp{j}\t{v:.6}")?;
-                            }
-                        }
-                        Ok(())
-                    })
-                    .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
+                    write_pair_table(path, &m, min_r2)?;
                     eprintln!("wrote pair table to {path}");
                 }
                 _ => {
@@ -607,6 +760,630 @@ fn emit_trace(
             .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
         eprintln!("wrote trace report to {path}");
     }
+    Ok(())
+}
+
+/// Writes the standard pair table — the exact bytes `r2 -o` produces —
+/// atomically to `path`. `merge` and `run-sharded` route through this so
+/// a stitched panel is byte-identical to a single-process run.
+fn write_pair_table(path: &str, m: &ld_core::LdMatrix, min_r2: f64) -> Result<(), CliError> {
+    use std::io::Write as _;
+    write_atomic_with(path, |w| {
+        writeln!(w, "SNP_A\tSNP_B\tR2")?;
+        for (i, j, v) in m.iter_pairs() {
+            if !v.is_nan() && v >= min_r2 {
+                writeln!(w, "snp{i}\tsnp{j}\t{v:.6}")?;
+            }
+        }
+        Ok(())
+    })
+    .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))
+}
+
+/// `gemm-ld merge` — stitches shard outputs (from `r2 --shard i/N`) into
+/// one pair table.
+///
+/// Every input is fully validated before a single output byte is
+/// written: CRC framing on read, then cross-input agreement on matrix
+/// fingerprint, statistic, NaN policy, slab geometry and kernel,
+/// per-record span geometry, overlap rejection, and completeness of the
+/// slab grid. Partial input aborts with a gap report naming the missing
+/// slab spans (and, given `--shards N`, which shard to re-run) — never a
+/// silently truncated panel.
+pub fn merge(args: &Args) -> CmdResult {
+    let inputs = args.positional();
+    if inputs.is_empty() {
+        return Err(CliError::Usage(
+            "merge needs shard files: gemm-ld merge shard1.bin shard2.bin ... -o pairs.tsv".into(),
+        ));
+    }
+    probe_output_flags(args, &[("-o", "output")])?;
+    let min_r2 = args.get_parsed("min-r2", 0.0f64)?;
+    let mut states = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let state = ld_io::checkpoint::read_checkpoint_path(path).map_err(|e| match e {
+            ld_io::IoError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => CliError::Parse(
+                format!("shard input {path} is missing (re-run that shard, then merge again)"),
+            ),
+            other => other.into(),
+        })?;
+        states.push(state);
+    }
+    let grid = states.first().map(|s| (s.n_snps as usize, s.slab as usize));
+    let merged = match ld_core::merge_shard_states(states) {
+        Ok(m) => m,
+        Err(e @ ld_core::LdError::IncompleteShardSet { .. }) => {
+            // attribute the gaps to shard indices when the caller told us
+            // the plan width
+            if let (ld_core::LdError::IncompleteShardSet { missing, .. }, Some((n_snps, slab))) =
+                (&e, grid)
+            {
+                let n_shards = args.get_parsed("shards", 0usize)?;
+                if n_shards > 0 {
+                    if let Ok(plan) = ld_core::plan_shards(n_snps, slab, n_shards) {
+                        for (k, r) in plan.iter().enumerate() {
+                            let hit = missing
+                                .iter()
+                                .any(|&(a, b)| (a as usize) < r.end && r.start < b as usize);
+                            if hit {
+                                eprintln!(
+                                    "gap report: re-run shard {}/{} (slabs {}), then merge again",
+                                    k + 1,
+                                    n_shards,
+                                    r
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            return Err(e.into());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    // optional end-to-end check against the actual input matrix
+    if let Some(input) = args.get("input").filter(|s| !s.is_empty()) {
+        let g = load_matrix(input)?;
+        let actual = ld_core::matrix_fingerprint(&g.full_view());
+        if actual != merged.matrix_hash {
+            return Err(CliError::Parse(format!(
+                "shard outputs do not match {input}: matrix fingerprint {:#018x} vs {actual:#018x} \
+                 (the shards were computed from a different input)",
+                merged.matrix_hash
+            )));
+        }
+        eprintln!("verified shard fingerprints against {input}");
+    }
+    let m = ld_core::state_to_matrix(&merged)?;
+    eprintln!(
+        "merged {} shard file(s): {} slabs (slab height {}) covering {} SNPs",
+        inputs.len(),
+        merged.n_slabs,
+        merged.slab,
+        merged.n_snps
+    );
+    match args.get("output") {
+        Some(path) if !path.is_empty() => {
+            write_pair_table(path, &m, min_r2)?;
+            eprintln!("wrote pair table to {path}");
+        }
+        _ => {
+            let mut kept: Vec<(usize, usize, f64)> = m
+                .iter_pairs()
+                .filter(|&(_, _, v)| !v.is_nan() && v >= min_r2)
+                .collect();
+            kept.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            println!("top pairs (threshold {min_r2}):");
+            for (i, j, v) in kept.into_iter().take(20) {
+                println!("  snp{i:<6} snp{j:<6} {v:.4}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exit classification of a shard child process, driving the
+/// supervisor's retry policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardExit {
+    /// Exit 0 and the shard output parses against the run's input.
+    Success,
+    /// Exit 0 but the output is unreadable/corrupt or from another input.
+    CorruptOutput,
+    /// Exit 5: interrupted, with a resumable checkpoint on disk.
+    Resumable,
+    /// Exit 3: the child rejected its own state (corrupt checkpoint).
+    CorruptState,
+    /// Killed by a signal, or any other exit code.
+    Crash,
+}
+
+impl ShardExit {
+    fn name(self) -> &'static str {
+        match self {
+            ShardExit::Success => "success",
+            ShardExit::CorruptOutput => "corrupt-output",
+            ShardExit::Resumable => "resumable",
+            ShardExit::CorruptState => "corrupt-state",
+            ShardExit::Crash => "crash",
+        }
+    }
+}
+
+/// Maps a child's exit code (None = killed by signal) and output
+/// validation result to its classification.
+fn classify_shard_exit(code: Option<i32>, output_ok: bool) -> ShardExit {
+    match code {
+        Some(0) if output_ok => ShardExit::Success,
+        Some(0) => ShardExit::CorruptOutput,
+        Some(5) => ShardExit::Resumable,
+        Some(3) => ShardExit::CorruptState,
+        _ => ShardExit::Crash,
+    }
+}
+
+/// Delay before re-dispatching after `failed_attempts` failures:
+/// `base × 2^(failures−1)`, capped at 10 s.
+fn retry_backoff(base_ms: u64, failed_attempts: usize) -> Duration {
+    const CAP_MS: u64 = 10_000;
+    let shift = failed_attempts.saturating_sub(1).min(16) as u32;
+    Duration::from_millis(base_ms.saturating_mul(1u64 << shift).min(CAP_MS))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One shard tracked by the `run-sharded` supervisor.
+struct ShardSlot {
+    /// 1-based shard index (`--shard idx/N`).
+    idx: usize,
+    /// Shard output path (checkpoint interchange format).
+    out: String,
+    /// The shard's own `--checkpoint` path (resume state).
+    ckpt: String,
+    /// Per-shard stderr log.
+    log: String,
+    /// Attempts launched so far.
+    attempts: usize,
+    /// pending | running | done | resumable | failed.
+    state: &'static str,
+    /// Exit classification of every finished attempt, in order.
+    classifications: Vec<&'static str>,
+    child: Option<std::process::Child>,
+    spawned_at: Option<std::time::Instant>,
+    /// Backoff gate: no respawn before this instant.
+    not_before: std::time::Instant,
+}
+
+/// Serializes the supervisor's run manifest
+/// (`schemas/shard_manifest.schema.json`) and writes it atomically.
+#[allow(clippy::too_many_arguments)]
+fn write_manifest(
+    path: &str,
+    input: &str,
+    output: &str,
+    retries: usize,
+    backoff_ms: u64,
+    interrupted: bool,
+    shards: &[ShardSlot],
+) -> Result<(), CliError> {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(512);
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"input\": \"{}\",", json_escape(input));
+    let _ = writeln!(s, "  \"output\": \"{}\",", json_escape(output));
+    let _ = writeln!(s, "  \"shards\": {},", shards.len());
+    let _ = writeln!(s, "  \"retries\": {retries},");
+    let _ = writeln!(s, "  \"backoff_ms\": {backoff_ms},");
+    let _ = writeln!(s, "  \"interrupted\": {interrupted},");
+    s.push_str("  \"shard_states\": [\n");
+    for (i, sh) in shards.iter().enumerate() {
+        let classes: Vec<String> = sh
+            .classifications
+            .iter()
+            .map(|c| format!("\"{c}\""))
+            .collect();
+        let _ = write!(
+            s,
+            "    {{\"shard\": {}, \"state\": \"{}\", \"attempts\": {}, \"classifications\": [{}]}}",
+            sh.idx,
+            sh.state,
+            sh.attempts,
+            classes.join(", ")
+        );
+        s.push_str(if i + 1 == shards.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    write_atomic(path, s.as_bytes())
+        .map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))
+}
+
+/// `gemm-ld run-sharded` — the fault-tolerant shard supervisor: spawns
+/// one `r2 --shard i/N` process per shard, monitors and classifies every
+/// exit, re-dispatches failures with capped exponential backoff (each
+/// retry resumes from that shard's own checkpoint), and merges the
+/// validated shard outputs into the final pair table. SIGINT or
+/// `--timeout` interrupts the whole tree resumably: every child receives
+/// SIGINT, lands on its checkpoint, and a re-run of the same command
+/// picks all shards back up.
+pub fn run_sharded(args: &Args) -> CmdResult {
+    let input = args.require("input")?.to_owned();
+    let out = args.require("output")?.to_owned();
+    let n_shards = args.get_parsed("shards", 2usize)?;
+    if n_shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    let retries = args.get_parsed("retries", 2usize)?;
+    let backoff_ms = args.get_parsed("backoff-ms", 500u64)?;
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    let min_r2 = args.get_parsed("min-r2", 0.0f64)?;
+    let timeout = match args.get("timeout") {
+        None | Some("") => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value '{v}' for --timeout")))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(CliError::Usage(format!(
+                    "--timeout must be a non-negative number of seconds, got '{v}'"
+                )));
+            }
+            Some(secs)
+        }
+    };
+    let mut fault_kill = match args.get("fault-kill") {
+        None | Some("") => None,
+        Some(v) => {
+            let k: usize = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value '{v}' for --fault-kill")))?;
+            if k == 0 || k > n_shards {
+                return Err(CliError::Usage(format!(
+                    "--fault-kill shard {k} out of range (1..={n_shards})"
+                )));
+            }
+            Some(k)
+        }
+    };
+    probe_output_flags(args, &[("-o", "output")])?;
+    let work_dir = args
+        .get("work-dir")
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{out}.shards"));
+    std::fs::create_dir_all(&work_dir)
+        .map_err(|e| CliError::Resource(format!("cannot create {work_dir}: {e}")))?;
+    let manifest_path = args
+        .get("manifest")
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{work_dir}/manifest.json"));
+    probe_writable(&manifest_path, "--manifest")?;
+
+    // Loading the input up front validates it before any child is
+    // spawned and pins the fingerprint every shard output must carry.
+    let fingerprint = ld_core::matrix_fingerprint(&load_matrix(&input)?.full_view());
+
+    let per_threads = (threads / n_shards).max(1);
+    if per_threads * n_shards > threads {
+        eprintln!(
+            "warning: {n_shards} shards x {per_threads} thread(s) each oversubscribe \
+             the {threads} available thread(s)"
+        );
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Resource(format!("cannot locate own executable: {e}")))?;
+    let token = CancelToken::new();
+    crate::interrupt::install_sigint_watcher(&token);
+    let deadline = timeout.map(|s| Deadline::after(Duration::from_secs_f64(s)));
+
+    let now = std::time::Instant::now();
+    let mut shards: Vec<ShardSlot> = (1..=n_shards)
+        .map(|i| ShardSlot {
+            idx: i,
+            out: format!("{work_dir}/shard_{i}.bin"),
+            ckpt: format!("{work_dir}/shard_{i}.ckpt"),
+            log: format!("{work_dir}/shard_{i}.log"),
+            attempts: 0,
+            state: "pending",
+            classifications: Vec::new(),
+            child: None,
+            spawned_at: None,
+            not_before: now,
+        })
+        .collect();
+    // A previous interrupted run may have left finished shard outputs:
+    // reuse the ones that match this input, drop anything stale.
+    for s in &mut shards {
+        if !Path::new(&s.out).exists() {
+            continue;
+        }
+        match ld_io::checkpoint::read_checkpoint_path(&s.out) {
+            Ok(st) if st.matrix_hash == fingerprint => {
+                s.state = "done";
+                eprintln!(
+                    "shard {}/{n_shards}: reusing completed output {}",
+                    s.idx, s.out
+                );
+            }
+            _ => {
+                let _ = std::fs::remove_file(&s.out);
+            }
+        }
+    }
+
+    let mut interrupted_reason: Option<String> = None;
+    loop {
+        // 1. Interruption: one trip forwards SIGINT to every running
+        // child so the whole tree lands on resumable checkpoints.
+        if interrupted_reason.is_none() {
+            if token.is_cancelled() {
+                interrupted_reason = Some(token.reason().unwrap_or_else(|| "cancelled".into()));
+            } else if deadline.is_some_and(|d| d.expired()) {
+                interrupted_reason = Some("deadline exceeded".into());
+            }
+            if interrupted_reason.is_some() {
+                for s in &shards {
+                    if let Some(c) = &s.child {
+                        crate::interrupt::send_signal(c.id(), crate::interrupt::SIGINT);
+                    }
+                }
+            }
+        }
+        // 2. Fault injection (`--fault-kill i`): SIGKILL shard i's first
+        // attempt shortly after launch — a deterministic stand-in for
+        // "a shard process died mid-run" in the CI recovery leg.
+        if let Some(k) = fault_kill {
+            let s = &shards[k - 1];
+            if let (Some(c), Some(t0)) = (&s.child, s.spawned_at) {
+                if s.attempts == 1 && t0.elapsed() >= Duration::from_millis(25) {
+                    eprintln!(
+                        "fault injection: SIGKILL shard {k}/{n_shards} (pid {})",
+                        c.id()
+                    );
+                    crate::interrupt::send_signal(c.id(), crate::interrupt::SIGKILL);
+                    fault_kill = None;
+                }
+            }
+        }
+        // 3. Reap finished children and classify their exits.
+        let mut dirty = false;
+        for s in &mut shards {
+            let Some(child) = &mut s.child else { continue };
+            let status = match child.try_wait() {
+                Ok(Some(st)) => st,
+                Ok(None) => continue,
+                Err(e) => {
+                    eprintln!("shard {}/{n_shards}: wait failed: {e}", s.idx);
+                    continue;
+                }
+            };
+            s.child = None;
+            dirty = true;
+            let code = status.code();
+            let output_ok = code == Some(0)
+                && ld_io::checkpoint::read_checkpoint_path(&s.out)
+                    .map(|st| st.matrix_hash == fingerprint)
+                    .unwrap_or(false);
+            let class = classify_shard_exit(code, output_ok);
+            s.classifications.push(class.name());
+            match class {
+                ShardExit::Success => {
+                    s.state = "done";
+                    eprintln!(
+                        "shard {}/{n_shards}: done after {} attempt(s)",
+                        s.idx, s.attempts
+                    );
+                }
+                _ => {
+                    // quarantine whatever the classification distrusts
+                    match class {
+                        ShardExit::CorruptOutput => {
+                            let _ = std::fs::remove_file(&s.out);
+                        }
+                        ShardExit::CorruptState => {
+                            let _ = std::fs::remove_file(&s.ckpt);
+                        }
+                        _ => {}
+                    }
+                    if interrupted_reason.is_some() {
+                        s.state = "resumable";
+                    } else if s.attempts > retries {
+                        s.state = "failed";
+                        eprintln!(
+                            "shard {}/{n_shards}: {} on attempt {} — retry budget ({retries}) \
+                             exhausted; see {}",
+                            s.idx,
+                            class.name(),
+                            s.attempts,
+                            s.log
+                        );
+                    } else {
+                        s.state = "pending";
+                        let delay = retry_backoff(backoff_ms, s.attempts);
+                        s.not_before = std::time::Instant::now() + delay;
+                        ld_trace::add(Counter::ShardRetries, 1);
+                        eprintln!(
+                            "shard {}/{n_shards}: {} on attempt {}; retrying in {} ms",
+                            s.idx,
+                            class.name(),
+                            s.attempts,
+                            delay.as_millis()
+                        );
+                    }
+                }
+            }
+        }
+        // 4. (Re)spawn pending shards whose backoff has elapsed.
+        if interrupted_reason.is_none() {
+            for i in 0..shards.len() {
+                let ready = shards[i].state == "pending"
+                    && shards[i].child.is_none()
+                    && std::time::Instant::now() >= shards[i].not_before;
+                if !ready {
+                    continue;
+                }
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("r2")
+                    .arg("-i")
+                    .arg(&input)
+                    .arg("--shard")
+                    .arg(format!("{}/{n_shards}", shards[i].idx))
+                    .arg("--threads")
+                    .arg(per_threads.to_string())
+                    .arg("--checkpoint")
+                    .arg(&shards[i].ckpt)
+                    .arg("--resume")
+                    .arg("-o")
+                    .arg(&shards[i].out);
+                // engine geometry must agree across shards and with the
+                // merge, so pass-through flags ride along verbatim
+                for key in ["stat", "kernel", "slab-rows", "chunk-slabs"] {
+                    if let Some(v) = args.get(key).filter(|v| !v.is_empty()) {
+                        cmd.arg(format!("--{key}")).arg(v);
+                    }
+                }
+                let log = std::fs::File::create(&shards[i].log).map_err(|e| {
+                    CliError::Resource(format!("cannot create {}: {e}", shards[i].log))
+                });
+                let spawned = log.and_then(|log| {
+                    cmd.stdout(std::process::Stdio::null())
+                        .stderr(log)
+                        .spawn()
+                        .map_err(|e| {
+                            CliError::Resource(format!("cannot spawn shard {}: {e}", shards[i].idx))
+                        })
+                });
+                match spawned {
+                    Ok(child) => {
+                        shards[i].attempts += 1;
+                        shards[i].state = "running";
+                        shards[i].spawned_at = Some(std::time::Instant::now());
+                        eprintln!(
+                            "shard {}/{n_shards}: attempt {} launched (pid {})",
+                            shards[i].idx,
+                            shards[i].attempts,
+                            child.id()
+                        );
+                        shards[i].child = Some(child);
+                        ld_trace::add(Counter::ShardsLaunched, 1);
+                        dirty = true;
+                    }
+                    Err(e) => {
+                        // a spawn failure is an environment problem, not a
+                        // shard problem: interrupt everything resumably
+                        for s in &shards {
+                            if let Some(c) = &s.child {
+                                crate::interrupt::send_signal(c.id(), crate::interrupt::SIGINT);
+                            }
+                        }
+                        interrupted_reason = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        if dirty {
+            write_manifest(
+                &manifest_path,
+                &input,
+                &out,
+                retries,
+                backoff_ms,
+                interrupted_reason.is_some(),
+                &shards,
+            )?;
+        }
+        // 5. Exit conditions.
+        let running = shards.iter().any(|s| s.child.is_some());
+        let pending = shards.iter().any(|s| s.state == "pending");
+        if !running && (interrupted_reason.is_some() || !pending) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    if let Some(reason) = &interrupted_reason {
+        for s in &mut shards {
+            if s.state != "done" && s.state != "failed" {
+                s.state = "resumable";
+            }
+        }
+        write_manifest(
+            &manifest_path,
+            &input,
+            &out,
+            retries,
+            backoff_ms,
+            true,
+            &shards,
+        )?;
+        // reap the watcher thread
+        token.cancel_with_reason("run complete");
+        return Err(CliError::Interrupted(format!(
+            "run-sharded interrupted ({reason}); every shard left resumable state in \
+             {work_dir} — re-run the same command to resume"
+        )));
+    }
+    token.cancel_with_reason("run complete");
+    write_manifest(
+        &manifest_path,
+        &input,
+        &out,
+        retries,
+        backoff_ms,
+        false,
+        &shards,
+    )?;
+    let failed: Vec<usize> = shards
+        .iter()
+        .filter(|s| s.state == "failed")
+        .map(|s| s.idx)
+        .collect();
+    if !failed.is_empty() {
+        let list: Vec<String> = failed.iter().map(|i| i.to_string()).collect();
+        return Err(CliError::Other(format!(
+            "shard(s) {} failed permanently after {} attempt(s) each; no panel written \
+             (logs and manifest in {work_dir})",
+            list.join(", "),
+            retries + 1
+        )));
+    }
+    // Merge: the same validation wall `gemm-ld merge` applies.
+    let mut states = Vec::with_capacity(n_shards);
+    for s in &shards {
+        states.push(ld_io::checkpoint::read_checkpoint_path(&s.out)?);
+    }
+    let merged = ld_core::merge_shard_states(states)?;
+    if merged.matrix_hash != fingerprint {
+        return Err(CliError::Parse(format!(
+            "merged shard fingerprint {:#018x} does not match {input} ({fingerprint:#018x})",
+            merged.matrix_hash
+        )));
+    }
+    let m = ld_core::state_to_matrix(&merged)?;
+    write_pair_table(&out, &m, min_r2)?;
+    // intermediates served their purpose; logs + manifest stay for audit
+    for s in &shards {
+        let _ = std::fs::remove_file(&s.out);
+        let _ = std::fs::remove_file(&s.ckpt);
+    }
+    eprintln!(
+        "run-sharded complete: {n_shards} shard(s) merged into {out} (manifest {manifest_path})"
+    );
     Ok(())
 }
 
@@ -1391,6 +2168,284 @@ mod tests {
             matches!(err, CliError::Resource(_)),
             "unwritable --trace-out must classify as a resource error (exit 4), got {err:?}"
         );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn resume_error_taxonomy() {
+        let d = tmpdir();
+        let ms = d.join("tax.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "40", "--snps", "30", "-o", mss])).unwrap();
+        let ckpt = d.join("tax.ckpt");
+        let ckpts = ckpt.to_str().unwrap();
+        // Missing checkpoint: --resume starts fresh (exit 0).
+        r2(&args(&["-i", mss, "--checkpoint", ckpts, "--resume"])).unwrap();
+        // Corrupt checkpoint: --resume is a parse failure (exit 3), not a
+        // silent fresh start.
+        std::fs::write(&ckpt, b"definitely not a checkpoint").unwrap();
+        let err = r2(&args(&["-i", mss, "--checkpoint", ckpts, "--resume"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(
+            ckpt.exists(),
+            "the damaged snapshot must be left for inspection"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn unwritable_destinations_fail_before_compute() {
+        let d = tmpdir();
+        let ms = d.join("probe.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "40", "--snps", "30", "-o", mss])).unwrap();
+        for flags in [
+            &["-i", mss, "-o", "/nonexistent-dir/pairs.tsv"][..],
+            &["-i", mss, "--checkpoint", "/nonexistent-dir/x.ckpt"][..],
+            &["-i", mss, "--trace-out", "/nonexistent-dir/t.json"][..],
+        ] {
+            let err = r2(&args(flags)).unwrap_err();
+            assert_eq!(err.exit_code(), 4, "{flags:?}: {err}");
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn shard_merge_matches_single_run_bit_for_bit() {
+        let d = tmpdir();
+        let ms = d.join("shards.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "90", "--snps", "70", "-o", mss])).unwrap();
+        let one = d.join("one.tsv");
+        r2(&args(&[
+            "-i",
+            mss,
+            "--min-r2",
+            "0",
+            "-o",
+            one.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let n_shards = 3usize;
+        let mut shard_files = Vec::new();
+        for i in 1..=n_shards {
+            let f = d.join(format!("s{i}.bin"));
+            // --slab-rows 16 gives the 70-SNP panel enough slabs to cut 3
+            // ways; the single-run panel above keeps its default slab to
+            // prove the merged bytes don't depend on grid choice.
+            r2(&args(&[
+                "-i",
+                mss,
+                "--shard",
+                &format!("{i}/{n_shards}"),
+                "--slab-rows",
+                "16",
+                "-o",
+                f.to_str().unwrap(),
+            ]))
+            .unwrap();
+            shard_files.push(f.to_str().unwrap().to_owned());
+        }
+        let merged = d.join("merged.tsv");
+        let mut argv: Vec<&str> = shard_files.iter().map(String::as_str).collect();
+        argv.extend(["--min-r2", "0", "-i", mss, "-o", merged.to_str().unwrap()]);
+        merge(&args(&argv)).unwrap();
+        let a = std::fs::read(&one).unwrap();
+        let b = std::fs::read(&merged).unwrap();
+        assert_eq!(
+            a, b,
+            "merged panel must be byte-identical to the one-shot run"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_foreign_inputs() {
+        let d = tmpdir();
+        let ms = d.join("gaps.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "60", "--snps", "50", "-o", mss])).unwrap();
+        let s1 = d.join("g1.bin");
+        let s2 = d.join("g2.bin");
+        for (i, f) in [(1, &s1), (2, &s2)] {
+            r2(&args(&[
+                "-i",
+                mss,
+                "--shard",
+                &format!("{i}/2"),
+                "--slab-rows",
+                "16",
+                "-o",
+                f.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let out = d.join("gap_out.tsv");
+        let outs = out.to_str().unwrap();
+        // Gap: one shard missing → exit 3, gap report, no output file.
+        let err = merge(&args(&[s1.to_str().unwrap(), "--shards", "2", "-o", outs])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("missing"), "{err}");
+        assert!(!out.exists(), "an incomplete merge must never write output");
+        // Overlap: the same shard twice → exit 3 naming the collision.
+        let err = merge(&args(&[
+            s1.to_str().unwrap(),
+            s1.to_str().unwrap(),
+            s2.to_str().unwrap(),
+            "-o",
+            outs,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("overlap"), "{err}");
+        assert!(!out.exists());
+        // Corrupt shard file: CRC/structure failure → exit 3.
+        let bad = d.join("bad.bin");
+        let mut bytes = std::fs::read(&s1).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = merge(&args(&[
+            bad.to_str().unwrap(),
+            s2.to_str().unwrap(),
+            "-o",
+            outs,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(!out.exists());
+        // Fingerprint check against a different input matrix → exit 3.
+        let other = d.join("other.ms");
+        simulate(&args(&[
+            "--samples",
+            "60",
+            "--snps",
+            "50",
+            "--seed",
+            "777",
+            "-o",
+            other.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = merge(&args(&[
+            s1.to_str().unwrap(),
+            s2.to_str().unwrap(),
+            "-i",
+            other.to_str().unwrap(),
+            "-o",
+            outs,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // The complete, untampered set merges fine.
+        merge(&args(&[
+            s1.to_str().unwrap(),
+            s2.to_str().unwrap(),
+            "-i",
+            mss,
+            "-o",
+            outs,
+        ]))
+        .unwrap();
+        assert!(out.exists());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn shard_flag_validation() {
+        assert!(parse_shard(&args(&[])).unwrap().is_none());
+        assert_eq!(
+            parse_shard(&args(&["--shard", "2/4"])).unwrap(),
+            Some((2, 4))
+        );
+        for bad in ["4", "0/4", "5/4", "a/b", "1/0", "/"] {
+            assert!(parse_shard(&args(&["--shard", bad])).is_err(), "{bad}");
+        }
+        let d = tmpdir();
+        let ms = d.join("sv.ms");
+        let mss = ms.to_str().unwrap();
+        simulate(&args(&["--samples", "30", "--snps", "20", "-o", mss])).unwrap();
+        // --shard without -o is a usage error
+        let err = r2(&args(&["-i", mss, "--shard", "1/2"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn shard_exit_classification_and_backoff() {
+        assert_eq!(classify_shard_exit(Some(0), true), ShardExit::Success);
+        assert_eq!(
+            classify_shard_exit(Some(0), false),
+            ShardExit::CorruptOutput
+        );
+        assert_eq!(classify_shard_exit(Some(5), false), ShardExit::Resumable);
+        assert_eq!(classify_shard_exit(Some(3), false), ShardExit::CorruptState);
+        assert_eq!(classify_shard_exit(Some(1), false), ShardExit::Crash);
+        assert_eq!(classify_shard_exit(None, false), ShardExit::Crash);
+        assert_eq!(retry_backoff(500, 1), Duration::from_millis(500));
+        assert_eq!(retry_backoff(500, 2), Duration::from_millis(1000));
+        assert_eq!(retry_backoff(500, 3), Duration::from_millis(2000));
+        assert_eq!(
+            retry_backoff(500, 20),
+            Duration::from_millis(10_000),
+            "capped"
+        );
+        assert_eq!(retry_backoff(u64::MAX, 20), Duration::from_millis(10_000));
+    }
+
+    #[test]
+    fn manifest_is_schema_shaped() {
+        let d = tmpdir();
+        let path = d.join("manifest.json");
+        let shards = vec![
+            ShardSlot {
+                idx: 1,
+                out: "s1.bin".into(),
+                ckpt: "s1.ckpt".into(),
+                log: "s1.log".into(),
+                attempts: 2,
+                state: "done",
+                classifications: vec!["crash", "success"],
+                child: None,
+                spawned_at: None,
+                not_before: std::time::Instant::now(),
+            },
+            ShardSlot {
+                idx: 2,
+                out: "s2.bin".into(),
+                ckpt: "s2.ckpt".into(),
+                log: "s2.log".into(),
+                attempts: 1,
+                state: "failed",
+                classifications: vec!["corrupt-output"],
+                child: None,
+                spawned_at: None,
+                not_before: std::time::Instant::now(),
+            },
+        ];
+        write_manifest(
+            path.to_str().unwrap(),
+            "in \"quoted\".ms",
+            "out.tsv",
+            2,
+            500,
+            false,
+            &shards,
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"schema_version\": 1",
+            "\"shards\": 2",
+            "\"interrupted\": false",
+            "\"shard_states\"",
+            "\"classifications\": [\"crash\", \"success\"]",
+            "\"state\": \"failed\"",
+            "in \\\"quoted\\\".ms",
+        ] {
+            assert!(body.contains(key), "manifest missing {key}:\n{body}");
+        }
         std::fs::remove_dir_all(&d).ok();
     }
 

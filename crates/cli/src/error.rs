@@ -97,6 +97,9 @@ impl From<ld_core::LdError> for CliError {
             InvalidConfig { .. } => CliError::Usage(e.to_string()),
             Cancelled { .. } => CliError::Interrupted(e.to_string()),
             Checkpoint { .. } => CliError::Resource(e.to_string()),
+            // shard inputs that disagree (fingerprint/header/overlap) or
+            // leave gaps are malformed *input files* to the merge: exit 3
+            ShardMismatch { .. } | IncompleteShardSet { .. } => CliError::Parse(e.to_string()),
             _ => CliError::Other(e.to_string()),
         }
     }
@@ -153,5 +156,17 @@ mod tests {
         }
         .into();
         assert_eq!(e.exit_code(), 4);
+        let e: CliError = ld_core::LdError::ShardMismatch {
+            message: "input 1 disagrees with input 0 on statistic".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 3);
+        let e: CliError = ld_core::LdError::IncompleteShardSet {
+            missing: vec![(2, 4)],
+            n_slabs: 8,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 3);
+        assert!(e.to_string().contains("missing"), "{e}");
     }
 }

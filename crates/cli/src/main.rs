@@ -4,6 +4,9 @@
 //! gemm-ld info
 //! gemm-ld simulate --samples 1000 --snps 500 -o data.ms
 //! gemm-ld r2 -i data.ms --min-r2 0.2 -o pairs.tsv
+//! gemm-ld run-sharded -i data.ms -o pairs.tsv --shards 4
+//! gemm-ld r2 -i data.ms --shard 2/4 -o shard2.bin   # one shard by hand
+//! gemm-ld merge shard*.bin -o pairs.tsv             # stitch + validate
 //! gemm-ld omega -i data.ms --window 50 --step 10
 //! gemm-ld tanimoto -i fingerprints.txt --top-k 5
 //! gemm-ld convert -i data.ms -o data.vcf
@@ -37,6 +40,8 @@ fn main() -> ExitCode {
         "info" => commands::info(&parsed),
         "simulate" => commands::simulate(&parsed),
         "r2" => commands::r2(&parsed),
+        "merge" => commands::merge(&parsed),
+        "run-sharded" => commands::run_sharded(&parsed),
         "omega" => commands::omega(&parsed),
         "tanimoto" => commands::tanimoto(&parsed),
         "prune" => commands::prune(&parsed),

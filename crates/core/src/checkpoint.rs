@@ -751,6 +751,67 @@ mod tests {
     }
 
     #[test]
+    fn validate_against_rejects_shard_shaped_mismatches() {
+        // A shard output file is a checkpoint whose records cover one
+        // contiguous slab range of the *global* grid. Feeding one back as
+        // a resume snapshot must hit the same validation wall as any other
+        // checkpoint: same matrix but different slab geometry, or a
+        // different statistic, are located rejections — not silent
+        // acceptance of mismatched spans.
+        let g = BitMatrix::from_rows(4, 6, [[1u8, 0, 1, 0, 1, 1]; 4]).unwrap();
+        let v = g.full_view();
+        let shard_state = CheckpointState {
+            stat: LdStats::RSquared,
+            policy: NanPolicy::Propagate,
+            n_snps: 6,
+            n_samples: 4,
+            matrix_hash: matrix_fingerprint(&v),
+            slab: 2,
+            n_slabs: 3,
+            kernel: "scalar-4x4".to_owned(),
+            // shard 1/3 of a slab-2 grid: records for slab 1 only
+            records: vec![SlabRecord {
+                index: 1,
+                start_row: 2,
+                end_row: 4,
+                values: vec![0.0; 4 + 3],
+            }],
+        };
+        // identical matrix + identical geometry: accepted
+        assert!(shard_state
+            .validate_against(&v, LdStats::RSquared, NanPolicy::Propagate, 2, "scalar-4x4")
+            .is_ok());
+        // same matrix, different slab height (e.g. a shard produced under
+        // another memory budget): rejected, naming the slab field
+        let msg = shard_state
+            .validate_against(&v, LdStats::RSquared, NanPolicy::Propagate, 3, "scalar-4x4")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("slab"), "{msg}");
+        assert!(msg.contains("resume rejected"), "{msg}");
+        // same matrix + geometry, different statistic kind: rejected
+        let msg = shard_state
+            .validate_against(&v, LdStats::D, NanPolicy::Propagate, 2, "scalar-4x4")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("statistic"), "{msg}");
+        // a shard of a *different* matrix with the same shape: the
+        // fingerprint catches it even though every geometry field agrees
+        let other = BitMatrix::zeros(4, 6);
+        let msg = shard_state
+            .validate_against(
+                &other.full_view(),
+                LdStats::RSquared,
+                NanPolicy::Propagate,
+                2,
+                "scalar-4x4",
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("fingerprint"), "{msg}");
+    }
+
+    #[test]
     fn fingerprint_sensitive_to_any_bit() {
         let mut g = BitMatrix::zeros(10, 4);
         let before = matrix_fingerprint(&g.full_view());

@@ -19,6 +19,7 @@
 //! resumable.
 
 use crate::checkpoint::{CheckpointSink, CheckpointState};
+use crate::shard::SlabRange;
 pub use ld_parallel::{CancelToken, Deadline};
 
 /// How often — and where — a run persists its completed slabs, plus the
@@ -90,6 +91,7 @@ pub struct RunControl<'a> {
     pub(crate) token: Option<CancelToken>,
     pub(crate) deadline: Option<Deadline>,
     pub(crate) checkpoint: Option<CheckpointPlan<'a>>,
+    pub(crate) shard: Option<SlabRange>,
 }
 
 impl<'a> RunControl<'a> {
@@ -122,6 +124,22 @@ impl<'a> RunControl<'a> {
     pub fn with_checkpoint(mut self, plan: CheckpointPlan<'a>) -> Self {
         self.checkpoint = Some(plan);
         self
+    }
+
+    /// Restricts the run to one shard: only the slabs in `range` (indices
+    /// on the run's global slab grid) are computed, checkpointed and
+    /// counted. The drivers validate the range against the actual slab
+    /// grid and reject resume snapshots whose spans fall outside it; the
+    /// packed driver leaves out-of-shard triangle entries at zero. See
+    /// [`crate::shard`] for the plan/merge machinery built on top.
+    pub fn with_shard(mut self, range: SlabRange) -> Self {
+        self.shard = Some(range);
+        self
+    }
+
+    /// The shard restriction, if any.
+    pub fn shard(&self) -> Option<SlabRange> {
+        self.shard
     }
 
     /// The observed token, if any.
@@ -163,6 +181,7 @@ mod tests {
         assert!(c.token().is_none());
         assert!(c.deadline().is_none());
         assert!(c.checkpoint.is_none());
+        assert!(c.shard().is_none());
         assert!(c.run_token().is_none());
     }
 

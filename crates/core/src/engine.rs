@@ -1,14 +1,16 @@
 //! The [`LdEngine`]: configuration + matrix-level drivers.
 
+use crate::checkpoint::{matrix_fingerprint, CheckpointState, SlabRecord};
 use crate::control::RunControl;
 use crate::error::{
     checked_add, checked_mul, checked_triangle_len, try_zeroed_vec, LdError, MemoryBudget,
 };
 use crate::fused::{
-    packed_row_offset, try_stat_packed_fused, try_stat_rows_fused, FusedConfig, RowSlabVisit,
-    SyncSlice, Transform,
+    packed_row_offset, resolved_kernel_name, try_stat_packed_fused, try_stat_rows_fused,
+    FusedConfig, RowSlabVisit, SyncSlice, Transform,
 };
 use crate::matrix::{CrossLdMatrix, LdMatrix};
+use crate::shard::{plan_shards, SlabRange};
 use crate::stats::{ld_pair_from_counts, stat_from_counts, LdPair, LdStats, NanPolicy};
 use ld_bitmat::{BitMatrix, BitMatrixView};
 use ld_kernels::{syrk_counts_buf, BlockSizes, KernelKind};
@@ -338,6 +340,11 @@ impl LdEngine {
     ///   stored header against this input + configuration, replays the
     ///   completed slabs, and recomputes only the rest — the resumed
     ///   triangle is **bit-identical** to an uninterrupted run.
+    /// * A shard range ([`RunControl::with_shard`]) restricts the run to
+    ///   one contiguous range of row slabs: only those slabs are
+    ///   computed, checkpointed and counted; out-of-shard triangle
+    ///   entries stay zero. Use [`LdEngine::try_stat_shard_with`] to get
+    ///   the shard's spans in the merge-ready interchange form.
     pub fn try_stat_matrix_with<'a>(
         &self,
         g: impl Into<BitMatrixView<'a>>,
@@ -372,6 +379,86 @@ impl LdEngine {
         };
         try_stat_packed_fused(&v, stat, &cfg, out.packed_mut(), ctl)?;
         Ok(out)
+    }
+
+    /// The slab height the packed driver will actually use for an
+    /// `n_snps`-row input after memory budgeting — the slab grid every
+    /// shard plan and shard range must be built on. Shard processes must
+    /// run with identical engine configuration so this value agrees
+    /// across them; the checkpoint header records it, and the merge
+    /// rejects inputs whose grids disagree.
+    pub fn packed_slab_for(&self, n_snps: usize) -> Result<usize, LdError> {
+        let fixed = Self::fixed_footprint(n_snps, true)?;
+        self.budgeted_slab(n_snps, fixed, 4)
+    }
+
+    /// A work-balanced contiguous shard plan over the packed driver's
+    /// slab grid: `[0, ⌈n_snps/slab⌉)` cut into `n_shards` ranges holding
+    /// roughly equal numbers of *pair values* (see
+    /// [`crate::shard::plan_shards`]). Feed each range to
+    /// [`RunControl::with_shard`] + [`LdEngine::try_stat_shard_with`] in
+    /// its own process, then stitch the outputs with
+    /// [`crate::shard::merge_shard_states`].
+    pub fn shard_plan(&self, n_snps: usize, n_shards: usize) -> Result<Vec<SlabRange>, LdError> {
+        let slab = self.packed_slab_for(n_snps)?;
+        plan_shards(n_snps, slab, n_shards)
+    }
+
+    /// Computes one shard of the all-pairs statistic and returns it in
+    /// the shard interchange form: a [`CheckpointState`] whose records
+    /// are exactly the shard's completed slabs (the header keeps the
+    /// global slab grid, the matrix fingerprint, and the resolved kernel
+    /// name, so merges can validate every input). Requires
+    /// [`RunControl::with_shard`]; checkpointing/resume/cancellation
+    /// behave as in [`LdEngine::try_stat_matrix_with`], scoped to the
+    /// shard's slabs.
+    pub fn try_stat_shard_with<'a>(
+        &self,
+        g: impl Into<BitMatrixView<'a>>,
+        stat: LdStats,
+        ctl: &RunControl<'_>,
+    ) -> Result<CheckpointState, LdError> {
+        let Some(range) = ctl.shard() else {
+            return Err(LdError::InvalidConfig {
+                message: "try_stat_shard_with requires a shard range (RunControl::with_shard)",
+            });
+        };
+        let v: BitMatrixView<'a> = g.into();
+        let n = v.n_snps();
+        if n == 0 {
+            return Err(LdError::InvalidConfig {
+                message: "cannot shard an empty matrix",
+            });
+        }
+        let m = self.try_stat_matrix_with(v, stat, ctl)?;
+        // Recompute the grid the driver used (same budgeting path) and
+        // lift the shard's slabs out of the packed triangle.
+        let slab = self.packed_slab_for(n)?;
+        let n_slabs = n.div_ceil(slab);
+        let kernel = resolved_kernel_name(self.kind)?;
+        let mut records = Vec::with_capacity(range.len());
+        for k in range.start..range.end {
+            let (r0, r1) = (k * slab, ((k + 1) * slab).min(n));
+            let off = packed_row_offset(n, r0);
+            let len = packed_row_offset(n, r1) - off;
+            records.push(SlabRecord {
+                index: k as u64,
+                start_row: r0 as u64,
+                end_row: r1 as u64,
+                values: m.packed()[off..off + len].to_vec(),
+            });
+        }
+        Ok(CheckpointState {
+            stat,
+            policy: self.policy,
+            n_snps: n as u64,
+            n_samples: v.n_samples() as u64,
+            matrix_hash: matrix_fingerprint(&v),
+            slab: slab as u64,
+            n_slabs: n_slabs as u64,
+            kernel: kernel.to_owned(),
+            records,
+        })
     }
 
     /// The classical two-pass driver: full `n × n` SYRK counts, then a

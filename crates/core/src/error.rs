@@ -90,6 +90,24 @@ pub enum LdError {
         /// Located, human-readable description of the failure.
         message: String,
     },
+    /// Shard inputs are mutually inconsistent — different matrix
+    /// fingerprints, headers, or overlapping slab spans. Merging them
+    /// would corrupt the panel, so the merge refuses instead (see
+    /// [`crate::shard::merge_shard_states`]).
+    ShardMismatch {
+        /// Which inputs disagree and on what field.
+        message: String,
+    },
+    /// A shard merge found gaps: the inputs do not cover every row slab
+    /// of the run. The error carries the gap report — which slab spans
+    /// are absent — so the caller can name the shards to re-run instead
+    /// of writing a silently truncated panel.
+    IncompleteShardSet {
+        /// Half-open `[start, end)` slab-index spans with no records.
+        missing: Vec<(u64, u64)>,
+        /// Total slab count of the run being merged.
+        n_slabs: u64,
+    },
 }
 
 impl fmt::Display for LdError {
@@ -127,6 +145,17 @@ impl fmt::Display for LdError {
                 )
             }
             Self::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
+            Self::ShardMismatch { message } => write!(f, "shard mismatch: {message}"),
+            Self::IncompleteShardSet { missing, n_slabs } => {
+                let gap: u64 = missing.iter().map(|&(a, b)| b - a).sum();
+                write!(
+                    f,
+                    "incomplete shard set: missing {gap} of {n_slabs} slab(s) \
+                     (slab spans {}); re-run the shards covering these spans, \
+                     then merge again",
+                    crate::shard::format_spans(missing)
+                )
+            }
         }
     }
 }

@@ -46,7 +46,7 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// The concrete micro-kernel name the dispatcher would run — recorded in
 /// checkpoint headers so a resume on a different kernel is rejected
 /// explicitly instead of silently assumed equivalent.
-fn resolved_kernel_name(kind: KernelKind) -> Result<&'static str, LdError> {
+pub(crate) fn resolved_kernel_name(kind: KernelKind) -> Result<&'static str, LdError> {
     Kernel::resolve(kind)
         .map(|k| k.kind().name())
         .map_err(|e| LdError::Checkpoint {
@@ -301,15 +301,18 @@ impl SlabProgress {
         }
     }
 
-    fn done_count(&self) -> usize {
-        self.done
+    /// Completed slabs within `[lo, hi)` — the run's own shard window
+    /// (the whole grid for an unsharded run).
+    fn done_count(&self, lo: usize, hi: usize) -> usize {
+        self.done[lo..hi]
             .iter()
             .filter(|d| d.load(Ordering::Acquire))
             .count()
     }
 
-    fn all_done(&self) -> bool {
-        self.done.iter().all(|d| d.load(Ordering::Acquire))
+    /// True when every slab in `[lo, hi)` is done.
+    fn all_done(&self, lo: usize, hi: usize) -> bool {
+        self.done[lo..hi].iter().all(|d| d.load(Ordering::Acquire))
     }
 }
 
@@ -346,10 +349,13 @@ impl CkptWriter<'_> {
         out: &SyncSlice,
         n: usize,
         slab: usize,
+        slab_window: (usize, usize),
     ) -> Result<(), String> {
         let mut state = self.header.clone();
         state.records.clear();
-        for (k, flag) in progress.done.iter().enumerate() {
+        let (lo, hi) = slab_window;
+        for (off_k, flag) in progress.done[lo..hi].iter().enumerate() {
+            let k = lo + off_k;
             if !flag.load(Ordering::Acquire) {
                 continue;
             }
@@ -424,6 +430,21 @@ pub(crate) fn try_stat_packed_fused(
     }
     let slab = cfg.slab.max(1).min(n);
     let n_slabs = n.div_ceil(slab);
+    // Shard restriction: only the slabs in `[lo_slab, hi_slab)` are
+    // computed — the row window starts on a slab boundary, so slab
+    // indices (and checkpoint record geometry) stay on the global grid.
+    let (lo_slab, hi_slab) = match ctl.shard {
+        Some(r) => {
+            if r.is_empty() || r.end > n_slabs {
+                return Err(LdError::InvalidConfig {
+                    message: "shard slab range does not fit the run's slab grid",
+                });
+            }
+            (r.start, r.end)
+        }
+        None => (0, n_slabs),
+    };
+    let (row_lo, row_hi) = (lo_slab * slab, (hi_slab * slab).min(n));
     let run_token = ctl.run_token();
     let deadline = ctl.deadline;
     // An already-expired deadline stops the run before any chunk is
@@ -440,6 +461,15 @@ pub(crate) fn try_stat_packed_fused(
                 state.validate_against(v, stat, cfg.policy, slab, kernel)?;
                 for rec in &state.records {
                     let (r0, r1) = (rec.start_row as usize, rec.end_row as usize);
+                    let k = rec.index as usize;
+                    if k < lo_slab || k >= hi_slab {
+                        return Err(LdError::Checkpoint {
+                            message: format!(
+                                "resume rejected: checkpoint slab {k} (rows {r0}..{r1}) \
+                                 lies outside this shard's slab range {lo_slab}..{hi_slab}"
+                            ),
+                        });
+                    }
                     let off = packed_row_offset(n, r0);
                     let len = packed_row_offset(n, r1) - off;
                     packed[off..off + len].copy_from_slice(&rec.values);
@@ -507,7 +537,9 @@ pub(crate) fn try_stat_packed_fused(
     let cursor_ref = &cursor;
     try_parallel_for_dynamic_init_ctl(
         cfg.threads,
-        n,
+        // The scheduler iterates the shard's row window; `row_lo` is a
+        // slab multiple, so offsetting keeps chunks slab-aligned.
+        row_hi - row_lo,
         // Chunks start at multiples of the grain, and the grain is a
         // multiple of `slab`, so every slab inside a claimed chunk starts
         // at a multiple of `slab` — slab geometry (and thus checkpoint
@@ -519,9 +551,10 @@ pub(crate) fn try_stat_packed_fused(
             // Walk the claimed chunk one slab at a time: scratch stays
             // `slab × n`, and every interruption/checkpoint decision keeps
             // its per-slab granularity.
-            let mut s0 = rows.start;
-            while s0 < rows.end {
-                let s1 = (s0 + slab).min(rows.end);
+            let mut s0 = row_lo + rows.start;
+            let chunk_end = row_lo + rows.end;
+            while s0 < chunk_end {
+                let s1 = (s0 + slab).min(chunk_end);
                 let slab_idx = s0 / slab;
                 if progress_ref.done[slab_idx].load(Ordering::Acquire) {
                     // replayed from the checkpoint — skip without polling
@@ -572,7 +605,7 @@ pub(crate) fn try_stat_packed_fused(
                         || w.every_secs
                             .is_some_and(|s| cur.last_write.elapsed().as_secs_f64() >= s);
                     if due && cur.failed.is_none() {
-                        match w.write_snapshot(progress_ref, &out, n, slab) {
+                        match w.write_snapshot(progress_ref, &out, n, slab, (lo_slab, hi_slab)) {
                             Ok(()) => {
                                 cur.since_last = 0;
                                 cur.last_write = Instant::now();
@@ -600,13 +633,13 @@ pub(crate) fn try_stat_packed_fused(
             message: format!("checkpoint write failed mid-run: {msg}"),
         });
     }
-    if progress.all_done() {
+    if progress.all_done(lo_slab, hi_slab) {
         return Ok(());
     }
-    let completed = progress.done_count();
+    let completed = progress.done_count(lo_slab, hi_slab);
     // Final flush: make the partial run resumable before reporting it.
     if let Some(w) = &ckpt {
-        if let Err(msg) = w.write_snapshot(&progress, &out, n, slab) {
+        if let Err(msg) = w.write_snapshot(&progress, &out, n, slab, (lo_slab, hi_slab)) {
             return Err(LdError::Checkpoint {
                 message: format!("final checkpoint flush failed: {msg}"),
             });
@@ -765,6 +798,21 @@ where
     ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
     span.end(n as u64);
     let slab = cfg.slab.max(1).min(n);
+    let n_slabs = n.div_ceil(slab);
+    // Shard restriction (see try_stat_packed_fused): only slabs in
+    // `[lo_slab, hi_slab)` are computed and handed to `visit`.
+    let (lo_slab, hi_slab) = match ctl.shard {
+        Some(r) => {
+            if r.is_empty() || r.end > n_slabs {
+                return Err(LdError::InvalidConfig {
+                    message: "shard slab range does not fit the run's slab grid",
+                });
+            }
+            (r.start, r.end)
+        }
+        None => (0, n_slabs),
+    };
+    let (row_lo, row_hi) = (lo_slab * slab, (hi_slab * slab).min(n));
     let span = Span::begin(SpanKind::Alloc);
     let sw = Stopwatch::start();
     let scratch_pool = ScratchPool::new(cfg.threads, || {
@@ -787,17 +835,19 @@ where
     let token_ref = run_token.as_ref();
     let outcome = try_parallel_for_dynamic_init_ctl(
         cfg.threads,
-        n,
+        row_hi - row_lo,
         // Grain is a multiple of `slab` (see the packed driver): slab
         // boundaries — and therefore the slabs `visit` observes — do not
-        // depend on the chunk size.
+        // depend on the chunk size. `row_lo` is a slab multiple, so the
+        // offset keeps chunks slab-aligned.
         scheduler_grain(slab, cfg.chunk),
         token_ref,
         |_tid| scratch_pool.take(),
         |(counts, values), rows| {
-            let mut s0 = rows.start;
-            while s0 < rows.end {
-                let s1 = (s0 + slab).min(rows.end);
+            let mut s0 = row_lo + rows.start;
+            let chunk_end = row_lo + rows.end;
+            while s0 < chunk_end {
+                let s1 = (s0 + slab).min(chunk_end);
                 poll_deadline(deadline, token_ref);
                 ld_trace::add(Counter::CancelPolls, 1);
                 fault::check_kernel_panic();

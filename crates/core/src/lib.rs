@@ -47,6 +47,7 @@ mod engine;
 pub mod error;
 pub mod fused;
 mod matrix;
+pub mod shard;
 mod stats;
 
 pub use banded::BandedLdMatrix;
@@ -60,4 +61,5 @@ pub use engine::{LdEngine, TileVisit};
 pub use error::{LdError, MemoryBudget, WorkerPanic};
 pub use fused::RowSlabVisit;
 pub use matrix::{CrossLdMatrix, LdMatrix};
+pub use shard::{merge_shard_states, plan_shards, state_to_matrix, SlabRange};
 pub use stats::{ld_pair_from_counts, ld_pair_from_freqs, LdPair, LdStats, NanPolicy};

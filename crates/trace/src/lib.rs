@@ -40,12 +40,17 @@
 //! | `checkpoints_written` | driver | checkpoint snapshots flushed (periodic + final; wall-clock dependent) |
 //! | `resume_slabs_skipped` | driver | slabs restored from a checkpoint instead of recomputed |
 //! | `trace_events_dropped` | trace | flight-recorder span events dropped because a per-worker ring filled |
+//! | `shards_launched` | supervisor | shard child processes spawned by `run-sharded` (incl. retries) |
+//! | `shard_retries` | supervisor | shard attempts re-dispatched after a failure classification |
+//! | `merge_spans_validated` | merge | shard slab spans that passed fingerprint/geometry validation during merge |
 //!
 //! Counts (`kernel_tiles`, `kernel_words`, `bytes_packed`,
-//! `slabs_emitted`, `io_*`, `cancel_polls`, `resume_slabs_skipped`) are
-//! **deterministic** — independent of thread count and wall time; the
-//! `*_ns` timers, `steal_count` and `checkpoints_written` (its periodic
-//! trigger is wall-clock based) are not.
+//! `slabs_emitted`, `io_*`, `cancel_polls`, `resume_slabs_skipped`,
+//! `merge_spans_validated`) are **deterministic** — independent of thread
+//! count and wall time; the `*_ns` timers, `steal_count`,
+//! `checkpoints_written` (its periodic trigger is wall-clock based) and
+//! the supervisor counters (`shards_launched`, `shard_retries` — retries
+//! depend on fault timing) are not.
 //! `kernel_words` against elapsed cycles gives the §IV ops/cycle metric:
 //! the scalar peak is 3 ops/cycle = 1 word-pair/cycle (AND ∥ POPCNT ∥
 //! ADD), so `words/cycle × 3` is directly comparable to that peak.
@@ -111,11 +116,20 @@ pub enum Counter {
     /// buffer filled (see [`recorder`]). Nonzero means the timeline in a
     /// `--trace-out` export is incomplete; raise the ring capacity.
     TraceEventsDropped,
+    /// Shard child processes spawned by the `run-sharded` supervisor
+    /// (first attempts and retries both count).
+    ShardsLaunched,
+    /// Shard attempts re-dispatched after a failure classification
+    /// (crash, corrupt output, resumable interrupt).
+    ShardRetries,
+    /// Shard slab spans that passed fingerprint/header/geometry
+    /// validation during a shard merge.
+    MergeSpansValidated,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 21;
 
     /// All counters, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -137,6 +151,9 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::ResumeSlabsSkipped,
         Counter::TraceEventsDropped,
+        Counter::ShardsLaunched,
+        Counter::ShardRetries,
+        Counter::MergeSpansValidated,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -160,6 +177,9 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::ResumeSlabsSkipped => "resume_slabs_skipped",
             Counter::TraceEventsDropped => "trace_events_dropped",
+            Counter::ShardsLaunched => "shards_launched",
+            Counter::ShardRetries => "shard_retries",
+            Counter::MergeSpansValidated => "merge_spans_validated",
         }
     }
 
@@ -179,6 +199,9 @@ impl Counter {
                 | Counter::CheckpointsWritten
                 // drops depend on event volume, which is timing/sampling dependent
                 | Counter::TraceEventsDropped
+                // launches/retries depend on fault timing and the retry budget
+                | Counter::ShardsLaunched
+                | Counter::ShardRetries
         )
     }
 }
@@ -839,6 +862,7 @@ mod tests {
                 "io_bytes_read",
                 "cancel_polls",
                 "resume_slabs_skipped",
+                "merge_spans_validated",
             ]
         );
     }

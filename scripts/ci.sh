@@ -37,6 +37,16 @@
 #      tolerance bands (scripts/bench_compare.py); rerun with
 #      LD_BENCH_UPDATE_BASELINE=1 to refresh the baseline after an
 #      intentional perf change (then commit it)
+#  15. shard/merge leg — a 4-way `r2 --shard i/4` split stitched by
+#      `merge` must be byte-identical to the one-shot pair table; a
+#      merge missing one shard must exit 3 with a gap report naming the
+#      shard to re-run and write nothing; a bit-flipped shard file must
+#      be rejected by its CRC (exit 3, nothing written)
+#  16. kill/retry leg — `run-sharded --fault-kill` SIGKILLs one shard
+#      mid-run; the supervisor must classify the crash, retry it, and
+#      still produce a panel byte-identical to the one-shot run, with
+#      the crash+retry recorded in a manifest that validates against
+#      schemas/shard_manifest.schema.json
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
 
@@ -363,5 +373,118 @@ elif command -v python3 >/dev/null 2>&1; then
 else
     echo "    python3 unavailable; bench-regression gate skipped"
 fi
+
+# Shard/merge leg: splitting a run across processes must be invisible in
+# the output. A 4-way --shard split stitched by `merge` has to reproduce
+# the one-shot pair table byte for byte; damaged or incomplete shard sets
+# must be rejected before anything is written.
+echo "==> shard/merge: 4-way split must merge byte-identical to one-shot"
+SH_BIN=target/release/gemm-ld.metrics
+SH_SIM=target/ci-shard.ms
+run "$SH_BIN" simulate --samples 500 --snps 3000 --seed 17 -o "$SH_SIM"
+"$SH_BIN" r2 -i "$SH_SIM" --threads 2 --min-r2 0 -o target/ci-shard-one.tsv 2>/dev/null
+for I in 1 2 3 4; do
+    run "$SH_BIN" r2 -i "$SH_SIM" --threads 2 --min-r2 0 --slab-rows 32 \
+        --shard "$I/4" -o "target/ci-shard-$I.bin"
+done
+run "$SH_BIN" merge target/ci-shard-1.bin target/ci-shard-2.bin \
+    target/ci-shard-3.bin target/ci-shard-4.bin \
+    --min-r2 0 -i "$SH_SIM" -o target/ci-shard-merged.tsv
+if ! cmp -s target/ci-shard-one.tsv target/ci-shard-merged.tsv; then
+    echo "shard/merge FAIL: merged panel differs from the one-shot run" >&2
+    exit 1
+fi
+echo "    4-way shard set merged byte-identical to the one-shot table"
+
+echo "==> shard/merge: incomplete set must exit 3 with a gap report"
+rm -f target/ci-shard-gap.tsv
+set +e
+"$SH_BIN" merge target/ci-shard-1.bin target/ci-shard-2.bin --shards 4 \
+    -o target/ci-shard-gap.tsv 2>target/ci-shard-gap.err
+gap_status=$?
+set -e
+if [ "$gap_status" -ne 3 ]; then
+    echo "shard/merge FAIL: gap merge exited $gap_status (expected 3)" >&2
+    cat target/ci-shard-gap.err >&2
+    exit 1
+fi
+if ! grep -q "missing" target/ci-shard-gap.err \
+    || ! grep -q "re-run shard" target/ci-shard-gap.err; then
+    echo "shard/merge FAIL: stderr lacks the gap report:" >&2
+    cat target/ci-shard-gap.err >&2
+    exit 1
+fi
+if [ -f target/ci-shard-gap.tsv ]; then
+    echo "shard/merge FAIL: incomplete merge wrote a partial panel" >&2
+    exit 1
+fi
+echo "    incomplete set rejected with a gap report, nothing written"
+
+echo "==> shard/merge: bit-flipped shard file must be rejected by CRC"
+cp target/ci-shard-2.bin target/ci-shard-bad.bin
+bad_size=$(wc -c < target/ci-shard-bad.bin)
+bad_off=$((bad_size / 2))
+printf '\xAA' | dd of=target/ci-shard-bad.bin bs=1 seek="$bad_off" conv=notrunc 2>/dev/null
+if cmp -s target/ci-shard-2.bin target/ci-shard-bad.bin; then
+    # the original byte was already 0xAA; flip to its complement instead
+    printf '\x55' | dd of=target/ci-shard-bad.bin bs=1 seek="$bad_off" conv=notrunc 2>/dev/null
+fi
+rm -f target/ci-shard-flip.tsv
+set +e
+"$SH_BIN" merge target/ci-shard-1.bin target/ci-shard-bad.bin \
+    target/ci-shard-3.bin target/ci-shard-4.bin \
+    -o target/ci-shard-flip.tsv 2>target/ci-shard-flip.err
+flip_status=$?
+set -e
+if [ "$flip_status" -eq 0 ] || [ -f target/ci-shard-flip.tsv ]; then
+    echo "shard/merge FAIL: bit-flipped shard was accepted (exit $flip_status)" >&2
+    exit 1
+fi
+if ! grep -qi "CRC" target/ci-shard-flip.err; then
+    echo "shard/merge FAIL: stderr does not name the CRC failure:" >&2
+    cat target/ci-shard-flip.err >&2
+    exit 1
+fi
+echo "    bit-flipped shard rejected by CRC (exit $flip_status), nothing written"
+
+# Kill/retry leg: the supervisor's own fault harness SIGKILLs shard 1 on
+# its first attempt ~25 ms in. The run must still converge: crash
+# classified, shard retried after backoff, final panel byte-identical to
+# the one-shot run, and the whole story recorded in a schema-valid
+# manifest.
+echo "==> shard supervisor: SIGKILL one shard mid-run, retry, identical panel"
+SUP_DIR=target/ci-sup.shards
+rm -rf "$SUP_DIR"
+run "$SH_BIN" run-sharded -i "$SH_SIM" -o target/ci-sup.tsv --shards 2 \
+    --threads 2 --min-r2 0 --retries 2 --backoff-ms 50 --fault-kill 1 \
+    --work-dir "$SUP_DIR"
+if ! cmp -s target/ci-shard-one.tsv target/ci-sup.tsv; then
+    echo "supervisor FAIL: sharded panel differs from the one-shot run" >&2
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/validate_metrics.py schemas/shard_manifest.schema.json "$SUP_DIR/manifest.json"
+    python3 - <<'PYEOF'
+import json, sys
+
+man = json.load(open("target/ci-sup.shards/manifest.json"))
+if man["interrupted"]:
+    sys.exit("supervisor FAIL: manifest marked interrupted after a clean finish")
+states = {s["shard"]: s for s in man["shard_states"]}
+s1 = states[1]
+if "crash" not in s1["classifications"]:
+    sys.exit(f"supervisor FAIL: shard 1 never crashed ({s1['classifications']}) "
+             "— the fault injection did not land")
+if s1["state"] != "done" or s1["attempts"] < 2:
+    sys.exit(f"supervisor FAIL: shard 1 not retried to completion: {s1}")
+if any(s["state"] != "done" for s in states.values()):
+    sys.exit(f"supervisor FAIL: unfinished shards in manifest: {man['shard_states']}")
+print(f"    shard 1 crashed and was retried ({s1['attempts']} attempts); "
+      "all shards done, manifest schema-valid")
+PYEOF
+else
+    echo "    python3 unavailable; manifest validation skipped"
+fi
+echo "    SIGKILLed shard retried; final panel byte-identical to one-shot"
 
 echo "==> CI green"
