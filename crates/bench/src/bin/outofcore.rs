@@ -1,0 +1,222 @@
+//! Out-of-core tile-store streaming: throughput and memory vs. budget.
+//!
+//! Imports a genotype matrix into an on-disk chunked tile store, drops
+//! the in-memory copy, then runs the streamed rows driver under a sweep
+//! of memory budgets — from a few slab rows up to unlimited. For each
+//! budget it reports the slab height the engine derived, the bytes
+//! streamed out of the store (panel reads + the column sweep, which
+//! shrinks the budget inflates), wall time, streaming GB/s and the
+//! process RSS high-water mark.
+//!
+//! Emits `BENCH_outofcore.json`, gated in CI against
+//! `results/baselines/BENCH_outofcore.json` by `scripts/bench_compare.py`.
+//!
+//! ```sh
+//! cargo run --release -p ld-bench --bin outofcore           # 1024 x 3000
+//! cargo run --release -p ld-bench --bin outofcore -- --full # 4096 x 8000
+//! ```
+
+use ld_bench::report::{fmt_giga, fmt_secs, Table};
+use ld_bench::runner::{time_best, BenchOpts};
+use ld_bench::workloads::random_matrix;
+use ld_core::{LdStats, MemoryBudget, NanPolicy, RunControl, TileSource};
+use ld_io::tilestore::{import_to_dir, DirTileStore};
+
+/// Peak resident set size of this process so far, in kB (`VmHWM` from
+/// `/proc/self/status`); 0 when unavailable. Monotonic — phases run
+/// smallest-budget first so each reading is attributable.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Bytes the streamed driver reads from the store for one full run at
+/// slab height `slab`: each slab re-reads its A-panel's chunks plus the
+/// column stream from the first covering chunk to the end. Deterministic
+/// — `outofcore_resume.rs` pins the `store_bytes_read` counter to this
+/// model.
+fn streamed_bytes(meta: &ld_core::TileStoreMeta, slab: usize) -> u64 {
+    let (n, chunk) = (meta.n_snps, meta.chunk_snps);
+    let n_chunks = meta.n_chunks();
+    let mut bytes = 0u64;
+    for k in 0..n.div_ceil(slab.max(1)) {
+        let (r0, r1) = (k * slab, ((k + 1) * slab).min(n));
+        let (first, last) = (r0 / chunk, (r1 - 1) / chunk);
+        for c in first..=last {
+            bytes += meta.chunk_bytes(c) as u64;
+        }
+        for c in first..n_chunks {
+            bytes += meta.chunk_bytes(c) as u64;
+        }
+    }
+    bytes
+}
+
+struct BudgetResult {
+    label: String,
+    budget_mb: f64, // 0.0 = unlimited
+    slab_rows: usize,
+    secs: f64,
+    streamed_mb: f64,
+    gbps: f64,
+    hwm_kb: u64,
+}
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let (n_samples, n) = if opts.full {
+        (4096, 8000)
+    } else {
+        (1024, 3000)
+    };
+    let chunk_snps = 256usize;
+    let threads = opts.thread_list().into_iter().next().unwrap_or(1).max(1);
+    let (budget_secs, max_reps) = if opts.full { (10.0, 5) } else { (3.0, 3) };
+
+    let dir = std::env::temp_dir().join(format!("ld_bench_outofcore_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        // import, then drop the in-memory matrix: from here on the only
+        // copy of G is the chunked store on disk
+        let g = random_matrix(n_samples, n, 0.3, 0x5eed ^ n as u64);
+        import_to_dir(&g, chunk_snps, &dir).expect("import tile store");
+    }
+    let store = DirTileStore::open(&dir).expect("open tile store");
+    let meta = TileSource::meta(&store).clone();
+
+    let engine = ld_core::LdEngine::new()
+        .threads(threads)
+        .nan_policy(NanPolicy::Zero);
+    let kernel_name = ld_kernels::Kernel::resolve(engine.kernel_kind())
+        .map(|k| k.kind().name())
+        .unwrap_or("unresolved");
+
+    // Budget sweep, tightest first (VmHWM is monotonic): a few slab rows'
+    // worth, a mid-sized working set, then unlimited. 0 = unlimited.
+    let budgets_mib: [usize; 3] = if opts.full { [2, 8, 0] } else { [1, 4, 0] };
+
+    println!(
+        "out-of-core streaming: {n_samples} samples x {n} SNPs, {} chunks of {chunk_snps} SNPs \
+         ({:.1} MB store), threads={threads}, kernel={kernel_name} \
+         (best of <= {max_reps} reps, {budget_secs:.1}s budget)",
+        meta.n_chunks(),
+        (0..meta.n_chunks())
+            .map(|c| meta.chunk_bytes(c))
+            .sum::<usize>() as f64
+            / 1e6
+    );
+
+    let mut table = Table::new([
+        "budget",
+        "slab",
+        "streamed",
+        "wall",
+        "stream rate",
+        "RSS hwm",
+    ]);
+    let mut results: Vec<BudgetResult> = Vec::new();
+    for &mib in &budgets_mib {
+        let (label, e) = if mib == 0 {
+            ("unlimited".to_string(), engine.clone())
+        } else {
+            (
+                format!("{mib}mib"),
+                engine.clone().memory_budget(MemoryBudget::mib(mib)),
+            )
+        };
+        let slab_rows = e
+            .outofcore_slab_for(&meta, false)
+            .expect("budget admits at least one row");
+        let mut sum = 0.0f64;
+        let secs = time_best(
+            || {
+                sum = 0.0;
+                e.try_stat_rows_outofcore_with(
+                    &store,
+                    LdStats::RSquared,
+                    |s| {
+                        for (_, row) in s.rows() {
+                            sum += row.iter().copied().filter(|v| !v.is_nan()).sum::<f64>();
+                        }
+                    },
+                    &RunControl::new(),
+                )
+                .expect("streamed run");
+            },
+            budget_secs,
+            max_reps,
+        );
+        assert!(sum.is_finite() && sum > 0.0, "degenerate result");
+        let bytes = streamed_bytes(&meta, slab_rows);
+        let gbps = bytes as f64 / secs / 1e9;
+        let hwm_kb = vm_hwm_kb();
+        table.row([
+            label.clone(),
+            slab_rows.to_string(),
+            format!("{:.1} MB", bytes as f64 / 1e6),
+            fmt_secs(secs),
+            fmt_giga(bytes as f64 / secs) + " GB/s",
+            format!("{:.0} MB", hwm_kb as f64 / 1e3),
+        ]);
+        results.push(BudgetResult {
+            label,
+            budget_mb: mib as f64,
+            slab_rows,
+            secs,
+            streamed_mb: bytes as f64 / 1e6,
+            gbps,
+            hwm_kb,
+        });
+    }
+
+    println!("{}", table.render());
+    println!(
+        "model: a tighter budget shrinks the slab, so the store is swept more times —\n\
+         streamed bytes rise as the working set falls. RSS is the process high-water\n\
+         mark (monotonic; tightest budget ran first)."
+    );
+
+    // hand-rolled JSON (no external deps in this workspace)
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"outofcore\",\n");
+    json.push_str(&format!("  \"n_samples\": {n_samples},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"n_snps\": {n},\n"));
+    json.push_str(&format!("  \"chunk_snps\": {chunk_snps},\n"));
+    json.push_str(&format!("  \"kernel\": \"{kernel_name}\",\n"));
+    json.push_str("  \"results\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"budget_mb\": {:.1}, \"slab_rows\": {}, \
+             \"secs\": {:.6}, \"streamed_mb\": {:.3}, \"gbps_streamed\": {:.4}, \
+             \"vm_hwm_kb\": {}}}{}\n",
+            r.label,
+            r.budget_mb,
+            r.slab_rows,
+            r.secs,
+            r.streamed_mb,
+            r.gbps,
+            r.hwm_kb,
+            if k + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match ld_io::atomic::write_atomic("BENCH_outofcore.json", json.as_bytes()) {
+        Ok(()) => println!("wrote BENCH_outofcore.json"),
+        Err(e) => eprintln!("could not write BENCH_outofcore.json: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -49,6 +49,18 @@ COMMANDS:
               interchange format; run every i in 1..=N — in parallel,
               on separate machines, or under run-sharded — then stitch
               with merge)
+              [--store DIR] (read the genotype matrix out-of-core from a
+              chunked tile store written by 'import' instead of -i; the
+              matrix is streamed panel-by-panel with a prefetch thread,
+              so it never has to fit in memory. Combines with -o,
+              --checkpoint/--resume, --shard and
+              [--memory-budget-mb N] (cap working memory; the slab
+              height shrinks to fit))
+  import      chunk a genotype matrix into an out-of-core tile store
+              -i in.{ms,txt,vcf} --store DIR [--chunk-snps N]
+              (fixed-size CRC-checked chunks + a fingerprinted manifest;
+              'r2 --store DIR' streams it, any damage is a typed error
+              naming the chunk)
   merge       stitch shard outputs into one pair table
               gemm-ld merge shard1.bin shard2.bin ... -o pairs.tsv
               [--min-r2 X] [-i in (verify the shard fingerprints against
@@ -483,6 +495,17 @@ pub fn r2(args: &Args) -> CmdResult {
         ],
     )?;
     let mut intr = Interruption::parse(args)?;
+    // `--store DIR`: same statistics, but the matrix is streamed from an
+    // on-disk tile store instead of loaded whole. Separate path: every
+    // compute call goes through the out-of-core driver.
+    if let Some(dir) = args.get("store").filter(|s| !s.is_empty()) {
+        if args.get("input").is_some() {
+            return Err(CliError::Usage(
+                "r2 takes either -i FILE or --store DIR, not both".into(),
+            ));
+        }
+        return r2_store(args, dir, intr, profile, trace_out, trace_report);
+    }
     let input = args.require("input")?;
     let g = load_matrix(input)?;
     let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
@@ -722,6 +745,271 @@ pub fn r2(args: &Args) -> CmdResult {
     if let Some(mode) = profile {
         emit_profile(mode, args.get("profile-out"), compute_wall_ns, threads)?;
     }
+    Ok(())
+}
+
+/// `gemm-ld r2 --store DIR` — the out-of-core arm of `r2`.
+///
+/// Identical statistics and identical output bytes, but the genotype
+/// matrix is streamed from a chunked on-disk tile store panel-by-panel
+/// (prefetch thread double-buffering reads against compute) instead of
+/// being loaded whole, so the input never has to fit in memory;
+/// `--memory-budget-mb` additionally shrinks the slab height to fit.
+/// Supports the same `--shard`, `--checkpoint`/`--resume`, `-o`
+/// streaming and trace/profile plumbing as the in-memory arm.
+fn r2_store(
+    args: &Args,
+    dir: &str,
+    mut intr: Interruption,
+    profile: Option<&'static str>,
+    trace_out: Option<&str>,
+    trace_report: Option<&str>,
+) -> CmdResult {
+    let tracing = trace_out.is_some() || trace_report.is_some();
+    let store = ld_io::tilestore::DirTileStore::open(dir)?;
+    let meta = ld_core::TileSource::meta(&store).clone();
+    let (n, n_samples) = (meta.n_snps, meta.n_samples);
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    if tracing {
+        if cfg!(feature = "metrics") {
+            ld_trace::recorder::start(ld_trace::recorder::RecorderConfig::for_threads(threads));
+        } else {
+            eprintln!(
+                "warning: built without the `metrics` feature; \
+                 --trace-out/--trace-report will record no events"
+            );
+        }
+    }
+    let min_r2 = args.get_parsed("min-r2", 0.0f64)?;
+    let stat = match args.get("stat") {
+        None | Some("r2") => ld_core::LdStats::RSquared,
+        Some("d") => ld_core::LdStats::D,
+        Some("dprime") | Some("d'") => ld_core::LdStats::DPrime,
+        Some(other) => return Err(CliError::Usage(format!("unknown stat '{other}'"))),
+    };
+    let mut engine = tuned_engine(args, threads)?.nan_policy(NanPolicy::Zero);
+    if let Some(v) = args.get("memory-budget-mb").filter(|s| !s.is_empty()) {
+        let mib: usize = v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value '{v}' for --memory-budget-mb")))?;
+        engine = engine.memory_budget(ld_core::MemoryBudget::mib(mib));
+    }
+    let sink = intr
+        .checkpoint_path
+        .clone()
+        .map(ld_io::checkpoint::AtomicFileSink::new);
+    let mut ctl = RunControl::new().with_token(&intr.token);
+    if let Some(d) = intr.deadline {
+        ctl = ctl.with_deadline(d);
+    }
+    if let Some(s) = &sink {
+        let mut plan = CheckpointPlan::new(s).every_secs(5.0);
+        if let Some(state) = intr.resume_state.take() {
+            plan = plan.resume_from(state);
+        }
+        ctl = ctl.with_checkpoint(plan);
+    }
+    eprintln!(
+        "streaming {n} SNPs x {n_samples} samples from {dir} ({} chunks of {} SNPs)",
+        meta.n_chunks(),
+        meta.chunk_snps
+    );
+    // `--shard i/N`: one shard of the slab plan, in interchange format.
+    if let Some((idx, n_shards)) = parse_shard(args)? {
+        let Some(out) = args.get("output").filter(|s| !s.is_empty()) else {
+            return Err(CliError::Usage(
+                "--shard requires -o FILE (the shard output path)".into(),
+            ));
+        };
+        let t0 = std::time::Instant::now();
+        let plan = engine.shard_plan(n, n_shards)?;
+        let range = plan[idx - 1];
+        ctl = ctl.with_shard(range);
+        let state = match engine.try_stat_shard_outofcore_with(&store, stat, &ctl) {
+            Ok(s) => s,
+            Err(e @ ld_core::LdError::Cancelled { .. }) => {
+                if let Some(p) = &intr.checkpoint_path {
+                    return Err(CliError::Interrupted(format!(
+                        "{e}; resumable checkpoint saved to {p} (rerun with --resume)"
+                    )));
+                }
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        write_atomic(out, &state.to_bytes())
+            .map_err(|e| CliError::Resource(format!("cannot write {out}: {e}")))?;
+        if let Some(p) = &intr.checkpoint_path {
+            if std::fs::remove_file(p).is_ok() {
+                eprintln!("shard complete; removed checkpoint {p}");
+            }
+        }
+        let (r0, r1) = range.rows(state.slab as usize, n);
+        eprintln!("shard {idx}/{n_shards}: slabs {range} (rows {r0}..{r1}) of {n} SNPs -> {out}");
+        if tracing {
+            emit_trace(
+                trace_out,
+                trace_report,
+                wall_ns,
+                threads,
+                engine.kernel_kind(),
+            )?;
+        }
+        if let Some(mode) = profile {
+            emit_profile(mode, args.get("profile-out"), wall_ns, threads)?;
+        }
+        return Ok(());
+    }
+    let t0 = std::time::Instant::now();
+    let compute_wall_ns;
+    let pairs = n * (n + 1) / 2;
+    let print_summary = |wall: std::time::Duration| {
+        let dt = wall.as_secs_f64();
+        eprintln!(
+            "{n} SNPs x {n_samples} samples: {pairs} LD values in {dt:.3}s ({:.1} MLD/s)",
+            pairs as f64 / dt / 1e6
+        );
+    };
+    match args.get("output") {
+        // Streaming path (no --checkpoint): slab rows go straight into
+        // the table — neither the matrix nor the packed triangle is ever
+        // materialized. Bytes are identical to `r2 -i … -o`.
+        Some(path) if !path.is_empty() && sink.is_none() => {
+            use std::fmt::Write as _;
+            use std::io::Write as _;
+            let mut ld_err: Option<ld_core::LdError> = None;
+            let res = write_atomic_with(path, |w| {
+                writeln!(w, "SNP_A\tSNP_B\tR2")?;
+                let mut io_err: Option<std::io::Error> = None;
+                let mut fmt_err = false;
+                let run = engine.try_stat_rows_outofcore_with(
+                    &store,
+                    stat,
+                    |s| {
+                        // the out-of-core driver emits slabs strictly in
+                        // row order — no reorder buffer needed
+                        let mut block = String::new();
+                        for (i, row) in s.rows() {
+                            for (t, &v) in row.iter().enumerate().skip(1) {
+                                if !v.is_nan()
+                                    && v >= min_r2
+                                    && writeln!(block, "snp{i}\tsnp{}\t{v:.6}", i + t).is_err()
+                                {
+                                    fmt_err = true;
+                                }
+                            }
+                        }
+                        if io_err.is_none() {
+                            if let Err(e) = w.write_all(block.as_bytes()) {
+                                io_err = Some(e);
+                            }
+                        }
+                    },
+                    &ctl,
+                );
+                if let Err(e) = run {
+                    ld_err = Some(e);
+                    return Err(std::io::Error::other("LD computation failed"));
+                }
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
+                if fmt_err {
+                    return Err(std::io::Error::other(
+                        "formatting a pair-table block failed",
+                    ));
+                }
+                Ok(())
+            });
+            if let Some(e) = ld_err {
+                return Err(e.into());
+            }
+            res.map_err(|e| CliError::Resource(format!("cannot write {path}: {e}")))?;
+            let wall = t0.elapsed();
+            compute_wall_ns = wall.as_nanos() as u64;
+            print_summary(wall);
+            eprintln!("wrote pair table to {path}");
+        }
+        output => {
+            // Packed path: default, and mandatory under --checkpoint.
+            let m = match engine.try_stat_matrix_outofcore_with(&store, stat, &ctl) {
+                Ok(m) => m,
+                Err(e @ ld_core::LdError::Cancelled { .. }) => {
+                    if let Some(p) = &intr.checkpoint_path {
+                        return Err(CliError::Interrupted(format!(
+                            "{e}; resumable checkpoint saved to {p} (rerun with --resume)"
+                        )));
+                    }
+                    return Err(e.into());
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let wall = t0.elapsed();
+            compute_wall_ns = wall.as_nanos() as u64;
+            print_summary(wall);
+            if let Some(p) = &intr.checkpoint_path {
+                if std::fs::remove_file(p).is_ok() {
+                    eprintln!("run complete; removed checkpoint {p}");
+                }
+            }
+            match output {
+                Some(path) if !path.is_empty() => {
+                    write_pair_table(path, &m, min_r2)?;
+                    eprintln!("wrote pair table to {path}");
+                }
+                _ => {
+                    let mut kept: Vec<(usize, usize, f64)> = m
+                        .iter_pairs()
+                        .filter(|&(_, _, v)| !v.is_nan() && v >= min_r2)
+                        .collect();
+                    kept.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+                    println!("top pairs (threshold {min_r2}):");
+                    for (i, j, v) in kept.into_iter().take(20) {
+                        println!("  snp{i:<6} snp{j:<6} {v:.4}");
+                    }
+                }
+            }
+        }
+    }
+    if tracing {
+        emit_trace(
+            trace_out,
+            trace_report,
+            compute_wall_ns,
+            threads,
+            engine.kernel_kind(),
+        )?;
+    }
+    if let Some(mode) = profile {
+        emit_profile(mode, args.get("profile-out"), compute_wall_ns, threads)?;
+    }
+    Ok(())
+}
+
+/// `gemm-ld import` — chunk a genotype matrix into an out-of-core tile
+/// store: fixed-size CRC-32-trailed chunk files plus a fingerprinted,
+/// CRC-guarded manifest, all written atomically. `r2 --store DIR`
+/// streams the result without ever loading the whole matrix.
+pub fn import(args: &Args) -> CmdResult {
+    let input = args.require("input")?;
+    let Some(dir) = args.get("store").filter(|s| !s.is_empty()) else {
+        return Err(CliError::Usage(
+            "import requires --store DIR (the tile-store directory to create)".into(),
+        ));
+    };
+    let chunk_snps = args.get_parsed("chunk-snps", ld_core::tilestore::DEFAULT_CHUNK_SNPS)?;
+    let g = load_matrix(input)?;
+    let meta = ld_io::tilestore::import_to_dir(&g, chunk_snps, dir)?;
+    println!(
+        "imported {} samples x {} SNPs into {} ({} chunks of <= {} SNPs, fingerprint {:#018x})",
+        meta.n_samples,
+        meta.n_snps,
+        dir,
+        meta.n_chunks(),
+        meta.chunk_snps,
+        meta.fingerprint
+    );
     Ok(())
 }
 

@@ -100,6 +100,9 @@ impl From<ld_core::LdError> for CliError {
             // shard inputs that disagree (fingerprint/header/overlap) or
             // leave gaps are malformed *input files* to the merge: exit 3
             ShardMismatch { .. } | IncompleteShardSet { .. } => CliError::Parse(e.to_string()),
+            // a corrupt/truncated/transplanted tile-store chunk or manifest
+            // is a malformed input, same class as a truncated .ms file
+            TileStore { .. } => CliError::Parse(e.to_string()),
             _ => CliError::Other(e.to_string()),
         }
     }
@@ -168,5 +171,11 @@ mod tests {
         .into();
         assert_eq!(e.exit_code(), 3);
         assert!(e.to_string().contains("missing"), "{e}");
+        let e: CliError = ld_core::LdError::TileStore {
+            message: "chunk 3: CRC mismatch".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 3);
+        assert!(e.to_string().contains("chunk 3"), "{e}");
     }
 }

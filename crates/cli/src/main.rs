@@ -4,6 +4,8 @@
 //! gemm-ld info
 //! gemm-ld simulate --samples 1000 --snps 500 -o data.ms
 //! gemm-ld r2 -i data.ms --min-r2 0.2 -o pairs.tsv
+//! gemm-ld import -i data.ms --store tiles/            # chunked on-disk store
+//! gemm-ld r2 --store tiles/ -o pairs.tsv              # stream it out-of-core
 //! gemm-ld run-sharded -i data.ms -o pairs.tsv --shards 4
 //! gemm-ld r2 -i data.ms --shard 2/4 -o shard2.bin   # one shard by hand
 //! gemm-ld merge shard*.bin -o pairs.tsv             # stitch + validate
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
         "info" => commands::info(&parsed),
         "simulate" => commands::simulate(&parsed),
         "r2" => commands::r2(&parsed),
+        "import" => commands::import(&parsed),
         "merge" => commands::merge(&parsed),
         "run-sharded" => commands::run_sharded(&parsed),
         "omega" => commands::omega(&parsed),

@@ -93,23 +93,59 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// that is about to be swept anyway) and sensitive to any bit flip, so a
 /// checkpoint cannot silently resume against a different input.
 pub fn matrix_fingerprint(v: &BitMatrixView<'_>) -> u64 {
+    let mut f = Fingerprinter::new(v.n_snps() as u64, v.n_samples() as u64);
+    for j in 0..v.n_snps() {
+        f.eat_words(v.snp_words(j));
+    }
+    f.finish()
+}
+
+/// Incremental form of [`matrix_fingerprint`] for producers that never
+/// hold the whole matrix — a tile-store import streams each chunk's
+/// packed words through this and lands on the exact same hash the
+/// in-memory path computes, so checkpoints taken against a store resume
+/// cleanly against the equivalent in-memory matrix (and vice versa).
+///
+/// Feed every SNP's words in column order via [`eat_words`]; the header
+/// (dimensions) is folded in by [`new`].
+///
+/// [`new`]: Fingerprinter::new
+/// [`eat_words`]: Fingerprinter::eat_words
+#[derive(Clone, Debug)]
+pub struct Fingerprinter {
+    h: u64,
+}
+
+impl Fingerprinter {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut eat = |x: u64| {
+
+    /// Starts a fingerprint for an `n_samples × n_snps` matrix.
+    pub fn new(n_snps: u64, n_samples: u64) -> Self {
+        let mut f = Self { h: Self::OFFSET };
+        f.eat(n_snps);
+        f.eat(n_samples);
+        f
+    }
+
+    fn eat(&mut self, x: u64) {
         for b in x.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    eat(v.n_snps() as u64);
-    eat(v.n_samples() as u64);
-    for j in 0..v.n_snps() {
-        for &w in v.snp_words(j) {
-            eat(w);
+            self.h ^= b as u64;
+            self.h = self.h.wrapping_mul(Self::PRIME);
         }
     }
-    h
+
+    /// Folds in packed words (consecutive SNP columns, in order).
+    pub fn eat_words(&mut self, words: &[u64]) {
+        for &w in words {
+            self.eat(w);
+        }
+    }
+
+    /// The finished 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -462,22 +498,51 @@ impl CheckpointState {
         slab: usize,
         kernel: &str,
     ) -> Result<(), LdError> {
+        self.validate_against_meta(
+            v.n_snps() as u64,
+            v.n_samples() as u64,
+            matrix_fingerprint(v),
+            stat,
+            policy,
+            slab,
+            kernel,
+        )
+    }
+
+    /// [`validate_against`] for callers that already know the input's
+    /// dimensions and fingerprint without holding the matrix — the
+    /// out-of-core driver validates against the tile-store manifest
+    /// (whose fingerprint was streamed at import time) instead of
+    /// re-reading every chunk just to hash it.
+    ///
+    /// [`validate_against`]: CheckpointState::validate_against
+    #[allow(clippy::too_many_arguments)]
+    pub fn validate_against_meta(
+        &self,
+        n_snps: u64,
+        n_samples: u64,
+        fingerprint: u64,
+        stat: LdStats,
+        policy: NanPolicy,
+        slab: usize,
+        kernel: &str,
+    ) -> Result<(), LdError> {
         let mismatch = |field: &str, stored: String, actual: String| {
             Err(located(format!(
                 "resume rejected: checkpoint {field} is {stored} but the current run has {actual}"
             )))
         };
-        if self.n_snps != v.n_snps() as u64 {
-            return mismatch("n_snps", self.n_snps.to_string(), v.n_snps().to_string());
+        if self.n_snps != n_snps {
+            return mismatch("n_snps", self.n_snps.to_string(), n_snps.to_string());
         }
-        if self.n_samples != v.n_samples() as u64 {
+        if self.n_samples != n_samples {
             return mismatch(
                 "n_samples",
                 self.n_samples.to_string(),
-                v.n_samples().to_string(),
+                n_samples.to_string(),
             );
         }
-        let hash = matrix_fingerprint(v);
+        let hash = fingerprint;
         if self.matrix_hash != hash {
             return mismatch(
                 "matrix fingerprint",

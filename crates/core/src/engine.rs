@@ -10,8 +10,10 @@ use crate::fused::{
     FusedConfig, RowSlabVisit, SyncSlice, Transform,
 };
 use crate::matrix::{CrossLdMatrix, LdMatrix};
+use crate::outofcore::{try_stat_outofcore, SlabSink};
 use crate::shard::{plan_shards, SlabRange};
 use crate::stats::{ld_pair_from_counts, stat_from_counts, LdPair, LdStats, NanPolicy};
+use crate::tilestore::{TileSource, TileStoreMeta};
 use ld_bitmat::{BitMatrix, BitMatrixView};
 use ld_kernels::{syrk_counts_buf, BlockSizes, KernelKind};
 use ld_parallel::{available_threads, run_team, triangle_row_ranges, try_parallel_for};
@@ -454,6 +456,235 @@ impl LdEngine {
             n_snps: n as u64,
             n_samples: v.n_samples() as u64,
             matrix_hash: matrix_fingerprint(&v),
+            slab: slab as u64,
+            n_slabs: n_slabs as u64,
+            kernel: kernel.to_owned(),
+            records,
+        })
+    }
+
+    /// Like [`LdEngine::budgeted_slab`], but for the out-of-core driver,
+    /// whose per-slab-row cost `per_row` is given directly in bytes and is
+    /// **not** scaled by the thread count (the streamed GEMM threads
+    /// internally over one shared counts block — extra threads add no
+    /// buffers).
+    fn budgeted_slab_units(
+        &self,
+        n: usize,
+        fixed: usize,
+        per_row: usize,
+    ) -> Result<usize, LdError> {
+        let want = self.slab.max(1).min(n.max(1));
+        let Some(limit) = self.budget.limit() else {
+            return Ok(want);
+        };
+        let min_required = checked_add(fixed, per_row, "minimum footprint")?;
+        if min_required > limit {
+            return Err(LdError::BudgetExceeded {
+                required: min_required,
+                budget: limit,
+            });
+        }
+        let fit = (limit - fixed) / per_row.max(1);
+        let got = want.min(fit.max(1));
+        if got < want {
+            ld_trace::add(ld_trace::Counter::BudgetShrinks, 1);
+        }
+        Ok(got)
+    }
+
+    /// The out-of-core memory model: `(fixed, per_slab_row)` bytes for a
+    /// run streamed from `meta`'s store. Fixed covers the transform tables
+    /// (and optionally the packed triangle) plus four chunk-sized buffers
+    /// (compute + in-flight double buffer, and the A-panel's chunk-
+    /// alignment slack); each slab row adds one panel row of packed words
+    /// and one u32 row of the block-counts scratch (plus one f64 output
+    /// row of width `n` for the streaming form).
+    fn outofcore_footprint(
+        meta: &TileStoreMeta,
+        with_packed_output: bool,
+    ) -> Result<(usize, usize), LdError> {
+        let n = meta.n_snps;
+        let chunk = meta.chunk_snps.min(n.max(1));
+        let chunk_bytes = checked_mul(
+            checked_mul(chunk, meta.words_per_snp, "chunk bytes")?,
+            8,
+            "chunk bytes",
+        )?;
+        let fixed = checked_add(
+            Self::fixed_footprint(n, with_packed_output)?,
+            checked_mul(chunk_bytes, 4, "chunk buffer bytes")?,
+            "fixed footprint bytes",
+        )?;
+        let mut per_row = checked_add(
+            checked_mul(meta.words_per_snp, 8, "panel row bytes")?,
+            checked_mul(chunk, 4, "block counts row bytes")?,
+            "slab row bytes",
+        )?;
+        if !with_packed_output {
+            per_row = checked_add(
+                per_row,
+                checked_mul(n.max(1), 8, "slab values row bytes")?,
+                "slab row bytes",
+            )?;
+        }
+        Ok((fixed, per_row))
+    }
+
+    /// The slab height the out-of-core driver will use for a store with
+    /// this geometry after memory budgeting — the slab grid out-of-core
+    /// shard ranges and checkpoint resumes are built on. With no budget
+    /// configured it equals [`LdEngine::packed_slab_for`]'s answer, so
+    /// in-memory and streamed runs of the same configuration share one
+    /// grid (and their checkpoints interoperate).
+    pub fn outofcore_slab_for(
+        &self,
+        meta: &TileStoreMeta,
+        with_packed_output: bool,
+    ) -> Result<usize, LdError> {
+        let (fixed, per_row) = Self::outofcore_footprint(meta, with_packed_output)?;
+        self.budgeted_slab_units(meta.n_snps, fixed, per_row)
+    }
+
+    /// [`LdEngine::try_stat_matrix_with`], streamed from a chunked tile
+    /// store instead of an in-memory matrix: the genotype panel is loaded
+    /// slab-by-slab under the configured [`MemoryBudget`], with a prefetch
+    /// thread double-buffering chunk reads against the GEMM (see
+    /// [`crate::outofcore`]). The packed triangle it fills is
+    /// **bit-identical** to the in-memory driver's for every chunk size,
+    /// slab height and thread count; token / deadline / checkpoint / shard
+    /// semantics are those of [`LdEngine::try_stat_matrix_with`], and a
+    /// resumed run replays completed slabs without re-reading their
+    /// chunks.
+    pub fn try_stat_matrix_outofcore_with(
+        &self,
+        src: &dyn TileSource,
+        stat: LdStats,
+        ctl: &RunControl<'_>,
+    ) -> Result<LdMatrix, LdError> {
+        self.validate_blocks()?;
+        let meta = src.meta();
+        let n = meta.n_snps;
+        // overflow before emptiness, as in the in-memory driver
+        let (fixed, per_row) = Self::outofcore_footprint(meta, true)?;
+        if meta.n_samples == 0 {
+            return Err(LdError::EmptyInput);
+        }
+        if n == 0 {
+            return LdMatrix::try_zeros(0);
+        }
+        let slab = self.budgeted_slab_units(n, fixed, per_row)?;
+        let span = ld_trace::recorder::Span::begin(ld_trace::recorder::SpanKind::Alloc);
+        let sw = ld_trace::Stopwatch::start();
+        let mut out = LdMatrix::try_zeros(n)?;
+        ld_trace::add(ld_trace::Counter::TransformNs, sw.elapsed_ns());
+        span.end((n * (n + 1) / 2 * 8) as u64);
+        let cfg = FusedConfig {
+            slab,
+            ..self.fused_config()
+        };
+        try_stat_outofcore(src, stat, &cfg, ctl, SlabSink::Packed(out.packed_mut()))?;
+        Ok(out)
+    }
+
+    /// [`LdEngine::try_stat_rows_with`], streamed from a chunked tile
+    /// store: row slabs of the upper triangle are computed from
+    /// chunk-sized panel reads and handed to `visit` **in ascending row
+    /// order** (the out-of-core driver is sequential over slabs; only the
+    /// GEMM inside a slab is threaded). Peak memory is
+    /// `O(slab × (panel_row + n))` plus chunk buffers — independent of
+    /// holding the full genotype matrix. Checkpoint plans are rejected
+    /// with [`LdError::InvalidConfig`] as in the in-memory streaming
+    /// driver.
+    pub fn try_stat_rows_outofcore_with<F>(
+        &self,
+        src: &dyn TileSource,
+        stat: LdStats,
+        mut visit: F,
+        ctl: &RunControl<'_>,
+    ) -> Result<(), LdError>
+    where
+        F: FnMut(&RowSlabVisit<'_>),
+    {
+        self.validate_blocks()?;
+        let meta = src.meta();
+        let n = meta.n_snps;
+        let (fixed, per_row) = Self::outofcore_footprint(meta, false)?;
+        if n == 0 {
+            return Ok(());
+        }
+        if meta.n_samples == 0 {
+            return Err(LdError::EmptyInput);
+        }
+        let slab = self.budgeted_slab_units(n, fixed, per_row)?;
+        let len = checked_mul(slab, n, "slab values buffer")?;
+        let mut values = try_zeroed_vec::<f64>(len, "slab values buffer")?;
+        let cfg = FusedConfig {
+            slab,
+            ..self.fused_config()
+        };
+        try_stat_outofcore(
+            src,
+            stat,
+            &cfg,
+            ctl,
+            SlabSink::Rows {
+                values: &mut values,
+                visit: &mut visit,
+            },
+        )
+    }
+
+    /// [`LdEngine::try_stat_shard_with`], streamed from a chunked tile
+    /// store: computes one shard of the all-pairs statistic out-of-core
+    /// and returns it in the shard interchange form. The header carries
+    /// the store's manifest fingerprint — which equals the in-memory
+    /// matrix fingerprint of the same data — so shards computed from the
+    /// store and from RAM merge interchangeably when the slab grids
+    /// agree.
+    pub fn try_stat_shard_outofcore_with(
+        &self,
+        src: &dyn TileSource,
+        stat: LdStats,
+        ctl: &RunControl<'_>,
+    ) -> Result<CheckpointState, LdError> {
+        let Some(range) = ctl.shard() else {
+            return Err(LdError::InvalidConfig {
+                message:
+                    "try_stat_shard_outofcore_with requires a shard range (RunControl::with_shard)",
+            });
+        };
+        let meta = src.meta().clone();
+        let n = meta.n_snps;
+        if n == 0 {
+            return Err(LdError::InvalidConfig {
+                message: "cannot shard an empty matrix",
+            });
+        }
+        let m = self.try_stat_matrix_outofcore_with(src, stat, ctl)?;
+        // Recompute the grid the driver used (same budgeting path) and
+        // lift the shard's slabs out of the packed triangle.
+        let slab = self.outofcore_slab_for(&meta, true)?;
+        let n_slabs = n.div_ceil(slab);
+        let kernel = resolved_kernel_name(self.kind)?;
+        let mut records = Vec::with_capacity(range.len());
+        for k in range.start..range.end {
+            let (r0, r1) = (k * slab, ((k + 1) * slab).min(n));
+            let off = packed_row_offset(n, r0);
+            let len = packed_row_offset(n, r1) - off;
+            records.push(SlabRecord {
+                index: k as u64,
+                start_row: r0 as u64,
+                end_row: r1 as u64,
+                values: m.packed()[off..off + len].to_vec(),
+            });
+        }
+        Ok(CheckpointState {
+            stat,
+            policy: self.policy,
+            n_snps: n as u64,
+            n_samples: meta.n_samples as u64,
+            matrix_hash: meta.fingerprint,
             slab: slab as u64,
             n_slabs: n_slabs as u64,
             kernel: kernel.to_owned(),

@@ -108,6 +108,14 @@ pub enum LdError {
         /// Total slab count of the run being merged.
         n_slabs: u64,
     },
+    /// A tile store chunk or manifest is missing, truncated, damaged or
+    /// inconsistent with the run. The message names the offending chunk
+    /// (index and, for file-backed stores, the file) and what failed —
+    /// a damaged store must never decode into a silently wrong panel.
+    TileStore {
+        /// Which chunk/manifest failed and how.
+        message: String,
+    },
 }
 
 impl fmt::Display for LdError {
@@ -146,6 +154,7 @@ impl fmt::Display for LdError {
             }
             Self::Checkpoint { message } => write!(f, "checkpoint error: {message}"),
             Self::ShardMismatch { message } => write!(f, "shard mismatch: {message}"),
+            Self::TileStore { message } => write!(f, "tile store error: {message}"),
             Self::IncompleteShardSet { missing, n_slabs } => {
                 let gap: u64 = missing.iter().map(|&(a, b)| b - a).sum();
                 write!(

@@ -118,7 +118,6 @@ impl Transform {
         if n_samples == 0 {
             return Err(LdError::EmptyInput);
         }
-        let inv_n = 1.0 / n_samples as f64;
         let n = v.n_snps();
         let mut diag: Vec<u32> = try_zeroed_vec(n, "per-SNP allele-count table")?;
         for (j, d) in diag.iter_mut().enumerate() {
@@ -126,25 +125,52 @@ impl Transform {
                 what: "per-SNP allele count (> u32::MAX haplotypes)",
             })?;
         }
+        Self::try_from_diag(n_samples, diag, stat, policy)
+    }
+
+    /// Builds the tables from an already-collected per-SNP allele-count
+    /// vector — the out-of-core driver gathers `diag` with one streaming
+    /// pass over the tile store (it never holds the whole matrix) and
+    /// lands on bit-identical tables, because the counts are exact `u32`s
+    /// either way and every derived quantity is computed by this one body.
+    pub fn try_from_diag(
+        n_samples: usize,
+        diag: Vec<u32>,
+        stat: LdStats,
+        policy: NanPolicy,
+    ) -> Result<Self, LdError> {
+        let mut tr = Self::empty(diag.len(), n_samples, stat, policy)?;
+        tr.fill_span(0, &diag);
+        Ok(tr)
+    }
+
+    /// All-zero tables for `n` SNPs, to be populated span-by-span with
+    /// [`fill_span`] as allele counts become known. The out-of-core
+    /// driver fills each store chunk's span when the chunk first streams
+    /// past; [`try_from_diag`] (and through it [`try_new`]) is the
+    /// everything-at-once case, so every construction path runs the same
+    /// per-element arithmetic — the bit-identity argument needs exactly
+    /// one body computing `p` and `1/(p(1−p))`.
+    ///
+    /// [`fill_span`]: Transform::fill_span
+    /// [`try_from_diag`]: Transform::try_from_diag
+    /// [`try_new`]: Transform::try_new
+    pub fn empty(
+        n: usize,
+        n_samples: usize,
+        stat: LdStats,
+        policy: NanPolicy,
+    ) -> Result<Self, LdError> {
+        if n_samples == 0 {
+            return Err(LdError::EmptyInput);
+        }
+        let inv_n = 1.0 / n_samples as f64;
+        let diag: Vec<u32> = try_zeroed_vec(n, "per-SNP allele-count table")?;
         let (p, inv_var) = if stat == LdStats::RSquared {
-            let undef = match policy {
-                NanPolicy::Propagate => f64::NAN,
-                NanPolicy::Zero => 0.0,
-            };
-            let mut p: Vec<f64> = try_zeroed_vec(n, "allele-frequency table")?;
-            let mut inv_var: Vec<f64> = try_zeroed_vec(n, "reciprocal-variance table")?;
-            for (pj, &c) in p.iter_mut().zip(&diag) {
-                *pj = c as f64 * inv_n;
-            }
-            for (iv, &pj) in inv_var.iter_mut().zip(&p) {
-                let var = pj * (1.0 - pj);
-                *iv = if var > 0.0 {
-                    1.0 / var
-                } else {
-                    undef // NaN/0 propagates through the products
-                };
-            }
-            (p, inv_var)
+            (
+                try_zeroed_vec::<f64>(n, "allele-frequency table")?,
+                try_zeroed_vec::<f64>(n, "reciprocal-variance table")?,
+            )
         } else {
             (Vec::new(), Vec::new())
         };
@@ -156,6 +182,30 @@ impl Transform {
             p,
             inv_var,
         })
+    }
+
+    /// Populates columns `j0 .. j0 + diag_span.len()` of the tables from
+    /// their allele counts. Idempotent (the values are pure functions of
+    /// the counts), so re-filling a span a later slab streams past again
+    /// is harmless.
+    pub fn fill_span(&mut self, j0: usize, diag_span: &[u32]) {
+        self.diag[j0..j0 + diag_span.len()].copy_from_slice(diag_span);
+        if self.stat == LdStats::RSquared {
+            let undef = match self.policy {
+                NanPolicy::Propagate => f64::NAN,
+                NanPolicy::Zero => 0.0,
+            };
+            for (t, &c) in diag_span.iter().enumerate() {
+                let pj = c as f64 * self.inv_n;
+                self.p[j0 + t] = pj;
+                let var = pj * (1.0 - pj);
+                self.inv_var[j0 + t] = if var > 0.0 {
+                    1.0 / var
+                } else {
+                    undef // NaN/0 propagates through the products
+                };
+            }
+        }
     }
 
     /// Number of SNPs covered by the tables.
@@ -171,12 +221,25 @@ impl Transform {
     /// two-pass driver's transform.
     #[inline]
     pub fn apply_row(&self, i: usize, counts: &[u32], dst: &mut [f64]) {
+        self.apply_span(i, i, counts, dst);
+    }
+
+    /// Transforms a span of row `i`: `counts[t] = s_iᵀ s_{j0+t}` for
+    /// `t ∈ 0..len`, writing the statistic into `dst[t]`. [`apply_row`]
+    /// is the `j0 = i` case; the out-of-core driver uses arbitrary `j0`
+    /// because a row's columns arrive one store chunk at a time. The
+    /// expression order is identical, so chunked spans concatenate to a
+    /// bit-identical row.
+    ///
+    /// [`apply_row`]: Transform::apply_row
+    #[inline]
+    pub fn apply_span(&self, i: usize, j0: usize, counts: &[u32], dst: &mut [f64]) {
         debug_assert_eq!(counts.len(), dst.len());
         match self.stat {
             LdStats::RSquared => {
                 let (p_i, iv_i) = (self.p[i], self.inv_var[i]);
                 for (t, (&c, d)) in counts.iter().zip(dst.iter_mut()).enumerate() {
-                    let j = i + t;
+                    let j = j0 + t;
                     let dev = c as f64 * self.inv_n - p_i * self.p[j];
                     *d = (dev * dev) * iv_i * self.inv_var[j];
                 }
@@ -187,7 +250,7 @@ impl Transform {
                     *d = stat_from_counts(
                         self.stat,
                         c_ii,
-                        self.diag[i + t],
+                        self.diag[j0 + t],
                         c,
                         self.inv_n,
                         self.policy,
@@ -383,7 +446,7 @@ impl CkptWriter<'_> {
 }
 
 /// Converts a cancelled loop into the typed partial-progress error.
-fn cancelled_error(token: Option<&CancelToken>, completed_slabs: usize) -> LdError {
+pub(crate) fn cancelled_error(token: Option<&CancelToken>, completed_slabs: usize) -> LdError {
     LdError::Cancelled {
         reason: token
             .and_then(CancelToken::reason)
@@ -395,7 +458,7 @@ fn cancelled_error(token: Option<&CancelToken>, completed_slabs: usize) -> LdErr
 /// Trips `token` when `deadline` has passed — the slab-granularity
 /// deadline poll (one `Instant::now()` per slab, nothing per tile).
 #[inline]
-fn poll_deadline(deadline: Option<Deadline>, token: Option<&CancelToken>) {
+pub(crate) fn poll_deadline(deadline: Option<Deadline>, token: Option<&CancelToken>) {
     if let (Some(d), Some(t)) = (deadline, token) {
         if d.expired() && !t.is_cancelled() {
             t.cancel_with_reason("deadline exceeded");

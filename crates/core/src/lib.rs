@@ -47,13 +47,16 @@ mod engine;
 pub mod error;
 pub mod fused;
 mod matrix;
+mod outofcore;
 pub mod shard;
 mod stats;
+pub mod tilestore;
 
 pub use banded::BandedLdMatrix;
 pub use blocks::{haplotype_blocks, solid_spine_blocks, tag_snps};
 pub use checkpoint::{
-    crc32, matrix_fingerprint, CheckpointSink, CheckpointState, MemorySink, SlabRecord,
+    crc32, matrix_fingerprint, CheckpointSink, CheckpointState, Fingerprinter, MemorySink,
+    SlabRecord,
 };
 pub use control::{CancelToken, CheckpointPlan, Deadline, RunControl};
 pub use decay::{DecayBin, DecayProfile};
@@ -63,3 +66,6 @@ pub use fused::RowSlabVisit;
 pub use matrix::{CrossLdMatrix, LdMatrix};
 pub use shard::{merge_shard_states, plan_shards, state_to_matrix, SlabRange};
 pub use stats::{ld_pair_from_counts, ld_pair_from_freqs, LdPair, LdStats, NanPolicy};
+pub use tilestore::{
+    ChunkEntry, MemoryTileStore, TileManifest, TileSink, TileSource, TileStoreMeta,
+};

@@ -1,0 +1,469 @@
+//! The out-of-core fused driver: slab×panel streaming of `GᵀG` from a
+//! chunked tile store.
+//!
+//! The in-memory fused pipeline ([`crate::fused`]) assumes the packed
+//! genotype matrix `G` sits in RAM. This driver lifts that assumption:
+//! `G` lives in a [`TileSource`] (a directory of CRC-checked chunks, or
+//! the in-memory store) and only a bounded working set is ever resident —
+//!
+//! * the **A-panel**: the `slab` SNP columns whose rows are being
+//!   computed, assembled from the chunks that cover them;
+//! * one **column chunk** in compute plus one in flight: a dedicated
+//!   prefetch thread reads and CRC-verifies the next chunk while the
+//!   current one is multiplied on the `ld-parallel` pool
+//!   ([`ld_kernels::gemm_counts_mt`]), a classic double buffer;
+//! * a `slab × chunk` u32 counts scratch and the `O(n)` transform
+//!   tables, filled span-by-span as chunks first stream past
+//!   ([`Transform::fill_span`]).
+//!
+//! Per slab `[r0, r1)` the column stream covers chunks from the one
+//! containing `r0` to the end (rows of the upper triangle need columns
+//! `j ≥ r0`), so a slab's own stream also supplies every allele count
+//! its transform needs. Counts are exact `u32`s and every statistic is
+//! produced by the same [`Transform`] arithmetic as the in-memory path,
+//! so the output is **bit-identical** to [`crate::fused`] for every
+//! chunk size, slab height and thread count.
+//!
+//! Interruption, checkpointing and sharding mirror the fused driver:
+//! the token/deadline is polled exactly once per *computed* slab, the
+//! completed-slab ledger replays resumed slabs without re-reading their
+//! chunks (the `chunks_read` counter is the proof), and a
+//! [`RunControl::with_shard`] window restricts the slab grid exactly as
+//! in [`crate::fused::try_stat_packed_fused`].
+//!
+//! [`RunControl::with_shard`]: crate::control::RunControl::with_shard
+
+use crate::checkpoint::{CheckpointState, SlabRecord};
+use crate::control::RunControl;
+use crate::error::LdError;
+use crate::fused::{
+    cancelled_error, packed_row_offset, poll_deadline, resolved_kernel_name, FusedConfig,
+    RowSlabVisit, Transform,
+};
+use crate::stats::LdStats;
+use crate::tilestore::{TileSource, TileStoreMeta};
+use ld_bitmat::{AlignedWords, BitMatrix};
+use ld_kernels::gemm_counts_mt;
+use ld_trace::recorder::{Span, SpanKind};
+use ld_trace::{Counter, Stopwatch};
+use std::sync::mpsc;
+use std::time::Instant;
+
+fn store_err(message: String) -> LdError {
+    LdError::TileStore { message }
+}
+
+/// Where a finished slab's statistics go.
+pub(crate) enum SlabSink<'a> {
+    /// Write into the packed upper triangle (the matrix driver).
+    Packed(&'a mut [f64]),
+    /// Write into a reusable `slab × n` buffer and hand each slab to the
+    /// visitor (the streaming driver; never checkpointed).
+    Rows {
+        /// Scratch of at least `slab × n` f64 (row stride is `n − r0`).
+        values: &'a mut [f64],
+        /// Per-slab visitor, called on the driver's thread.
+        visit: &'a mut dyn FnMut(&RowSlabVisit<'_>),
+    },
+}
+
+/// Sequential checkpoint bookkeeping (the driver computes slabs in
+/// order on one thread; only the GEMM inside a slab is parallel).
+struct OocCkpt<'a> {
+    sink: &'a dyn crate::checkpoint::CheckpointSink,
+    every_slabs: usize,
+    every_secs: Option<f64>,
+    header: CheckpointState,
+    since_last: usize,
+    last_write: Instant,
+}
+
+impl OocCkpt<'_> {
+    /// Snapshots every done slab of the window into a checkpoint image.
+    fn write_snapshot(
+        &self,
+        done: &[bool],
+        packed: &[f64],
+        n: usize,
+        slab: usize,
+        window: (usize, usize),
+    ) -> Result<(), String> {
+        let mut state = self.header.clone();
+        state.records.clear();
+        for (k, &slab_done) in done.iter().enumerate().take(window.1).skip(window.0) {
+            if !slab_done {
+                continue;
+            }
+            let (r0, r1) = (k * slab, ((k + 1) * slab).min(n));
+            let off = packed_row_offset(n, r0);
+            let len = packed_row_offset(n, r1) - off;
+            state.records.push(SlabRecord {
+                index: k as u64,
+                start_row: r0 as u64,
+                end_row: r1 as u64,
+                values: packed[off..off + len].to_vec(),
+            });
+        }
+        let span = Span::begin(SpanKind::CheckpointFlush);
+        let n_records = state.records.len() as u64;
+        let r = self.sink.write_checkpoint(&state.to_bytes());
+        span.end(n_records);
+        r?;
+        ld_trace::add(Counter::CheckpointsWritten, 1);
+        Ok(())
+    }
+}
+
+/// Counts the verified read of chunk `index` and, on first sight, folds
+/// its per-SNP allele counts into the transform tables.
+fn ingest_chunk(
+    tr: &mut Transform,
+    tabled: &mut [bool],
+    meta: &TileStoreMeta,
+    index: usize,
+    words: &[u64],
+) -> Result<(), LdError> {
+    ld_trace::add(Counter::ChunksRead, 1);
+    ld_trace::add(Counter::StoreBytesRead, meta.chunk_bytes(index) as u64);
+    if tabled[index] {
+        return Ok(());
+    }
+    let (s, e) = meta.chunk_span(index);
+    let wps = meta.words_per_snp;
+    let mut diag = Vec::with_capacity(e - s);
+    for j in 0..(e - s) {
+        let ones: u64 = words[j * wps..(j + 1) * wps]
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum();
+        diag.push(u32::try_from(ones).map_err(|_| LdError::SizeOverflow {
+            what: "per-SNP allele count (> u32::MAX haplotypes)",
+        })?);
+    }
+    let sw = Stopwatch::start();
+    tr.fill_span(s, &diag);
+    ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+    tabled[index] = true;
+    Ok(())
+}
+
+/// Assembles the A-panel for rows `[r0, r1)`: reads the chunks covering
+/// the span, concatenates their words into one chunk-aligned matrix, and
+/// returns it with the row span's offset inside it.
+fn assemble_panel(
+    src: &dyn TileSource,
+    tr: &mut Transform,
+    tabled: &mut [bool],
+    r0: usize,
+    r1: usize,
+) -> Result<(BitMatrix, usize), LdError> {
+    let meta = src.meta();
+    let (first, last) = match meta.chunks_covering(r0, r1) {
+        Some(range) => range,
+        None => unreachable!("slab row spans are non-empty"),
+    };
+    let base = first * meta.chunk_snps;
+    let cols = ((last + 1) * meta.chunk_snps).min(meta.n_snps) - base;
+    let wps = meta.words_per_snp;
+    let mut panel = AlignedWords::zeroed(cols * wps);
+    for c in first..=last {
+        let words = src.read_chunk(c)?;
+        ingest_chunk(tr, tabled, meta, c, &words)?;
+        let (cs, _) = meta.chunk_span(c);
+        let off = (cs - base) * wps;
+        panel[off..off + words.len()].copy_from_slice(&words);
+    }
+    let panel = BitMatrix::from_words(meta.n_samples, cols, panel)
+        .map_err(|e| store_err(format!("panel rows {r0}..{r1}: damaged packed words: {e}")))?;
+    Ok((panel, r0 - base))
+}
+
+/// The out-of-core slab driver. See the module docs for the streaming
+/// scheme; `cfg.slab` must already be budget-adjusted by the engine.
+///
+/// Checkpoint plans are honored only in [`SlabSink::Packed`] mode — the
+/// engine rejects them for the streaming form before calling here, same
+/// as the in-memory rows driver.
+pub(crate) fn try_stat_outofcore(
+    src: &dyn TileSource,
+    stat: LdStats,
+    cfg: &FusedConfig,
+    ctl: &RunControl<'_>,
+    mut out: SlabSink<'_>,
+) -> Result<(), LdError> {
+    if ctl.checkpoint.is_some() && matches!(out, SlabSink::Rows { .. }) {
+        return Err(LdError::InvalidConfig {
+            message:
+                "checkpointing requires the packed-matrix driver (streaming slabs are not retained)",
+        });
+    }
+    let meta = src.meta().clone();
+    let n = meta.n_snps;
+    if n == 0 {
+        return Ok(());
+    }
+    // Validate the kernel up front: the GEMM entry point would otherwise
+    // panic on an unsupported CPU after chunks were already read.
+    let kernel = resolved_kernel_name(cfg.kind)?;
+    let slab = cfg.slab.max(1).min(n);
+    let n_slabs = n.div_ceil(slab);
+    let (lo_slab, hi_slab) = match ctl.shard {
+        Some(r) => {
+            if r.is_empty() || r.end > n_slabs {
+                return Err(LdError::InvalidConfig {
+                    message: "shard slab range does not fit the run's slab grid",
+                });
+            }
+            (r.start, r.end)
+        }
+        None => (0, n_slabs),
+    };
+    let run_token = ctl.run_token();
+    let deadline = ctl.deadline;
+    let token_ref = run_token.as_ref();
+    // Pre-trip: an already-expired deadline stops the run before any
+    // chunk is read (see try_stat_packed_fused).
+    poll_deadline(deadline, token_ref);
+    // Transform tables start empty and are filled chunk-by-chunk as the
+    // store streams past; allocation is the O(n) fixed overhead.
+    let span = Span::begin(SpanKind::Transform);
+    let sw = Stopwatch::start();
+    let mut tr = Transform::empty(n, meta.n_samples, stat, cfg.policy)?;
+    ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+    span.end(n as u64);
+    let mut tabled = vec![false; meta.n_chunks()];
+    let mut done = vec![false; n_slabs];
+    // Resume (packed mode only): validate against the *store's* identity
+    // — the manifest fingerprint equals the in-memory matrix fingerprint,
+    // so no chunk needs to be re-read just to hash the input.
+    let mut ckpt = match (&ctl.checkpoint, &mut out) {
+        (Some(plan), SlabSink::Packed(packed)) => {
+            if let Some(state) = &plan.resume {
+                state.validate_against_meta(
+                    n as u64,
+                    meta.n_samples as u64,
+                    meta.fingerprint,
+                    stat,
+                    cfg.policy,
+                    slab,
+                    kernel,
+                )?;
+                let mut resumed = 0usize;
+                for rec in &state.records {
+                    let (r0, r1) = (rec.start_row as usize, rec.end_row as usize);
+                    let k = rec.index as usize;
+                    if k < lo_slab || k >= hi_slab {
+                        return Err(LdError::Checkpoint {
+                            message: format!(
+                                "resume rejected: checkpoint slab {k} (rows {r0}..{r1}) \
+                                 lies outside this shard's slab range {lo_slab}..{hi_slab}"
+                            ),
+                        });
+                    }
+                    let off = packed_row_offset(n, r0);
+                    let len = packed_row_offset(n, r1) - off;
+                    packed[off..off + len].copy_from_slice(&rec.values);
+                    done[k] = true;
+                    resumed += 1;
+                }
+                ld_trace::add(Counter::ResumeSlabsSkipped, resumed as u64);
+            }
+            Some(OocCkpt {
+                sink: plan.sink,
+                every_slabs: plan.every_slabs,
+                every_secs: plan.every_secs,
+                header: CheckpointState {
+                    stat,
+                    policy: cfg.policy,
+                    n_snps: n as u64,
+                    n_samples: meta.n_samples as u64,
+                    matrix_hash: meta.fingerprint,
+                    slab: slab as u64,
+                    n_slabs: n_slabs as u64,
+                    kernel: kernel.to_owned(),
+                    records: Vec::new(),
+                },
+                since_last: 0,
+                last_write: Instant::now(),
+            })
+        }
+        _ => None,
+    };
+    // Counts scratch: one slab × one chunk — the block the GEMM fills
+    // per streamed chunk. Reused across the whole run.
+    let span = Span::begin(SpanKind::Alloc);
+    let sw = Stopwatch::start();
+    let mut counts =
+        crate::error::try_zeroed_vec::<u32>(slab * meta.chunk_snps.min(n), "block counts scratch")?;
+    ld_trace::add(Counter::KernelNs, sw.elapsed_ns());
+    span.end((counts.len() * 4) as u64);
+    // Modeled transient footprint: A-panel (chunk-aligned), two chunk
+    // buffers (compute + in-flight), block counts, transform tables, and
+    // the output (packed triangle, or the slab values buffer).
+    let chunk_bytes = meta.chunk_snps.min(n.max(1)) * meta.words_per_snp * 8;
+    let out_bytes = match &out {
+        SlabSink::Packed(p) => p.len() * 8,
+        SlabSink::Rows { values, .. } => values.len() * 8,
+    };
+    ld_trace::record_peak(
+        Counter::AllocPeakBytes,
+        ((slab + 2 * meta.chunk_snps) * meta.words_per_snp * 8
+            + 2 * chunk_bytes
+            + counts.len() * 4
+            + 20 * n
+            + out_bytes) as u64,
+    );
+    let n_chunks = meta.n_chunks();
+    let mut interrupted = false;
+    for slab_idx in lo_slab..hi_slab {
+        if done[slab_idx] {
+            // replayed from the checkpoint — skipped without polling and
+            // without touching the store
+            continue;
+        }
+        if token_ref.is_some_and(|t| t.is_cancelled()) {
+            interrupted = true;
+            break;
+        }
+        // Slab-granular interruption point, mirroring the fused driver:
+        // one poll per *computed* slab (a deadline tripping here still
+        // lets the current slab finish — claimed slabs always complete).
+        poll_deadline(deadline, token_ref);
+        ld_trace::add(Counter::CancelPolls, 1);
+        let (r0, r1) = (slab_idx * slab, ((slab_idx + 1) * slab).min(n));
+        let h = r1 - r0;
+        let (panel, panel_off) = assemble_panel(src, &mut tr, &mut tabled, r0, r1)?;
+        let a_view = panel.view(panel_off, panel_off + h);
+        let width = n - r0;
+        // Column stream: every chunk from the one containing r0 to the
+        // end, read one ahead of compute by the prefetch thread.
+        let first_chunk = r0 / meta.chunk_snps;
+        std::thread::scope(|scope| -> Result<(), LdError> {
+            let (tx, rx) = mpsc::sync_channel::<Result<(usize, AlignedWords), LdError>>(1);
+            scope.spawn(move || {
+                for c in first_chunk..n_chunks {
+                    let msg = src.read_chunk(c).map(|w| (c, w));
+                    let stop = msg.is_err();
+                    if tx.send(msg).is_err() || stop {
+                        return;
+                    }
+                }
+            });
+            for c in first_chunk..n_chunks {
+                let msg = match rx.try_recv() {
+                    Ok(m) => {
+                        ld_trace::add(Counter::PrefetchHits, 1);
+                        m
+                    }
+                    Err(mpsc::TryRecvError::Empty) => {
+                        let sw = Stopwatch::start();
+                        let m = rx.recv().map_err(|_| {
+                            store_err(format!("chunk {c}: prefetch thread terminated early"))
+                        })?;
+                        ld_trace::add(Counter::PrefetchStallNs, sw.elapsed_ns());
+                        m
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        return Err(store_err(format!(
+                            "chunk {c}: prefetch thread terminated early"
+                        )))
+                    }
+                };
+                let (idx, words) = msg?;
+                debug_assert_eq!(idx, c);
+                ingest_chunk(&mut tr, &mut tabled, &meta, c, &words)?;
+                let (c0, c1) = meta.chunk_span(c);
+                let cc = c1 - c0;
+                let b = BitMatrix::from_words(meta.n_samples, cc, words)
+                    .map_err(|e| store_err(format!("chunk {c}: damaged packed words: {e}")))?;
+                gemm_counts_mt(
+                    &a_view,
+                    &b.full_view(),
+                    &mut counts[..h * cc],
+                    cc,
+                    cfg.kind,
+                    cfg.blocks,
+                    cfg.threads,
+                );
+                let span = Span::begin(SpanKind::Transform);
+                let sw = Stopwatch::start();
+                for r in 0..h {
+                    let i = r0 + r;
+                    let j_start = c0.max(i);
+                    if j_start >= c1 {
+                        continue;
+                    }
+                    let src_slice = &counts[r * cc + (j_start - c0)..r * cc + cc];
+                    match &mut out {
+                        SlabSink::Packed(packed) => {
+                            let off = packed_row_offset(n, i) + (j_start - i);
+                            tr.apply_span(
+                                i,
+                                j_start,
+                                src_slice,
+                                &mut packed[off..off + (c1 - j_start)],
+                            );
+                        }
+                        SlabSink::Rows { values, .. } => {
+                            let off = r * width + (j_start - r0);
+                            tr.apply_span(
+                                i,
+                                j_start,
+                                src_slice,
+                                &mut values[off..off + (c1 - j_start)],
+                            );
+                        }
+                    }
+                }
+                ld_trace::add(Counter::TransformNs, sw.elapsed_ns());
+                span.end(slab_idx as u64);
+            }
+            Ok(())
+        })?;
+        ld_trace::add(Counter::SlabsEmitted, 1);
+        ld_trace::recorder::instant(SpanKind::SlabEmit, slab_idx as u64);
+        done[slab_idx] = true;
+        match &mut out {
+            SlabSink::Packed(packed) => {
+                if let Some(ck) = ckpt.as_mut() {
+                    ck.since_last += 1;
+                    let due = ck.since_last >= ck.every_slabs
+                        || ck
+                            .every_secs
+                            .is_some_and(|s| ck.last_write.elapsed().as_secs_f64() >= s);
+                    if due {
+                        ck.write_snapshot(&done, packed, n, slab, (lo_slab, hi_slab))
+                            .map_err(|msg| LdError::Checkpoint {
+                                message: format!("checkpoint write failed mid-run: {msg}"),
+                            })?;
+                        ck.since_last = 0;
+                        ck.last_write = Instant::now();
+                    }
+                }
+            }
+            SlabSink::Rows { values, visit } => {
+                let slab_visit = RowSlabVisit {
+                    row_start: r0,
+                    n_rows: h,
+                    n_snps: n,
+                    ldv: width,
+                    values: &values[..h * width],
+                };
+                visit(&slab_visit);
+            }
+        }
+    }
+    if !interrupted && done[lo_slab..hi_slab].iter().all(|&d| d) {
+        return Ok(());
+    }
+    let completed = done[lo_slab..hi_slab].iter().filter(|&&d| d).count();
+    // Final flush: make the partial run resumable before reporting it.
+    if let (Some(ck), SlabSink::Packed(packed)) = (&ckpt, &out) {
+        if let Err(msg) = ck.write_snapshot(&done, packed, n, slab, (lo_slab, hi_slab)) {
+            return Err(LdError::Checkpoint {
+                message: format!("final checkpoint flush failed: {msg}"),
+            });
+        }
+    }
+    Err(cancelled_error(token_ref, completed))
+}

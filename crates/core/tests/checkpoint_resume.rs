@@ -375,3 +375,73 @@ fn deadline_does_not_poison_shared_tokens() {
         .try_stat_matrix_with(&g, LdStats::RSquared, &ctl)
         .expect("sibling run unaffected");
 }
+
+/// The out-of-core driver honors the same kill/resume contract as the
+/// in-memory one — and the two drivers' checkpoints are *interchangeable*:
+/// a run killed in memory resumes out-of-core (and vice versa)
+/// bit-identically, because both stamp the same matrix fingerprint,
+/// kernel and slab geometry into the snapshot header. Chunk-read
+/// accounting for the streamed side lives in `outofcore_resume.rs`.
+#[test]
+fn outofcore_and_in_memory_checkpoints_are_interchangeable() {
+    use ld_core::MemoryTileStore;
+    let n = 29usize;
+    let slab = 4usize;
+    let n_slabs = n.div_ceil(slab); // 8
+    let chunk = 6usize;
+    let g = matrix_with_monomorphic(48, n, 23);
+    let store = MemoryTileStore::from_matrix(&g, chunk).expect("import");
+    for policy in [NanPolicy::Propagate, NanPolicy::Zero] {
+        let oracle = engine(1, slab, policy)
+            .try_stat_matrix(&g, LdStats::RSquared)
+            .expect("oracle run");
+        for k in 1..n_slabs {
+            for start_streamed in [false, true] {
+                // Phase 1: kill after k persisted slabs, in one driver.
+                let token = CancelToken::new();
+                let sink = TrippingSink::new(&token, k);
+                let e = engine(1, slab, policy);
+                let ctl = RunControl::new()
+                    .with_token(&token)
+                    .with_checkpoint(CheckpointPlan::new(&sink).every_slabs(1));
+                let first = if start_streamed {
+                    e.try_stat_matrix_outofcore_with(&store, LdStats::RSquared, &ctl)
+                } else {
+                    e.try_stat_matrix_with(&g, LdStats::RSquared, &ctl)
+                };
+                match first {
+                    Err(LdError::Cancelled {
+                        completed_slabs, ..
+                    }) => assert_eq!(completed_slabs, k, "k{k}: single-threaded is exact"),
+                    other => panic!("k{k}: expected cancellation, got {other:?}"),
+                }
+                let state = CheckpointState::from_bytes(&sink.inner.latest().unwrap())
+                    .expect("snapshot parses");
+                assert_eq!(state.records.len(), k, "k{k}");
+                // Phase 2: resume in the *other* driver.
+                let replay = MemorySink::new();
+                let ctl = RunControl::new().with_checkpoint(
+                    CheckpointPlan::new(&replay)
+                        .every_slabs(usize::MAX)
+                        .resume_from(state),
+                );
+                let e = engine(1, slab, policy);
+                let resumed = if start_streamed {
+                    e.try_stat_matrix_with(&g, LdStats::RSquared, &ctl)
+                } else {
+                    e.try_stat_matrix_outofcore_with(&store, LdStats::RSquared, &ctl)
+                };
+                let resumed = resumed.unwrap_or_else(|e| {
+                    panic!("k{k} streamed-first={start_streamed}: resume failed: {e}")
+                });
+                for (idx, (a, b)) in oracle.packed().iter().zip(resumed.packed()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "k{k} streamed-first={start_streamed}: packed[{idx}]"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -174,3 +174,97 @@ fn streaming_rows_never_materialize_the_triangle() {
         "streaming peak {peak} is in the same class as the packed triangle ({packed_bytes})"
     );
 }
+
+/// The out-of-core rows driver's peak heap is the slab panel, the chunk
+/// double-buffers and the per-slab values strip — it never materializes
+/// the full genotype matrix (which lives only in the tile store) nor the
+/// packed triangle. Doubling the SNP count must grow the peak at most
+/// linearly (the values strip and transform tables), never with the
+/// full-`G` or `n²` classes.
+#[test]
+fn outofcore_rows_peak_is_slab_panel_bounded() {
+    use ld_bitmat::{words_for, BitMatrix};
+    use ld_core::{LdEngine, LdStats, MemoryTileStore, NanPolicy, RunControl};
+
+    let n_samples = 16_384usize; // multiple of 64: no tail-word padding
+    let (slab, chunk) = (8usize, 16usize);
+    let wps = words_for(n_samples);
+
+    let build = |n: usize| {
+        let mut words = ld_bitmat::AlignedWords::zeroed(n * wps);
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        }
+        BitMatrix::from_words(n_samples, n, words).unwrap()
+    };
+    let e = LdEngine::new()
+        .threads(2)
+        .slab_rows(slab)
+        .nan_policy(NanPolicy::Zero);
+
+    // Warm up the streamed path once (thread plumbing, lazy runtime
+    // structures) so they don't bill the measured sections.
+    let warm = MemoryTileStore::from_matrix(&build(40), chunk).unwrap();
+    e.try_stat_rows_outofcore_with(&warm, LdStats::RSquared, |_| {}, &RunControl::new())
+        .unwrap();
+
+    let run = |n: usize| {
+        // The store (the full encoded G) is allocated *outside* the
+        // measured section — that's the point of out-of-core: it could
+        // as well be a directory on disk.
+        let store = MemoryTileStore::from_matrix(&build(n), chunk).unwrap();
+        let (peak, sum) = peak_heap_during(|| {
+            let mut acc = 0.0f64;
+            e.try_stat_rows_outofcore_with(
+                &store,
+                LdStats::RSquared,
+                |s| {
+                    for (_, row) in s.rows() {
+                        acc += row.iter().copied().filter(|v| !v.is_nan()).sum::<f64>();
+                    }
+                },
+                &RunControl::new(),
+            )
+            .unwrap();
+            acc
+        });
+        assert!(sum.is_finite() && sum > 0.0);
+        peak
+    };
+
+    let (n1, n2) = (600usize, 1200usize);
+    let peak1 = run(n1);
+    let peak2 = run(n2);
+
+    let full_g_bytes = n2 * wps * 8;
+    let packed_bytes = n2 * (n2 + 1) / 2 * 8;
+    // values strip + counts scratch + panel assembly (chunk-aligned, with
+    // the BitMatrix copy) + prefetch double-buffers + transform tables
+    let values = slab * n2 * 8;
+    let counts = slab * chunk * 4;
+    let panel = 4 * (slab + 2 * chunk) * wps * 8;
+    let buffers = 4 * chunk * wps * 8;
+    let tables = 64 * n2;
+    let overhead = 512 * 1024;
+    let bound = values + counts + panel + buffers + tables + overhead;
+    assert!(
+        peak2 <= bound,
+        "out-of-core peak {peak2} exceeds the slab×panel bound {bound} \
+         (values {values} + panel {panel} + buffers {buffers} + tables {tables} \
+         + overhead {overhead})"
+    );
+    assert!(
+        peak2 < full_g_bytes / 2,
+        "out-of-core peak {peak2} is in the same class as the full matrix ({full_g_bytes})"
+    );
+    assert!(
+        peak2 < packed_bytes / 4,
+        "out-of-core peak {peak2} is in the same class as the packed triangle ({packed_bytes})"
+    );
+    // Doubling n may at most double the linear terms — a quadratic or
+    // full-G dependence would show up as ≳4×.
+    assert!(
+        peak2 <= 2 * peak1 + 128 * 1024,
+        "peak grew superlinearly with n: {peak1} → {peak2}"
+    );
+}

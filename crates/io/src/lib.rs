@@ -45,6 +45,7 @@ mod limits;
 pub mod ms;
 pub mod ped;
 pub mod text;
+pub mod tilestore;
 pub mod vcf;
 
 pub use error::IoError;

@@ -43,14 +43,21 @@
 //! | `shards_launched` | supervisor | shard child processes spawned by `run-sharded` (incl. retries) |
 //! | `shard_retries` | supervisor | shard attempts re-dispatched after a failure classification |
 //! | `merge_spans_validated` | merge | shard slab spans that passed fingerprint/geometry validation during merge |
+//! | `chunks_read` | store | tile-store chunks decoded by the out-of-core driver |
+//! | `store_bytes_read` | store | bytes streamed out of a tile store (decoded chunk payload + header) |
+//! | `prefetch_hits` | store | chunk reads the prefetch thread had ready before compute asked |
+//! | `prefetch_stall_ns` | store | nanoseconds compute spent waiting on a chunk the prefetcher had not finished |
 //!
 //! Counts (`kernel_tiles`, `kernel_words`, `bytes_packed`,
 //! `slabs_emitted`, `io_*`, `cancel_polls`, `resume_slabs_skipped`,
-//! `merge_spans_validated`) are **deterministic** — independent of thread
+//! `merge_spans_validated`, `chunks_read`, `store_bytes_read`) are
+//! **deterministic** — independent of thread
 //! count and wall time; the `*_ns` timers, `steal_count`,
-//! `checkpoints_written` (its periodic trigger is wall-clock based) and
+//! `checkpoints_written` (its periodic trigger is wall-clock based),
 //! the supervisor counters (`shards_launched`, `shard_retries` — retries
-//! depend on fault timing) are not.
+//! depend on fault timing) and the prefetch race counters
+//! (`prefetch_hits`, `prefetch_stall_ns` — whether a read wins the race
+//! against compute is pure timing) are not.
 //! `kernel_words` against elapsed cycles gives the §IV ops/cycle metric:
 //! the scalar peak is 3 ops/cycle = 1 word-pair/cycle (AND ∥ POPCNT ∥
 //! ADD), so `words/cycle × 3` is directly comparable to that peak.
@@ -125,11 +132,22 @@ pub enum Counter {
     /// Shard slab spans that passed fingerprint/header/geometry
     /// validation during a shard merge.
     MergeSpansValidated,
+    /// Tile-store chunks decoded (CRC-checked) by the out-of-core driver.
+    ChunksRead,
+    /// Bytes streamed out of a tile store (encoded chunk bytes, header
+    /// and CRC trailer included).
+    StoreBytesRead,
+    /// Chunk reads the prefetch thread had finished before compute asked
+    /// for them (the double-buffer won the race).
+    PrefetchHits,
+    /// Nanoseconds compute spent blocked on a chunk the prefetch thread
+    /// had not finished reading yet.
+    PrefetchStallNs,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 25;
 
     /// All counters, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -154,6 +172,10 @@ impl Counter {
         Counter::ShardsLaunched,
         Counter::ShardRetries,
         Counter::MergeSpansValidated,
+        Counter::ChunksRead,
+        Counter::StoreBytesRead,
+        Counter::PrefetchHits,
+        Counter::PrefetchStallNs,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -180,6 +202,10 @@ impl Counter {
             Counter::ShardsLaunched => "shards_launched",
             Counter::ShardRetries => "shard_retries",
             Counter::MergeSpansValidated => "merge_spans_validated",
+            Counter::ChunksRead => "chunks_read",
+            Counter::StoreBytesRead => "store_bytes_read",
+            Counter::PrefetchHits => "prefetch_hits",
+            Counter::PrefetchStallNs => "prefetch_stall_ns",
         }
     }
 
@@ -202,6 +228,10 @@ impl Counter {
                 // launches/retries depend on fault timing and the retry budget
                 | Counter::ShardsLaunched
                 | Counter::ShardRetries
+                // whether the prefetcher wins the race against compute is
+                // pure timing, as is how long a losing read stalls
+                | Counter::PrefetchHits
+                | Counter::PrefetchStallNs
         )
     }
 }
@@ -863,6 +893,8 @@ mod tests {
                 "cancel_polls",
                 "resume_slabs_skipped",
                 "merge_spans_validated",
+                "chunks_read",
+                "store_bytes_read",
             ]
         );
     }

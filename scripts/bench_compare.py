@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: diff a fresh BENCH_fused.json against a baseline.
+"""Bench-regression gate: diff a fresh bench JSON against its baseline.
 
 Usage: scripts/bench_compare.py <baseline.json> <current.json> [--time-tol F]
+
+The documents' top-level "bench" field selects the metric set: "fused"
+(BENCH_fused.json, keyed per n_snps) or "outofcore"
+(BENCH_outofcore.json, keyed per budget label; gates wall seconds,
+RSS high-water and the two analytic model metrics — streamed bytes and
+derived slab height — exactly).
 
 Compares per-size metrics with per-metric tolerance bands and exits
 nonzero naming every regressed metric. Policy:
@@ -37,7 +43,7 @@ import json
 import sys
 
 # (metric key, kind) — kind selects the tolerance policy above.
-GATED = [
+GATED_FUSED = [
     ("fused_secs", "time"),
     ("twopass_secs", "time"),
     ("vm_hwm_after_fused_kb", "rss"),
@@ -46,6 +52,32 @@ GATED = [
     ("counts_model_mb", "model"),
     ("scratch_model_mb", "model"),
 ]
+
+# Out-of-core streaming bench: streamed_mb and slab_rows are analytic
+# functions of the store geometry and the budget — exact; gbps_streamed
+# is streamed_mb/secs, so the time gate subsumes it.
+GATED_OOC = [
+    ("secs", "time"),
+    ("vm_hwm_kb", "rss"),
+    ("streamed_mb", "model"),
+    ("slab_rows", "model"),
+]
+
+# Per-bench comparison spec, selected by the documents' "bench" field:
+# which metrics to gate, which result field keys a row, and which
+# top-level config keys must match exactly.
+BENCH_SPECS = {
+    "fused": {
+        "gated": GATED_FUSED,
+        "row_key": "n_snps",
+        "config": ("bench", "n_samples", "threads"),
+    },
+    "outofcore": {
+        "gated": GATED_OOC,
+        "row_key": "label",
+        "config": ("bench", "n_samples", "threads", "n_snps", "chunk_snps"),
+    },
+}
 
 RSS_TOL = 0.25
 RSS_SLACK_KB = 32768.0  # allocator jitter floor: 32 MB
@@ -85,9 +117,12 @@ def main(argv):
         )
     base, cur = load(args[0]), load(args[1])
 
+    spec = BENCH_SPECS.get(base.get("bench"), BENCH_SPECS["fused"])
+    row_key = spec["row_key"]
+
     failures = []
     warnings = []
-    for key in ("bench", "n_samples", "threads"):
+    for key in spec["config"]:
         if base.get(key) != cur.get(key):
             failures.append(
                 f"config mismatch: {key} baseline={base.get(key)!r} "
@@ -101,18 +136,18 @@ def main(argv):
                 "(a cached CPU profile changes the geometry; timings below "
                 "compare different configurations)"
             )
-    base_sizes = {r["n_snps"]: r for r in base.get("results", [])}
-    cur_sizes = {r["n_snps"]: r for r in cur.get("results", [])}
+    base_sizes = {r[row_key]: r for r in base.get("results", [])}
+    cur_sizes = {r[row_key]: r for r in cur.get("results", [])}
     if set(base_sizes) != set(cur_sizes):
         failures.append(
-            f"config mismatch: sizes baseline={sorted(base_sizes)} "
+            f"config mismatch: {row_key} rows baseline={sorted(base_sizes)} "
             f"current={sorted(cur_sizes)} (regenerate the baseline)"
         )
 
     rows = []
-    for n in sorted(set(base_sizes) & set(cur_sizes)):
+    for n in sorted(set(base_sizes) & set(cur_sizes), key=str):
         b, c = base_sizes[n], cur_sizes[n]
-        for key, kind in GATED:
+        for key, kind in spec["gated"]:
             if key not in b or key not in c:
                 failures.append(f"{key}[n={n}]: missing from one document")
                 continue

@@ -47,6 +47,14 @@
 #      still produce a panel byte-identical to the one-shot run, with
 #      the crash+retry recorded in a manifest that validates against
 #      schemas/shard_manifest.schema.json
+#  17. out-of-core leg — `import` writes a chunked tile store whose
+#      manifest validates against schemas/tile_manifest.schema.json;
+#      `r2 --store` (budgeted, streaming) must be byte-identical to the
+#      one-shot in-memory table, kill/resume on the store must
+#      re-enter bit-identically, a bit-flipped chunk must be rejected
+#      with exit 3 naming the chunk, and a fresh `outofcore` bench run
+#      is gated against results/baselines/BENCH_outofcore.json (same
+#      LD_BENCH_UPDATE_BASELINE refresh switch as step 14)
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
 
@@ -486,5 +494,89 @@ else
     echo "    python3 unavailable; manifest validation skipped"
 fi
 echo "    SIGKILLed shard retried; final panel byte-identical to one-shot"
+
+# Out-of-core leg: the tile store must be invisible in the output. A
+# streamed, memory-budgeted `r2 --store` run has to reproduce the
+# one-shot in-memory pair table byte for byte; the manifest must
+# validate against its schema; kill/resume must re-enter bit-identically
+# without a fresh start; and a damaged chunk must be a typed exit-3
+# error that names the chunk.
+echo "==> out-of-core: import + streamed r2 must match the one-shot table"
+OOC_DIR=target/ci-ooc.store
+rm -rf "$OOC_DIR"
+run "$SH_BIN" import -i "$SH_SIM" --store "$OOC_DIR" --chunk-snps 256
+if command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/validate_metrics.py schemas/tile_manifest.schema.json "$OOC_DIR/manifest.json"
+else
+    echo "    python3 unavailable; tile-manifest schema validation skipped"
+fi
+run "$SH_BIN" r2 --store "$OOC_DIR" --threads 2 --min-r2 0 \
+    --memory-budget-mb 1 -o target/ci-ooc.tsv
+if ! cmp -s target/ci-shard-one.tsv target/ci-ooc.tsv; then
+    echo "out-of-core FAIL: streamed table differs from the one-shot run" >&2
+    exit 1
+fi
+echo "    budgeted streamed table byte-identical to the one-shot run"
+
+echo "==> out-of-core: kill/resume on the store must be bit-identical"
+OOC_CK=target/ci-ooc.ckpt
+rm -f "$OOC_CK" target/ci-ooc-resumed.tsv
+set +e
+"$SH_BIN" r2 --store "$OOC_DIR" --threads 2 --min-r2 0 --timeout 0 \
+    --checkpoint "$OOC_CK" -o target/ci-ooc-resumed.tsv 2>target/ci-ooc-kill.err
+ooc_kill_status=$?
+set -e
+if [ "$ooc_kill_status" -ne 5 ] || [ ! -f "$OOC_CK" ]; then
+    echo "out-of-core FAIL: killed run exited $ooc_kill_status (expected 5 + checkpoint)" >&2
+    cat target/ci-ooc-kill.err >&2
+    exit 1
+fi
+run "$SH_BIN" r2 --store "$OOC_DIR" --threads 2 --min-r2 0 \
+    --checkpoint "$OOC_CK" --resume -o target/ci-ooc-resumed.tsv
+if ! cmp -s target/ci-shard-one.tsv target/ci-ooc-resumed.tsv; then
+    echo "out-of-core FAIL: resumed table differs from the one-shot run" >&2
+    exit 1
+fi
+if [ -f "$OOC_CK" ]; then
+    echo "out-of-core FAIL: completed resume left its checkpoint behind" >&2
+    exit 1
+fi
+echo "    killed at slab 0, resumed to a byte-identical table"
+
+echo "==> out-of-core: bit-flipped chunk must be rejected, naming the chunk"
+OOC_CHUNK="$OOC_DIR/chunk_000002.bin"
+ooc_size=$(wc -c < "$OOC_CHUNK")
+ooc_off=$((ooc_size / 2))
+printf '\xAA' | dd of="$OOC_CHUNK" bs=1 seek="$ooc_off" conv=notrunc 2>/dev/null
+set +e
+"$SH_BIN" r2 --store "$OOC_DIR" --threads 2 -o target/ci-ooc-bad.tsv \
+    2>target/ci-ooc-bad.err
+ooc_bad_status=$?
+set -e
+if [ "$ooc_bad_status" -ne 3 ]; then
+    echo "out-of-core FAIL: damaged chunk exited $ooc_bad_status (expected 3)" >&2
+    cat target/ci-ooc-bad.err >&2
+    exit 1
+fi
+if ! grep -q "chunk 2" target/ci-ooc-bad.err; then
+    echo "out-of-core FAIL: stderr does not name the damaged chunk:" >&2
+    cat target/ci-ooc-bad.err >&2
+    exit 1
+fi
+echo "    damaged chunk rejected (exit 3), error names chunk 2"
+
+# Out-of-core bench gate: same policy as step 14.
+echo "==> bench-regression gate: outofcore vs committed baseline"
+OOC_BASELINE=results/baselines/BENCH_outofcore.json
+rm -f BENCH_outofcore.json
+run target/release/outofcore --threads 2
+if [ "${LD_BENCH_UPDATE_BASELINE:-0}" = "1" ]; then
+    cp BENCH_outofcore.json "$OOC_BASELINE"
+    echo "    baseline refreshed: $OOC_BASELINE (commit it)"
+elif command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/bench_compare.py "$OOC_BASELINE" BENCH_outofcore.json
+else
+    echo "    python3 unavailable; bench-regression gate skipped"
+fi
 
 echo "==> CI green"
