@@ -1,0 +1,308 @@
+//! `serve_ci` — the deterministic driver behind the `scripts/ci.sh`
+//! serve leg. Spawns the *real* `gemm-ld serve` daemon on a loopback
+//! port and proves the PR's acceptance properties end to end:
+//!
+//! 1. **overload** — one slow worker + a short queue: concurrent
+//!    queries must split into `Ok` and typed `Shed` responses with
+//!    zero hung connections;
+//! 2. **killed client** — a client that vanishes mid-request must not
+//!    wedge the pool;
+//! 3. **SIGINT mid-load** — with a full-panel region query in flight,
+//!    SIGINT must drain it (the response arrives, byte-identical to
+//!    the one-shot CLI table — asserted by the calling script via
+//!    `cmp`), refuse new connections, and exit 0;
+//! 4. **drain deadline** — `--drain-ms 0` with work in flight must
+//!    exit 5 (the Interrupted exit code), per the exit-code contract.
+//!
+//! ```sh
+//! serve_ci --gemm-ld target/release/gemm-ld --input data.ms \
+//!          --region-out served_region.tsv
+//! ```
+//!
+//! Exits 0 only if every check passed; failures print one line each.
+
+use ld_serve::protocol::{Request, StatCode, Status};
+use ld_serve::Client;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    gemm_ld: String,
+    input: String,
+    region_out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut gemm_ld = "target/release/gemm-ld".to_string();
+    let mut input = String::new();
+    let mut region_out = "served_region.tsv".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--gemm-ld" => gemm_ld = it.next().unwrap_or_default(),
+            "--input" => input = it.next().unwrap_or_default(),
+            "--region-out" => region_out = it.next().unwrap_or_default(),
+            other => {
+                eprintln!("serve_ci: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    if input.is_empty() {
+        eprintln!("serve_ci: --input FILE is required");
+        std::process::exit(2);
+    }
+    Opts {
+        gemm_ld,
+        input,
+        region_out,
+    }
+}
+
+/// Spawns `gemm-ld serve` and reads the bound address off its stdout.
+fn spawn_daemon(opts: &Opts, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(&opts.gemm_ld);
+    cmd.arg("serve")
+        .arg(format!("panel={}", opts.input))
+        .args(["--addr", "127.0.0.1:0", "--preload"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().unwrap_or_else(|e| {
+        eprintln!("serve_ci FAIL: cannot spawn {}: {e}", opts.gemm_ld);
+        std::process::exit(1);
+    });
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(a) = line.strip_prefix("listening on ") {
+                    break a.trim().to_string();
+                }
+            }
+            _ => {
+                eprintln!("serve_ci FAIL: daemon exited before binding");
+                let _ = child.kill();
+                std::process::exit(1);
+            }
+        }
+    };
+    (child, addr)
+}
+
+fn sigint(child: &Child) {
+    // /bin/kill is universally available where ci.sh runs; the CLI's
+    // own watcher turns the signal into a graceful drain.
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+}
+
+fn pair(i: u32, j: u32) -> Request {
+    Request::Pair {
+        panel: "panel".into(),
+        stat: StatCode::RSquared,
+        i,
+        j,
+    }
+}
+
+fn full_region() -> Request {
+    Request::Region {
+        panel: "panel".into(),
+        stat: StatCode::RSquared,
+        row0: 0,
+        row1: 0,
+        min_r2: 0.0,
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_ci FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let opts = parse_opts();
+    let timeout = Duration::from_secs(30);
+
+    // ---- daemon A: slow worker, short queue -------------------------
+    let (child, addr) = spawn_daemon(
+        &opts,
+        &[
+            "--workers",
+            "1",
+            "--queue",
+            "1",
+            "--inject-delay-ms",
+            "250",
+            "--drain-ms",
+            "15000",
+        ],
+    );
+
+    // 1. Overload: 6 concurrent queries, no retry. With a 250 ms worker
+    // hold and a depth-1 queue, at most 2 can be admitted promptly —
+    // the rest MUST be typed sheds, and nothing may hang.
+    let threads: Vec<_> = (0..6)
+        .map(|k| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, timeout).ok()?;
+                c.request(&pair(k % 4, k % 4 + 1)).ok()
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut shed = 0;
+    let mut hung = 0;
+    for t in threads {
+        match t.join().ok().flatten() {
+            Some(r) if r.status == Status::Ok => ok += 1,
+            Some(r) if r.status == Status::Shed => shed += 1,
+            Some(r) => fail(&format!("overload: unexpected status {:?}", r.status)),
+            None => hung += 1,
+        }
+    }
+    if ok == 0 || shed == 0 || hung != 0 {
+        fail(&format!(
+            "overload: expected ok>0 and typed sheds with none hung, got ok={ok} shed={shed} hung={hung}"
+        ));
+    }
+    println!("serve_ci: overload OK ({ok} served, {shed} typed sheds, 0 hung)");
+
+    // 2. Killed client: send a request and vanish without reading the
+    // response. The pool must keep serving.
+    for _ in 0..4 {
+        if let Ok(mut c) = Client::connect(&addr, timeout) {
+            let _ = c.send_raw_frame(&full_region().encode());
+            drop(c);
+        }
+    }
+    std::thread::sleep(Duration::from_millis(600));
+    let resp = Client::connect(&addr, timeout)
+        .and_then(|mut c| c.request(&pair(0, 1)))
+        .unwrap_or_else(|e| fail(&format!("after killed clients: {e}")));
+    if resp.status != Status::Ok {
+        fail(&format!(
+            "after killed clients: status {:?} ({})",
+            resp.status,
+            resp.message()
+        ));
+    }
+    println!("serve_ci: killed clients left the pool serving OK");
+
+    // 3. SIGINT mid-load: put a full-panel region query in flight, trip
+    // SIGINT while the worker holds it, and require (a) the response
+    // still arrives intact, (b) new connections are refused, (c) the
+    // daemon exits 0 within the drain deadline.
+    let region_thread = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, timeout).ok()?;
+            c.request(&full_region()).ok()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(80)); // request now in flight
+    sigint(&child);
+    let resp = region_thread
+        .join()
+        .ok()
+        .flatten()
+        .unwrap_or_else(|| fail("drain: in-flight region request got no response"));
+    if resp.status != Status::Ok {
+        fail(&format!(
+            "drain: in-flight request answered {:?} ({})",
+            resp.status,
+            resp.message()
+        ));
+    }
+    std::fs::write(&opts.region_out, &resp.body)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", opts.region_out)));
+
+    let mut child = child;
+    let t0 = Instant::now();
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(s)) => break s,
+            Ok(None) if t0.elapsed() > Duration::from_secs(30) => {
+                let _ = child.kill();
+                fail("drain: daemon did not exit within 30 s of SIGINT");
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => fail(&format!("drain: wait failed: {e}")),
+        }
+    };
+    if status.code() != Some(0) {
+        fail(&format!(
+            "drain: daemon exited {:?} after clean drain (expected 0)",
+            status.code()
+        ));
+    }
+    if Client::connect(&addr, Duration::from_secs(2)).is_ok() {
+        fail("drain: daemon still accepting connections after exit");
+    }
+    println!(
+        "serve_ci: SIGINT drained the in-flight region request ({} bytes) and exited 0",
+        resp.body.len()
+    );
+
+    // 4. Drain deadline: with --drain-ms 0 and a request in flight,
+    // the exit-code contract demands 5 (interrupted).
+    let (child_b, addr_b) = spawn_daemon(
+        &opts,
+        &[
+            "--workers",
+            "1",
+            "--inject-delay-ms",
+            "1500",
+            "--drain-ms",
+            "0",
+        ],
+    );
+    let slow_thread = {
+        let addr_b = addr_b.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr_b, timeout).ok()?;
+            c.request(&pair(0, 1)).ok()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    sigint(&child_b);
+    let mut child_b = child_b;
+    let t0 = Instant::now();
+    let status_b = loop {
+        match child_b.try_wait() {
+            Ok(Some(s)) => break s,
+            Ok(None) if t0.elapsed() > Duration::from_secs(30) => {
+                let _ = child_b.kill();
+                fail("deadline: daemon did not exit within 30 s of SIGINT");
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => fail(&format!("deadline: wait failed: {e}")),
+        }
+    };
+    if status_b.code() != Some(5) {
+        fail(&format!(
+            "deadline: expired drain exited {:?} (expected 5)",
+            status_b.code()
+        ));
+    }
+    // The abandoned request still received a typed response.
+    match slow_thread.join().ok().flatten() {
+        Some(r)
+            if matches!(
+                r.status,
+                Status::Ok | Status::ShuttingDown | Status::Timeout
+            ) => {}
+        Some(r) => fail(&format!(
+            "deadline: abandoned request answered {:?}",
+            r.status
+        )),
+        None => fail("deadline: abandoned request got no typed response"),
+    }
+    println!("serve_ci: expired drain deadline exited 5 with typed abandonment");
+    println!("serve_ci: all checks passed");
+}

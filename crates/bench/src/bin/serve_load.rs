@@ -1,0 +1,514 @@
+//! `serve_load` — load-test + fault-injection harness for the `ld-serve`
+//! daemon (the serve PR's acceptance harness).
+//!
+//! Four phases, each against a fresh daemon:
+//!
+//! 1. **load** — concurrent clients issue pair/region queries with
+//!    retry + capped jittered backoff (`ld_parallel::Backoff`, the same
+//!    envelope `run-sharded` uses); reports throughput and client-side
+//!    p50/p99 latency. Every request must end in a typed outcome —
+//!    `hung` (no response within the harness deadline) must be 0.
+//! 2. **overload** — one slow worker, tiny queue: the daemon must shed
+//!    with typed responses, never stall, and serve normally afterwards.
+//! 3. **faults** (in-process) — malformed frames, a half-open
+//!    connection, and clients killed mid-request; the daemon must
+//!    answer typed errors and keep the pool serving.
+//! 4. **server-kill** (subprocess) — spawns `gemm-ld serve`, SIGKILLs
+//!    it mid-load, respawns, and verifies retrying clients recover.
+//!    Skipped (and marked in the JSON) when the CLI binary is absent.
+//!
+//! Emits `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p ld-bench --bin serve_load
+//! cargo run --release -p ld-bench --bin serve_load -- --full \
+//!     --gemm-ld target/release/gemm-ld
+//! ```
+
+use ld_bench::report::Table;
+use ld_bench::runner::BenchOpts;
+use ld_bench::workloads::random_matrix;
+use ld_core::{LdEngine, NanPolicy};
+use ld_parallel::Backoff;
+use ld_serve::protocol::{Request, StatCode, Status};
+use ld_serve::registry::{PanelRegistry, PanelSource};
+use ld_serve::server::{ServeConfig, Server, ServerHandle};
+use ld_serve::{request_with_retry, Client};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PANEL: &str = "bench";
+
+struct Fixture {
+    dir: PathBuf,
+    panel_path: PathBuf,
+    n_snps: usize,
+}
+
+fn build_fixture(n_samples: usize, n_snps: usize) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("ld_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let g = random_matrix(n_samples, n_snps, 0.3, 99);
+    let panel_path = dir.join("bench.txt");
+    let f = std::fs::File::create(&panel_path).expect("create panel");
+    ld_io::text::write_matrix(std::io::BufWriter::new(f), &g).expect("write panel");
+    Fixture {
+        dir,
+        panel_path,
+        n_snps,
+    }
+}
+
+fn registry(fx: &Fixture) -> PanelRegistry {
+    let engine = LdEngine::new().threads(2).nan_policy(NanPolicy::Zero);
+    let mut reg = PanelRegistry::new(engine, 1 << 30);
+    assert!(reg.add_source(PANEL, PanelSource::TextFile(fx.panel_path.clone())));
+    reg
+}
+
+fn spawn_server(fx: &Fixture, cfg: ServeConfig) -> ServerHandle {
+    Server::bind(cfg, registry(fx))
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// Client-side outcome tallies for one phase.
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    hung: usize,
+    latencies_us: Vec<u64>,
+}
+
+impl Tally {
+    fn quantile_us(&mut self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        self.latencies_us.sort_unstable();
+        let idx = ((q * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len())
+            - 1;
+        self.latencies_us[idx]
+    }
+}
+
+/// Phase 1/2 worker: `requests` queries with retry + jittered backoff.
+fn client_loop(
+    addr: String,
+    client_id: u64,
+    requests: usize,
+    n_snps: usize,
+    counters: Arc<[AtomicUsize; 4]>, // ok, shed, failed, hung
+    latency_sink: std::sync::mpsc::Sender<u64>,
+) {
+    // Per-client seed decorrelates retry storms — exactly the shard
+    // supervisor's trick.
+    let backoff =
+        Backoff::new(Duration::from_millis(5), Duration::from_millis(250)).with_seed(client_id);
+    for k in 0..requests {
+        let req = if k % 8 == 7 {
+            Request::Region {
+                panel: PANEL.into(),
+                stat: StatCode::RSquared,
+                row0: 0,
+                row1: (n_snps / 4).max(2) as u32,
+                min_r2: 0.2,
+            }
+        } else {
+            Request::Pair {
+                panel: PANEL.into(),
+                stat: StatCode::RSquared,
+                i: ((client_id as usize + k) % n_snps) as u32,
+                j: ((client_id as usize + 3 * k + 1) % n_snps) as u32,
+            }
+        };
+        let t0 = Instant::now();
+        match request_with_retry(&addr, &req, 6, Duration::from_secs(20), &backoff) {
+            Ok(resp) => {
+                let _ = latency_sink.send(t0.elapsed().as_micros() as u64);
+                match resp.status {
+                    Status::Ok => counters[0].fetch_add(1, Ordering::Relaxed),
+                    Status::Shed | Status::Timeout | Status::ShuttingDown => {
+                        counters[1].fetch_add(1, Ordering::Relaxed)
+                    }
+                    _ => counters[2].fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            Err(_) => {
+                // Typed client-side failure after retries — not a hang.
+                counters[2].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn run_clients(addr: &str, clients: usize, requests: usize, n_snps: usize) -> Tally {
+    let counters: Arc<[AtomicUsize; 4]> = Arc::new([
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    ]);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let counters = Arc::clone(&counters);
+            let tx = tx.clone();
+            std::thread::spawn(move || client_loop(addr, c as u64, requests, n_snps, counters, tx))
+        })
+        .collect();
+    drop(tx);
+    let mut tally = Tally::default();
+    // A client thread that never returns within the harness deadline is
+    // a hung request — the failure mode the daemon must make impossible.
+    let harness_deadline = Instant::now() + Duration::from_secs(120);
+    for t in threads {
+        if Instant::now() >= harness_deadline {
+            tally.hung += 1;
+            continue;
+        }
+        if t.join().is_err() {
+            tally.failed += 1;
+        }
+    }
+    while let Ok(us) = rx.try_recv() {
+        tally.latencies_us.push(us);
+    }
+    tally.ok = counters[0].load(Ordering::Relaxed);
+    tally.shed = counters[1].load(Ordering::Relaxed);
+    tally.failed += counters[2].load(Ordering::Relaxed);
+    tally.hung += counters[3].load(Ordering::Relaxed);
+    tally
+}
+
+/// Phase 3: wire-level faults against a live in-process daemon.
+struct FaultResults {
+    malformed_typed: bool,
+    half_open_typed: bool,
+    client_kill_survived: bool,
+}
+
+fn run_faults(addr: &str) -> FaultResults {
+    let timeout = Duration::from_secs(10);
+
+    // Malformed frame: garbage payload must yield a typed BadRequest on
+    // a connection that stays usable.
+    let malformed_typed = (|| {
+        let mut c = Client::connect(addr, timeout).ok()?;
+        c.send_raw_frame(b"\xDE\xAD\xBE\xEF not a request").ok()?;
+        let resp = c.read_response().ok()?;
+        if resp.status != Status::BadRequest {
+            return None;
+        }
+        let follow = c
+            .request(&Request::Pair {
+                panel: PANEL.into(),
+                stat: StatCode::RSquared,
+                i: 0,
+                j: 1,
+            })
+            .ok()?;
+        (follow.status == Status::Ok).then_some(())
+    })()
+    .is_some();
+
+    // Half-open connection: start a frame, stall; the daemon must
+    // answer a typed error within its frame timeout instead of leaking
+    // the reader forever.
+    let half_open_typed = (|| {
+        let mut c = Client::connect(addr, timeout).ok()?;
+        c.send_raw_bytes(&64u32.to_le_bytes()).ok()?;
+        c.send_raw_bytes(&[1, 2, 3]).ok()?;
+        let resp = c.read_response().ok()?;
+        (resp.status == Status::BadRequest).then_some(())
+    })()
+    .is_some();
+
+    // Clients killed mid-request: fire requests and drop the socket
+    // without reading the response. The worker's answer hits a dead
+    // socket; the pool must keep serving.
+    for k in 0..8u32 {
+        if let Ok(mut c) = Client::connect(addr, timeout) {
+            let _ = c.send_raw_frame(
+                &Request::Region {
+                    panel: PANEL.into(),
+                    stat: StatCode::RSquared,
+                    row0: 0,
+                    row1: 0,
+                    min_r2: 0.0,
+                }
+                .encode(),
+            );
+            drop(c); // vanish before the response — a killed client
+            let _ = k;
+        }
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let client_kill_survived = (|| {
+        let mut c = Client::connect(addr, timeout).ok()?;
+        let resp = c
+            .request(&Request::Pair {
+                panel: PANEL.into(),
+                stat: StatCode::RSquared,
+                i: 0,
+                j: 1,
+            })
+            .ok()?;
+        (resp.status == Status::Ok).then_some(())
+    })()
+    .is_some();
+
+    FaultResults {
+        malformed_typed,
+        half_open_typed,
+        client_kill_survived,
+    }
+}
+
+/// Phase 4: SIGKILL a subprocess daemon mid-load; retrying clients must
+/// recover once it is respawned. Returns `None` when the CLI binary is
+/// unavailable (the phase is skipped, not failed).
+fn run_server_kill(fx: &Fixture, gemm_ld: &str) -> Option<bool> {
+    fn spawn_daemon(gemm_ld: &str, panel: &Path) -> Option<(Child, String)> {
+        let mut child = Command::new(gemm_ld)
+            .arg("serve")
+            .arg(format!("{PANEL}={}", panel.display()))
+            .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .ok()?;
+        // The daemon prints `listening on HOST:PORT` once bound.
+        let stdout = child.stdout.take()?;
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            match lines.next()? {
+                Ok(line) => {
+                    if let Some(a) = line.strip_prefix("listening on ") {
+                        break a.trim().to_string();
+                    }
+                }
+                Err(_) => return None,
+            }
+        };
+        Some((child, addr))
+    }
+
+    let (mut child, addr) = spawn_daemon(gemm_ld, &fx.panel_path)?;
+    let req = Request::Pair {
+        panel: PANEL.into(),
+        stat: StatCode::RSquared,
+        i: 0,
+        j: 1,
+    };
+    let backoff = Backoff::new(Duration::from_millis(20), Duration::from_millis(500));
+    let before = request_with_retry(&addr, &req, 5, Duration::from_secs(10), &backoff)
+        .map(|r| r.status == Status::Ok)
+        .unwrap_or(false);
+
+    // SIGKILL mid-service: `Child::kill` delivers SIGKILL on unix.
+    child.kill().ok()?;
+    let _ = child.wait();
+    // The dead daemon must refuse cleanly (connection error), not hang.
+    let during = Client::connect(&addr, Duration::from_secs(2)).is_err()
+        || request_with_retry(&addr, &req, 1, Duration::from_secs(2), &backoff).is_err();
+
+    // Respawn (new port) — clients with retry+backoff recover.
+    let (mut child2, addr2) = spawn_daemon(gemm_ld, &fx.panel_path)?;
+    let after = request_with_retry(&addr2, &req, 8, Duration::from_secs(10), &backoff)
+        .map(|r| r.status == Status::Ok)
+        .unwrap_or(false);
+    child2.kill().ok();
+    let _ = child2.wait();
+    Some(before && during && after)
+}
+
+fn main() {
+    let opts = BenchOpts::parse(std::env::args().skip(1));
+    let (n_samples, n_snps) = if opts.full { (1024, 800) } else { (256, 200) };
+    let clients = opts
+        .extras
+        .iter()
+        .find(|(k, _)| k == "clients")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(8usize);
+    let requests = opts
+        .extras
+        .iter()
+        .find(|(k, _)| k == "requests")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(40usize);
+    let gemm_ld = opts
+        .extras
+        .iter()
+        .find(|(k, _)| k == "gemm-ld")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "target/release/gemm-ld".to_string());
+
+    let fx = build_fixture(n_samples, n_snps);
+    println!("serve_load: {n_samples} x {n_snps} panel, {clients} clients x {requests} requests");
+
+    // ---- phase 1: steady load --------------------------------------
+    let handle = spawn_server(&fx, ServeConfig::default());
+    let addr = handle.addr().to_string();
+    let t0 = Instant::now();
+    let mut load = run_clients(&addr, clients, requests, fx.n_snps);
+    let load_secs = t0.elapsed().as_secs_f64();
+    let total = clients * requests;
+    let rps = total as f64 / load_secs.max(1e-9);
+    let (p50_us, p99_us) = (load.quantile_us(0.50), load.quantile_us(0.99));
+    handle.shutdown_and_wait();
+
+    // ---- phase 2: overload must shed, then recover ------------------
+    let handle = spawn_server(
+        &fx,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 2,
+            inject_delay: Duration::from_millis(25),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+    // No retries here: we want to observe raw sheds.
+    let overload_threads: Vec<_> = (0..(clients * 2))
+        .map(|k| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, Duration::from_secs(20)).ok()?;
+                c.request(&Request::Pair {
+                    panel: PANEL.into(),
+                    stat: StatCode::RSquared,
+                    i: (k % 7) as u32,
+                    j: (k % 11 + 12) as u32,
+                })
+                .ok()
+            })
+        })
+        .collect();
+    let mut over_ok = 0usize;
+    let mut over_shed = 0usize;
+    let mut over_other = 0usize;
+    for t in overload_threads {
+        match t.join().ok().flatten() {
+            Some(r) if r.status == Status::Ok => over_ok += 1,
+            Some(r) if r.status == Status::Shed => over_shed += 1,
+            _ => over_other += 1,
+        }
+    }
+    // The daemon must serve normally once the burst is gone.
+    std::thread::sleep(Duration::from_millis(200));
+    let recovered = Client::connect(&addr, Duration::from_secs(10))
+        .and_then(|mut c| {
+            c.request(&Request::Pair {
+                panel: PANEL.into(),
+                stat: StatCode::RSquared,
+                i: 0,
+                j: 1,
+            })
+        })
+        .map(|r| r.status == Status::Ok)
+        .unwrap_or(false);
+    handle.shutdown_and_wait();
+
+    // ---- phase 3: wire faults ---------------------------------------
+    let handle = spawn_server(&fx, ServeConfig::default());
+    let addr = handle.addr().to_string();
+    let faults = run_faults(&addr);
+    handle.shutdown_and_wait();
+
+    // ---- phase 4: server SIGKILL + recovery (subprocess) -------------
+    let server_kill = if std::path::Path::new(&gemm_ld).exists() {
+        run_server_kill(&fx, &gemm_ld)
+    } else {
+        None
+    };
+
+    // ---- report -------------------------------------------------------
+    let mut t = Table::new(["phase", "result"]);
+    t.row([
+        "load".to_string(),
+        format!(
+            "{} ok / {} shed / {} failed / {} hung, {:.0} req/s, p50 {}us p99 {}us",
+            load.ok, load.shed, load.failed, load.hung, rps, p50_us, p99_us
+        ),
+    ]);
+    t.row([
+        "overload".to_string(),
+        format!("{over_ok} ok / {over_shed} shed / {over_other} other, recovered={recovered}"),
+    ]);
+    t.row([
+        "faults".to_string(),
+        format!(
+            "malformed_typed={} half_open_typed={} client_kill_survived={}",
+            faults.malformed_typed, faults.half_open_typed, faults.client_kill_survived
+        ),
+    ]);
+    t.row([
+        "server-kill".to_string(),
+        match server_kill {
+            Some(ok) => format!("recovered={ok}"),
+            None => format!("skipped ({gemm_ld} not found)"),
+        },
+    ]);
+    println!("\n{}", t.render());
+
+    let pass = load.hung == 0
+        && load.failed == 0
+        && over_shed > 0
+        && recovered
+        && faults.malformed_typed
+        && faults.half_open_typed
+        && faults.client_kill_survived
+        && server_kill.unwrap_or(true);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve\",\n");
+    json.push_str(&format!("  \"n_samples\": {n_samples},\n"));
+    json.push_str(&format!("  \"n_snps\": {n_snps},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
+    json.push_str(&format!(
+        "  \"load\": {{\"ok\": {}, \"shed\": {}, \"failed\": {}, \"hung\": {}, \
+         \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}},\n",
+        load.ok, load.shed, load.failed, load.hung, rps, p50_us, p99_us
+    ));
+    json.push_str(&format!(
+        "  \"overload\": {{\"ok\": {over_ok}, \"shed\": {over_shed}, \
+         \"other\": {over_other}, \"recovered\": {recovered}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"faults\": {{\"malformed_typed\": {}, \"half_open_typed\": {}, \
+         \"client_kill_survived\": {}}},\n",
+        faults.malformed_typed, faults.half_open_typed, faults.client_kill_survived
+    ));
+    json.push_str(&format!(
+        "  \"server_kill\": {},\n",
+        match server_kill {
+            Some(ok) => format!("{{\"ran\": true, \"recovered\": {ok}}}"),
+            None => "{\"ran\": false}".to_string(),
+        }
+    ));
+    json.push_str(&format!("  \"pass\": {pass}\n"));
+    json.push_str("}\n");
+    let mut f = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json (pass={pass})");
+
+    let _ = std::fs::remove_dir_all(&fx.dir);
+    if !pass {
+        std::process::exit(1);
+    }
+}

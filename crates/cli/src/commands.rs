@@ -94,6 +94,20 @@ COMMANDS:
               -i in [--causal i,j,...] [--beta X] [--p X] [--clump-r2 X]
               [--clump-window W] [--seed S]
   convert     convert between formats: -i in.{ms,txt,vcf} -o out.{ms,txt,vcf}
+  serve       LD query daemon: answer point/region queries over TCP
+              gemm-ld serve [name=]input ... [--addr HOST:PORT]
+              [--workers N] [--queue DEPTH] [--max-conns N]
+              [--memory-budget-mb MB] [--request-timeout-ms MS]
+              [--drain-ms MS] [--preload] [--threads T] [--kernel ...]
+              [--profile[=text|json] [--profile-out FILE]]
+              (panels are text inputs or 'import' tile stores; resident
+              LD matrices are cached LRU under the memory budget —
+              admission overload and budget exhaustion shed with typed
+              responses instead of stalling or dying. SIGINT/SIGTERM
+              stop accepting and drain in-flight work under --drain-ms:
+              exit 0 on a clean drain, 5 if the deadline expired. Prints
+              'listening on HOST:PORT' at startup; --addr host:0 picks a
+              free port)
   tune        autotune kernel + blocking for this CPU and cache the result
               [--quick|--full] [--threads T] [--out profile.json]
               (staged coordinate descent over kernel, kc/mc/nc blocks,
@@ -1210,12 +1224,18 @@ fn classify_shard_exit(code: Option<i32>, output_ok: bool) -> ShardExit {
     }
 }
 
-/// Delay before re-dispatching after `failed_attempts` failures:
-/// `base × 2^(failures−1)`, capped at 10 s.
-fn retry_backoff(base_ms: u64, failed_attempts: usize) -> Duration {
-    const CAP_MS: u64 = 10_000;
-    let shift = failed_attempts.saturating_sub(1).min(16) as u32;
-    Duration::from_millis(base_ms.saturating_mul(1u64 << shift).min(CAP_MS))
+/// Delay before re-dispatching shard `shard_idx` after `failed_attempts`
+/// failures: the shared [`ld_parallel::Backoff`] capped exponential
+/// (`base × 2^(failures−1)`, capped at 10 s) with deterministic equal
+/// jitter seeded by the shard index, so shards felled by one shared fault
+/// don't re-stampede the machine in lock-step.
+fn retry_backoff(base_ms: u64, failed_attempts: usize, shard_idx: u64) -> Duration {
+    ld_parallel::Backoff::new(
+        Duration::from_millis(base_ms),
+        Duration::from_millis(10_000),
+    )
+    .with_seed(shard_idx)
+    .delay(failed_attempts)
 }
 
 fn json_escape(s: &str) -> String {
@@ -1502,7 +1522,7 @@ pub fn run_sharded(args: &Args) -> CmdResult {
                         );
                     } else {
                         s.state = "pending";
-                        let delay = retry_backoff(backoff_ms, s.attempts);
+                        let delay = retry_backoff(backoff_ms, s.attempts, s.idx as u64);
                         s.not_before = std::time::Instant::now() + delay;
                         ld_trace::add(Counter::ShardRetries, 1);
                         eprintln!(
@@ -2139,6 +2159,125 @@ pub fn tune(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `gemm-ld serve` — the fault-tolerant LD query daemon.
+///
+/// Positional arguments are panel specs, `[name=]path`, where `path` is
+/// a text input (`.ms`/`.vcf`/`.txt`) or a tile-store directory from
+/// `import`; a bare path registers under its file stem. The daemon
+/// binds `--addr`, prints `listening on HOST:PORT` (so scripts binding
+/// port 0 can discover the port), and serves LDS1 queries until SIGINT
+/// or SIGTERM, then drains in-flight requests under `--drain-ms`.
+///
+/// Exit codes follow the CLI contract: `0` clean drain, `5` drain
+/// deadline exceeded (in-flight work was abandoned with typed
+/// `ShuttingDown` responses), `4` bind failure, `3` a `--preload`
+/// panel failed to parse.
+pub fn serve(args: &Args) -> CmdResult {
+    let profile = parse_profile(args)?;
+    if profile.is_some() {
+        ld_trace::reset();
+    }
+    let specs = args.positional();
+    if specs.is_empty() {
+        return Err(CliError::Usage(
+            "serve needs at least one panel: gemm-ld serve [name=]input.ms [--addr HOST:PORT]"
+                .into(),
+        ));
+    }
+    let threads = args.get_parsed("threads", ld_parallel::available_threads())?;
+    let budget_mb = args.get_parsed("memory-budget-mb", 1024usize)?;
+    let engine = tuned_engine(args, threads)?.nan_policy(NanPolicy::Zero);
+    let mut registry = ld_serve::PanelRegistry::new(engine, budget_mb.saturating_mul(1024 * 1024));
+    for spec in specs {
+        let (name, path) = match spec.split_once('=') {
+            Some((n, p)) if !n.is_empty() => (n.to_string(), p),
+            _ => {
+                let stem = Path::new(spec.as_str())
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or(spec.as_str());
+                (stem.to_string(), spec.as_str())
+            }
+        };
+        if !Path::new(path).exists() {
+            return Err(CliError::Usage(format!(
+                "panel '{name}': no such file or directory: {path}"
+            )));
+        }
+        if !registry.add_source(name.clone(), ld_serve::PanelSource::detect(path)) {
+            return Err(CliError::Usage(format!(
+                "panel name '{name}' registered twice"
+            )));
+        }
+    }
+
+    let cfg = ld_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7711").to_string(),
+        workers: args.get_parsed("workers", threads.clamp(1, 8))?,
+        queue_depth: args.get_parsed("queue", 64usize)?,
+        max_connections: args.get_parsed("max-conns", 256usize)?,
+        request_timeout: Duration::from_millis(args.get_parsed("request-timeout-ms", 30_000u64)?),
+        drain_timeout: Duration::from_millis(args.get_parsed("drain-ms", 30_000u64)?),
+        // Test/CI aids: deterministic overload and panic-isolation
+        // windows for the fault-injection harness.
+        inject_delay: Duration::from_millis(args.get_parsed("inject-delay-ms", 0u64)?),
+        fault_panel: args.has("fault-panel"),
+        ..ld_serve::ServeConfig::default()
+    };
+
+    // `--preload`: compute every registered panel before accepting —
+    // a parse failure is exit 3 now, not an Internal response later.
+    if args.has("preload") {
+        let token = CancelToken::new();
+        let deadline = Deadline::after(Duration::from_secs(24 * 3600));
+        let names = registry.names();
+        for name in names {
+            registry
+                .get(&name, ld_core::LdStats::RSquared, &token, deadline)
+                .map_err(|e| match e {
+                    ld_serve::RegistryError::Load { .. } => {
+                        CliError::Parse(format!("preload failed: {e}"))
+                    }
+                    other => CliError::Resource(format!("preload failed: {other}")),
+                })?;
+            eprintln!("preloaded panel '{name}'");
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let server = ld_serve::Server::bind(cfg, registry)
+        .map_err(|e| CliError::Resource(format!("cannot bind: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Resource(format!("cannot resolve bound address: {e}")))?;
+    let shutdown = server.shutdown_token();
+    crate::interrupt::install_shutdown_watcher(&shutdown);
+    // Scripts parse this line to learn the port (`--addr host:0`).
+    println!("listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let outcome = server.run();
+    let reason = shutdown.reason().unwrap_or_else(|| "shutdown".to_string());
+    if let Some(mode) = profile {
+        emit_profile(
+            mode,
+            args.get("profile-out"),
+            started.elapsed().as_nanos() as u64,
+            threads,
+        )?;
+    }
+    match outcome {
+        ld_serve::DrainOutcome::Drained => {
+            eprintln!("{reason}: drained cleanly, exiting");
+            Ok(())
+        }
+        ld_serve::DrainOutcome::DeadlineExceeded { abandoned } => Err(CliError::Interrupted(
+            format!("{reason}: drain deadline exceeded, {abandoned} request(s) abandoned"),
+        )),
+    }
+}
+
 /// `gemm-ld convert`
 pub fn convert(args: &Args) -> CmdResult {
     let input = args.require("input")?;
@@ -2671,15 +2810,23 @@ mod tests {
         assert_eq!(classify_shard_exit(Some(3), false), ShardExit::CorruptState);
         assert_eq!(classify_shard_exit(Some(1), false), ShardExit::Crash);
         assert_eq!(classify_shard_exit(None, false), ShardExit::Crash);
-        assert_eq!(retry_backoff(500, 1), Duration::from_millis(500));
-        assert_eq!(retry_backoff(500, 2), Duration::from_millis(1000));
-        assert_eq!(retry_backoff(500, 3), Duration::from_millis(2000));
+        // jittered: every delay lands in [envelope/2, envelope] of the
+        // legacy capped exponential, and shards get distinct schedules
+        for (attempts, env_ms) in [(1u64, 500u64), (2, 1000), (3, 2000), (20, 10_000)] {
+            let d = retry_backoff(500, attempts as usize, 1);
+            assert!(d >= Duration::from_millis(env_ms / 2), "{attempts}: {d:?}");
+            assert!(d <= Duration::from_millis(env_ms), "{attempts}: {d:?}");
+        }
+        assert!(retry_backoff(u64::MAX, 20, 1) <= Duration::from_millis(10_000));
         assert_eq!(
-            retry_backoff(500, 20),
-            Duration::from_millis(10_000),
-            "capped"
+            retry_backoff(500, 3, 7),
+            retry_backoff(500, 3, 7),
+            "deterministic per shard seed"
         );
-        assert_eq!(retry_backoff(u64::MAX, 20), Duration::from_millis(10_000));
+        assert!(
+            (1..=24).any(|n| retry_backoff(500, n, 1) != retry_backoff(500, n, 2)),
+            "shard seeds must decorrelate the schedules"
+        );
     }
 
     #[test]

@@ -1,18 +1,23 @@
-//! SIGINT → `CancelToken` bridge.
+//! SIGINT/SIGTERM → `CancelToken` bridge.
 //!
 //! The signal handler itself does the only async-signal-safe thing it can:
 //! one atomic store. A detached watcher thread converts that flag into a
-//! [`CancelToken`] trip (reason `"SIGINT"`) — the token's reason mutex must
-//! never be taken inside a signal handler. The engine then drains at the
-//! next slab boundary, flushes a final checkpoint when one is configured,
-//! and the run surfaces as exit code 5 with a resumable snapshot on disk.
+//! [`CancelToken`] trip (reason `"SIGINT"` / `"SIGTERM"`) — the token's
+//! reason mutex must never be taken inside a signal handler. Batch runs
+//! then drain at the next slab boundary (exit code 5, resumable snapshot
+//! when checkpointed); the `serve` daemon stops accepting and drains
+//! in-flight requests under its drain deadline.
 
 use ld_core::CancelToken;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::time::Duration;
 
 /// Set by the handler; drained by the watcher thread.
 static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Last shutdown signal observed (`0` = none) — the daemon watcher
+/// reports which of SIGINT/SIGTERM arrived in the cancel reason.
+static SHUTDOWN_SIGNAL: AtomicI32 = AtomicI32::new(0);
 
 /// POSIX SIGINT number (avoids a libc dependency for one constant).
 pub const SIGINT: i32 = 2;
@@ -20,6 +25,10 @@ pub const SIGINT: i32 = 2;
 /// POSIX SIGKILL number — the shard supervisor's fault-injection harness
 /// sends it to simulate a hard crash.
 pub const SIGKILL: i32 = 9;
+
+/// POSIX SIGTERM number — the polite service-manager shutdown request;
+/// the `serve` daemon treats it exactly like SIGINT (drain, then exit).
+pub const SIGTERM: i32 = 15;
 
 extern "C" {
     /// POSIX `signal(2)`; handlers are passed as `sighandler_t` (a plain
@@ -72,6 +81,44 @@ pub fn install_sigint_watcher(token: &CancelToken) {
     });
 }
 
+extern "C" fn on_shutdown_signal(sig: i32) {
+    // Async-signal-safe: a single atomic store, no locks, no allocation.
+    SHUTDOWN_SIGNAL.store(sig, Ordering::SeqCst);
+}
+
+/// Installs SIGINT *and* SIGTERM handlers and spawns the watcher that
+/// trips `token` with the signal's name as the reason. The daemon's
+/// graceful-shutdown entry point: either signal stops the accept loop
+/// and starts the drain. The watcher exits once the token is cancelled
+/// for any reason.
+pub fn install_shutdown_watcher(token: &CancelToken) {
+    // SAFETY: `on_shutdown_signal` is async-signal-safe (one atomic
+    // store) and has the exact `extern "C" fn(c_int)` ABI `signal(2)`
+    // expects.
+    unsafe {
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+    }
+    let t = token.clone();
+    std::thread::spawn(move || loop {
+        match SHUTDOWN_SIGNAL.load(Ordering::SeqCst) {
+            0 => {}
+            SIGTERM => {
+                t.cancel_with_reason("SIGTERM");
+                return;
+            }
+            _ => {
+                t.cancel_with_reason("SIGINT");
+                return;
+            }
+        }
+        if t.is_cancelled() {
+            return; // daemon stopped for another reason: reap
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +135,20 @@ mod tests {
         assert!(token.is_cancelled());
         assert_eq!(token.reason().as_deref(), Some("SIGINT"));
         SIGINT_SEEN.store(false, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn shutdown_watcher_names_the_signal() {
+        let token = CancelToken::new();
+        install_shutdown_watcher(&token);
+        SHUTDOWN_SIGNAL.store(SIGTERM, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason().as_deref(), Some("SIGTERM"));
+        SHUTDOWN_SIGNAL.store(0, Ordering::SeqCst);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! gemm-ld omega -i data.ms --window 50 --step 10
 //! gemm-ld tanimoto -i fingerprints.txt --top-k 5
 //! gemm-ld convert -i data.ms -o data.vcf
+//! gemm-ld serve panel=data.ms --addr 127.0.0.1:7711   # LD query daemon
 //! ```
 
 //! ## Exit codes
@@ -19,7 +20,8 @@
 //! `0` success · `1` other failure · `2` usage error · `3` input parse
 //! error · `4` resource error (I/O, memory, limits) · `5` interrupted
 //! (SIGINT / `--timeout`; with `--checkpoint` a resumable snapshot was
-//! flushed first). Every failure is a single `error:` line on stderr —
+//! flushed first; for `serve`, the drain deadline expired with requests
+//! abandoned). Every failure is a single `error:` line on stderr —
 //! never a panic backtrace.
 
 use std::process::ExitCode;
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
         "blocks" => commands::blocks(&parsed),
         "assoc" => commands::assoc(&parsed),
         "convert" => commands::convert(&parsed),
+        "serve" => commands::serve(&parsed),
         "tune" => commands::tune(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -13,7 +13,7 @@ pub enum NanPolicy {
 }
 
 /// Which pairwise statistic a matrix-level computation should produce.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum LdStats {
     /// Squared Pearson correlation `r²` (Eq. 2). The common choice.
     #[default]

@@ -1,0 +1,163 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Retry loops that back off on a bare exponential schedule synchronize:
+//! every shard the supervisor re-dispatches after a shared fault (or every
+//! client a load balancer sheds in the same overload spike) sleeps the
+//! *same* `base × 2^(n−1)` and retries in lock-step, re-creating the very
+//! stampede the backoff was meant to break. The standard fix is jitter —
+//! spreading each sleeper uniformly over part of the exponential envelope
+//! ("equal jitter": half deterministic, half uniform), so retries
+//! decorrelate while the worst-case delay keeps the familiar capped
+//! exponential bound.
+//!
+//! This workspace builds offline with no RNG dependency in `ld-parallel`,
+//! and its retry tests need reproducible schedules, so the jitter source
+//! is a tiny SplitMix64 hash of `(seed, attempt)`: pure, allocation-free,
+//! and deterministic for a given seed. Callers that must not synchronize
+//! with each other (shards of one supervisor, clients of one harness)
+//! pick distinct seeds — shard index, client id — and get distinct but
+//! replayable schedules.
+//!
+//! Shared by the `run-sharded` supervisor (`crates/cli`) and the
+//! `ld-serve` client/load harness (`crates/serve`, `crates/bench`).
+
+use std::time::Duration;
+
+/// A capped exponential backoff schedule with deterministic equal jitter.
+///
+/// Attempt `n` (1-based count of *failed* attempts) sleeps
+///
+/// ```text
+/// envelope(n) = min(base × 2^(n−1), cap)
+/// delay(n)    = envelope(n)/2 + uniform[0, envelope(n)/2]
+/// ```
+///
+/// so every delay lies in `[envelope/2, envelope]`: bounded above by the
+/// classic capped exponential, bounded below by half of it, and spread
+/// uniformly in between per `(seed, attempt)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A schedule growing from `base` and saturating at `cap`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Self {
+            base,
+            cap,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Replaces the jitter seed. Concurrent retry loops that must not
+    /// synchronize (shards, clients) should each pass their own id.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The un-jittered capped exponential envelope for `failed_attempts`
+    /// failures: `min(base × 2^(n−1), cap)`; zero for zero failures.
+    pub fn envelope(&self, failed_attempts: usize) -> Duration {
+        if failed_attempts == 0 {
+            return Duration::ZERO;
+        }
+        // 2^63 already saturates any practical base; clamping the shift
+        // keeps the multiply well-defined for absurd attempt counts.
+        let shift = failed_attempts.saturating_sub(1).min(63) as u32;
+        let base_ns = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let ns = base_ns.saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX));
+        Duration::from_nanos(ns).min(self.cap)
+    }
+
+    /// The jittered delay before retry number `failed_attempts + 1`:
+    /// uniform in `[envelope/2, envelope]`, deterministic per
+    /// `(seed, failed_attempts)`.
+    pub fn delay(&self, failed_attempts: usize) -> Duration {
+        let env = self.envelope(failed_attempts);
+        if env.is_zero() {
+            return Duration::ZERO;
+        }
+        let env_ns = env.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let half = env_ns / 2;
+        let spread = env_ns - half; // ≥ half for env ≥ 1ns
+        let r =
+            splitmix64(self.seed ^ (failed_attempts as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        Duration::from_nanos(half + r % (spread + 1))
+    }
+}
+
+/// SplitMix64 finalizer — the same mixing constant set `ld-rng` vendors;
+/// one multiply-xor-shift round is plenty for decorrelating retry slots.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> Backoff {
+        Backoff::new(Duration::from_millis(500), Duration::from_millis(10_000))
+    }
+
+    #[test]
+    fn envelope_matches_capped_exponential() {
+        assert_eq!(b().envelope(0), Duration::ZERO);
+        assert_eq!(b().envelope(1), Duration::from_millis(500));
+        assert_eq!(b().envelope(2), Duration::from_millis(1000));
+        assert_eq!(b().envelope(3), Duration::from_millis(2000));
+        assert_eq!(b().envelope(20), Duration::from_millis(10_000), "capped");
+        assert_eq!(b().envelope(usize::MAX), Duration::from_millis(10_000));
+    }
+
+    #[test]
+    fn delay_stays_inside_jitter_band() {
+        for seed in 0..32u64 {
+            let s = b().with_seed(seed);
+            for attempt in 1..=24 {
+                let env = s.envelope(attempt);
+                let d = s.delay(attempt);
+                assert!(d >= env / 2, "attempt {attempt} seed {seed}: {d:?} < half");
+                assert!(d <= env, "attempt {attempt} seed {seed}: {d:?} > envelope");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_is_deterministic_per_seed() {
+        let s = b().with_seed(7);
+        assert_eq!(s.delay(3), s.delay(3));
+        assert_eq!(s.delay(5), b().with_seed(7).delay(5));
+    }
+
+    #[test]
+    fn seeds_decorrelate_schedules() {
+        // not a statistical test — just proof the seed reaches the jitter:
+        // across many attempts two seeds cannot produce identical schedules
+        let a = b().with_seed(1);
+        let c = b().with_seed(2);
+        assert!((1..=24).any(|n| a.delay(n) != c.delay(n)));
+    }
+
+    #[test]
+    fn zero_failures_mean_no_delay() {
+        assert_eq!(b().delay(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_base_saturates_at_cap() {
+        let s = Backoff::new(
+            Duration::from_secs(u64::MAX / 2),
+            Duration::from_millis(10_000),
+        );
+        assert_eq!(s.envelope(20), Duration::from_millis(10_000));
+        assert!(s.delay(20) <= Duration::from_millis(10_000));
+    }
+}

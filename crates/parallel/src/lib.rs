@@ -15,7 +15,10 @@
 //!   splitter that balances the `N(N+1)/2` pair workload of the symmetric
 //!   `GᵀG` (SYRK) driver;
 //! * [`ThreadPool`] — a persistent channel-fed pool for coarse `'static`
-//!   jobs (used by the benchmark harness to overlap dataset generation).
+//!   jobs (used by the benchmark harness to overlap dataset generation);
+//! * [`Backoff`] — capped exponential retry delays with deterministic
+//!   equal jitter, shared by the `run-sharded` supervisor and the
+//!   `ld-serve` client harness so simultaneous retries decorrelate.
 //!
 //! Everything here guarantees data-race freedom through the type system:
 //! scoped threads borrow, the pool owns.
@@ -46,12 +49,14 @@
 
 #![warn(missing_docs)]
 
+mod backoff;
 mod cancel;
 mod panic;
 pub mod partition;
 mod pool;
 mod team;
 
+pub use backoff::Backoff;
 pub use cancel::{CancelToken, Deadline};
 pub use panic::WorkerPanic;
 pub use partition::{

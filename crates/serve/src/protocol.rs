@@ -1,0 +1,664 @@
+//! The `LDS1` wire protocol: length-prefixed frames, strictly decoded.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! ┌──────────────┬───────────────────────────────┐
+//! │ len: u32 LE  │ payload (len bytes)           │
+//! └──────────────┴───────────────────────────────┘
+//! payload: [ magic "LDS1" (4) ][ opcode/status (1) ][ body ... ]
+//! ```
+//!
+//! Requests are tiny and bounded ([`MAX_REQUEST_PAYLOAD`]); responses
+//! carry pair tables and are bounded only by [`MAX_RESPONSE_PAYLOAD`].
+//! All integers are little-endian; `min_r2` travels as raw `f64` bits so
+//! a threshold round-trips exactly.
+//!
+//! Decoding is **strict and total**: every malformed byte sequence maps
+//! to a typed [`ProtoError`] naming what is wrong (bad magic, unknown
+//! opcode, truncated body, trailing garbage, non-UTF-8 panel name …) —
+//! never a panic, never a silent truncation. The server answers a
+//! decode failure with a [`Status::BadRequest`] response carrying the
+//! error text and keeps the connection; only a corrupt *length prefix*
+//! (oversized frame) forces a close, because the stream can no longer
+//! be re-synchronized. The malformed-frame corpus in `tests/corpus.rs`
+//! walks exactly these guarantees.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame payload magic; rejects line-oriented or foreign traffic early.
+pub const MAGIC: [u8; 4] = *b"LDS1";
+
+/// Upper bound on a request payload. Requests carry at most a statistic
+/// code, four integers and a panel name, so anything larger is garbage
+/// — and bounding the prefix means a hostile client cannot make the
+/// server allocate by sending a huge length.
+pub const MAX_REQUEST_PAYLOAD: usize = 4 * 1024;
+
+/// Upper bound on a response payload a client will accept (region pair
+/// tables are large; 1 GiB is far above any panel the daemon serves).
+pub const MAX_RESPONSE_PAYLOAD: usize = 1 << 30;
+
+/// Statistic selector carried by queries (mirrors `ld_core::LdStats`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum StatCode {
+    /// Squared Pearson correlation r².
+    #[default]
+    RSquared = 0,
+    /// Raw disequilibrium coefficient D.
+    D = 1,
+    /// Lewontin's D′.
+    DPrime = 2,
+}
+
+impl StatCode {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(StatCode::RSquared),
+            1 => Ok(StatCode::D),
+            2 => Ok(StatCode::DPrime),
+            other => Err(ProtoError::BadStat(other)),
+        }
+    }
+
+    /// The engine-side statistic this code selects.
+    pub fn to_stat(self) -> ld_core::LdStats {
+        match self {
+            StatCode::RSquared => ld_core::LdStats::RSquared,
+            StatCode::D => ld_core::LdStats::D,
+            StatCode::DPrime => ld_core::LdStats::DPrime,
+        }
+    }
+}
+
+/// A decoded client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness + stats probe; answered inline, never queued.
+    Health,
+    /// One LD value for SNP pair `(i, j)` of `panel`.
+    Pair {
+        /// Registered panel name.
+        panel: String,
+        /// Statistic to compute.
+        stat: StatCode,
+        /// First SNP index.
+        i: u32,
+        /// Second SNP index.
+        j: u32,
+    },
+    /// The pair table of rows `[row0, row1)` of `panel` — the exact
+    /// bytes `gemm-ld r2` writes for that region (header included).
+    Region {
+        /// Registered panel name.
+        panel: String,
+        /// Statistic to compute.
+        stat: StatCode,
+        /// First row of the half-open region.
+        row0: u32,
+        /// One past the last row (0 = the whole panel).
+        row1: u32,
+        /// Threshold: pairs with `value < min_r2` (or NaN) are omitted.
+        min_r2: f64,
+    },
+}
+
+const OP_HEALTH: u8 = 0;
+const OP_PAIR: u8 = 1;
+const OP_REGION: u8 = 2;
+
+impl Request {
+    /// Encodes the request payload (frame it with [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(32);
+        p.extend_from_slice(&MAGIC);
+        match self {
+            Request::Health => p.push(OP_HEALTH),
+            Request::Pair { panel, stat, i, j } => {
+                p.push(OP_PAIR);
+                p.push(*stat as u8);
+                p.extend_from_slice(&i.to_le_bytes());
+                p.extend_from_slice(&j.to_le_bytes());
+                put_name(&mut p, panel);
+            }
+            Request::Region {
+                panel,
+                stat,
+                row0,
+                row1,
+                min_r2,
+            } => {
+                p.push(OP_REGION);
+                p.push(*stat as u8);
+                p.extend_from_slice(&row0.to_le_bytes());
+                p.extend_from_slice(&row1.to_le_bytes());
+                p.extend_from_slice(&min_r2.to_bits().to_le_bytes());
+                put_name(&mut p, panel);
+            }
+        }
+        p
+    }
+
+    /// Strictly decodes a request payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let magic = c.bytes::<4>()?;
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let op = c.u8()?;
+        let req = match op {
+            OP_HEALTH => Request::Health,
+            OP_PAIR => {
+                let stat = StatCode::from_u8(c.u8()?)?;
+                let i = c.u32()?;
+                let j = c.u32()?;
+                let panel = c.name()?;
+                Request::Pair { panel, stat, i, j }
+            }
+            OP_REGION => {
+                let stat = StatCode::from_u8(c.u8()?)?;
+                let row0 = c.u32()?;
+                let row1 = c.u32()?;
+                let min_r2 = f64::from_bits(c.u64()?);
+                let panel = c.name()?;
+                Request::Region {
+                    panel,
+                    stat,
+                    row0,
+                    row1,
+                    min_r2,
+                }
+            }
+            other => return Err(ProtoError::BadOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// Response status — the typed outcome taxonomy every reply leads with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The query succeeded; the body is the result.
+    Ok = 0,
+    /// Admission control rejected the request — queue full, or the
+    /// panel memory budget is exhausted even after eviction. Retry
+    /// with backoff; the body names the exhausted resource.
+    Shed = 1,
+    /// The frame decoded but the request is unusable (malformed frame,
+    /// unknown statistic, out-of-range indices).
+    BadRequest = 2,
+    /// The named panel is not registered with this daemon.
+    NotFound = 3,
+    /// The request was accepted but failed inside the server (worker
+    /// panic, panel load failure). The request was isolated; the
+    /// server keeps serving.
+    Internal = 4,
+    /// The per-request deadline expired before the result was ready.
+    Timeout = 5,
+    /// The daemon is draining and no longer accepts new work.
+    ShuttingDown = 6,
+}
+
+impl Status {
+    /// Decodes a wire byte.
+    pub fn from_u8(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => Status::Ok,
+            1 => Status::Shed,
+            2 => Status::BadRequest,
+            3 => Status::NotFound,
+            4 => Status::Internal,
+            5 => Status::Timeout,
+            6 => Status::ShuttingDown,
+            other => return Err(ProtoError::BadStatus(other)),
+        })
+    }
+
+    /// Stable lowercase name (used in logs and the bench report).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Shed => "shed",
+            Status::BadRequest => "bad-request",
+            Status::NotFound => "not-found",
+            Status::Internal => "internal",
+            Status::Timeout => "timeout",
+            Status::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A decoded server response: a typed status plus a status-specific
+/// body (result bytes for [`Status::Ok`], a UTF-8 message otherwise).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Outcome class.
+    pub status: Status,
+    /// Result bytes (`Ok`) or a human-readable error message.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An `Ok` response carrying `body`.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Self {
+            status: Status::Ok,
+            body,
+        }
+    }
+
+    /// An error response with a message body.
+    pub fn error(status: Status, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: message.into().into_bytes(),
+        }
+    }
+
+    /// The body as UTF-8 (error messages; lossy for robustness).
+    pub fn message(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Encodes the response payload (frame it with [`write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(5 + self.body.len());
+        p.extend_from_slice(&MAGIC);
+        p.push(self.status as u8);
+        p.extend_from_slice(&self.body);
+        p
+    }
+
+    /// Strictly decodes a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let magic = c.bytes::<4>()?;
+        if magic != MAGIC {
+            return Err(ProtoError::BadMagic(magic));
+        }
+        let status = Status::from_u8(c.u8()?)?;
+        Ok(Response {
+            status,
+            body: c.rest().to_vec(),
+        })
+    }
+}
+
+/// Why a frame or payload failed to decode. Every variant renders a
+/// located, human-readable message — this text is what travels back in
+/// a [`Status::BadRequest`] body.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The transport failed mid-frame.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The peer closed (or stalled past the frame deadline) mid-frame.
+    Truncated {
+        /// Bytes expected still on the wire.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The length prefix exceeds the admissible payload size; the
+    /// stream cannot be re-synchronized and must be closed.
+    Oversized {
+        /// Declared payload length.
+        len: u64,
+        /// Maximum admissible payload.
+        max: usize,
+    },
+    /// The payload is shorter than a fixed field requires.
+    Short {
+        /// Bytes the field needs.
+        need: usize,
+        /// Bytes remaining.
+        got: usize,
+    },
+    /// The payload does not start with `LDS1`.
+    BadMagic([u8; 4]),
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown response status byte.
+    BadStatus(u8),
+    /// Unknown statistic selector.
+    BadStat(u8),
+    /// The panel name is not valid UTF-8.
+    BadName,
+    /// Decoding finished with unconsumed payload bytes.
+    Trailing {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl ProtoError {
+    /// True when the *stream* is beyond recovery (corrupt length prefix
+    /// or transport failure) and the connection must be closed after
+    /// the error response; payload-level errors keep the connection.
+    pub fn poisons_stream(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::Io(_)
+                | ProtoError::Closed
+                | ProtoError::Truncated { .. }
+                | ProtoError::Oversized { .. }
+        )
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            ProtoError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes declared, max {max}")
+            }
+            ProtoError::Short { need, got } => {
+                write!(f, "short payload: field needs {need} bytes, {got} left")
+            }
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?} (expected \"LDS1\")"),
+            ProtoError::BadOpcode(b) => write!(f, "unknown opcode {b}"),
+            ProtoError::BadStatus(b) => write!(f, "unknown status byte {b}"),
+            ProtoError::BadStat(b) => write!(f, "unknown statistic code {b} (0=r2 1=d 2=dprime)"),
+            ProtoError::BadName => write!(f, "panel name is not valid UTF-8"),
+            ProtoError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after a complete request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 framing"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload, admitting at most `max` bytes.
+///
+/// A clean EOF *before* any prefix byte is [`ProtoError::Closed`]; EOF
+/// mid-prefix or mid-payload is [`ProtoError::Truncated`]. An admissible
+/// read timeout surfaces as `Io` — the server's connection loop converts
+/// idle-poll timeouts into shutdown checks and mid-frame timeouts into a
+/// half-open-connection error.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, ProtoError> {
+    let mut prefix = [0u8; 4];
+    read_exact_or(r, &mut prefix, true)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(ProtoError::Oversized {
+            len: len as u64,
+            max,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or(r, &mut payload, false)?;
+    Ok(payload)
+}
+
+/// `read_exact` distinguishing clean close (only when `at_boundary` and
+/// zero bytes arrived) from mid-frame truncation.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(ProtoError::Closed)
+                } else {
+                    Err(ProtoError::Truncated {
+                        expected: buf.len(),
+                        got: filled,
+                    })
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn put_name(p: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize) as u16;
+    p.extend_from_slice(&len.to_le_bytes());
+    p.extend_from_slice(&bytes[..len as usize]);
+}
+
+/// Strict little-endian payload reader.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let got = self.data.len() - self.pos;
+        if got < n {
+            return Err(ProtoError::Short { need: n, got });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn bytes<const N: usize>(&mut self) -> Result<[u8; N], ProtoError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.bytes::<2>()?))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes::<8>()?))
+    }
+
+    fn name(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadName)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let extra = self.data.len() - self.pos;
+        if extra != 0 {
+            return Err(ProtoError::Trailing { extra });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: Request) {
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(Request::Health);
+        roundtrip(Request::Pair {
+            panel: "p1".into(),
+            stat: StatCode::D,
+            i: 3,
+            j: 9,
+        });
+        roundtrip(Request::Region {
+            panel: "panel-α".into(),
+            stat: StatCode::DPrime,
+            row0: 0,
+            row1: 100,
+            min_r2: 0.25,
+        });
+    }
+
+    #[test]
+    fn min_r2_bits_roundtrip_exactly() {
+        let r = Request::Region {
+            panel: "p".into(),
+            stat: StatCode::RSquared,
+            row0: 0,
+            row1: 0,
+            min_r2: 0.1 + 0.2, // not representable: bits must survive
+        };
+        match Request::decode(&r.encode()).unwrap() {
+            Request::Region { min_r2, .. } => {
+                assert_eq!(min_r2.to_bits(), (0.1f64 + 0.2).to_bits())
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let r = Response::ok(b"SNP_A\tSNP_B\tR2\n".to_vec());
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        let e = Response::error(Status::Shed, "queue full (depth 8)");
+        let d = Response::decode(&e.encode()).unwrap();
+        assert_eq!(d.status, Status::Shed);
+        assert_eq!(d.message(), "queue full (depth 8)");
+    }
+
+    #[test]
+    fn decode_rejects_each_malformation_with_a_typed_error() {
+        // too short for magic
+        assert!(matches!(
+            Request::decode(b"LD"),
+            Err(ProtoError::Short { .. })
+        ));
+        // wrong magic
+        assert!(matches!(
+            Request::decode(b"XXXX\x00"),
+            Err(ProtoError::BadMagic(_))
+        ));
+        // unknown opcode
+        assert!(matches!(
+            Request::decode(b"LDS1\x7f"),
+            Err(ProtoError::BadOpcode(0x7f))
+        ));
+        // unknown stat
+        let mut p = Request::Pair {
+            panel: "p".into(),
+            stat: StatCode::RSquared,
+            i: 0,
+            j: 1,
+        }
+        .encode();
+        p[5] = 9;
+        assert!(matches!(Request::decode(&p), Err(ProtoError::BadStat(9))));
+        // truncated body
+        let full = Request::Pair {
+            panel: "p".into(),
+            stat: StatCode::RSquared,
+            i: 0,
+            j: 1,
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(&full[..full.len() - 1]),
+            Err(ProtoError::Short { .. })
+        ));
+        // trailing garbage
+        let mut t = full.clone();
+        t.push(0);
+        assert!(matches!(
+            Request::decode(&t),
+            Err(ProtoError::Trailing { extra: 1 })
+        ));
+        // non-UTF-8 name
+        let mut bad = Request::Pair {
+            panel: "ab".into(),
+            stat: StatCode::RSquared,
+            i: 0,
+            j: 1,
+        }
+        .encode();
+        let n = bad.len();
+        bad[n - 1] = 0xff;
+        bad[n - 2] = 0xfe;
+        assert!(matches!(Request::decode(&bad), Err(ProtoError::BadName)));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 64).unwrap(), b"hello");
+        assert!(matches!(read_frame(&mut r, 64), Err(ProtoError::Closed)));
+        // oversized prefix is typed and names the bound
+        let mut big = Vec::new();
+        big.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &big[..], 64),
+            Err(ProtoError::Oversized { max: 64, .. })
+        ));
+        // mid-frame EOF is truncation, not a clean close
+        let mut cut = Vec::new();
+        write_frame(&mut cut, b"hello").unwrap();
+        cut.truncate(6);
+        assert!(matches!(
+            read_frame(&mut &cut[..], 64),
+            Err(ProtoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_poisoning_is_classified() {
+        assert!(ProtoError::Oversized { len: 99, max: 4 }.poisons_stream());
+        assert!(ProtoError::Truncated {
+            expected: 8,
+            got: 2
+        }
+        .poisons_stream());
+        assert!(!ProtoError::BadOpcode(9).poisons_stream());
+        assert!(!ProtoError::Trailing { extra: 3 }.poisons_stream());
+    }
+}

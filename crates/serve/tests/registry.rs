@@ -1,0 +1,257 @@
+//! Panel-cache behavior: LRU eviction under the memory budget,
+//! evict-then-shed ordering, and fingerprint (content) keying.
+
+use ld_core::{CancelToken, Deadline, LdEngine, LdStats, NanPolicy};
+use ld_serve::registry::{PanelRegistry, PanelSource, RegistryError};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ld_serve_reg_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_panel(dir: &Path, name: &str, n_samples: usize, n_snps: usize, seed: u64) -> PathBuf {
+    let mut state = seed | 1;
+    let mut text = String::new();
+    for _ in 0..n_samples {
+        for _ in 0..n_snps {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            text.push(if (state >> 33) & 1 == 1 { '1' } else { '0' });
+        }
+        text.push('\n');
+    }
+    let path = dir.join(format!("{name}.txt"));
+    let mut f = std::fs::File::create(&path).expect("create panel");
+    f.write_all(text.as_bytes()).expect("write panel");
+    path
+}
+
+fn engine() -> LdEngine {
+    LdEngine::new().threads(1).nan_policy(NanPolicy::Zero)
+}
+
+/// Resident bytes of an n-SNP panel: the upper triangle incl. diagonal.
+fn triangle_bytes(n: usize) -> usize {
+    n * (n + 1) / 2 * 8
+}
+
+fn ctl() -> (CancelToken, Deadline) {
+    (CancelToken::new(), Deadline::after(Duration::from_secs(30)))
+}
+
+const N: usize = 32; // every test panel is 32 SNPs
+
+fn registry_with_panels(dir: &Path, budget: usize, panels: &[(&str, u64)]) -> PanelRegistry {
+    let mut reg = PanelRegistry::new(engine(), budget);
+    for (name, seed) in panels {
+        let path = write_panel(dir, name, 24, N, *seed);
+        assert!(reg.add_source(*name, PanelSource::TextFile(path)));
+    }
+    reg
+}
+
+#[test]
+fn hits_and_misses_are_counted_and_keyed_by_content() {
+    let dir = temp_dir("hits");
+    let reg = registry_with_panels(&dir, 10 * triangle_bytes(N), &[("a", 1), ("b", 2)]);
+    let (tok, dl) = ctl();
+
+    let m1 = reg
+        .get("a", LdStats::RSquared, &tok, dl)
+        .expect("first load");
+    let m2 = reg.get("a", LdStats::RSquared, &tok, dl).expect("hit");
+    assert!(
+        std::sync::Arc::ptr_eq(&m1, &m2),
+        "hit must return the resident Arc"
+    );
+
+    // A different statistic on the same panel is a distinct cache entry.
+    let _ = reg.get("a", LdStats::D, &tok, dl).expect("D load");
+    // A different panel is a miss.
+    let _ = reg.get("b", LdStats::RSquared, &tok, dl).expect("b load");
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.resident.len(), 3);
+    assert_eq!(snap.stats.hits, 1);
+    assert_eq!(snap.stats.misses, 3);
+    assert_eq!(snap.stats.evictions, 0);
+    assert_eq!(snap.used_bytes, 3 * triangle_bytes(N));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn two_names_with_identical_content_share_one_resident_panel() {
+    let dir = temp_dir("alias");
+    // Same seed -> byte-identical files -> same fingerprint.
+    let reg = registry_with_panels(&dir, 10 * triangle_bytes(N), &[("x", 7), ("y", 7)]);
+    let (tok, dl) = ctl();
+
+    let mx = reg.get("x", LdStats::RSquared, &tok, dl).expect("x");
+    let my = reg.get("y", LdStats::RSquared, &tok, dl).expect("y");
+    assert!(
+        std::sync::Arc::ptr_eq(&mx, &my),
+        "identical content must share one resident triangle"
+    );
+    let snap = reg.snapshot();
+    assert_eq!(snap.resident.len(), 1, "one entry despite two names");
+    assert_eq!(snap.used_bytes, triangle_bytes(N));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn lru_eviction_removes_least_recently_used_first() {
+    let dir = temp_dir("lru");
+    // Budget fits exactly two resident panels.
+    let reg = registry_with_panels(
+        &dir,
+        2 * triangle_bytes(N),
+        // distinct odd seeds: `seed | 1` must not collide, or two
+        // panels would share a fingerprint and alias in the cache
+        &[("a", 1), ("b", 5), ("c", 9)],
+    );
+    let (tok, dl) = ctl();
+
+    let ma = reg.get("a", LdStats::RSquared, &tok, dl).expect("a");
+    let _mb = reg.get("b", LdStats::RSquared, &tok, dl).expect("b");
+    // Touch `a` so `b` becomes least-recently-used.
+    let _ = reg.get("a", LdStats::RSquared, &tok, dl).expect("a hit");
+    // Admitting `c` must evict `b`, not `a`.
+    let _mc = reg.get("c", LdStats::RSquared, &tok, dl).expect("c");
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.stats.evictions, 1);
+    assert_eq!(snap.resident.len(), 2);
+    let fa = reg.meta("a").expect("a meta").fingerprint;
+    let fb = reg.meta("b").expect("b meta").fingerprint;
+    let fc = reg.meta("c").expect("c meta").fingerprint;
+    let resident: Vec<u64> = snap.resident.iter().map(|(f, _, _)| *f).collect();
+    assert!(
+        resident.contains(&fa),
+        "recently-touched panel must survive"
+    );
+    assert!(
+        resident.contains(&fc),
+        "newly-admitted panel must be resident"
+    );
+    assert!(!resident.contains(&fb), "LRU panel must be evicted");
+
+    // The evicted panel's Arc stays usable by in-flight holders.
+    assert_eq!(ma.n_snps(), N);
+    // Re-requesting the evicted panel recomputes it (a miss + eviction).
+    let _ = reg.get("b", LdStats::RSquared, &tok, dl).expect("b again");
+    assert_eq!(reg.snapshot().stats.evictions, 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn evict_then_shed_order_is_respected() {
+    let dir = temp_dir("shed");
+    // Budget fits ONE 32-SNP panel but not the 96-SNP one.
+    let big = write_panel(&temp_dir("shed_big"), "big", 24, 96, 9);
+    let mut reg = registry_with_panels(&dir, triangle_bytes(N) + 64, &[("small", 1)]);
+    assert!(reg.add_source("big", PanelSource::TextFile(big.clone())));
+    let (tok, dl) = ctl();
+
+    let _ = reg
+        .get("small", LdStats::RSquared, &tok, dl)
+        .expect("small");
+    assert_eq!(reg.snapshot().resident.len(), 1);
+
+    // The big panel cannot fit even into an empty cache: the registry
+    // must FIRST evict the resident panel, THEN shed.
+    let err = reg
+        .get("big", LdStats::RSquared, &tok, dl)
+        .expect_err("must shed");
+    match err {
+        RegistryError::BudgetExceeded { need, budget, .. } => {
+            assert_eq!(need, triangle_bytes(96));
+            assert_eq!(budget, triangle_bytes(N) + 64);
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.stats.evictions, 1, "eviction happens before the shed");
+    assert_eq!(snap.stats.sheds, 1);
+    assert_eq!(
+        snap.resident.len(),
+        0,
+        "cache was emptied trying to make room"
+    );
+    assert_eq!(snap.used_bytes, 0, "failed admission must not leak budget");
+
+    // The daemon degrades, it does not die: the small panel reloads.
+    let _ = reg
+        .get("small", LdStats::RSquared, &tok, dl)
+        .expect("small again");
+    let _ = std::fs::remove_dir_all(dir);
+    if let Some(parent) = big.parent() {
+        let _ = std::fs::remove_dir_all(parent);
+    }
+}
+
+#[test]
+fn unknown_panel_and_unparseable_source_are_typed() {
+    let dir = temp_dir("typed");
+    let mut reg = registry_with_panels(&dir, 10 * triangle_bytes(N), &[]);
+    let garbled = dir.join("bad.txt");
+    std::fs::write(&garbled, "01x01\n10101\n").expect("write garbled");
+    assert!(reg.add_source("bad", PanelSource::TextFile(garbled)));
+    let (tok, dl) = ctl();
+
+    match reg.get("nope", LdStats::RSquared, &tok, dl) {
+        Err(RegistryError::UnknownPanel(p)) => assert_eq!(p, "nope"),
+        other => panic!("expected UnknownPanel, got {other:?}", other = other.err()),
+    }
+    match reg.get("bad", LdStats::RSquared, &tok, dl) {
+        Err(RegistryError::Load { panel, .. }) => assert_eq!(panel, "bad"),
+        other => panic!("expected Load error, got {other:?}", other = other.err()),
+    }
+    // A failed load must not leak reserved budget.
+    assert_eq!(reg.snapshot().used_bytes, 0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn tile_store_panels_load_with_manifest_fingerprint() {
+    let dir = temp_dir("store");
+    // Build a matrix, import it as a PR 8 tile store, and register both
+    // the store and the equivalent text file: same content, same
+    // fingerprint, one resident triangle.
+    let text_path = write_panel(&dir, "flat", 24, N, 5);
+    let g = {
+        let f = std::fs::File::open(&text_path).expect("open");
+        ld_io::text::read_matrix(std::io::BufReader::new(f)).expect("parse")
+    };
+    let store_dir = dir.join("store");
+    ld_io::tilestore::import_to_dir(&g, 8, &store_dir).expect("import");
+
+    let mut reg = PanelRegistry::new(engine(), 10 * triangle_bytes(N));
+    assert!(reg.add_source("flat", PanelSource::TextFile(text_path)));
+    assert!(reg.add_source("store", PanelSource::TileStore(store_dir.clone())));
+    // `detect` classifies directories as tile stores.
+    assert!(matches!(
+        PanelSource::detect(&store_dir),
+        PanelSource::TileStore(_)
+    ));
+    let (tok, dl) = ctl();
+
+    let ms = reg
+        .get("store", LdStats::RSquared, &tok, dl)
+        .expect("store");
+    let mt = reg.get("flat", LdStats::RSquared, &tok, dl).expect("text");
+    assert!(
+        std::sync::Arc::ptr_eq(&ms, &mt),
+        "store and text of the same content must share one resident panel"
+    );
+    assert_eq!(
+        reg.meta("store").expect("meta").fingerprint,
+        reg.meta("flat").expect("meta").fingerprint
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

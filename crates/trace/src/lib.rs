@@ -47,6 +47,10 @@
 //! | `store_bytes_read` | store | bytes streamed out of a tile store (decoded chunk payload + header) |
 //! | `prefetch_hits` | store | chunk reads the prefetch thread had ready before compute asked |
 //! | `prefetch_stall_ns` | store | nanoseconds compute spent waiting on a chunk the prefetcher had not finished |
+//! | `requests_accepted` | serve | queries the `ld-serve` admission controller enqueued |
+//! | `requests_shed` | serve | queries rejected by admission control (queue full, memory budget, queue-deadline expiry) |
+//! | `requests_failed` | serve | accepted queries that failed (worker panic, internal error) |
+//! | `panels_evicted` | serve | resident `LdMatrix` panels evicted from the LRU cache under memory pressure |
 //!
 //! Counts (`kernel_tiles`, `kernel_words`, `bytes_packed`,
 //! `slabs_emitted`, `io_*`, `cancel_polls`, `resume_slabs_skipped`,
@@ -55,9 +59,18 @@
 //! count and wall time; the `*_ns` timers, `steal_count`,
 //! `checkpoints_written` (its periodic trigger is wall-clock based),
 //! the supervisor counters (`shards_launched`, `shard_retries` — retries
-//! depend on fault timing) and the prefetch race counters
+//! depend on fault timing), the prefetch race counters
 //! (`prefetch_hits`, `prefetch_stall_ns` — whether a read wins the race
-//! against compute is pure timing) are not.
+//! against compute is pure timing) and the serving counters
+//! (`requests_*`, `panels_evicted` — functions of client arrival timing
+//! and queue/budget pressure) are not.
+//!
+//! Beyond the counters, the serving layer records a **request-latency
+//! histogram** ([`record_request_latency`] / [`latency_snapshot`]):
+//! fixed log₂ buckets on static atomics — allocation-free like every
+//! other hot-path entry point — from which [`LatencySummary`] derives
+//! the p50/p99 the `ld-serve` health endpoint and `BENCH_serve.json`
+//! report.
 //! `kernel_words` against elapsed cycles gives the §IV ops/cycle metric:
 //! the scalar peak is 3 ops/cycle = 1 word-pair/cycle (AND ∥ POPCNT ∥
 //! ADD), so `words/cycle × 3` is directly comparable to that peak.
@@ -143,11 +156,23 @@ pub enum Counter {
     /// Nanoseconds compute spent blocked on a chunk the prefetch thread
     /// had not finished reading yet.
     PrefetchStallNs,
+    /// Queries the `ld-serve` admission controller accepted into the
+    /// bounded request queue.
+    RequestsAccepted,
+    /// Queries rejected by admission control — queue full, panel memory
+    /// budget exhausted after eviction, or queue-deadline expiry.
+    RequestsShed,
+    /// Accepted queries that failed with an internal error (worker
+    /// panic, panel load failure).
+    RequestsFailed,
+    /// Resident `LdMatrix` panels evicted from the serve LRU cache to
+    /// make room under the memory budget.
+    PanelsEvicted,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 29;
 
     /// All counters, in stable report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -176,6 +201,10 @@ impl Counter {
         Counter::StoreBytesRead,
         Counter::PrefetchHits,
         Counter::PrefetchStallNs,
+        Counter::RequestsAccepted,
+        Counter::RequestsShed,
+        Counter::RequestsFailed,
+        Counter::PanelsEvicted,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -206,6 +235,10 @@ impl Counter {
             Counter::StoreBytesRead => "store_bytes_read",
             Counter::PrefetchHits => "prefetch_hits",
             Counter::PrefetchStallNs => "prefetch_stall_ns",
+            Counter::RequestsAccepted => "requests_accepted",
+            Counter::RequestsShed => "requests_shed",
+            Counter::RequestsFailed => "requests_failed",
+            Counter::PanelsEvicted => "panels_evicted",
         }
     }
 
@@ -232,6 +265,12 @@ impl Counter {
                 // pure timing, as is how long a losing read stalls
                 | Counter::PrefetchHits
                 | Counter::PrefetchStallNs
+                // serving counters depend on client arrival timing and
+                // queue/budget pressure
+                | Counter::RequestsAccepted
+                | Counter::RequestsShed
+                | Counter::RequestsFailed
+                | Counter::PanelsEvicted
         )
     }
 }
@@ -263,6 +302,7 @@ mod imp {
     const ZERO: AtomicU64 = AtomicU64::new(0);
 
     pub(super) static COUNTERS: [AtomicU64; Counter::COUNT] = [ZERO; Counter::COUNT];
+    pub(super) static LATENCY: [AtomicU64; super::LATENCY_BUCKETS] = [ZERO; super::LATENCY_BUCKETS];
     pub(super) static WORKER_TILES: [AtomicU64; MAX_WORKERS] = [ZERO; MAX_WORKERS];
     pub(super) static WORKER_STEALS: [AtomicU64; MAX_WORKERS] = [ZERO; MAX_WORKERS];
     pub(super) static IO_LINES: [AtomicU64; super::IO_FORMATS.len()] =
@@ -286,6 +326,19 @@ mod imp {
     #[inline]
     pub(super) fn get(c: Counter) -> u64 {
         COUNTERS[c as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(super) fn record_request_latency(ns: u64) {
+        LATENCY[super::latency_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn latency_snapshot() -> [u64; super::LATENCY_BUCKETS] {
+        let mut out = [0u64; super::LATENCY_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&LATENCY) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
     }
 
     #[inline]
@@ -326,6 +379,9 @@ mod imp {
 
     pub(super) fn reset() {
         for c in &COUNTERS {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &LATENCY {
             c.store(0, Ordering::Relaxed);
         }
         for c in WORKER_TILES.iter().chain(&WORKER_STEALS) {
@@ -377,6 +433,53 @@ pub fn get(c: Counter) -> u64 {
         let _ = c;
         0
     }
+}
+
+/// Number of log₂ request-latency buckets: bucket `i` counts requests
+/// whose latency `ns` satisfies `⌊log₂ ns⌋ = i` (bucket 0 also takes
+/// `ns = 0`; the last bucket absorbs everything from `2^39` ns ≈ 9 min
+/// up).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// The histogram bucket latency `ns` falls into.
+#[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+#[inline]
+fn latency_bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound (ns) of latency bucket `i` — the value the
+/// quantile estimator reports for samples landing in that bucket.
+fn latency_bucket_ceiling(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Records one served request's end-to-end latency (enqueue → response
+/// ready) into the global histogram (relaxed atomic add; no-op when
+/// metrics are disabled).
+#[inline(always)]
+pub fn record_request_latency(ns: u64) {
+    #[cfg(feature = "metrics")]
+    imp::record_request_latency(ns);
+    #[cfg(not(feature = "metrics"))]
+    let _ = ns;
+}
+
+/// Snapshot of the request-latency histogram buckets (all zero when
+/// metrics are disabled).
+pub fn latency_snapshot() -> [u64; LATENCY_BUCKETS] {
+    #[cfg(feature = "metrics")]
+    return imp::latency_snapshot();
+    #[cfg(not(feature = "metrics"))]
+    [0; LATENCY_BUCKETS]
 }
 
 /// Records one dynamic-scheduler chunk claimed by `worker`; `stolen`
@@ -495,6 +598,65 @@ pub struct IoMetrics {
     pub bytes_read: u64,
 }
 
+/// The request-latency histogram in summary form: raw log₂ buckets plus
+/// quantiles estimated from them. Bucket quantiles are conservative — a
+/// sample is reported at its bucket's inclusive upper bound — so p50/p99
+/// never under-state the latency a client saw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Total requests recorded (the sum of `buckets`).
+    pub count: u64,
+    /// Log₂ buckets: `buckets[i]` counts requests with `⌊log₂ ns⌋ = i`.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencySummary {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencySummary {
+    /// Summarizes the current global histogram.
+    pub fn capture() -> Self {
+        let buckets = latency_snapshot();
+        Self {
+            count: buckets.iter().sum(),
+            buckets,
+        }
+    }
+
+    /// The `q`-quantile latency in nanoseconds (bucket upper bound), or
+    /// `None` when no requests were recorded. `q` is clamped to `(0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(latency_bucket_ceiling(i));
+            }
+        }
+        Some(latency_bucket_ceiling(LATENCY_BUCKETS - 1))
+    }
+
+    /// Median request latency (ns), when any request was recorded.
+    pub fn p50_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile request latency (ns), when any request was recorded.
+    pub fn p99_ns(&self) -> Option<u64> {
+        self.quantile_ns(0.99)
+    }
+}
+
 /// A point-in-time snapshot of every counter, with optional run context
 /// (wall time, thread count, TSC frequency, resolved kernel) supplied by
 /// the caller. Serializes to the stable JSON validated by
@@ -515,6 +677,8 @@ pub struct MetricsReport {
     pub tsc_hz: Option<f64>,
     /// Counter values in [`Counter::ALL`] order.
     pub counters: [u64; Counter::COUNT],
+    /// Request-latency histogram summary (all-zero outside `ld-serve`).
+    pub request_latency: LatencySummary,
     /// Per-worker scheduler activity (only workers that claimed ≥ 1 chunk).
     pub workers: Vec<WorkerMetrics>,
     /// Per-format parser activity (only formats that read ≥ 1 line/byte).
@@ -566,6 +730,7 @@ impl MetricsReport {
             wall_ns: None,
             tsc_hz: None,
             counters,
+            request_latency: LatencySummary::capture(),
             workers,
             io,
         }
@@ -662,7 +827,28 @@ impl MetricsReport {
             let _ = write!(s, "    \"{}\": {}", c.name(), self.counters[i]);
             s.push_str(if i + 1 == Counter::COUNT { "\n" } else { ",\n" });
         }
-        s.push_str("  },\n  \"workers\": [\n");
+        s.push_str("  },\n  \"request_latency\": {\n");
+        let _ = writeln!(s, "    \"count\": {},", self.request_latency.count);
+        match self.request_latency.p50_ns() {
+            Some(v) => {
+                let _ = writeln!(s, "    \"p50_ns\": {v},");
+            }
+            None => s.push_str("    \"p50_ns\": null,\n"),
+        }
+        match self.request_latency.p99_ns() {
+            Some(v) => {
+                let _ = writeln!(s, "    \"p99_ns\": {v},");
+            }
+            None => s.push_str("    \"p99_ns\": null,\n"),
+        }
+        s.push_str("    \"buckets\": [");
+        for (i, b) in self.request_latency.buckets.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{b}");
+        }
+        s.push_str("]\n  },\n  \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
             let _ = write!(
                 s,
@@ -765,6 +951,20 @@ impl MetricsReport {
             let _ = writeln!(
                 s,
                 "interruption    : {polls} cancel polls · {ckpts} checkpoints written · {skipped} slabs resumed",
+            );
+        }
+        let served = &self.request_latency;
+        if served.count != 0 {
+            let _ = writeln!(
+                s,
+                "requests        : {} served · p50 {} · p99 {} · {} accepted / {} shed / {} failed · {} panels evicted",
+                served.count,
+                fmt_ns(served.p50_ns().unwrap_or(0)),
+                fmt_ns(served.p99_ns().unwrap_or(0)),
+                self.get(Counter::RequestsAccepted),
+                self.get(Counter::RequestsShed),
+                self.get(Counter::RequestsFailed),
+                self.get(Counter::PanelsEvicted),
             );
         }
         if !self.workers.is_empty() {
@@ -943,6 +1143,54 @@ mod tests {
         let t = Stopwatch::start();
         std::thread::sleep(std::time::Duration::from_millis(2));
         assert!(t.elapsed_ns() >= 2_000_000);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        // ceilings are inclusive upper bounds of their bucket
+        assert_eq!(latency_bucket_ceiling(0), 1);
+        assert_eq!(latency_bucket_ceiling(10), 2047);
+        assert_eq!(latency_bucket(latency_bucket_ceiling(10)), 10);
+    }
+
+    #[test]
+    fn latency_quantiles_from_buckets() {
+        let mut s = LatencySummary::default();
+        assert_eq!(s.p50_ns(), None);
+        assert_eq!(s.p99_ns(), None);
+        // 90 fast requests (~1µs bucket) and 10 slow (~1ms bucket)
+        s.buckets[10] = 90;
+        s.buckets[20] = 10;
+        s.count = 100;
+        assert_eq!(s.p50_ns(), Some(latency_bucket_ceiling(10)));
+        assert_eq!(s.quantile_ns(0.90), Some(latency_bucket_ceiling(10)));
+        assert_eq!(s.p99_ns(), Some(latency_bucket_ceiling(20)));
+        assert_eq!(s.quantile_ns(1.0), Some(latency_bucket_ceiling(20)));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn latency_histogram_records_and_resets() {
+        reset();
+        record_request_latency(1_500); // bucket 10
+        record_request_latency(1_500_000); // bucket 20
+        record_request_latency(0); // bucket 0
+        let s = LatencySummary::capture();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[20], 1);
+        let j = MetricsReport::capture().to_json();
+        assert!(j.contains("\"request_latency\""));
+        assert!(j.contains("\"count\": 3"));
+        reset();
+        assert_eq!(LatencySummary::capture().count, 0);
     }
 
     #[test]

@@ -55,6 +55,16 @@
 #      with exit 3 naming the chunk, and a fresh `outofcore` bench run
 #      is gated against results/baselines/BENCH_outofcore.json (same
 #      LD_BENCH_UPDATE_BASELINE refresh switch as step 14)
+#  18. serve leg — the `serve_ci` driver spawns a real `gemm-ld serve`
+#      daemon on a loopback port and proves: overload (1 slow worker,
+#      depth-1 queue) splits into Ok + typed Shed responses with zero
+#      hung connections; clients killed mid-request leave the pool
+#      serving; SIGINT mid-load drains the in-flight region query —
+#      whose bytes must equal the one-shot `r2 -o` table exactly — and
+#      exits 0; an expired drain deadline exits 5 with the straggler
+#      still receiving a typed response; finally the `serve_load`
+#      fault-injection bench (malformed frames, half-open peers, a
+#      SIGKILLed server) must pass end to end
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
 
@@ -78,7 +88,7 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 # The library code of the compute/I/O stack must be panic-free on the
 # error path: no unwrap/expect outside tests (lib targets only — test
 # modules and doc examples may unwrap freely).
-run cargo clippy --no-deps -p ld-core -p ld-parallel -p ld-io -p ld-bitmat --offline -- \
+run cargo clippy --no-deps -p ld-core -p ld-parallel -p ld-io -p ld-bitmat -p ld-serve --offline -- \
     -D warnings -D clippy::unwrap-used -D clippy::expect-used
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
@@ -578,5 +588,30 @@ elif command -v python3 >/dev/null 2>&1; then
 else
     echo "    python3 unavailable; bench-regression gate skipped"
 fi
+
+# Serve leg: the query daemon must degrade, never fall over. The
+# serve_ci driver spawns real `gemm-ld serve` processes and checks the
+# overload/drain/exit-code contract end to end; `cmp` then holds the
+# region bytes it captured mid-drain against the one-shot CLI table.
+# serve_load adds concurrent load plus wire-level fault injection
+# (malformed frames, half-open peers, killed clients, a SIGKILLed
+# server) and emits BENCH_serve.json.
+echo "==> serve: overload sheds, killed clients, SIGINT drain, exit codes"
+SERVE_SIM=target/ci-serve.ms
+SERVE_ONESHOT=target/ci-serve-oneshot.tsv
+SERVE_REGION=target/ci-serve-region.tsv
+run "$SH_BIN" simulate --samples 200 --snps 160 --seed 23 -o "$SERVE_SIM"
+run "$SH_BIN" r2 -i "$SERVE_SIM" --threads 2 -o "$SERVE_ONESHOT"
+run target/release/serve_ci --gemm-ld "$SH_BIN" --input "$SERVE_SIM" \
+    --region-out "$SERVE_REGION"
+if ! cmp -s "$SERVE_ONESHOT" "$SERVE_REGION"; then
+    echo "serve FAIL: drained region response differs from the one-shot table" >&2
+    exit 1
+fi
+echo "    in-flight region drained byte-identical to the one-shot table"
+
+echo "==> serve: concurrent load + fault injection (serve_load)"
+rm -f BENCH_serve.json
+run target/release/serve_load --gemm-ld "$SH_BIN"
 
 echo "==> CI green"
