@@ -16,13 +16,25 @@
 //! 4. **server-kill** (subprocess) — spawns `gemm-ld serve`, SIGKILLs
 //!    it mid-load, respawns, and verifies retrying clients recover.
 //!    Skipped (and marked in the JSON) when the CLI binary is absent.
+//! 5. **telemetry overhead** — A/B throughput with the telemetry plane
+//!    off vs fully on (metrics endpoint being scraped + request log),
+//!    best-of-3 each; `telemetry.overhead_pct` must stay within the
+//!    bench_compare bound (≤ 3%).
 //!
 //! Emits `BENCH_serve.json`.
+//!
+//! `--attach HOST:PORT` skips the phase suite and just drives the
+//! phase-1 client load against an *external* daemon (the CI telemetry
+//! leg uses this to exercise a `gemm-ld serve` process it owns); the
+//! target must serve a panel named `bench` with at least `--snps N`
+//! SNPs (default 200).
 //!
 //! ```sh
 //! cargo run --release -p ld-bench --bin serve_load
 //! cargo run --release -p ld-bench --bin serve_load -- --full \
 //!     --gemm-ld target/release/gemm-ld
+//! cargo run --release -p ld-bench --bin serve_load -- \
+//!     --attach 127.0.0.1:7711 --snps 200
 //! ```
 
 use ld_bench::report::Table;
@@ -355,6 +367,30 @@ fn main() {
         .map(|(_, v)| v.clone())
         .unwrap_or_else(|| "target/release/gemm-ld".to_string());
 
+    // ---- attach mode: load an external daemon, no phase suite -------
+    if let Some((_, addr)) = opts.extras.iter().find(|(k, _)| k == "attach") {
+        let ext_snps = opts
+            .extras
+            .iter()
+            .find(|(k, _)| k == "snps")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(200usize);
+        println!("serve_load: attaching to {addr}, {clients} clients x {requests} requests");
+        let t0 = Instant::now();
+        let mut tally = run_clients(addr, clients, requests, ext_snps);
+        let secs = t0.elapsed().as_secs_f64();
+        let rps = (clients * requests) as f64 / secs.max(1e-9);
+        let (p50, p99) = (tally.quantile_us(0.50), tally.quantile_us(0.99));
+        println!(
+            "attach: {} ok / {} shed / {} failed / {} hung, {:.0} req/s, p50 {p50}us p99 {p99}us",
+            tally.ok, tally.shed, tally.failed, tally.hung, rps,
+        );
+        if tally.hung > 0 || tally.failed > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let fx = build_fixture(n_samples, n_snps);
     println!("serve_load: {n_samples} x {n_snps} panel, {clients} clients x {requests} requests");
 
@@ -422,7 +458,15 @@ fn main() {
     handle.shutdown_and_wait();
 
     // ---- phase 3: wire faults ---------------------------------------
-    let handle = spawn_server(&fx, ServeConfig::default());
+    // A short frame timeout keeps the half-open check well inside the
+    // client's 10 s read deadline (equal timeouts race at the wire).
+    let handle = spawn_server(
+        &fx,
+        ServeConfig {
+            frame_timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+    );
     let addr = handle.addr().to_string();
     let faults = run_faults(&addr);
     handle.shutdown_and_wait();
@@ -433,6 +477,63 @@ fn main() {
     } else {
         None
     };
+
+    // ---- phase 5: telemetry overhead A/B ----------------------------
+    // Best-of-3 throughput per side absorbs loopback jitter; the
+    // telemetry side runs with the request log on AND a scraper hitting
+    // GET /metrics, so the measured cost is the whole plane, not just
+    // the record calls.
+    let measure = |cfg: ServeConfig| -> f64 {
+        let handle = spawn_server(&fx, cfg);
+        let addr = handle.addr().to_string();
+        // warm up: panel compute + first-connection costs off the clock
+        let backoff = Backoff::new(Duration::from_millis(5), Duration::from_millis(100));
+        let warm = Request::Pair {
+            panel: PANEL.into(),
+            stat: StatCode::RSquared,
+            i: 0,
+            j: 1,
+        };
+        let _ = request_with_retry(&addr, &warm, 5, Duration::from_secs(20), &backoff);
+        let scraper_stop = Arc::new(AtomicUsize::new(0));
+        let scraper = handle.metrics_addr().map(|maddr| {
+            let stop = Arc::clone(&scraper_stop);
+            std::thread::spawn(move || {
+                use std::io::Read as _;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    if let Ok(mut s) = std::net::TcpStream::connect(maddr) {
+                        let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                        let mut sink = String::new();
+                        let _ = s.read_to_string(&mut sink);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            })
+        });
+        let t0 = Instant::now();
+        let tally = run_clients(&addr, clients, requests, fx.n_snps);
+        let secs = t0.elapsed().as_secs_f64();
+        scraper_stop.store(1, Ordering::Relaxed);
+        if let Some(h) = scraper {
+            let _ = h.join();
+        }
+        handle.shutdown_and_wait();
+        ((tally.ok + tally.shed) as f64 / secs.max(1e-9)).max(1e-9)
+    };
+    let mut baseline_rps = 0f64;
+    let mut telemetry_rps = 0f64;
+    for round in 0..3 {
+        baseline_rps = baseline_rps.max(measure(ServeConfig::default()));
+        let log_path = fx.dir.join(format!("requests_{round}.jsonl"));
+        telemetry_rps = telemetry_rps.max(measure(ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            request_log: Some(log_path.to_string_lossy().into_owned()),
+            slow_ms: Some(10_000),
+            ..ServeConfig::default()
+        }));
+    }
+    let overhead_pct = ((baseline_rps - telemetry_rps) / baseline_rps * 100.0).max(0.0);
 
     // ---- report -------------------------------------------------------
     let mut t = Table::new(["phase", "result"]);
@@ -460,6 +561,13 @@ fn main() {
             Some(ok) => format!("recovered={ok}"),
             None => format!("skipped ({gemm_ld} not found)"),
         },
+    ]);
+    t.row([
+        "telemetry".to_string(),
+        format!(
+            "baseline {baseline_rps:.0} req/s, telemetry+scrape {telemetry_rps:.0} req/s, \
+             overhead {overhead_pct:.2}%"
+        ),
     ]);
     println!("\n{}", t.render());
 
@@ -499,6 +607,10 @@ fn main() {
             Some(ok) => format!("{{\"ran\": true, \"recovered\": {ok}}}"),
             None => "{\"ran\": false}".to_string(),
         }
+    ));
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"baseline_rps\": {baseline_rps:.1}, \
+         \"telemetry_rps\": {telemetry_rps:.1}, \"overhead_pct\": {overhead_pct:.2}}},\n"
     ));
     json.push_str(&format!("  \"pass\": {pass}\n"));
     json.push_str("}\n");

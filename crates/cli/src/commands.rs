@@ -108,6 +108,22 @@ COMMANDS:
               exit 0 on a clean drain, 5 if the deadline expired. Prints
               'listening on HOST:PORT' at startup; --addr host:0 picks a
               free port)
+              [--metrics-addr HOST:PORT] (plain-HTTP GET /metrics
+              Prometheus endpoint + GET /health; prints 'metrics on
+              HOST:PORT'; port 0 picks a free port)
+              [--request-log FILE] (append-only JSON-lines request log,
+              one event per lifecycle transition; see
+              schemas/request_log.schema.json)
+              [--slow-ms MS] (mirror slower requests to stderr)
+              [--trace-dump FILE] (arm the flight recorder at boot;
+              'kill -USR1 <pid>' — or the dump_trace opcode — snapshots
+              a Perfetto-loadable trace from the live daemon without
+              restarting it)
+  monitor     live terminal dashboard over a running daemon
+              gemm-ld monitor HOST:PORT [--interval-ms N] [--once]
+              [--raw] (polls the 'metrics' opcode: queue depth,
+              in-flight, shed rate, rolling p50/p99 windows, panel
+              residency; --raw prints the Prometheus text verbatim)
   tune        autotune kernel + blocking for this CPU and cache the result
               [--quick|--full] [--threads T] [--out profile.json]
               (staged coordinate descent over kernel, kc/mc/nc blocks,
@@ -2211,9 +2227,10 @@ pub fn serve(args: &Args) -> CmdResult {
         }
     }
 
+    let workers = args.get_parsed("workers", threads.clamp(1, 8))?;
     let cfg = ld_serve::ServeConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7711").to_string(),
-        workers: args.get_parsed("workers", threads.clamp(1, 8))?,
+        workers,
         queue_depth: args.get_parsed("queue", 64usize)?,
         max_connections: args.get_parsed("max-conns", 256usize)?,
         request_timeout: Duration::from_millis(args.get_parsed("request-timeout-ms", 30_000u64)?),
@@ -2222,8 +2239,34 @@ pub fn serve(args: &Args) -> CmdResult {
         // windows for the fault-injection harness.
         inject_delay: Duration::from_millis(args.get_parsed("inject-delay-ms", 0u64)?),
         fault_panel: args.has("fault-panel"),
+        // Telemetry plane: Prometheus scrape endpoint, structured
+        // request log, slow-request mirroring.
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
+        request_log: args.get("request-log").map(str::to_string),
+        slow_ms: match args.get("slow-ms") {
+            Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                CliError::Usage(format!("--slow-ms wants a millisecond count, got '{v}'"))
+            })?),
+            None => None,
+        },
         ..ld_serve::ServeConfig::default()
     };
+
+    // `--trace-dump PATH`: arm the flight recorder before any panel
+    // compute, so `--preload` spans land in the ring too; the SIGUSR1
+    // watcher that snapshots it hooks in after bind (it needs the
+    // shutdown token).
+    let trace_dump = args.get("trace-dump").map(str::to_string);
+    if trace_dump.is_some() {
+        if cfg!(feature = "metrics") {
+            ld_trace::recorder::start(ld_trace::recorder::RecorderConfig::for_threads(workers));
+        } else {
+            eprintln!(
+                "warning: built without the `metrics` feature; \
+                 --trace-dump and SIGUSR1 dumps are disabled"
+            );
+        }
+    }
 
     // `--preload`: compute every registered panel before accepting —
     // a parse failure is exit 3 now, not an Internal response later.
@@ -2250,10 +2293,35 @@ pub fn serve(args: &Args) -> CmdResult {
     let addr = server
         .local_addr()
         .map_err(|e| CliError::Resource(format!("cannot resolve bound address: {e}")))?;
+    let metrics_addr = server.metrics_addr();
     let shutdown = server.shutdown_token();
     crate::interrupt::install_shutdown_watcher(&shutdown);
+
+    // Each SIGUSR1 snapshots the armed recorder *live* (it stays armed)
+    // and writes Perfetto-loadable trace-event JSON atomically.
+    if let Some(dump_path) = trace_dump {
+        if cfg!(feature = "metrics") {
+            crate::interrupt::install_usr1_watcher(&shutdown, move |n| {
+                match ld_trace::recorder::snapshot_live() {
+                    Some(snap) => {
+                        let json = ld_trace::export::chrome_trace_json(&snap);
+                        match write_atomic(Path::new(&dump_path), json.as_bytes()) {
+                            Ok(()) => eprintln!("trace dump #{n}: wrote {dump_path}"),
+                            Err(e) => eprintln!("trace dump #{n}: cannot write {dump_path}: {e}"),
+                        }
+                    }
+                    None => eprintln!("trace dump #{n}: no recorder armed"),
+                }
+            });
+        }
+    }
+
     // Scripts parse this line to learn the port (`--addr host:0`).
     println!("listening on {addr}");
+    if let Some(maddr) = metrics_addr {
+        // Same contract for the scrape port.
+        println!("metrics on {maddr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -2275,6 +2343,183 @@ pub fn serve(args: &Args) -> CmdResult {
         ld_serve::DrainOutcome::DeadlineExceeded { abandoned } => Err(CliError::Interrupted(
             format!("{reason}: drain deadline exceeded, {abandoned} request(s) abandoned"),
         )),
+    }
+}
+
+/// One parsed Prometheus sample: `(metric name, labels, value)`.
+type PromSample = (String, String, f64);
+
+/// Parses text-exposition sample lines (comments skipped). Tolerant of
+/// anything it does not recognize — the dashboard only needs a lookup.
+fn prom_samples(text: &str) -> Vec<PromSample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((name_labels, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => (n, l.trim_end_matches('}')),
+            None => (name_labels, ""),
+        };
+        out.push((name.to_string(), labels.to_string(), value));
+    }
+    out
+}
+
+/// Looks up one sample by metric name and a label fragment.
+fn prom_get(samples: &[PromSample], name: &str, label_frag: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|(n, l, _)| n == name && l.contains(label_frag))
+        .map(|(_, _, v)| *v)
+}
+
+/// `gemm-ld monitor ADDR` — a refreshing terminal dashboard over a live
+/// daemon, polled through the `metrics` opcode (the same bytes `GET
+/// /metrics` serves). `--once` prints a single snapshot; `--raw` dumps
+/// the exposition text verbatim (what the CI consistency check diffs
+/// against the HTTP scrape); Ctrl-C exits.
+pub fn monitor(args: &Args) -> CmdResult {
+    let positional = args.positional();
+    let addr = positional
+        .first()
+        .map(|s| s.to_string())
+        .or_else(|| args.get("addr").map(str::to_string))
+        .ok_or_else(|| {
+            CliError::Usage(
+                "monitor needs the daemon address: \
+                 gemm-ld monitor HOST:PORT [--interval-ms N] [--once] [--raw]"
+                    .into(),
+            )
+        })?;
+    let interval = Duration::from_millis(args.get_parsed("interval-ms", 1000u64)?);
+    let once = args.has("once") || args.has("raw");
+    let fetch = |addr: &str| -> Result<String, CliError> {
+        let mut client = ld_serve::Client::connect(addr, Duration::from_secs(5))
+            .map_err(|e| CliError::Resource(format!("cannot connect to {addr}: {e}")))?;
+        let resp = client
+            .request(&ld_serve::Request::Metrics)
+            .map_err(|e| CliError::Resource(format!("metrics request failed: {e}")))?;
+        if resp.status != ld_serve::Status::Ok {
+            return Err(CliError::Resource(format!(
+                "metrics request refused: {}",
+                resp.message()
+            )));
+        }
+        String::from_utf8(resp.body)
+            .map_err(|_| CliError::Resource("metrics body is not UTF-8".into()))
+    };
+    if args.has("raw") {
+        print!("{}", fetch(&addr)?);
+        return Ok(());
+    }
+    let token = CancelToken::new();
+    if !once {
+        crate::interrupt::install_sigint_watcher(&token);
+    }
+    let mut prev: Option<(std::time::Instant, f64, f64)> = None; // (when, accepted, shed)
+    loop {
+        match fetch(&addr) {
+            Ok(text) => {
+                let s = prom_samples(&text);
+                let accepted = prom_get(&s, "gemm_ld_requests_accepted_total", "").unwrap_or(0.0);
+                let shed = prom_get(&s, "gemm_ld_requests_shed_total", "").unwrap_or(0.0);
+                let now = std::time::Instant::now();
+                let (rps, shed_rate) = match prev {
+                    Some((t0, a0, s0)) => {
+                        let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+                        ((accepted - a0) / dt, (shed - s0) / dt)
+                    }
+                    None => (0.0, 0.0),
+                };
+                prev = Some((now, accepted, shed));
+                if !once {
+                    print!("\x1b[2J\x1b[H"); // clear screen, home cursor
+                }
+                let draining = prom_get(&s, "gemm_ld_draining", "").unwrap_or(0.0) > 0.5;
+                println!(
+                    "gemm-ld monitor — {addr}  [{}]  up {:.0}s",
+                    if draining { "DRAINING" } else { "serving" },
+                    prom_get(&s, "gemm_ld_uptime_seconds", "").unwrap_or(0.0),
+                );
+                println!(
+                    "  queue {:>4}   in-flight {:>4}   conns {:>4}   workers {:>2}",
+                    prom_get(&s, "gemm_ld_queue_depth", "").unwrap_or(0.0),
+                    prom_get(&s, "gemm_ld_in_flight_requests", "").unwrap_or(0.0),
+                    prom_get(&s, "gemm_ld_connections", "").unwrap_or(0.0),
+                    prom_get(&s, "gemm_ld_workers", "").unwrap_or(0.0),
+                );
+                println!(
+                    "  accepted {:>8}  ({rps:>7.1}/s)   shed {:>6}  ({shed_rate:>6.1}/s)   \
+                     failed {:>4}",
+                    accepted,
+                    shed,
+                    prom_get(&s, "gemm_ld_requests_failed_total", "").unwrap_or(0.0),
+                );
+                for window in ["10s", "1m", "5m"] {
+                    let frag = format!("window=\"{window}\"");
+                    let p50 = prom_get(
+                        &s,
+                        "gemm_ld_request_window_seconds",
+                        &format!("{frag},quantile=\"0.5\""),
+                    );
+                    let p99 = prom_get(
+                        &s,
+                        "gemm_ld_request_window_seconds",
+                        &format!("{frag},quantile=\"0.99\""),
+                    );
+                    let ok = prom_get(
+                        &s,
+                        "gemm_ld_request_window_count",
+                        &format!("{frag},result=\"ok\""),
+                    )
+                    .unwrap_or(0.0);
+                    let err = prom_get(
+                        &s,
+                        "gemm_ld_request_window_count",
+                        &format!("{frag},result=\"err\""),
+                    )
+                    .unwrap_or(0.0);
+                    let q = |v: Option<f64>| match v {
+                        Some(secs) => format!("{:.2}ms", secs * 1e3),
+                        None => "   -  ".to_string(),
+                    };
+                    println!(
+                        "  {window:>3} window: p50 {:>9}  p99 {:>9}  ok {ok:>6}  err {err:>4}",
+                        q(p50),
+                        q(p99),
+                    );
+                }
+                println!(
+                    "  panels resident {:>3}   bytes {:.1}/{:.1} MiB",
+                    prom_get(&s, "gemm_ld_panels_resident", "").unwrap_or(0.0),
+                    prom_get(&s, "gemm_ld_registry_used_bytes", "").unwrap_or(0.0)
+                        / (1 << 20) as f64,
+                    prom_get(&s, "gemm_ld_registry_budget_bytes", "").unwrap_or(0.0)
+                        / (1 << 20) as f64,
+                );
+            }
+            Err(e) if once => return Err(e),
+            Err(e) => {
+                if prev.is_none() {
+                    return Err(e);
+                }
+                println!("connection lost ({e}); retrying …");
+            }
+        }
+        if once || token.is_cancelled() {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+        if token.is_cancelled() {
+            return Ok(());
+        }
     }
 }
 

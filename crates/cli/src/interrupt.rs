@@ -30,6 +30,13 @@ pub const SIGKILL: i32 = 9;
 /// the `serve` daemon treats it exactly like SIGINT (drain, then exit).
 pub const SIGTERM: i32 = 15;
 
+/// POSIX SIGUSR1 number (Linux x86-64) — the daemon's live trace-dump
+/// trigger: snapshot the flight recorder without stopping it.
+pub const SIGUSR1: i32 = 10;
+
+/// Deliveries of SIGUSR1 not yet consumed by the dump watcher.
+static USR1_PENDING: AtomicI32 = AtomicI32::new(0);
+
 extern "C" {
     /// POSIX `signal(2)`; handlers are passed as `sighandler_t` (a plain
     /// address on every platform this workspace targets).
@@ -119,6 +126,45 @@ pub fn install_shutdown_watcher(token: &CancelToken) {
     });
 }
 
+extern "C" fn on_sigusr1(_sig: i32) {
+    // Async-signal-safe: a single atomic add, no locks, no allocation.
+    USR1_PENDING.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Installs a *repeatable*, non-terminating SIGUSR1 watcher: every
+/// delivery invokes `on_dump` once, on the watcher thread (never in the
+/// handler), with a running dump counter. Unlike the shutdown watchers
+/// the thread keeps serving after each signal; it exits only when
+/// `token` is cancelled. The daemon wires `on_dump` to a live flight-
+/// recorder snapshot, so `kill -USR1 <pid>` extracts a Perfetto trace
+/// from a running process without restarting it.
+pub fn install_usr1_watcher(token: &CancelToken, on_dump: impl Fn(u32) + Send + 'static) {
+    // SAFETY: `on_sigusr1` is async-signal-safe (one atomic add) and has
+    // the exact `extern "C" fn(c_int)` ABI `signal(2)` expects.
+    unsafe {
+        signal(SIGUSR1, on_sigusr1 as *const () as usize);
+    }
+    let t = token.clone();
+    std::thread::spawn(move || {
+        let mut dumps = 0u32;
+        loop {
+            while USR1_PENDING
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n > 0).then(|| n - 1)
+                })
+                .is_ok()
+            {
+                dumps += 1;
+                on_dump(dumps);
+            }
+            if t.is_cancelled() {
+                return; // daemon stopped: reap
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +195,34 @@ mod tests {
         assert!(token.is_cancelled());
         assert_eq!(token.reason().as_deref(), Some("SIGTERM"));
         SHUTDOWN_SIGNAL.store(0, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn usr1_watcher_fires_once_per_delivery_and_keeps_running() {
+        let token = CancelToken::new();
+        let dumps = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let d = dumps.clone();
+        install_usr1_watcher(&token, move |n| {
+            d.store(n, Ordering::SeqCst);
+        });
+        // simulate two separate deliveries without raising a real signal
+        USR1_PENDING.fetch_add(1, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dumps.load(Ordering::SeqCst) < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(dumps.load(Ordering::SeqCst), 1);
+        USR1_PENDING.fetch_add(1, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dumps.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            dumps.load(Ordering::SeqCst),
+            2,
+            "watcher must survive a dump"
+        );
+        token.cancel_with_reason("test done");
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn main() -> ExitCode {
         "assoc" => commands::assoc(&parsed),
         "convert" => commands::convert(&parsed),
         "serve" => commands::serve(&parsed),
+        "monitor" => commands::monitor(&parsed),
         "tune" => commands::tune(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -1,0 +1,118 @@
+//! Minimal plain-HTTP/1.0 endpoint for Prometheus scrapes.
+//!
+//! Deliberately tiny: `GET /metrics` and `GET /health` only, one
+//! response per connection (`Connection: close`), no keep-alive, no
+//! TLS, no chunking. A scraper is the only intended client; the LDS1
+//! socket remains the real API. Each connection is handled on its own
+//! short-lived thread with read/write timeouts so a stalled scraper
+//! can never block the next scrape, and the accept loop polls the
+//! daemon's stop token so the listener dies with the server.
+
+use ld_core::CancelToken;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Content type of the Prometheus text exposition format v0.0.4.
+pub(crate) const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Largest request head (request line + headers) we bother reading.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Accepts scrape connections until `stop` trips. `render` maps a
+/// request path to `(body, content-type)`, or `None` for 404; it runs
+/// on the per-connection thread, so it may take locks but must not
+/// block indefinitely.
+pub(crate) fn serve_http<F>(listener: TcpListener, stop: CancelToken, render: F)
+where
+    F: Fn(&str) -> Option<(String, &'static str)> + Send + Sync + Clone + 'static,
+{
+    while !stop.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let render = render.clone();
+                std::thread::spawn(move || handle(stream, &render));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Serves exactly one request on `stream`; every error path just drops
+/// the connection (the scraper retries on its next interval).
+fn handle<F>(mut stream: TcpStream, render: &F)
+where
+    F: Fn(&str) -> Option<(String, &'static str)>,
+{
+    let timeout = Some(Duration::from_secs(2));
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
+    let head = match read_head(&mut stream) {
+        Some(h) => h,
+        None => return,
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return,
+    };
+    let (status, body, ctype) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "only GET is supported\n".to_string(),
+            "text/plain; charset=utf-8",
+        )
+    } else {
+        // strip any query string: scrapers sometimes append one
+        let path = path.split('?').next().unwrap_or(path);
+        match render(path) {
+            Some((body, ctype)) => ("200 OK", body, ctype),
+            None => (
+                "404 Not Found",
+                "try /metrics or /health\n".to_string(),
+                "text/plain; charset=utf-8",
+            ),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`), `MAX_HEAD`
+/// bytes, or a 2-second budget — whichever comes first.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let started = Instant::now();
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_HEAD {
+            break;
+        }
+        if started.elapsed() > Duration::from_secs(2) {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return None
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    String::from_utf8(buf).ok()
+}

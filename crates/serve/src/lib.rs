@@ -30,8 +30,10 @@
 //! all surfaced by the `health` request and the `--metrics` JSON.
 
 pub mod client;
+mod http;
 pub mod protocol;
 pub mod registry;
+pub mod reqlog;
 pub mod server;
 
 pub use client::{request_with_retry, Client, ClientError};

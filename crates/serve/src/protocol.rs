@@ -104,11 +104,21 @@ pub enum Request {
         /// Threshold: pairs with `value < min_r2` (or NaN) are omitted.
         min_r2: f64,
     },
+    /// Prometheus text exposition (v0.0.4) of every counter, gauge and
+    /// histogram; answered inline, never queued. Same bytes the
+    /// `--metrics-addr` HTTP listener serves on `GET /metrics`.
+    Metrics,
+    /// Live flight-recorder snapshot as Chrome trace-event JSON
+    /// (Perfetto-loadable); answered inline without disarming the
+    /// recorder. `NotFound` when no recorder is armed.
+    DumpTrace,
 }
 
 const OP_HEALTH: u8 = 0;
 const OP_PAIR: u8 = 1;
 const OP_REGION: u8 = 2;
+const OP_METRICS: u8 = 3;
+const OP_DUMP_TRACE: u8 = 4;
 
 impl Request {
     /// Encodes the request payload (frame it with [`write_frame`]).
@@ -117,6 +127,8 @@ impl Request {
         p.extend_from_slice(&MAGIC);
         match self {
             Request::Health => p.push(OP_HEALTH),
+            Request::Metrics => p.push(OP_METRICS),
+            Request::DumpTrace => p.push(OP_DUMP_TRACE),
             Request::Pair { panel, stat, i, j } => {
                 p.push(OP_PAIR);
                 p.push(*stat as u8);
@@ -152,6 +164,8 @@ impl Request {
         let op = c.u8()?;
         let req = match op {
             OP_HEALTH => Request::Health,
+            OP_METRICS => Request::Metrics,
+            OP_DUMP_TRACE => Request::DumpTrace,
             OP_PAIR => {
                 let stat = StatCode::from_u8(c.u8()?)?;
                 let i = c.u32()?;
@@ -524,6 +538,8 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         roundtrip(Request::Health);
+        roundtrip(Request::Metrics);
+        roundtrip(Request::DumpTrace);
         roundtrip(Request::Pair {
             panel: "p1".into(),
             stat: StatCode::D,

@@ -37,16 +37,21 @@
 //! answered `ShuttingDown`. [`DrainOutcome`] reports which of the two
 //! happened — the CLI maps it to exit code 0 (clean) or 5 (interrupted).
 
+use crate::http;
 use crate::protocol::{write_frame, ProtoError, Request, Response, Status, MAX_REQUEST_PAYLOAD};
 use crate::registry::{PanelRegistry, RegistryError};
+use crate::reqlog::{Event, RequestLog};
 use ld_core::{CancelToken, Deadline, LdError, LdMatrix};
+use ld_trace::prometheus::PromGauge;
+use ld_trace::telemetry::{record_served, ServeOp, ServeOutcome};
 use ld_trace::Counter;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -80,6 +85,16 @@ pub struct ServeConfig {
     /// Fault-injection aid: a query for panel `"__panic__"` panics the
     /// worker, exercising request isolation end-to-end.
     pub fault_panel: bool,
+    /// Optional plain-HTTP listener (`host:port`, port 0 picks a free
+    /// port) answering `GET /metrics` with the Prometheus text
+    /// exposition and `GET /health` with the health JSON.
+    pub metrics_addr: Option<String>,
+    /// Optional structured JSON-lines request log (append-only); one
+    /// event per lifecycle transition, see [`crate::reqlog`].
+    pub request_log: Option<String>,
+    /// Mirror requests whose total latency exceeds this many
+    /// milliseconds to stderr on their terminal log event.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +110,9 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(30),
             inject_delay: Duration::ZERO,
             fault_panel: false,
+            metrics_addr: None,
+            request_log: None,
+            slow_ms: None,
         }
     }
 }
@@ -119,6 +137,10 @@ struct Job {
     accepted: Instant,
     deadline: Deadline,
     token: CancelToken,
+    /// Request id threading the log events of one lifecycle together.
+    id: u64,
+    op: ServeOp,
+    fingerprint: Option<u64>,
 }
 
 struct Shared {
@@ -134,18 +156,38 @@ struct Shared {
     in_flight: AtomicUsize,
     conns: AtomicUsize,
     started: Instant,
+    /// Structured request log, when `--request-log` is set.
+    reqlog: Option<RequestLog>,
+    /// Next request id (log correlation only; never on the wire).
+    req_ids: AtomicU64,
+}
+
+impl Shared {
+    fn next_id(&self) -> u64 {
+        self.req_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn log(&self, ev: &Event<'_>) {
+        if let Some(log) = &self.reqlog {
+            log.log(ev);
+        }
+    }
 }
 
 /// A bound, not-yet-running daemon. [`Server::run`] blocks the calling
 /// thread until shutdown; [`Server::spawn`] runs it on its own thread.
 pub struct Server {
     listener: TcpListener,
+    /// The metrics HTTP listener, pre-bound so `bind` fails fast on a
+    /// bad `metrics_addr` and a `:0` port is resolvable before `run`.
+    metrics_listener: Option<(TcpListener, SocketAddr)>,
     shared: Arc<Shared>,
 }
 
 /// Handle to a spawned server: its bound address and shutdown control.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: CancelToken,
     join: std::thread::JoinHandle<DrainOutcome>,
 }
@@ -154,6 +196,11 @@ impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics HTTP address, when `metrics_addr` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The token that initiates graceful shutdown when tripped.
@@ -182,6 +229,19 @@ impl Server {
     pub fn bind(cfg: ServeConfig, registry: PanelRegistry) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                let resolved = l.local_addr()?;
+                Some((l, resolved))
+            }
+            None => None,
+        };
+        let reqlog = match &cfg.request_log {
+            Some(path) => Some(RequestLog::open(Path::new(path), cfg.slow_ms)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cfg,
             registry,
@@ -192,13 +252,24 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             conns: AtomicUsize::new(0),
             started: Instant::now(),
+            reqlog,
+            req_ids: AtomicU64::new(0),
         });
-        Ok(Server { listener, shared })
+        Ok(Server {
+            listener,
+            metrics_listener,
+            shared,
+        })
     }
 
     /// The bound address (resolves a `:0` bind).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound metrics HTTP address, when `metrics_addr` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().map(|(_, a)| *a)
     }
 
     /// The token that initiates graceful shutdown when tripped.
@@ -216,6 +287,20 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&s))
             })
             .collect();
+
+        // Scrape endpoint: keeps answering through the drain (operators
+        // watch the drain happen), dies when hard_stop trips below.
+        let http_thread = self.metrics_listener.map(|(listener, _)| {
+            let s = Arc::clone(&shared);
+            let stop = shared.hard_stop.clone();
+            std::thread::spawn(move || {
+                http::serve_http(listener, stop, move |path| match path {
+                    "/metrics" => Some((metrics_text(&s), http::CONTENT_TYPE_PROM)),
+                    "/health" => Some((health_json(&s), "application/json")),
+                    _ => None,
+                })
+            })
+        });
 
         // Accept loop.
         while !shared.shutdown.is_cancelled() {
@@ -264,16 +349,21 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(h) = http_thread {
+            let _ = h.join();
+        }
         outcome
     }
 
     /// Runs the daemon on a background thread.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let metrics_addr = self.metrics_addr();
         let shutdown = self.shutdown_token();
         let join = std::thread::spawn(move || self.run());
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             shutdown,
             join,
         })
@@ -415,8 +505,17 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
                 continue;
             }
         };
+        // Health, metrics, and trace dumps are answered inline on the
+        // reader thread: they read shared state, never compute, and must
+        // stay responsive even when the queue is saturated.
         let resp = match req {
-            Request::Health => Response::ok(health_json(shared).into_bytes()),
+            Request::Health => inline_request(shared, ServeOp::Health, || {
+                Response::ok(health_json(shared).into_bytes())
+            }),
+            Request::Metrics => inline_request(shared, ServeOp::Metrics, || {
+                Response::ok(metrics_text(shared).into_bytes())
+            }),
+            Request::DumpTrace => inline_request(shared, ServeOp::DumpTrace, dump_trace_response),
             query => dispatch_query(query, shared),
         };
         if write_frame(&mut stream, &resp.encode()).is_err() {
@@ -427,9 +526,75 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// Serves an opcode that never queues (`health`/`metrics`/`dump_trace`)
+/// directly on the reader thread, with full telemetry and log coverage:
+/// `accept` then `finish`, latency labelled by outcome.
+fn inline_request(shared: &Shared, op: ServeOp, f: impl FnOnce() -> Response) -> Response {
+    let id = shared.next_id();
+    let t0 = Instant::now();
+    shared.log(&Event {
+        id,
+        event: "accept",
+        opcode: op.name(),
+        ..Event::default()
+    });
+    let resp = f();
+    let total_ns = elapsed_ns(t0.elapsed());
+    record_served(op, outcome_of(resp.status), 0, total_ns, total_ns);
+    shared.log(&Event {
+        id,
+        event: "finish",
+        opcode: op.name(),
+        status: Some(status_name(resp.status)),
+        service_ns: Some(total_ns),
+        total_ns: Some(total_ns),
+        ..Event::default()
+    });
+    resp
+}
+
+/// The `dump_trace` body: a Chrome/Perfetto JSON snapshot of the live
+/// recorder, or `NotFound` when no recorder is armed in this process.
+fn dump_trace_response() -> Response {
+    match ld_trace::recorder::snapshot_live() {
+        Some(snap) => Response::ok(ld_trace::export::chrome_trace_json(&snap).into_bytes()),
+        None => Response::error(
+            Status::NotFound,
+            "no trace recorder armed in this process (start the daemon with tracing enabled)",
+        ),
+    }
+}
+
 /// Admission control: enqueue or shed, then wait for the worker's answer.
 fn dispatch_query(req: Request, shared: &Shared) -> Response {
+    let id = shared.next_id();
+    let op = op_of(&req);
+    let t0 = Instant::now();
+    let panel = req_panel(&req).map(str::to_string);
+    let fingerprint = panel
+        .as_deref()
+        .and_then(|p| shared.registry.meta(p))
+        .map(|m| m.fingerprint);
+    shared.log(&Event {
+        id,
+        event: "accept",
+        opcode: op.name(),
+        panel: panel.as_deref(),
+        fingerprint,
+        ..Event::default()
+    });
     if shared.shutdown.is_cancelled() {
+        let total_ns = elapsed_ns(t0.elapsed());
+        record_served(op, ServeOutcome::ShuttingDown, 0, 0, total_ns);
+        shared.log(&Event {
+            id,
+            event: "finish",
+            opcode: op.name(),
+            status: Some("shutting_down"),
+            total_ns: Some(total_ns),
+            detail: Some("daemon is draining"),
+            ..Event::default()
+        });
         return Response::error(Status::ShuttingDown, "daemon is draining");
     }
     let (resp_tx, resp_rx) = mpsc::sync_channel::<Response>(1);
@@ -439,11 +604,29 @@ fn dispatch_query(req: Request, shared: &Shared) -> Response {
         accepted: Instant::now(),
         deadline: Deadline::after(shared.cfg.request_timeout),
         token: shared.hard_stop.child(),
+        id,
+        op,
+        fingerprint,
     };
     {
         let mut q = lock(&shared.queue);
         if q.len() >= shared.cfg.queue_depth {
             ld_trace::add(Counter::RequestsShed, 1);
+            // Shed latency is recorded too — labelled by outcome, so it
+            // never pollutes the success histogram.
+            let total_ns = elapsed_ns(t0.elapsed());
+            record_served(op, ServeOutcome::Shed, 0, 0, total_ns);
+            shared.log(&Event {
+                id,
+                event: "shed",
+                opcode: op.name(),
+                panel: panel.as_deref(),
+                fingerprint,
+                status: Some("shed"),
+                total_ns: Some(total_ns),
+                detail: Some("request queue full"),
+                ..Event::default()
+            });
             return Response::error(
                 Status::Shed,
                 format!("request queue full (depth {})", shared.cfg.queue_depth),
@@ -453,6 +636,14 @@ fn dispatch_query(req: Request, shared: &Shared) -> Response {
         ld_trace::add(Counter::RequestsAccepted, 1);
         q.push_back(job);
     }
+    shared.log(&Event {
+        id,
+        event: "admit",
+        opcode: op.name(),
+        panel: panel.as_deref(),
+        fingerprint,
+        ..Event::default()
+    });
     shared.queue_cv.notify_one();
     // Generous grace over the request deadline: the worker itself
     // answers Timeout at the deadline, so this only fires if the pool
@@ -491,6 +682,10 @@ fn worker_loop(shared: &Shared) {
                 q = guard;
             }
         };
+        let queue_ns = elapsed_ns(job.accepted.elapsed());
+        let panel = req_panel(&job.req);
+        let mut ran = false;
+        let mut service_ns = 0u64;
         let resp = if shared.hard_stop.is_cancelled() {
             Response::error(
                 Status::ShuttingDown,
@@ -500,17 +695,38 @@ fn worker_loop(shared: &Shared) {
             // Shed, don't stall: dead weight never reaches a worker.
             Response::error(Status::Timeout, "deadline expired in the request queue")
         } else {
+            ran = true;
+            shared.log(&Event {
+                id: job.id,
+                event: "start",
+                opcode: job.op.name(),
+                panel,
+                fingerprint: job.fingerprint,
+                queue_ns: Some(queue_ns),
+                ..Event::default()
+            });
+            let svc0 = Instant::now();
             if !shared.cfg.inject_delay.is_zero() {
                 std::thread::sleep(shared.cfg.inject_delay);
             }
             let outcome = catch_unwind(AssertUnwindSafe(|| handle_query(&job, shared)));
+            service_ns = elapsed_ns(svc0.elapsed());
             outcome.unwrap_or_else(|payload| {
+                let msg = panic_message(payload.as_ref()).to_string();
+                shared.log(&Event {
+                    id: job.id,
+                    event: "panic",
+                    opcode: job.op.name(),
+                    panel,
+                    fingerprint: job.fingerprint,
+                    detail: Some(&msg),
+                    ..Event::default()
+                });
                 Response::error(
                     Status::Internal,
                     format!(
-                        "worker panicked handling the request: {} (request isolated; \
-                         the pool keeps serving)",
-                        panic_message(payload.as_ref())
+                        "worker panicked handling the request: {msg} (request isolated; \
+                         the pool keeps serving)"
                     ),
                 )
             })
@@ -522,8 +738,36 @@ fn worker_loop(shared: &Shared) {
             Status::Internal => ld_trace::add(Counter::RequestsFailed, 1),
             _ => {}
         }
-        let elapsed = job.accepted.elapsed();
-        ld_trace::record_request_latency(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        let total_ns = elapsed_ns(job.accepted.elapsed());
+        // Outcome-labelled latency: only Ok feeds the legacy success
+        // histogram; shed/timeout/error land in their own series.
+        record_served(
+            job.op,
+            outcome_of(resp.status),
+            queue_ns,
+            if ran { service_ns } else { 0 },
+            total_ns,
+        );
+        // Terminal log event: a queue-deadline expiry is `timeout`;
+        // everything else (including a contained panic) closes with
+        // `finish` carrying the terminal status.
+        let event = if !ran && resp.status == Status::Timeout {
+            "timeout"
+        } else {
+            "finish"
+        };
+        shared.log(&Event {
+            id: job.id,
+            event,
+            opcode: job.op.name(),
+            panel,
+            fingerprint: job.fingerprint,
+            status: Some(status_name(resp.status)),
+            queue_ns: Some(queue_ns),
+            service_ns: if ran { Some(service_ns) } else { None },
+            total_ns: Some(total_ns),
+            ..Event::default()
+        });
         let _ = job.resp_tx.try_send(resp);
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
@@ -543,7 +787,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// `catch_unwind`; every error path returns a typed response.
 fn handle_query(job: &Job, shared: &Shared) -> Response {
     match &job.req {
+        // Inline opcodes never reach the queue; answering them here too
+        // keeps a misrouted job harmless rather than a panic.
         Request::Health => Response::ok(health_json(shared).into_bytes()),
+        Request::Metrics => Response::ok(metrics_text(shared).into_bytes()),
+        Request::DumpTrace => dump_trace_response(),
         Request::Pair { panel, stat, i, j } => {
             if shared.cfg.fault_panel && panel == "__panic__" {
                 panic!("fault injection: __panic__ panel requested");
@@ -633,6 +881,111 @@ fn registry_response(e: &RegistryError) -> Response {
     }
 }
 
+/// The telemetry opcode label for a request.
+fn op_of(req: &Request) -> ServeOp {
+    match req {
+        Request::Health => ServeOp::Health,
+        Request::Pair { .. } => ServeOp::Pair,
+        Request::Region { .. } => ServeOp::Region,
+        Request::Metrics => ServeOp::Metrics,
+        Request::DumpTrace => ServeOp::DumpTrace,
+    }
+}
+
+/// The panel a request addresses, when it addresses one.
+fn req_panel(req: &Request) -> Option<&str> {
+    match req {
+        Request::Pair { panel, .. } | Request::Region { panel, .. } => Some(panel),
+        Request::Health | Request::Metrics | Request::DumpTrace => None,
+    }
+}
+
+/// Maps the wire status onto the telemetry outcome label.
+fn outcome_of(status: Status) -> ServeOutcome {
+    match status {
+        Status::Ok => ServeOutcome::Ok,
+        Status::Shed => ServeOutcome::Shed,
+        Status::BadRequest => ServeOutcome::BadRequest,
+        Status::NotFound => ServeOutcome::NotFound,
+        Status::Internal => ServeOutcome::Internal,
+        Status::Timeout => ServeOutcome::Timeout,
+        Status::ShuttingDown => ServeOutcome::ShuttingDown,
+    }
+}
+
+/// Stable lowercase status name for log lines (same vocabulary as the
+/// telemetry outcome labels).
+fn status_name(status: Status) -> &'static str {
+    outcome_of(status).name()
+}
+
+fn elapsed_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The Prometheus text exposition: every `ld-trace` counter, the
+/// outcome/opcode/queue histograms and rolling windows, plus live
+/// server gauges (queue, pool, connections, registry occupancy).
+fn metrics_text(shared: &Shared) -> String {
+    let snap = shared.registry.snapshot();
+    let mut gauges = vec![
+        PromGauge::new(
+            "gemm_ld_uptime_seconds",
+            "Seconds since the daemon started",
+            shared.started.elapsed().as_secs_f64(),
+        ),
+        PromGauge::new(
+            "gemm_ld_draining",
+            "1 while the daemon is draining, 0 while serving",
+            u8::from(shared.shutdown.is_cancelled()) as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_queue_depth",
+            "Jobs waiting in the request queue",
+            lock(&shared.queue).len() as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_in_flight_requests",
+            "Accepted requests not yet answered",
+            shared.in_flight.load(Ordering::Relaxed) as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_connections",
+            "Open client connections",
+            shared.conns.load(Ordering::Relaxed) as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_workers",
+            "Request worker threads",
+            shared.cfg.workers.max(1) as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_panels_resident",
+            "Panels resident in the registry cache",
+            snap.resident.len() as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_registry_used_bytes",
+            "Bytes of resident panel matrices",
+            snap.used_bytes as f64,
+        ),
+        PromGauge::new(
+            "gemm_ld_registry_budget_bytes",
+            "Registry memory budget",
+            snap.budget_bytes as f64,
+        ),
+    ];
+    for (fingerprint, _stats, bytes) in &snap.resident {
+        gauges.push(PromGauge {
+            name: "gemm_ld_panel_resident_bytes".into(),
+            help: "Resident bytes per panel, labelled by checkpoint fingerprint",
+            labels: format!("fingerprint=\"{fingerprint:016x}\""),
+            value: *bytes as f64,
+        });
+    }
+    ld_trace::prometheus::render_global(&gauges)
+}
+
 /// The `health` body: live queue/pool state, registry occupancy, the
 /// serve counters and latency quantiles from `ld-trace`.
 fn health_json(shared: &Shared) -> String {
@@ -668,7 +1021,8 @@ fn health_json(shared: &Shared) -> String {
         if i > 0 {
             s.push_str(", ");
         }
-        let _ = write!(s, "\"{}\"", json_escape(name));
+        // the one shared escaping helper — also used by the request log
+        let _ = write!(s, "\"{}\"", ld_trace::escape_json(name));
     }
     let _ = write!(
         s,
@@ -706,24 +1060,6 @@ fn health_json(shared: &Shared) -> String {
     }
     s.push_str("}}");
     s
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {

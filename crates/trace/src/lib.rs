@@ -79,7 +79,10 @@
 
 pub mod analyze;
 pub mod export;
+pub mod histogram;
+pub mod prometheus;
 pub mod recorder;
+pub mod telemetry;
 
 use std::fmt::Write as _;
 
@@ -521,12 +524,14 @@ pub fn kernel_name() -> Option<&'static str> {
     None
 }
 
-/// Zeroes every counter and per-worker/per-format slot (the resolved
-/// kernel name is kept — it is process-lifetime state).
+/// Zeroes every counter, per-worker/per-format slot, and the serve
+/// telemetry registry (the resolved kernel name is kept — it is
+/// process-lifetime state).
 #[inline(always)]
 pub fn reset() {
     #[cfg(feature = "metrics")]
     imp::reset();
+    telemetry::reset();
 }
 
 /// A scoped wall-clock timer. Zero-sized and clock-free when `metrics` is
@@ -678,7 +683,12 @@ pub struct MetricsReport {
     /// Counter values in [`Counter::ALL`] order.
     pub counters: [u64; Counter::COUNT],
     /// Request-latency histogram summary (all-zero outside `ld-serve`).
+    /// Holds **successful** requests only; shed/error latencies live in
+    /// the outcome-labelled histograms of [`telemetry`].
     pub request_latency: LatencySummary,
+    /// Rolling-window success-latency stats (`10s`/`1m`/`5m`), captured
+    /// alongside the cumulative histogram (empty when metrics are off).
+    pub request_windows: Vec<telemetry::WindowStats>,
     /// Per-worker scheduler activity (only workers that claimed ≥ 1 chunk).
     pub workers: Vec<WorkerMetrics>,
     /// Per-format parser activity (only formats that read ≥ 1 line/byte).
@@ -731,6 +741,7 @@ impl MetricsReport {
             tsc_hz: None,
             counters,
             request_latency: LatencySummary::capture(),
+            request_windows: telemetry::rolling_windows(),
             workers,
             io,
         }
@@ -841,6 +852,31 @@ impl MetricsReport {
             }
             None => s.push_str("    \"p99_ns\": null,\n"),
         }
+        s.push_str("    \"windows\": {");
+        for (i, (label, _)) in histogram::WINDOWS.iter().enumerate() {
+            let w = self.request_windows.iter().find(|w| w.window == *label);
+            let (count, p50, p99) = match w {
+                Some(w) => (w.count, w.p50_ns, w.p99_ns),
+                None => (0, None, None),
+            };
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{label}\": {{\"count\": {count}, ");
+            match p50 {
+                Some(v) => {
+                    let _ = write!(s, "\"p50_ns\": {v}, ");
+                }
+                None => s.push_str("\"p50_ns\": null, "),
+            }
+            match p99 {
+                Some(v) => {
+                    let _ = write!(s, "\"p99_ns\": {v}}}");
+                }
+                None => s.push_str("\"p99_ns\": null}"),
+            }
+        }
+        s.push_str("},\n");
         s.push_str("    \"buckets\": [");
         for (i, b) in self.request_latency.buckets.iter().enumerate() {
             if i > 0 {
@@ -1007,7 +1043,12 @@ pub(crate) fn fmt_ns(ns: u64) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding inside a JSON string literal (`"`,
+/// `\`, and control characters). The one escaping helper every
+/// hand-rolled JSON emitter in the workspace shares — `MetricsReport`,
+/// the serve health endpoint, and the serve request log all route
+/// through it.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

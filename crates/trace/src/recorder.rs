@@ -378,6 +378,22 @@ mod imp {
         !ACTIVE.load(Ordering::Relaxed).is_null()
     }
 
+    /// Snapshot without uninstalling: the live-daemon dump path
+    /// (SIGUSR1, `dump-trace` opcode). Holding the STORE lock keeps the
+    /// box alive while the rings are read; writers keep recording
+    /// concurrently (relaxed ring reads — a dump is a point-in-time
+    /// approximation, same as `stop`'s).
+    pub(super) fn snapshot_live() -> Option<TraceSnapshot> {
+        let store = STORE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if ACTIVE.load(Ordering::Acquire).is_null() {
+            return None;
+        }
+        let rec = store.as_deref()?;
+        Some(rec.snapshot())
+    }
+
     /// Active recorder, if any. SAFETY: callers only use the reference
     /// transiently (no storage across calls); the pointed-to recorder is
     /// kept alive by STORE until the next `start`, per the module
@@ -452,6 +468,19 @@ pub fn start(cfg: RecorderConfig) {
 pub fn stop() -> Option<TraceSnapshot> {
     #[cfg(feature = "metrics")]
     return imp::stop();
+    #[cfg(not(feature = "metrics"))]
+    None
+}
+
+/// Snapshots the active recorder **without uninstalling it** — the
+/// continuously-armed daemon dump path (SIGUSR1 / `dump-trace`).
+/// Workers keep recording throughout; the returned snapshot is the same
+/// point-in-time approximation [`stop`] produces. `None` when no
+/// recorder is armed or `metrics` is off.
+#[inline(always)]
+pub fn snapshot_live() -> Option<TraceSnapshot> {
+    #[cfg(feature = "metrics")]
+    return imp::snapshot_live();
     #[cfg(not(feature = "metrics"))]
     None
 }

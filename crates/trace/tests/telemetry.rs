@@ -1,0 +1,279 @@
+//! Telemetry-plane contract tests: log₂ bucket exactness, rolling-window
+//! behaviour under a mocked clock, concurrent-writer consistency, and
+//! the byte-for-byte Prometheus exposition golden.
+//!
+//! The rolling-histogram tests drive the `*_at` entry points with
+//! synthetic timestamps — no sleeps, no wall clock — so window expiry is
+//! deterministic. The golden test renders the pure encoder over fixed
+//! inputs and pins the output against `tests/golden/exposition.prom`
+//! (regenerate with `LD_UPDATE_GOLDEN=1 cargo test -p ld-trace`).
+
+use ld_trace::histogram::{
+    bucket_ceiling_ns, bucket_index, Histogram, HistogramSnapshot, RollingHistogram, BUCKETS,
+    SLICES, SLICE_SECS, WINDOWS,
+};
+use ld_trace::prometheus::{escape_label_value, render, PromGauge};
+use ld_trace::telemetry::{ServeTelemetry, WindowStats};
+use ld_trace::Counter;
+
+const SEC: u64 = 1_000_000_000;
+
+#[test]
+fn bucket_boundaries_are_exact() {
+    // every power of two starts a new bucket; its predecessor ends one
+    for i in 1..BUCKETS - 1 {
+        let lo = 1u64 << i;
+        assert_eq!(bucket_index(lo), i, "2^{i} must open bucket {i}");
+        assert_eq!(
+            bucket_index(lo - 1),
+            i - 1,
+            "2^{i}-1 must close bucket {}",
+            i - 1
+        );
+        assert_eq!(bucket_ceiling_ns(i - 1), lo - 1);
+        assert_eq!(bucket_index(bucket_ceiling_ns(i)), i);
+    }
+    // clamp tail: everything from 2^(BUCKETS-1) up folds into the last bucket
+    assert_eq!(bucket_index(1u64 << (BUCKETS - 1)), BUCKETS - 1);
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    // zero shares bucket 0 with 1 ns
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 0);
+}
+
+#[test]
+fn rolling_window_expires_under_mocked_clock() {
+    let r = RollingHistogram::new();
+    let t0 = 100 * SEC;
+    for _ in 0..50 {
+        r.record_at(t0, 1_000_000); // 1 ms
+    }
+    for (label, secs) in WINDOWS {
+        assert_eq!(r.window_at(t0, secs).count, 50, "window {label} at t0");
+    }
+    // after 20 s the 10s window is empty, the 1m/5m windows still see it
+    let t1 = t0 + 20 * SEC;
+    assert_eq!(r.window_at(t1, 10).count, 0);
+    assert_eq!(r.window_at(t1, 60).count, 50);
+    assert_eq!(r.window_at(t1, 300).count, 50);
+    // after 7 min everything is gone
+    let t2 = t0 + 420 * SEC;
+    for (_, secs) in WINDOWS {
+        assert_eq!(r.window_at(t2, secs).count, 0);
+    }
+}
+
+#[test]
+fn rolling_p99_moves_within_one_window_of_a_spike() {
+    let r = RollingHistogram::new();
+    let t0 = 1000 * SEC;
+    for _ in 0..200 {
+        r.record_at(t0, 500_000); // 0.5 ms steady state
+    }
+    let before = r.window_at(t0, 10).p99_ns().unwrap();
+    assert!(
+        before < 2_000_000,
+        "baseline p99 {before} should be sub-2ms"
+    );
+    // inject a latency spike 2 s later
+    let t1 = t0 + 2 * SEC;
+    for _ in 0..5 {
+        r.record_at(t1, 800_000_000); // 0.8 s
+    }
+    let during = r.window_at(t1, 10).p99_ns().unwrap();
+    assert!(
+        during >= 800_000_000,
+        "10s p99 {during} must surface the spike"
+    );
+    // one window (+ slice quantization) later the spike has rolled out
+    let t2 = t1 + 10 * SEC + SLICE_SECS * SEC;
+    let after = r.window_at(t2, 10);
+    assert_eq!(after.count, 0, "spike must expire after the window passes");
+    // but the 1m window still remembers it
+    assert!(r.window_at(t2, 60).p99_ns().unwrap() >= 800_000_000);
+}
+
+#[test]
+fn concurrent_writers_never_lose_samples() {
+    let h = std::sync::Arc::new(Histogram::new());
+    let r = std::sync::Arc::new(RollingHistogram::new());
+    const THREADS: usize = 8;
+    const PER: u64 = 20_000;
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let h = h.clone();
+        let r = r.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER {
+                let ns = (t as u64 + 1) * 1000 + i % 7;
+                h.record(ns);
+                // fixed timestamp: all writers share one slice, so the
+                // rotation path cannot drop samples and counts are exact
+                r.record_at(42 * SEC, ns);
+            }
+        }));
+    }
+    for hd in handles {
+        hd.join().expect("writer thread");
+    }
+    let total = THREADS as u64 * PER;
+    let hs = h.snapshot();
+    assert_eq!(hs.count, total);
+    assert_eq!(hs.buckets.iter().sum::<u64>(), total);
+    let ws = r.window_at(42 * SEC, 10);
+    assert_eq!(ws.count, total);
+    assert_eq!(ws.buckets.iter().sum::<u64>(), total);
+    assert_eq!(ws.sum_ns, hs.sum_ns);
+}
+
+#[test]
+fn concurrent_rotation_keeps_slices_coherent() {
+    // Writers race across slice boundaries. The documented contract is
+    // approximate at the edges: a recycle may drop boundary samples,
+    // and a writer preempted between its bucket and count adds while
+    // another thread recycles the slice can tear one sample. Each such
+    // race skews bucket-sum vs count by at most 1, and races are
+    // bounded by writers x rotations — so divergence must stay tiny
+    // relative to the 200k recorded samples, not zero.
+    const WRITERS: u64 = 4;
+    const PER: u64 = 50_000;
+    let r = std::sync::Arc::new(RollingHistogram::new());
+    let mut handles = Vec::new();
+    for t in 0..WRITERS {
+        let r = r.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER {
+                // sweep time forward so slices rotate mid-test
+                let now = (i / 100) * SLICE_SECS * SEC / 2 + t;
+                r.record_at(now, 1000 + i % 11);
+            }
+        }));
+    }
+    for hd in handles {
+        hd.join().expect("writer thread");
+    }
+    let w = r.window_at(PER / 100 * SLICE_SECS * SEC / 2, 300);
+    let sum: u64 = w.buckets.iter().sum();
+    let diff = sum.abs_diff(w.count);
+    let bound = WRITERS * SLICES as u64;
+    assert!(
+        diff <= bound,
+        "bucket-sum/count divergence {diff} exceeds the torn-write bound {bound} \
+         (sum={sum}, count={})",
+        w.count
+    );
+    assert!(w.count > 0);
+    assert!(w.count <= WRITERS * PER);
+}
+
+/// Fixed, fully deterministic encoder inputs for the golden exposition.
+fn golden_inputs() -> ([u64; Counter::COUNT], ServeTelemetry, Vec<PromGauge>) {
+    let mut counters = [0u64; Counter::COUNT];
+    for (i, slot) in counters.iter_mut().enumerate() {
+        *slot = (i as u64 + 1) * 10;
+    }
+    let mut ok = HistogramSnapshot::default();
+    ok.buckets[10] = 90; // ~1–2 µs
+    ok.buckets[20] = 10; // ~1–2 ms
+    ok.count = 100;
+    ok.sum_ns = 90 * 1_500 + 10 * 1_500_000;
+    let mut shed = HistogramSnapshot::default();
+    shed.buckets[0] = 3;
+    shed.count = 3;
+    shed.sum_ns = 3;
+    let mut pair = HistogramSnapshot::default();
+    pair.buckets[BUCKETS - 1] = 1; // one absurdly slow request in the tail
+    pair.count = 1;
+    pair.sum_ns = 1u64 << 40;
+    let mut queue = HistogramSnapshot::default();
+    queue.buckets[5] = 7;
+    queue.count = 7;
+    queue.sum_ns = 7 * 40;
+    let tel = ServeTelemetry {
+        service_by_opcode: vec![("health", HistogramSnapshot::default()), ("pair", pair)],
+        total_by_outcome: vec![("ok", ok), ("shed", shed)],
+        queue_wait: queue,
+        windows: vec![
+            WindowStats {
+                window: "10s",
+                count: 42,
+                p50_ns: Some(2047),
+                p99_ns: Some(2_097_151),
+                err_count: 2,
+            },
+            WindowStats {
+                window: "1m",
+                count: 0,
+                p50_ns: None,
+                p99_ns: None,
+                err_count: 0,
+            },
+        ],
+    };
+    let gauges = vec![
+        PromGauge::new(
+            "gemm_ld_queue_depth",
+            "Jobs waiting in the request queue",
+            3.0,
+        ),
+        PromGauge {
+            name: "gemm_ld_panel_resident_bytes".into(),
+            help: "Resident bytes per panel",
+            labels: format!("panel=\"{}\"", escape_label_value("chr\"1\\a")),
+            value: 4096.0,
+        },
+    ];
+    (counters, tel, gauges)
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_byte_for_byte() {
+    let (counters, tel, gauges) = golden_inputs();
+    let text = render(&counters, &tel, &gauges);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/exposition.prom");
+    if std::env::var("LD_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &text).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("read golden exposition");
+    assert_eq!(
+        text, golden,
+        "Prometheus exposition drifted from tests/golden/exposition.prom \
+         (LD_UPDATE_GOLDEN=1 cargo test -p ld-trace to regenerate)"
+    );
+}
+
+#[test]
+fn exposition_histogram_invariants_hold() {
+    let (counters, tel, gauges) = golden_inputs();
+    let text = render(&counters, &tel, &gauges);
+    // every histogram series ends in a +Inf bucket equal to its _count
+    let inf: Vec<&str> = text.lines().filter(|l| l.contains("le=\"+Inf\"")).collect();
+    assert_eq!(inf.len(), 5, "two outcomes + two opcodes + queue");
+    for line in inf {
+        let v = line.rsplit(' ').next().unwrap();
+        let name_labels = line.split(' ').next().unwrap();
+        let base = name_labels.split("_bucket").next().unwrap();
+        let labels = name_labels
+            .split('{')
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('}')
+            .split(",le=")
+            .next()
+            .unwrap()
+            .to_string();
+        let count_line = text
+            .lines()
+            .find(|l| {
+                l.starts_with(&format!("{base}_count"))
+                    && (labels.starts_with("le=") || l.contains(&labels))
+            })
+            .unwrap();
+        assert_eq!(
+            count_line.rsplit(' ').next().unwrap(),
+            v,
+            "{base} +Inf != count"
+        );
+    }
+}

@@ -4,10 +4,15 @@
 Usage: scripts/bench_compare.py <baseline.json> <current.json> [--time-tol F]
 
 The documents' top-level "bench" field selects the metric set: "fused"
-(BENCH_fused.json, keyed per n_snps) or "outofcore"
+(BENCH_fused.json, keyed per n_snps), "outofcore"
 (BENCH_outofcore.json, keyed per budget label; gates wall seconds,
 RSS high-water and the two analytic model metrics — streamed bytes and
-derived slab height — exactly).
+derived slab height — exactly), or "serve" (BENCH_serve.json from
+serve_load: gates request throughput direction-aware — only a *drop*
+beyond the band fails — client p99 latency, and the telemetry-overhead
+bound: the daemon with metrics endpoint + request log enabled must stay
+within 3% of its own baseline throughput, measured A/B in-run; the
+bench's own pass verdict must also hold).
 
 Compares per-size metrics with per-metric tolerance bands and exits
 nonzero naming every regressed metric. Policy:
@@ -63,9 +68,33 @@ GATED_OOC = [
     ("slab_rows", "model"),
 ]
 
+# Serve daemon bench: throughput is direction-aware (only a drop
+# fails), client p99 gets a wide band plus an absolute microsecond
+# slack (loopback scheduling noise), and the in-run A/B telemetry
+# overhead is an absolute bound, not a baseline diff.
+GATED_SERVE = [
+    ("load.throughput_rps", "throughput"),
+    ("load.p99_us", "time_us"),
+    ("telemetry.overhead_pct", "overhead_bound"),
+]
+
+
+def serve_rows(doc):
+    """Flattens the nested BENCH_serve.json into one gate row."""
+    load = doc.get("load", {})
+    tel = doc.get("telemetry", {})
+    return [{
+        "label": "serve",
+        "load.throughput_rps": load.get("throughput_rps", 0.0),
+        "load.p99_us": load.get("p99_us", 0.0),
+        "telemetry.overhead_pct": tel.get("overhead_pct", 100.0),
+    }]
+
+
 # Per-bench comparison spec, selected by the documents' "bench" field:
 # which metrics to gate, which result field keys a row, and which
-# top-level config keys must match exactly.
+# top-level config keys must match exactly. "rows" (optional) adapts a
+# document without a "results" list into gate rows.
 BENCH_SPECS = {
     "fused": {
         "gated": GATED_FUSED,
@@ -77,11 +106,20 @@ BENCH_SPECS = {
         "row_key": "label",
         "config": ("bench", "n_samples", "threads", "n_snps", "chunk_snps"),
     },
+    "serve": {
+        "gated": GATED_SERVE,
+        "row_key": "label",
+        "config": ("bench", "n_samples", "n_snps", "clients",
+                   "requests_per_client"),
+        "rows": serve_rows,
+    },
 }
 
 RSS_TOL = 0.25
 RSS_SLACK_KB = 32768.0  # allocator jitter floor: 32 MB
 TIME_SLACK_SECS = 0.05  # scheduler noise floor: 50 ms
+TIME_SLACK_US = 2000.0  # loopback p99 noise floor: 2 ms
+OVERHEAD_BOUND_PCT = 3.0  # telemetry plane must cost <= 3% throughput
 MODEL_EPS = 1e-9
 
 # Tuning parameters: mismatches warn (a tuned profile changes them) but
@@ -136,8 +174,14 @@ def main(argv):
                 "(a cached CPU profile changes the geometry; timings below "
                 "compare different configurations)"
             )
-    base_sizes = {r[row_key]: r for r in base.get("results", [])}
-    cur_sizes = {r[row_key]: r for r in cur.get("results", [])}
+    if base.get("bench") == "serve" and cur.get("pass") is not True:
+        failures.append(
+            "serve bench reported pass=false (hung or failed requests, "
+            "overload shed floor, fault recovery, or restart check failed)"
+        )
+    rows_of = spec.get("rows", lambda doc: doc.get("results", []))
+    base_sizes = {r[row_key]: r for r in rows_of(base)}
+    cur_sizes = {r[row_key]: r for r in rows_of(cur)}
     if set(base_sizes) != set(cur_sizes):
         failures.append(
             f"config mismatch: {row_key} rows baseline={sorted(base_sizes)} "
@@ -155,6 +199,18 @@ def main(argv):
             if kind == "model":
                 ok = abs(cv - bv) <= MODEL_EPS
                 band = "exact"
+            elif kind == "throughput":
+                # direction-aware: only a drop beyond the band fails
+                ok = cv >= bv * (1.0 - time_tol) - MODEL_EPS
+                band = f"-{time_tol * 100:.0f}%"
+            elif kind == "overhead_bound":
+                # absolute bound on the in-run A/B measurement
+                ok = cv <= OVERHEAD_BOUND_PCT + MODEL_EPS
+                band = f"<={OVERHEAD_BOUND_PCT:.0f}%"
+            elif kind == "time_us":
+                ok = cv <= bv * (1.0 + time_tol) + TIME_SLACK_US \
+                    or cv - bv <= MODEL_EPS
+                band = f"+{time_tol * 100:.0f}%"
             else:
                 tol = time_tol if kind == "time" else RSS_TOL
                 slack = TIME_SLACK_SECS if kind == "time" else RSS_SLACK_KB

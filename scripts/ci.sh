@@ -64,7 +64,21 @@
 #      exits 0; an expired drain deadline exits 5 with the straggler
 #      still receiving a typed response; finally the `serve_load`
 #      fault-injection bench (malformed frames, half-open peers, a
-#      SIGKILLed server) must pass end to end
+#      SIGKILLed server) must pass end to end, and its BENCH_serve.json
+#      is gated against results/baselines/BENCH_serve.json — request
+#      throughput direction-aware, client p99 with an absolute slack,
+#      and the in-run telemetry-overhead A/B bounded at 3% absolute
+#      (same LD_BENCH_UPDATE_BASELINE refresh switch as step 14)
+#  19. telemetry leg — a daemon with the full observability plane on
+#      (--metrics-addr, --request-log, --trace-dump) is driven with real
+#      load; the GET /metrics scrape and the `metrics` opcode must both
+#      pass scripts/validate_prometheus.py and agree with each other
+#      (equal gauges, monotone counters); SIGUSR1 must snapshot the live
+#      flight recorder into a Perfetto-valid dump with the daemon still
+#      serving; the request log must be schema-valid JSON-lines
+#      (schemas/request_log.schema.json) with gap-free seq numbers and a
+#      monotone lifecycle per request ending in exactly one terminal
+#      event; SIGINT must still drain cleanly to exit 0
 #
 # Usage: scripts/ci.sh        (from anywhere; cd's to the repo root)
 
@@ -613,5 +627,184 @@ echo "    in-flight region drained byte-identical to the one-shot table"
 echo "==> serve: concurrent load + fault injection (serve_load)"
 rm -f BENCH_serve.json
 run target/release/serve_load --gemm-ld "$SH_BIN"
+
+# Serve bench gate: same policy as steps 14/17. Throughput is gated
+# direction-aware (only drops fail), client p99 gets the microsecond
+# slack band, and the in-run telemetry A/B must stay within the
+# absolute 3% bound regardless of baseline drift.
+echo "==> bench-regression gate: serve vs committed baseline"
+SERVE_BASELINE=results/baselines/BENCH_serve.json
+if [ "${LD_BENCH_UPDATE_BASELINE:-0}" = "1" ]; then
+    cp BENCH_serve.json "$SERVE_BASELINE"
+    echo "    baseline refreshed: $SERVE_BASELINE (commit it)"
+elif command -v python3 >/dev/null 2>&1; then
+    run python3 scripts/bench_compare.py "$SERVE_BASELINE" BENCH_serve.json
+else
+    echo "    python3 unavailable; bench-regression gate skipped"
+fi
+
+# Telemetry leg: a real daemon with the whole observability plane on —
+# Prometheus HTTP endpoint, metrics opcode, structured request log,
+# armed flight recorder — driven by real load, then inspected from the
+# outside like an operator would.
+echo "==> telemetry: /metrics scrape + opcode, SIGUSR1 dump, request log"
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "    python3 unavailable; telemetry leg skipped"
+else
+    TEL_LOG=target/ci-tel-requests.jsonl
+    TEL_DUMP=target/ci-tel-dump.json
+    TEL_OUT=target/ci-tel-serve.out
+    rm -f "$TEL_LOG" "$TEL_DUMP" "$TEL_OUT" target/ci-tel-serve.err
+    "$SH_BIN" serve bench="$SERVE_SIM" --addr 127.0.0.1:0 \
+        --metrics-addr 127.0.0.1:0 --request-log "$TEL_LOG" \
+        --trace-dump "$TEL_DUMP" --slow-ms 10000 --preload \
+        >"$TEL_OUT" 2>target/ci-tel-serve.err &
+    TEL_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q "^metrics on " "$TEL_OUT" 2>/dev/null && break
+        sleep 0.1
+    done
+    TEL_ADDR=$(sed -n 's/^listening on //p' "$TEL_OUT")
+    TEL_MADDR=$(sed -n 's/^metrics on //p' "$TEL_OUT")
+    if [ -z "$TEL_ADDR" ] || [ -z "$TEL_MADDR" ]; then
+        echo "telemetry FAIL: daemon did not announce both addresses:" >&2
+        cat "$TEL_OUT" target/ci-tel-serve.err >&2
+        kill "$TEL_PID" 2>/dev/null || true
+        exit 1
+    fi
+    # Real load through the LDS1 socket (phase-1 clients, attach mode).
+    run target/release/serve_load --attach "$TEL_ADDR" --snps 160
+    # Scrape the HTTP endpoint first, the opcode second: the opcode
+    # counters must then be >= the scrape's (counters are monotone).
+    python3 - "$TEL_MADDR" >target/ci-tel-http.prom <<'PYEOF'
+import http.client, sys
+host, port = sys.argv[1].rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=5)
+conn.request("GET", "/metrics")
+resp = conn.getresponse()
+if resp.status != 200:
+    sys.exit(f"telemetry FAIL: GET /metrics returned {resp.status}")
+ctype = resp.getheader("Content-Type") or ""
+if "version=0.0.4" not in ctype:
+    sys.exit(f"telemetry FAIL: bad /metrics content-type {ctype!r}")
+sys.stdout.write(resp.read().decode())
+PYEOF
+    echo "==> $SH_BIN monitor $TEL_ADDR --raw"
+    "$SH_BIN" monitor "$TEL_ADDR" --raw >target/ci-tel-op.prom
+    run python3 scripts/validate_prometheus.py target/ci-tel-http.prom
+    run python3 scripts/validate_prometheus.py target/ci-tel-op.prom
+    python3 - target/ci-tel-http.prom target/ci-tel-op.prom <<'PYEOF'
+import sys
+
+def samples(path):
+    out = {}
+    for line in open(path):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_labels, value = line.rsplit(None, 1)
+        out[name_labels] = float(value)
+    return out
+
+http_s, op_s = samples(sys.argv[1]), samples(sys.argv[2])
+for gauge in ("gemm_ld_workers", "gemm_ld_registry_budget_bytes"):
+    if http_s.get(gauge) != op_s.get(gauge):
+        sys.exit(f"telemetry FAIL: {gauge} differs between HTTP scrape "
+                 f"({http_s.get(gauge)}) and metrics opcode ({op_s.get(gauge)})")
+mono = [k for k in http_s if k.endswith("_total")]
+bad = [k for k in mono if k in op_s and op_s[k] + 1e-9 < http_s[k]]
+if bad:
+    sys.exit(f"telemetry FAIL: counters went backwards between scrapes: {bad}")
+acc = "gemm_ld_requests_accepted_total"
+if http_s.get(acc, 0) < 320:
+    sys.exit(f"telemetry FAIL: {acc}={http_s.get(acc)} after 320-request load")
+print(f"    HTTP scrape and metrics opcode mutually consistent "
+      f"({len(mono)} counters monotone, {acc}={op_s.get(acc):.0f})")
+PYEOF
+    # SIGUSR1 must snapshot the live recorder into a Perfetto-valid file
+    # without disturbing the daemon.
+    kill -USR1 "$TEL_PID"
+    for _ in $(seq 1 100); do
+        [ -s "$TEL_DUMP" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$TEL_DUMP" ]; then
+        echo "telemetry FAIL: no trace dump at $TEL_DUMP after SIGUSR1" >&2
+        kill "$TEL_PID" 2>/dev/null || true
+        exit 1
+    fi
+    python3 - "$TEL_DUMP" <<'PYEOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+if not evs:
+    sys.exit("telemetry FAIL: SIGUSR1 dump is empty (the recorder is armed "
+             "before --preload, so panel-compute spans must be present)")
+need = {"ph", "pid", "tid"}
+bad = [e for e in evs if not need <= e.keys()]
+if bad:
+    sys.exit(f"telemetry FAIL: {len(bad)} malformed trace events in the dump")
+print(f"    SIGUSR1 dump: {len(evs)} Perfetto events, structure valid")
+PYEOF
+    # The daemon must still be serving after the dump, and drain on
+    # SIGINT with exit 0.
+    "$SH_BIN" monitor "$TEL_ADDR" --raw >/dev/null
+    kill -INT "$TEL_PID"
+    set +e
+    wait "$TEL_PID"
+    tel_status=$?
+    set -e
+    if [ "$tel_status" -ne 0 ]; then
+        echo "telemetry FAIL: daemon exited $tel_status on SIGINT (expected 0)" >&2
+        cat target/ci-tel-serve.err >&2
+        exit 1
+    fi
+    # Request log: every line schema-valid JSON, per-request lifecycle
+    # ordering monotone with exactly one terminal event, seq gap-free.
+    python3 - "$TEL_LOG" <<'PYEOF'
+import json, sys
+
+sys.path.insert(0, "scripts")
+from validate_metrics import validate
+
+schema = json.load(open("schemas/request_log.schema.json"))
+RANK = {"accept": 0, "admit": 1, "shed": 1, "start": 2,
+        "timeout": 3, "panic": 3, "finish": 4}
+TERMINAL = {"shed", "timeout", "finish"}
+per_id = {}
+n = 0
+for n, line in enumerate(open(sys.argv[1]), 1):
+    try:
+        ev = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"telemetry FAIL: request log line {n} is not JSON: {e}")
+    errs = validate(ev, schema)
+    if errs:
+        sys.exit(f"telemetry FAIL: request log line {n}: " + "; ".join(errs))
+    if ev["seq"] != n - 1:
+        sys.exit(f"telemetry FAIL: line {n} has seq={ev['seq']} (gap)")
+    per_id.setdefault(ev["id"], []).append(ev)
+if n < 320 * 2:
+    sys.exit(f"telemetry FAIL: only {n} log lines after a 320-request load")
+for rid, evs in per_id.items():
+    ranks = [RANK[e["event"]] for e in evs]
+    if ranks != sorted(ranks) or len(set(ranks)) != len(ranks):
+        sys.exit(f"telemetry FAIL: request {rid} lifecycle out of order: "
+                 f"{[e['event'] for e in evs]}")
+    if evs[0]["event"] != "accept":
+        sys.exit(f"telemetry FAIL: request {rid} does not start with accept")
+    terms = [e for e in evs if e["event"] in TERMINAL]
+    if len(terms) != 1:
+        sys.exit(f"telemetry FAIL: request {rid} has {len(terms)} terminal "
+                 f"events: {[e['event'] for e in evs]}")
+    monos = [e["mono_ns"] for e in evs]
+    if monos != sorted(monos):
+        sys.exit(f"telemetry FAIL: request {rid} mono_ns not monotone")
+print(f"    request log: {n} lines schema-valid, {len(per_id)} lifecycles "
+      "ordered, one terminal each")
+PYEOF
+    echo "    telemetry plane verified end to end (scrape, opcode, dump, log)"
+fi
 
 echo "==> CI green"

@@ -5,7 +5,8 @@ schemas/metrics.schema.json uses.
 This workspace builds offline with no third-party packages, so instead of
 depending on `jsonschema` we implement the handful of keywords the metrics
 schema needs: type (incl. union types), required, properties,
-additionalProperties (boolean false), items, enum, minimum.
+additionalProperties (boolean false), items, enum, minimum, and local
+``$ref`` into ``#/definitions/...``.
 
 Beyond the structural schema, one semantic invariant is enforced on
 instrumented documents: ``cancel_polls == slabs_emitted``. The fused
@@ -39,7 +40,20 @@ def type_ok(value, tname):
     raise ValueError(f"unsupported schema type: {tname}")
 
 
-def validate(value, schema, path="$"):
+def resolve_ref(ref, root):
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, path="$", root=None):
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        schema = resolve_ref(schema["$ref"], root)
     errors = []
     stype = schema.get("type")
     if stype is not None:
@@ -63,10 +77,10 @@ def validate(value, schema, path="$"):
                     errors.append(f"{path}: unexpected property '{key}'")
         for key, sub in props.items():
             if key in value:
-                errors.extend(validate(value[key], sub, f"{path}.{key}"))
+                errors.extend(validate(value[key], sub, f"{path}.{key}", root))
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
-            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]", root))
     return errors
 
 

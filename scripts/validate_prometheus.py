@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format v0.0.4 (stdlib only).
+
+Structural checks over a scrape body (`gemm-ld serve --metrics-addr`,
+the `metrics` opcode, or the golden file in crates/trace/tests/golden):
+
+* every line is a comment, blank, or `name[{labels}] value` with a
+  legal metric name, legal label syntax, and a parseable value;
+* `# TYPE` appears at most once per metric, before its first sample,
+  and is one of counter/gauge/histogram/summary/untyped;
+* no duplicate (name, labels) sample;
+* counter samples are finite and non-negative;
+* histograms: per label-set, `le` buckets are cumulative
+  (non-decreasing in bucket order), a `+Inf` bucket exists, the `+Inf`
+  count equals the matching `_count` sample, and `_sum`/`_count` exist.
+
+Usage: validate_prometheus.py <exposition.prom>   (or '-' for stdin)
+Exit 0 when clean; nonzero with line-annotated messages otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(raw, lineno, errors):
+    """`a="x",b="y"` -> ((a, x), (b, y)); appends errors on bad syntax."""
+    out, pos = [], 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            errors.append(f"line {lineno}: bad label syntax at {raw[pos:]!r}")
+            return tuple(out)
+        out.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' in labels at {raw[pos:]!r}")
+                return tuple(out)
+            pos += 1
+    return tuple(out)
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def base_name(name):
+    """Histogram child series -> their parent metric name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text):
+    errors = []
+    types = {}          # metric -> declared type
+    seen_sample = set() # (name, labels) duplicates
+    first_sample = {}   # metric -> first sample line number
+    samples = []        # (lineno, name, labels tuple, value)
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                metric, mtype = parts[2], parts[3].strip() if len(parts) > 3 else ""
+                if mtype not in TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {mtype!r} for {metric}")
+                if metric in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {metric}")
+                if metric in first_sample:
+                    errors.append(
+                        f"line {lineno}: TYPE for {metric} after its first sample"
+                    )
+                types[metric] = mtype
+            continue
+        # sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([^\s{]+)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?$", line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name, raw_labels, value_text = m.group(1), m.group(3) or "", m.group(4)
+        if not NAME_RE.match(name):
+            errors.append(f"line {lineno}: illegal metric name {name!r}")
+            continue
+        labels = parse_labels(raw_labels, lineno, errors)
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"line {lineno}: unparseable value {value_text!r}")
+            continue
+        key = (name, labels)
+        if key in seen_sample:
+            errors.append(f"line {lineno}: duplicate sample {name}{{{raw_labels}}}")
+        seen_sample.add(key)
+        metric = base_name(name) if base_name(name) in types else name
+        first_sample.setdefault(metric, lineno)
+        samples.append((lineno, name, labels, value))
+
+    # type-specific checks
+    histograms = {m for m, t in types.items() if t == "histogram"}
+    counters = {m for m, t in types.items() if t == "counter"}
+    buckets = {}  # (metric, labels-without-le) -> [(le, value, lineno)]
+    counts = {}   # (metric, labels) -> value
+    sums = set()  # (metric, labels)
+    for lineno, name, labels, value in samples:
+        if name in counters:
+            if not (value >= 0):  # also catches NaN
+                errors.append(f"line {lineno}: counter {name} has bad value {value}")
+        parent = base_name(name)
+        if parent in histograms and name != parent:
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: {name} sample without le label")
+                    continue
+                try:
+                    le_val = parse_value(le)
+                except ValueError:
+                    errors.append(f"line {lineno}: bad le bound {le!r}")
+                    continue
+                buckets.setdefault((parent, rest), []).append((le_val, value, lineno))
+            elif name.endswith("_count"):
+                counts[(parent, rest)] = value
+            elif name.endswith("_sum"):
+                sums.add((parent, rest))
+
+    for (metric, rest), series in buckets.items():
+        where = f"{metric}{{{','.join(f'{k}={v!r}' for k, v in rest)}}}"
+        prev = None
+        for le_val, value, lineno in series:  # file order == bucket order
+            if prev is not None and value < prev:
+                errors.append(
+                    f"line {lineno}: {where} buckets not cumulative "
+                    f"({value} < {prev})"
+                )
+            prev = value
+        les = [le for le, _, _ in series]
+        if not any(le == float("inf") for le in les):
+            errors.append(f"{where}: histogram has no +Inf bucket")
+        else:
+            inf_val = next(v for le, v, _ in series if le == float("inf"))
+            if (metric, rest) not in counts:
+                errors.append(f"{where}: histogram has buckets but no _count")
+            elif counts[(metric, rest)] != inf_val:
+                errors.append(
+                    f"{where}: +Inf bucket ({inf_val}) != _count "
+                    f"({counts[(metric, rest)]})"
+                )
+        if (metric, rest) not in sums:
+            errors.append(f"{where}: histogram has buckets but no _sum")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <exposition.prom | ->")
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            text = f.read()
+    errors = validate(text)
+    if errors:
+        for e in errors:
+            print(f"exposition violation: {e}", file=sys.stderr)
+        sys.exit(1)
+    n_samples = sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"{sys.argv[1]}: valid Prometheus exposition ({n_samples} samples)")
+
+
+if __name__ == "__main__":
+    main()
